@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The heavy
+work (compiling and simulating the 14 synthetic benchmarks under each
+configuration) is shared through a session-scoped :class:`ExperimentRunner`
+whose compilation cache persists across benchmark files, so the whole harness
+runs in minutes.  Rendered reports are written to ``benchmarks/results/`` so
+the regenerated rows/series can be inspected after the run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import ExperimentOptions, ExperimentRunner
+
+#: Simulated iterations per loop; raise for tighter statistics.
+BENCH_ITERATION_CAP = int(os.environ.get("REPRO_BENCH_ITERATIONS", "128"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def experiment_runner() -> ExperimentRunner:
+    """One shared runner (and compilation cache) for every benchmark."""
+    options = ExperimentOptions(simulation_iteration_cap=BENCH_ITERATION_CAP)
+    return ExperimentRunner(options)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory the rendered reports are written to."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_report(results_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered experiment report."""
+    (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n")

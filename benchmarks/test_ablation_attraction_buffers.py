@@ -1,0 +1,29 @@
+"""Benchmark E-ABL1: Attraction Buffer sizing and attractable-hint ablation."""
+
+from benchmarks.conftest import save_report
+from repro.experiments.ablations import (
+    run_attractable_hint_ablation,
+    run_attraction_buffer_ablation,
+)
+
+
+def test_attraction_buffer_sizing(benchmark, experiment_runner, results_dir):
+    rows, result = benchmark.pedantic(
+        run_attraction_buffer_ablation,
+        kwargs={"runner": experiment_runner},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(results_dir, "ablation_attraction_buffers", result.render())
+    by_config = {
+        (row["heuristic"], row["configuration"]): row["normalized_stall"] for row in rows
+    }
+    # Larger buffers never hurt the chain-heavy benchmark.
+    for heuristic in ("ipbc", "ibc"):
+        assert by_config[(heuristic, "ab-32")] <= by_config[(heuristic, "no-ab")] + 1e-6
+
+
+def test_attractable_hints(experiment_runner, results_dir):
+    rows, result = run_attractable_hint_ablation(runner=experiment_runner)
+    save_report(results_dir, "ablation_attractable_hints", result.render())
+    assert len(rows) == 2

@@ -1,0 +1,19 @@
+"""Benchmark E-ABL2: unrolling-policy ablation (none / xN / OUF / selective)."""
+
+from benchmarks.conftest import save_report
+from repro.experiments.ablations import run_unrolling_ablation
+
+
+def test_unrolling_policy_ablation(benchmark, experiment_runner, results_dir):
+    rows, result = benchmark.pedantic(
+        run_unrolling_ablation,
+        kwargs={"runner": experiment_runner},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(results_dir, "ablation_unrolling", result.render())
+    by_policy = {row["policy"]: row for row in rows}
+    # OUF unrolling yields the best local hit ratio; selective unrolling must
+    # not lose much of it while never being slower than "no unrolling".
+    assert by_policy["ouf"]["local_hit_ratio"] >= by_policy["none"]["local_hit_ratio"]
+    assert by_policy["selective"]["normalized_cycles"] <= 1.02

@@ -1,0 +1,18 @@
+"""Benchmark E-F4: regenerate Figure 4 (memory access classification, IPBC)."""
+
+from benchmarks.conftest import save_report
+from repro.experiments.figure4 import alignment_and_unrolling_gains, run_figure4
+
+
+def test_figure4_memory_access_classification(benchmark, experiment_runner, results_dir):
+    rows, result = benchmark.pedantic(
+        run_figure4, kwargs={"runner": experiment_runner}, rounds=1, iterations=1
+    )
+    save_report(results_dir, "figure4", result.render())
+    assert len(rows) == 14 * 4
+    gains = alignment_and_unrolling_gains(rows)
+    # Paper: variable alignment +~20% local hits, OUF unrolling +~27%.
+    # The shape (both strictly positive, unrolling the larger or comparable
+    # effect) must hold on the synthetic suite.
+    assert gains["alignment_gain"] > 0.0
+    assert gains["unrolling_gain"] > 0.10

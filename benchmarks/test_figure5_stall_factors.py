@@ -1,0 +1,16 @@
+"""Benchmark E-F5: regenerate Figure 5 (classification of stalling accesses)."""
+
+from benchmarks.conftest import save_report
+from repro.experiments.figure5 import not_in_preferred_share, run_figure5
+
+
+def test_figure5_stall_factor_classification(benchmark, experiment_runner, results_dir):
+    rows, result = benchmark.pedantic(
+        run_figure5, kwargs={"runner": experiment_runner}, rounds=1, iterations=1
+    )
+    save_report(results_dir, "figure5", result.render())
+    assert len(rows) == 14 * 2
+    # Paper (Section 5.2): IBC shows more stall from instructions not
+    # scheduled in their preferred cluster than IPBC, because IBC ignores
+    # the profile information when assigning clusters.
+    assert not_in_preferred_share(rows, "ibc") >= not_in_preferred_share(rows, "ipbc")

@@ -1,0 +1,16 @@
+"""Benchmark E-F7: regenerate Figure 7 (workload balance, IPBC)."""
+
+from benchmarks.conftest import save_report
+from repro.experiments.figure7 import balance_by_variant, run_figure7
+
+
+def test_figure7_workload_balance(benchmark, experiment_runner, results_dir):
+    rows, result = benchmark.pedantic(
+        run_figure7, kwargs={"runner": experiment_runner}, rounds=1, iterations=1
+    )
+    save_report(results_dir, "figure7", result.render())
+    assert len(rows) == 14 * 3
+    assert all(0.25 <= row.workload_balance <= 1.0 for row in rows)
+    balance = balance_by_variant(rows)
+    # Paper: unrolling improves the balance towards 0.25.
+    assert balance["ouf"] <= balance["no-unroll"] + 0.02

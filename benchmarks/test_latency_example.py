@@ -1,0 +1,13 @@
+"""Benchmark E-LAT: the Section 4.3.3 latency-assignment worked example."""
+
+from benchmarks.conftest import save_report
+from repro.experiments.latency_example import run_latency_example
+
+
+def test_latency_assignment_worked_example(benchmark, results_dir):
+    outcome, result = benchmark.pedantic(run_latency_example, rounds=1, iterations=1)
+    save_report(results_dir, "latency_example", result.render())
+    assert outcome.assignment.target_mii == 8
+    assert outcome.final_latency("n2") == 1
+    assert outcome.final_latency("n1") == 4
+    assert outcome.final_latency("n6") == 1

@@ -1,0 +1,14 @@
+"""Benchmark E-T1: regenerate Table 1 (benchmark characterisation)."""
+
+from benchmarks.conftest import save_report
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_benchmark_characterisation(benchmark, results_dir):
+    rows, result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    save_report(results_dir, "table1", result.render())
+    assert len(rows) == 14
+    # Every synthetic benchmark reproduces the paper's dominant data size.
+    assert all(
+        row["dominant_size_bytes"] == row["paper_dominant_size_bytes"] for row in rows
+    )

@@ -1,0 +1,52 @@
+"""Regenerate the paper's evaluation artefacts from the command line.
+
+Thin wrapper around :mod:`repro.experiments.runner`: runs every table,
+figure and ablation (or a selected subset) over the full 14-benchmark
+synthetic suite and prints the rendered reports.
+
+Run with::
+
+    python examples/reproduce_paper.py                    # everything
+    python examples/reproduce_paper.py figure8 figure6    # a subset
+    python examples/reproduce_paper.py --fast figure4     # fewer benchmarks
+"""
+
+import argparse
+
+from repro.experiments import ExperimentOptions, render_report, run_all_experiments
+from repro.experiments.runner import EXPERIMENTS
+from repro.workloads import BENCHMARK_NAMES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=(
+            "experiments to run (default: all); known keys: "
+            + ", ".join(entry.key for entry in EXPERIMENTS)
+        ),
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="use a four-benchmark subset and fewer simulated iterations",
+    )
+    args = parser.parse_args()
+
+    if args.fast:
+        options = ExperimentOptions(
+            benchmarks=("epicdec", "gsmdec", "jpegenc", "mpeg2dec"),
+            simulation_iteration_cap=96,
+        )
+    else:
+        options = ExperimentOptions(benchmarks=BENCHMARK_NAMES)
+
+    results = run_all_experiments(options, args.experiments or None)
+    print(render_report(results))
+
+
+if __name__ == "__main__":
+    main()

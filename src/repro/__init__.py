@@ -1,0 +1,53 @@
+"""Reproduction of "Effective Instruction Scheduling Techniques for an
+Interleaved Cache Clustered VLIW Processor" (Gibert, Sánchez, González;
+MICRO-35, 2002).
+
+The package is organized bottom-up:
+
+* :mod:`repro.ir` and :mod:`repro.machine` -- the compiler IR and the
+  machine description;
+* :mod:`repro.memory` -- behavioural models of the word-interleaved cache,
+  the unified cache, the multiVLIW coherent cache and the Attraction
+  Buffers;
+* :mod:`repro.profiling` -- hit-rate / preferred-cluster profiling;
+* :mod:`repro.scheduler` -- the paper's contribution: modulo scheduling with
+  selective unrolling, latency assignment and the IBC/IPBC heuristics;
+* :mod:`repro.sim` -- the cycle-accounting simulator;
+* :mod:`repro.workloads` -- the synthetic Mediabench-like benchmark suite;
+* :mod:`repro.analysis` and :mod:`repro.experiments` -- metrics and the
+  per-figure reproduction harness.
+"""
+
+from repro.ir import LoopBuilder
+from repro.machine import MachineConfig
+from repro.scheduler import (
+    CompilerOptions,
+    SchedulingHeuristic,
+    UnrollPolicy,
+    compile_loop,
+    schedule_for_interleaved,
+    schedule_for_multivliw,
+    schedule_for_unified,
+)
+from repro.sim import SimulationOptions, simulate_compiled_loop, simulate_compiled_loops
+from repro.workloads import make_benchmark, mediabench_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompilerOptions",
+    "LoopBuilder",
+    "MachineConfig",
+    "SchedulingHeuristic",
+    "SimulationOptions",
+    "UnrollPolicy",
+    "__version__",
+    "compile_loop",
+    "make_benchmark",
+    "mediabench_suite",
+    "schedule_for_interleaved",
+    "schedule_for_multivliw",
+    "schedule_for_unified",
+    "simulate_compiled_loop",
+    "simulate_compiled_loops",
+]

@@ -1,0 +1,39 @@
+"""Analysis: metrics and report formatting for the experiments."""
+
+from repro.analysis.metrics import (
+    NormalizedCycles,
+    StallFactorBreakdown,
+    access_fractions,
+    arithmetic_mean,
+    classify_stall_factors,
+    local_hit_ratio,
+    local_hit_ratio_improvement,
+    normalize,
+    normalized_cycle_breakdown,
+    remote_hit_stall_share,
+    speedup,
+    stall_fractions,
+    stall_reduction,
+    workload_balance,
+)
+from repro.analysis.report import format_dict, format_fraction_row, format_table
+
+__all__ = [
+    "NormalizedCycles",
+    "StallFactorBreakdown",
+    "access_fractions",
+    "arithmetic_mean",
+    "classify_stall_factors",
+    "format_dict",
+    "format_fraction_row",
+    "format_table",
+    "local_hit_ratio",
+    "local_hit_ratio_improvement",
+    "normalize",
+    "normalized_cycle_breakdown",
+    "remote_hit_stall_share",
+    "speedup",
+    "stall_fractions",
+    "stall_reduction",
+    "workload_balance",
+]

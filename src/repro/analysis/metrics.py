@@ -1,0 +1,203 @@
+"""Metrics derived from simulation results (the quantities the figures plot).
+
+The experiment harness reduces :class:`~repro.sim.stats.BenchmarkSimulationResult`
+objects to the numbers the paper's evaluation section reports: access-class
+fractions (Figure 4), the classification of stall-causing accesses
+(Figure 5), stall-time breakdowns and reductions (Figure 6), workload balance
+(Figure 7), and normalized cycle counts / speedups (Figure 8), plus the
+arithmetic means ("AMEAN") the figures append.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.machine.config import MachineConfig
+from repro.memory.classify import AccessType
+from repro.sim.stats import BenchmarkSimulationResult, OperationSimRecord
+
+#: Profile-distribution threshold below which an operation's preferred
+#: cluster is considered "unclear" (the paper quotes distributions of
+#: 0.57-0.81 as problematic for a 4-cluster machine).
+UNCLEAR_PREFERRED_THRESHOLD = 0.9
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Plain arithmetic mean (the AMEAN bars of the figures)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def normalize(value: float, baseline: float) -> float:
+    """value / baseline, guarding against an empty baseline."""
+    return value / baseline if baseline else 0.0
+
+
+def speedup(baseline_cycles: float, cycles: float) -> float:
+    """Classic speedup of ``cycles`` relative to ``baseline_cycles``."""
+    return baseline_cycles / cycles if cycles else 0.0
+
+
+# ----------------------------------------------------------------------
+# Figure 4: access classification
+# ----------------------------------------------------------------------
+def access_fractions(result: BenchmarkSimulationResult) -> dict[str, float]:
+    """Fractions of all accesses per class, as stacked in Figure 4."""
+    return result.access_counters().fractions()
+
+
+def local_hit_ratio(result: BenchmarkSimulationResult) -> float:
+    """Local hits over all accesses."""
+    return result.local_hit_ratio()
+
+
+def local_hit_ratio_improvement(
+    baseline: BenchmarkSimulationResult, improved: BenchmarkSimulationResult
+) -> float:
+    """Absolute increase in the local hit ratio between two configurations."""
+    return improved.local_hit_ratio() - baseline.local_hit_ratio()
+
+
+# ----------------------------------------------------------------------
+# Figure 5: why do stalling accesses stall?
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StallFactorBreakdown:
+    """Fraction of stall-causing remote hits attributed to each factor.
+
+    The factors are not mutually exclusive (an access can satisfy several),
+    exactly as the paper notes for its Figure 5.
+    """
+
+    more_than_one_cluster: float
+    unclear_preferred: float
+    not_in_preferred: float
+    granularity: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Dictionary view keyed like the figure's legend."""
+        return {
+            "more_than_one_cluster": self.more_than_one_cluster,
+            "unclear_preferred": self.unclear_preferred,
+            "not_in_preferred": self.not_in_preferred,
+            "granularity": self.granularity,
+        }
+
+
+def classify_stall_factors(
+    result: BenchmarkSimulationResult,
+    config: MachineConfig,
+    threshold: float = UNCLEAR_PREFERRED_THRESHOLD,
+) -> StallFactorBreakdown:
+    """Attribute remote-hit stall time to the four factors of Figure 5."""
+    totals = {
+        "more_than_one_cluster": 0.0,
+        "unclear_preferred": 0.0,
+        "not_in_preferred": 0.0,
+        "granularity": 0.0,
+    }
+    total_stall = 0.0
+    for loop_result in result.loops:
+        for record in loop_result.operation_records.values():
+            stall = record.stall_by_type.get(AccessType.REMOTE_HIT, 0)
+            if stall <= 0:
+                continue
+            weighted = stall * loop_result.weight
+            total_stall += weighted
+            if record.touches_multiple_clusters:
+                totals["more_than_one_cluster"] += weighted
+            if record.profile_distribution < threshold:
+                totals["unclear_preferred"] += weighted
+            if not record.scheduled_in_preferred:
+                totals["not_in_preferred"] += weighted
+            if config.spans_multiple_clusters(record.operation.memory.granularity):
+                totals["granularity"] += weighted
+    if total_stall == 0:
+        return StallFactorBreakdown(0.0, 0.0, 0.0, 0.0)
+    return StallFactorBreakdown(
+        more_than_one_cluster=totals["more_than_one_cluster"] / total_stall,
+        unclear_preferred=totals["unclear_preferred"] / total_stall,
+        not_in_preferred=totals["not_in_preferred"] / total_stall,
+        granularity=totals["granularity"] / total_stall,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6: stall time decomposition and Attraction-Buffer reductions
+# ----------------------------------------------------------------------
+def stall_fractions(result: BenchmarkSimulationResult) -> dict[str, float]:
+    """Stall time split across remote hits, misses and combined accesses."""
+    return result.stall_counters().fractions()
+
+
+def stall_reduction(
+    without_buffers: BenchmarkSimulationResult,
+    with_buffers: BenchmarkSimulationResult,
+) -> float:
+    """Relative stall-time reduction achieved by the Attraction Buffers."""
+    before = without_buffers.stall_cycles
+    after = with_buffers.stall_cycles
+    if before <= 0:
+        return 0.0
+    return (before - after) / before
+
+
+def remote_hit_stall_share(result: BenchmarkSimulationResult) -> float:
+    """Share of stall time caused by remote hits (the paper's 76%/72%)."""
+    counters = result.stall_counters()
+    total = counters.total
+    return counters.remote_hit / total if total else 0.0
+
+
+# ----------------------------------------------------------------------
+# Figure 7: workload balance
+# ----------------------------------------------------------------------
+def workload_balance(result: BenchmarkSimulationResult) -> float:
+    """Weighted workload balance (1/N perfect ... 1.0 fully unbalanced)."""
+    return result.workload_balance()
+
+
+# ----------------------------------------------------------------------
+# Figure 8: normalized cycle counts
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NormalizedCycles:
+    """Compute/stall cycles of one configuration, normalized to a baseline."""
+
+    configuration: str
+    compute: float
+    stall: float
+
+    @property
+    def total(self) -> float:
+        """Normalized total cycles."""
+        return self.compute + self.stall
+
+
+def normalized_cycle_breakdown(
+    results: Mapping[str, BenchmarkSimulationResult], baseline: str
+) -> dict[str, NormalizedCycles]:
+    """Normalize each configuration's cycles to the baseline's total cycles."""
+    if baseline not in results:
+        raise KeyError(f"baseline configuration {baseline!r} missing")
+    base_total = results[baseline].total_cycles
+    normalized = {}
+    for name, result in results.items():
+        normalized[name] = NormalizedCycles(
+            configuration=name,
+            compute=normalize(result.compute_cycles, base_total),
+            stall=normalize(result.stall_cycles, base_total),
+        )
+    return normalized
+
+
+def geometric_like_summary(values: Sequence[float]) -> dict[str, float]:
+    """Mean / min / max summary used in EXPERIMENTS.md tables."""
+    if not values:
+        return {"mean": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "mean": arithmetic_mean(values),
+        "min": min(values),
+        "max": max(values),
+    }

@@ -1,0 +1,61 @@
+"""Plain-text report rendering for experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures show;
+these helpers format them as aligned text tables so the output of
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction report.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table."""
+    rendered_rows = [[_render_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(format_row(list(headers)))
+    lines.append(format_row(["-" * width for width in widths]))
+    lines.extend(format_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def _render_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_fraction_row(
+    name: str, fractions: Mapping[str, float], keys: Sequence[str]
+) -> list[object]:
+    """Build a table row of named fractions in a fixed key order."""
+    return [name, *[fractions.get(key, 0.0) for key in keys]]
+
+
+def format_dict(values: Mapping[str, object], title: str | None = None) -> str:
+    """Render a flat mapping as ``key: value`` lines."""
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    width = max((len(str(key)) for key in values), default=0)
+    for key, value in values.items():
+        rendered = f"{value:.3f}" if isinstance(value, float) else str(value)
+        lines.append(f"{str(key).ljust(width)} : {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Experiment harness: one module per table/figure of the paper."""
+
+from repro.experiments.ablations import (
+    run_attractable_hint_ablation,
+    run_attraction_buffer_ablation,
+    run_unrolling_ablation,
+)
+from repro.experiments.common import (
+    ArchitectureSetup,
+    ExperimentOptions,
+    ExperimentResult,
+    ExperimentRunner,
+    interleaved_setup,
+    multivliw_setup,
+    unified_setup,
+)
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.latency_example import run_latency_example
+from repro.experiments.runner import run_all_experiments, render_report
+from repro.experiments.table1 import run_table1
+
+__all__ = [
+    "ArchitectureSetup",
+    "ExperimentOptions",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "interleaved_setup",
+    "multivliw_setup",
+    "render_report",
+    "run_all_experiments",
+    "run_attractable_hint_ablation",
+    "run_attraction_buffer_ablation",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_latency_example",
+    "run_table1",
+    "run_unrolling_ablation",
+    "unified_setup",
+]

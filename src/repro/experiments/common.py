@@ -1,0 +1,200 @@
+"""Shared infrastructure of the experiment harness.
+
+Every figure/table reproduction needs the same ingredients: compile a
+benchmark's loops for a given (architecture, heuristic, unrolling, alignment,
+chains) configuration, simulate them on the matching memory system, and
+aggregate.  This module provides those ingredients once, with caching, so the
+individual ``figureN`` modules stay declarative and running several figures
+in one session does not recompile the same configurations over and over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional
+
+from repro.machine.config import MachineConfig
+from repro.scheduler.core import SchedulingHeuristic
+from repro.scheduler.pipeline import CompiledLoop, CompilerOptions, compile_loop
+from repro.scheduler.unrolling import UnrollPolicy
+from repro.sim.engine import SimulationOptions, simulate_compiled_loops
+from repro.sim.stats import BenchmarkSimulationResult
+from repro.workloads.mediabench import BENCHMARK_NAMES, mediabench_suite
+from repro.workloads.spec import Benchmark
+
+
+@dataclass(frozen=True)
+class ArchitectureSetup:
+    """A named (machine configuration, compiler options) pair."""
+
+    name: str
+    config: MachineConfig
+    options: CompilerOptions
+
+    def with_options(self, **changes: object) -> "ArchitectureSetup":
+        """Copy with some compiler options replaced."""
+        return ArchitectureSetup(
+            name=self.name, config=self.config, options=replace(self.options, **changes)
+        )
+
+
+# ----------------------------------------------------------------------
+# Named configurations used across the figures
+# ----------------------------------------------------------------------
+def interleaved_setup(
+    heuristic: SchedulingHeuristic = SchedulingHeuristic.IPBC,
+    attraction_buffers: bool = False,
+    attraction_entries: int = 16,
+    unroll_policy: UnrollPolicy = UnrollPolicy.SELECTIVE,
+    variable_alignment: bool = True,
+    use_chains: bool = True,
+    name: Optional[str] = None,
+) -> ArchitectureSetup:
+    """A word-interleaved configuration with the given scheduling knobs."""
+    config = MachineConfig.word_interleaved(
+        attraction_buffers=attraction_buffers, entries=attraction_entries
+    )
+    options = CompilerOptions(
+        heuristic=heuristic,
+        unroll_policy=unroll_policy,
+        variable_alignment=variable_alignment,
+        use_chains=use_chains,
+    )
+    if name is None:
+        suffix = "+AB" if attraction_buffers else ""
+        name = f"{heuristic.value}{suffix}"
+    return ArchitectureSetup(name=name, config=config, options=options)
+
+
+def unified_setup(latency: int, name: Optional[str] = None) -> ArchitectureSetup:
+    """A unified-cache configuration with the BASE scheduler."""
+    config = MachineConfig.unified(latency=latency)
+    options = CompilerOptions(
+        heuristic=SchedulingHeuristic.BASE, unroll_policy=UnrollPolicy.SELECTIVE
+    )
+    return ArchitectureSetup(
+        name=name or f"unified-L{latency}", config=config, options=options
+    )
+
+
+def multivliw_setup(name: str = "multivliw") -> ArchitectureSetup:
+    """The cache-coherent multiVLIW configuration."""
+    config = MachineConfig.multivliw()
+    options = CompilerOptions(
+        heuristic=SchedulingHeuristic.MULTIVLIW, unroll_policy=UnrollPolicy.SELECTIVE
+    )
+    return ArchitectureSetup(name=name, config=config, options=options)
+
+
+# ----------------------------------------------------------------------
+# Compilation / simulation with caching
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentOptions:
+    """Global knobs of an experiment run."""
+
+    benchmarks: tuple[str, ...] = BENCHMARK_NAMES
+    simulation_iteration_cap: int = 256
+    execution_dataset: str = "execution"
+
+    def simulation_options(self) -> SimulationOptions:
+        """The simulation options matching these experiment options."""
+        return SimulationOptions(
+            dataset=self.execution_dataset,
+            iteration_cap=self.simulation_iteration_cap,
+        )
+
+
+def _compile_cache_key(benchmark: str, setup: ArchitectureSetup) -> tuple:
+    config = setup.config
+    options = setup.options
+    return (
+        benchmark,
+        config.organization.value,
+        config.num_clusters,
+        config.interleaving_factor,
+        config.attraction_buffer.enabled,
+        config.attraction_buffer.entries,
+        config.unified_cache_latency,
+        options.heuristic.value,
+        options.unroll_policy.value,
+        options.variable_alignment,
+        options.use_chains,
+    )
+
+
+class ExperimentRunner:
+    """Compiles and simulates benchmarks, caching compilation results."""
+
+    def __init__(self, options: Optional[ExperimentOptions] = None) -> None:
+        self.options = options or ExperimentOptions()
+        self._suite = mediabench_suite()
+        self._compile_cache: dict[tuple, list[CompiledLoop]] = {}
+
+    @property
+    def benchmarks(self) -> list[Benchmark]:
+        """The benchmarks this runner operates on."""
+        return [self._suite[name] for name in self.options.benchmarks]
+
+    def benchmark(self, name: str) -> Benchmark:
+        """Look up one benchmark by name."""
+        return self._suite[name]
+
+    def compile_benchmark(
+        self, benchmark: Benchmark, setup: ArchitectureSetup
+    ) -> list[CompiledLoop]:
+        """Compile all loops of a benchmark for a setup (cached)."""
+        key = _compile_cache_key(benchmark.name, setup)
+        if key not in self._compile_cache:
+            self._compile_cache[key] = [
+                compile_loop(loop, setup.config, setup.options)
+                for loop in benchmark.loops
+            ]
+        return self._compile_cache[key]
+
+    def run_benchmark(
+        self, benchmark: Benchmark, setup: ArchitectureSetup
+    ) -> BenchmarkSimulationResult:
+        """Compile (cached) and simulate one benchmark under one setup."""
+        compiled = self.compile_benchmark(benchmark, setup)
+        return simulate_compiled_loops(
+            compiled,
+            benchmark.name,
+            setup.config,
+            self.options.simulation_options(),
+            architecture=setup.name,
+        )
+
+    def run_suite(
+        self, setup: ArchitectureSetup, benchmarks: Optional[Iterable[str]] = None
+    ) -> dict[str, BenchmarkSimulationResult]:
+        """Run every requested benchmark under one setup."""
+        names = list(benchmarks) if benchmarks is not None else list(
+            self.options.benchmarks
+        )
+        return {
+            name: self.run_benchmark(self._suite[name], setup) for name in names
+        }
+
+
+@dataclass
+class ExperimentResult:
+    """Generic result container: named rows plus a rendered report."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, row: list[object]) -> None:
+        """Append one row."""
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Render the result as a text table plus notes."""
+        from repro.analysis.report import format_table
+
+        text = format_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            text += "\n" + "\n".join(f"note: {note}" for note in self.notes)
+        return text

@@ -1,0 +1,143 @@
+"""Figure 6: stall time by access type, with and without Attraction Buffers.
+
+For each benchmark (g721dec/g721enc are excluded in the paper because their
+stall time is negligible) four bars are shown: IBC without Attraction
+Buffers, IBC with 16-entry 2-way buffers, IPBC without, and IPBC with, all
+normalized to the first bar and split into stall caused by remote hits,
+local misses, remote misses and combined accesses.  The headline numbers:
+remote hits cause roughly 76% (IBC) / 72% (IPBC) of stall time, and the
+buffers remove roughly 34% / 29% of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.metrics import (
+    arithmetic_mean,
+    remote_hit_stall_share,
+    stall_reduction,
+)
+from repro.experiments.common import (
+    ExperimentOptions,
+    ExperimentResult,
+    ExperimentRunner,
+    interleaved_setup,
+)
+from repro.scheduler.core import SchedulingHeuristic
+
+_STALL_KEYS = ("remote_hit", "local_miss", "remote_miss", "combined")
+
+#: Benchmarks the paper omits from the figure (negligible stall time).
+EXCLUDED_BENCHMARKS = ("g721dec", "g721enc")
+
+
+@dataclass
+class Figure6Row:
+    """Stall decomposition of one benchmark under one configuration."""
+
+    benchmark: str
+    configuration: str
+    stall_cycles: float
+    normalized_stall: float
+    fractions: dict[str, float]
+
+
+def run_figure6(
+    runner: Optional[ExperimentRunner] = None,
+    options: Optional[ExperimentOptions] = None,
+    attraction_entries: int = 16,
+) -> tuple[list[Figure6Row], ExperimentResult]:
+    """Regenerate the data behind Figure 6."""
+    runner = runner or ExperimentRunner(options)
+    setups = (
+        ("ibc", interleaved_setup(SchedulingHeuristic.IBC, name="fig6/ibc")),
+        (
+            "ibc+ab",
+            interleaved_setup(
+                SchedulingHeuristic.IBC,
+                attraction_buffers=True,
+                attraction_entries=attraction_entries,
+                name="fig6/ibc+ab",
+            ),
+        ),
+        ("ipbc", interleaved_setup(SchedulingHeuristic.IPBC, name="fig6/ipbc")),
+        (
+            "ipbc+ab",
+            interleaved_setup(
+                SchedulingHeuristic.IPBC,
+                attraction_buffers=True,
+                attraction_entries=attraction_entries,
+                name="fig6/ipbc+ab",
+            ),
+        ),
+    )
+
+    rows: list[Figure6Row] = []
+    result = ExperimentResult(
+        title="Figure 6 - stall time by access type (+/- Attraction Buffers)",
+        headers=["benchmark", "configuration", "normalized_stall", *_STALL_KEYS],
+    )
+
+    reductions = {"ibc": [], "ipbc": []}
+    remote_hit_shares = {"ibc": [], "ipbc": []}
+    benchmarks = [
+        benchmark
+        for benchmark in runner.benchmarks
+        if benchmark.name not in EXCLUDED_BENCHMARKS
+    ]
+    for benchmark in benchmarks:
+        sims = {name: runner.run_benchmark(benchmark, setup) for name, setup in setups}
+        baseline = sims["ibc"].stall_cycles or 1.0
+        for name, _ in setups:
+            sim = sims[name]
+            fractions = sim.stall_counters().fractions()
+            row = Figure6Row(
+                benchmark=benchmark.name,
+                configuration=name,
+                stall_cycles=sim.stall_cycles,
+                normalized_stall=sim.stall_cycles / baseline,
+                fractions=fractions,
+            )
+            rows.append(row)
+            result.add_row(
+                [
+                    benchmark.name,
+                    name,
+                    row.normalized_stall,
+                    *[fractions[key] for key in _STALL_KEYS],
+                ]
+            )
+        for heuristic in ("ibc", "ipbc"):
+            without = sims[heuristic]
+            with_buffers = sims[f"{heuristic}+ab"]
+            if without.stall_cycles > 0:
+                reductions[heuristic].append(stall_reduction(without, with_buffers))
+                remote_hit_shares[heuristic].append(remote_hit_stall_share(without))
+
+    for heuristic in ("ibc", "ipbc"):
+        mean_reduction = arithmetic_mean(reductions[heuristic])
+        mean_share = arithmetic_mean(remote_hit_shares[heuristic])
+        paper_reduction = 0.34 if heuristic == "ibc" else 0.29
+        paper_share = 0.76 if heuristic == "ibc" else 0.72
+        result.notes.append(
+            f"{heuristic}: remote hits cause {mean_share:.0%} of stall "
+            f"(paper ~{paper_share:.0%}); Attraction Buffers cut stall by "
+            f"{mean_reduction:.0%} (paper ~{paper_reduction:.0%})"
+        )
+    return rows, result
+
+
+def average_stall_reduction(rows: list[Figure6Row], heuristic: str) -> float:
+    """Mean normalized-stall reduction of the +AB configuration."""
+    by_benchmark: dict[str, dict[str, float]] = {}
+    for row in rows:
+        by_benchmark.setdefault(row.benchmark, {})[row.configuration] = row.stall_cycles
+    reductions = []
+    for values in by_benchmark.values():
+        before = values.get(heuristic, 0.0)
+        after = values.get(f"{heuristic}+ab", 0.0)
+        if before > 0:
+            reductions.append((before - after) / before)
+    return arithmetic_mean(reductions)

@@ -1,0 +1,88 @@
+"""Figure 7: workload balance achieved by the IPBC heuristic.
+
+Workload balance of a loop is the fraction of its instructions assigned to
+the most loaded cluster (0.25 is perfect on four clusters, 1.0 is completely
+unbalanced); a benchmark's balance is the weighted mean over its loops.
+Three configurations are shown per benchmark: no unrolling, OUF unrolling,
+and OUF unrolling without memory dependent chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.metrics import arithmetic_mean
+from repro.experiments.common import (
+    ExperimentOptions,
+    ExperimentResult,
+    ExperimentRunner,
+    interleaved_setup,
+)
+from repro.scheduler.core import SchedulingHeuristic
+from repro.scheduler.unrolling import UnrollPolicy
+
+VARIANTS: tuple[tuple[str, dict], ...] = (
+    ("no-unroll", dict(unroll_policy=UnrollPolicy.NONE)),
+    ("ouf", dict(unroll_policy=UnrollPolicy.OUF)),
+    ("ouf+no-chains", dict(unroll_policy=UnrollPolicy.OUF, use_chains=False)),
+)
+
+
+@dataclass
+class Figure7Row:
+    """Workload balance of one benchmark under one variant."""
+
+    benchmark: str
+    variant: str
+    workload_balance: float
+
+
+def run_figure7(
+    runner: Optional[ExperimentRunner] = None,
+    options: Optional[ExperimentOptions] = None,
+) -> tuple[list[Figure7Row], ExperimentResult]:
+    """Regenerate the data behind Figure 7."""
+    runner = runner or ExperimentRunner(options)
+    rows: list[Figure7Row] = []
+    result = ExperimentResult(
+        title="Figure 7 - workload balance (IPBC)",
+        headers=["benchmark", *[name for name, _ in VARIANTS]],
+    )
+    per_variant: dict[str, list[float]] = {name: [] for name, _ in VARIANTS}
+    for benchmark in runner.benchmarks:
+        values = []
+        for variant_name, variant_options in VARIANTS:
+            setup = interleaved_setup(
+                SchedulingHeuristic.IPBC,
+                name=f"fig7/{variant_name}",
+                **variant_options,
+            )
+            sim = runner.run_benchmark(benchmark, setup)
+            balance = sim.workload_balance()
+            rows.append(
+                Figure7Row(
+                    benchmark=benchmark.name,
+                    variant=variant_name,
+                    workload_balance=balance,
+                )
+            )
+            per_variant[variant_name].append(balance)
+            values.append(balance)
+        result.add_row([benchmark.name, *values])
+    result.add_row(
+        ["AMEAN", *[arithmetic_mean(per_variant[name]) for name, _ in VARIANTS]]
+    )
+    result.notes.append(
+        "unrolling improves balance; memory dependent chains unbalance "
+        "chain-heavy benchmarks (epicdec, pgpdec, pgpenc, rasta)"
+    )
+    return rows, result
+
+
+def balance_by_variant(rows: list[Figure7Row]) -> dict[str, float]:
+    """Average workload balance per variant."""
+    grouped: dict[str, list[float]] = {}
+    for row in rows:
+        grouped.setdefault(row.variant, []).append(row.workload_balance)
+    return {name: arithmetic_mean(values) for name, values in grouped.items()}

@@ -1,0 +1,126 @@
+"""Run every experiment and assemble the full reproduction report.
+
+``python -m repro.experiments.runner`` (or :func:`run_all_experiments`)
+regenerates every table and figure of the paper's evaluation section plus the
+ablations, and renders them as one text report.  The benchmark harness under
+``benchmarks/`` runs the same entry points one artefact at a time.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.experiments.ablations import (
+    run_attraction_buffer_ablation,
+    run_unrolling_ablation,
+)
+from repro.experiments.common import ExperimentOptions, ExperimentResult, ExperimentRunner
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.latency_example import run_latency_example
+from repro.experiments.table1 import run_table1
+from repro.workloads.mediabench import BENCHMARK_NAMES
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One runnable experiment of the harness."""
+
+    key: str
+    description: str
+    runner: Callable[[ExperimentRunner], ExperimentResult]
+
+
+def _wrap(func) -> Callable[[ExperimentRunner], ExperimentResult]:
+    def run(shared_runner: ExperimentRunner) -> ExperimentResult:
+        _, result = func(runner=shared_runner)
+        return result
+
+    return run
+
+
+EXPERIMENTS: tuple[ExperimentEntry, ...] = (
+    ExperimentEntry("table1", "benchmark characterisation", lambda r: run_table1()[1]),
+    ExperimentEntry(
+        "latency-example",
+        "Section 4.3.3 worked example",
+        lambda r: run_latency_example()[1],
+    ),
+    ExperimentEntry("figure4", "memory access classification", _wrap(run_figure4)),
+    ExperimentEntry("figure5", "stall factor classification", _wrap(run_figure5)),
+    ExperimentEntry("figure6", "stall time and Attraction Buffers", _wrap(run_figure6)),
+    ExperimentEntry("figure7", "workload balance", _wrap(run_figure7)),
+    ExperimentEntry("figure8", "cycle counts across architectures", _wrap(run_figure8)),
+    ExperimentEntry(
+        "ablation-ab",
+        "Attraction Buffer sizing ablation",
+        _wrap(run_attraction_buffer_ablation),
+    ),
+    ExperimentEntry(
+        "ablation-unroll", "unrolling policy ablation", _wrap(run_unrolling_ablation)
+    ),
+)
+
+
+def run_all_experiments(
+    options: Optional[ExperimentOptions] = None,
+    keys: Optional[list[str]] = None,
+) -> dict[str, ExperimentResult]:
+    """Run the selected experiments (all of them by default)."""
+    shared_runner = ExperimentRunner(options)
+    selected = {entry.key: entry for entry in EXPERIMENTS}
+    if keys:
+        unknown = [key for key in keys if key not in selected]
+        if unknown:
+            raise KeyError(f"unknown experiments: {unknown}")
+        entries = [selected[key] for key in keys]
+    else:
+        entries = list(EXPERIMENTS)
+    return {entry.key: entry.runner(shared_runner) for entry in entries}
+
+
+def render_report(results: dict[str, ExperimentResult]) -> str:
+    """Concatenate the rendered experiments into one report."""
+    return "\n\n".join(result.render() for result in results.values())
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--experiment",
+        action="append",
+        dest="experiments",
+        choices=[entry.key for entry in EXPERIMENTS],
+        help="run only the selected experiment (repeatable)",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="+",
+        default=list(BENCHMARK_NAMES),
+        choices=list(BENCHMARK_NAMES),
+        help="restrict the benchmark set",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=256,
+        help="simulated iterations per loop (default 256)",
+    )
+    args = parser.parse_args(argv)
+    options = ExperimentOptions(
+        benchmarks=tuple(args.benchmarks),
+        simulation_iteration_cap=args.iterations,
+    )
+    results = run_all_experiments(options, args.experiments)
+    print(render_report(results))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""Loop-level compiler intermediate representation."""
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.chains import ChainAssignment, MemoryChain, build_memory_chains
+from repro.ir.ddg import (
+    DataDependenceGraph,
+    Dependence,
+    DependenceKind,
+    Recurrence,
+    rec_mii,
+)
+from repro.ir.loop import ArraySpec, Loop, LoopNest, StorageClass, gather_arrays
+from repro.ir.memdep import DisambiguationPolicy, add_memory_dependences, may_alias
+from repro.ir.operation import (
+    MemoryAccess,
+    Operation,
+    OperationClass,
+    load,
+    make_operation,
+    store,
+)
+from repro.ir.unroll import unroll_ddg, unroll_loop
+
+__all__ = [
+    "ArraySpec",
+    "ChainAssignment",
+    "DataDependenceGraph",
+    "Dependence",
+    "DependenceKind",
+    "DisambiguationPolicy",
+    "Loop",
+    "LoopBuilder",
+    "LoopNest",
+    "MemoryAccess",
+    "MemoryChain",
+    "Operation",
+    "OperationClass",
+    "Recurrence",
+    "StorageClass",
+    "add_memory_dependences",
+    "build_memory_chains",
+    "gather_arrays",
+    "load",
+    "make_operation",
+    "may_alias",
+    "rec_mii",
+    "store",
+    "unroll_ddg",
+    "unroll_loop",
+]

@@ -1,0 +1,143 @@
+"""Memory dependent chains (Section 4.3.2).
+
+To guarantee memory correctness without coherence hardware, the scheduler
+must place memory-dependent operations in the same cluster, because accesses
+are serialized only within a cluster.  A *memory dependent chain* is a
+weakly-connected component of the subgraph formed by memory operations and
+memory dependence edges; every operation of a chain is constrained to the
+same cluster.
+
+The IBC heuristic builds a chain lazily when it is about to schedule the
+first operation of the chain, while IPBC pre-builds all chains and assigns
+each to its *average preferred cluster*.  Both use the grouping computed
+here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
+
+from repro.ir.ddg import DataDependenceGraph, Dependence
+from repro.ir.operation import Operation
+
+
+@dataclass(frozen=True)
+class MemoryChain:
+    """A group of memory operations that must share a cluster."""
+
+    index: int
+    operations: tuple[Operation, ...]
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self):
+        return iter(self.operations)
+
+    def __contains__(self, op: Operation) -> bool:
+        return op in self.operations
+
+    @property
+    def is_trivial(self) -> bool:
+        """True if the chain contains a single operation (no constraint)."""
+        return len(self.operations) == 1
+
+    def average_preferred_cluster(
+        self,
+        preferred: Mapping[Operation, Optional[int]],
+        access_counts: Optional[Mapping[Operation, Mapping[int, int]]] = None,
+    ) -> Optional[int]:
+        """The chain's preferred cluster (IPBC).
+
+        When per-cluster access histograms are available the cluster with the
+        largest aggregate access count over the whole chain is returned
+        (the "average preferred cluster" of the paper); otherwise a majority
+        vote over the members' individual preferred clusters is used.
+        Returns None when no member has profile information.
+        """
+        if access_counts:
+            totals: dict[int, int] = {}
+            for op in self.operations:
+                histogram = access_counts.get(op)
+                if not histogram:
+                    continue
+                for cluster, count in histogram.items():
+                    totals[cluster] = totals.get(cluster, 0) + count
+            if totals:
+                return max(sorted(totals), key=lambda c: totals[c])
+        votes: dict[int, int] = {}
+        for op in self.operations:
+            cluster = preferred.get(op)
+            if cluster is None:
+                continue
+            votes[cluster] = votes.get(cluster, 0) + 1
+        if not votes:
+            return None
+        return max(sorted(votes), key=lambda c: votes[c])
+
+
+class ChainAssignment:
+    """Maps every memory operation of a loop to its chain."""
+
+    def __init__(self, chains: Iterable[MemoryChain]) -> None:
+        self._chains = list(chains)
+        self._by_op: dict[Operation, MemoryChain] = {}
+        for chain in self._chains:
+            for op in chain:
+                if op in self._by_op:
+                    raise ValueError(
+                        f"operation {op.name} belongs to more than one chain"
+                    )
+                self._by_op[op] = chain
+
+    @property
+    def chains(self) -> list[MemoryChain]:
+        """All chains, including trivial single-operation chains."""
+        return list(self._chains)
+
+    @property
+    def non_trivial_chains(self) -> list[MemoryChain]:
+        """Chains with more than one operation."""
+        return [chain for chain in self._chains if not chain.is_trivial]
+
+    def chain_of(self, op: Operation) -> Optional[MemoryChain]:
+        """The chain of a memory operation, or None for non-memory ops."""
+        return self._by_op.get(op)
+
+    def members_of(self, op: Operation) -> tuple[Operation, ...]:
+        """All operations sharing a chain with ``op`` (including itself)."""
+        chain = self._by_op.get(op)
+        return chain.operations if chain else (op,)
+
+    def longest_chain_length(self) -> int:
+        """Length of the longest chain (0 when there are no memory ops)."""
+        return max((len(chain) for chain in self._chains), default=0)
+
+
+def build_memory_chains(ddg: DataDependenceGraph) -> ChainAssignment:
+    """Group memory operations into memory dependent chains.
+
+    The grouping is the weakly-connected-component decomposition of the
+    memory-dependence subgraph restricted to memory operations; non-memory
+    operations never join a chain even if a memory edge touches them.
+    """
+
+    def _is_chain_edge(dep: Dependence) -> bool:
+        return dep.is_memory and dep.src.is_memory and dep.dst.is_memory
+
+    components = ddg.connected_components(_is_chain_edge)
+    chains: list[MemoryChain] = []
+    index = 0
+    order = {op: position for position, op in enumerate(ddg.operations)}
+    for component in sorted(
+        components, key=lambda comp: min(order[op] for op in comp)
+    ):
+        members = tuple(
+            sorted((op for op in component if op.is_memory), key=order.get)
+        )
+        if not members:
+            continue
+        chains.append(MemoryChain(index=index, operations=members))
+        index += 1
+    return ChainAssignment(chains)

@@ -1,0 +1,332 @@
+"""Data Dependence Graphs (DDGs) for modulo scheduling.
+
+A DDG holds the operations of a loop body and the dependences between them.
+Each dependence carries a *kind* (register flow, register anti, register
+output, memory or control) and a *distance* in iterations, exactly as in the
+worked example of Section 4.3.3 of the paper.
+
+The graph is the central data structure of the reproduction: the unroller
+rewrites it, the ordering and latency-assignment phases analyse its
+recurrences, and the schedulers walk it node by node.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+import networkx as nx
+
+from repro.ir.operation import Operation
+
+
+class DependenceKind(enum.Enum):
+    """Kinds of dependences between operations."""
+
+    REG_FLOW = "register-flow"
+    REG_ANTI = "register-anti"
+    REG_OUTPUT = "register-output"
+    MEMORY = "memory"
+    CONTROL = "control"
+
+
+#: Register dependence kinds that force a value transfer between clusters.
+REGISTER_KINDS = frozenset(
+    {DependenceKind.REG_FLOW, DependenceKind.REG_ANTI, DependenceKind.REG_OUTPUT}
+)
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """A dependence edge ``src -> dst`` of a given kind and distance."""
+
+    src: Operation
+    dst: Operation
+    kind: DependenceKind
+    distance: int = 0
+
+    def __post_init__(self) -> None:
+        if self.distance < 0:
+            raise ValueError("dependence distance must be non-negative")
+
+    @property
+    def is_register(self) -> bool:
+        """True if the dependence moves a register value between operations."""
+        return self.kind in REGISTER_KINDS
+
+    @property
+    def is_memory(self) -> bool:
+        """True for memory dependences."""
+        return self.kind is DependenceKind.MEMORY
+
+    @property
+    def is_loop_carried(self) -> bool:
+        """True for dependences across iterations."""
+        return self.distance > 0
+
+
+class DataDependenceGraph:
+    """The dependence graph of one loop body."""
+
+    def __init__(self, name: str = "loop") -> None:
+        self.name = name
+        self._graph: nx.MultiDiGraph = nx.MultiDiGraph()
+        self._ops_in_order: list[Operation] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_operation(self, op: Operation) -> Operation:
+        """Add an operation node.  Adding the same node twice is an error."""
+        if op in self._graph:
+            raise ValueError(f"operation {op.name} already in graph")
+        self._graph.add_node(op)
+        self._ops_in_order.append(op)
+        return op
+
+    def add_dependence(self, dep: Dependence) -> Dependence:
+        """Add a dependence edge; both endpoints must already be nodes."""
+        if dep.src not in self._graph or dep.dst not in self._graph:
+            raise ValueError("both endpoints must be added before the dependence")
+        self._graph.add_edge(dep.src, dep.dst, dep=dep)
+        return dep
+
+    def connect(
+        self,
+        src: Operation,
+        dst: Operation,
+        kind: DependenceKind = DependenceKind.REG_FLOW,
+        distance: int = 0,
+    ) -> Dependence:
+        """Convenience wrapper around :meth:`add_dependence`."""
+        return self.add_dependence(Dependence(src, dst, kind, distance))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def operations(self) -> list[Operation]:
+        """All operations, in insertion (program) order."""
+        return list(self._ops_in_order)
+
+    @property
+    def memory_operations(self) -> list[Operation]:
+        """All loads and stores, in program order."""
+        return [op for op in self._ops_in_order if op.is_memory]
+
+    def __len__(self) -> int:
+        return len(self._ops_in_order)
+
+    def __contains__(self, op: Operation) -> bool:
+        return op in self._graph
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._ops_in_order)
+
+    def dependences(self) -> list[Dependence]:
+        """All dependence edges."""
+        return [data["dep"] for _, _, data in self._graph.edges(data=True)]
+
+    def dependences_from(self, op: Operation) -> list[Dependence]:
+        """Outgoing dependences of ``op``."""
+        return [data["dep"] for _, _, data in self._graph.out_edges(op, data=True)]
+
+    def dependences_to(self, op: Operation) -> list[Dependence]:
+        """Incoming dependences of ``op``."""
+        return [data["dep"] for _, _, data in self._graph.in_edges(op, data=True)]
+
+    def predecessors(self, op: Operation) -> list[Operation]:
+        """Distinct predecessor operations of ``op``."""
+        return list(self._graph.predecessors(op))
+
+    def successors(self, op: Operation) -> list[Operation]:
+        """Distinct successor operations of ``op``."""
+        return list(self._graph.successors(op))
+
+    def find(self, name: str) -> Operation:
+        """Find an operation by name.
+
+        Raises KeyError if no operation has that name.
+        """
+        for op in self._ops_in_order:
+            if op.name == name:
+                return op
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    # Recurrence analysis
+    # ------------------------------------------------------------------
+    #: Caps on recurrence enumeration.  Conservative memory disambiguation
+    #: can create graphs with exponentially many elementary cycles; the
+    #: scheduler only needs the short, II-critical ones, and the II search
+    #: remains correct even if some recurrences are never enumerated.
+    MAX_RECURRENCES = 128
+    RECURRENCE_LENGTH_BOUND = 24
+
+    def recurrences(
+        self,
+        max_count: Optional[int] = None,
+        length_bound: Optional[int] = None,
+    ) -> list["Recurrence"]:
+        """Enumerate elementary recurrences (dependence cycles), bounded.
+
+        Cycles are enumerated shortest-first up to ``length_bound`` nodes and
+        at most ``max_count`` cycles are returned; results are cached until
+        the graph changes.  Loop bodies are small, so the bounds are only hit
+        by pathological conservative-disambiguation graphs.
+        """
+        max_count = max_count if max_count is not None else self.MAX_RECURRENCES
+        length_bound = (
+            length_bound if length_bound is not None else self.RECURRENCE_LENGTH_BOUND
+        )
+        cache_key = (
+            len(self._ops_in_order),
+            self._graph.number_of_edges(),
+            max_count,
+            length_bound,
+        )
+        cached = getattr(self, "_recurrence_cache", None)
+        if cached is not None and cached[0] == cache_key:
+            return list(cached[1])
+
+        recurrences: list[Recurrence] = []
+        simple = nx.DiGraph()
+        simple.add_nodes_from(self._graph.nodes)
+        for src, dst in self._graph.edges():
+            simple.add_edge(src, dst)
+        bound = min(length_bound, len(self._ops_in_order)) or None
+        for cycle in nx.simple_cycles(simple, length_bound=bound):
+            edges = self._cycle_edges(cycle)
+            if edges is not None:
+                recurrences.append(Recurrence(tuple(cycle), tuple(edges)))
+            if len(recurrences) >= max_count:
+                break
+        self._recurrence_cache = (cache_key, list(recurrences))
+        return recurrences
+
+    def _cycle_edges(self, cycle: Sequence[Operation]) -> Optional[list[Dependence]]:
+        """Pick, for each hop of a node cycle, the most constraining edge."""
+        edges: list[Dependence] = []
+        n = len(cycle)
+        for i, src in enumerate(cycle):
+            dst = cycle[(i + 1) % n]
+            candidates = [
+                data["dep"]
+                for _, _, data in self._graph.out_edges(src, data=True)
+                if data["dep"].dst == dst
+            ]
+            if not candidates:
+                return None
+            # The most constraining edge is the one with the smallest
+            # distance (ties broken towards register flow, which carries the
+            # operation latency in the II bound).
+            candidates.sort(key=lambda d: (d.distance, 0 if d.is_register else 1))
+            edges.append(candidates[0])
+        return edges
+
+    def connected_components(
+        self, edge_filter: Callable[[Dependence], bool]
+    ) -> list[set[Operation]]:
+        """Weakly connected components of the subgraph of matching edges."""
+        sub = nx.Graph()
+        sub.add_nodes_from(self._graph.nodes)
+        for _, _, data in self._graph.edges(data=True):
+            dep: Dependence = data["dep"]
+            if edge_filter(dep):
+                sub.add_edge(dep.src, dep.dst)
+        return [set(component) for component in nx.connected_components(sub)]
+
+    def copy(self, name: Optional[str] = None) -> "DataDependenceGraph":
+        """Shallow copy of the graph (operations are shared, edges copied)."""
+        clone = DataDependenceGraph(name or self.name)
+        for op in self._ops_in_order:
+            clone.add_operation(op)
+        for dep in self.dependences():
+            clone.add_dependence(dep)
+        return clone
+
+    def validate(self) -> None:
+        """Check internal consistency; raises ValueError if broken."""
+        names = [op.name for op in self._ops_in_order]
+        if len(names) != len(set(names)):
+            raise ValueError("operation names must be unique within a DDG")
+        for dep in self.dependences():
+            if dep.src not in self._graph or dep.dst not in self._graph:
+                raise ValueError("dangling dependence edge")
+            if dep.src == dep.dst and dep.distance == 0:
+                raise ValueError(
+                    f"zero-distance self dependence on {dep.src.name} is a "
+                    "trivially unschedulable recurrence"
+                )
+
+
+@dataclass(frozen=True)
+class Recurrence:
+    """A dependence cycle of the DDG.
+
+    Attributes:
+        nodes: The operations of the cycle, in cycle order.
+        edges: One dependence per hop, aligned with ``nodes``.
+    """
+
+    nodes: tuple[Operation, ...]
+    edges: tuple[Dependence, ...]
+
+    @property
+    def total_distance(self) -> int:
+        """Sum of dependence distances around the cycle."""
+        return sum(edge.distance for edge in self.edges)
+
+    def memory_operations(self) -> list[Operation]:
+        """Memory operations that belong to the recurrence."""
+        return [op for op in self.nodes if op.is_memory]
+
+    def latency_sum(self, latency_of: Callable[[Operation], int]) -> int:
+        """Sum of operation latencies around the cycle.
+
+        Anti and output dependences do not wait for the producing operation
+        to complete, so their source contributes a latency of zero (this is
+        how the example of Section 4.3.3 obtains an MII of 5 for REC1: the
+        register-anti edge closing the cycle adds no latency).
+        """
+        total = 0
+        for node, edge in zip(self.nodes, self.edges):
+            if edge.kind in (DependenceKind.REG_ANTI, DependenceKind.REG_OUTPUT):
+                continue
+            if edge.kind is DependenceKind.MEMORY:
+                # Memory (serialization) edges keep program order but do not
+                # wait for the data to return; issuing one cycle later is
+                # enough within a cluster.
+                total += 1
+                continue
+            total += latency_of(node)
+        return total
+
+    def initiation_interval(self, latency_of: Callable[[Operation], int]) -> int:
+        """II bound imposed by the recurrence: ceil(latencies / distance)."""
+        distance = self.total_distance
+        if distance == 0:
+            raise ValueError("a recurrence must have a positive total distance")
+        return -(-self.latency_sum(latency_of) // distance)
+
+
+def rec_mii(
+    ddg: DataDependenceGraph, latency_of: Callable[[Operation], int]
+) -> int:
+    """Recurrence-constrained MII over all recurrences of the graph."""
+    bounds = [rec.initiation_interval(latency_of) for rec in ddg.recurrences()]
+    return max(bounds, default=1)
+
+
+def merge_graphs(
+    name: str, graphs: Iterable[DataDependenceGraph]
+) -> DataDependenceGraph:
+    """Combine disjoint DDGs into one graph (used for multi-kernel loops)."""
+    merged = DataDependenceGraph(name)
+    for graph in graphs:
+        for op in graph.operations:
+            merged.add_operation(op)
+        for dep in graph.dependences():
+            merged.add_dependence(dep)
+    return merged

@@ -1,0 +1,181 @@
+"""Loop descriptors: the unit of work of the modulo scheduler.
+
+A :class:`Loop` bundles a data dependence graph with the information the
+scheduling techniques of the paper need beyond the graph itself:
+
+* the *data environment* -- the arrays and scalars the loop touches, with
+  their element sizes, lengths and storage classes (global, stack or heap),
+  which drives the data-layout / variable-alignment model;
+* the loop *trip counts* for the profile data set and the execution data
+  set (the paper uses different inputs for profiling and measurement); and
+* a relative *weight* used when aggregating per-loop metrics into
+  per-benchmark metrics (the paper weights by dynamic instruction counts).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional
+
+from repro.ir.ddg import DataDependenceGraph
+from repro.ir.operation import Operation
+
+
+class StorageClass(enum.Enum):
+    """Where a data object lives; drives the alignment/padding policy.
+
+    Section 4.3.4: local (stack) variables and heap allocations are padded
+    to an N x I boundary when variable alignment is enabled; global
+    variables are not padded because their addresses do not change across
+    inputs.
+    """
+
+    GLOBAL = "global"
+    STACK = "stack"
+    HEAP = "heap"
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """A data object referenced by a loop."""
+
+    name: str
+    element_bytes: int
+    num_elements: int
+    storage: StorageClass = StorageClass.GLOBAL
+    #: Elements of the index stream for indirect accesses are drawn from
+    #: ``[0, index_range)``; ignored for directly indexed arrays.
+    index_range: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.element_bytes not in (1, 2, 4, 8, 16):
+            raise ValueError("element size must be 1, 2, 4, 8 or 16 bytes")
+        if self.num_elements <= 0:
+            raise ValueError("arrays must have at least one element")
+
+    @property
+    def size_bytes(self) -> int:
+        """Total size of the object in bytes."""
+        return self.element_bytes * self.num_elements
+
+
+@dataclass
+class Loop:
+    """A modulo-schedulable loop."""
+
+    name: str
+    ddg: DataDependenceGraph
+    arrays: dict[str, ArraySpec]
+    trip_count: int
+    profile_trip_count: Optional[int] = None
+    weight: float = 1.0
+    unroll_factor: int = 1
+    original: Optional["Loop"] = None
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.trip_count <= 0:
+            raise ValueError("trip count must be positive")
+        if self.profile_trip_count is None:
+            self.profile_trip_count = self.trip_count
+        if self.weight <= 0:
+            raise ValueError("loop weight must be positive")
+        if self.unroll_factor <= 0:
+            raise ValueError("unroll factor must be positive")
+        self._check_arrays()
+
+    def _check_arrays(self) -> None:
+        for op in self.ddg.memory_operations:
+            access = op.memory
+            if access.array not in self.arrays:
+                raise ValueError(
+                    f"operation {op.name} references unknown array {access.array!r}"
+                )
+            if access.indirect and access.index_array not in self.arrays:
+                raise ValueError(
+                    f"operation {op.name} uses unknown index array "
+                    f"{access.index_array!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def operations(self) -> list[Operation]:
+        """Operations of the loop body, in program order."""
+        return self.ddg.operations
+
+    @property
+    def memory_operations(self) -> list[Operation]:
+        """Memory operations of the loop body."""
+        return self.ddg.memory_operations
+
+    @property
+    def is_unrolled(self) -> bool:
+        """True if this loop is the result of unrolling another loop."""
+        return self.unroll_factor > 1
+
+    def array_of(self, op: Operation) -> ArraySpec:
+        """The array referenced by a memory operation."""
+        return self.arrays[op.memory.array]
+
+    def dynamic_operations(self) -> int:
+        """Total dynamic operations executed by the loop."""
+        return len(self.ddg) * self.trip_count
+
+    def with_trip_count(self, trip_count: int) -> "Loop":
+        """Copy of the loop with a different execution trip count."""
+        return replace(self, trip_count=trip_count)
+
+    def describe(self) -> dict[str, object]:
+        """Summary used by reports."""
+        return {
+            "name": self.name,
+            "operations": len(self.ddg),
+            "memory_operations": len(self.memory_operations),
+            "trip_count": self.trip_count,
+            "unroll_factor": self.unroll_factor,
+            "weight": self.weight,
+        }
+
+
+@dataclass
+class LoopNest:
+    """An ordered collection of loops that execute one after another.
+
+    The Attraction Buffers are flushed between loops of a nest (Section 3),
+    which the simulator honours.
+    """
+
+    name: str
+    loops: list[Loop]
+
+    def __post_init__(self) -> None:
+        if not self.loops:
+            raise ValueError("a loop nest needs at least one loop")
+
+    def __iter__(self):
+        return iter(self.loops)
+
+    def __len__(self) -> int:
+        return len(self.loops)
+
+    def total_weight(self) -> float:
+        """Sum of loop weights."""
+        return sum(loop.weight for loop in self.loops)
+
+
+def gather_arrays(loops: Iterable[Loop]) -> dict[str, ArraySpec]:
+    """Union of the data environments of several loops.
+
+    Arrays with the same name must be identical across loops; this models a
+    program-wide symbol table.
+    """
+    merged: dict[str, ArraySpec] = {}
+    for loop in loops:
+        for name, spec in loop.arrays.items():
+            if name in merged and merged[name] != spec:
+                raise ValueError(f"conflicting definitions of array {name!r}")
+            merged[name] = spec
+    return merged

@@ -1,0 +1,203 @@
+"""Operations of the loop-level intermediate representation.
+
+The scheduler works on *operations* (the paper calls them nodes or
+instructions) of a loop body.  Each operation belongs to an operation class
+that determines which functional unit executes it, and memory operations
+carry a :class:`MemoryAccess` descriptor with everything the scheduling
+techniques of the paper need to know about the access: the referenced array,
+its stride, the element granularity and whether the address is computed from
+a previously loaded value (an *indirect* access of the form ``a[b[i]]``).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+class OperationClass(enum.Enum):
+    """Functional-unit class of an operation."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    MEMORY = "memory"
+    BRANCH = "branch"
+    COPY = "copy"
+
+
+#: Mnemonics understood by the IR builder, mapped to their operation class.
+MNEMONIC_CLASSES: dict[str, OperationClass] = {
+    "add": OperationClass.INTEGER,
+    "sub": OperationClass.INTEGER,
+    "mul": OperationClass.INTEGER,
+    "and": OperationClass.INTEGER,
+    "or": OperationClass.INTEGER,
+    "xor": OperationClass.INTEGER,
+    "shl": OperationClass.INTEGER,
+    "shr": OperationClass.INTEGER,
+    "cmp": OperationClass.INTEGER,
+    "mov": OperationClass.INTEGER,
+    "fadd": OperationClass.FLOAT,
+    "fsub": OperationClass.FLOAT,
+    "fmul": OperationClass.FLOAT,
+    "fdiv": OperationClass.FLOAT,
+    "div": OperationClass.FLOAT,
+    "ld": OperationClass.MEMORY,
+    "st": OperationClass.MEMORY,
+    "br": OperationClass.BRANCH,
+    "copy": OperationClass.COPY,
+}
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """Static description of a memory operation's address stream.
+
+    Attributes:
+        array: Name of the referenced data object (array, struct, buffer).
+        stride_bytes: Per-original-iteration stride of the address, in bytes.
+            Indirect accesses usually have an unknown stride; pass
+            ``stride_known=False`` for them.
+        granularity: Size in bytes of the accessed element (1, 2, 4 or 8).
+        offset_bytes: Constant byte offset of the first access within the
+            array (unrolling adds multiples of the original stride here).
+        is_store: True for stores, False for loads.
+        indirect: True for accesses of the form ``a[b[i]]`` whose address is
+            computed from a previously loaded value.
+        index_array: For indirect accesses, the array the index is loaded
+            from; used by the profiler to regenerate the index stream.
+        stride_known: Whether the compiler could determine the stride.
+        attractable: Compiler hint for the Attraction Buffers (Section 5.2):
+            operations marked non-attractable do not allocate buffer entries.
+    """
+
+    array: str
+    stride_bytes: int = 0
+    granularity: int = 4
+    offset_bytes: int = 0
+    is_store: bool = False
+    indirect: bool = False
+    index_array: Optional[str] = None
+    stride_known: bool = True
+    attractable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.granularity not in (1, 2, 4, 8, 16):
+            raise ValueError("granularity must be 1, 2, 4, 8 or 16 bytes")
+        if self.indirect and self.index_array is None:
+            raise ValueError("indirect accesses must name their index array")
+
+    def with_offset(self, extra_bytes: int) -> "MemoryAccess":
+        """Return a copy shifted by ``extra_bytes`` (used when unrolling)."""
+        return replace(self, offset_bytes=self.offset_bytes + extra_bytes)
+
+    def with_stride(self, stride_bytes: int) -> "MemoryAccess":
+        """Return a copy with a new stride (used when unrolling)."""
+        return replace(self, stride_bytes=stride_bytes)
+
+
+_op_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A single operation of a loop body."""
+
+    name: str
+    mnemonic: str
+    op_class: OperationClass
+    memory: Optional[MemoryAccess] = None
+    uid: int = field(default_factory=lambda: next(_op_counter))
+
+    def __post_init__(self) -> None:
+        if self.mnemonic not in MNEMONIC_CLASSES:
+            raise ValueError(f"unknown mnemonic {self.mnemonic!r}")
+        expected = MNEMONIC_CLASSES[self.mnemonic]
+        if expected is not self.op_class:
+            raise ValueError(
+                f"mnemonic {self.mnemonic!r} belongs to class {expected}, "
+                f"not {self.op_class}"
+            )
+        if self.op_class is OperationClass.MEMORY and self.memory is None:
+            raise ValueError("memory operations need a MemoryAccess descriptor")
+        if self.op_class is not OperationClass.MEMORY and self.memory is not None:
+            raise ValueError("only memory operations carry a MemoryAccess")
+
+    # ------------------------------------------------------------------
+    # Convenience predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return self.op_class is OperationClass.MEMORY
+
+    @property
+    def is_load(self) -> bool:
+        """True for loads."""
+        return self.is_memory and not self.memory.is_store
+
+    @property
+    def is_store(self) -> bool:
+        """True for stores."""
+        return self.is_memory and self.memory.is_store
+
+    @property
+    def is_copy(self) -> bool:
+        """True for inter-cluster register copy operations."""
+        return self.op_class is OperationClass.COPY
+
+    def renamed(self, name: str) -> "Operation":
+        """Return a copy with a fresh name and a fresh unique id."""
+        return Operation(
+            name=name,
+            mnemonic=self.mnemonic,
+            op_class=self.op_class,
+            memory=self.memory,
+        )
+
+    def with_memory(self, memory: MemoryAccess) -> "Operation":
+        """Return a copy with a replaced memory descriptor (fresh uid)."""
+        if not self.is_memory:
+            raise ValueError("only memory operations carry a MemoryAccess")
+        return Operation(
+            name=self.name,
+            mnemonic=self.mnemonic,
+            op_class=self.op_class,
+            memory=memory,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        suffix = f" {self.memory.array}" if self.memory else ""
+        return f"<Op {self.name}:{self.mnemonic}{suffix}>"
+
+
+def make_operation(
+    name: str, mnemonic: str, memory: Optional[MemoryAccess] = None
+) -> Operation:
+    """Create an operation, deriving its class from the mnemonic."""
+    if mnemonic not in MNEMONIC_CLASSES:
+        raise ValueError(
+            f"unknown mnemonic {mnemonic!r}; known: {sorted(MNEMONIC_CLASSES)}"
+        )
+    return Operation(
+        name=name,
+        mnemonic=mnemonic,
+        op_class=MNEMONIC_CLASSES[mnemonic],
+        memory=memory,
+    )
+
+
+def load(name: str, access: MemoryAccess) -> Operation:
+    """Create a load operation."""
+    if access.is_store:
+        raise ValueError("load() requires a non-store MemoryAccess")
+    return make_operation(name, "ld", access)
+
+
+def store(name: str, access: MemoryAccess) -> Operation:
+    """Create a store operation."""
+    if not access.is_store:
+        raise ValueError("store() requires a store MemoryAccess")
+    return make_operation(name, "st", access)

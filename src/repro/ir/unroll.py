@@ -1,0 +1,96 @@
+"""Loop unrolling on data dependence graphs.
+
+Unrolling a loop ``U`` times replicates its body ``U`` times and retargets
+loop-carried dependences across the copies.  For the interleaved cache it has
+the crucial extra effect described in Section 4.3.1, Step 1: each replica of
+a strided memory operation gets a constant extra offset of ``k * stride`` and
+a new stride of ``U * stride``, so that -- when ``U`` makes the new stride a
+multiple of N x I -- each replica references one and only one cache module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.ir.ddg import DataDependenceGraph, Dependence
+from repro.ir.loop import Loop
+from repro.ir.operation import Operation
+
+
+def unroll_ddg(ddg: DataDependenceGraph, factor: int, name: str) -> tuple[
+    DataDependenceGraph, dict[tuple[Operation, int], Operation]
+]:
+    """Unroll a DDG ``factor`` times.
+
+    Returns the new graph together with a mapping from
+    ``(original operation, copy index)`` to the replicated operation so that
+    callers can relate replicas back to their source.
+    """
+    if factor <= 0:
+        raise ValueError("unroll factor must be positive")
+    if factor == 1:
+        return ddg.copy(name), {(op, 0): op for op in ddg.operations}
+
+    unrolled = DataDependenceGraph(name)
+    replica: dict[tuple[Operation, int], Operation] = {}
+
+    for copy_index in range(factor):
+        for op in ddg.operations:
+            replica[(op, copy_index)] = unrolled.add_operation(
+                _replicate(op, copy_index, factor)
+            )
+
+    for dep in ddg.dependences():
+        for copy_index in range(factor):
+            target_iteration = copy_index + dep.distance
+            new_distance = target_iteration // factor
+            target_copy = target_iteration % factor
+            unrolled.add_dependence(
+                Dependence(
+                    src=replica[(dep.src, copy_index)],
+                    dst=replica[(dep.dst, target_copy)],
+                    kind=dep.kind,
+                    distance=new_distance,
+                )
+            )
+    return unrolled, replica
+
+
+def _replicate(op: Operation, copy_index: int, factor: int) -> Operation:
+    """Create the ``copy_index``-th replica of an operation."""
+    clone = op.renamed(f"{op.name}.u{copy_index}" if factor > 1 else op.name)
+    if not op.is_memory:
+        return clone
+    access = op.memory
+    if access.stride_known and access.stride_bytes != 0:
+        access = replace(
+            access,
+            offset_bytes=access.offset_bytes + copy_index * access.stride_bytes,
+            stride_bytes=access.stride_bytes * factor,
+        )
+    return clone.with_memory(access)
+
+
+def unroll_loop(loop: Loop, factor: int) -> Loop:
+    """Unroll a loop ``factor`` times, adjusting trip counts and metadata.
+
+    The execution and profile trip counts are divided by the factor (rounded
+    up); the returned loop records the original loop and the cumulative
+    unroll factor, which the selective-unrolling policy and the reports use.
+    """
+    if factor <= 0:
+        raise ValueError("unroll factor must be positive")
+    if factor == 1:
+        return loop
+    ddg, _ = unroll_ddg(loop.ddg, factor, f"{loop.name}.x{factor}")
+    return Loop(
+        name=f"{loop.name}.x{factor}",
+        ddg=ddg,
+        arrays=dict(loop.arrays),
+        trip_count=max(1, -(-loop.trip_count // factor)),
+        profile_trip_count=max(1, -(-loop.profile_trip_count // factor)),
+        weight=loop.weight,
+        unroll_factor=loop.unroll_factor * factor,
+        original=loop.original or loop,
+        metadata=dict(loop.metadata),
+    )

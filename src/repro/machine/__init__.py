@@ -1,0 +1,35 @@
+"""Machine descriptions of the evaluated clustered VLIW processors."""
+
+from repro.machine.config import (
+    AttractionBufferConfig,
+    BusConfig,
+    CacheGeometry,
+    CacheOrganization,
+    FunctionalUnitKind,
+    FunctionalUnitSet,
+    MachineConfig,
+    MemoryLatencies,
+    NextLevelConfig,
+    OperationLatencies,
+    individual_unroll_factor,
+    unrolling_span,
+)
+from repro.machine.resources import ResourceModel, ResourceUsageSummary, unit_kind_for
+
+__all__ = [
+    "AttractionBufferConfig",
+    "BusConfig",
+    "CacheGeometry",
+    "CacheOrganization",
+    "FunctionalUnitKind",
+    "FunctionalUnitSet",
+    "MachineConfig",
+    "MemoryLatencies",
+    "NextLevelConfig",
+    "OperationLatencies",
+    "ResourceModel",
+    "ResourceUsageSummary",
+    "individual_unroll_factor",
+    "unit_kind_for",
+    "unrolling_span",
+]

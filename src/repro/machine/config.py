@@ -1,0 +1,372 @@
+"""Machine description for clustered VLIW processors.
+
+The configuration objects in this module describe the processors evaluated in
+the paper (Table 2):
+
+* a clustered VLIW with a **word-interleaved** L1 data cache (the proposal),
+* a clustered VLIW with a **unified** L1 data cache (1-cycle and 5-cycle
+  variants), and
+* the **multiVLIW**, a cache-coherent clustered VLIW used as the
+  state-of-the-art baseline.
+
+Every parameter that the paper lists is configurable here so that the
+experiment harness can sweep them; :func:`MachineConfig.default` returns the
+exact configuration of Table 2.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+
+
+class CacheOrganization(enum.Enum):
+    """L1 data-cache organization of the processor."""
+
+    WORD_INTERLEAVED = "word-interleaved"
+    UNIFIED = "unified"
+    COHERENT = "coherent"  # the multiVLIW organization
+
+
+class FunctionalUnitKind(enum.Enum):
+    """Kinds of functional units found in each cluster."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    MEMORY = "memory"
+
+
+@dataclass(frozen=True)
+class FunctionalUnitSet:
+    """Number of functional units of each kind in a single cluster."""
+
+    integer: int = 1
+    float_: int = 1
+    memory: int = 1
+
+    def count(self, kind: FunctionalUnitKind) -> int:
+        """Return the number of units of ``kind`` in one cluster."""
+        if kind is FunctionalUnitKind.INTEGER:
+            return self.integer
+        if kind is FunctionalUnitKind.FLOAT:
+            return self.float_
+        return self.memory
+
+    def total(self) -> int:
+        """Total number of functional units in one cluster."""
+        return self.integer + self.float_ + self.memory
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of an L1 data cache (or of a single cache module)."""
+
+    size_bytes: int
+    block_bytes: int = 32
+    associativity: int = 2
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("cache size must be positive")
+        if self.block_bytes <= 0 or self.block_bytes & (self.block_bytes - 1):
+            raise ValueError("block size must be a positive power of two")
+        if self.associativity <= 0:
+            raise ValueError("associativity must be positive")
+        if self.size_bytes % (self.block_bytes * self.associativity):
+            raise ValueError(
+                "cache size must be a multiple of block size times associativity"
+            )
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks (lines) the cache can hold."""
+        return self.size_bytes // self.block_bytes
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self.num_blocks // self.associativity
+
+
+@dataclass(frozen=True)
+class MemoryLatencies:
+    """Latencies, in core cycles, of the four access classes of the paper.
+
+    ``local_hit`` and ``remote_hit`` correspond to the 1- and 5-cycle cache
+    latencies of Table 2 (a remote hit pays two bus traversals plus the cache
+    access); the miss latencies add the 10-cycle next-memory-level access.
+    These are the values used in the worked example of Section 4.3.3.
+    """
+
+    local_hit: int = 1
+    remote_hit: int = 5
+    local_miss: int = 10
+    remote_miss: int = 15
+    store_issue: int = 1
+
+    def __post_init__(self) -> None:
+        ordered = (self.local_hit, self.remote_hit, self.local_miss, self.remote_miss)
+        if any(lat <= 0 for lat in ordered):
+            raise ValueError("latencies must be positive")
+        if list(ordered) != sorted(ordered):
+            raise ValueError(
+                "latencies must be ordered: local hit <= remote hit <= "
+                "local miss <= remote miss"
+            )
+
+    def ordered(self) -> tuple[int, int, int, int]:
+        """Return (local_hit, remote_hit, local_miss, remote_miss)."""
+        return (self.local_hit, self.remote_hit, self.local_miss, self.remote_miss)
+
+
+@dataclass(frozen=True)
+class BusConfig:
+    """A set of shared buses running at a fraction of the core frequency."""
+
+    count: int = 4
+    frequency_divisor: int = 2
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError("bus count must be positive")
+        if self.frequency_divisor <= 0:
+            raise ValueError("frequency divisor must be positive")
+
+    @property
+    def transfer_cycles(self) -> int:
+        """Core cycles a single transfer occupies one bus."""
+        return self.frequency_divisor
+
+
+@dataclass(frozen=True)
+class AttractionBufferConfig:
+    """Configuration of the per-cluster Attraction Buffers."""
+
+    enabled: bool = False
+    entries: int = 16
+    associativity: int = 2
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ValueError("attraction buffer must have at least one entry")
+        if self.associativity <= 0 or self.entries % self.associativity:
+            raise ValueError("entries must be a multiple of the associativity")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets in the buffer."""
+        return self.entries // self.associativity
+
+
+@dataclass(frozen=True)
+class NextLevelConfig:
+    """Next memory level (always hits in the paper's evaluation)."""
+
+    latency: int = 10
+    ports: int = 4
+
+    def __post_init__(self) -> None:
+        if self.latency <= 0 or self.ports <= 0:
+            raise ValueError("next-level latency and ports must be positive")
+
+
+@dataclass(frozen=True)
+class OperationLatencies:
+    """Latencies of non-memory operations, in cycles."""
+
+    int_alu: int = 1
+    int_mul: int = 2
+    fp_alu: int = 2
+    fp_mul: int = 4
+    fp_div: int = 6
+    branch: int = 1
+    copy: int = 2  # register-to-register inter-cluster communication
+
+    def __post_init__(self) -> None:
+        for name in ("int_alu", "int_mul", "fp_alu", "fp_mul", "fp_div", "branch", "copy"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} latency must be positive")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Complete description of one of the evaluated processors."""
+
+    num_clusters: int = 4
+    organization: CacheOrganization = CacheOrganization.WORD_INTERLEAVED
+    functional_units: FunctionalUnitSet = field(default_factory=FunctionalUnitSet)
+    cache: CacheGeometry = field(default_factory=lambda: CacheGeometry(size_bytes=8 * 1024))
+    interleaving_factor: int = 4
+    latencies: MemoryLatencies = field(default_factory=MemoryLatencies)
+    op_latencies: OperationLatencies = field(default_factory=OperationLatencies)
+    register_buses: BusConfig = field(default_factory=BusConfig)
+    memory_buses: BusConfig = field(default_factory=BusConfig)
+    attraction_buffer: AttractionBufferConfig = field(
+        default_factory=AttractionBufferConfig
+    )
+    next_level: NextLevelConfig = field(default_factory=NextLevelConfig)
+    unified_cache_latency: int = 1
+    unified_cache_ports: int = 5
+    registers_per_cluster: int = 64
+
+    def __post_init__(self) -> None:
+        if self.num_clusters <= 0:
+            raise ValueError("num_clusters must be positive")
+        if self.interleaving_factor <= 0 or (
+            self.interleaving_factor & (self.interleaving_factor - 1)
+        ):
+            raise ValueError("interleaving factor must be a positive power of two")
+        if self.organization is CacheOrganization.WORD_INTERLEAVED:
+            if self.cache.size_bytes % self.num_clusters:
+                raise ValueError("cache size must divide evenly across clusters")
+            subblock = self.cache.block_bytes // self.num_clusters
+            if subblock < self.interleaving_factor:
+                raise ValueError(
+                    "block size too small for the number of clusters and "
+                    "interleaving factor"
+                )
+        if self.unified_cache_latency <= 0:
+            raise ValueError("unified cache latency must be positive")
+        if self.unified_cache_ports <= 0:
+            raise ValueError("unified cache ports must be positive")
+        if self.registers_per_cluster <= 0:
+            raise ValueError("registers_per_cluster must be positive")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def interleave_span(self) -> int:
+        """N x I: bytes after which the cluster mapping repeats."""
+        return self.num_clusters * self.interleaving_factor
+
+    @property
+    def module_geometry(self) -> CacheGeometry:
+        """Geometry of a single per-cluster cache module."""
+        if self.organization is CacheOrganization.UNIFIED:
+            return self.cache
+        return CacheGeometry(
+            size_bytes=self.cache.size_bytes // self.num_clusters,
+            block_bytes=self.cache.block_bytes,
+            associativity=self.cache.associativity,
+        )
+
+    @property
+    def subblock_bytes(self) -> int:
+        """Bytes of each cache block mapped to a single cluster."""
+        return self.cache.block_bytes // self.num_clusters
+
+    def cluster_of_address(self, address: int) -> int:
+        """Return the home cluster of ``address`` under word interleaving."""
+        return (address // self.interleaving_factor) % self.num_clusters
+
+    def memory_latency_for(self, local: bool, hit: bool) -> int:
+        """Latency of an access given locality and hit/miss outcome."""
+        if local and hit:
+            return self.latencies.local_hit
+        if not local and hit:
+            return self.latencies.remote_hit
+        if local and not hit:
+            return self.latencies.local_miss
+        return self.latencies.remote_miss
+
+    def spans_multiple_clusters(self, granularity: int) -> bool:
+        """True if an access of ``granularity`` bytes cannot be local."""
+        return granularity > self.interleaving_factor
+
+    # ------------------------------------------------------------------
+    # Named configurations from the paper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def default() -> "MachineConfig":
+        """The baseline word-interleaved configuration of Table 2."""
+        return MachineConfig()
+
+    @staticmethod
+    def word_interleaved(
+        attraction_buffers: bool = False, entries: int = 16
+    ) -> "MachineConfig":
+        """Word-interleaved cache configuration, optionally with ABs."""
+        return MachineConfig(
+            organization=CacheOrganization.WORD_INTERLEAVED,
+            attraction_buffer=AttractionBufferConfig(
+                enabled=attraction_buffers, entries=entries
+            ),
+        )
+
+    @staticmethod
+    def unified(latency: int = 1, ports: int = 5) -> "MachineConfig":
+        """Unified-cache clustered configuration (1- or 5-cycle latency)."""
+        return MachineConfig(
+            organization=CacheOrganization.UNIFIED,
+            unified_cache_latency=latency,
+            unified_cache_ports=ports,
+        )
+
+    @staticmethod
+    def multivliw() -> "MachineConfig":
+        """The cache-coherent multiVLIW configuration."""
+        return MachineConfig(organization=CacheOrganization.COHERENT)
+
+    def with_clusters(self, num_clusters: int) -> "MachineConfig":
+        """Return a copy with a different cluster count."""
+        return replace(self, num_clusters=num_clusters)
+
+    def with_interleaving(self, interleaving_factor: int) -> "MachineConfig":
+        """Return a copy with a different interleaving factor."""
+        return replace(self, interleaving_factor=interleaving_factor)
+
+    def describe(self) -> dict[str, object]:
+        """A flat dictionary used by reports and Table-2 style output."""
+        return {
+            "clusters": self.num_clusters,
+            "organization": self.organization.value,
+            "fu_per_cluster": {
+                "integer": self.functional_units.integer,
+                "float": self.functional_units.float_,
+                "memory": self.functional_units.memory,
+            },
+            "cache_total_bytes": self.cache.size_bytes,
+            "cache_block_bytes": self.cache.block_bytes,
+            "cache_associativity": self.cache.associativity,
+            "interleaving_factor": self.interleaving_factor,
+            "latencies": {
+                "local_hit": self.latencies.local_hit,
+                "remote_hit": self.latencies.remote_hit,
+                "local_miss": self.latencies.local_miss,
+                "remote_miss": self.latencies.remote_miss,
+            },
+            "register_buses": self.register_buses.count,
+            "memory_buses": self.memory_buses.count,
+            "attraction_buffer": {
+                "enabled": self.attraction_buffer.enabled,
+                "entries": self.attraction_buffer.entries,
+                "associativity": self.attraction_buffer.associativity,
+            },
+            "next_level_latency": self.next_level.latency,
+            "unified_cache_latency": self.unified_cache_latency,
+            "unified_cache_ports": self.unified_cache_ports,
+        }
+
+
+def unrolling_span(config: MachineConfig) -> int:
+    """Return N x I, the stride period that makes accesses single-cluster.
+
+    A memory instruction whose stride is a multiple of this value touches the
+    same cluster in every iteration of the unrolled loop.
+    """
+    return config.interleave_span
+
+
+def individual_unroll_factor(config: MachineConfig, stride_bytes: int) -> int:
+    """The per-instruction unrolling factor U_i of Section 4.3.1, Step 1.
+
+    ``U_i = (N*I) / gcd(N*I, S_i mod N*I)``, capped at ``N*I``.  A stride of
+    zero (or already a multiple of N*I) needs no unrolling and returns 1.
+    """
+    span = config.interleave_span
+    residue = stride_bytes % span
+    if residue == 0:
+        return 1
+    return span // math.gcd(span, residue)

@@ -1,0 +1,138 @@
+"""Per-cluster and shared resource accounting used by the schedulers.
+
+The modulo scheduler needs to know, for every candidate (cycle, cluster),
+whether a functional unit of the right kind and -- for inter-cluster
+operations -- a bus slot is available.  :class:`ResourceModel` derives those
+counts from a :class:`~repro.machine.config.MachineConfig` and also provides
+the resource-constrained minimum initiation interval (ResMII).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.ir.operation import Operation, OperationClass
+from repro.machine.config import FunctionalUnitKind, MachineConfig
+
+
+_CLASS_TO_UNIT: dict[OperationClass, FunctionalUnitKind] = {
+    OperationClass.INTEGER: FunctionalUnitKind.INTEGER,
+    OperationClass.FLOAT: FunctionalUnitKind.FLOAT,
+    OperationClass.MEMORY: FunctionalUnitKind.MEMORY,
+    OperationClass.BRANCH: FunctionalUnitKind.INTEGER,
+    OperationClass.COPY: FunctionalUnitKind.INTEGER,
+}
+
+
+def unit_kind_for(op: Operation) -> FunctionalUnitKind:
+    """Functional-unit kind an operation executes on."""
+    return _CLASS_TO_UNIT[op.op_class]
+
+
+@dataclass(frozen=True)
+class ResourceUsageSummary:
+    """Static operation counts per functional-unit kind."""
+
+    integer: int
+    float_: int
+    memory: int
+
+    @staticmethod
+    def from_operations(ops: Iterable[Operation]) -> "ResourceUsageSummary":
+        """Count operations by the functional unit kind they need."""
+        counts: Counter[FunctionalUnitKind] = Counter()
+        for op in ops:
+            counts[unit_kind_for(op)] += 1
+        return ResourceUsageSummary(
+            integer=counts[FunctionalUnitKind.INTEGER],
+            float_=counts[FunctionalUnitKind.FLOAT],
+            memory=counts[FunctionalUnitKind.MEMORY],
+        )
+
+
+class ResourceModel:
+    """Knows how many units of each kind the machine provides.
+
+    The model treats the machine as ``num_clusters`` identical clusters, each
+    with the functional-unit mix of the configuration, plus shared register
+    and memory buses.
+    """
+
+    def __init__(self, config: MachineConfig) -> None:
+        self._config = config
+
+    @property
+    def config(self) -> MachineConfig:
+        """The underlying machine configuration."""
+        return self._config
+
+    def units_per_cluster(self, kind: FunctionalUnitKind) -> int:
+        """Units of ``kind`` in a single cluster."""
+        return self._config.functional_units.count(kind)
+
+    def total_units(self, kind: FunctionalUnitKind) -> int:
+        """Units of ``kind`` across the whole machine."""
+        return self.units_per_cluster(kind) * self._config.num_clusters
+
+    def res_mii(self, ops: Iterable[Operation]) -> int:
+        """Resource-constrained minimum initiation interval.
+
+        ``ResMII = max over resource kinds of ceil(uses / units)`` where the
+        machine-wide unit count is used because the cluster assignment is not
+        yet known when the MII is computed.
+        """
+        summary = ResourceUsageSummary.from_operations(ops)
+        bounds = []
+        for kind, uses in (
+            (FunctionalUnitKind.INTEGER, summary.integer),
+            (FunctionalUnitKind.FLOAT, summary.float_),
+            (FunctionalUnitKind.MEMORY, summary.memory),
+        ):
+            total = self.total_units(kind)
+            if uses:
+                bounds.append(-(-uses // total))
+        return max(bounds, default=1)
+
+    def cluster_res_mii(self, ops: Iterable[Operation]) -> int:
+        """ResMII if all operations had to fit in a single cluster."""
+        summary = ResourceUsageSummary.from_operations(ops)
+        bounds = []
+        for kind, uses in (
+            (FunctionalUnitKind.INTEGER, summary.integer),
+            (FunctionalUnitKind.FLOAT, summary.float_),
+            (FunctionalUnitKind.MEMORY, summary.memory),
+        ):
+            per_cluster = self.units_per_cluster(kind)
+            if uses:
+                bounds.append(-(-uses // per_cluster))
+        return max(bounds, default=1)
+
+    def operation_latency(self, op: Operation) -> int:
+        """Non-memory operation latency from the machine description.
+
+        Memory operations do not have a fixed latency -- the scheduler
+        assigns one -- so this raises for them.
+        """
+        lat = self._config.op_latencies
+        if op.op_class is OperationClass.MEMORY:
+            raise ValueError(
+                "memory operations have scheduler-assigned latencies; "
+                "use the latency assignment pass"
+            )
+        table = {
+            OperationClass.INTEGER: lat.int_alu,
+            OperationClass.FLOAT: lat.fp_alu,
+            OperationClass.BRANCH: lat.branch,
+            OperationClass.COPY: lat.copy,
+        }
+        base = table[op.op_class]
+        # Multiplies and divides take longer than plain ALU operations.
+        if op.mnemonic in ("mul", "imul"):
+            base = lat.int_mul if op.op_class is OperationClass.INTEGER else lat.fp_mul
+        if op.mnemonic in ("fmul",):
+            base = lat.fp_mul
+        if op.mnemonic in ("div", "fdiv"):
+            base = lat.fp_div
+        return base

@@ -1,0 +1,37 @@
+"""Memory hierarchy models: caches, buses, buffers and data layout."""
+
+from repro.memory.attraction import AttractionBuffer, AttractionBufferArray
+from repro.memory.bus import BusGrant, BusSet
+from repro.memory.cachesets import SetAssociativeStore
+from repro.memory.classify import (
+    AccessCounters,
+    AccessResult,
+    AccessType,
+    StallCounters,
+)
+from repro.memory.coherent import CoherentDataCache, make_cache_model
+from repro.memory.hierarchy import DataCacheModel
+from repro.memory.interleaved import WordInterleavedDataCache
+from repro.memory.layout import DataLayout, PlacedArray
+from repro.memory.nextlevel import NextMemoryLevel
+from repro.memory.unified import UnifiedDataCache
+
+__all__ = [
+    "AccessCounters",
+    "AccessResult",
+    "AccessType",
+    "AttractionBuffer",
+    "AttractionBufferArray",
+    "BusGrant",
+    "BusSet",
+    "CoherentDataCache",
+    "DataCacheModel",
+    "DataLayout",
+    "NextMemoryLevel",
+    "PlacedArray",
+    "SetAssociativeStore",
+    "StallCounters",
+    "UnifiedDataCache",
+    "WordInterleavedDataCache",
+    "make_cache_model",
+]

@@ -1,0 +1,143 @@
+"""Attraction Buffers (Section 3 and Section 5.2).
+
+An Attraction Buffer is a small set-associative buffer attached to each
+cluster that holds *remote subblocks*: when a cluster performs a remote
+access, the whole subblock (all the words of the block mapped to the remote
+cluster) is attracted into the requesting cluster's buffer, so the next
+access to any word of that subblock can be satisfied locally.
+
+Coherence is kept by the scheduler (memory dependent chains stay within a
+cluster) and by flushing the buffers whenever a loop finishes, which the
+simulator does through :meth:`AttractionBufferArray.flush`.
+
+The paper also evaluates a compiler *hint* mechanism: when a loop schedules
+more remote-accessing instructions on a cluster than the buffer can hold,
+only the K most profitable instructions are marked "attractable" so the
+buffer is not thrashed.  The hint is honoured here by simply not allocating
+entries for non-attractable accesses (they may still hit on entries brought
+in by attractable ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.config import AttractionBufferConfig
+from repro.memory.cachesets import SetAssociativeStore
+
+
+@dataclass
+class AttractionBufferStats:
+    """Per-buffer counters."""
+
+    lookups: int = 0
+    hits: int = 0
+    allocations: int = 0
+    evictions: int = 0
+    flushes: int = 0
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class AttractionBuffer:
+    """The Attraction Buffer of one cluster."""
+
+    def __init__(self, config: AttractionBufferConfig) -> None:
+        self._config = config
+        self._store = SetAssociativeStore(config.num_sets, config.associativity)
+        self.stats = AttractionBufferStats()
+
+    @property
+    def config(self) -> AttractionBufferConfig:
+        """The buffer configuration."""
+        return self._config
+
+    def lookup(self, subblock_key: int) -> bool:
+        """Probe the buffer for a remote subblock."""
+        self.stats.lookups += 1
+        if self._store.lookup(subblock_key):
+            self.stats.hits += 1
+            return True
+        return False
+
+    def attract(self, subblock_key: int) -> None:
+        """Bring a remote subblock into the buffer."""
+        evicted = self._store.insert(subblock_key)
+        self.stats.allocations += 1
+        if evicted is not None:
+            self.stats.evictions += 1
+
+    def invalidate(self, subblock_key: int) -> bool:
+        """Drop a subblock (used when a store makes the copy stale)."""
+        return self._store.invalidate(subblock_key)
+
+    def flush(self) -> None:
+        """Empty the buffer (executed between loops)."""
+        self._store.clear()
+        self.stats.flushes += 1
+
+    def occupancy(self) -> int:
+        """Number of subblocks currently held."""
+        return len(self._store)
+
+
+class AttractionBufferArray:
+    """One Attraction Buffer per cluster."""
+
+    def __init__(self, num_clusters: int, config: AttractionBufferConfig) -> None:
+        if num_clusters <= 0:
+            raise ValueError("need at least one cluster")
+        self._config = config
+        self._buffers = [AttractionBuffer(config) for _ in range(num_clusters)]
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the buffers are active."""
+        return self._config.enabled
+
+    def __getitem__(self, cluster: int) -> AttractionBuffer:
+        return self._buffers[cluster]
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def lookup(self, cluster: int, subblock_key: int) -> bool:
+        """Probe cluster ``cluster``'s buffer; always misses when disabled."""
+        if not self.enabled:
+            return False
+        return self._buffers[cluster].lookup(subblock_key)
+
+    def attract(self, cluster: int, subblock_key: int, attractable: bool = True) -> None:
+        """Allocate a subblock in ``cluster``'s buffer if hints allow it."""
+        if not self.enabled or not attractable:
+            return
+        self._buffers[cluster].attract(subblock_key)
+
+    def invalidate_all(self, subblock_key: int, except_cluster: int | None = None) -> int:
+        """Invalidate a subblock in every buffer; returns how many copies died."""
+        if not self.enabled:
+            return 0
+        dropped = 0
+        for index, buffer in enumerate(self._buffers):
+            if index == except_cluster:
+                continue
+            if buffer.invalidate(subblock_key):
+                dropped += 1
+        return dropped
+
+    def flush(self) -> None:
+        """Flush every buffer (loop boundary)."""
+        if not self.enabled:
+            return
+        for buffer in self._buffers:
+            buffer.flush()
+
+    def total_hits(self) -> int:
+        """Aggregate hit count across clusters."""
+        return sum(buffer.stats.hits for buffer in self._buffers)
+
+    def total_lookups(self) -> int:
+        """Aggregate lookup count across clusters."""
+        return sum(buffer.stats.lookups for buffer in self._buffers)

@@ -1,0 +1,88 @@
+"""Shared-bus models.
+
+The target processor has two sets of buses (Table 2): register-to-register
+communication buses and memory buses, each 4 wide and running at half the
+core frequency.  At half frequency a single transfer occupies a bus for two
+core cycles; the models here track per-bus availability so that a request
+issued while every bus is busy is delayed until one frees up.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.machine.config import BusConfig
+
+
+@dataclass(frozen=True)
+class BusGrant:
+    """Outcome of a bus arbitration request."""
+
+    start_cycle: int
+    wait_cycles: int
+    transfer_cycles: int
+
+    @property
+    def completion_cycle(self) -> int:
+        """Cycle at which the transfer leaves the bus."""
+        return self.start_cycle + self.transfer_cycles
+
+
+class BusSet:
+    """A set of identical buses with earliest-available arbitration."""
+
+    def __init__(self, config: BusConfig) -> None:
+        self._config = config
+        # Min-heap of per-bus next-free cycles.
+        self._free_at: list[int] = [0] * config.count
+        heapq.heapify(self._free_at)
+        self._transfers = 0
+        self._total_wait = 0
+
+    @property
+    def config(self) -> BusConfig:
+        """The bus configuration."""
+        return self._config
+
+    @property
+    def transfers(self) -> int:
+        """Number of transfers granted so far."""
+        return self._transfers
+
+    @property
+    def total_wait_cycles(self) -> int:
+        """Cumulative arbitration wait across all transfers."""
+        return self._total_wait
+
+    def request(self, cycle: int) -> BusGrant:
+        """Request a transfer starting no earlier than ``cycle``.
+
+        The earliest-free bus is granted; the transfer occupies it for
+        ``transfer_cycles`` core cycles.
+        """
+        earliest_free = heapq.heappop(self._free_at)
+        start = max(cycle, earliest_free)
+        heapq.heappush(self._free_at, start + self._config.transfer_cycles)
+        wait = start - cycle
+        self._transfers += 1
+        self._total_wait += wait
+        return BusGrant(
+            start_cycle=start,
+            wait_cycles=wait,
+            transfer_cycles=self._config.transfer_cycles,
+        )
+
+    def reset(self) -> None:
+        """Forget all outstanding occupancy and statistics."""
+        self._free_at = [0] * self._config.count
+        heapq.heapify(self._free_at)
+        self._transfers = 0
+        self._total_wait = 0
+
+    def utilization(self, elapsed_cycles: int) -> float:
+        """Fraction of bus-cycles used over ``elapsed_cycles``."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        used = self._transfers * self._config.transfer_cycles
+        return min(1.0, used / (elapsed_cycles * self._config.count))

@@ -1,0 +1,129 @@
+"""Generic set-associative storage with LRU replacement.
+
+All first-level structures of the paper -- per-cluster cache modules, the
+unified cache, the multiVLIW coherent caches and the Attraction Buffers --
+are set-associative with LRU replacement.  This module provides the single
+implementation they all share.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+
+class SetAssociativeStore:
+    """A set-associative array of tags with true-LRU replacement.
+
+    Entries are identified by an integer *key* (typically a block address);
+    the store derives the set index from the key itself, so callers never
+    deal with set arithmetic.
+    """
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        if num_sets <= 0 or associativity <= 0:
+            raise ValueError("num_sets and associativity must be positive")
+        self._num_sets = num_sets
+        self._associativity = associativity
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(num_sets)
+        ]
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self._num_sets
+
+    @property
+    def associativity(self) -> int:
+        """Ways per set."""
+        return self._associativity
+
+    @property
+    def capacity(self) -> int:
+        """Total number of entries the store can hold."""
+        return self._num_sets * self._associativity
+
+    def _set_of(self, key: int) -> OrderedDict[int, None]:
+        return self._sets[key % self._num_sets]
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        """Number of successful lookups."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Number of failed lookups."""
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        """Number of entries displaced by insertions."""
+        return self._evictions
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def lookup(self, key: int) -> bool:
+        """Probe for ``key``; updates LRU order and hit/miss statistics."""
+        entry_set = self._set_of(key)
+        if key in entry_set:
+            entry_set.move_to_end(key)
+            self._hits += 1
+            return True
+        self._misses += 1
+        return False
+
+    def contains(self, key: int) -> bool:
+        """Probe for ``key`` without touching LRU state or statistics."""
+        return key in self._set_of(key)
+
+    def insert(self, key: int) -> Optional[int]:
+        """Insert ``key``; returns the evicted key, if any."""
+        entry_set = self._set_of(key)
+        if key in entry_set:
+            entry_set.move_to_end(key)
+            return None
+        evicted: Optional[int] = None
+        if len(entry_set) >= self._associativity:
+            evicted, _ = entry_set.popitem(last=False)
+            self._evictions += 1
+        entry_set[key] = None
+        return evicted
+
+    def invalidate(self, key: int) -> bool:
+        """Remove ``key`` if present; returns True if it was there."""
+        entry_set = self._set_of(key)
+        if key in entry_set:
+            del entry_set[key]
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Remove every entry (statistics are preserved)."""
+        for entry_set in self._sets:
+            entry_set.clear()
+
+    def reset(self) -> None:
+        """Remove every entry and reset statistics."""
+        self.clear()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return sum(len(entry_set) for entry_set in self._sets)
+
+    def __iter__(self) -> Iterator[int]:
+        for entry_set in self._sets:
+            yield from entry_set.keys()

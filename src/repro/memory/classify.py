@@ -1,0 +1,202 @@
+"""Classification of memory accesses.
+
+Section 3 of the paper classifies every access of the interleaved cache into
+local hit, remote hit, local miss and remote miss, plus *combined* accesses
+(requests to a subblock that is already in flight, which are merged with the
+pending request).  The same classification is reused, with the obvious
+degeneration, for the unified cache (everything is "local") and the
+multiVLIW (remote hits are accesses served from another cluster's cache).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class AccessType(enum.Enum):
+    """Outcome class of a memory access."""
+
+    LOCAL_HIT = "local-hit"
+    REMOTE_HIT = "remote-hit"
+    LOCAL_MISS = "local-miss"
+    REMOTE_MISS = "remote-miss"
+    COMBINED = "combined"
+
+    @property
+    def is_hit(self) -> bool:
+        """True if the data was found in some first-level structure."""
+        return self in (AccessType.LOCAL_HIT, AccessType.REMOTE_HIT)
+
+    @property
+    def is_local(self) -> bool:
+        """True if the access was served by the local cache module."""
+        return self in (AccessType.LOCAL_HIT, AccessType.LOCAL_MISS)
+
+    @property
+    def is_remote(self) -> bool:
+        """True if the access had to cross the memory buses."""
+        return self in (AccessType.REMOTE_HIT, AccessType.REMOTE_MISS)
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Result of one memory access against a data-cache model."""
+
+    classification: AccessType
+    latency: int
+    home_cluster: int | None = None
+    requesting_cluster: int | None = None
+    via_attraction_buffer: bool = False
+    spans_clusters: bool = False
+    bus_wait: int = 0
+
+    @property
+    def is_local(self) -> bool:
+        """True if no memory-bus traversal was needed."""
+        return self.classification.is_local or self.via_attraction_buffer
+
+
+@dataclass
+class AccessCounters:
+    """Running counts of access classifications.
+
+    These counters are what Figure 4 plots (fractions of all accesses) and
+    what the local-hit-ratio metric of the paper is computed from.
+    """
+
+    local_hits: int = 0
+    remote_hits: int = 0
+    local_misses: int = 0
+    remote_misses: int = 0
+    combined: int = 0
+    attraction_buffer_hits: int = 0
+
+    _FIELD_BY_TYPE = {
+        AccessType.LOCAL_HIT: "local_hits",
+        AccessType.REMOTE_HIT: "remote_hits",
+        AccessType.LOCAL_MISS: "local_misses",
+        AccessType.REMOTE_MISS: "remote_misses",
+        AccessType.COMBINED: "combined",
+    }
+
+    def record(self, result: AccessResult) -> None:
+        """Record one access result."""
+        name = self._FIELD_BY_TYPE[result.classification]
+        setattr(self, name, getattr(self, name) + 1)
+        if result.via_attraction_buffer:
+            self.attraction_buffer_hits += 1
+
+    @property
+    def total(self) -> int:
+        """Total number of accesses recorded."""
+        return (
+            self.local_hits
+            + self.remote_hits
+            + self.local_misses
+            + self.remote_misses
+            + self.combined
+        )
+
+    @property
+    def local_accesses(self) -> int:
+        """Accesses served without crossing the memory buses."""
+        return self.local_hits + self.local_misses
+
+    @property
+    def remote_accesses(self) -> int:
+        """Accesses that crossed the memory buses."""
+        return self.remote_hits + self.remote_misses
+
+    def local_hit_ratio(self) -> float:
+        """Fraction of all accesses that are local hits (Figure 4's metric)."""
+        if self.total == 0:
+            return 0.0
+        return self.local_hits / self.total
+
+    def fractions(self) -> dict[str, float]:
+        """Per-class fraction of all accesses."""
+        total = self.total or 1
+        return {
+            "local_hits": self.local_hits / total,
+            "remote_hits": self.remote_hits / total,
+            "local_misses": self.local_misses / total,
+            "remote_misses": self.remote_misses / total,
+            "combined": self.combined / total,
+        }
+
+    def merge(self, other: "AccessCounters") -> "AccessCounters":
+        """Return the element-wise sum of two counter sets."""
+        return AccessCounters(
+            local_hits=self.local_hits + other.local_hits,
+            remote_hits=self.remote_hits + other.remote_hits,
+            local_misses=self.local_misses + other.local_misses,
+            remote_misses=self.remote_misses + other.remote_misses,
+            combined=self.combined + other.combined,
+            attraction_buffer_hits=self.attraction_buffer_hits
+            + other.attraction_buffer_hits,
+        )
+
+    def scaled(self, factor: float) -> dict[str, float]:
+        """Counts multiplied by ``factor`` (used to weight loops)."""
+        return {
+            "local_hits": self.local_hits * factor,
+            "remote_hits": self.remote_hits * factor,
+            "local_misses": self.local_misses * factor,
+            "remote_misses": self.remote_misses * factor,
+            "combined": self.combined * factor,
+        }
+
+
+@dataclass
+class StallCounters:
+    """Stall cycles attributed to each access class (Figure 6's metric)."""
+
+    remote_hit: int = 0
+    local_miss: int = 0
+    remote_miss: int = 0
+    combined: int = 0
+
+    _FIELD_BY_TYPE = {
+        AccessType.REMOTE_HIT: "remote_hit",
+        AccessType.LOCAL_MISS: "local_miss",
+        AccessType.REMOTE_MISS: "remote_miss",
+        AccessType.COMBINED: "combined",
+    }
+
+    def record(self, classification: AccessType, cycles: int) -> None:
+        """Attribute ``cycles`` of stall to an access class.
+
+        Local hits never cause stalls (the scheduler never assumes a latency
+        below the local-hit latency), so they are rejected here.
+        """
+        if cycles <= 0:
+            return
+        if classification is AccessType.LOCAL_HIT:
+            raise ValueError("local hits cannot generate stall time")
+        name = self._FIELD_BY_TYPE[classification]
+        setattr(self, name, getattr(self, name) + cycles)
+
+    @property
+    def total(self) -> int:
+        """Total stall cycles."""
+        return self.remote_hit + self.local_miss + self.remote_miss + self.combined
+
+    def fractions(self) -> dict[str, float]:
+        """Per-class fraction of stall time."""
+        total = self.total or 1
+        return {
+            "remote_hit": self.remote_hit / total,
+            "local_miss": self.local_miss / total,
+            "remote_miss": self.remote_miss / total,
+            "combined": self.combined / total,
+        }
+
+    def merge(self, other: "StallCounters") -> "StallCounters":
+        """Return the element-wise sum of two stall counter sets."""
+        return StallCounters(
+            remote_hit=self.remote_hit + other.remote_hit,
+            local_miss=self.local_miss + other.local_miss,
+            remote_miss=self.remote_miss + other.remote_miss,
+            combined=self.combined + other.combined,
+        )

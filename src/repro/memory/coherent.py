@@ -1,0 +1,135 @@
+"""The multiVLIW coherent distributed cache (the related-work baseline).
+
+Sánchez and González (MICRO-33) distribute the L1 data cache across the
+clusters and keep the copies consistent with a snoopy write-invalidate
+protocol; data migrates (and replicates) towards the clusters that use it.
+The model below captures the behaviour the comparison in Section 5.3 relies
+on:
+
+* a hit in the local module is a local hit;
+* a miss that another module can serve is a remote hit -- the block is
+  copied into the local module (replication);
+* otherwise the block is fetched from the next memory level into the local
+  module;
+* stores invalidate every other copy of the block.
+
+The price of replication is a smaller effective capacity, which the paper
+notes is why the multiVLIW is more sensitive to cache size.
+"""
+
+from __future__ import annotations
+
+from repro.machine.config import CacheOrganization, MachineConfig
+from repro.memory.cachesets import SetAssociativeStore
+from repro.memory.classify import AccessResult, AccessType
+from repro.memory.hierarchy import DataCacheModel
+
+
+class CoherentDataCache(DataCacheModel):
+    """Behavioural model of the multiVLIW snoopy-coherent cache."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        if config.organization is not CacheOrganization.COHERENT:
+            raise ValueError("configuration is not a multiVLIW machine")
+        super().__init__(config)
+        module = config.module_geometry
+        self._modules = [
+            SetAssociativeStore(module.num_sets, module.associativity)
+            for _ in range(config.num_clusters)
+        ]
+        self._invalidations = 0
+        self._replications = 0
+
+    @property
+    def invalidations(self) -> int:
+        """Copies destroyed by stores."""
+        return self._invalidations
+
+    @property
+    def replications(self) -> int:
+        """Blocks copied into an additional module by remote hits."""
+        return self._replications
+
+    def module(self, cluster: int) -> SetAssociativeStore:
+        """The cache module of a cluster (exposed for tests)."""
+        return self._modules[cluster]
+
+    def _access(
+        self,
+        cluster: int,
+        address: int,
+        size: int,
+        is_store: bool,
+        cycle: int,
+        attractable: bool,
+    ) -> AccessResult:
+        block = self.block_index(address)
+        local = self._modules[cluster]
+
+        if local.lookup(block):
+            if is_store:
+                self._invalidate_others(block, cluster)
+            return AccessResult(
+                classification=AccessType.LOCAL_HIT,
+                latency=self._config.latencies.local_hit,
+                home_cluster=cluster,
+                requesting_cluster=cluster,
+            )
+
+        # Snoop the other modules over the memory buses.
+        owner = self._find_owner(block, cluster)
+        if owner is not None:
+            grant = self.memory_buses.request(cycle)
+            local.insert(block)
+            self._replications += 1
+            if is_store:
+                self._invalidate_others(block, cluster)
+            return AccessResult(
+                classification=AccessType.REMOTE_HIT,
+                latency=self._config.latencies.remote_hit + grant.wait_cycles,
+                home_cluster=owner,
+                requesting_cluster=cluster,
+                bus_wait=grant.wait_cycles,
+            )
+
+        # Nobody has it: fetch from the next memory level into the local module.
+        local.insert(block)
+        wait = self.next_level.access(cycle)
+        latency = self._config.latencies.local_miss + max(
+            0, wait - self._config.next_level.latency
+        )
+        if is_store:
+            self._invalidate_others(block, cluster)
+        return AccessResult(
+            classification=AccessType.LOCAL_MISS,
+            latency=latency,
+            home_cluster=cluster,
+            requesting_cluster=cluster,
+        )
+
+    def _find_owner(self, block: int, except_cluster: int) -> int | None:
+        for index, module in enumerate(self._modules):
+            if index == except_cluster:
+                continue
+            if module.contains(block):
+                return index
+        return None
+
+    def _invalidate_others(self, block: int, except_cluster: int) -> None:
+        for index, module in enumerate(self._modules):
+            if index == except_cluster:
+                continue
+            if module.invalidate(block):
+                self._invalidations += 1
+
+
+def make_cache_model(config: MachineConfig) -> DataCacheModel:
+    """Factory returning the cache model matching a configuration."""
+    from repro.memory.interleaved import WordInterleavedDataCache
+    from repro.memory.unified import UnifiedDataCache
+
+    if config.organization is CacheOrganization.WORD_INTERLEAVED:
+        return WordInterleavedDataCache(config)
+    if config.organization is CacheOrganization.UNIFIED:
+        return UnifiedDataCache(config)
+    return CoherentDataCache(config)

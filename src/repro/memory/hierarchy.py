@@ -1,0 +1,95 @@
+"""Common interface of the L1 data-cache organizations.
+
+Three organizations are modelled (word-interleaved, unified, coherent
+multiVLIW); the simulator and the profiler talk to all of them through the
+:class:`DataCacheModel` base class so that experiments can swap
+architectures without touching any other code.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.machine.config import MachineConfig
+from repro.memory.bus import BusSet
+from repro.memory.classify import AccessCounters, AccessResult
+from repro.memory.nextlevel import NextMemoryLevel
+
+
+class DataCacheModel(abc.ABC):
+    """Behavioural model of a complete L1 data-cache organization."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self._config = config
+        self.counters = AccessCounters()
+        self.next_level = NextMemoryLevel(config.next_level)
+        self.memory_buses = BusSet(config.memory_buses)
+
+    @property
+    def config(self) -> MachineConfig:
+        """The machine configuration this model was built from."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        cluster: int,
+        address: int,
+        size: int,
+        is_store: bool,
+        cycle: int,
+        attractable: bool = True,
+    ) -> AccessResult:
+        """Perform one access and record it in the counters."""
+        if cluster < 0 or cluster >= self._config.num_clusters:
+            raise ValueError(f"cluster {cluster} out of range")
+        if size <= 0:
+            raise ValueError("access size must be positive")
+        result = self._access(cluster, address, size, is_store, cycle, attractable)
+        self.counters.record(result)
+        return result
+
+    @abc.abstractmethod
+    def _access(
+        self,
+        cluster: int,
+        address: int,
+        size: int,
+        is_store: bool,
+        cycle: int,
+        attractable: bool,
+    ) -> AccessResult:
+        """Organization-specific access handling."""
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+    def begin_loop(self) -> None:
+        """Hook invoked by the simulator at every loop boundary.
+
+        Cache *contents* survive across loops (data written by one loop is
+        read by the next), but every time-based resource -- bus occupancy and
+        next-level port occupancy -- is reset because the simulator restarts
+        its cycle counter for each loop.  The interleaved organization
+        additionally flushes its Attraction Buffers here.
+        """
+        self.memory_buses.reset()
+        self.next_level.reset()
+
+    def reset_statistics(self) -> None:
+        """Clear access counters without touching cache contents."""
+        self.counters = AccessCounters()
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def block_address(self, address: int) -> int:
+        """Address of the cache block containing ``address``."""
+        block = self._config.cache.block_bytes
+        return address - (address % block)
+
+    def block_index(self, address: int) -> int:
+        """Block number (block address divided by the block size)."""
+        return address // self._config.cache.block_bytes

@@ -1,0 +1,194 @@
+"""The word-interleaved distributed data cache (Section 3).
+
+The L1 data cache is split into one *cache module* per cluster.  Consecutive
+words of a cache block are assigned to consecutive clusters (interleaving
+factor I bytes), so each module holds a *subblock* -- the words of every
+block that map to its cluster -- and there is no data replication.  Tags are
+replicated in every module, which the model reflects by letting any cluster
+determine locally whether a remote access will hit.
+
+Access outcomes follow the four classes of the paper (local/remote x
+hit/miss) plus *combined* accesses, which are requests to a subblock that is
+already in flight and therefore merge with the pending request.  Optional
+per-cluster Attraction Buffers serve remote subblocks locally once they have
+been attracted.
+"""
+
+from __future__ import annotations
+
+from repro.machine.config import CacheOrganization, MachineConfig
+from repro.memory.attraction import AttractionBufferArray
+from repro.memory.cachesets import SetAssociativeStore
+from repro.memory.classify import AccessResult, AccessType
+from repro.memory.hierarchy import DataCacheModel
+
+
+class WordInterleavedDataCache(DataCacheModel):
+    """Behavioural model of the word-interleaved cache organization."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        if config.organization is not CacheOrganization.WORD_INTERLEAVED:
+            raise ValueError("configuration is not word-interleaved")
+        super().__init__(config)
+        module = config.module_geometry
+        subblocks_per_module = module.size_bytes // config.subblock_bytes
+        num_sets = max(1, subblocks_per_module // module.associativity)
+        self._modules = [
+            SetAssociativeStore(num_sets, module.associativity)
+            for _ in range(config.num_clusters)
+        ]
+        self.attraction_buffers = AttractionBufferArray(
+            config.num_clusters, config.attraction_buffer
+        )
+        #: In-flight subblock requests: (home cluster, block index) -> ready cycle.
+        self._pending: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def begin_loop(self) -> None:
+        """Flush the Attraction Buffers and drop in-flight requests."""
+        super().begin_loop()
+        self.attraction_buffers.flush()
+        self._pending.clear()
+
+    def module(self, cluster: int) -> SetAssociativeStore:
+        """The cache module of a cluster (exposed for tests)."""
+        return self._modules[cluster]
+
+    # ------------------------------------------------------------------
+    # Access handling
+    # ------------------------------------------------------------------
+    def _access(
+        self,
+        cluster: int,
+        address: int,
+        size: int,
+        is_store: bool,
+        cycle: int,
+        attractable: bool,
+    ) -> AccessResult:
+        config = self._config
+        home = config.cluster_of_address(address)
+        spans = config.spans_multiple_clusters(size)
+        block = self.block_index(address)
+        subblock_key = (home, block)
+
+        if home == cluster and not spans:
+            return self._local_access(cluster, block, is_store, cycle)
+
+        # Accesses wider than the interleaving factor touch more than one
+        # cluster and therefore always pay a remote access (Section 5.2);
+        # the remote part determines the hit/miss outcome.
+        if spans and home == cluster:
+            remote_home = config.cluster_of_address(address + config.interleaving_factor)
+            subblock_key = (remote_home, self.block_index(address + config.interleaving_factor))
+            home = remote_home
+
+        return self._remote_access(
+            cluster, home, block, subblock_key, is_store, cycle, attractable, spans
+        )
+
+    def _local_access(
+        self, cluster: int, block: int, is_store: bool, cycle: int
+    ) -> AccessResult:
+        module = self._modules[cluster]
+        hit = module.lookup(block)
+        if hit:
+            return AccessResult(
+                classification=AccessType.LOCAL_HIT,
+                latency=self._config.latencies.local_hit,
+                home_cluster=cluster,
+                requesting_cluster=cluster,
+            )
+        module.insert(block)
+        wait = self.next_level.access(cycle)
+        latency = self._config.latencies.local_miss + max(
+            0, wait - self._config.next_level.latency
+        )
+        return AccessResult(
+            classification=AccessType.LOCAL_MISS,
+            latency=latency,
+            home_cluster=cluster,
+            requesting_cluster=cluster,
+        )
+
+    def _remote_access(
+        self,
+        cluster: int,
+        home: int,
+        block: int,
+        subblock_key: tuple[int, int],
+        is_store: bool,
+        cycle: int,
+        attractable: bool,
+        spans: bool,
+    ) -> AccessResult:
+        key = hash(subblock_key)
+
+        # A store makes the storing cluster's own attracted copy stale, so it
+        # is dropped.  Copies held by other clusters need no invalidation:
+        # the memory dependent chain constraint guarantees that no other
+        # cluster reads data this cluster writes within the same loop, and
+        # the buffers are flushed at the loop boundary (Section 3).
+        if is_store and self.attraction_buffers.enabled:
+            self.attraction_buffers[cluster].invalidate(key)
+
+        # 1. A previously attracted copy satisfies the access locally.
+        if not is_store and self.attraction_buffers.lookup(cluster, key):
+            return AccessResult(
+                classification=AccessType.LOCAL_HIT,
+                latency=self._config.latencies.local_hit,
+                home_cluster=home,
+                requesting_cluster=cluster,
+                via_attraction_buffer=True,
+                spans_clusters=spans,
+            )
+
+        # 2. A request for the same subblock is already in flight: combine.
+        pending_ready = self._pending.get(subblock_key)
+        if pending_ready is not None and pending_ready > cycle:
+            return AccessResult(
+                classification=AccessType.COMBINED,
+                latency=pending_ready - cycle,
+                home_cluster=home,
+                requesting_cluster=cluster,
+                spans_clusters=spans,
+            )
+
+        # 3. Issue a remote request over the memory buses.
+        grant = self.memory_buses.request(cycle)
+        module = self._modules[home]
+        hit = module.lookup(block)
+        if hit:
+            latency = self._config.latencies.remote_hit + grant.wait_cycles
+            classification = AccessType.REMOTE_HIT
+        else:
+            module.insert(block)
+            wait = self.next_level.access(cycle + grant.wait_cycles)
+            latency = (
+                self._config.latencies.remote_miss
+                + grant.wait_cycles
+                + max(0, wait - self._config.next_level.latency)
+            )
+            classification = AccessType.REMOTE_MISS
+
+        # 4. Attract the whole subblock into the requesting cluster's buffer.
+        if not is_store:
+            self.attraction_buffers.attract(cluster, key, attractable=attractable)
+
+        self._pending[subblock_key] = cycle + latency
+        if len(self._pending) > 4096:
+            self._pending = {
+                pending_key: ready
+                for pending_key, ready in self._pending.items()
+                if ready > cycle
+            }
+        return AccessResult(
+            classification=classification,
+            latency=latency,
+            home_cluster=home,
+            requesting_cluster=cluster,
+            spans_clusters=spans,
+            bus_wait=grant.wait_cycles,
+        )

@@ -1,0 +1,166 @@
+"""Data layout and variable alignment (Section 4.3.4).
+
+The compiler techniques of the paper depend on where data objects start in
+memory: a strided stream whose base address is a multiple of N x I keeps a
+stable home-cluster pattern across program inputs, whereas an arbitrary base
+address makes the "preferred cluster" learned during profiling useless for
+the execution input (the gsmdec example of the paper).
+
+:class:`DataLayout` assigns base addresses to the arrays of a loop or
+benchmark.  Two policies are provided:
+
+* **aligned** -- stack frames and ``malloc`` results are padded to an N x I
+  boundary, so base addresses are identical for the profile and execution
+  data sets;
+* **natural** -- stack and heap objects land on addresses that depend on the
+  data-set seed (different inputs shift the stack and the heap), modelling
+  the unpadded behaviour.
+
+Global objects always get the same address regardless of the data set, as in
+the paper.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.ir.loop import ArraySpec, StorageClass
+from repro.machine.config import MachineConfig
+
+
+def _stable_hash(*parts: str) -> int:
+    """Deterministic 64-bit hash of the given strings.
+
+    ``hash()`` is randomized per interpreter run, so a cryptographic digest
+    is used to keep experiments reproducible across processes.
+    """
+    digest = hashlib.sha256("/".join(parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+@dataclass(frozen=True)
+class PlacedArray:
+    """An array together with its assigned base address."""
+
+    spec: ArraySpec
+    base_address: int
+
+    def address_of(self, byte_offset: int) -> int:
+        """Address of ``byte_offset`` bytes into the array (with wrap)."""
+        return self.base_address + (byte_offset % self.spec.size_bytes)
+
+
+class DataLayout:
+    """Assigns base addresses to a set of arrays.
+
+    Args:
+        config: Machine configuration (provides N x I for padding).
+        aligned: Whether variable alignment / padding is applied.
+        dataset: Name of the data set ("profile" or "execution" in the
+            experiments); only affects unaligned stack/heap placements.
+        region_gap: Guard gap between consecutive objects, in bytes.
+    """
+
+    #: Nominal segment start addresses; far apart so regions never collide.
+    _GLOBAL_BASE = 0x1000_0000
+    _STACK_BASE = 0x7000_0000
+    _HEAP_BASE = 0x4000_0000
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        aligned: bool = True,
+        dataset: str = "execution",
+        region_gap: int = 256,
+    ) -> None:
+        self._config = config
+        self._aligned = aligned
+        self._dataset = dataset
+        self._region_gap = region_gap
+        self._placements: dict[str, PlacedArray] = {}
+        self._cursors = {
+            StorageClass.GLOBAL: self._GLOBAL_BASE,
+            StorageClass.STACK: self._STACK_BASE,
+            StorageClass.HEAP: self._HEAP_BASE,
+        }
+
+    @property
+    def aligned(self) -> bool:
+        """Whether variable alignment is in effect."""
+        return self._aligned
+
+    @property
+    def dataset(self) -> str:
+        """The data set this layout models."""
+        return self._dataset
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def place(self, spec: ArraySpec) -> PlacedArray:
+        """Assign a base address to an array (idempotent per array name)."""
+        if spec.name in self._placements:
+            return self._placements[spec.name]
+        span = self._config.interleave_span
+        cursor = self._cursors[spec.storage]
+        base = cursor
+        if spec.storage is StorageClass.GLOBAL:
+            # Globals are laid out at fixed, naturally aligned addresses that
+            # never move between inputs; the paper applies no padding here.
+            base = _align_up(base, max(spec.element_bytes, 4))
+        elif self._aligned:
+            base = _align_up(base, span)
+        else:
+            # Unpadded stack frames / malloc results: the data set determines
+            # the offset within the N x I period, as different inputs shift
+            # allocation sizes and stack depths.
+            jitter = _stable_hash(self._dataset, spec.name) % span
+            jitter = _align_down(jitter, spec.element_bytes) or 0
+            base = _align_up(base, max(spec.element_bytes, 4)) + jitter
+        placed = PlacedArray(spec=spec, base_address=base)
+        self._placements[spec.name] = placed
+        self._cursors[spec.storage] = base + spec.size_bytes + self._region_gap
+        return placed
+
+    def place_all(self, arrays: Iterable[ArraySpec] | Mapping[str, ArraySpec]) -> None:
+        """Place a collection of arrays in a deterministic order."""
+        specs = (
+            list(arrays.values()) if isinstance(arrays, Mapping) else list(arrays)
+        )
+        for spec in sorted(specs, key=lambda item: item.name):
+            self.place(spec)
+
+    # ------------------------------------------------------------------
+    # Address queries
+    # ------------------------------------------------------------------
+    def base_address(self, array_name: str) -> int:
+        """Base address of a placed array."""
+        return self._placements[array_name].base_address
+
+    def address_of(self, array_name: str, byte_offset: int) -> int:
+        """Address of a byte offset within a placed array."""
+        return self._placements[array_name].address_of(byte_offset)
+
+    def home_cluster(self, array_name: str, byte_offset: int) -> int:
+        """Home cluster of an element under word interleaving."""
+        return self._config.cluster_of_address(self.address_of(array_name, byte_offset))
+
+    def placements(self) -> dict[str, PlacedArray]:
+        """All placements made so far."""
+        return dict(self._placements)
+
+
+def _align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError("alignment must be positive")
+    return -(-value // alignment) * alignment
+
+
+def _align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError("alignment must be positive")
+    return (value // alignment) * alignment

@@ -1,0 +1,60 @@
+"""The next memory level below the L1 data cache.
+
+In the paper's evaluation the next level always hits and takes 10 cycles in
+total, with 4 ports.  The model below reproduces that: it serves every
+request, charges the configured latency, and adds queueing delay when more
+requests than ports are outstanding in the same cycle window.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.machine.config import NextLevelConfig
+
+
+class NextMemoryLevel:
+    """Always-hit backing store with a fixed latency and limited ports."""
+
+    def __init__(self, config: NextLevelConfig) -> None:
+        self._config = config
+        self._port_free_at: list[int] = [0] * config.ports
+        heapq.heapify(self._port_free_at)
+        self._accesses = 0
+        self._total_wait = 0
+
+    @property
+    def config(self) -> NextLevelConfig:
+        """The next-level configuration."""
+        return self._config
+
+    @property
+    def accesses(self) -> int:
+        """Number of requests served."""
+        return self._accesses
+
+    @property
+    def total_wait_cycles(self) -> int:
+        """Cumulative port-contention wait."""
+        return self._total_wait
+
+    def access(self, cycle: int) -> int:
+        """Serve a request issued at ``cycle``; returns its total latency.
+
+        The returned latency includes any wait for a free port plus the
+        configured access latency.
+        """
+        earliest_free = heapq.heappop(self._port_free_at)
+        start = max(cycle, earliest_free)
+        heapq.heappush(self._port_free_at, start + 1)
+        wait = start - cycle
+        self._accesses += 1
+        self._total_wait += wait
+        return wait + self._config.latency
+
+    def reset(self) -> None:
+        """Clear occupancy and statistics."""
+        self._port_free_at = [0] * self._config.ports
+        heapq.heapify(self._port_free_at)
+        self._accesses = 0
+        self._total_wait = 0

@@ -1,0 +1,85 @@
+"""The unified-cache clustered baseline.
+
+The comparison architecture of Section 5.3: the register file and the
+functional units are clustered, but the L1 data cache is a single shared
+structure with five read/write ports.  Two latency variants are evaluated in
+the paper -- an optimistic 1-cycle cache and a realistic 5-cycle cache whose
+latency includes the propagation between the clusters and the centralized
+cache -- and both are expressed through
+:attr:`~repro.machine.config.MachineConfig.unified_cache_latency`.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.machine.config import CacheOrganization, MachineConfig
+from repro.memory.cachesets import SetAssociativeStore
+from repro.memory.classify import AccessResult, AccessType
+from repro.memory.hierarchy import DataCacheModel
+
+
+class UnifiedDataCache(DataCacheModel):
+    """Behavioural model of the unified (centralized) L1 data cache."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        if config.organization is not CacheOrganization.UNIFIED:
+            raise ValueError("configuration is not a unified-cache machine")
+        super().__init__(config)
+        geometry = config.cache
+        self._store = SetAssociativeStore(geometry.num_sets, geometry.associativity)
+        self._port_free_at: list[int] = [0] * config.unified_cache_ports
+        heapq.heapify(self._port_free_at)
+        self._port_conflicts = 0
+
+    @property
+    def port_conflicts(self) -> int:
+        """Accesses that had to wait for a read/write port."""
+        return self._port_conflicts
+
+    def begin_loop(self) -> None:
+        """Reset bus/port occupancy at loop boundaries (contents survive)."""
+        super().begin_loop()
+        self._port_free_at = [0] * self._config.unified_cache_ports
+        heapq.heapify(self._port_free_at)
+
+    def _acquire_port(self, cycle: int) -> int:
+        """Wait for a free port; returns the wait in cycles."""
+        earliest = heapq.heappop(self._port_free_at)
+        start = max(cycle, earliest)
+        heapq.heappush(self._port_free_at, start + 1)
+        wait = start - cycle
+        if wait:
+            self._port_conflicts += 1
+        return wait
+
+    def _access(
+        self,
+        cluster: int,
+        address: int,
+        size: int,
+        is_store: bool,
+        cycle: int,
+        attractable: bool,
+    ) -> AccessResult:
+        port_wait = self._acquire_port(cycle)
+        block = self.block_index(address)
+        hit = self._store.lookup(block)
+        base_latency = self._config.unified_cache_latency
+        if hit:
+            return AccessResult(
+                classification=AccessType.LOCAL_HIT,
+                latency=base_latency + port_wait,
+                home_cluster=None,
+                requesting_cluster=cluster,
+                bus_wait=port_wait,
+            )
+        self._store.insert(block)
+        next_latency = self.next_level.access(cycle + port_wait)
+        return AccessResult(
+            classification=AccessType.LOCAL_MISS,
+            latency=base_latency + port_wait + next_latency,
+            home_cluster=None,
+            requesting_cluster=cluster,
+            bus_wait=port_wait,
+        )

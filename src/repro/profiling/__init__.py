@@ -1,0 +1,17 @@
+"""Profiling: hit rates, preferred clusters, address streams."""
+
+from repro.profiling.address import AddressStream
+from repro.profiling.profiler import (
+    DEFAULT_PROFILE_ITERATION_CAP,
+    LoopProfile,
+    OperationProfile,
+    profile_loop,
+)
+
+__all__ = [
+    "AddressStream",
+    "DEFAULT_PROFILE_ITERATION_CAP",
+    "LoopProfile",
+    "OperationProfile",
+    "profile_loop",
+]

@@ -1,0 +1,78 @@
+"""Deterministic address-stream generation for memory operations.
+
+Both the profiler and the simulator need the address every memory operation
+references in every iteration.  Direct strided accesses are computed from the
+array base address, the constant offset and the stride.  Indirect accesses
+(``a[b[i]]``) use a pseudo-random index stream that is a deterministic
+function of the data-set name, the index array and the iteration number, so
+that the profile data set and the execution data set see *different but
+reproducible* streams -- exactly the property the paper's variable-alignment
+discussion hinges on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.ir.loop import Loop
+from repro.ir.operation import Operation
+from repro.memory.layout import DataLayout
+
+
+def _stream_value(dataset: str, stream: str, iteration: int) -> int:
+    """A reproducible 32-bit pseudo-random value for one stream element."""
+    payload = f"{dataset}/{stream}/{iteration}".encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest[:4], "little")
+
+
+class AddressStream:
+    """Generates the addresses of one loop's memory operations."""
+
+    def __init__(self, loop: Loop, layout: DataLayout, dataset: str) -> None:
+        self._loop = loop
+        self._layout = layout
+        self._dataset = dataset
+        layout.place_all(loop.arrays)
+
+    @property
+    def dataset(self) -> str:
+        """Data-set name the indirect index streams are derived from."""
+        return self._dataset
+
+    @property
+    def layout(self) -> DataLayout:
+        """The data layout addresses are computed against."""
+        return self._layout
+
+    def address(self, op: Operation, iteration: int) -> int:
+        """Address referenced by ``op`` in the given iteration."""
+        if not op.is_memory:
+            raise ValueError("only memory operations have addresses")
+        access = op.memory
+        spec = self._loop.arrays[access.array]
+        if access.indirect:
+            index_spec = self._loop.arrays[access.index_array]
+            index_range = (
+                spec.index_range
+                or index_spec.index_range
+                or spec.num_elements
+            )
+            raw = _stream_value(self._dataset, access.index_array, iteration)
+            element = raw % index_range
+            offset = access.offset_bytes + element * access.granularity
+        else:
+            offset = access.offset_bytes + access.stride_bytes * iteration
+        return self._layout.address_of(access.array, offset)
+
+    def home_cluster(self, op: Operation, iteration: int) -> int:
+        """Home cluster of the address referenced in the given iteration."""
+        address = self.address(op, iteration)
+        return self._layout._config.cluster_of_address(address)  # noqa: SLF001
+
+    def iteration_addresses(self, iteration: int) -> dict[Operation, int]:
+        """Addresses of every memory operation for one iteration."""
+        return {
+            op: self.address(op, iteration)
+            for op in self._loop.memory_operations
+        }

@@ -1,0 +1,168 @@
+"""Profiling infrastructure (hit rates and preferred clusters).
+
+The scheduling techniques of the paper use two pieces of profile
+information, both obtained by running the program on a *profile* data set:
+
+* the **hit rate** of every memory instruction, which drives the latency
+  assignment (Section 4.3.1, Step 2) and the selective-unrolling execution
+  time estimate; and
+* the **preferred cluster** of every memory instruction -- the cluster it
+  accesses most -- together with how concentrated those accesses are (the
+  "distribution" factor of Section 5.2), which drives the IPBC heuristic.
+
+:func:`profile_loop` reproduces this by streaming the loop's addresses (from
+the profile data set) through a fresh cache-module model and the data-layout
+model, then summarising per static operation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.ir.loop import Loop
+from repro.ir.operation import Operation
+from repro.machine.config import CacheOrganization, MachineConfig
+from repro.memory.cachesets import SetAssociativeStore
+from repro.memory.layout import DataLayout
+from repro.profiling.address import AddressStream
+
+#: Cap on profiled iterations; profiling is statistical, not exhaustive.
+DEFAULT_PROFILE_ITERATION_CAP = 2048
+
+
+@dataclass
+class OperationProfile:
+    """Profile summary of one static memory operation."""
+
+    operation: Operation
+    accesses: int = 0
+    hits: int = 0
+    cluster_counts: Counter = field(default_factory=Counter)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of profiled accesses that hit in the cache."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def preferred_cluster(self) -> Optional[int]:
+        """The cluster this operation accesses most, or None if unprofiled."""
+        if not self.cluster_counts:
+            return None
+        best = max(self.cluster_counts.values())
+        # Deterministic tie-break towards the lowest cluster index.
+        for cluster in sorted(self.cluster_counts):
+            if self.cluster_counts[cluster] == best:
+                return cluster
+        return None
+
+    @property
+    def distribution(self) -> float:
+        """Concentration of accesses on the preferred cluster.
+
+        1.0 means every access goes to one cluster; 1/N means the accesses
+        are spread evenly over N clusters (the paper's "unclear preferred
+        cluster" metric).
+        """
+        if not self.cluster_counts:
+            return 0.0
+        return max(self.cluster_counts.values()) / sum(self.cluster_counts.values())
+
+    def local_ratio_if_scheduled_on(self, cluster: int) -> float:
+        """Fraction of accesses that would be local from ``cluster``."""
+        if not self.cluster_counts:
+            return 0.0
+        return self.cluster_counts.get(cluster, 0) / sum(self.cluster_counts.values())
+
+
+@dataclass
+class LoopProfile:
+    """Profile of a whole loop."""
+
+    loop: Loop
+    operations: dict[Operation, OperationProfile]
+    profiled_iterations: int
+    average_trip_count: float
+
+    def hit_rate(self, op: Operation) -> float:
+        """Hit rate of an operation (0.0 for unprofiled operations)."""
+        profile = self.operations.get(op)
+        return profile.hit_rate if profile else 0.0
+
+    def preferred_cluster(self, op: Operation) -> Optional[int]:
+        """Preferred cluster of an operation, or None."""
+        profile = self.operations.get(op)
+        return profile.preferred_cluster if profile else None
+
+    def preferred_clusters(self) -> dict[Operation, Optional[int]]:
+        """Preferred cluster of every profiled operation."""
+        return {op: prof.preferred_cluster for op, prof in self.operations.items()}
+
+    def cluster_histograms(self) -> dict[Operation, Mapping[int, int]]:
+        """Per-operation cluster access histograms."""
+        return {op: dict(prof.cluster_counts) for op, prof in self.operations.items()}
+
+    def distribution(self, op: Operation) -> float:
+        """Preferred-cluster concentration of an operation."""
+        profile = self.operations.get(op)
+        return profile.distribution if profile else 0.0
+
+
+def profile_loop(
+    loop: Loop,
+    config: MachineConfig,
+    dataset: str = "profile",
+    aligned: bool = True,
+    iteration_cap: int = DEFAULT_PROFILE_ITERATION_CAP,
+) -> LoopProfile:
+    """Profile one loop on the given machine configuration.
+
+    The profile records, for every memory operation, how many accesses hit in
+    the (interleaved) cache modules and which cluster each access mapped to.
+    For unified-cache machines the cluster histogram is still collected --
+    the interleaving function is a property of addresses -- but is unused by
+    the BASE scheduler.
+    """
+    layout = DataLayout(config, aligned=aligned, dataset=dataset)
+    stream = AddressStream(loop, layout, dataset)
+    iterations = min(loop.profile_trip_count, iteration_cap)
+
+    if config.organization is CacheOrganization.UNIFIED:
+        geometry = config.cache
+        stores = [SetAssociativeStore(geometry.num_sets, geometry.associativity)]
+    else:
+        module = config.module_geometry
+        subblocks = module.size_bytes // max(1, config.subblock_bytes)
+        num_sets = max(1, subblocks // module.associativity)
+        stores = [
+            SetAssociativeStore(num_sets, module.associativity)
+            for _ in range(config.num_clusters)
+        ]
+
+    block_bytes = config.cache.block_bytes
+    profiles: dict[Operation, OperationProfile] = {
+        op: OperationProfile(op) for op in loop.memory_operations
+    }
+
+    for iteration in range(iterations):
+        for op in loop.memory_operations:
+            address = stream.address(op, iteration)
+            block = address // block_bytes
+            home = config.cluster_of_address(address)
+            store = stores[0] if len(stores) == 1 else stores[home]
+            hit = store.lookup(block)
+            if not hit:
+                store.insert(block)
+            profile = profiles[op]
+            profile.accesses += 1
+            profile.hits += int(hit)
+            profile.cluster_counts[home] += 1
+
+    return LoopProfile(
+        loop=loop,
+        operations=profiles,
+        profiled_iterations=iterations,
+        average_trip_count=float(loop.profile_trip_count),
+    )

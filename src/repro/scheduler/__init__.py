@@ -1,0 +1,90 @@
+"""Modulo scheduling for clustered VLIW processors (the paper's core)."""
+
+from repro.scheduler.baselines import (
+    schedule_for_interleaved,
+    schedule_for_multivliw,
+    schedule_for_unified,
+)
+from repro.scheduler.core import (
+    ModuloScheduler,
+    SchedulingError,
+    SchedulingHeuristic,
+    schedule_loop,
+)
+from repro.scheduler.latency import (
+    LatencyAssigner,
+    LatencyAssignment,
+    LatencyModel,
+    LatencyStep,
+    MemoryOpStats,
+    assign_latencies,
+    expected_stall,
+    latency_classes,
+    stats_from_profile,
+)
+from repro.scheduler.mii import MIIResult, compute_mii, make_latency_function
+from repro.scheduler.mrt import ModuloReservationTable
+from repro.scheduler.ordering import order_nodes, ordering_quality
+from repro.scheduler.pipeline import (
+    CompiledLoop,
+    CompilerOptions,
+    compile_loop,
+    compile_loops,
+    default_heuristic_for,
+)
+from repro.scheduler.schedule import (
+    ClusteredSchedule,
+    CopyOperation,
+    ScheduledOperation,
+    validate_schedule,
+)
+from repro.scheduler.unrolling import (
+    MIN_TRIP_COUNT_FOR_UNROLLING,
+    UnrollingEstimate,
+    UnrollPolicy,
+    candidate_factors,
+    estimate_execution_time,
+    individual_unroll_factor,
+    optimal_unroll_factor,
+)
+
+__all__ = [
+    "ClusteredSchedule",
+    "CompiledLoop",
+    "CompilerOptions",
+    "CopyOperation",
+    "LatencyAssigner",
+    "LatencyAssignment",
+    "LatencyModel",
+    "LatencyStep",
+    "MIIResult",
+    "MIN_TRIP_COUNT_FOR_UNROLLING",
+    "MemoryOpStats",
+    "ModuloReservationTable",
+    "ModuloScheduler",
+    "ScheduledOperation",
+    "SchedulingError",
+    "SchedulingHeuristic",
+    "UnrollPolicy",
+    "UnrollingEstimate",
+    "assign_latencies",
+    "candidate_factors",
+    "compile_loop",
+    "compile_loops",
+    "compute_mii",
+    "default_heuristic_for",
+    "estimate_execution_time",
+    "expected_stall",
+    "individual_unroll_factor",
+    "latency_classes",
+    "make_latency_function",
+    "optimal_unroll_factor",
+    "order_nodes",
+    "ordering_quality",
+    "schedule_for_interleaved",
+    "schedule_for_multivliw",
+    "schedule_for_unified",
+    "schedule_loop",
+    "stats_from_profile",
+    "validate_schedule",
+]

@@ -1,0 +1,73 @@
+"""Named entry points for the four evaluated schedulers.
+
+These wrappers bundle the compilation pipeline with the heuristic /
+architecture pairings used throughout Section 5:
+
+* :func:`schedule_for_unified` -- the BASE algorithm on the unified-cache
+  clustered processor (1- or 5-cycle cache);
+* :func:`schedule_for_interleaved` -- the proposed algorithm on the
+  word-interleaved processor, with either the IBC or the IPBC heuristic;
+* :func:`schedule_for_multivliw` -- the IBC-style scheduler on the
+  cache-coherent multiVLIW.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.loop import Loop
+from repro.machine.config import MachineConfig
+from repro.scheduler.core import SchedulingHeuristic
+from repro.scheduler.pipeline import CompiledLoop, CompilerOptions, compile_loop
+from repro.scheduler.unrolling import UnrollPolicy
+
+
+def schedule_for_unified(
+    loop: Loop,
+    cache_latency: int = 1,
+    unroll_policy: UnrollPolicy = UnrollPolicy.SELECTIVE,
+    config: Optional[MachineConfig] = None,
+) -> CompiledLoop:
+    """Compile a loop with the BASE algorithm for the unified-cache machine."""
+    machine = config or MachineConfig.unified(latency=cache_latency)
+    options = CompilerOptions(
+        heuristic=SchedulingHeuristic.BASE, unroll_policy=unroll_policy
+    )
+    return compile_loop(loop, machine, options)
+
+
+def schedule_for_interleaved(
+    loop: Loop,
+    heuristic: SchedulingHeuristic = SchedulingHeuristic.IPBC,
+    unroll_policy: UnrollPolicy = UnrollPolicy.SELECTIVE,
+    variable_alignment: bool = True,
+    use_chains: bool = True,
+    attraction_buffers: bool = False,
+    config: Optional[MachineConfig] = None,
+) -> CompiledLoop:
+    """Compile a loop for the word-interleaved cache clustered processor."""
+    if heuristic not in (SchedulingHeuristic.IBC, SchedulingHeuristic.IPBC):
+        raise ValueError("the interleaved scheduler uses the IBC or IPBC heuristic")
+    machine = config or MachineConfig.word_interleaved(
+        attraction_buffers=attraction_buffers
+    )
+    options = CompilerOptions(
+        heuristic=heuristic,
+        unroll_policy=unroll_policy,
+        variable_alignment=variable_alignment,
+        use_chains=use_chains,
+    )
+    return compile_loop(loop, machine, options)
+
+
+def schedule_for_multivliw(
+    loop: Loop,
+    unroll_policy: UnrollPolicy = UnrollPolicy.SELECTIVE,
+    config: Optional[MachineConfig] = None,
+) -> CompiledLoop:
+    """Compile a loop for the cache-coherent multiVLIW processor."""
+    machine = config or MachineConfig.multivliw()
+    options = CompilerOptions(
+        heuristic=SchedulingHeuristic.MULTIVLIW, unroll_policy=unroll_policy
+    )
+    return compile_loop(loop, machine, options)

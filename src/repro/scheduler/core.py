@@ -1,0 +1,533 @@
+"""The modulo scheduling engine with integrated cluster assignment.
+
+Cluster assignment and instruction scheduling are performed in a single step
+(Section 4.3.1, Step 4): operations are visited in the order produced by the
+ordering phase, each is placed in the first (cluster, cycle) slot that
+satisfies its dependences and resource constraints, and nothing is ever
+unscheduled -- when an operation cannot be placed, the II is increased and
+scheduling restarts.
+
+The engine is shared by all four evaluated schedulers; they differ only in
+how memory operations choose their candidate clusters:
+
+* **BASE** (unified cache): memory operations are ordinary operations.
+* **IBC** (Interleaved Build Chains): memory operations are ordinary
+  operations, but when the first operation of a memory dependent chain is
+  placed, the rest of the chain is pinned to the same cluster.
+* **IPBC** (Interleaved Pre-Build Chains): chains are built before
+  scheduling and every memory operation is pinned to its chain's average
+  preferred cluster (or its own preferred cluster for trivial chains).
+* **MULTIVLIW**: like IBC but without chains -- the coherence hardware
+  guarantees memory correctness, so memory operations are unconstrained.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.ir.chains import ChainAssignment, build_memory_chains
+from repro.ir.ddg import DependenceKind
+from repro.ir.loop import Loop
+from repro.ir.operation import Operation
+from repro.machine.config import CacheOrganization, MachineConfig
+from repro.profiling.profiler import LoopProfile
+from repro.scheduler.latency import LatencyAssignment
+from repro.scheduler.mii import compute_mii, make_latency_function
+from repro.scheduler.mrt import ModuloReservationTable
+from repro.scheduler.ordering import order_nodes
+from repro.scheduler.schedule import (
+    ClusteredSchedule,
+    CopyOperation,
+    ScheduledOperation,
+)
+
+
+class SchedulingHeuristic(enum.Enum):
+    """Cluster-assignment heuristic for memory instructions."""
+
+    BASE = "base"
+    IBC = "ibc"
+    IPBC = "ipbc"
+    MULTIVLIW = "multivliw"
+
+    @property
+    def uses_chains(self) -> bool:
+        """Whether memory dependent chains constrain cluster assignment."""
+        return self in (SchedulingHeuristic.IBC, SchedulingHeuristic.IPBC)
+
+    @property
+    def uses_preferred_cluster(self) -> bool:
+        """Whether profile preferred-cluster information drives placement."""
+        return self is SchedulingHeuristic.IPBC
+
+
+class SchedulingError(RuntimeError):
+    """Raised when no valid schedule is found within the II budget."""
+
+
+@dataclass(frozen=True)
+class _Placement:
+    """A tentative placement of one operation, before it is committed."""
+
+    operation: Operation
+    cluster: int
+    cycle: int
+    latency: int
+    copies: tuple[CopyOperation, ...]
+
+
+class ModuloScheduler:
+    """Schedules one loop for one machine configuration and heuristic."""
+
+    #: Hard cap multiplier on the II search to guarantee termination.
+    MAX_II_SLACK = 256
+
+    def __init__(
+        self,
+        loop: Loop,
+        config: MachineConfig,
+        latency_assignment: LatencyAssignment,
+        heuristic: SchedulingHeuristic,
+        profile: Optional[LoopProfile] = None,
+        chains: Optional[ChainAssignment] = None,
+        use_chains: bool = True,
+        max_ii: Optional[int] = None,
+    ) -> None:
+        self._loop = loop
+        self._config = config
+        self._assignment = latency_assignment
+        self._heuristic = heuristic
+        self._profile = profile
+        self._use_chains = use_chains and heuristic.uses_chains
+        self._chains = chains or (
+            build_memory_chains(loop.ddg) if self._use_chains else None
+        )
+        self._latency_of = make_latency_function(
+            config, memory_latencies=latency_assignment.latencies
+        )
+        self._max_ii = max_ii
+        self._validate_inputs()
+
+    def _validate_inputs(self) -> None:
+        if self._heuristic.uses_preferred_cluster and self._profile is None:
+            raise ValueError("the IPBC heuristic requires profile information")
+        if (
+            self._heuristic in (SchedulingHeuristic.IBC, SchedulingHeuristic.IPBC)
+            and self._config.organization is not CacheOrganization.WORD_INTERLEAVED
+        ):
+            raise ValueError(
+                "IBC/IPBC target the word-interleaved cache organization"
+            )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def schedule(self) -> ClusteredSchedule:
+        """Find a valid modulo schedule, increasing the II as needed."""
+        mii_result = compute_mii(self._loop, self._config, self._latency_of)
+        order = order_nodes(
+            self._loop.ddg, self._latency_of, mii_result.recurrences
+        )
+        start_ii = max(mii_result.mii, self._cluster_constrained_mii())
+        ceiling = self._max_ii or (
+            start_ii + len(self._loop.operations) * 4 + self.MAX_II_SLACK
+        )
+        ii = start_ii
+        while ii <= ceiling:
+            schedule = self._try_schedule(ii, order)
+            if schedule is not None:
+                schedule.metadata["mii"] = mii_result.mii
+                schedule.metadata["res_mii"] = mii_result.res_mii
+                schedule.metadata["rec_mii"] = mii_result.rec_mii
+                schedule.metadata["target_mii"] = self._assignment.target_mii
+                return schedule
+            ii += 1
+        raise SchedulingError(
+            f"could not schedule loop {self._loop.name!r} within II <= {ceiling}"
+        )
+
+    def _cluster_constrained_mii(self) -> int:
+        """Lower II bound induced by forced cluster assignments.
+
+        Memory dependent chains (and, with IPBC, preferred clusters) force
+        groups of memory operations into a single cluster, so the II can
+        never be smaller than the largest such group divided by the number
+        of memory units per cluster.  Starting the II search there avoids a
+        long sequence of doomed attempts.
+        """
+        memory_units = self._config.functional_units.memory
+        bound = 1
+        if self._chains is not None:
+            for chain in self._chains.chains:
+                bound = max(bound, -(-len(chain) // memory_units))
+        if self._heuristic.uses_preferred_cluster and self._profile is not None:
+            per_cluster: dict[int, int] = {}
+            for op in self._loop.memory_operations:
+                preferred = self._profile.preferred_cluster(op)
+                if preferred is None:
+                    continue
+                per_cluster[preferred] = per_cluster.get(preferred, 0) + 1
+            for count in per_cluster.values():
+                bound = max(bound, -(-count // memory_units))
+        return bound
+
+    # ------------------------------------------------------------------
+    # Single-II attempt
+    # ------------------------------------------------------------------
+    def _try_schedule(
+        self, ii: int, order: Sequence[Operation]
+    ) -> Optional[ClusteredSchedule]:
+        mrt = ModuloReservationTable(ii, self._config)
+        placed: dict[Operation, ScheduledOperation] = {}
+        copies: list[CopyOperation] = []
+        chain_cluster: dict[int, int] = {}
+        cluster_load = [0] * self._config.num_clusters
+
+        for op in order:
+            candidates = self._candidate_clusters(
+                op, placed, chain_cluster, cluster_load
+            )
+            placement = None
+            for cluster in candidates:
+                placement = self._try_place(op, cluster, ii, mrt, placed)
+                if placement is not None:
+                    break
+            if placement is None:
+                return None
+            self._commit(placement, ii, mrt, placed, copies, cluster_load)
+            if op.is_memory and self._chains is not None:
+                chain = self._chains.chain_of(op)
+                if chain is not None:
+                    chain_cluster.setdefault(chain.index, placement.cluster)
+
+        placed, copies = _normalize_start_cycles(placed, copies, ii)
+        return ClusteredSchedule(
+            loop=self._loop,
+            config=self._config,
+            ii=ii,
+            entries=placed,
+            copies=copies,
+            heuristic=self._heuristic.value,
+        )
+
+    # ------------------------------------------------------------------
+    # Cluster candidate selection
+    # ------------------------------------------------------------------
+    def _candidate_clusters(
+        self,
+        op: Operation,
+        placed: Mapping[Operation, ScheduledOperation],
+        chain_cluster: Mapping[int, int],
+        cluster_load: Sequence[int],
+    ) -> list[int]:
+        all_clusters = self._ordered_by_profit(op, placed, cluster_load)
+
+        if not op.is_memory:
+            return all_clusters
+
+        # Chain constraint: once any member of the chain is placed (IBC) or
+        # the chain has a pre-assigned cluster (IPBC), the rest must follow.
+        if self._chains is not None:
+            chain = self._chains.chain_of(op)
+            if chain is not None and chain.index in chain_cluster:
+                return [chain_cluster[chain.index]]
+            if (
+                chain is not None
+                and self._heuristic is SchedulingHeuristic.IPBC
+                and not chain.is_trivial
+            ):
+                preferred = chain.average_preferred_cluster(
+                    self._profile.preferred_clusters(),
+                    self._profile.cluster_histograms(),
+                )
+                if preferred is not None:
+                    return [preferred]
+
+        if self._heuristic.uses_preferred_cluster:
+            preferred = self._profile.preferred_cluster(op)
+            if preferred is not None:
+                return [preferred]
+        return all_clusters
+
+    def _ordered_by_profit(
+        self,
+        op: Operation,
+        placed: Mapping[Operation, ScheduledOperation],
+        cluster_load: Sequence[int],
+    ) -> list[int]:
+        """Order clusters by communication profit, then workload balance."""
+
+        def copies_needed(cluster: int) -> int:
+            count = 0
+            for dep in self._loop.ddg.dependences_to(op):
+                if dep.kind is DependenceKind.REG_FLOW and dep.src in placed:
+                    if placed[dep.src].cluster != cluster:
+                        count += 1
+            for dep in self._loop.ddg.dependences_from(op):
+                if dep.kind is DependenceKind.REG_FLOW and dep.dst in placed:
+                    if placed[dep.dst].cluster != cluster:
+                        count += 1
+            return count
+
+        return sorted(
+            range(self._config.num_clusters),
+            key=lambda cluster: (
+                copies_needed(cluster),
+                cluster_load[cluster],
+                cluster,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Placement of a single operation
+    # ------------------------------------------------------------------
+    def _dependence_latency(
+        self, dep_kind: DependenceKind, producer_latency: int, crosses: bool
+    ) -> int:
+        if dep_kind is DependenceKind.REG_FLOW:
+            latency = producer_latency
+            if crosses:
+                latency += self._config.op_latencies.copy
+            return latency
+        if dep_kind is DependenceKind.MEMORY:
+            return 1
+        return 0
+
+    def _try_place(
+        self,
+        op: Operation,
+        cluster: int,
+        ii: int,
+        mrt: ModuloReservationTable,
+        placed: Mapping[Operation, ScheduledOperation],
+    ) -> Optional[_Placement]:
+        earliest: Optional[int] = None
+        latest: Optional[int] = None
+
+        for dep in self._loop.ddg.dependences_to(op):
+            if dep.src not in placed:
+                continue
+            src = placed[dep.src]
+            crosses = dep.kind is DependenceKind.REG_FLOW and src.cluster != cluster
+            latency = self._dependence_latency(dep.kind, src.assigned_latency, crosses)
+            bound = src.start_cycle + latency - ii * dep.distance
+            earliest = bound if earliest is None else max(earliest, bound)
+
+        own_latency = self._latency_of(op)
+        for dep in self._loop.ddg.dependences_from(op):
+            if dep.dst not in placed:
+                continue
+            dst = placed[dep.dst]
+            crosses = dep.kind is DependenceKind.REG_FLOW and dst.cluster != cluster
+            latency = self._dependence_latency(dep.kind, own_latency, crosses)
+            bound = dst.start_cycle - latency + ii * dep.distance
+            latest = bound if latest is None else min(latest, bound)
+
+        # Start cycles may be negative: when an operation is ordered after
+        # its successors (SMS places one node per recurrence that way), it
+        # must land *before* them.  The schedule is normalized afterwards.
+        forward = True
+        if earliest is None and latest is None:
+            earliest, latest = 0, ii - 1
+        elif earliest is None:
+            earliest = latest - ii + 1
+            forward = False
+        elif latest is None:
+            latest = earliest + ii - 1
+        else:
+            latest = min(latest, earliest + ii - 1)
+        if latest < earliest:
+            return None
+
+        cycles = range(earliest, latest + 1)
+        if not forward:
+            cycles = reversed(cycles)
+        for cycle in cycles:
+            if not mrt.fu_available(cycle, cluster, op):
+                continue
+            copies = self._plan_copies(op, cluster, cycle, own_latency, ii, mrt, placed)
+            if copies is None:
+                continue
+            return _Placement(
+                operation=op,
+                cluster=cluster,
+                cycle=cycle,
+                latency=own_latency,
+                copies=tuple(copies),
+            )
+        return None
+
+    def _plan_copies(
+        self,
+        op: Operation,
+        cluster: int,
+        cycle: int,
+        own_latency: int,
+        ii: int,
+        mrt: ModuloReservationTable,
+        placed: Mapping[Operation, ScheduledOperation],
+    ) -> Optional[list[CopyOperation]]:
+        """Find register-bus slots for every cross-cluster value movement.
+
+        The slots chosen for the copies of this single placement must not
+        oversubscribe a bus row between themselves either, so the search
+        keeps a local overlay of tentatively used rows on top of the MRT.
+        """
+        copy_latency = self._config.op_latencies.copy
+        span = self._config.register_buses.transfer_cycles
+        planned: list[CopyOperation] = []
+        overlay: dict[int, int] = {}
+
+        def claim_slot(earliest: int, latest: int) -> Optional[int]:
+            if latest < earliest:
+                return None
+            for candidate in range(earliest, latest + 1):
+                extra = max(
+                    overlay.get((candidate + offset) % ii, 0) for offset in range(span)
+                )
+                if mrt.register_bus_slack(candidate) > extra:
+                    for offset in range(span):
+                        row = (candidate + offset) % ii
+                        overlay[row] = overlay.get(row, 0) + 1
+                    return candidate
+            return None
+
+        for dep in self._loop.ddg.dependences_to(op):
+            if dep.kind is not DependenceKind.REG_FLOW or dep.src not in placed:
+                continue
+            src = placed[dep.src]
+            if src.cluster == cluster:
+                continue
+            ready = src.start_cycle + src.assigned_latency - ii * dep.distance
+            slot = claim_slot(ready, cycle - copy_latency)
+            if slot is None:
+                return None
+            planned.append(
+                CopyOperation(
+                    producer=dep.src,
+                    consumer=op,
+                    source_cluster=src.cluster,
+                    target_cluster=cluster,
+                    issue_cycle=slot,
+                    latency=copy_latency,
+                )
+            )
+
+        for dep in self._loop.ddg.dependences_from(op):
+            if dep.kind is not DependenceKind.REG_FLOW or dep.dst not in placed:
+                continue
+            dst = placed[dep.dst]
+            if dst.cluster == cluster:
+                continue
+            ready = cycle + own_latency
+            deadline = dst.start_cycle + ii * dep.distance - copy_latency
+            slot = claim_slot(ready, deadline)
+            if slot is None:
+                return None
+            planned.append(
+                CopyOperation(
+                    producer=op,
+                    consumer=dep.dst,
+                    source_cluster=cluster,
+                    target_cluster=dst.cluster,
+                    issue_cycle=slot,
+                    latency=copy_latency,
+                )
+            )
+        return planned
+
+    def _commit(
+        self,
+        placement: _Placement,
+        ii: int,
+        mrt: ModuloReservationTable,
+        placed: dict[Operation, ScheduledOperation],
+        copies: list[CopyOperation],
+        cluster_load: list[int],
+    ) -> None:
+        mrt.reserve_fu(placement.cycle, placement.cluster, placement.operation)
+        for copy in placement.copies:
+            mrt.reserve_register_bus(copy.issue_cycle)
+        # Memory operations expected to go remote also occupy a memory bus
+        # slot; this keeps the schedule honest about bus bandwidth.
+        if (
+            placement.operation.is_memory
+            and placement.latency >= self._config.latencies.remote_hit
+            and self._config.organization is CacheOrganization.WORD_INTERLEAVED
+            and mrt.memory_bus_available(placement.cycle)
+        ):
+            mrt.reserve_memory_bus(placement.cycle)
+        placed[placement.operation] = ScheduledOperation(
+            operation=placement.operation,
+            cluster=placement.cluster,
+            start_cycle=placement.cycle,
+            assigned_latency=placement.latency,
+            ii=ii,
+        )
+        copies.extend(placement.copies)
+        cluster_load[placement.cluster] += 1
+
+
+def _normalize_start_cycles(
+    placed: dict[Operation, ScheduledOperation],
+    copies: list[CopyOperation],
+    ii: int,
+) -> tuple[dict[Operation, ScheduledOperation], list[CopyOperation]]:
+    """Shift the schedule so every start cycle is non-negative.
+
+    The shift is a multiple of the II, which preserves every kernel row (and
+    therefore every resource reservation) while making stage numbers and
+    flattened start cycles well defined.
+    """
+    cycles = [entry.start_cycle for entry in placed.values()]
+    cycles.extend(copy.issue_cycle for copy in copies)
+    minimum = min(cycles, default=0)
+    if minimum >= 0:
+        return placed, copies
+    shift = (-minimum + ii - 1) // ii * ii
+    shifted_entries = {
+        op: ScheduledOperation(
+            operation=entry.operation,
+            cluster=entry.cluster,
+            start_cycle=entry.start_cycle + shift,
+            assigned_latency=entry.assigned_latency,
+            ii=entry.ii,
+        )
+        for op, entry in placed.items()
+    }
+    shifted_copies = [
+        CopyOperation(
+            producer=copy.producer,
+            consumer=copy.consumer,
+            source_cluster=copy.source_cluster,
+            target_cluster=copy.target_cluster,
+            issue_cycle=copy.issue_cycle + shift,
+            latency=copy.latency,
+        )
+        for copy in copies
+    ]
+    return shifted_entries, shifted_copies
+
+
+def schedule_loop(
+    loop: Loop,
+    config: MachineConfig,
+    latency_assignment: LatencyAssignment,
+    heuristic: SchedulingHeuristic,
+    profile: Optional[LoopProfile] = None,
+    use_chains: bool = True,
+    max_ii: Optional[int] = None,
+) -> ClusteredSchedule:
+    """One-call wrapper around :class:`ModuloScheduler`."""
+    scheduler = ModuloScheduler(
+        loop=loop,
+        config=config,
+        latency_assignment=latency_assignment,
+        heuristic=heuristic,
+        profile=profile,
+        use_chains=use_chains,
+        max_ii=max_ii,
+    )
+    return scheduler.schedule()

@@ -1,0 +1,374 @@
+"""Latency assignment for memory instructions (Section 4.3.1, Step 2).
+
+Memory operations have variable latency.  Scheduling them with the largest
+latency avoids stalls but lengthens recurrences (and thus the II); scheduling
+them with the smallest latency keeps the II low but risks stalls.  The paper
+resolves the tension with a selective process:
+
+1. every memory instruction starts with the largest latency (remote miss for
+   the interleaved cache, miss for the unified cache);
+2. working one recurrence at a time -- from the most to the least
+   constraining -- the latency of selectively chosen instructions is lowered
+   until the recurrence's II matches the MII the loop would have if every
+   memory instruction used the local-hit latency;
+3. each candidate change is ranked by a *benefit* function
+   ``B = (decrease in II) / (increase in estimated stall time)``;
+4. when the last change overshoots (the recurrence's II drops below the
+   MII), the last changed instruction's latency is raised again so the II
+   lands exactly on the MII.
+
+The stall estimate uses the profiled hit rate and the expected fraction of
+local accesses, the access granularity and the stride, as described (but not
+detailed) in the paper; the formula used here reproduces five of the six
+benefit values of the worked example of Section 4.3.3 exactly (see
+EXPERIMENTS.md for the remaining entry).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.ir.ddg import Recurrence
+from repro.ir.loop import Loop
+from repro.ir.operation import Operation
+from repro.machine.config import CacheOrganization, MachineConfig
+from repro.machine.resources import ResourceModel
+from repro.profiling.profiler import LoopProfile
+from repro.scheduler.mii import make_latency_function
+
+
+class LatencyModel(enum.Enum):
+    """Which set of latency classes the assignment works with."""
+
+    #: local hit / remote hit / local miss / remote miss (interleaved cache).
+    INTERLEAVED = "interleaved"
+    #: hit / miss of the unified cache (BASE algorithm).
+    UNIFIED = "unified"
+    #: hit / miss of the local coherent module (multiVLIW).
+    COHERENT = "coherent"
+
+    @staticmethod
+    def for_config(config: MachineConfig) -> "LatencyModel":
+        """Pick the latency model matching a machine configuration."""
+        if config.organization is CacheOrganization.WORD_INTERLEAVED:
+            return LatencyModel.INTERLEAVED
+        if config.organization is CacheOrganization.UNIFIED:
+            return LatencyModel.UNIFIED
+        return LatencyModel.COHERENT
+
+
+@dataclass(frozen=True)
+class MemoryOpStats:
+    """Profile summary the stall estimator needs for one memory operation."""
+
+    hit_rate: float
+    local_ratio: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hit_rate <= 1.0:
+            raise ValueError("hit rate must be in [0, 1]")
+        if not 0.0 <= self.local_ratio <= 1.0:
+            raise ValueError("local ratio must be in [0, 1]")
+
+
+def stats_from_profile(
+    loop: Loop, profile: LoopProfile, config: MachineConfig
+) -> dict[Operation, MemoryOpStats]:
+    """Derive per-operation stall statistics from a loop profile.
+
+    The expected local ratio is the concentration of accesses on the
+    operation's preferred cluster (its profile "distribution"), except that
+    accesses wider than the interleaving factor can never be local.
+    """
+    stats: dict[Operation, MemoryOpStats] = {}
+    for op in loop.memory_operations:
+        hit_rate = profile.hit_rate(op)
+        if config.organization is CacheOrganization.WORD_INTERLEAVED:
+            if config.spans_multiple_clusters(op.memory.granularity):
+                local_ratio = 0.0
+            else:
+                local_ratio = profile.distribution(op)
+        else:
+            local_ratio = 1.0
+        stats[op] = MemoryOpStats(hit_rate=hit_rate, local_ratio=local_ratio)
+    return stats
+
+
+def latency_classes(config: MachineConfig, model: LatencyModel) -> list[int]:
+    """The selectable latencies, from smallest to largest."""
+    lat = config.latencies
+    if model is LatencyModel.INTERLEAVED:
+        return [lat.local_hit, lat.remote_hit, lat.local_miss, lat.remote_miss]
+    if model is LatencyModel.UNIFIED:
+        hit = config.unified_cache_latency
+        return [hit, hit + config.next_level.latency]
+    return [lat.local_hit, lat.local_miss]
+
+
+def outcome_probabilities(
+    stats: MemoryOpStats, config: MachineConfig, model: LatencyModel
+) -> list[tuple[int, float]]:
+    """(latency, probability) of each access outcome for one operation."""
+    lat = config.latencies
+    if model is LatencyModel.INTERLEAVED:
+        hit, local = stats.hit_rate, stats.local_ratio
+        return [
+            (lat.local_hit, hit * local),
+            (lat.remote_hit, hit * (1.0 - local)),
+            (lat.local_miss, (1.0 - hit) * local),
+            (lat.remote_miss, (1.0 - hit) * (1.0 - local)),
+        ]
+    if model is LatencyModel.UNIFIED:
+        hit_latency = config.unified_cache_latency
+        miss_latency = hit_latency + config.next_level.latency
+        return [
+            (hit_latency, stats.hit_rate),
+            (miss_latency, 1.0 - stats.hit_rate),
+        ]
+    return [
+        (lat.local_hit, stats.hit_rate),
+        (lat.local_miss, 1.0 - stats.hit_rate),
+    ]
+
+
+def expected_stall(
+    stats: MemoryOpStats,
+    assigned_latency: int,
+    config: MachineConfig,
+    model: LatencyModel,
+) -> float:
+    """Expected stall cycles per execution under an assigned latency.
+
+    Each outcome whose true latency exceeds the assigned latency stalls the
+    processor for the difference; outcomes covered by the assigned latency
+    contribute nothing.
+    """
+    total = 0.0
+    for latency, probability in outcome_probabilities(stats, config, model):
+        if latency > assigned_latency:
+            total += probability * (latency - assigned_latency)
+    return total
+
+
+@dataclass(frozen=True)
+class LatencyStep:
+    """One latency change considered (and possibly applied) by the assigner."""
+
+    operation: Operation
+    recurrence_index: int
+    from_latency: int
+    to_latency: int
+    ii_decrease: int
+    stall_increase: float
+    benefit: float
+    applied: bool
+
+
+@dataclass
+class LatencyAssignment:
+    """Result of the latency assignment pass."""
+
+    latencies: dict[Operation, int]
+    target_mii: int
+    steps: list[LatencyStep] = field(default_factory=list)
+    model: LatencyModel = LatencyModel.INTERLEAVED
+
+    def latency_of(self, op: Operation) -> int:
+        """Assigned latency of an operation."""
+        return self.latencies[op]
+
+    def applied_steps(self) -> list[LatencyStep]:
+        """Only the steps that were actually applied."""
+        return [step for step in self.steps if step.applied]
+
+
+class LatencyAssigner:
+    """Implements the selective latency assignment of the paper."""
+
+    #: Benefit assigned when a change costs no extra stall at all.
+    INFINITE_BENEFIT = float("inf")
+
+    def __init__(
+        self,
+        loop: Loop,
+        config: MachineConfig,
+        stats: Mapping[Operation, MemoryOpStats],
+        model: Optional[LatencyModel] = None,
+    ) -> None:
+        self._loop = loop
+        self._config = config
+        self._stats = dict(stats)
+        self._model = model or LatencyModel.for_config(config)
+        self._classes = latency_classes(config, self._model)
+        self._resources = ResourceModel(config)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _stats_of(self, op: Operation) -> MemoryOpStats:
+        return self._stats.get(op, MemoryOpStats(hit_rate=0.0, local_ratio=0.0))
+
+    def _stall(self, op: Operation, latency: int) -> float:
+        return expected_stall(self._stats_of(op), latency, self._config, self._model)
+
+    def _recurrence_ii(
+        self, recurrence: Recurrence, latencies: Mapping[Operation, int]
+    ) -> int:
+        latency_of = make_latency_function(self._config, memory_latencies=latencies)
+        return recurrence.initiation_interval(latency_of)
+
+    def _target_mii(self) -> int:
+        """MII with every load at the smallest (local hit) latency."""
+        smallest = self._classes[0]
+        latency_of = make_latency_function(
+            self._config, default_memory_latency=smallest
+        )
+        res_mii = self._resources.res_mii(self._loop.operations)
+        rec_bounds = [
+            rec.initiation_interval(latency_of) for rec in self._loop.ddg.recurrences()
+        ]
+        return max([res_mii, *rec_bounds]) if rec_bounds else res_mii
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+    def assign(self) -> LatencyAssignment:
+        """Run the assignment and return per-operation latencies."""
+        largest = self._classes[-1]
+        latencies: dict[Operation, int] = {}
+        for op in self._loop.memory_operations:
+            if op.is_store:
+                latencies[op] = self._config.latencies.store_issue
+            else:
+                latencies[op] = largest
+
+        target = self._target_mii()
+        steps: list[LatencyStep] = []
+        recurrences = list(self._loop.ddg.recurrences())
+        # Most constraining recurrences first, evaluated with the initial
+        # (largest) latencies, as in the paper.
+        recurrences.sort(
+            key=lambda rec: -self._recurrence_ii(rec, latencies)
+        )
+
+        for rec_index, recurrence in enumerate(recurrences):
+            last_changed: Optional[Operation] = None
+            while self._recurrence_ii(recurrence, latencies) > target:
+                step = self._best_change(
+                    recurrence, rec_index, latencies, target, steps
+                )
+                if step is None:
+                    break
+                latencies[step.operation] = step.to_latency
+                last_changed = step.operation
+            self._absorb_slack(recurrence, latencies, target, last_changed)
+
+        return LatencyAssignment(
+            latencies=latencies, target_mii=target, steps=steps, model=self._model
+        )
+
+    # ------------------------------------------------------------------
+    # Benefit evaluation
+    # ------------------------------------------------------------------
+    def _best_change(
+        self,
+        recurrence: Recurrence,
+        rec_index: int,
+        latencies: dict[Operation, int],
+        target: int,
+        steps: list[LatencyStep],
+    ) -> Optional[LatencyStep]:
+        current_ii = self._recurrence_ii(recurrence, latencies)
+        candidates: list[LatencyStep] = []
+        for op in recurrence.memory_operations():
+            if op.is_store:
+                continue
+            current = latencies[op]
+            for candidate in self._classes:
+                if candidate >= current:
+                    continue
+                trial = dict(latencies)
+                trial[op] = candidate
+                new_ii = self._recurrence_ii(recurrence, trial)
+                ii_decrease = current_ii - new_ii
+                if ii_decrease <= 0:
+                    continue
+                stall_increase = self._stall(op, candidate) - self._stall(op, current)
+                if stall_increase <= 0:
+                    benefit = self.INFINITE_BENEFIT
+                else:
+                    benefit = ii_decrease / stall_increase
+                candidates.append(
+                    LatencyStep(
+                        operation=op,
+                        recurrence_index=rec_index,
+                        from_latency=current,
+                        to_latency=candidate,
+                        ii_decrease=ii_decrease,
+                        stall_increase=stall_increase,
+                        benefit=benefit,
+                        applied=False,
+                    )
+                )
+        steps.extend(candidates)
+        if not candidates:
+            return None
+        best = max(
+            candidates,
+            key=lambda step: (step.benefit, step.ii_decrease, -step.to_latency),
+        )
+        applied = LatencyStep(
+            operation=best.operation,
+            recurrence_index=best.recurrence_index,
+            from_latency=best.from_latency,
+            to_latency=best.to_latency,
+            ii_decrease=best.ii_decrease,
+            stall_increase=best.stall_increase,
+            benefit=best.benefit,
+            applied=True,
+        )
+        steps.append(applied)
+        return applied
+
+    def _absorb_slack(
+        self,
+        recurrence: Recurrence,
+        latencies: dict[Operation, int],
+        target: int,
+        last_changed: Optional[Operation],
+    ) -> None:
+        """Raise the last changed latency so the recurrence's II equals MII."""
+        if last_changed is None:
+            return
+        current_ii = self._recurrence_ii(recurrence, latencies)
+        if current_ii >= target:
+            return
+        distance = recurrence.total_distance
+        slack = (target - current_ii) * max(1, distance)
+        ceiling = self._classes[-1]
+        raised = min(ceiling, latencies[last_changed] + slack)
+        # Never raise beyond the point where the II would exceed the target.
+        while raised > latencies[last_changed]:
+            trial = dict(latencies)
+            trial[last_changed] = raised
+            if self._recurrence_ii(recurrence, trial) <= target:
+                latencies[last_changed] = raised
+                return
+            raised -= 1
+
+
+def assign_latencies(
+    loop: Loop,
+    config: MachineConfig,
+    profile: Optional[LoopProfile] = None,
+    stats: Optional[Mapping[Operation, MemoryOpStats]] = None,
+    model: Optional[LatencyModel] = None,
+) -> LatencyAssignment:
+    """Convenience wrapper building the stats from a profile if needed."""
+    if stats is None:
+        if profile is None:
+            raise ValueError("either a profile or explicit stats are required")
+        stats = stats_from_profile(loop, profile, config)
+    return LatencyAssigner(loop, config, stats, model).assign()

@@ -1,0 +1,142 @@
+"""The Modulo Reservation Table (MRT).
+
+Modulo scheduling places operations in a kernel of II rows; two operations
+that need the same resource may not share a row (more precisely, a row may
+not hold more operations of a kind than the cluster has units of that kind).
+The MRT tracks per-row functional-unit usage for every cluster plus the
+shared register-to-register buses used by inter-cluster copies.
+"""
+
+from __future__ import annotations
+
+from repro.ir.operation import Operation
+from repro.machine.config import FunctionalUnitKind, MachineConfig
+from repro.machine.resources import unit_kind_for
+
+
+class ModuloReservationTable:
+    """Resource reservations of a partial modulo schedule."""
+
+    def __init__(self, ii: int, config: MachineConfig) -> None:
+        if ii <= 0:
+            raise ValueError("the initiation interval must be positive")
+        self._ii = ii
+        self._config = config
+        # usage[row][cluster][kind] -> count
+        self._fu_usage: list[list[dict[FunctionalUnitKind, int]]] = [
+            [
+                {kind: 0 for kind in FunctionalUnitKind}
+                for _ in range(config.num_clusters)
+            ]
+            for _ in range(ii)
+        ]
+        self._register_bus_usage = [0] * ii
+        self._memory_bus_usage = [0] * ii
+
+    @property
+    def ii(self) -> int:
+        """Initiation interval of this table."""
+        return self._ii
+
+    # ------------------------------------------------------------------
+    # Functional units
+    # ------------------------------------------------------------------
+    def fu_available(self, cycle: int, cluster: int, op: Operation) -> bool:
+        """Whether a unit for ``op`` is free in ``cluster`` at ``cycle``."""
+        kind = unit_kind_for(op)
+        row = cycle % self._ii
+        used = self._fu_usage[row][cluster][kind]
+        return used < self._config.functional_units.count(kind)
+
+    def reserve_fu(self, cycle: int, cluster: int, op: Operation) -> None:
+        """Reserve a functional unit; the caller must have checked availability."""
+        kind = unit_kind_for(op)
+        row = cycle % self._ii
+        if self._fu_usage[row][cluster][kind] >= self._config.functional_units.count(kind):
+            raise ValueError(
+                f"no {kind.value} unit free in cluster {cluster} at row {row}"
+            )
+        self._fu_usage[row][cluster][kind] += 1
+
+    def fu_slots_used(self, cluster: int) -> int:
+        """Total reserved functional-unit slots in a cluster (load metric)."""
+        return sum(
+            sum(self._fu_usage[row][cluster].values()) for row in range(self._ii)
+        )
+
+    # ------------------------------------------------------------------
+    # Register-to-register buses
+    # ------------------------------------------------------------------
+    def register_bus_available(self, cycle: int) -> bool:
+        """Whether a register bus transfer can start at ``cycle``.
+
+        The buses run at half the core frequency, so one transfer occupies a
+        bus for ``transfer_cycles`` consecutive rows.
+        """
+        span = self._config.register_buses.transfer_cycles
+        limit = self._config.register_buses.count
+        return all(
+            self._register_bus_usage[(cycle + offset) % self._ii] < limit
+            for offset in range(span)
+        )
+
+    def reserve_register_bus(self, cycle: int) -> None:
+        """Reserve a register bus starting at ``cycle``."""
+        if not self.register_bus_available(cycle):
+            raise ValueError(f"no register bus free at cycle {cycle}")
+        span = self._config.register_buses.transfer_cycles
+        for offset in range(span):
+            self._register_bus_usage[(cycle + offset) % self._ii] += 1
+
+    def register_bus_slack(self, cycle: int) -> int:
+        """How many additional transfers could start at ``cycle``."""
+        span = self._config.register_buses.transfer_cycles
+        limit = self._config.register_buses.count
+        return min(
+            limit - self._register_bus_usage[(cycle + offset) % self._ii]
+            for offset in range(span)
+        )
+
+    def find_register_bus_slot(self, earliest: int, latest: int) -> int | None:
+        """First cycle in [earliest, latest] where a bus transfer fits."""
+        if latest < earliest:
+            return None
+        for cycle in range(earliest, latest + 1):
+            if self.register_bus_available(cycle):
+                return cycle
+        return None
+
+    # ------------------------------------------------------------------
+    # Memory buses
+    # ------------------------------------------------------------------
+    def memory_bus_available(self, cycle: int) -> bool:
+        """Whether a memory-bus transfer can start at ``cycle``."""
+        span = self._config.memory_buses.transfer_cycles
+        limit = self._config.memory_buses.count
+        return all(
+            self._memory_bus_usage[(cycle + offset) % self._ii] < limit
+            for offset in range(span)
+        )
+
+    def reserve_memory_bus(self, cycle: int) -> None:
+        """Reserve a memory bus starting at ``cycle``."""
+        if not self.memory_bus_available(cycle):
+            raise ValueError(f"no memory bus free at cycle {cycle}")
+        span = self._config.memory_buses.transfer_cycles
+        for offset in range(span):
+            self._memory_bus_usage[(cycle + offset) % self._ii] += 1
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests and reports)
+    # ------------------------------------------------------------------
+    def utilization(self) -> dict[str, float]:
+        """Fraction of available slots in use, per resource family."""
+        clusters = self._config.num_clusters
+        fu_capacity = self._ii * clusters * self._config.functional_units.total()
+        fu_used = sum(self.fu_slots_used(cluster) for cluster in range(clusters))
+        bus_capacity = self._ii * self._config.register_buses.count
+        bus_used = sum(self._register_bus_usage)
+        return {
+            "functional_units": fu_used / fu_capacity if fu_capacity else 0.0,
+            "register_buses": bus_used / bus_capacity if bus_capacity else 0.0,
+        }

@@ -1,0 +1,188 @@
+"""The compilation pipeline: unroll, profile, assign latencies, schedule.
+
+This module glues the individual phases of Section 4.3.1 into the flow the
+experiments use:
+
+1. compute the candidate unrolling factors of the loop (no unrolling,
+   unroll-by-N, OUF, or the selective combination of the three);
+2. for each candidate, unroll the loop, profile it on the *profile* data
+   set, run the latency assignment, order the nodes and schedule them with
+   the requested cluster heuristic;
+3. keep the variant with the smallest estimated execution time.
+
+The result bundles everything later stages need: the scheduled variant, its
+profile, the latency assignment and the schedule itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.ir.loop import Loop
+from repro.ir.unroll import unroll_loop
+from repro.machine.config import CacheOrganization, MachineConfig
+from repro.profiling.profiler import LoopProfile, profile_loop
+from repro.scheduler.core import SchedulingHeuristic, schedule_loop
+from repro.scheduler.latency import LatencyAssignment, assign_latencies
+from repro.scheduler.schedule import ClusteredSchedule
+from repro.scheduler.unrolling import (
+    UnrollingEstimate,
+    UnrollPolicy,
+    candidate_factors,
+    estimate_execution_time,
+)
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Knobs of the compilation pipeline exercised by the experiments."""
+
+    heuristic: SchedulingHeuristic = SchedulingHeuristic.IPBC
+    unroll_policy: UnrollPolicy = UnrollPolicy.SELECTIVE
+    variable_alignment: bool = True
+    use_chains: bool = True
+    profile_dataset: str = "profile"
+    profile_iteration_cap: int = 512
+
+    def with_heuristic(self, heuristic: SchedulingHeuristic) -> "CompilerOptions":
+        """Copy of the options with a different scheduling heuristic."""
+        return replace(self, heuristic=heuristic)
+
+    def describe(self) -> dict[str, object]:
+        """Flat summary for reports."""
+        return {
+            "heuristic": self.heuristic.value,
+            "unroll_policy": self.unroll_policy.value,
+            "variable_alignment": self.variable_alignment,
+            "use_chains": self.use_chains,
+        }
+
+
+def default_heuristic_for(config: MachineConfig) -> SchedulingHeuristic:
+    """The scheduling heuristic the paper pairs with each organization."""
+    if config.organization is CacheOrganization.UNIFIED:
+        return SchedulingHeuristic.BASE
+    if config.organization is CacheOrganization.COHERENT:
+        return SchedulingHeuristic.MULTIVLIW
+    return SchedulingHeuristic.IPBC
+
+
+def _heuristic_matches(config: MachineConfig, heuristic: SchedulingHeuristic) -> bool:
+    if config.organization is CacheOrganization.UNIFIED:
+        return heuristic is SchedulingHeuristic.BASE
+    if config.organization is CacheOrganization.COHERENT:
+        return heuristic is SchedulingHeuristic.MULTIVLIW
+    return heuristic in (SchedulingHeuristic.IBC, SchedulingHeuristic.IPBC)
+
+
+@dataclass
+class CompiledLoop:
+    """A loop after the complete compilation pipeline."""
+
+    original: Loop
+    loop: Loop
+    schedule: ClusteredSchedule
+    profile: LoopProfile
+    latency_assignment: LatencyAssignment
+    unroll_factor: int
+    estimate: UnrollingEstimate
+    options: CompilerOptions
+    rejected: list[UnrollingEstimate] = field(default_factory=list)
+
+    @property
+    def ii(self) -> int:
+        """Initiation interval of the chosen schedule."""
+        return self.schedule.ii
+
+    def describe(self) -> dict[str, object]:
+        """Summary for reports and examples."""
+        summary = self.schedule.describe()
+        summary.update(
+            {
+                "unroll_factor": self.unroll_factor,
+                "estimated_cycles": self.estimate.estimated_cycles,
+                "heuristic": self.options.heuristic.value,
+            }
+        )
+        return summary
+
+
+def compile_loop(
+    loop: Loop,
+    config: MachineConfig,
+    options: Optional[CompilerOptions] = None,
+) -> CompiledLoop:
+    """Run the full compilation pipeline on one loop."""
+    if options is None:
+        options = CompilerOptions(heuristic=default_heuristic_for(config))
+    if not _heuristic_matches(config, options.heuristic):
+        raise ValueError(
+            f"heuristic {options.heuristic.value} does not match the "
+            f"{config.organization.value} cache organization"
+        )
+
+    base_profile = profile_loop(
+        loop,
+        config,
+        dataset=options.profile_dataset,
+        aligned=options.variable_alignment,
+        iteration_cap=options.profile_iteration_cap,
+    )
+    factors = candidate_factors(loop, config, options.unroll_policy, base_profile)
+
+    best: Optional[CompiledLoop] = None
+    rejected: list[UnrollingEstimate] = []
+    for factor in factors:
+        variant = unroll_loop(loop, factor)
+        profile = (
+            base_profile
+            if factor == 1
+            else profile_loop(
+                variant,
+                config,
+                dataset=options.profile_dataset,
+                aligned=options.variable_alignment,
+                iteration_cap=options.profile_iteration_cap,
+            )
+        )
+        assignment = assign_latencies(variant, config, profile=profile)
+        schedule = schedule_loop(
+            variant,
+            config,
+            assignment,
+            options.heuristic,
+            profile=profile,
+            use_chains=options.use_chains,
+        )
+        estimate = estimate_execution_time(
+            factor, schedule.ii, schedule.stage_count, loop.trip_count
+        )
+        candidate = CompiledLoop(
+            original=loop,
+            loop=variant,
+            schedule=schedule,
+            profile=profile,
+            latency_assignment=assignment,
+            unroll_factor=factor,
+            estimate=estimate,
+            options=options,
+        )
+        if best is None or estimate.estimated_cycles < best.estimate.estimated_cycles:
+            if best is not None:
+                rejected.append(best.estimate)
+            best = candidate
+        else:
+            rejected.append(estimate)
+    assert best is not None  # factors is never empty
+    best.rejected = rejected
+    return best
+
+
+def compile_loops(
+    loops: list[Loop],
+    config: MachineConfig,
+    options: Optional[CompilerOptions] = None,
+) -> list[CompiledLoop]:
+    """Compile a list of loops with the same options."""
+    return [compile_loop(loop, config, options) for loop in loops]

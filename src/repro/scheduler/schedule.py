@@ -1,0 +1,236 @@
+"""Schedule data structures produced by the modulo schedulers.
+
+A :class:`ClusteredSchedule` records, for every operation of a loop, the
+cluster it was assigned to, its start cycle in the flattened schedule, the
+latency the scheduler assumed for it, and the inter-cluster copy operations
+that were inserted to move register values between clusters.  The simulator
+replays this structure against a memory-system model; the analysis code
+derives compute time, workload balance and communication counts from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+from repro.ir.loop import Loop
+from repro.ir.operation import Operation
+from repro.machine.config import MachineConfig
+
+
+@dataclass(frozen=True)
+class ScheduledOperation:
+    """Placement of one operation in the modulo schedule."""
+
+    operation: Operation
+    cluster: int
+    start_cycle: int
+    assigned_latency: int
+    ii: int
+
+    @property
+    def row(self) -> int:
+        """Row in the kernel (start cycle modulo II)."""
+        return self.start_cycle % self.ii
+
+    @property
+    def stage(self) -> int:
+        """Software pipeline stage of the operation."""
+        return self.start_cycle // self.ii
+
+
+@dataclass(frozen=True)
+class CopyOperation:
+    """An inter-cluster register copy inserted by the scheduler."""
+
+    producer: Operation
+    consumer: Operation
+    source_cluster: int
+    target_cluster: int
+    issue_cycle: int
+    latency: int
+
+
+@dataclass
+class ClusteredSchedule:
+    """A complete modulo schedule of one loop."""
+
+    loop: Loop
+    config: MachineConfig
+    ii: int
+    entries: dict[Operation, ScheduledOperation]
+    copies: list[CopyOperation] = field(default_factory=list)
+    heuristic: str = "unspecified"
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.ii <= 0:
+            raise ValueError("the initiation interval must be positive")
+        missing = [op.name for op in self.loop.operations if op not in self.entries]
+        if missing:
+            raise ValueError(f"schedule is missing operations: {missing}")
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def cluster_of(self, op: Operation) -> int:
+        """Cluster the operation was assigned to."""
+        return self.entries[op].cluster
+
+    def start_cycle_of(self, op: Operation) -> int:
+        """Start cycle of the operation in the flattened schedule."""
+        return self.entries[op].start_cycle
+
+    def assigned_latency_of(self, op: Operation) -> int:
+        """Latency the scheduler assumed when placing the operation."""
+        return self.entries[op].assigned_latency
+
+    def scheduled_operations(self) -> list[ScheduledOperation]:
+        """All placements, ordered by start cycle then cluster."""
+        return sorted(
+            self.entries.values(), key=lambda entry: (entry.start_cycle, entry.cluster)
+        )
+
+    # ------------------------------------------------------------------
+    # Derived schedule-level quantities
+    # ------------------------------------------------------------------
+    @property
+    def stage_count(self) -> int:
+        """Number of overlapped iterations (SC)."""
+        if not self.entries:
+            return 1
+        last = max(entry.start_cycle for entry in self.entries.values())
+        return last // self.ii + 1
+
+    @property
+    def schedule_length(self) -> int:
+        """Length of one iteration's flattened schedule, in cycles."""
+        if not self.entries:
+            return self.ii
+        return max(
+            entry.start_cycle + entry.assigned_latency
+            for entry in self.entries.values()
+        )
+
+    @property
+    def num_copies(self) -> int:
+        """Number of inter-cluster register copies inserted."""
+        return len(self.copies)
+
+    def compute_cycles(self, iterations: Optional[int] = None) -> int:
+        """Compute time of the modulo-scheduled loop, without stalls.
+
+        ``(iterations + SC - 1) * II`` -- the classic execution-time model of
+        a software-pipelined loop with a high trip count (Section 4.3.1).
+        """
+        if iterations is None:
+            iterations = self.loop.trip_count
+        if iterations <= 0:
+            return 0
+        return (iterations + self.stage_count - 1) * self.ii
+
+    def workload_balance(self) -> float:
+        """The WB(L) metric of Section 5.2 (Figure 7).
+
+        ``NumInstsInMaxCluster / TotalNumInsts``: 1/N is perfect balance, 1.0
+        means every instruction landed in a single cluster.  Inserted copy
+        operations are not counted, as the paper's metric is defined over the
+        loop's instructions.
+        """
+        if not self.entries:
+            return 0.0
+        per_cluster = [0] * self.config.num_clusters
+        for entry in self.entries.values():
+            per_cluster[entry.cluster] += 1
+        return max(per_cluster) / len(self.entries)
+
+    def operations_per_cluster(self) -> list[int]:
+        """Number of loop operations assigned to each cluster."""
+        per_cluster = [0] * self.config.num_clusters
+        for entry in self.entries.values():
+            per_cluster[entry.cluster] += 1
+        return per_cluster
+
+    def memory_operations_per_cluster(self) -> list[int]:
+        """Number of memory operations assigned to each cluster."""
+        per_cluster = [0] * self.config.num_clusters
+        for entry in self.entries.values():
+            if entry.operation.is_memory:
+                per_cluster[entry.cluster] += 1
+        return per_cluster
+
+    def register_pressure_estimate(self) -> int:
+        """Upper bound on simultaneously live values in the kernel.
+
+        Each register-flow dependence keeps its value alive from the
+        producer's issue until the consumer's issue; the estimate counts the
+        maximum number of such lifetimes overlapping any kernel row.  It is a
+        reporting aid, not a constraint (the paper does not spill).
+        """
+        live_per_row = [0] * self.ii
+        for dep in self.loop.ddg.dependences():
+            if not dep.is_register or dep.src not in self.entries:
+                continue
+            if dep.dst not in self.entries:
+                continue
+            start = self.entries[dep.src].start_cycle
+            end = self.entries[dep.dst].start_cycle + dep.distance * self.ii
+            span = max(1, end - start)
+            for offset in range(min(span, self.ii)):
+                live_per_row[(start + offset) % self.ii] += 1
+        return max(live_per_row, default=0)
+
+    def describe(self) -> dict[str, object]:
+        """Summary used by reports and examples."""
+        return {
+            "loop": self.loop.name,
+            "heuristic": self.heuristic,
+            "ii": self.ii,
+            "stage_count": self.stage_count,
+            "operations": len(self.entries),
+            "copies": self.num_copies,
+            "workload_balance": round(self.workload_balance(), 3),
+            "register_pressure": self.register_pressure_estimate(),
+        }
+
+
+def validate_schedule(schedule: ClusteredSchedule) -> None:
+    """Check the structural invariants of a schedule.
+
+    Raises ValueError when a dependence is violated (taking the II and the
+    iteration distance into account) or when an operation landed outside the
+    machine's cluster range.  Copies are assumed to be reflected in the
+    effective latencies already (the scheduler adds the copy latency when
+    producer and consumer live in different clusters).
+    """
+    config = schedule.config
+    copy_latency = config.op_latencies.copy
+    for entry in schedule.entries.values():
+        if not 0 <= entry.cluster < config.num_clusters:
+            raise ValueError(
+                f"operation {entry.operation.name} scheduled on invalid "
+                f"cluster {entry.cluster}"
+            )
+        if entry.start_cycle < 0:
+            raise ValueError(
+                f"operation {entry.operation.name} has a negative start cycle"
+            )
+    for dep in schedule.loop.ddg.dependences():
+        if dep.src not in schedule.entries or dep.dst not in schedule.entries:
+            continue
+        src = schedule.entries[dep.src]
+        dst = schedule.entries[dep.dst]
+        if dep.is_register and dep.kind.name == "REG_FLOW":
+            latency = src.assigned_latency
+            if src.cluster != dst.cluster:
+                latency += copy_latency
+        elif dep.is_memory:
+            latency = 1
+        else:  # anti / output / control dependences only need ordering
+            latency = 0
+        earliest = src.start_cycle + latency - dep.distance * schedule.ii
+        if dst.start_cycle < earliest:
+            raise ValueError(
+                f"dependence {dep.src.name} -> {dep.dst.name} violated: "
+                f"{dst.start_cycle} < {earliest}"
+            )

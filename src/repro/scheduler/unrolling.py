@@ -1,0 +1,127 @@
+"""Unrolling-factor computation and selection (Section 4.3.1, Step 1).
+
+For a word-interleaved cache, unrolling a loop until every strided memory
+instruction's stride is a multiple of N x I makes each (replicated)
+instruction access a single cache module, which is the prerequisite for
+keeping its accesses local.  The *optimal unrolling factor* (OUF) is the
+least common multiple of the per-instruction factors
+
+    U_i = (N*I) / gcd(N*I, S_i mod N*I)
+
+capped at N x I.  Unrolling has costs too (code size, longer memory
+dependent chains, fewer iterations), so the paper evaluates three factors per
+loop -- no unrolling, unroll-by-N and OUF -- and keeps the one with the
+smallest estimated execution time ``(avg_iterations + SC - 1) * II``
+(*selective unrolling*).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.loop import Loop
+from repro.ir.operation import Operation
+from repro.machine.config import MachineConfig
+from repro.profiling.profiler import LoopProfile
+
+
+class UnrollPolicy(enum.Enum):
+    """Which unrolling factor the compiler applies to each loop."""
+
+    NONE = "none"
+    TIMES_N = "times-n"
+    OUF = "ouf"
+    SELECTIVE = "selective"
+
+
+#: Loops that iterate fewer times than this are never unrolled (Section 5.1).
+MIN_TRIP_COUNT_FOR_UNROLLING = 8
+
+
+def individual_unroll_factor(op: Operation, config: MachineConfig) -> Optional[int]:
+    """U_i for one memory instruction, or None if it is not considered.
+
+    Instructions are considered only when their stride is known, their hit
+    rate could be non-zero (checked by the caller via the profile) and their
+    access granularity does not exceed the interleaving factor.
+    """
+    access = op.memory
+    if access is None or not access.stride_known:
+        return None
+    if access.granularity > config.interleaving_factor:
+        return None
+    span = config.interleave_span
+    residue = access.stride_bytes % span
+    if residue == 0:
+        return 1
+    return span // math.gcd(span, residue)
+
+
+def optimal_unroll_factor(
+    loop: Loop, config: MachineConfig, profile: Optional[LoopProfile] = None
+) -> int:
+    """The OUF of a loop: lcm of the individual factors, capped at N x I."""
+    span = config.interleave_span
+    factors: list[int] = []
+    for op in loop.memory_operations:
+        if profile is not None and profile.hit_rate(op) <= 0.0:
+            continue
+        factor = individual_unroll_factor(op, config)
+        if factor is not None:
+            factors.append(factor)
+    if not factors:
+        return 1
+    result = 1
+    for factor in factors:
+        result = result * factor // math.gcd(result, factor)
+        if result >= span:
+            return span
+    return min(result, span)
+
+
+def candidate_factors(
+    loop: Loop,
+    config: MachineConfig,
+    policy: UnrollPolicy,
+    profile: Optional[LoopProfile] = None,
+) -> list[int]:
+    """Unrolling factors the compiler will evaluate for this loop."""
+    if loop.trip_count < MIN_TRIP_COUNT_FOR_UNROLLING:
+        return [1]
+    if policy is UnrollPolicy.NONE:
+        return [1]
+    if policy is UnrollPolicy.TIMES_N:
+        return [config.num_clusters]
+    ouf = optimal_unroll_factor(loop, config, profile)
+    if policy is UnrollPolicy.OUF:
+        return [ouf]
+    factors = {1, config.num_clusters, ouf}
+    return sorted(factors)
+
+
+@dataclass(frozen=True)
+class UnrollingEstimate:
+    """Execution-time estimate of one unrolled variant."""
+
+    factor: int
+    ii: int
+    stage_count: int
+    iterations: int
+
+    @property
+    def estimated_cycles(self) -> int:
+        """(avg_iterations + SC - 1) * II, the paper's T_exec model."""
+        return (self.iterations + self.stage_count - 1) * self.ii
+
+
+def estimate_execution_time(
+    factor: int, ii: int, stage_count: int, original_trip_count: int
+) -> UnrollingEstimate:
+    """Build the execution-time estimate for one variant."""
+    iterations = max(1, -(-original_trip_count // factor))
+    return UnrollingEstimate(
+        factor=factor, ii=ii, stage_count=stage_count, iterations=iterations
+    )

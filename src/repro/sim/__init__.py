@@ -1,0 +1,25 @@
+"""Cycle-accounting simulation of modulo-scheduled loops."""
+
+from repro.sim.engine import (
+    DEFAULT_ITERATION_CAP,
+    LoopSimulator,
+    SimulationOptions,
+    simulate_compiled_loop,
+    simulate_compiled_loops,
+)
+from repro.sim.stats import (
+    BenchmarkSimulationResult,
+    LoopSimulationResult,
+    OperationSimRecord,
+)
+
+__all__ = [
+    "BenchmarkSimulationResult",
+    "DEFAULT_ITERATION_CAP",
+    "LoopSimulationResult",
+    "LoopSimulator",
+    "OperationSimRecord",
+    "SimulationOptions",
+    "simulate_compiled_loop",
+    "simulate_compiled_loops",
+]

@@ -1,0 +1,264 @@
+"""The cycle-accounting simulator.
+
+The simulator replays a modulo schedule against a behavioural memory-system
+model.  The target processors are in-order VLIW machines: when the value of
+a memory operation is not ready by the cycle its consumer expects it
+(because the real latency exceeded the latency the scheduler assumed), the
+whole machine stalls for the difference.  Everything else is captured by the
+schedule itself, so the execution time of a loop decomposes into
+
+    compute time = (iterations + SC - 1) * II
+    stall  time  = sum over dynamic memory operations of
+                   max(0, real latency - assigned latency)
+
+which is the decomposition the paper plots.  Long loops are simulated for a
+bounded number of iterations and the stall/access statistics are scaled to
+the full trip count (the schedule repeats every iteration, so the sampled
+prefix is representative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.ddg import DependenceKind
+from repro.ir.loop import Loop
+from repro.machine.config import MachineConfig
+from repro.memory.classify import AccessCounters, AccessType, StallCounters
+from repro.memory.coherent import make_cache_model
+from repro.memory.hierarchy import DataCacheModel
+from repro.memory.layout import DataLayout
+from repro.profiling.address import AddressStream
+from repro.scheduler.pipeline import CompiledLoop
+from repro.sim.stats import (
+    BenchmarkSimulationResult,
+    LoopSimulationResult,
+    OperationSimRecord,
+)
+
+#: Default cap on the number of simulated iterations per loop.
+DEFAULT_ITERATION_CAP = 1024
+
+
+@dataclass(frozen=True)
+class SimulationOptions:
+    """Knobs of the execution simulation."""
+
+    dataset: str = "execution"
+    iteration_cap: int = DEFAULT_ITERATION_CAP
+
+    def describe(self) -> dict[str, object]:
+        """Flat summary for reports."""
+        return {"dataset": self.dataset, "iteration_cap": self.iteration_cap}
+
+
+class LoopSimulator:
+    """Simulates one compiled loop against a memory-system model."""
+
+    def __init__(
+        self,
+        compiled: CompiledLoop,
+        cache: DataCacheModel,
+        options: Optional[SimulationOptions] = None,
+    ) -> None:
+        self._compiled = compiled
+        self._cache = cache
+        self._options = options or SimulationOptions()
+        self._config = cache.config
+
+    def run(self) -> LoopSimulationResult:
+        """Execute the loop and return its statistics."""
+        compiled = self._compiled
+        schedule = compiled.schedule
+        loop = compiled.loop
+        options = self._options
+
+        layout = DataLayout(
+            self._config,
+            aligned=compiled.options.variable_alignment,
+            dataset=options.dataset,
+        )
+        stream = AddressStream(loop, layout, options.dataset)
+
+        self._cache.begin_loop()
+
+        iterations = loop.trip_count
+        simulated = min(iterations, options.iteration_cap)
+        scale = iterations / simulated if simulated else 0.0
+
+        records = self._make_records(compiled)
+        covers = self._consumer_covers(compiled)
+        accesses = AccessCounters()
+        stalls = StallCounters()
+        accumulated_stall = 0
+
+        memory_entries = sorted(
+            (schedule.entries[op] for op in loop.memory_operations),
+            key=lambda entry: entry.start_cycle,
+        )
+
+        # Software pipelining overlaps iterations: operation instances are
+        # executed in global cycle order, not iteration by iteration, which
+        # matters for port/bus contention and request combining.
+        events = [
+            (iteration * schedule.ii + entry.start_cycle, index, entry, iteration)
+            for iteration in range(simulated)
+            for index, entry in enumerate(memory_entries)
+        ]
+        events.sort(key=lambda event: (event[0], event[1]))
+
+        for nominal_cycle, _, entry, iteration in events:
+            op = entry.operation
+            address = stream.address(op, iteration)
+            issue_cycle = nominal_cycle + accumulated_stall
+            result = self._cache.access(
+                cluster=entry.cluster,
+                address=address,
+                size=op.memory.granularity,
+                is_store=op.is_store,
+                cycle=issue_cycle,
+                attractable=op.memory.attractable,
+            )
+            accesses.record(result)
+            stall = 0
+            cover = covers[op]
+            if op.is_load and result.latency > cover:
+                stall = result.latency - cover
+                accumulated_stall += stall
+                if result.classification is not AccessType.LOCAL_HIT:
+                    stalls.record(result.classification, stall)
+            records[op].record(result.classification, result.home_cluster, stall)
+
+        compute_cycles = schedule.compute_cycles(iterations)
+        stall_cycles = int(round(accumulated_stall * scale))
+        self._scale_counters(accesses, scale)
+        self._scale_stalls(stalls, scale)
+
+        return LoopSimulationResult(
+            loop_name=compiled.original.name,
+            heuristic=schedule.heuristic,
+            ii=schedule.ii,
+            stage_count=schedule.stage_count,
+            iterations=iterations,
+            simulated_iterations=simulated,
+            compute_cycles=compute_cycles,
+            stall_cycles=stall_cycles,
+            accesses=accesses,
+            stalls=stalls,
+            operation_records=records,
+            workload_balance=schedule.workload_balance(),
+            num_copies=schedule.num_copies,
+            ops_per_iteration=len(loop.operations) + schedule.num_copies,
+            weight=loop.weight,
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _make_records(
+        self, compiled: CompiledLoop
+    ) -> dict:
+        records: dict = {}
+        for op in compiled.loop.memory_operations:
+            entry = compiled.schedule.entries[op]
+            records[op] = OperationSimRecord(
+                operation=op,
+                cluster=entry.cluster,
+                assigned_latency=entry.assigned_latency,
+                profile_preferred_cluster=compiled.profile.preferred_cluster(op),
+                profile_distribution=compiled.profile.distribution(op),
+            )
+        return records
+
+    def _consumer_covers(self, compiled: CompiledLoop) -> dict:
+        """Cycles each load has before its earliest consumer issues.
+
+        The processor only stalls when a load's value is not ready by the
+        time its first register consumer issues; the schedule may leave more
+        slack than the assigned latency (for example when the consumer was
+        pushed later by resource conflicts), in which case the extra slack
+        hides part of the memory latency.  Loads without register consumers
+        never stall.
+        """
+        schedule = compiled.schedule
+        covers: dict = {}
+        for op in compiled.loop.memory_operations:
+            entry = schedule.entries[op]
+            slack = None
+            for dep in compiled.loop.ddg.dependences_from(op):
+                if dep.kind is not DependenceKind.REG_FLOW:
+                    continue
+                consumer = schedule.entries.get(dep.dst)
+                if consumer is None:
+                    continue
+                distance = (
+                    consumer.start_cycle
+                    + dep.distance * schedule.ii
+                    - entry.start_cycle
+                )
+                slack = distance if slack is None else min(slack, distance)
+            if slack is None:
+                covers[op] = float("inf")
+            else:
+                covers[op] = max(entry.assigned_latency, slack)
+        return covers
+
+    @staticmethod
+    def _scale_counters(counters: AccessCounters, scale: float) -> None:
+        counters.local_hits = int(round(counters.local_hits * scale))
+        counters.remote_hits = int(round(counters.remote_hits * scale))
+        counters.local_misses = int(round(counters.local_misses * scale))
+        counters.remote_misses = int(round(counters.remote_misses * scale))
+        counters.combined = int(round(counters.combined * scale))
+        counters.attraction_buffer_hits = int(
+            round(counters.attraction_buffer_hits * scale)
+        )
+
+    @staticmethod
+    def _scale_stalls(stalls: StallCounters, scale: float) -> None:
+        stalls.remote_hit = int(round(stalls.remote_hit * scale))
+        stalls.local_miss = int(round(stalls.local_miss * scale))
+        stalls.remote_miss = int(round(stalls.remote_miss * scale))
+        stalls.combined = int(round(stalls.combined * scale))
+
+
+def simulate_compiled_loop(
+    compiled: CompiledLoop,
+    config: Optional[MachineConfig] = None,
+    cache: Optional[DataCacheModel] = None,
+    options: Optional[SimulationOptions] = None,
+) -> LoopSimulationResult:
+    """Simulate one compiled loop on a fresh (or provided) cache model."""
+    if cache is None:
+        cache = make_cache_model(config or compiled.schedule.config)
+    return LoopSimulator(compiled, cache, options).run()
+
+
+def simulate_compiled_loops(
+    compiled_loops: list[CompiledLoop],
+    benchmark: str,
+    config: Optional[MachineConfig] = None,
+    options: Optional[SimulationOptions] = None,
+    architecture: Optional[str] = None,
+) -> BenchmarkSimulationResult:
+    """Simulate a benchmark's loops sequentially on a shared cache model.
+
+    The loops share one cache model (data survives across loops, as in a
+    real program) and the Attraction Buffers are flushed at every loop
+    boundary, as the architecture requires for correctness.
+    """
+    if not compiled_loops:
+        raise ValueError("a benchmark needs at least one compiled loop")
+    machine = config or compiled_loops[0].schedule.config
+    cache = make_cache_model(machine)
+    results = [
+        LoopSimulator(compiled, cache, options).run() for compiled in compiled_loops
+    ]
+    heuristics = {compiled.options.heuristic.value for compiled in compiled_loops}
+    return BenchmarkSimulationResult(
+        benchmark=benchmark,
+        architecture=architecture or machine.organization.value,
+        heuristic=heuristics.pop() if len(heuristics) == 1 else "mixed",
+        loops=results,
+    )

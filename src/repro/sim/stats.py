@@ -1,0 +1,220 @@
+"""Simulation statistics containers.
+
+The simulator separates *compute time* (the cycles the modulo schedule
+itself accounts for) from *stall time* (extra cycles paid when a memory
+operation's real latency exceeds the latency the scheduler assumed), exactly
+the decomposition plotted in Figures 6 and 8 of the paper.  It also keeps
+per-static-operation records so the stall-factor classification of Figure 5
+and the access classification of Figure 4 can be derived.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ir.operation import Operation
+from repro.memory.classify import AccessCounters, AccessType, StallCounters
+
+
+@dataclass
+class OperationSimRecord:
+    """Execution summary of one static memory operation."""
+
+    operation: Operation
+    cluster: int
+    assigned_latency: int
+    profile_preferred_cluster: Optional[int]
+    profile_distribution: float
+    access_counts: Counter = field(default_factory=Counter)
+    stall_by_type: Counter = field(default_factory=Counter)
+    clusters_touched: Counter = field(default_factory=Counter)
+    total_stall: int = 0
+
+    def record(self, classification: AccessType, home_cluster: Optional[int], stall: int) -> None:
+        """Record one dynamic access of this operation."""
+        self.access_counts[classification] += 1
+        if home_cluster is not None:
+            self.clusters_touched[home_cluster] += 1
+        if stall > 0:
+            self.stall_by_type[classification] += stall
+            self.total_stall += stall
+
+    @property
+    def accesses(self) -> int:
+        """Total dynamic accesses observed."""
+        return sum(self.access_counts.values())
+
+    @property
+    def touches_multiple_clusters(self) -> bool:
+        """True if the operation's accesses map to more than one cluster."""
+        return len(self.clusters_touched) > 1
+
+    @property
+    def scheduled_in_preferred(self) -> bool:
+        """True if the operation runs in its profile-preferred cluster."""
+        return (
+            self.profile_preferred_cluster is not None
+            and self.cluster == self.profile_preferred_cluster
+        )
+
+    @property
+    def local_accesses(self) -> int:
+        """Accesses that were served locally (hits or misses)."""
+        return (
+            self.access_counts[AccessType.LOCAL_HIT]
+            + self.access_counts[AccessType.LOCAL_MISS]
+        )
+
+
+@dataclass
+class LoopSimulationResult:
+    """Result of simulating one compiled loop on one memory system."""
+
+    loop_name: str
+    heuristic: str
+    ii: int
+    stage_count: int
+    iterations: int
+    simulated_iterations: int
+    compute_cycles: int
+    stall_cycles: int
+    accesses: AccessCounters
+    stalls: StallCounters
+    operation_records: dict[Operation, OperationSimRecord]
+    workload_balance: float
+    num_copies: int
+    ops_per_iteration: int = 0
+    weight: float = 1.0
+
+    @property
+    def total_cycles(self) -> int:
+        """Compute plus stall cycles."""
+        return self.compute_cycles + self.stall_cycles
+
+    @property
+    def stall_ratio(self) -> float:
+        """Stall time over total time."""
+        total = self.total_cycles
+        return self.stall_cycles / total if total else 0.0
+
+    @property
+    def ipc(self) -> float:
+        """Dynamic operations per cycle (copies excluded, as in the paper)."""
+        if self.total_cycles == 0:
+            return 0.0
+        dynamic_ops = self.iterations * self.ops_per_iteration
+        return dynamic_ops / self.total_cycles
+
+    def describe(self) -> dict[str, object]:
+        """Flat summary used by reports and examples."""
+        return {
+            "loop": self.loop_name,
+            "heuristic": self.heuristic,
+            "ii": self.ii,
+            "iterations": self.iterations,
+            "compute_cycles": self.compute_cycles,
+            "stall_cycles": self.stall_cycles,
+            "total_cycles": self.total_cycles,
+            "local_hit_ratio": round(self.accesses.local_hit_ratio(), 4),
+            "workload_balance": round(self.workload_balance, 4),
+        }
+
+
+@dataclass
+class BenchmarkSimulationResult:
+    """Aggregated simulation result of a whole benchmark."""
+
+    benchmark: str
+    architecture: str
+    heuristic: str
+    loops: list[LoopSimulationResult]
+
+    @property
+    def compute_cycles(self) -> float:
+        """Weighted compute cycles over all loops."""
+        return sum(result.compute_cycles * result.weight for result in self.loops)
+
+    @property
+    def stall_cycles(self) -> float:
+        """Weighted stall cycles over all loops."""
+        return sum(result.stall_cycles * result.weight for result in self.loops)
+
+    @property
+    def total_cycles(self) -> float:
+        """Weighted total cycles over all loops."""
+        return self.compute_cycles + self.stall_cycles
+
+    @property
+    def stall_ratio(self) -> float:
+        """Stall time over total time."""
+        total = self.total_cycles
+        return self.stall_cycles / total if total else 0.0
+
+    def access_counters(self) -> AccessCounters:
+        """Weighted access classification over all loops.
+
+        Weights are applied by scaling each loop's counters; the result is
+        rounded to integers, which is harmless because only fractions are
+        ever reported.
+        """
+        merged = AccessCounters()
+        for result in self.loops:
+            scaled = result.accesses.scaled(result.weight)
+            merged.local_hits += int(round(scaled["local_hits"]))
+            merged.remote_hits += int(round(scaled["remote_hits"]))
+            merged.local_misses += int(round(scaled["local_misses"]))
+            merged.remote_misses += int(round(scaled["remote_misses"]))
+            merged.combined += int(round(scaled["combined"]))
+        return merged
+
+    def stall_counters(self) -> StallCounters:
+        """Weighted stall attribution over all loops."""
+        merged = StallCounters()
+        for result in self.loops:
+            merged.remote_hit += int(round(result.stalls.remote_hit * result.weight))
+            merged.local_miss += int(round(result.stalls.local_miss * result.weight))
+            merged.remote_miss += int(round(result.stalls.remote_miss * result.weight))
+            merged.combined += int(round(result.stalls.combined * result.weight))
+        return merged
+
+    def local_hit_ratio(self) -> float:
+        """Weighted fraction of accesses that are local hits."""
+        return self.access_counters().local_hit_ratio()
+
+    def workload_balance(self) -> float:
+        """Weighted arithmetic mean of the per-loop workload balance."""
+        total_weight = sum(result.weight for result in self.loops)
+        if total_weight == 0:
+            return 0.0
+        return (
+            sum(result.workload_balance * result.weight for result in self.loops)
+            / total_weight
+        )
+
+    def dynamic_operations(self) -> float:
+        """Weighted dynamic operation count (for IPC computations)."""
+        return sum(
+            result.weight * result.iterations * result.ops_per_iteration
+            for result in self.loops
+        )
+
+    def ipc(self) -> float:
+        """Weighted instructions per cycle across the benchmark."""
+        total = self.total_cycles
+        return self.dynamic_operations() / total if total else 0.0
+
+    def describe(self) -> dict[str, object]:
+        """Flat summary used by reports."""
+        return {
+            "benchmark": self.benchmark,
+            "architecture": self.architecture,
+            "heuristic": self.heuristic,
+            "compute_cycles": round(self.compute_cycles),
+            "stall_cycles": round(self.stall_cycles),
+            "total_cycles": round(self.total_cycles),
+            "stall_ratio": round(self.stall_ratio, 4),
+            "local_hit_ratio": round(self.local_hit_ratio(), 4),
+            "workload_balance": round(self.workload_balance(), 4),
+        }

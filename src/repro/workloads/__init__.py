@@ -1,0 +1,39 @@
+"""Synthetic Mediabench-like workloads and kernel templates."""
+
+from repro.workloads.generator import (
+    iir_kernel,
+    indirect_kernel,
+    long_chain_kernel,
+    reduction_kernel,
+    stencil_kernel,
+    streaming_kernel,
+    strided_kernel,
+    update_kernel,
+    wide_kernel,
+)
+from repro.workloads.mediabench import (
+    BENCHMARK_NAMES,
+    make_benchmark,
+    mediabench_suite,
+    small_suite,
+)
+from repro.workloads.spec import Benchmark, BenchmarkCharacteristics, BenchmarkSuite
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "Benchmark",
+    "BenchmarkCharacteristics",
+    "BenchmarkSuite",
+    "iir_kernel",
+    "indirect_kernel",
+    "long_chain_kernel",
+    "make_benchmark",
+    "mediabench_suite",
+    "reduction_kernel",
+    "small_suite",
+    "stencil_kernel",
+    "streaming_kernel",
+    "strided_kernel",
+    "update_kernel",
+    "wide_kernel",
+]

@@ -1,0 +1,360 @@
+"""Loop-kernel templates used to assemble the synthetic benchmark suite.
+
+The Mediabench programs of the paper cannot be shipped or compiled here, so
+each benchmark is assembled from parameterised kernels that reproduce the
+memory behaviour the paper reports for it: streaming loops, reductions,
+IIR-style filters whose values flow through memory, indirect (table lookup /
+histogram) loops, double-precision loops, and loops with long memory
+dependent chains.  All kernels are ordinary :class:`~repro.ir.loop.Loop`
+objects; nothing downstream knows they are synthetic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.loop import Loop, StorageClass
+from repro.ir.memdep import DisambiguationPolicy
+
+#: Default compute mnemonics for integer and floating-point kernels.
+_INT_OPS = ("add", "mul", "sub", "and", "shl")
+_FLOAT_OPS = ("fadd", "fmul", "fsub", "fadd")
+
+
+def _compute_chain(
+    builder: LoopBuilder,
+    prefix: str,
+    inputs: Sequence,
+    depth: int,
+    float_ops: bool,
+) -> object:
+    """Build a chain of ``depth`` compute operations fed by ``inputs``."""
+    mnemonics = _FLOAT_OPS if float_ops else _INT_OPS
+    current = list(inputs)
+    node = None
+    for level in range(depth):
+        mnemonic = mnemonics[level % len(mnemonics)]
+        node = builder.compute(f"{prefix}_c{level}", mnemonic, inputs=current)
+        current = [node]
+    return node if node is not None else inputs[0]
+
+
+def streaming_kernel(
+    name: str,
+    element_bytes: int = 4,
+    num_inputs: int = 2,
+    compute_depth: int = 5,
+    trip_count: int = 2000,
+    weight: float = 1.0,
+    storage: StorageClass = StorageClass.GLOBAL,
+    float_ops: bool = False,
+    array_elements: int = 768,
+) -> Loop:
+    """A dependence-free streaming loop: ``out[i] = f(in0[i], in1[i], ...)``.
+
+    These loops dominate media codecs' inner transforms; after OUF unrolling
+    every replica of their memory operations accesses a single cluster.
+    """
+    builder = LoopBuilder(name, trip_count=trip_count, weight=weight)
+    loads = []
+    for index in range(num_inputs):
+        builder.array(
+            f"{name}_in{index}", element_bytes, array_elements, storage=storage
+        )
+        loads.append(
+            builder.load(
+                f"{name}_ld{index}",
+                f"{name}_in{index}",
+                stride=element_bytes,
+            )
+        )
+    builder.array(f"{name}_out", element_bytes, array_elements, storage=storage)
+    result = _compute_chain(builder, name, loads, compute_depth, float_ops)
+    builder.store(f"{name}_st", f"{name}_out", stride=element_bytes, inputs=[result])
+    return builder.build(disambiguation=DisambiguationPolicy.PRECISE)
+
+
+def reduction_kernel(
+    name: str,
+    element_bytes: int = 4,
+    num_inputs: int = 1,
+    compute_depth: int = 5,
+    trip_count: int = 2000,
+    weight: float = 1.0,
+    storage: StorageClass = StorageClass.GLOBAL,
+    float_ops: bool = False,
+    array_elements: int = 768,
+) -> Loop:
+    """A reduction: an accumulator carried in registers across iterations.
+
+    The recurrence stays in registers, so memory latencies do not constrain
+    the II; this is the "benign" recurrence shape of codecs' energy /
+    correlation loops.
+    """
+    builder = LoopBuilder(name, trip_count=trip_count, weight=weight)
+    loads = []
+    for index in range(num_inputs):
+        builder.array(
+            f"{name}_in{index}", element_bytes, array_elements, storage=storage
+        )
+        loads.append(
+            builder.load(
+                f"{name}_ld{index}", f"{name}_in{index}", stride=element_bytes
+            )
+        )
+    value = _compute_chain(builder, name, loads, compute_depth, float_ops)
+    accumulate = builder.compute(
+        f"{name}_acc", "fadd" if float_ops else "add", inputs=[value]
+    )
+    builder.flow(accumulate, accumulate, distance=1)
+    return builder.build(disambiguation=DisambiguationPolicy.PRECISE)
+
+
+def iir_kernel(
+    name: str,
+    element_bytes: int = 4,
+    feedback_distance: int = 1,
+    extra_inputs: int = 1,
+    compute_depth: int = 4,
+    trip_count: int = 2000,
+    weight: float = 1.0,
+    storage: StorageClass = StorageClass.GLOBAL,
+    float_ops: bool = True,
+    array_elements: int = 768,
+) -> Loop:
+    """An IIR-style filter: ``y[i] = f(x[i], y[i - feedback_distance])``.
+
+    The value recurrence flows through memory (store of ``y[i]``, load of
+    ``y[i-d]`` a few iterations later), which is exactly the situation the
+    latency-assignment step of the paper targets: the load must be scheduled
+    with a short latency to keep the II low, so remote hits on it stall the
+    processor.
+    """
+    builder = LoopBuilder(name, trip_count=trip_count, weight=weight)
+    builder.array(f"{name}_y", element_bytes, array_elements, storage=storage)
+    inputs = []
+    for index in range(extra_inputs):
+        builder.array(
+            f"{name}_x{index}", element_bytes, array_elements, storage=storage
+        )
+        inputs.append(
+            builder.load(
+                f"{name}_ldx{index}", f"{name}_x{index}", stride=element_bytes
+            )
+        )
+    feedback = builder.load(
+        f"{name}_ldy",
+        f"{name}_y",
+        stride=element_bytes,
+        offset=-feedback_distance * element_bytes,
+    )
+    value = _compute_chain(
+        builder, name, [*inputs, feedback], compute_depth, float_ops
+    )
+    builder.store(f"{name}_sty", f"{name}_y", stride=element_bytes, inputs=[value])
+    return builder.build(disambiguation=DisambiguationPolicy.PRECISE)
+
+
+def update_kernel(
+    name: str,
+    element_bytes: int = 4,
+    compute_depth: int = 5,
+    trip_count: int = 2000,
+    weight: float = 1.0,
+    storage: StorageClass = StorageClass.GLOBAL,
+    float_ops: bool = False,
+    array_elements: int = 768,
+) -> Loop:
+    """An in-place read-modify-write loop: ``a[i] = f(a[i], b[i])``.
+
+    The load and the store reference the same address, so they always form a
+    two-operation memory dependent chain.
+    """
+    builder = LoopBuilder(name, trip_count=trip_count, weight=weight)
+    builder.array(f"{name}_a", element_bytes, array_elements, storage=storage)
+    builder.array(f"{name}_b", element_bytes, array_elements, storage=storage)
+    original = builder.load(f"{name}_lda", f"{name}_a", stride=element_bytes)
+    other = builder.load(f"{name}_ldb", f"{name}_b", stride=element_bytes)
+    value = _compute_chain(builder, name, [original, other], compute_depth, float_ops)
+    builder.store(f"{name}_sta", f"{name}_a", stride=element_bytes, inputs=[value])
+    return builder.build(disambiguation=DisambiguationPolicy.PRECISE)
+
+
+def indirect_kernel(
+    name: str,
+    element_bytes: int = 4,
+    index_bytes: int = 2,
+    table_elements: int = 1024,
+    with_update: bool = False,
+    compute_depth: int = 4,
+    trip_count: int = 2000,
+    weight: float = 1.0,
+    storage: StorageClass = StorageClass.GLOBAL,
+    array_elements: int = 768,
+) -> Loop:
+    """A table-lookup loop: ``t[b[i]]`` reads (and optionally updates).
+
+    Indirect accesses spread over the whole table, so their preferred-cluster
+    information is "unclear"; with ``with_update`` the loop becomes a
+    histogram-style read-modify-write whose load and store form a chain and a
+    memory recurrence (the classic entropy-coding pattern).
+    """
+    builder = LoopBuilder(name, trip_count=trip_count, weight=weight)
+    builder.array(f"{name}_idx", index_bytes, array_elements, storage=storage)
+    builder.array(
+        f"{name}_table",
+        element_bytes,
+        table_elements,
+        storage=storage,
+        index_range=table_elements,
+    )
+    index = builder.load(f"{name}_ldi", f"{name}_idx", stride=index_bytes)
+    lookup = builder.load(
+        f"{name}_ldt",
+        f"{name}_table",
+        indirect=True,
+        index_array=f"{name}_idx",
+        inputs=[index],
+    )
+    value = _compute_chain(builder, name, [lookup], compute_depth, False)
+    if with_update:
+        builder.store(
+            f"{name}_stt",
+            f"{name}_table",
+            indirect=True,
+            index_array=f"{name}_idx",
+            inputs=[value, index],
+        )
+        policy = DisambiguationPolicy.CONSERVATIVE
+    else:
+        builder.array(f"{name}_out", element_bytes, array_elements, storage=storage)
+        builder.store(
+            f"{name}_sto", f"{name}_out", stride=element_bytes, inputs=[value]
+        )
+        policy = DisambiguationPolicy.PRECISE
+    return builder.build(disambiguation=policy)
+
+
+def wide_kernel(
+    name: str,
+    wide_bytes: int = 8,
+    narrow_bytes: int = 4,
+    compute_depth: int = 6,
+    trip_count: int = 2000,
+    weight: float = 1.0,
+    storage: StorageClass = StorageClass.GLOBAL,
+    array_elements: int = 768,
+) -> Loop:
+    """A loop mixing double-precision and narrow accesses (mpeg2dec style).
+
+    Accesses wider than the interleaving factor always pay a remote access;
+    the scheduler compensates by assigning them large latencies, so they add
+    remote traffic but little stall time -- the behaviour the paper reports.
+    """
+    builder = LoopBuilder(name, trip_count=trip_count, weight=weight)
+    builder.array(f"{name}_wide", wide_bytes, array_elements, storage=storage)
+    builder.array(f"{name}_narrow", narrow_bytes, array_elements, storage=storage)
+    builder.array(f"{name}_out", wide_bytes, array_elements, storage=storage)
+    wide = builder.load(f"{name}_ldw", f"{name}_wide", stride=wide_bytes)
+    narrow = builder.load(f"{name}_ldn", f"{name}_narrow", stride=narrow_bytes)
+    value = _compute_chain(builder, name, [wide, narrow], compute_depth, True)
+    builder.store(f"{name}_stw", f"{name}_out", stride=wide_bytes, inputs=[value])
+    return builder.build(disambiguation=DisambiguationPolicy.PRECISE)
+
+
+def long_chain_kernel(
+    name: str,
+    num_loads: int = 12,
+    element_bytes: int = 4,
+    compute_depth: int = 1,
+    trip_count: int = 2000,
+    weight: float = 1.0,
+    storage: StorageClass = StorageClass.GLOBAL,
+    array_elements: int = 1024,
+) -> Loop:
+    """A loop whose memory references cannot be disambiguated (epicdec style).
+
+    All references go through the same (pointer-accessed) buffer and the
+    analysis keeps them in one long memory dependent chain, which forces the
+    scheduler to place every one of them in a single cluster.  The paper's
+    epicdec has a loop with 19 such memory instructions.
+    """
+    builder = LoopBuilder(name, trip_count=trip_count, weight=weight)
+    builder.array(f"{name}_buf", element_bytes, array_elements, storage=storage)
+    builder.array(f"{name}_out", element_bytes, array_elements, storage=storage)
+    running = None
+    for index in range(num_loads):
+        loaded = builder.load(
+            f"{name}_ld{index}",
+            f"{name}_buf",
+            stride=element_bytes,
+            offset=index * element_bytes,
+        )
+        inputs = [loaded] if running is None else [running, loaded]
+        running = builder.compute(f"{name}_acc{index}", "add", inputs=inputs)
+    value = _compute_chain(builder, name, [running], compute_depth, False)
+    builder.store(
+        f"{name}_st", f"{name}_buf", stride=element_bytes, inputs=[value]
+    )
+    return builder.build(disambiguation=DisambiguationPolicy.CONSERVATIVE)
+
+
+def stencil_kernel(
+    name: str,
+    element_bytes: int = 4,
+    taps: int = 3,
+    compute_depth: int = 4,
+    trip_count: int = 2000,
+    weight: float = 1.0,
+    storage: StorageClass = StorageClass.GLOBAL,
+    float_ops: bool = True,
+    array_elements: int = 768,
+) -> Loop:
+    """A symmetric FIR/stencil: ``out[i] = f(in[i-1], in[i], in[i+1], ...)``.
+
+    Neighbouring taps fall in different clusters, so without unrolling most
+    accesses are remote even though the loop has no recurrences.
+    """
+    builder = LoopBuilder(name, trip_count=trip_count, weight=weight)
+    builder.array(f"{name}_in", element_bytes, array_elements, storage=storage)
+    builder.array(f"{name}_out", element_bytes, array_elements, storage=storage)
+    loads = []
+    for tap in range(taps):
+        offset = (tap - taps // 2) * element_bytes
+        loads.append(
+            builder.load(
+                f"{name}_ld{tap}", f"{name}_in", stride=element_bytes, offset=offset
+            )
+        )
+    value = _compute_chain(builder, name, loads, compute_depth, float_ops)
+    builder.store(f"{name}_st", f"{name}_out", stride=element_bytes, inputs=[value])
+    return builder.build(disambiguation=DisambiguationPolicy.PRECISE)
+
+
+def strided_kernel(
+    name: str,
+    element_bytes: int = 2,
+    stride_elements: int = 8,
+    compute_depth: int = 4,
+    trip_count: int = 1500,
+    weight: float = 1.0,
+    storage: StorageClass = StorageClass.HEAP,
+    float_ops: bool = False,
+    array_elements: int = 768,
+) -> Loop:
+    """A large-stride loop over a heap array (the gsmdec example).
+
+    With a stride of ``stride_elements * element_bytes`` bytes the OUF is
+    small, and because the array lives on the heap its home-cluster pattern
+    depends entirely on where ``malloc`` placed it -- the situation variable
+    alignment (padding) fixes.
+    """
+    builder = LoopBuilder(name, trip_count=trip_count, weight=weight)
+    builder.array(f"{name}_in", element_bytes, array_elements, storage=storage)
+    builder.array(f"{name}_out", element_bytes, array_elements, storage=storage)
+    stride = element_bytes * stride_elements
+    source = builder.load(f"{name}_ld", f"{name}_in", stride=stride)
+    value = _compute_chain(builder, name, [source], compute_depth, float_ops)
+    builder.store(f"{name}_st", f"{name}_out", stride=stride, inputs=[value])
+    return builder.build(disambiguation=DisambiguationPolicy.PRECISE)

@@ -1,0 +1,139 @@
+"""Benchmark specifications.
+
+A *benchmark* is a named set of modulo-schedulable loops with relative
+weights, mirroring how the paper evaluates Mediabench programs: the modulo
+scheduled loops account for roughly 80% of the dynamic instruction stream
+and each program is characterised by its dominant data size, its fraction of
+indirect accesses, and how much memory dependent chains constrain it
+(Table 1 and Section 5.2).
+
+The synthetic benchmarks of :mod:`repro.workloads.mediabench` fill these
+specifications with loop kernels built from the templates in
+:mod:`repro.workloads.generator`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.ir.loop import Loop
+
+
+@dataclass(frozen=True)
+class BenchmarkCharacteristics:
+    """Static characterisation of a benchmark (the Table-1 style columns)."""
+
+    dominant_element_bytes: int
+    dominant_fraction: float
+    indirect_fraction: float = 0.0
+    wide_fraction: float = 0.0
+    chain_heavy: bool = False
+    description: str = ""
+
+
+@dataclass
+class Benchmark:
+    """A named collection of loops plus its characterisation."""
+
+    name: str
+    loops: list[Loop]
+    characteristics: BenchmarkCharacteristics
+    profile_dataset: str = "profile"
+    execution_dataset: str = "execution"
+
+    def __post_init__(self) -> None:
+        if not self.loops:
+            raise ValueError("a benchmark needs at least one loop")
+        names = [loop.name for loop in self.loops]
+        if len(names) != len(set(names)):
+            raise ValueError("loop names must be unique within a benchmark")
+
+    def __iter__(self):
+        return iter(self.loops)
+
+    def __len__(self) -> int:
+        return len(self.loops)
+
+    def total_weight(self) -> float:
+        """Sum of loop weights."""
+        return sum(loop.weight for loop in self.loops)
+
+    def memory_operation_count(self) -> int:
+        """Static memory operations across all loops."""
+        return sum(len(loop.memory_operations) for loop in self.loops)
+
+    def measured_dominant_size(self) -> tuple[int, float]:
+        """Dominant element size measured from the loops themselves.
+
+        Returns (element size in bytes, fraction of weighted dynamic memory
+        accesses with that size); used by the Table-1 reproduction to check
+        the synthetic suite against the paper's characterisation.
+        """
+        histogram: Counter[int] = Counter()
+        for loop in self.loops:
+            per_iteration = Counter(
+                op.memory.granularity for op in loop.memory_operations
+            )
+            for size, count in per_iteration.items():
+                histogram[size] += count * loop.trip_count * loop.weight
+        if not histogram:
+            return (0, 0.0)
+        total = sum(histogram.values())
+        size, count = max(histogram.items(), key=lambda item: (item[1], -item[0]))
+        return size, count / total
+
+    def measured_indirect_fraction(self) -> float:
+        """Fraction of weighted dynamic accesses that are indirect."""
+        indirect = 0.0
+        total = 0.0
+        for loop in self.loops:
+            for op in loop.memory_operations:
+                dynamic = loop.trip_count * loop.weight
+                total += dynamic
+                if op.memory.indirect:
+                    indirect += dynamic
+        return indirect / total if total else 0.0
+
+    def describe(self) -> dict[str, object]:
+        """Summary row used by the Table-1 reproduction."""
+        size, fraction = self.measured_dominant_size()
+        return {
+            "benchmark": self.name,
+            "loops": len(self.loops),
+            "memory_operations": self.memory_operation_count(),
+            "dominant_size_bytes": size,
+            "dominant_size_fraction": round(fraction, 3),
+            "indirect_fraction": round(self.measured_indirect_fraction(), 3),
+            "paper_dominant_size_bytes": self.characteristics.dominant_element_bytes,
+            "paper_dominant_size_fraction": self.characteristics.dominant_fraction,
+            "chain_heavy": self.characteristics.chain_heavy,
+        }
+
+
+class BenchmarkSuite:
+    """An ordered, name-indexed collection of benchmarks."""
+
+    def __init__(self, benchmarks: Iterable[Benchmark]) -> None:
+        self._benchmarks = list(benchmarks)
+        self._by_name = {benchmark.name: benchmark for benchmark in self._benchmarks}
+        if len(self._by_name) != len(self._benchmarks):
+            raise ValueError("benchmark names must be unique")
+
+    def __iter__(self):
+        return iter(self._benchmarks)
+
+    def __len__(self) -> int:
+        return len(self._benchmarks)
+
+    def __getitem__(self, name: str) -> Benchmark:
+        return self._by_name[name]
+
+    def names(self) -> list[str]:
+        """Benchmark names, in suite order."""
+        return [benchmark.name for benchmark in self._benchmarks]
+
+    def subset(self, names: Iterable[str]) -> "BenchmarkSuite":
+        """A new suite restricted to the given benchmark names."""
+        return BenchmarkSuite([self._by_name[name] for name in names])

@@ -1,0 +1,108 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.loop import Loop, StorageClass
+from repro.machine.config import MachineConfig
+from repro.scheduler.core import SchedulingHeuristic
+from repro.scheduler.pipeline import CompiledLoop, CompilerOptions, compile_loop
+from repro.scheduler.unrolling import UnrollPolicy
+
+
+@pytest.fixture
+def interleaved_config() -> MachineConfig:
+    """The default word-interleaved machine of Table 2."""
+    return MachineConfig.word_interleaved()
+
+
+@pytest.fixture
+def interleaved_ab_config() -> MachineConfig:
+    """Word-interleaved machine with 16-entry Attraction Buffers."""
+    return MachineConfig.word_interleaved(attraction_buffers=True)
+
+
+@pytest.fixture
+def unified_config() -> MachineConfig:
+    """Unified-cache machine with the optimistic 1-cycle latency."""
+    return MachineConfig.unified(latency=1)
+
+
+@pytest.fixture
+def multivliw_config() -> MachineConfig:
+    """The cache-coherent multiVLIW machine."""
+    return MachineConfig.multivliw()
+
+
+def build_streaming_loop(
+    name: str = "stream",
+    trip_count: int = 512,
+    element_bytes: int = 4,
+    storage: StorageClass = StorageClass.GLOBAL,
+) -> Loop:
+    """A small dependence-free streaming loop used by many tests."""
+    builder = LoopBuilder(name, trip_count=trip_count)
+    builder.array("src", element_bytes, 2048, storage=storage)
+    builder.array("dst", element_bytes, 2048, storage=storage)
+    loaded = builder.load("ld", "src", stride=element_bytes)
+    scaled = builder.compute("scale", "mul", inputs=[loaded])
+    shifted = builder.compute("shift", "shl", inputs=[scaled])
+    builder.store("st", "dst", stride=element_bytes, inputs=[shifted])
+    return builder.build()
+
+
+def build_recurrence_loop(name: str = "iir", trip_count: int = 512) -> Loop:
+    """A loop whose value recurrence flows through memory (IIR filter)."""
+    builder = LoopBuilder(name, trip_count=trip_count)
+    builder.array("x", 4, 2048)
+    builder.array("y", 4, 2048)
+    x = builder.load("ld_x", "x", stride=4)
+    y_prev = builder.load("ld_y", "y", stride=4, offset=-4)
+    prod = builder.compute("mul", "fmul", inputs=[x, y_prev])
+    total = builder.compute("acc", "fadd", inputs=[prod])
+    builder.store("st_y", "y", stride=4, inputs=[total])
+    return builder.build()
+
+
+def build_indirect_loop(name: str = "lookup", trip_count: int = 512) -> Loop:
+    """A table-lookup loop with an indirect load."""
+    builder = LoopBuilder(name, trip_count=trip_count)
+    builder.array("idx", 2, 2048)
+    builder.array("table", 4, 512, index_range=512)
+    builder.array("out", 4, 2048)
+    index = builder.load("ld_idx", "idx", stride=2)
+    value = builder.load(
+        "ld_tab", "table", indirect=True, index_array="idx", inputs=[index]
+    )
+    doubled = builder.compute("dbl", "add", inputs=[value])
+    builder.store("st_out", "out", stride=4, inputs=[doubled])
+    return builder.build()
+
+
+@pytest.fixture
+def streaming_loop() -> Loop:
+    """Small streaming loop."""
+    return build_streaming_loop()
+
+
+@pytest.fixture
+def recurrence_loop() -> Loop:
+    """Small memory-recurrence loop."""
+    return build_recurrence_loop()
+
+
+@pytest.fixture
+def indirect_loop() -> Loop:
+    """Small indirect-access loop."""
+    return build_indirect_loop()
+
+
+@pytest.fixture
+def compiled_streaming_ipbc(interleaved_config) -> CompiledLoop:
+    """The streaming loop compiled with IPBC on the interleaved machine."""
+    options = CompilerOptions(
+        heuristic=SchedulingHeuristic.IPBC, unroll_policy=UnrollPolicy.SELECTIVE
+    )
+    return compile_loop(build_streaming_loop(), interleaved_config, options)

@@ -1,0 +1,128 @@
+"""Tests for the experiment harness (fast subsets of the paper's figures)."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentOptions,
+    ExperimentResult,
+    ExperimentRunner,
+    interleaved_setup,
+    multivliw_setup,
+    unified_setup,
+)
+from repro.experiments.figure4 import alignment_and_unrolling_gains, run_figure4
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import balance_by_variant, run_figure7
+from repro.experiments.figure8 import amean_normalized_totals, run_figure8
+from repro.experiments.latency_example import run_latency_example
+from repro.experiments.table1 import dominant_size_matches, run_table1
+from repro.scheduler.core import SchedulingHeuristic
+from repro.workloads.mediabench import mediabench_suite
+
+#: A small but representative subset keeps the experiment tests fast.
+FAST_OPTIONS = ExperimentOptions(
+    benchmarks=("gsmdec", "rasta"), simulation_iteration_cap=96
+)
+
+
+@pytest.fixture(scope="module")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(FAST_OPTIONS)
+
+
+class TestSetups:
+    def test_interleaved_setup_names(self):
+        setup = interleaved_setup(SchedulingHeuristic.IPBC, attraction_buffers=True)
+        assert setup.name == "ipbc+AB"
+        assert setup.config.attraction_buffer.enabled
+
+    def test_unified_and_multivliw_setups(self):
+        assert unified_setup(5).config.unified_cache_latency == 5
+        assert multivliw_setup().options.heuristic is SchedulingHeuristic.MULTIVLIW
+
+    def test_runner_caches_compilations(self, runner):
+        benchmark = runner.benchmark("gsmdec")
+        setup = interleaved_setup(SchedulingHeuristic.IPBC)
+        first = runner.compile_benchmark(benchmark, setup)
+        second = runner.compile_benchmark(benchmark, setup)
+        assert first is second
+
+    def test_experiment_result_render(self):
+        result = ExperimentResult(title="t", headers=["a", "b"])
+        result.add_row(["x", 1.0])
+        result.notes.append("hello")
+        text = result.render()
+        assert "t" in text and "hello" in text
+
+
+class TestTable1:
+    def test_all_rows_present(self):
+        rows, result = run_table1()
+        assert len(rows) == 14
+        assert "epicdec" in result.render()
+
+    def test_dominant_sizes_match(self):
+        for benchmark in mediabench_suite():
+            assert dominant_size_matches(benchmark)
+
+
+class TestLatencyExample:
+    def test_matches_paper(self):
+        outcome, _ = run_latency_example()
+        assert outcome.assignment.target_mii == 8
+        assert outcome.final_latency("n1") == 4
+        assert outcome.final_latency("n2") == 1
+        assert outcome.final_latency("n6") == 1
+
+
+class TestFigure4Subset:
+    def test_rows_and_gains(self, runner):
+        rows, result = run_figure4(runner=runner)
+        assert len(rows) == len(FAST_OPTIONS.benchmarks) * 4
+        gains = alignment_and_unrolling_gains(rows)
+        # OUF unrolling must increase the local hit ratio on this subset.
+        assert gains["unrolling_gain"] > 0.0
+        assert "AMEAN" in result.render()
+
+    def test_fractions_sum_to_one(self, runner):
+        rows, _ = run_figure4(runner=runner)
+        for row in rows:
+            assert sum(row.fractions.values()) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestFigure6Subset:
+    def test_attraction_buffers_do_not_increase_stall(self, runner):
+        rows, _ = run_figure6(runner=runner)
+        by_benchmark = {}
+        for row in rows:
+            by_benchmark.setdefault(row.benchmark, {})[row.configuration] = row.stall_cycles
+        for values in by_benchmark.values():
+            assert values["ipbc+ab"] <= values["ipbc"] * 1.05
+            assert values["ibc+ab"] <= values["ibc"] * 1.05
+
+
+class TestFigure7Subset:
+    def test_balance_bounds_and_unrolling_effect(self, runner):
+        rows, _ = run_figure7(runner=runner)
+        for row in rows:
+            assert 0.25 <= row.workload_balance <= 1.0
+        balance = balance_by_variant(rows)
+        assert balance["ouf"] <= balance["no-unroll"] + 0.05
+
+
+class TestFigure8Subset:
+    def test_normalization_and_ordering(self, runner):
+        rows, result = run_figure8(runner=runner)
+        means = amean_normalized_totals(rows)
+        assert means["unified-L1"] == pytest.approx(1.0)
+        # The realistic unified cache is slower than the interleaved cache
+        # with IPBC on this subset (the paper's headline comparison).
+        assert means["unified-L5"] > means["ipbc+ab"] * 0.9
+        assert "AMEAN" in result.render()
+
+    def test_compute_plus_stall_equals_total(self, runner):
+        rows, _ = run_figure8(runner=runner)
+        for row in rows:
+            assert row.normalized_total == pytest.approx(
+                row.normalized_compute + row.normalized_stall
+            )

@@ -1,0 +1,181 @@
+"""Tests for the loop builder, loop descriptors, and loop unrolling."""
+
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.ddg import DependenceKind
+from repro.ir.loop import ArraySpec, Loop, LoopNest, StorageClass, gather_arrays
+from repro.ir.unroll import unroll_ddg, unroll_loop
+
+
+class TestLoopBuilder:
+    def test_builds_wellformed_loop(self, streaming_loop):
+        assert isinstance(streaming_loop, Loop)
+        assert len(streaming_loop.operations) == 4
+        assert len(streaming_loop.memory_operations) == 2
+        streaming_loop.ddg.validate()
+
+    def test_undeclared_array_rejected(self):
+        builder = LoopBuilder("bad", trip_count=10)
+        with pytest.raises(ValueError):
+            builder.load("ld", "missing", stride=4)
+
+    def test_duplicate_array_rejected(self):
+        builder = LoopBuilder("bad", trip_count=10)
+        builder.array("a", 4, 16)
+        with pytest.raises(ValueError):
+            builder.array("a", 4, 16)
+
+    def test_register_flow_edges_from_inputs(self, streaming_loop):
+        scale = streaming_loop.ddg.find("scale")
+        load = streaming_loop.ddg.find("ld")
+        deps = streaming_loop.ddg.dependences_to(scale)
+        assert any(dep.src is load and dep.kind is DependenceKind.REG_FLOW for dep in deps)
+
+    def test_loop_carried_inputs(self):
+        builder = LoopBuilder("acc", trip_count=16)
+        builder.array("a", 4, 64)
+        ld = builder.load("ld", "a", stride=4)
+        acc = builder.compute("acc", "add", inputs=[ld], loop_carried_inputs=[])
+        builder.flow(acc, acc, distance=1)
+        loop = builder.build()
+        self_deps = [
+            dep for dep in loop.ddg.dependences() if dep.src is acc and dep.dst is acc
+        ]
+        assert self_deps and self_deps[0].distance == 1
+
+    def test_metadata_round_trip(self):
+        builder = LoopBuilder("meta", trip_count=16, weight=2.0)
+        builder.array("a", 4, 64)
+        builder.load("ld", "a", stride=4)
+        builder.metadata(paper_loop=67)
+        loop = builder.build()
+        assert loop.metadata["paper_loop"] == 67
+        assert loop.weight == 2.0
+
+    def test_granularity_defaults_to_element_size(self):
+        builder = LoopBuilder("gran", trip_count=16)
+        builder.array("short", 2, 64)
+        op = builder.load("ld", "short", stride=2)
+        assert op.memory.granularity == 2
+
+
+class TestLoopDescriptor:
+    def test_trip_count_must_be_positive(self, streaming_loop):
+        with pytest.raises(ValueError):
+            Loop(
+                name="bad",
+                ddg=streaming_loop.ddg,
+                arrays=streaming_loop.arrays,
+                trip_count=0,
+            )
+
+    def test_profile_trip_count_defaults_to_trip_count(self, streaming_loop):
+        assert streaming_loop.profile_trip_count == streaming_loop.trip_count
+
+    def test_unknown_array_reference_rejected(self, streaming_loop):
+        with pytest.raises(ValueError):
+            Loop(
+                name="bad",
+                ddg=streaming_loop.ddg,
+                arrays={},
+                trip_count=10,
+            )
+
+    def test_dynamic_operations(self, streaming_loop):
+        assert streaming_loop.dynamic_operations() == 4 * streaming_loop.trip_count
+
+    def test_describe(self, streaming_loop):
+        info = streaming_loop.describe()
+        assert info["operations"] == 4
+        assert info["memory_operations"] == 2
+
+    def test_gather_arrays_conflict_detection(self, streaming_loop):
+        conflicting = Loop(
+            name="other",
+            ddg=streaming_loop.ddg.copy("other"),
+            arrays={
+                "src": ArraySpec("src", 8, 64),
+                "dst": streaming_loop.arrays["dst"],
+            },
+            trip_count=16,
+        )
+        with pytest.raises(ValueError):
+            gather_arrays([streaming_loop, conflicting])
+
+    def test_loop_nest(self, streaming_loop, recurrence_loop):
+        nest = LoopNest("program", [streaming_loop, recurrence_loop])
+        assert len(nest) == 2
+        assert nest.total_weight() == pytest.approx(2.0)
+
+    def test_array_spec_validation(self):
+        with pytest.raises(ValueError):
+            ArraySpec("bad", element_bytes=3, num_elements=10)
+        with pytest.raises(ValueError):
+            ArraySpec("bad", element_bytes=4, num_elements=0)
+
+    def test_storage_classes(self):
+        spec = ArraySpec("heap", 4, 16, storage=StorageClass.HEAP)
+        assert spec.size_bytes == 64
+
+
+class TestUnrolling:
+    def test_factor_one_is_identity(self, streaming_loop):
+        assert unroll_loop(streaming_loop, 1) is streaming_loop
+
+    def test_operation_replication(self, streaming_loop):
+        unrolled = unroll_loop(streaming_loop, 4)
+        assert len(unrolled.operations) == 4 * len(streaming_loop.operations)
+        assert unrolled.unroll_factor == 4
+        assert unrolled.original is streaming_loop
+
+    def test_trip_count_division(self, streaming_loop):
+        unrolled = unroll_loop(streaming_loop, 4)
+        assert unrolled.trip_count == -(-streaming_loop.trip_count // 4)
+
+    def test_memory_offsets_and_strides(self, streaming_loop):
+        unrolled = unroll_loop(streaming_loop, 4)
+        offsets = sorted(
+            op.memory.offset_bytes for op in unrolled.memory_operations if op.is_load
+        )
+        assert offsets == [0, 4, 8, 12]
+        strides = {op.memory.stride_bytes for op in unrolled.memory_operations}
+        assert strides == {16}
+
+    def test_loop_carried_dependence_retargeting(self):
+        builder = LoopBuilder("acc", trip_count=64)
+        builder.array("a", 4, 128)
+        ld = builder.load("ld", "a", stride=4)
+        acc = builder.compute("acc", "add", inputs=[ld])
+        builder.flow(acc, acc, distance=1)
+        loop = builder.build()
+        unrolled, replicas = unroll_ddg(loop.ddg, 3, "acc.x3")
+        acc0 = replicas[(acc, 0)]
+        acc1 = replicas[(acc, 1)]
+        acc2 = replicas[(acc, 2)]
+        # acc of copy k feeds acc of copy k+1 at distance 0, and the last
+        # copy feeds the first at distance 1.
+        edges = {
+            (dep.src, dep.dst): dep.distance
+            for dep in unrolled.dependences()
+            if dep.src.mnemonic == "add" and dep.dst.mnemonic == "add"
+        }
+        assert edges[(acc0, acc1)] == 0
+        assert edges[(acc1, acc2)] == 0
+        assert edges[(acc2, acc0)] == 1
+
+    def test_rejects_non_positive_factor(self, streaming_loop):
+        with pytest.raises(ValueError):
+            unroll_loop(streaming_loop, 0)
+
+    def test_indirect_access_not_rewritten(self, indirect_loop):
+        unrolled = unroll_loop(indirect_loop, 2)
+        indirect_ops = [op for op in unrolled.memory_operations if op.memory.indirect]
+        assert len(indirect_ops) == 2
+        assert all(op.memory.offset_bytes == 0 for op in indirect_ops)
+
+    def test_unique_names_after_unrolling(self, streaming_loop):
+        unrolled = unroll_loop(streaming_loop, 4)
+        names = [op.name for op in unrolled.operations]
+        assert len(names) == len(set(names))
+        unrolled.ddg.validate()

@@ -1,0 +1,233 @@
+"""Tests for the data dependence graph (repro.ir.ddg)."""
+
+import pytest
+
+from repro.ir.ddg import (
+    DataDependenceGraph,
+    Dependence,
+    DependenceKind,
+    merge_graphs,
+    rec_mii,
+)
+from repro.ir.operation import MemoryAccess, make_operation
+
+
+def _unit_latency(_op):
+    return 1
+
+
+def build_simple_chain():
+    ddg = DataDependenceGraph("chain")
+    a = ddg.add_operation(make_operation("a", "add"))
+    b = ddg.add_operation(make_operation("b", "mul"))
+    c = ddg.add_operation(make_operation("c", "sub"))
+    ddg.connect(a, b)
+    ddg.connect(b, c)
+    return ddg, (a, b, c)
+
+
+class TestGraphConstruction:
+    def test_operations_in_insertion_order(self):
+        ddg, (a, b, c) = build_simple_chain()
+        assert ddg.operations == [a, b, c]
+        assert len(ddg) == 3
+
+    def test_duplicate_operation_rejected(self):
+        ddg, (a, _, _) = build_simple_chain()
+        with pytest.raises(ValueError):
+            ddg.add_operation(a)
+
+    def test_dependence_requires_known_endpoints(self):
+        ddg = DataDependenceGraph()
+        a = ddg.add_operation(make_operation("a", "add"))
+        stranger = make_operation("b", "add")
+        with pytest.raises(ValueError):
+            ddg.connect(a, stranger)
+
+    def test_negative_distance_rejected(self):
+        ddg, (a, b, _) = build_simple_chain()
+        with pytest.raises(ValueError):
+            ddg.add_dependence(Dependence(a, b, DependenceKind.REG_FLOW, -1))
+
+    def test_find_by_name(self):
+        ddg, (a, _, _) = build_simple_chain()
+        assert ddg.find("a") is a
+        with pytest.raises(KeyError):
+            ddg.find("missing")
+
+    def test_memory_operations_filter(self):
+        ddg = DataDependenceGraph()
+        ld = ddg.add_operation(
+            make_operation("ld", "ld", MemoryAccess(array="a", stride_bytes=4))
+        )
+        ddg.add_operation(make_operation("x", "add"))
+        assert ddg.memory_operations == [ld]
+
+    def test_predecessors_and_successors(self):
+        ddg, (a, b, c) = build_simple_chain()
+        assert ddg.predecessors(b) == [a]
+        assert ddg.successors(b) == [c]
+        assert ddg.dependences_to(b)[0].src is a
+        assert ddg.dependences_from(b)[0].dst is c
+
+    def test_copy_preserves_structure(self):
+        ddg, _ = build_simple_chain()
+        clone = ddg.copy("copy")
+        assert len(clone) == len(ddg)
+        assert len(clone.dependences()) == len(ddg.dependences())
+
+    def test_merge_graphs(self):
+        first, _ = build_simple_chain()
+        second = DataDependenceGraph("other")
+        second.add_operation(make_operation("z", "add"))
+        merged = merge_graphs("merged", [first, second])
+        assert len(merged) == 4
+
+
+class TestValidation:
+    def test_duplicate_names_rejected(self):
+        ddg = DataDependenceGraph()
+        ddg.add_operation(make_operation("same", "add"))
+        ddg.add_operation(make_operation("same", "mul"))
+        with pytest.raises(ValueError):
+            ddg.validate()
+
+    def test_zero_distance_self_loop_rejected(self):
+        ddg = DataDependenceGraph()
+        a = ddg.add_operation(make_operation("a", "add"))
+        ddg.connect(a, a, DependenceKind.REG_FLOW, 0)
+        with pytest.raises(ValueError):
+            ddg.validate()
+
+    def test_valid_graph_passes(self):
+        ddg, _ = build_simple_chain()
+        ddg.validate()
+
+
+class TestRecurrences:
+    def test_acyclic_graph_has_no_recurrences(self):
+        ddg, _ = build_simple_chain()
+        assert ddg.recurrences() == []
+        assert rec_mii(ddg, _unit_latency) == 1
+
+    def test_self_recurrence(self):
+        ddg = DataDependenceGraph()
+        acc = ddg.add_operation(make_operation("acc", "add"))
+        ddg.connect(acc, acc, DependenceKind.REG_FLOW, 1)
+        recurrences = ddg.recurrences()
+        assert len(recurrences) == 1
+        assert recurrences[0].total_distance == 1
+        assert recurrences[0].initiation_interval(_unit_latency) == 1
+
+    def test_two_node_recurrence_ii(self):
+        ddg = DataDependenceGraph()
+        a = ddg.add_operation(make_operation("a", "add"))
+        b = ddg.add_operation(make_operation("b", "mul"))
+        ddg.connect(a, b, DependenceKind.REG_FLOW, 0)
+        ddg.connect(b, a, DependenceKind.REG_FLOW, 1)
+        recurrence = ddg.recurrences()[0]
+        assert recurrence.initiation_interval(lambda op: 3) == 6
+        assert rec_mii(ddg, lambda op: 3) == 6
+
+    def test_anti_dependence_contributes_no_latency(self):
+        ddg = DataDependenceGraph()
+        a = ddg.add_operation(make_operation("a", "add"))
+        b = ddg.add_operation(make_operation("b", "mul"))
+        ddg.connect(a, b, DependenceKind.REG_FLOW, 0)
+        ddg.connect(b, a, DependenceKind.REG_ANTI, 1)
+        recurrence = ddg.recurrences()[0]
+        # Only a's latency counts: the anti edge does not wait for b.
+        assert recurrence.latency_sum(lambda op: 4) == 4
+
+    def test_memory_edge_contributes_one_cycle(self):
+        ddg = DataDependenceGraph()
+        ld = ddg.add_operation(
+            make_operation("ld", "ld", MemoryAccess(array="a", stride_bytes=4))
+        )
+        st = ddg.add_operation(
+            make_operation(
+                "st", "st", MemoryAccess(array="a", stride_bytes=4, is_store=True)
+            )
+        )
+        ddg.connect(ld, st, DependenceKind.MEMORY, 0)
+        ddg.connect(st, ld, DependenceKind.MEMORY, 1)
+        recurrence = ddg.recurrences()[0]
+        assert recurrence.latency_sum(lambda op: 15) == 2
+
+    def test_recurrence_memory_operations(self):
+        ddg = DataDependenceGraph()
+        ld = ddg.add_operation(
+            make_operation("ld", "ld", MemoryAccess(array="a", stride_bytes=4))
+        )
+        add = ddg.add_operation(make_operation("x", "add"))
+        ddg.connect(ld, add, DependenceKind.REG_FLOW, 0)
+        ddg.connect(add, ld, DependenceKind.REG_FLOW, 1)
+        assert ddg.recurrences()[0].memory_operations() == [ld]
+
+    def test_recurrence_enumeration_is_bounded(self):
+        # A conservative-disambiguation style graph with many interleaved
+        # cycles must not blow up the enumeration.
+        ddg = DataDependenceGraph()
+        stores = [
+            ddg.add_operation(
+                make_operation(
+                    f"st{i}",
+                    "st",
+                    MemoryAccess(array="a", stride_bytes=4, is_store=True),
+                )
+            )
+            for i in range(6)
+        ]
+        loads = [
+            ddg.add_operation(
+                make_operation(
+                    f"ld{i}", "ld", MemoryAccess(array="a", stride_bytes=4)
+                )
+            )
+            for i in range(12)
+        ]
+        for st in stores:
+            for ld in loads:
+                ddg.connect(st, ld, DependenceKind.MEMORY, 0)
+                ddg.connect(ld, st, DependenceKind.MEMORY, 1)
+        recurrences = ddg.recurrences(max_count=50)
+        assert 0 < len(recurrences) <= 50
+
+    def test_recurrence_cache_reused(self):
+        ddg = DataDependenceGraph()
+        a = ddg.add_operation(make_operation("a", "add"))
+        ddg.connect(a, a, DependenceKind.REG_FLOW, 1)
+        first = ddg.recurrences()
+        second = ddg.recurrences()
+        assert first == second
+
+    def test_zero_distance_recurrence_rejected(self):
+        ddg = DataDependenceGraph()
+        a = ddg.add_operation(make_operation("a", "add"))
+        b = ddg.add_operation(make_operation("b", "add"))
+        ddg.connect(a, b, DependenceKind.REG_FLOW, 0)
+        ddg.connect(b, a, DependenceKind.REG_FLOW, 0)
+        recurrence = ddg.recurrences()[0]
+        with pytest.raises(ValueError):
+            recurrence.initiation_interval(_unit_latency)
+
+
+class TestConnectedComponents:
+    def test_components_by_memory_edges(self):
+        ddg = DataDependenceGraph()
+        ld1 = ddg.add_operation(
+            make_operation("ld1", "ld", MemoryAccess(array="a", stride_bytes=4))
+        )
+        st1 = ddg.add_operation(
+            make_operation(
+                "st1", "st", MemoryAccess(array="a", stride_bytes=4, is_store=True)
+            )
+        )
+        ld2 = ddg.add_operation(
+            make_operation("ld2", "ld", MemoryAccess(array="b", stride_bytes=4))
+        )
+        ddg.connect(ld1, st1, DependenceKind.MEMORY, 0)
+        components = ddg.connected_components(lambda dep: dep.is_memory)
+        grouped = [component for component in components if len(component) > 1]
+        assert grouped == [{ld1, st1}]
+        assert any(component == {ld2} for component in components)

@@ -1,0 +1,186 @@
+"""Tests for memory disambiguation and memory dependent chains."""
+
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.chains import build_memory_chains
+from repro.ir.ddg import DependenceKind
+from repro.ir.memdep import (
+    DisambiguationPolicy,
+    add_memory_dependences,
+    count_unresolved_pairs,
+    may_alias,
+)
+from repro.ir.operation import MemoryAccess
+
+
+def access(array="a", stride=4, offset=0, store=False, indirect=False, granularity=4):
+    return MemoryAccess(
+        array=array,
+        stride_bytes=stride,
+        offset_bytes=offset,
+        is_store=store,
+        indirect=indirect,
+        index_array="idx" if indirect else None,
+        stride_known=not indirect,
+        granularity=granularity,
+    )
+
+
+class TestMayAlias:
+    def test_none_policy_aliases_everything(self):
+        assert may_alias(access("a"), access("b"), DisambiguationPolicy.NONE)
+
+    def test_different_arrays_do_not_alias(self):
+        assert not may_alias(
+            access("a"), access("b"), DisambiguationPolicy.CONSERVATIVE
+        )
+
+    def test_conservative_same_array_aliases(self):
+        assert may_alias(
+            access("a", offset=0), access("a", offset=400), DisambiguationPolicy.CONSERVATIVE
+        )
+
+    def test_precise_same_offset_aliases(self):
+        assert may_alias(access("a"), access("a", store=True), DisambiguationPolicy.PRECISE)
+
+    def test_precise_disjoint_offsets_do_not_alias(self):
+        assert not may_alias(
+            access("a", offset=0),
+            access("a", offset=4, store=True),
+            DisambiguationPolicy.PRECISE,
+        )
+
+    def test_precise_distance_shifts_window(self):
+        # store a[i] (offset 0) vs load a[i-1] (offset -4) one iteration later.
+        store_access = access("a", offset=0, store=True)
+        load_access = access("a", offset=-4)
+        assert may_alias(store_access, load_access, DisambiguationPolicy.PRECISE, distance=1)
+        assert not may_alias(
+            store_access, load_access, DisambiguationPolicy.PRECISE, distance=2
+        )
+
+    def test_indirect_always_aliases_same_array(self):
+        assert may_alias(
+            access("a", indirect=True), access("a", store=True), DisambiguationPolicy.PRECISE
+        )
+
+    def test_unknown_stride_aliases(self):
+        unknown = MemoryAccess(array="a", stride_bytes=0, stride_known=False)
+        assert may_alias(unknown, access("a", store=True), DisambiguationPolicy.PRECISE)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            may_alias(access("a"), access("a"), DisambiguationPolicy.PRECISE, distance=-1)
+
+
+class TestAddMemoryDependences:
+    def _loop_ddg(self, policy):
+        builder = LoopBuilder("loop", trip_count=64)
+        builder.array("a", 4, 256)
+        builder.array("b", 4, 256)
+        ld_a = builder.load("ld_a", "a", stride=4)
+        ld_b = builder.load("ld_b", "b", stride=4)
+        value = builder.compute("sum", "add", inputs=[ld_a, ld_b])
+        builder.store("st_a", "a", stride=4, inputs=[value])
+        return builder.build(disambiguation=policy)
+
+    def test_precise_adds_same_address_pair(self):
+        loop = self._loop_ddg(DisambiguationPolicy.PRECISE)
+        memory_deps = [
+            dep for dep in loop.ddg.dependences() if dep.kind is DependenceKind.MEMORY
+        ]
+        pairs = {(dep.src.name, dep.dst.name, dep.distance) for dep in memory_deps}
+        assert ("ld_a", "st_a", 0) in pairs
+        # Different arrays never get a dependence under PRECISE.
+        assert not any("ld_b" in pair[:2] for pair in pairs)
+
+    def test_loads_alone_never_depend(self):
+        builder = LoopBuilder("loads", trip_count=16)
+        builder.array("a", 4, 128)
+        builder.load("ld1", "a", stride=4)
+        builder.load("ld2", "a", stride=4)
+        loop = builder.build(disambiguation=DisambiguationPolicy.CONSERVATIVE)
+        assert not [
+            dep for dep in loop.ddg.dependences() if dep.kind is DependenceKind.MEMORY
+        ]
+
+    def test_loop_carried_dependence_distance(self):
+        builder = LoopBuilder("iir", trip_count=64)
+        builder.array("y", 4, 256)
+        ld = builder.load("ld_y", "y", stride=4, offset=-8)
+        val = builder.compute("val", "fadd", inputs=[ld])
+        builder.store("st_y", "y", stride=4, inputs=[val])
+        loop = builder.build(disambiguation=DisambiguationPolicy.PRECISE)
+        carried = [
+            dep
+            for dep in loop.ddg.dependences()
+            if dep.kind is DependenceKind.MEMORY and dep.distance > 0
+        ]
+        assert carried and carried[0].distance == 2
+
+    def test_idempotent(self):
+        loop = self._loop_ddg(DisambiguationPolicy.PRECISE)
+        before = len(loop.ddg.dependences())
+        added = add_memory_dependences(loop.ddg, DisambiguationPolicy.PRECISE)
+        assert added == []
+        assert len(loop.ddg.dependences()) == before
+
+    def test_count_unresolved_pairs_monotonic_in_conservatism(self):
+        loop = self._loop_ddg(DisambiguationPolicy.PRECISE)
+        ops = loop.memory_operations
+        precise = count_unresolved_pairs(ops, DisambiguationPolicy.PRECISE)
+        conservative = count_unresolved_pairs(ops, DisambiguationPolicy.CONSERVATIVE)
+        everything = count_unresolved_pairs(ops, DisambiguationPolicy.NONE)
+        assert precise <= conservative <= everything
+
+
+class TestMemoryChains:
+    def test_update_loop_forms_two_op_chain(self):
+        builder = LoopBuilder("update", trip_count=32)
+        builder.array("a", 4, 128)
+        ld = builder.load("ld", "a", stride=4)
+        val = builder.compute("val", "add", inputs=[ld])
+        st = builder.store("st", "a", stride=4, inputs=[val])
+        loop = builder.build(disambiguation=DisambiguationPolicy.PRECISE)
+        chains = build_memory_chains(loop.ddg)
+        chain = chains.chain_of(ld)
+        assert chain is chains.chain_of(st)
+        assert len(chain) == 2
+        assert not chain.is_trivial
+
+    def test_independent_streams_form_trivial_chains(self, streaming_loop):
+        chains = build_memory_chains(streaming_loop.ddg)
+        assert chains.non_trivial_chains == []
+        assert chains.longest_chain_length() == 1
+
+    def test_conservative_chain_groups_all_references(self):
+        builder = LoopBuilder("chain", trip_count=32)
+        builder.array("buf", 4, 512)
+        loads = [
+            builder.load(f"ld{i}", "buf", stride=4, offset=4 * i) for i in range(5)
+        ]
+        val = builder.compute("val", "add", inputs=loads)
+        builder.store("st", "buf", stride=4, inputs=[val])
+        loop = builder.build(disambiguation=DisambiguationPolicy.CONSERVATIVE)
+        chains = build_memory_chains(loop.ddg)
+        assert chains.longest_chain_length() == 6
+
+    def test_average_preferred_cluster_majority_vote(self):
+        builder = LoopBuilder("update", trip_count=32)
+        builder.array("a", 4, 128)
+        ld = builder.load("ld", "a", stride=4)
+        st = builder.store("st", "a", stride=4, inputs=[ld])
+        loop = builder.build(disambiguation=DisambiguationPolicy.PRECISE)
+        chains = build_memory_chains(loop.ddg)
+        chain = chains.chain_of(ld)
+        assert chain.average_preferred_cluster({ld: 2, st: 2}) == 2
+        # Histogram information outweighs the simple vote.
+        histograms = {ld: {1: 10, 2: 1}, st: {1: 10, 2: 1}}
+        assert chain.average_preferred_cluster({ld: 2, st: 2}, histograms) == 1
+
+    def test_chain_of_non_memory_op_is_none(self, streaming_loop):
+        chains = build_memory_chains(streaming_loop.ddg)
+        compute = streaming_loop.ddg.find("scale")
+        assert chains.chain_of(compute) is None
+        assert chains.members_of(compute) == (compute,)

@@ -1,0 +1,104 @@
+"""Tests for the IR operations (repro.ir.operation)."""
+
+import pytest
+
+from repro.ir.operation import (
+    MemoryAccess,
+    Operation,
+    OperationClass,
+    load,
+    make_operation,
+    store,
+)
+
+
+class TestMemoryAccess:
+    def test_basic_fields(self):
+        access = MemoryAccess(array="a", stride_bytes=4, granularity=4)
+        assert access.array == "a"
+        assert not access.is_store
+        assert not access.indirect
+        assert access.stride_known
+
+    def test_rejects_bad_granularity(self):
+        with pytest.raises(ValueError):
+            MemoryAccess(array="a", granularity=3)
+
+    def test_indirect_needs_index_array(self):
+        with pytest.raises(ValueError):
+            MemoryAccess(array="a", indirect=True)
+
+    def test_with_offset_and_stride(self):
+        access = MemoryAccess(array="a", stride_bytes=4, offset_bytes=8)
+        shifted = access.with_offset(4)
+        assert shifted.offset_bytes == 12
+        widened = access.with_stride(16)
+        assert widened.stride_bytes == 16
+        # The original is unchanged (the descriptor is immutable).
+        assert access.offset_bytes == 8 and access.stride_bytes == 4
+
+
+class TestOperation:
+    def test_make_operation_derives_class(self):
+        op = make_operation("a1", "add")
+        assert op.op_class is OperationClass.INTEGER
+        assert not op.is_memory
+
+    def test_load_and_store_helpers(self):
+        ld = load("l", MemoryAccess(array="a", stride_bytes=4))
+        st = store("s", MemoryAccess(array="a", stride_bytes=4, is_store=True))
+        assert ld.is_load and not ld.is_store
+        assert st.is_store and not st.is_load
+
+    def test_load_rejects_store_access(self):
+        with pytest.raises(ValueError):
+            load("l", MemoryAccess(array="a", is_store=True))
+
+    def test_store_rejects_load_access(self):
+        with pytest.raises(ValueError):
+            store("s", MemoryAccess(array="a"))
+
+    def test_memory_class_requires_descriptor(self):
+        with pytest.raises(ValueError):
+            Operation(name="x", mnemonic="ld", op_class=OperationClass.MEMORY)
+
+    def test_non_memory_rejects_descriptor(self):
+        with pytest.raises(ValueError):
+            Operation(
+                name="x",
+                mnemonic="add",
+                op_class=OperationClass.INTEGER,
+                memory=MemoryAccess(array="a"),
+            )
+
+    def test_mnemonic_class_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Operation(name="x", mnemonic="add", op_class=OperationClass.FLOAT)
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(ValueError):
+            make_operation("x", "frobnicate")
+
+    def test_renamed_gets_fresh_identity(self):
+        op = make_operation("x", "add")
+        clone = op.renamed("y")
+        assert clone.name == "y"
+        assert clone.uid != op.uid
+        assert clone.mnemonic == op.mnemonic
+
+    def test_with_memory_replaces_descriptor(self):
+        op = load("l", MemoryAccess(array="a", stride_bytes=4))
+        moved = op.with_memory(MemoryAccess(array="a", stride_bytes=8))
+        assert moved.memory.stride_bytes == 8
+
+    def test_with_memory_rejected_for_compute(self):
+        with pytest.raises(ValueError):
+            make_operation("x", "add").with_memory(MemoryAccess(array="a"))
+
+    def test_copy_class(self):
+        op = make_operation("c", "copy")
+        assert op.is_copy
+
+    def test_uids_are_unique(self):
+        ops = [make_operation(f"op{i}", "add") for i in range(50)]
+        assert len({op.uid for op in ops}) == 50

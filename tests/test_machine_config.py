@@ -1,0 +1,176 @@
+"""Tests for the machine description (repro.machine.config)."""
+
+import pytest
+
+from repro.machine.config import (
+    AttractionBufferConfig,
+    BusConfig,
+    CacheGeometry,
+    CacheOrganization,
+    MachineConfig,
+    MemoryLatencies,
+    NextLevelConfig,
+    individual_unroll_factor,
+    unrolling_span,
+)
+
+
+class TestCacheGeometry:
+    def test_default_table2_geometry(self):
+        geometry = CacheGeometry(size_bytes=8 * 1024)
+        assert geometry.block_bytes == 32
+        assert geometry.associativity == 2
+        assert geometry.num_blocks == 256
+        assert geometry.num_sets == 128
+
+    def test_rejects_non_power_of_two_blocks(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=1024, block_bytes=24)
+
+    def test_rejects_size_not_multiple_of_way_size(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=1000, block_bytes=32, associativity=2)
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=0)
+
+
+class TestMemoryLatencies:
+    def test_default_latencies_match_paper_example(self):
+        latencies = MemoryLatencies()
+        assert latencies.ordered() == (1, 5, 10, 15)
+
+    def test_rejects_unordered_latencies(self):
+        with pytest.raises(ValueError):
+            MemoryLatencies(local_hit=5, remote_hit=1, local_miss=10, remote_miss=15)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            MemoryLatencies(local_hit=0)
+
+
+class TestBusConfig:
+    def test_half_frequency_transfer_takes_two_cycles(self):
+        assert BusConfig(count=4, frequency_divisor=2).transfer_cycles == 2
+
+    def test_rejects_zero_buses(self):
+        with pytest.raises(ValueError):
+            BusConfig(count=0)
+
+
+class TestAttractionBufferConfig:
+    def test_sets_from_entries_and_ways(self):
+        config = AttractionBufferConfig(enabled=True, entries=16, associativity=2)
+        assert config.num_sets == 8
+
+    def test_rejects_entries_not_multiple_of_ways(self):
+        with pytest.raises(ValueError):
+            AttractionBufferConfig(entries=10, associativity=4)
+
+
+class TestMachineConfig:
+    def test_default_is_table2(self):
+        config = MachineConfig.default()
+        assert config.num_clusters == 4
+        assert config.interleaving_factor == 4
+        assert config.cache.size_bytes == 8 * 1024
+        assert config.register_buses.count == 4
+        assert config.memory_buses.count == 4
+        assert config.next_level.latency == 10
+        assert config.organization is CacheOrganization.WORD_INTERLEAVED
+
+    def test_interleave_span(self):
+        assert MachineConfig.default().interleave_span == 16
+
+    def test_module_geometry_splits_cache(self):
+        module = MachineConfig.default().module_geometry
+        assert module.size_bytes == 2 * 1024
+        assert module.block_bytes == 32
+
+    def test_subblock_bytes(self):
+        assert MachineConfig.default().subblock_bytes == 8
+
+    def test_cluster_of_address_interleaving(self):
+        config = MachineConfig.default()
+        assert [config.cluster_of_address(4 * w) for w in range(8)] == [
+            0, 1, 2, 3, 0, 1, 2, 3,
+        ]
+
+    def test_memory_latency_for_all_classes(self):
+        config = MachineConfig.default()
+        assert config.memory_latency_for(local=True, hit=True) == 1
+        assert config.memory_latency_for(local=False, hit=True) == 5
+        assert config.memory_latency_for(local=True, hit=False) == 10
+        assert config.memory_latency_for(local=False, hit=False) == 15
+
+    def test_spans_multiple_clusters_for_doubles(self):
+        config = MachineConfig.default()
+        assert config.spans_multiple_clusters(8)
+        assert not config.spans_multiple_clusters(4)
+        assert not config.spans_multiple_clusters(2)
+
+    def test_unified_factory(self):
+        config = MachineConfig.unified(latency=5)
+        assert config.organization is CacheOrganization.UNIFIED
+        assert config.unified_cache_latency == 5
+        assert config.unified_cache_ports == 5
+
+    def test_multivliw_factory(self):
+        assert MachineConfig.multivliw().organization is CacheOrganization.COHERENT
+
+    def test_word_interleaved_with_buffers(self):
+        config = MachineConfig.word_interleaved(attraction_buffers=True, entries=8)
+        assert config.attraction_buffer.enabled
+        assert config.attraction_buffer.entries == 8
+
+    def test_with_clusters_and_interleaving(self):
+        config = MachineConfig.default().with_clusters(2).with_interleaving(8)
+        assert config.num_clusters == 2
+        assert config.interleaving_factor == 8
+        assert config.interleave_span == 16
+
+    def test_rejects_bad_interleaving(self):
+        with pytest.raises(ValueError):
+            MachineConfig(interleaving_factor=3)
+
+    def test_rejects_block_too_small_for_clusters(self):
+        with pytest.raises(ValueError):
+            MachineConfig(
+                num_clusters=4,
+                interleaving_factor=16,
+                cache=CacheGeometry(size_bytes=8 * 1024, block_bytes=32),
+            )
+
+    def test_describe_contains_table2_fields(self):
+        description = MachineConfig.default().describe()
+        assert description["clusters"] == 4
+        assert description["cache_total_bytes"] == 8192
+        assert description["latencies"]["remote_miss"] == 15
+        assert description["next_level_latency"] == 10
+
+
+class TestUnrollFactors:
+    def test_unrolling_span_is_n_times_i(self):
+        assert unrolling_span(MachineConfig.default()) == 16
+
+    @pytest.mark.parametrize(
+        "stride,expected",
+        [(4, 4), (2, 8), (1, 16), (8, 2), (16, 1), (32, 1), (12, 4), (6, 8)],
+    )
+    def test_individual_unroll_factor(self, stride, expected):
+        assert individual_unroll_factor(MachineConfig.default(), stride) == expected
+
+    def test_zero_stride_needs_no_unrolling(self):
+        assert individual_unroll_factor(MachineConfig.default(), 0) == 1
+
+
+class TestNextLevelConfig:
+    def test_defaults(self):
+        config = NextLevelConfig()
+        assert config.latency == 10
+        assert config.ports == 4
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            NextLevelConfig(latency=0)

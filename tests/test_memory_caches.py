@@ -1,0 +1,251 @@
+"""Tests for the cache models: interleaved, unified, coherent, and buffers."""
+
+import pytest
+
+from repro.machine.config import AttractionBufferConfig, MachineConfig
+from repro.memory.attraction import AttractionBuffer, AttractionBufferArray
+from repro.memory.cachesets import SetAssociativeStore
+from repro.memory.classify import AccessType
+from repro.memory.coherent import CoherentDataCache, make_cache_model
+from repro.memory.interleaved import WordInterleavedDataCache
+from repro.memory.unified import UnifiedDataCache
+
+
+class TestSetAssociativeStore:
+    def test_miss_then_hit(self):
+        store = SetAssociativeStore(num_sets=4, associativity=2)
+        assert not store.lookup(10)
+        store.insert(10)
+        assert store.lookup(10)
+        assert store.hits == 1 and store.misses == 1
+
+    def test_lru_eviction(self):
+        store = SetAssociativeStore(num_sets=1, associativity=2)
+        store.insert(1)
+        store.insert(2)
+        store.lookup(1)          # 1 becomes most recently used
+        evicted = store.insert(3)
+        assert evicted == 2
+        assert store.contains(1) and store.contains(3)
+
+    def test_invalidate(self):
+        store = SetAssociativeStore(num_sets=2, associativity=2)
+        store.insert(5)
+        assert store.invalidate(5)
+        assert not store.invalidate(5)
+
+    def test_capacity_and_len(self):
+        store = SetAssociativeStore(num_sets=4, associativity=2)
+        for key in range(20):
+            store.insert(key)
+        assert len(store) <= store.capacity == 8
+
+    def test_reset_clears_stats(self):
+        store = SetAssociativeStore(num_sets=2, associativity=1)
+        store.lookup(1)
+        store.insert(1)
+        store.reset()
+        assert store.hits == 0 and store.misses == 0 and len(store) == 0
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeStore(num_sets=0, associativity=2)
+
+
+class TestWordInterleavedCache:
+    def setup_method(self):
+        self.config = MachineConfig.word_interleaved()
+        self.cache = WordInterleavedDataCache(self.config)
+
+    def test_local_miss_then_local_hit(self):
+        first = self.cache.access(0, 0x1000, 4, False, 0)
+        assert first.classification is AccessType.LOCAL_MISS
+        assert first.latency == self.config.latencies.local_miss
+        second = self.cache.access(0, 0x1000, 4, False, 100)
+        assert second.classification is AccessType.LOCAL_HIT
+        assert second.latency == self.config.latencies.local_hit
+
+    def test_remote_miss_then_remote_hit(self):
+        address = 0x1000 + 4  # home cluster 1
+        first = self.cache.access(0, address, 4, False, 0)
+        assert first.classification is AccessType.REMOTE_MISS
+        second = self.cache.access(0, address, 4, False, 100)
+        assert second.classification is AccessType.REMOTE_HIT
+        assert second.latency >= self.config.latencies.remote_hit
+
+    def test_home_cluster_access_is_local(self):
+        address = 0x1000 + 8  # home cluster 2
+        result = self.cache.access(2, address, 4, False, 0)
+        assert result.classification is AccessType.LOCAL_MISS
+        assert result.home_cluster == 2
+
+    def test_wide_access_is_remote_even_from_home(self):
+        result = self.cache.access(0, 0x1000, 8, False, 0)
+        assert result.classification.is_remote
+        assert result.spans_clusters
+
+    def test_combined_access_merges_with_pending(self):
+        address = 0x2000 + 4
+        first = self.cache.access(0, address, 4, False, 0)
+        second = self.cache.access(2, address, 4, False, 2)
+        assert second.classification is AccessType.COMBINED
+        assert second.latency <= first.latency
+
+    def test_counters_record_classes(self):
+        self.cache.access(0, 0x1000, 4, False, 0)
+        self.cache.access(0, 0x1000, 4, False, 50)
+        assert self.cache.counters.local_misses == 1
+        assert self.cache.counters.local_hits == 1
+
+    def test_no_data_replication_across_modules(self):
+        address = 0x3000  # home cluster 0
+        self.cache.access(1, address, 4, False, 0)
+        block = self.cache.block_index(address)
+        assert self.cache.module(0).contains(block)
+        assert not self.cache.module(1).contains(block)
+
+    def test_rejects_bad_cluster(self):
+        with pytest.raises(ValueError):
+            self.cache.access(7, 0x1000, 4, False, 0)
+
+    def test_rejects_wrong_organization(self):
+        with pytest.raises(ValueError):
+            WordInterleavedDataCache(MachineConfig.unified())
+
+
+class TestAttractionBuffers:
+    def _cache_with_buffers(self, entries=16):
+        config = MachineConfig.word_interleaved(attraction_buffers=True, entries=entries)
+        return config, WordInterleavedDataCache(config)
+
+    def test_remote_access_attracts_subblock(self):
+        config, cache = self._cache_with_buffers()
+        address = 0x1000 + 4  # home cluster 1, accessed from cluster 0
+        cache.access(0, address, 4, False, 0)
+        result = cache.access(0, address, 4, False, 100)
+        assert result.via_attraction_buffer
+        assert result.classification is AccessType.LOCAL_HIT
+
+    def test_whole_subblock_is_attracted(self):
+        config, cache = self._cache_with_buffers()
+        # Words 1 and 5 of a block share cluster 1's subblock (W1, W5).
+        cache.access(0, 0x1000 + 4, 4, False, 0)
+        other_word = cache.access(0, 0x1000 + 20, 4, False, 100)
+        assert other_word.via_attraction_buffer
+
+    def test_flush_between_loops(self):
+        config, cache = self._cache_with_buffers()
+        address = 0x1000 + 4
+        cache.access(0, address, 4, False, 0)
+        cache.begin_loop()
+        result = cache.access(0, address, 4, False, 200)
+        assert not result.via_attraction_buffer
+
+    def test_store_invalidates_own_copy(self):
+        config, cache = self._cache_with_buffers()
+        address = 0x1000 + 4
+        cache.access(0, address, 4, False, 0)
+        cache.access(0, address, 4, True, 50)
+        result = cache.access(0, address, 4, False, 100)
+        assert not result.via_attraction_buffer
+
+    def test_non_attractable_access_does_not_allocate(self):
+        config, cache = self._cache_with_buffers()
+        address = 0x1000 + 4
+        cache.access(0, address, 4, False, 0, attractable=False)
+        result = cache.access(0, address, 4, False, 100)
+        assert not result.via_attraction_buffer
+
+    def test_disabled_buffers_never_hit(self):
+        cache = WordInterleavedDataCache(MachineConfig.word_interleaved())
+        address = 0x1000 + 4
+        cache.access(0, address, 4, False, 0)
+        result = cache.access(0, address, 4, False, 100)
+        assert not result.via_attraction_buffer
+
+    def test_buffer_capacity_eviction(self):
+        buffer = AttractionBuffer(AttractionBufferConfig(enabled=True, entries=4))
+        for key in range(10):
+            buffer.attract(key)
+        assert buffer.occupancy() <= 4
+        assert buffer.stats.evictions > 0
+
+    def test_array_flush_counts(self):
+        array = AttractionBufferArray(4, AttractionBufferConfig(enabled=True))
+        array.attract(0, 42)
+        array.flush()
+        assert array[0].occupancy() == 0
+        assert array[0].stats.flushes == 1
+
+
+class TestUnifiedCache:
+    def setup_method(self):
+        self.config = MachineConfig.unified(latency=5)
+        self.cache = UnifiedDataCache(self.config)
+
+    def test_hit_and_miss_latencies(self):
+        miss = self.cache.access(0, 0x4000, 4, False, 0)
+        assert miss.classification is AccessType.LOCAL_MISS
+        assert miss.latency >= 5 + self.config.next_level.latency
+        hit = self.cache.access(3, 0x4000, 4, False, 100)
+        assert hit.classification is AccessType.LOCAL_HIT
+        assert hit.latency == 5
+
+    def test_any_cluster_sees_same_cache(self):
+        self.cache.access(0, 0x4000, 4, False, 0)
+        hit = self.cache.access(2, 0x4000, 4, False, 10)
+        assert hit.classification is AccessType.LOCAL_HIT
+
+    def test_port_contention_adds_wait(self):
+        for port in range(self.config.unified_cache_ports):
+            self.cache.access(0, 0x4000 + 64 * port, 4, False, 0)
+        burst = self.cache.access(0, 0x8000, 4, False, 0)
+        assert burst.latency > 5 + self.config.next_level.latency - 1 or burst.bus_wait >= 1
+
+    def test_begin_loop_resets_ports(self):
+        for index in range(20):
+            self.cache.access(0, 0x4000 + 64 * index, 4, False, 0)
+        self.cache.begin_loop()
+        result = self.cache.access(0, 0x4000, 4, False, 0)
+        assert result.bus_wait == 0
+
+    def test_rejects_wrong_organization(self):
+        with pytest.raises(ValueError):
+            UnifiedDataCache(MachineConfig.word_interleaved())
+
+
+class TestCoherentCache:
+    def setup_method(self):
+        self.config = MachineConfig.multivliw()
+        self.cache = CoherentDataCache(self.config)
+
+    def test_miss_fills_local_module(self):
+        result = self.cache.access(1, 0x5000, 4, False, 0)
+        assert result.classification is AccessType.LOCAL_MISS
+        assert self.cache.module(1).contains(self.cache.block_index(0x5000))
+
+    def test_remote_hit_replicates(self):
+        self.cache.access(1, 0x5000, 4, False, 0)
+        result = self.cache.access(2, 0x5000, 4, False, 10)
+        assert result.classification is AccessType.REMOTE_HIT
+        assert self.cache.module(2).contains(self.cache.block_index(0x5000))
+        assert self.cache.replications == 1
+
+    def test_store_invalidates_other_copies(self):
+        self.cache.access(1, 0x5000, 4, False, 0)
+        self.cache.access(2, 0x5000, 4, False, 10)
+        self.cache.access(1, 0x5000, 4, True, 20)
+        assert not self.cache.module(2).contains(self.cache.block_index(0x5000))
+        assert self.cache.invalidations >= 1
+
+    def test_local_hit_after_fill(self):
+        self.cache.access(0, 0x5000, 4, False, 0)
+        assert (
+            self.cache.access(0, 0x5000, 4, False, 10).classification
+            is AccessType.LOCAL_HIT
+        )
+
+    def test_factory_selects_model(self):
+        assert isinstance(make_cache_model(MachineConfig.default()), WordInterleavedDataCache)
+        assert isinstance(make_cache_model(MachineConfig.unified()), UnifiedDataCache)
+        assert isinstance(make_cache_model(MachineConfig.multivliw()), CoherentDataCache)

@@ -1,0 +1,104 @@
+"""Tests for the profiler and the address streams."""
+
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.machine.config import MachineConfig
+from repro.memory.layout import DataLayout
+from repro.profiling.address import AddressStream
+from repro.profiling.profiler import profile_loop
+
+
+class TestAddressStream:
+    def test_strided_addresses(self, streaming_loop, interleaved_config):
+        layout = DataLayout(interleaved_config, aligned=True, dataset="profile")
+        stream = AddressStream(streaming_loop, layout, "profile")
+        load = streaming_loop.ddg.find("ld")
+        base = stream.address(load, 0)
+        assert stream.address(load, 1) == base + 4
+        assert stream.address(load, 2) == base + 8
+
+    def test_indirect_addresses_are_deterministic(self, indirect_loop, interleaved_config):
+        layout = DataLayout(interleaved_config, aligned=True, dataset="profile")
+        first = AddressStream(indirect_loop, layout, "profile")
+        second = AddressStream(indirect_loop, layout, "profile")
+        lookup = indirect_loop.ddg.find("ld_tab")
+        addresses_first = [first.address(lookup, i) for i in range(32)]
+        addresses_second = [second.address(lookup, i) for i in range(32)]
+        assert addresses_first == addresses_second
+
+    def test_indirect_addresses_differ_across_datasets(
+        self, indirect_loop, interleaved_config
+    ):
+        layout_a = DataLayout(interleaved_config, aligned=True, dataset="profile")
+        layout_b = DataLayout(interleaved_config, aligned=True, dataset="execution")
+        stream_a = AddressStream(indirect_loop, layout_a, "profile")
+        stream_b = AddressStream(indirect_loop, layout_b, "execution")
+        lookup = indirect_loop.ddg.find("ld_tab")
+        a = [stream_a.address(lookup, i) for i in range(64)]
+        b = [stream_b.address(lookup, i) for i in range(64)]
+        assert a != b
+
+    def test_indirect_addresses_stay_in_table(self, indirect_loop, interleaved_config):
+        layout = DataLayout(interleaved_config, aligned=True, dataset="profile")
+        stream = AddressStream(indirect_loop, layout, "profile")
+        lookup = indirect_loop.ddg.find("ld_tab")
+        base = layout.base_address("table")
+        size = indirect_loop.arrays["table"].size_bytes
+        for iteration in range(100):
+            address = stream.address(lookup, iteration)
+            assert base <= address < base + size
+
+    def test_non_memory_operation_rejected(self, streaming_loop, interleaved_config):
+        layout = DataLayout(interleaved_config)
+        stream = AddressStream(streaming_loop, layout, "profile")
+        with pytest.raises(ValueError):
+            stream.address(streaming_loop.ddg.find("scale"), 0)
+
+
+class TestProfiler:
+    def test_hit_rates_in_range(self, streaming_loop, interleaved_config):
+        profile = profile_loop(streaming_loop, interleaved_config)
+        for op in streaming_loop.memory_operations:
+            assert 0.0 <= profile.hit_rate(op) <= 1.0
+            assert profile.operations[op].accesses > 0
+
+    def test_strided_load_spreads_over_clusters_without_unrolling(
+        self, streaming_loop, interleaved_config
+    ):
+        profile = profile_loop(streaming_loop, interleaved_config)
+        load = streaming_loop.ddg.find("ld")
+        assert profile.distribution(load) == pytest.approx(0.25, abs=0.05)
+
+    def test_unrolled_load_concentrates_on_one_cluster(self, interleaved_config):
+        from repro.ir.unroll import unroll_loop
+        from tests.conftest import build_streaming_loop
+
+        unrolled = unroll_loop(build_streaming_loop(), 4)
+        profile = profile_loop(unrolled, interleaved_config)
+        for op in unrolled.memory_operations:
+            assert profile.distribution(op) == pytest.approx(1.0)
+            assert profile.preferred_cluster(op) is not None
+
+    def test_small_table_has_high_hit_rate(self, interleaved_config):
+        builder = LoopBuilder("table", trip_count=1024)
+        builder.array("t", 4, 64)
+        builder.load("ld", "t", stride=4)
+        loop = builder.build()
+        profile = profile_loop(loop, interleaved_config)
+        assert profile.hit_rate(loop.ddg.find("ld")) > 0.9
+
+    def test_iteration_cap_respected(self, streaming_loop, interleaved_config):
+        profile = profile_loop(streaming_loop, interleaved_config, iteration_cap=64)
+        assert profile.profiled_iterations == 64
+
+    def test_unified_configuration_profiles_too(self, streaming_loop, unified_config):
+        profile = profile_loop(streaming_loop, unified_config)
+        load = streaming_loop.ddg.find("ld")
+        assert profile.operations[load].accesses == profile.profiled_iterations
+
+    def test_unprofiled_operation_defaults(self, streaming_loop, interleaved_config):
+        profile = profile_loop(streaming_loop, interleaved_config)
+        other_op = streaming_loop.ddg.find("scale")
+        assert profile.hit_rate(other_op) == 0.0
+        assert profile.preferred_cluster(other_op) is None

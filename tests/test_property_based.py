@@ -1,0 +1,228 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.memdep import DisambiguationPolicy, may_alias
+from repro.ir.operation import MemoryAccess
+from repro.ir.unroll import unroll_loop
+from repro.machine.config import MachineConfig, individual_unroll_factor
+from repro.memory.cachesets import SetAssociativeStore
+from repro.memory.classify import AccessCounters, AccessResult, AccessType
+from repro.memory.interleaved import WordInterleavedDataCache
+from repro.memory.layout import DataLayout
+from repro.ir.loop import ArraySpec, StorageClass
+from repro.profiling.profiler import profile_loop
+from repro.scheduler.core import SchedulingHeuristic
+from repro.scheduler.latency import LatencyModel, MemoryOpStats, expected_stall
+from repro.scheduler.pipeline import CompilerOptions, compile_loop
+from repro.scheduler.schedule import validate_schedule
+
+_SLOW = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestCacheSetProperties:
+    @given(
+        keys=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200),
+        num_sets=st.integers(min_value=1, max_value=16),
+        ways=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, keys, num_sets, ways):
+        store = SetAssociativeStore(num_sets, ways)
+        for key in keys:
+            store.insert(key)
+        assert len(store) <= store.capacity
+
+    @given(keys=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_inserted_key_is_immediately_present(self, keys):
+        store = SetAssociativeStore(num_sets=8, associativity=2)
+        for key in keys:
+            store.insert(key)
+            assert store.contains(key)
+
+    @given(
+        keys=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=100)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_hits_plus_misses_equals_lookups(self, keys):
+        store = SetAssociativeStore(num_sets=4, associativity=2)
+        for key in keys:
+            if not store.lookup(key):
+                store.insert(key)
+        assert store.hits + store.misses == len(keys)
+
+
+class TestStallEstimateProperties:
+    @given(
+        hit_rate=st.floats(min_value=0.0, max_value=1.0),
+        local_ratio=st.floats(min_value=0.0, max_value=1.0),
+        latency=st.sampled_from([1, 5, 10, 15]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_stall_estimate_non_negative_and_bounded(self, hit_rate, local_ratio, latency):
+        config = MachineConfig.default()
+        stats = MemoryOpStats(hit_rate=hit_rate, local_ratio=local_ratio)
+        stall = expected_stall(stats, latency, config, LatencyModel.INTERLEAVED)
+        assert 0.0 <= stall <= config.latencies.remote_miss
+
+    @given(
+        hit_rate=st.floats(min_value=0.0, max_value=1.0),
+        local_ratio=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_stall_estimate_monotonic_in_assigned_latency(self, hit_rate, local_ratio):
+        config = MachineConfig.default()
+        stats = MemoryOpStats(hit_rate=hit_rate, local_ratio=local_ratio)
+        stalls = [
+            expected_stall(stats, latency, config, LatencyModel.INTERLEAVED)
+            for latency in (1, 5, 10, 15)
+        ]
+        assert stalls == sorted(stalls, reverse=True)
+        assert stalls[-1] == 0.0
+
+
+class TestUnrollFactorProperties:
+    @given(stride=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=100, deadline=None)
+    def test_unrolled_stride_is_multiple_of_span(self, stride):
+        config = MachineConfig.default()
+        factor = individual_unroll_factor(config, stride)
+        assert 1 <= factor <= config.interleave_span
+        assert (stride * factor) % config.interleave_span == 0 or factor == config.interleave_span
+
+    @given(factor=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_unrolling_preserves_dynamic_access_count(self, factor):
+        builder = LoopBuilder("prop", trip_count=64)
+        builder.array("a", 4, 256)
+        ld = builder.load("ld", "a", stride=4)
+        builder.compute("c", "add", inputs=[ld])
+        loop = builder.build()
+        unrolled = unroll_loop(loop, factor)
+        original_accesses = len(loop.memory_operations) * loop.trip_count
+        new_accesses = len(unrolled.memory_operations) * unrolled.trip_count
+        # Rounding the trip count up may add at most one extra unrolled body.
+        assert original_accesses <= new_accesses <= original_accesses + len(
+            unrolled.memory_operations
+        )
+
+
+class TestMayAliasProperties:
+    _access = st.builds(
+        MemoryAccess,
+        array=st.just("a"),
+        stride_bytes=st.integers(min_value=1, max_value=32),
+        granularity=st.sampled_from([1, 2, 4, 8]),
+        offset_bytes=st.integers(min_value=-64, max_value=64),
+        is_store=st.booleans(),
+    )
+
+    @given(first=_access, second=_access)
+    @settings(max_examples=100, deadline=None)
+    def test_precise_is_a_refinement_of_conservative(self, first, second):
+        if may_alias(first, second, DisambiguationPolicy.PRECISE):
+            assert may_alias(first, second, DisambiguationPolicy.CONSERVATIVE)
+
+    @given(first=_access)
+    @settings(max_examples=50, deadline=None)
+    def test_same_access_always_aliases_itself(self, first):
+        assert may_alias(first, first, DisambiguationPolicy.PRECISE)
+
+
+class TestLayoutProperties:
+    @given(
+        element_bytes=st.sampled_from([1, 2, 4, 8]),
+        num_elements=st.integers(min_value=1, max_value=512),
+        storage=st.sampled_from(list(StorageClass)),
+        dataset=st.sampled_from(["profile", "execution", "other"]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_aligned_layout_starts_on_span_boundary_or_is_global(
+        self, element_bytes, num_elements, storage, dataset
+    ):
+        config = MachineConfig.default()
+        layout = DataLayout(config, aligned=True, dataset=dataset)
+        placed = layout.place(ArraySpec("x", element_bytes, num_elements, storage=storage))
+        if storage is not StorageClass.GLOBAL:
+            assert placed.base_address % config.interleave_span == 0
+        assert placed.base_address % element_bytes == 0
+
+
+class TestAccessCounterProperties:
+    @given(
+        classes=st.lists(st.sampled_from(list(AccessType)), min_size=1, max_size=200)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_fractions_sum_to_one(self, classes):
+        counters = AccessCounters()
+        for classification in classes:
+            counters.record(AccessResult(classification, latency=1))
+        assert abs(sum(counters.fractions().values()) - 1.0) < 1e-9
+        assert counters.total == len(classes)
+
+
+class TestCacheModelProperties:
+    @given(
+        addresses=st.lists(
+            st.integers(min_value=0, max_value=4096), min_size=1, max_size=150
+        ),
+        clusters=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=150),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_latency_always_at_least_local_hit(self, addresses, clusters):
+        config = MachineConfig.word_interleaved(attraction_buffers=True)
+        cache = WordInterleavedDataCache(config)
+        cycle = 0
+        for address, cluster in zip(addresses, clusters):
+            result = cache.access(cluster, address * 2, 4, False, cycle)
+            assert result.latency >= config.latencies.local_hit
+            cycle += 1
+        assert cache.counters.total == min(len(addresses), len(clusters))
+
+
+class TestSchedulerProperties:
+    @given(
+        num_inputs=st.integers(min_value=1, max_value=3),
+        depth=st.integers(min_value=1, max_value=4),
+        element_bytes=st.sampled_from([2, 4]),
+        heuristic=st.sampled_from([SchedulingHeuristic.IBC, SchedulingHeuristic.IPBC]),
+    )
+    @_SLOW
+    def test_generated_streaming_loops_always_schedule_validly(
+        self, num_inputs, depth, element_bytes, heuristic
+    ):
+        from repro.workloads.generator import streaming_kernel
+
+        loop = streaming_kernel(
+            "prop_stream",
+            element_bytes=element_bytes,
+            num_inputs=num_inputs,
+            compute_depth=depth,
+            trip_count=64,
+            array_elements=256,
+        )
+        config = MachineConfig.word_interleaved()
+        compiled = compile_loop(loop, config, CompilerOptions(heuristic=heuristic))
+        validate_schedule(compiled.schedule)
+        assert compiled.ii >= 1
+
+    @given(feedback=st.integers(min_value=1, max_value=3))
+    @_SLOW
+    def test_memory_recurrence_loops_schedule_validly(self, feedback):
+        from repro.workloads.generator import iir_kernel
+
+        loop = iir_kernel(
+            "prop_iir", feedback_distance=feedback, trip_count=64, array_elements=256
+        )
+        config = MachineConfig.word_interleaved()
+        compiled = compile_loop(
+            loop, config, CompilerOptions(heuristic=SchedulingHeuristic.IPBC)
+        )
+        validate_schedule(compiled.schedule)
+        profile = profile_loop(compiled.loop, config)
+        assert all(0.0 <= profile.hit_rate(op) <= 1.0 for op in compiled.loop.memory_operations)

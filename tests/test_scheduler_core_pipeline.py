@@ -1,0 +1,262 @@
+"""Tests for the modulo scheduler, the MRT, unrolling policy and pipeline."""
+
+import pytest
+
+from repro.ir.chains import build_memory_chains
+from repro.ir.operation import make_operation
+from repro.machine.config import MachineConfig
+from repro.profiling.profiler import profile_loop
+from repro.scheduler.core import ModuloScheduler, SchedulingHeuristic, schedule_loop
+from repro.scheduler.latency import assign_latencies
+from repro.scheduler.mrt import ModuloReservationTable
+from repro.scheduler.pipeline import CompilerOptions, compile_loop, default_heuristic_for
+from repro.scheduler.schedule import validate_schedule
+from repro.scheduler.unrolling import (
+    UnrollPolicy,
+    candidate_factors,
+    estimate_execution_time,
+    optimal_unroll_factor,
+)
+from repro.workloads.generator import long_chain_kernel
+from tests.conftest import build_recurrence_loop, build_streaming_loop
+
+
+def _compile(loop, config, heuristic, **kwargs):
+    options = CompilerOptions(heuristic=heuristic, **kwargs)
+    return compile_loop(loop, config, options)
+
+
+class TestModuloReservationTable:
+    def setup_method(self):
+        self.config = MachineConfig.default()
+        self.mrt = ModuloReservationTable(4, self.config)
+
+    def test_fu_capacity_per_row(self):
+        op = make_operation("a", "add")
+        assert self.mrt.fu_available(0, 0, op)
+        self.mrt.reserve_fu(0, 0, op)
+        assert not self.mrt.fu_available(0, 0, op)
+        # Another row or another cluster is still free.
+        assert self.mrt.fu_available(1, 0, op)
+        assert self.mrt.fu_available(0, 1, op)
+
+    def test_over_reservation_rejected(self):
+        op = make_operation("a", "add")
+        self.mrt.reserve_fu(0, 0, op)
+        with pytest.raises(ValueError):
+            self.mrt.reserve_fu(4, 0, op)  # row 0 again (4 % 4)
+
+    def test_register_bus_occupancy_spans_two_rows(self):
+        for _ in range(self.config.register_buses.count):
+            self.mrt.reserve_register_bus(0)
+        assert not self.mrt.register_bus_available(0)
+        assert not self.mrt.register_bus_available(1)
+        assert self.mrt.register_bus_available(2)
+
+    def test_find_register_bus_slot(self):
+        assert self.mrt.find_register_bus_slot(0, 3) == 0
+        for _ in range(self.config.register_buses.count):
+            self.mrt.reserve_register_bus(0)
+        assert self.mrt.find_register_bus_slot(0, 0) is None
+        assert self.mrt.find_register_bus_slot(0, 3) == 2
+
+    def test_utilization(self):
+        op = make_operation("a", "add")
+        self.mrt.reserve_fu(0, 0, op)
+        util = self.mrt.utilization()
+        assert 0 < util["functional_units"] < 1
+
+
+class TestModuloScheduler:
+    def test_streaming_loop_schedules_at_res_mii(self, interleaved_config):
+        loop = build_streaming_loop()
+        profile = profile_loop(loop, interleaved_config)
+        assignment = assign_latencies(loop, interleaved_config, profile)
+        schedule = schedule_loop(
+            loop, interleaved_config, assignment, SchedulingHeuristic.IBC, profile
+        )
+        validate_schedule(schedule)
+        assert schedule.ii >= 1
+
+    def test_all_heuristics_produce_valid_schedules(self):
+        loop = build_recurrence_loop()
+        cases = [
+            (MachineConfig.word_interleaved(), SchedulingHeuristic.IBC),
+            (MachineConfig.word_interleaved(), SchedulingHeuristic.IPBC),
+            (MachineConfig.unified(), SchedulingHeuristic.BASE),
+            (MachineConfig.multivliw(), SchedulingHeuristic.MULTIVLIW),
+        ]
+        for config, heuristic in cases:
+            compiled = _compile(loop, config, heuristic)
+            validate_schedule(compiled.schedule)
+            assert compiled.schedule.heuristic == heuristic.value
+
+    def test_ipbc_places_memory_ops_in_preferred_cluster(self, interleaved_config):
+        from repro.ir.unroll import unroll_loop
+
+        loop = unroll_loop(build_streaming_loop(), 4)
+        profile = profile_loop(loop, interleaved_config)
+        assignment = assign_latencies(loop, interleaved_config, profile)
+        schedule = schedule_loop(
+            loop, interleaved_config, assignment, SchedulingHeuristic.IPBC, profile
+        )
+        for op in loop.memory_operations:
+            preferred = profile.preferred_cluster(op)
+            chains = build_memory_chains(loop.ddg)
+            if preferred is not None and chains.chain_of(op).is_trivial:
+                assert schedule.cluster_of(op) == preferred
+
+    def test_chain_members_share_a_cluster(self, interleaved_config):
+        loop = long_chain_kernel("chain_test", num_loads=6, trip_count=64)
+        compiled = _compile(loop, interleaved_config, SchedulingHeuristic.IPBC)
+        chains = build_memory_chains(compiled.loop.ddg)
+        for chain in chains.non_trivial_chains:
+            clusters = {compiled.schedule.cluster_of(op) for op in chain}
+            assert len(clusters) == 1
+
+    def test_no_chains_flag_relaxes_constraint(self, interleaved_config):
+        loop = long_chain_kernel("chain_free", num_loads=8, trip_count=64)
+        constrained = _compile(loop, interleaved_config, SchedulingHeuristic.IPBC)
+        free = _compile(
+            loop, interleaved_config, SchedulingHeuristic.IPBC, use_chains=False
+        )
+        assert free.schedule.workload_balance() <= constrained.schedule.workload_balance()
+
+    def test_ipbc_requires_profile(self, interleaved_config, streaming_loop):
+        profile = profile_loop(streaming_loop, interleaved_config)
+        assignment = assign_latencies(streaming_loop, interleaved_config, profile)
+        with pytest.raises(ValueError):
+            ModuloScheduler(
+                streaming_loop,
+                interleaved_config,
+                assignment,
+                SchedulingHeuristic.IPBC,
+                profile=None,
+            )
+
+    def test_interleaved_heuristics_reject_unified_machine(self, streaming_loop):
+        config = MachineConfig.unified()
+        profile = profile_loop(streaming_loop, config)
+        assignment = assign_latencies(streaming_loop, config, profile)
+        with pytest.raises(ValueError):
+            ModuloScheduler(
+                streaming_loop, config, assignment, SchedulingHeuristic.IBC, profile
+            )
+
+    def test_cross_cluster_flow_inserts_copies(self, interleaved_config):
+        from repro.ir.unroll import unroll_loop
+
+        # Unrolled streaming loop with IPBC: stores follow their own
+        # preferred clusters, so values produced elsewhere need copies.
+        loop = unroll_loop(build_streaming_loop(), 4)
+        profile = profile_loop(loop, interleaved_config)
+        assignment = assign_latencies(loop, interleaved_config, profile)
+        schedule = schedule_loop(
+            loop, interleaved_config, assignment, SchedulingHeuristic.IPBC, profile
+        )
+        cross = [
+            dep
+            for dep in loop.ddg.dependences()
+            if dep.kind.name == "REG_FLOW"
+            and schedule.cluster_of(dep.src) != schedule.cluster_of(dep.dst)
+        ]
+        if cross:
+            assert schedule.num_copies >= 1
+
+    def test_schedule_metadata_records_mii(self, compiled_streaming_ipbc):
+        metadata = compiled_streaming_ipbc.schedule.metadata
+        assert metadata["mii"] >= 1
+        assert metadata["res_mii"] >= 1
+        assert compiled_streaming_ipbc.schedule.ii >= metadata["mii"]
+
+
+class TestScheduleObject:
+    def test_compute_cycles_formula(self, compiled_streaming_ipbc):
+        schedule = compiled_streaming_ipbc.schedule
+        iterations = 100
+        expected = (iterations + schedule.stage_count - 1) * schedule.ii
+        assert schedule.compute_cycles(iterations) == expected
+
+    def test_workload_balance_range(self, compiled_streaming_ipbc):
+        balance = compiled_streaming_ipbc.schedule.workload_balance()
+        assert 0.25 <= balance <= 1.0
+
+    def test_operations_per_cluster_sums_to_total(self, compiled_streaming_ipbc):
+        schedule = compiled_streaming_ipbc.schedule
+        assert sum(schedule.operations_per_cluster()) == len(schedule.entries)
+
+    def test_register_pressure_positive(self, compiled_streaming_ipbc):
+        assert compiled_streaming_ipbc.schedule.register_pressure_estimate() >= 1
+
+    def test_describe_keys(self, compiled_streaming_ipbc):
+        info = compiled_streaming_ipbc.schedule.describe()
+        assert {"ii", "stage_count", "copies", "workload_balance"} <= set(info)
+
+
+class TestUnrollingPolicy:
+    def test_optimal_factor_for_word_stride(self, streaming_loop, interleaved_config):
+        profile = profile_loop(streaming_loop, interleaved_config)
+        assert optimal_unroll_factor(streaming_loop, interleaved_config, profile) == 4
+
+    def test_candidate_factors_by_policy(self, streaming_loop, interleaved_config):
+        profile = profile_loop(streaming_loop, interleaved_config)
+        assert candidate_factors(
+            streaming_loop, interleaved_config, UnrollPolicy.NONE, profile
+        ) == [1]
+        assert candidate_factors(
+            streaming_loop, interleaved_config, UnrollPolicy.TIMES_N, profile
+        ) == [4]
+        assert candidate_factors(
+            streaming_loop, interleaved_config, UnrollPolicy.OUF, profile
+        ) == [4]
+        assert candidate_factors(
+            streaming_loop, interleaved_config, UnrollPolicy.SELECTIVE, profile
+        ) == [1, 4]
+
+    def test_short_loops_never_unrolled(self, interleaved_config):
+        loop = build_streaming_loop(trip_count=4)
+        assert candidate_factors(loop, interleaved_config, UnrollPolicy.SELECTIVE) == [1]
+
+    def test_execution_time_estimate(self):
+        estimate = estimate_execution_time(4, ii=8, stage_count=3, original_trip_count=400)
+        assert estimate.iterations == 100
+        assert estimate.estimated_cycles == (100 + 2) * 8
+
+    def test_selective_picks_minimum_estimate(self, interleaved_config):
+        loop = build_streaming_loop()
+        compiled = _compile(
+            loop, interleaved_config, SchedulingHeuristic.IPBC,
+            unroll_policy=UnrollPolicy.SELECTIVE,
+        )
+        for rejected in compiled.rejected:
+            assert compiled.estimate.estimated_cycles <= rejected.estimated_cycles
+
+
+class TestPipeline:
+    def test_default_heuristics(self):
+        assert default_heuristic_for(MachineConfig.unified()) is SchedulingHeuristic.BASE
+        assert (
+            default_heuristic_for(MachineConfig.multivliw())
+            is SchedulingHeuristic.MULTIVLIW
+        )
+        assert (
+            default_heuristic_for(MachineConfig.word_interleaved())
+            is SchedulingHeuristic.IPBC
+        )
+
+    def test_mismatched_heuristic_rejected(self, streaming_loop):
+        with pytest.raises(ValueError):
+            compile_loop(
+                streaming_loop,
+                MachineConfig.unified(),
+                CompilerOptions(heuristic=SchedulingHeuristic.IPBC),
+            )
+
+    def test_compiled_loop_describe(self, compiled_streaming_ipbc):
+        info = compiled_streaming_ipbc.describe()
+        assert info["heuristic"] == "ipbc"
+        assert info["unroll_factor"] == compiled_streaming_ipbc.unroll_factor
+
+    def test_unrolled_variant_preserves_original(self, compiled_streaming_ipbc):
+        if compiled_streaming_ipbc.unroll_factor > 1:
+            assert compiled_streaming_ipbc.loop.original is compiled_streaming_ipbc.original

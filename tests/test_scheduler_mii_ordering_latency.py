@@ -1,0 +1,190 @@
+"""Tests for MII computation, node ordering, and latency assignment."""
+
+import pytest
+
+from repro.experiments.latency_example import (
+    example_loop,
+    example_machine,
+    example_stats,
+    run_latency_example,
+)
+from repro.machine.config import MachineConfig
+from repro.profiling.profiler import profile_loop
+from repro.scheduler.latency import (
+    LatencyAssigner,
+    LatencyModel,
+    MemoryOpStats,
+    assign_latencies,
+    expected_stall,
+    latency_classes,
+    stats_from_profile,
+)
+from repro.scheduler.mii import compute_mii, make_latency_function
+from repro.scheduler.ordering import order_nodes, ordering_quality
+
+
+class TestMII:
+    def test_resource_bound_for_streaming_loop(self, streaming_loop, interleaved_config):
+        result = compute_mii(streaming_loop, interleaved_config)
+        # Two memory operations over four memory units -> ResMII 1.
+        assert result.res_mii == 1
+        assert result.mii >= 1
+
+    def test_recurrence_bound_for_memory_recurrence(self, recurrence_loop, interleaved_config):
+        latency_of = make_latency_function(interleaved_config)
+        result = compute_mii(recurrence_loop, interleaved_config, latency_of)
+        # ld_y (1) + fmul (4) + fadd (2) + memory edge (1) around distance 1.
+        assert result.rec_mii >= 5
+        assert result.mii == result.rec_mii
+
+    def test_latency_function_uses_assignment(self, recurrence_loop, interleaved_config):
+        load = recurrence_loop.ddg.find("ld_y")
+        latency_of = make_latency_function(
+            interleaved_config, memory_latencies={load: 15}
+        )
+        assert latency_of(load) == 15
+        store = recurrence_loop.ddg.find("st_y")
+        assert latency_of(store) == interleaved_config.latencies.store_issue
+
+    def test_memory_default_latency(self, streaming_loop, interleaved_config):
+        latency_of = make_latency_function(interleaved_config, default_memory_latency=15)
+        assert latency_of(streaming_loop.ddg.find("ld")) == 15
+
+
+class TestOrdering:
+    def test_order_is_a_permutation(self, recurrence_loop, interleaved_config):
+        latency_of = make_latency_function(interleaved_config)
+        order = order_nodes(recurrence_loop.ddg, latency_of)
+        assert sorted(op.name for op in order) == sorted(
+            op.name for op in recurrence_loop.operations
+        )
+
+    def test_order_respects_zero_distance_edges(self, streaming_loop, interleaved_config):
+        latency_of = make_latency_function(interleaved_config)
+        order = order_nodes(streaming_loop.ddg, latency_of)
+        position = {op: index for index, op in enumerate(order)}
+        for dep in streaming_loop.ddg.dependences():
+            if dep.distance == 0:
+                assert position[dep.src] < position[dep.dst]
+
+    def test_recurrence_nodes_come_first(self, recurrence_loop, interleaved_config):
+        latency_of = make_latency_function(interleaved_config)
+        recurrences = recurrence_loop.ddg.recurrences()
+        order = order_nodes(recurrence_loop.ddg, latency_of, recurrences)
+        recurrence_ops = {op for rec in recurrences for op in rec.nodes}
+        first_ops = set(order[: len(recurrence_ops)])
+        # Every operation ordered before the recurrence finishes is either in
+        # the recurrence or a mandatory predecessor of one of its members.
+        assert recurrence_ops & first_ops
+
+    def test_ordering_quality_metric(self, streaming_loop, interleaved_config):
+        latency_of = make_latency_function(interleaved_config)
+        order = order_nodes(streaming_loop.ddg, latency_of)
+        quality = ordering_quality(streaming_loop.ddg, order)
+        assert 0.0 <= quality["one_sided_fraction"] <= 1.0
+
+
+class TestStallEstimate:
+    def setup_method(self):
+        self.config = MachineConfig.default()
+
+    def test_covered_latency_has_no_stall(self):
+        stats = MemoryOpStats(hit_rate=0.5, local_ratio=0.5)
+        assert expected_stall(stats, 15, self.config, LatencyModel.INTERLEAVED) == 0.0
+
+    def test_local_hit_assignment_pays_for_all_others(self):
+        stats = MemoryOpStats(hit_rate=0.9, local_ratio=0.5)
+        stall = expected_stall(stats, 1, self.config, LatencyModel.INTERLEAVED)
+        assert stall == pytest.approx(2.95)
+
+    def test_latency_classes_per_model(self):
+        assert latency_classes(self.config, LatencyModel.INTERLEAVED) == [1, 5, 10, 15]
+        unified = MachineConfig.unified(latency=5)
+        assert latency_classes(unified, LatencyModel.UNIFIED) == [5, 15]
+        assert latency_classes(self.config, LatencyModel.COHERENT) == [1, 10]
+
+    def test_stats_from_profile_wide_access_never_local(self, interleaved_config):
+        from repro.workloads.generator import wide_kernel
+
+        loop = wide_kernel("wide_test", trip_count=64)
+        profile = profile_loop(loop, interleaved_config)
+        stats = stats_from_profile(loop, profile, interleaved_config)
+        wide_ops = [op for op in loop.memory_operations if op.memory.granularity == 8]
+        assert wide_ops
+        assert all(stats[op].local_ratio == 0.0 for op in wide_ops)
+
+    def test_invalid_stats_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryOpStats(hit_rate=1.5, local_ratio=0.5)
+        with pytest.raises(ValueError):
+            MemoryOpStats(hit_rate=0.5, local_ratio=-0.1)
+
+
+class TestLatencyAssignment:
+    def test_stores_get_issue_latency(self, recurrence_loop, interleaved_config):
+        profile = profile_loop(recurrence_loop, interleaved_config)
+        assignment = assign_latencies(recurrence_loop, interleaved_config, profile)
+        store = recurrence_loop.ddg.find("st_y")
+        assert assignment.latency_of(store) == interleaved_config.latencies.store_issue
+
+    def test_non_recurrent_loads_keep_largest_latency(
+        self, streaming_loop, interleaved_config
+    ):
+        profile = profile_loop(streaming_loop, interleaved_config)
+        assignment = assign_latencies(streaming_loop, interleaved_config, profile)
+        load = streaming_loop.ddg.find("ld")
+        assert assignment.latency_of(load) == interleaved_config.latencies.remote_miss
+
+    def test_recurrent_load_is_lowered(self, recurrence_loop, interleaved_config):
+        profile = profile_loop(recurrence_loop, interleaved_config)
+        assignment = assign_latencies(recurrence_loop, interleaved_config, profile)
+        feedback = recurrence_loop.ddg.find("ld_y")
+        assert assignment.latency_of(feedback) < interleaved_config.latencies.remote_miss
+
+    def test_requires_profile_or_stats(self, streaming_loop, interleaved_config):
+        with pytest.raises(ValueError):
+            assign_latencies(streaming_loop, interleaved_config)
+
+
+class TestPaperWorkedExample:
+    """Section 4.3.3: the paper's own benefit-function table and outcome."""
+
+    def setup_method(self):
+        self.loop = example_loop()
+        self.config = example_machine()
+        self.stats = example_stats(self.loop)
+        self.assignment = LatencyAssigner(self.loop, self.config, self.stats).assign()
+
+    def test_target_mii_is_8(self):
+        assert self.assignment.target_mii == 8
+
+    def test_final_latencies_match_paper(self):
+        ddg = self.loop.ddg
+        assert self.assignment.latency_of(ddg.find("n2")) == 1
+        assert self.assignment.latency_of(ddg.find("n1")) == 4
+        assert self.assignment.latency_of(ddg.find("n6")) == 1
+
+    def test_first_applied_change_is_n2_to_local_miss(self):
+        applied = self.assignment.applied_steps()
+        assert applied[0].operation.name == "n2"
+        assert applied[0].from_latency == 15
+        assert applied[0].to_latency == 10
+        assert applied[0].benefit == pytest.approx(20.0, rel=0.01)
+
+    def test_step1_benefits_match_paper_table(self):
+        # Candidates evaluated before the first change is applied.
+        first_round = [step for step in self.assignment.steps if not step.applied][:6]
+        benefits = {
+            (step.operation.name, step.to_latency): step.benefit for step in first_round
+        }
+        assert benefits[("n2", 10)] == pytest.approx(20.0, rel=0.01)
+        assert benefits[("n2", 5)] == pytest.approx(13.3, rel=0.01)
+        assert benefits[("n2", 1)] == pytest.approx(4.75, rel=0.01)
+        assert benefits[("n1", 10)] == pytest.approx(5.0, rel=0.01)
+        assert benefits[("n1", 5)] == pytest.approx(3.33, rel=0.01)
+
+    def test_rendered_report(self):
+        outcome, result = run_latency_example()
+        text = result.render()
+        assert "n1" in text and "n2" in text
+        assert outcome.final_latency("n1") == 4
