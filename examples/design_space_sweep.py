@@ -4,65 +4,55 @@ The paper fixes the configuration of Table 2 (4 clusters, 4-byte
 interleaving, 16-entry Attraction Buffers) and mentions that a different
 interleaving factor would suit other application domains.  This example
 sweeps the cluster count, the interleaving factor and the Attraction Buffer
-size on a small mix of kernels and reports the local hit ratio and total
-cycles of each point -- the kind of design-space exploration the library's
-API is meant to support.
+size on a small mix of kernels through the parallel sweep engine
+(:mod:`repro.sweep`): the 8-point grid fans out across worker processes,
+every point is persisted as a JSON record in the result store, and
+re-running the example completes instantly from cache.
 
 Run with::
 
-    python examples/design_space_sweep.py
+    python examples/design_space_sweep.py [--workers N] [--results-dir DIR]
+
+The same grid is available from the command line as
+``python -m repro.sweep run``.
 """
 
-from repro.analysis.report import format_table
-from repro.machine import MachineConfig
-from repro.scheduler import CompilerOptions, SchedulingHeuristic, compile_loop
-from repro.sim import SimulationOptions, simulate_compiled_loops
-from repro.workloads import reduction_kernel, streaming_kernel, strided_kernel
+import argparse
 
-
-def build_kernels():
-    """A small mix: streaming, reduction and a large-stride heap loop."""
-    return [
-        streaming_kernel("sweep_stream", element_bytes=2, trip_count=2048),
-        reduction_kernel("sweep_reduce", element_bytes=4, trip_count=2048),
-        strided_kernel("sweep_stride", element_bytes=2, stride_elements=8, trip_count=1024),
-    ]
-
-
-def evaluate(config: MachineConfig, loops) -> tuple[float, float]:
-    """Compile and simulate the kernels; return (local hit ratio, cycles)."""
-    options = CompilerOptions(heuristic=SchedulingHeuristic.IPBC)
-    compiled = [compile_loop(loop, config, options) for loop in loops]
-    result = simulate_compiled_loops(
-        compiled, "sweep", config, SimulationOptions(iteration_cap=256)
-    )
-    return result.local_hit_ratio(), result.total_cycles
+from repro.sweep import ResultStore, default_spec, render_report, run_sweep
+from repro.sweep.executor import default_workers
 
 
 def main() -> None:
-    loops = build_kernels()
-    rows = []
-    for clusters in (2, 4):
-        for interleaving in (4, 8):
-            for ab_entries in (None, 16):
-                config = MachineConfig.word_interleaved(
-                    attraction_buffers=ab_entries is not None,
-                    entries=ab_entries or 16,
-                ).with_clusters(clusters).with_interleaving(interleaving)
-                ratio, cycles = evaluate(config, loops)
-                rows.append(
-                    [
-                        clusters,
-                        interleaving,
-                        "yes" if ab_entries else "no",
-                        ratio,
-                        int(cycles),
-                    ]
-                )
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=default_workers(cap=4),
+        help="worker processes (default: cpu count, capped at 4, at least 2)",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default="sweep-results",
+        help="persistent result store directory (default: ./sweep-results)",
+    )
+    args = parser.parse_args()
+
+    spec = default_spec()
+    store = ResultStore(args.results_dir)
+    summary = run_sweep(spec, store=store, workers=args.workers)
+    info = summary.describe()
     print(
-        format_table(
-            ["clusters", "interleaving (B)", "attraction buffers", "local hit ratio", "cycles"],
-            rows,
+        f"{info['total_jobs']} points: {info['executed']} executed on "
+        f"{info['workers']} worker(s), {info['cache_hits']} served from "
+        f"{store.root} in {info['elapsed_seconds']}s\n"
+    )
+    keys = {outcome.key for outcome in summary.outcomes}
+    records = [record for record in store.records() if record.get("key") in keys]
+    print(
+        render_report(
+            records,
+            sort_by="total_cycles",
             title="Design-space sweep (IPBC, selective unrolling)",
         )
     )

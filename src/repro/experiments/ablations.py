@@ -31,6 +31,46 @@ from repro.scheduler.unrolling import UnrollPolicy
 # ----------------------------------------------------------------------
 # Attraction-Buffer sizing / attractable hints (epicdec study)
 # ----------------------------------------------------------------------
+_AB_CONFIGURATIONS = (
+    ("no-ab", dict(attraction_buffers=False)),
+    ("ab-8", dict(attraction_buffers=True, attraction_entries=8)),
+    ("ab-16", dict(attraction_buffers=True, attraction_entries=16)),
+    ("ab-32", dict(attraction_buffers=True, attraction_entries=32)),
+)
+
+
+def sweep_pairs_attraction_buffers(
+    benchmark_name: str = "epicdec",
+) -> list[tuple[str, object]]:
+    """(benchmark, setup) pairs of the sizing ablation, for prewarming."""
+    pairs = []
+    for heuristic in (SchedulingHeuristic.IPBC, SchedulingHeuristic.IBC):
+        for config_name, config_options in _AB_CONFIGURATIONS:
+            pairs.append(
+                (
+                    benchmark_name,
+                    interleaved_setup(
+                        heuristic,
+                        name=f"abl-ab/{heuristic.value}/{config_name}",
+                        **config_options,
+                    ),
+                )
+            )
+    # The attractable-hint study's baseline configuration rides along.
+    pairs.append(
+        (
+            benchmark_name,
+            interleaved_setup(
+                SchedulingHeuristic.IPBC,
+                attraction_buffers=True,
+                attraction_entries=8,
+                name="abl-hint/8",
+            ),
+        )
+    )
+    return pairs
+
+
 def run_attraction_buffer_ablation(
     runner: Optional[ExperimentRunner] = None,
     options: Optional[ExperimentOptions] = None,
@@ -40,12 +80,7 @@ def run_attraction_buffer_ablation(
     runner = runner or ExperimentRunner(options)
     benchmark = runner.benchmark(benchmark_name)
 
-    configurations = (
-        ("no-ab", dict(attraction_buffers=False)),
-        ("ab-8", dict(attraction_buffers=True, attraction_entries=8)),
-        ("ab-16", dict(attraction_buffers=True, attraction_entries=16)),
-        ("ab-32", dict(attraction_buffers=True, attraction_entries=32)),
-    )
+    configurations = _AB_CONFIGURATIONS
     rows: list[dict[str, object]] = []
     result = ExperimentResult(
         title=f"Ablation - Attraction Buffer size on {benchmark_name}",
@@ -106,6 +141,10 @@ def run_attractable_hint_ablation(
         name=f"abl-hint/{entries}",
     )
 
+    # One MemoryAccess may be shared by several unrolled clones, so record
+    # the first-seen value per object, not per operation.
+    saved_hints: dict[int, tuple[object, bool]] = {}
+
     def _with_hints() -> list:
         compiled_loops = runner.compile_benchmark(benchmark, setup)
         hinted = []
@@ -121,7 +160,10 @@ def run_attractable_hint_ablation(
             )
             for op in memory_ops:
                 if op not in keep:
-                    object.__setattr__(op.memory, "attractable", False)
+                    memory = op.memory
+                    if id(memory) not in saved_hints:
+                        saved_hints[id(memory)] = (memory, memory.attractable)
+                    object.__setattr__(memory, "attractable", False)
             hinted.append(compiled)
         return hinted
 
@@ -129,17 +171,19 @@ def run_attractable_hint_ablation(
 
     baseline = runner.run_benchmark(benchmark, setup)
     hinted_loops = _with_hints()
-    hinted = simulate_compiled_loops(
-        hinted_loops,
-        benchmark.name,
-        setup.config,
-        runner.options.simulation_options(),
-        architecture="hinted",
-    )
-    # Restore the hints so the cached compilation stays clean for others.
-    for compiled in hinted_loops:
-        for op in compiled.loop.memory_operations:
-            object.__setattr__(op.memory, "attractable", True)
+    try:
+        hinted = simulate_compiled_loops(
+            hinted_loops,
+            benchmark.name,
+            setup.config,
+            runner.options.simulation_options(),
+            architecture="hinted",
+        )
+    finally:
+        # Restore the original hints (the MemoryAccess objects are shared
+        # with the source loop and every cached compilation of it).
+        for memory, attractable in saved_hints.values():
+            object.__setattr__(memory, "attractable", attractable)
 
     rows = [
         {"configuration": "all-attractable", "stall_cycles": baseline.stall_cycles},
@@ -164,18 +208,33 @@ def run_attractable_hint_ablation(
 # ----------------------------------------------------------------------
 # Unrolling-policy ablation
 # ----------------------------------------------------------------------
+_UNROLL_POLICIES = (
+    UnrollPolicy.NONE,
+    UnrollPolicy.TIMES_N,
+    UnrollPolicy.OUF,
+    UnrollPolicy.SELECTIVE,
+)
+
+
+def sweep_setups_unrolling() -> list:
+    """The setups of the unrolling ablation, for prewarming."""
+    return [
+        interleaved_setup(
+            SchedulingHeuristic.IPBC,
+            unroll_policy=policy,
+            name=f"abl-unroll/{policy.value}",
+        )
+        for policy in _UNROLL_POLICIES
+    ]
+
+
 def run_unrolling_ablation(
     runner: Optional[ExperimentRunner] = None,
     options: Optional[ExperimentOptions] = None,
 ) -> tuple[list[dict[str, object]], ExperimentResult]:
     """Local hit ratio and cycles for each unrolling policy (IPBC)."""
     runner = runner or ExperimentRunner(options)
-    policies = (
-        UnrollPolicy.NONE,
-        UnrollPolicy.TIMES_N,
-        UnrollPolicy.OUF,
-        UnrollPolicy.SELECTIVE,
-    )
+    policies = _UNROLL_POLICIES
     rows: list[dict[str, object]] = []
     result = ExperimentResult(
         title="Ablation - unrolling policy (IPBC)",

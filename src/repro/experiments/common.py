@@ -10,8 +10,10 @@ in one session does not recompile the same configurations over and over.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Optional
+from pathlib import Path
+from typing import Iterable, Optional, Union
 
 from repro.machine.config import MachineConfig
 from repro.scheduler.core import SchedulingHeuristic
@@ -19,6 +21,8 @@ from repro.scheduler.pipeline import CompiledLoop, CompilerOptions, compile_loop
 from repro.scheduler.unrolling import UnrollPolicy
 from repro.sim.engine import SimulationOptions, simulate_compiled_loops
 from repro.sim.stats import BenchmarkSimulationResult
+from repro.sweep.spec import SweepJob, make_job
+from repro.sweep.store import ResultStore
 from repro.workloads.mediabench import BENCHMARK_NAMES, mediabench_suite
 from repro.workloads.spec import Benchmark
 
@@ -105,31 +109,46 @@ class ExperimentOptions:
         )
 
 
-def _compile_cache_key(benchmark: str, setup: ArchitectureSetup) -> tuple:
-    config = setup.config
-    options = setup.options
-    return (
-        benchmark,
-        config.organization.value,
-        config.num_clusters,
-        config.interleaving_factor,
-        config.attraction_buffer.enabled,
-        config.attraction_buffer.entries,
-        config.unified_cache_latency,
-        options.heuristic.value,
-        options.unroll_policy.value,
-        options.variable_alignment,
-        options.use_chains,
-    )
+def _compile_cache_key(benchmark: str, setup: ArchitectureSetup) -> str:
+    """Cache key covering everything that affects compilation.
+
+    Derived from the sweep job description (minus the simulation options,
+    which only affect execution) so it can never drift out of sync with
+    the fields the content-addressed store hashes.
+    """
+    from repro.sweep.spec import canonical_json
+
+    description = make_job(benchmark, setup.config, setup.options).describe()
+    description.pop("simulation", None)
+    return canonical_json(description)
 
 
 class ExperimentRunner:
-    """Compiles and simulates benchmarks, caching compilation results."""
+    """Compiles and simulates benchmarks through the sweep engine.
 
-    def __init__(self, options: Optional[ExperimentOptions] = None) -> None:
+    Simulation requests are turned into content-addressed sweep jobs
+    (:mod:`repro.sweep`).  Results are memoized in memory and -- when a
+    ``store`` is given -- persisted to disk, so identical configurations
+    across figures, ablations and sessions are simulated exactly once.
+    :meth:`prewarm` fans a batch of jobs out across worker processes to
+    fill the store before the (serial) per-figure aggregation runs.
+
+    The returned :class:`BenchmarkSimulationResult` objects are shared
+    between callers; treat them as read-only.
+    """
+
+    def __init__(
+        self,
+        options: Optional[ExperimentOptions] = None,
+        store: Union[ResultStore, Path, str, None] = None,
+    ) -> None:
         self.options = options or ExperimentOptions()
         self._suite = mediabench_suite()
-        self._compile_cache: dict[tuple, list[CompiledLoop]] = {}
+        self._compile_cache: dict[str, list[CompiledLoop]] = {}
+        if isinstance(store, (str, Path)):
+            store = ResultStore(store)
+        self._store = store
+        self._result_memo: dict[str, BenchmarkSimulationResult] = {}
 
     @property
     def benchmarks(self) -> list[Benchmark]:
@@ -152,18 +171,95 @@ class ExperimentRunner:
             ]
         return self._compile_cache[key]
 
+    def job_for(self, benchmark_name: str, setup: ArchitectureSetup) -> SweepJob:
+        """The content-addressed sweep job of one (benchmark, setup) pair."""
+        return make_job(
+            benchmark_name,
+            setup.config,
+            setup.options,
+            self.options.simulation_options(),
+            architecture=setup.name,
+        )
+
     def run_benchmark(
         self, benchmark: Benchmark, setup: ArchitectureSetup
     ) -> BenchmarkSimulationResult:
-        """Compile (cached) and simulate one benchmark under one setup."""
+        """Simulate one benchmark under one setup (memoized, store-backed)."""
+        job = self.job_for(benchmark.name, setup)
+        result = self._result_memo.get(job.key)
+        if result is not None:
+            return self._labeled(result, setup.name)
+        if self._store is not None and job.key in self._store:
+            result = self._store.load_payload(job.key)
+            if result is not None:
+                # Freshly unpickled, so relabeling in place aliases nothing.
+                result.architecture = setup.name
+                self._result_memo[job.key] = result
+                return result
         compiled = self.compile_benchmark(benchmark, setup)
-        return simulate_compiled_loops(
+        started = time.perf_counter()
+        result = simulate_compiled_loops(
             compiled,
             benchmark.name,
             setup.config,
             self.options.simulation_options(),
             architecture=setup.name,
         )
+        if self._store is not None:
+            from repro.sweep.executor import make_record
+
+            self._store.save(
+                job.key,
+                make_record(job, result, time.perf_counter() - started),
+                payload=result,
+            )
+        self._result_memo[job.key] = result
+        return result
+
+    @staticmethod
+    def _labeled(
+        result: BenchmarkSimulationResult, architecture: str
+    ) -> BenchmarkSimulationResult:
+        """The memoized result under the requested display name.
+
+        The same stored configuration may be requested under different
+        display names by different figures; a shallow relabeled copy keeps
+        references handed out earlier untouched.
+        """
+        if result.architecture == architecture:
+            return result
+        return BenchmarkSimulationResult(
+            benchmark=result.benchmark,
+            architecture=architecture,
+            heuristic=result.heuristic,
+            loops=result.loops,
+        )
+
+    def prewarm(
+        self,
+        pairs: Iterable[tuple[str, ArchitectureSetup]],
+        workers: int = 1,
+        progress=None,
+    ) -> "object":
+        """Execute (benchmark, setup) pairs through the sweep engine.
+
+        With ``workers > 1`` the jobs are fanned out across a process pool;
+        results land in the in-memory memo (and the store, when configured),
+        so subsequent :meth:`run_benchmark` calls are cache hits.
+        """
+        from repro.sweep.executor import run_jobs
+
+        jobs = [self.job_for(name, setup) for name, setup in pairs]
+        summary = run_jobs(
+            jobs, store=self._store, workers=workers, progress=progress
+        )
+        for outcome in summary.outcomes:
+            result = outcome.result
+            if result is None and self._store is not None:
+                result = self._store.load_payload(outcome.key)
+            if result is not None:
+                self._result_memo[outcome.key] = result
+        return summary
 
     def run_suite(
         self, setup: ArchitectureSetup, benchmarks: Optional[Iterable[str]] = None

@@ -50,6 +50,11 @@ def _setup_for(variant_name: str, variant_options: dict) -> ArchitectureSetup:
     )
 
 
+def sweep_setups() -> list[ArchitectureSetup]:
+    """The setups this figure simulates, for sweep prewarming."""
+    return [_setup_for(name, options) for name, options in VARIANTS]
+
+
 @dataclass
 class Figure4Row:
     """One bar of the figure: a benchmark under one scheduling variant."""

@@ -40,16 +40,25 @@ class Figure5Row:
     total_stall_cycles: float
 
 
+def _setups() -> dict:
+    return {
+        "ibc": interleaved_setup(SchedulingHeuristic.IBC, name="fig5/ibc"),
+        "ipbc": interleaved_setup(SchedulingHeuristic.IPBC, name="fig5/ipbc"),
+    }
+
+
+def sweep_setups() -> list:
+    """The setups this figure simulates, for sweep prewarming."""
+    return list(_setups().values())
+
+
 def run_figure5(
     runner: Optional[ExperimentRunner] = None,
     options: Optional[ExperimentOptions] = None,
 ) -> tuple[list[Figure5Row], ExperimentResult]:
     """Regenerate the data behind Figure 5."""
     runner = runner or ExperimentRunner(options)
-    setups = {
-        "ibc": interleaved_setup(SchedulingHeuristic.IBC, name="fig5/ibc"),
-        "ipbc": interleaved_setup(SchedulingHeuristic.IPBC, name="fig5/ipbc"),
-    }
+    setups = _setups()
     rows: list[Figure5Row] = []
     result = ExperimentResult(
         title="Figure 5 - classification of stall-generating accesses",

@@ -44,14 +44,8 @@ class Figure6Row:
     fractions: dict[str, float]
 
 
-def run_figure6(
-    runner: Optional[ExperimentRunner] = None,
-    options: Optional[ExperimentOptions] = None,
-    attraction_entries: int = 16,
-) -> tuple[list[Figure6Row], ExperimentResult]:
-    """Regenerate the data behind Figure 6."""
-    runner = runner or ExperimentRunner(options)
-    setups = (
+def _setups(attraction_entries: int = 16) -> tuple:
+    return (
         ("ibc", interleaved_setup(SchedulingHeuristic.IBC, name="fig6/ibc")),
         (
             "ibc+ab",
@@ -73,6 +67,21 @@ def run_figure6(
             ),
         ),
     )
+
+
+def sweep_setups() -> list:
+    """The setups this figure simulates, for sweep prewarming."""
+    return [setup for _, setup in _setups()]
+
+
+def run_figure6(
+    runner: Optional[ExperimentRunner] = None,
+    options: Optional[ExperimentOptions] = None,
+    attraction_entries: int = 16,
+) -> tuple[list[Figure6Row], ExperimentResult]:
+    """Regenerate the data behind Figure 6."""
+    runner = runner or ExperimentRunner(options)
+    setups = _setups(attraction_entries)
 
     rows: list[Figure6Row] = []
     result = ExperimentResult(

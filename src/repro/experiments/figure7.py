@@ -38,6 +38,19 @@ class Figure7Row:
     workload_balance: float
 
 
+def _setup_for(variant_name: str, variant_options: dict):
+    return interleaved_setup(
+        SchedulingHeuristic.IPBC,
+        name=f"fig7/{variant_name}",
+        **variant_options,
+    )
+
+
+def sweep_setups() -> list:
+    """The setups this figure simulates, for sweep prewarming."""
+    return [_setup_for(name, options) for name, options in VARIANTS]
+
+
 def run_figure7(
     runner: Optional[ExperimentRunner] = None,
     options: Optional[ExperimentOptions] = None,
@@ -53,11 +66,7 @@ def run_figure7(
     for benchmark in runner.benchmarks:
         values = []
         for variant_name, variant_options in VARIANTS:
-            setup = interleaved_setup(
-                SchedulingHeuristic.IPBC,
-                name=f"fig7/{variant_name}",
-                **variant_options,
-            )
+            setup = _setup_for(variant_name, variant_options)
             sim = runner.run_benchmark(benchmark, setup)
             balance = sim.workload_balance()
             rows.append(

@@ -66,6 +66,11 @@ def _setups() -> dict[str, object]:
     }
 
 
+def sweep_setups() -> list:
+    """The setups this figure simulates, for sweep prewarming."""
+    return list(_setups().values())
+
+
 def run_figure8(
     runner: Optional[ExperimentRunner] = None,
     options: Optional[ExperimentOptions] = None,

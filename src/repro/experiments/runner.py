@@ -4,6 +4,12 @@
 regenerates every table and figure of the paper's evaluation section plus the
 ablations, and renders them as one text report.  The benchmark harness under
 ``benchmarks/`` runs the same entry points one artefact at a time.
+
+The heavy (benchmark x architecture) simulations execute through the sweep
+engine (:mod:`repro.sweep`): with ``--workers N`` the full grid every
+selected experiment needs is fanned out across worker processes first, and
+with ``--results-dir DIR`` results persist on disk so later runs (and the
+``python -m repro.sweep`` CLI) reuse them instead of re-simulating.
 """
 
 from __future__ import annotations
@@ -12,11 +18,17 @@ import argparse
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.experiments import ablations, figure4, figure5, figure6, figure7, figure8
 from repro.experiments.ablations import (
     run_attraction_buffer_ablation,
     run_unrolling_ablation,
 )
-from repro.experiments.common import ExperimentOptions, ExperimentResult, ExperimentRunner
+from repro.experiments.common import (
+    ArchitectureSetup,
+    ExperimentOptions,
+    ExperimentResult,
+    ExperimentRunner,
+)
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.figure6 import run_figure6
@@ -26,6 +38,9 @@ from repro.experiments.latency_example import run_latency_example
 from repro.experiments.table1 import run_table1
 from repro.workloads.mediabench import BENCHMARK_NAMES
 
+#: (benchmark, setup) pairs an experiment will simulate, for prewarming.
+PrewarmPairs = Callable[[ExperimentOptions], list[tuple[str, ArchitectureSetup]]]
+
 
 @dataclass(frozen=True)
 class ExperimentEntry:
@@ -34,6 +49,7 @@ class ExperimentEntry:
     key: str
     description: str
     runner: Callable[[ExperimentRunner], ExperimentResult]
+    prewarm: Optional[PrewarmPairs] = None
 
 
 def _wrap(func) -> Callable[[ExperimentRunner], ExperimentResult]:
@@ -44,6 +60,21 @@ def _wrap(func) -> Callable[[ExperimentRunner], ExperimentResult]:
     return run
 
 
+def _suite_pairs(setups_fn: Callable[[], list]) -> PrewarmPairs:
+    def pairs(options: ExperimentOptions) -> list[tuple[str, ArchitectureSetup]]:
+        return [
+            (benchmark, setup)
+            for setup in setups_fn()
+            for benchmark in options.benchmarks
+        ]
+
+    return pairs
+
+
+def _ablation_ab_pairs(options: ExperimentOptions) -> list:
+    return ablations.sweep_pairs_attraction_buffers()
+
+
 EXPERIMENTS: tuple[ExperimentEntry, ...] = (
     ExperimentEntry("table1", "benchmark characterisation", lambda r: run_table1()[1]),
     ExperimentEntry(
@@ -51,18 +82,47 @@ EXPERIMENTS: tuple[ExperimentEntry, ...] = (
         "Section 4.3.3 worked example",
         lambda r: run_latency_example()[1],
     ),
-    ExperimentEntry("figure4", "memory access classification", _wrap(run_figure4)),
-    ExperimentEntry("figure5", "stall factor classification", _wrap(run_figure5)),
-    ExperimentEntry("figure6", "stall time and Attraction Buffers", _wrap(run_figure6)),
-    ExperimentEntry("figure7", "workload balance", _wrap(run_figure7)),
-    ExperimentEntry("figure8", "cycle counts across architectures", _wrap(run_figure8)),
+    ExperimentEntry(
+        "figure4",
+        "memory access classification",
+        _wrap(run_figure4),
+        prewarm=_suite_pairs(figure4.sweep_setups),
+    ),
+    ExperimentEntry(
+        "figure5",
+        "stall factor classification",
+        _wrap(run_figure5),
+        prewarm=_suite_pairs(figure5.sweep_setups),
+    ),
+    ExperimentEntry(
+        "figure6",
+        "stall time and Attraction Buffers",
+        _wrap(run_figure6),
+        prewarm=_suite_pairs(figure6.sweep_setups),
+    ),
+    ExperimentEntry(
+        "figure7",
+        "workload balance",
+        _wrap(run_figure7),
+        prewarm=_suite_pairs(figure7.sweep_setups),
+    ),
+    ExperimentEntry(
+        "figure8",
+        "cycle counts across architectures",
+        _wrap(run_figure8),
+        prewarm=_suite_pairs(figure8.sweep_setups),
+    ),
     ExperimentEntry(
         "ablation-ab",
         "Attraction Buffer sizing ablation",
         _wrap(run_attraction_buffer_ablation),
+        prewarm=_ablation_ab_pairs,
     ),
     ExperimentEntry(
-        "ablation-unroll", "unrolling policy ablation", _wrap(run_unrolling_ablation)
+        "ablation-unroll",
+        "unrolling policy ablation",
+        _wrap(run_unrolling_ablation),
+        prewarm=_suite_pairs(ablations.sweep_setups_unrolling),
     ),
 )
 
@@ -70,9 +130,20 @@ EXPERIMENTS: tuple[ExperimentEntry, ...] = (
 def run_all_experiments(
     options: Optional[ExperimentOptions] = None,
     keys: Optional[list[str]] = None,
+    workers: int = 1,
+    store=None,
+    progress=None,
 ) -> dict[str, ExperimentResult]:
-    """Run the selected experiments (all of them by default)."""
-    shared_runner = ExperimentRunner(options)
+    """Run the selected experiments (all of them by default).
+
+    With ``workers > 1`` every (benchmark, architecture) simulation the
+    selected experiments need is executed up front through the sweep
+    engine's process pool; the per-experiment aggregation then runs from
+    cache.  ``store`` (a directory path or ResultStore) makes the results
+    persistent across runs.
+    """
+    options = options or ExperimentOptions()
+    shared_runner = ExperimentRunner(options, store=store)
     selected = {entry.key: entry for entry in EXPERIMENTS}
     if keys:
         unknown = [key for key in keys if key not in selected]
@@ -81,6 +152,15 @@ def run_all_experiments(
         entries = [selected[key] for key in keys]
     else:
         entries = list(EXPERIMENTS)
+
+    if workers > 1:
+        pairs: list[tuple[str, ArchitectureSetup]] = []
+        for entry in entries:
+            if entry.prewarm is not None:
+                pairs.extend(entry.prewarm(options))
+        if pairs:
+            shared_runner.prewarm(pairs, workers=workers, progress=progress)
+
     return {entry.key: entry.runner(shared_runner) for entry in entries}
 
 
@@ -112,12 +192,28 @@ def main(argv: Optional[list[str]] = None) -> int:
         default=256,
         help="simulated iterations per loop (default 256)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the simulation grid (default: serial)",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default=None,
+        help="persist simulation results to this sweep store directory",
+    )
     args = parser.parse_args(argv)
     options = ExperimentOptions(
         benchmarks=tuple(args.benchmarks),
         simulation_iteration_cap=args.iterations,
     )
-    results = run_all_experiments(options, args.experiments)
+    results = run_all_experiments(
+        options,
+        args.experiments,
+        workers=args.workers,
+        store=args.results_dir,
+    )
     print(render_report(results))
     return 0
 

@@ -73,6 +73,14 @@ class DataDependenceGraph:
         self.name = name
         self._graph: nx.MultiDiGraph = nx.MultiDiGraph()
         self._ops_in_order: list[Operation] = []
+        # Adjacency mirrors of the networkx graph.  The scheduler queries
+        # dependences_to/dependences_from for every placement attempt, and
+        # building those lists through networkx edge views dominates the
+        # compile time of a benchmark; plain dict lookups keep the hot path
+        # free of graph-library overhead.
+        self._deps_in_order: list[Dependence] = []
+        self._out_deps: dict[Operation, list[Dependence]] = {}
+        self._in_deps: dict[Operation, list[Dependence]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -83,6 +91,8 @@ class DataDependenceGraph:
             raise ValueError(f"operation {op.name} already in graph")
         self._graph.add_node(op)
         self._ops_in_order.append(op)
+        self._out_deps[op] = []
+        self._in_deps[op] = []
         return op
 
     def add_dependence(self, dep: Dependence) -> Dependence:
@@ -90,6 +100,9 @@ class DataDependenceGraph:
         if dep.src not in self._graph or dep.dst not in self._graph:
             raise ValueError("both endpoints must be added before the dependence")
         self._graph.add_edge(dep.src, dep.dst, dep=dep)
+        self._deps_in_order.append(dep)
+        self._out_deps[dep.src].append(dep)
+        self._in_deps[dep.dst].append(dep)
         return dep
 
     def connect(
@@ -126,15 +139,15 @@ class DataDependenceGraph:
 
     def dependences(self) -> list[Dependence]:
         """All dependence edges."""
-        return [data["dep"] for _, _, data in self._graph.edges(data=True)]
+        return list(self._deps_in_order)
 
     def dependences_from(self, op: Operation) -> list[Dependence]:
         """Outgoing dependences of ``op``."""
-        return [data["dep"] for _, _, data in self._graph.out_edges(op, data=True)]
+        return list(self._out_deps.get(op, ()))
 
     def dependences_to(self, op: Operation) -> list[Dependence]:
         """Incoming dependences of ``op``."""
-        return [data["dep"] for _, _, data in self._graph.in_edges(op, data=True)]
+        return list(self._in_deps.get(op, ()))
 
     def predecessors(self, op: Operation) -> list[Operation]:
         """Distinct predecessor operations of ``op``."""
@@ -211,11 +224,7 @@ class DataDependenceGraph:
         n = len(cycle)
         for i, src in enumerate(cycle):
             dst = cycle[(i + 1) % n]
-            candidates = [
-                data["dep"]
-                for _, _, data in self._graph.out_edges(src, data=True)
-                if data["dep"].dst == dst
-            ]
+            candidates = [dep for dep in self._out_deps[src] if dep.dst == dst]
             if not candidates:
                 return None
             # The most constraining edge is the one with the smallest
@@ -231,8 +240,7 @@ class DataDependenceGraph:
         """Weakly connected components of the subgraph of matching edges."""
         sub = nx.Graph()
         sub.add_nodes_from(self._graph.nodes)
-        for _, _, data in self._graph.edges(data=True):
-            dep: Dependence = data["dep"]
+        for dep in self._deps_in_order:
             if edge_filter(dep):
                 sub.add_edge(dep.src, dep.dst)
         return [set(component) for component in nx.connected_components(sub)]

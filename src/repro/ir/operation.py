@@ -101,15 +101,33 @@ class MemoryAccess:
 _op_counter = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Operation:
-    """A single operation of a loop body."""
+    """A single operation of a loop body.
+
+    Operations are identified by their ``uid``: equality and hashing ignore
+    the descriptive fields so that an operation stays a valid dict/set key
+    even when experiment code tweaks its :class:`MemoryAccess` in place
+    (for example the attractable-hint ablation).  Two separately created
+    operations are never equal, matching the scheduler's view of a loop
+    body as a set of distinct nodes.
+    """
 
     name: str
     mnemonic: str
     op_class: OperationClass
     memory: Optional[MemoryAccess] = None
     uid: int = field(default_factory=lambda: next(_op_counter))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Operation):
+            return NotImplemented
+        return self.uid == other.uid
+
+    def __hash__(self) -> int:
+        return self.uid
 
     def __post_init__(self) -> None:
         if self.mnemonic not in MNEMONIC_CLASSES:

@@ -338,15 +338,29 @@ class MachineConfig:
                 "remote_miss": self.latencies.remote_miss,
             },
             "register_buses": self.register_buses.count,
+            "register_bus_divisor": self.register_buses.frequency_divisor,
             "memory_buses": self.memory_buses.count,
+            "memory_bus_divisor": self.memory_buses.frequency_divisor,
             "attraction_buffer": {
                 "enabled": self.attraction_buffer.enabled,
                 "entries": self.attraction_buffer.entries,
                 "associativity": self.attraction_buffer.associativity,
             },
             "next_level_latency": self.next_level.latency,
+            "next_level_ports": self.next_level.ports,
             "unified_cache_latency": self.unified_cache_latency,
             "unified_cache_ports": self.unified_cache_ports,
+            "registers_per_cluster": self.registers_per_cluster,
+            "op_latencies": {
+                "int_alu": self.op_latencies.int_alu,
+                "int_mul": self.op_latencies.int_mul,
+                "fp_alu": self.op_latencies.fp_alu,
+                "fp_mul": self.op_latencies.fp_mul,
+                "fp_div": self.op_latencies.fp_div,
+                "branch": self.op_latencies.branch,
+                "copy": self.op_latencies.copy,
+            },
+            "store_issue_latency": self.latencies.store_issue,
         }
 
 

@@ -108,6 +108,14 @@ class ModuloScheduler:
             config, memory_latencies=latency_assignment.latencies
         )
         self._max_ii = max_ii
+        # The placement loop walks each operation's dependences once per
+        # candidate (cluster, cycle); snapshotting them here keeps repeated
+        # list construction out of the II search.
+        ddg = loop.ddg
+        self._deps_to = {op: tuple(ddg.dependences_to(op)) for op in loop.operations}
+        self._deps_from = {
+            op: tuple(ddg.dependences_from(op)) for op in loop.operations
+        }
         self._validate_inputs()
 
     def _validate_inputs(self) -> None:
@@ -258,23 +266,28 @@ class ModuloScheduler:
         cluster_load: Sequence[int],
     ) -> list[int]:
         """Order clusters by communication profit, then workload balance."""
-
-        def copies_needed(cluster: int) -> int:
-            count = 0
-            for dep in self._loop.ddg.dependences_to(op):
-                if dep.kind is DependenceKind.REG_FLOW and dep.src in placed:
-                    if placed[dep.src].cluster != cluster:
-                        count += 1
-            for dep in self._loop.ddg.dependences_from(op):
-                if dep.kind is DependenceKind.REG_FLOW and dep.dst in placed:
-                    if placed[dep.dst].cluster != cluster:
-                        count += 1
-            return count
+        # copies_needed(cluster) == placed REG_FLOW neighbours in *other*
+        # clusters == total neighbours minus those already in this cluster,
+        # so one pass over the dependences ranks every cluster.
+        counts = [0] * self._config.num_clusters
+        total = 0
+        for dep in self._deps_to[op]:
+            if dep.kind is DependenceKind.REG_FLOW:
+                entry = placed.get(dep.src)
+                if entry is not None:
+                    counts[entry.cluster] += 1
+                    total += 1
+        for dep in self._deps_from[op]:
+            if dep.kind is DependenceKind.REG_FLOW:
+                entry = placed.get(dep.dst)
+                if entry is not None:
+                    counts[entry.cluster] += 1
+                    total += 1
 
         return sorted(
             range(self._config.num_clusters),
             key=lambda cluster: (
-                copies_needed(cluster),
+                total - counts[cluster],
                 cluster_load[cluster],
                 cluster,
             ),
@@ -306,7 +319,7 @@ class ModuloScheduler:
         earliest: Optional[int] = None
         latest: Optional[int] = None
 
-        for dep in self._loop.ddg.dependences_to(op):
+        for dep in self._deps_to[op]:
             if dep.src not in placed:
                 continue
             src = placed[dep.src]
@@ -316,7 +329,7 @@ class ModuloScheduler:
             earliest = bound if earliest is None else max(earliest, bound)
 
         own_latency = self._latency_of(op)
-        for dep in self._loop.ddg.dependences_from(op):
+        for dep in self._deps_from[op]:
             if dep.dst not in placed:
                 continue
             dst = placed[dep.dst]
@@ -394,7 +407,7 @@ class ModuloScheduler:
                     return candidate
             return None
 
-        for dep in self._loop.ddg.dependences_to(op):
+        for dep in self._deps_to[op]:
             if dep.kind is not DependenceKind.REG_FLOW or dep.src not in placed:
                 continue
             src = placed[dep.src]
@@ -415,7 +428,7 @@ class ModuloScheduler:
                 )
             )
 
-        for dep in self._loop.ddg.dependences_from(op):
+        for dep in self._deps_from[op]:
             if dep.kind is not DependenceKind.REG_FLOW or dep.dst not in placed:
                 continue
             dst = placed[dep.dst]

@@ -56,6 +56,8 @@ class CompilerOptions:
             "unroll_policy": self.unroll_policy.value,
             "variable_alignment": self.variable_alignment,
             "use_chains": self.use_chains,
+            "profile_dataset": self.profile_dataset,
+            "profile_iteration_cap": self.profile_iteration_cap,
         }
 
 

@@ -98,37 +98,70 @@ class LoopSimulator:
             key=lambda entry: entry.start_cycle,
         )
 
+        # Everything that is constant across the dynamic instances of one
+        # static operation is resolved once up front, so the event loop does
+        # no dict lookups or property calls per access.
+        per_op = []
+        for entry in memory_entries:
+            op = entry.operation
+            memory = op.memory
+            per_op.append(
+                (
+                    entry.start_cycle,
+                    entry.cluster,
+                    op,
+                    memory.granularity,
+                    memory.is_store,
+                    memory.attractable,
+                    covers[op],
+                    records[op].record,
+                )
+            )
+
         # Software pipelining overlaps iterations: operation instances are
         # executed in global cycle order, not iteration by iteration, which
         # matters for port/bus contention and request combining.
+        ii = schedule.ii
         events = [
-            (iteration * schedule.ii + entry.start_cycle, index, entry, iteration)
+            (iteration * ii + info[0], index, iteration)
             for iteration in range(simulated)
-            for index, entry in enumerate(memory_entries)
+            for index, info in enumerate(per_op)
         ]
-        events.sort(key=lambda event: (event[0], event[1]))
+        events.sort()
 
-        for nominal_cycle, _, entry, iteration in events:
-            op = entry.operation
-            address = stream.address(op, iteration)
-            issue_cycle = nominal_cycle + accumulated_stall
-            result = self._cache.access(
-                cluster=entry.cluster,
-                address=address,
-                size=op.memory.granularity,
-                is_store=op.is_store,
-                cycle=issue_cycle,
-                attractable=op.memory.attractable,
+        cache_access = self._cache.access
+        stream_address = stream.address
+        local_hit = AccessType.LOCAL_HIT
+        record_stall = stalls.record
+        record_access = accesses.record
+
+        for nominal_cycle, index, iteration in events:
+            (
+                _,
+                cluster,
+                op,
+                granularity,
+                is_store,
+                attractable,
+                cover,
+                record_op,
+            ) = per_op[index]
+            result = cache_access(
+                cluster=cluster,
+                address=stream_address(op, iteration),
+                size=granularity,
+                is_store=is_store,
+                cycle=nominal_cycle + accumulated_stall,
+                attractable=attractable,
             )
-            accesses.record(result)
+            record_access(result)
             stall = 0
-            cover = covers[op]
-            if op.is_load and result.latency > cover:
+            if not is_store and result.latency > cover:
                 stall = result.latency - cover
                 accumulated_stall += stall
-                if result.classification is not AccessType.LOCAL_HIT:
-                    stalls.record(result.classification, stall)
-            records[op].record(result.classification, result.home_cluster, stall)
+                if result.classification is not local_hit:
+                    record_stall(result.classification, stall)
+            record_op(result.classification, result.home_cluster, stall)
 
         compute_cycles = schedule.compute_cycles(iterations)
         stall_cycles = int(round(accumulated_stall * scale))

@@ -1,0 +1,53 @@
+"""Parallel design-space sweep engine with a persistent result store.
+
+The subsystem splits design-space exploration into explicit phases:
+
+* :mod:`repro.sweep.spec` -- declarative grids (:class:`SweepSpec`) expanded
+  into content-addressed jobs (:class:`SweepJob`);
+* :mod:`repro.sweep.executor` -- serial or process-pool execution with
+  per-worker compile caching;
+* :mod:`repro.sweep.store` -- the on-disk JSON record store that makes
+  re-runs incremental and results queryable after exit;
+* :mod:`repro.sweep.report` -- text-table rendering of stored results;
+* :mod:`repro.sweep.cli` -- the ``python -m repro.sweep`` command line.
+"""
+
+from repro.sweep.executor import (
+    JobOutcome,
+    SweepRunSummary,
+    default_workers,
+    execute_job,
+    run_jobs,
+    run_sweep,
+)
+from repro.sweep.report import render_report, render_status
+from repro.sweep.spec import (
+    SweepJob,
+    SweepPoint,
+    SweepSpec,
+    default_spec,
+    job_key,
+    make_job,
+)
+from repro.sweep.store import ResultStore
+from repro.sweep.workloads import resolve_workload, workload_names
+
+__all__ = [
+    "JobOutcome",
+    "ResultStore",
+    "SweepJob",
+    "SweepPoint",
+    "SweepRunSummary",
+    "SweepSpec",
+    "default_spec",
+    "default_workers",
+    "execute_job",
+    "job_key",
+    "make_job",
+    "render_report",
+    "render_status",
+    "resolve_workload",
+    "run_jobs",
+    "run_sweep",
+    "workload_names",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.sweep`` entry point."""
+
+import sys
+
+from repro.sweep.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+"""Command-line interface of the sweep engine.
+
+::
+
+    python -m repro.sweep run     [--spec FILE] [--workers N] [--results-dir DIR]
+    python -m repro.sweep status  [--spec FILE] [--results-dir DIR]
+    python -m repro.sweep report  [--results-dir DIR] [--sort METRIC] [--benchmark NAME]
+
+``run`` executes the grid (the built-in 8-point architectural grid of the
+design-space example when no spec file is given), persists one JSON record
+per point, and prints the result table; re-running with an unchanged grid
+completes from the store with 100% cache hits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.sweep.executor import JobOutcome, default_workers, run_sweep
+from repro.sweep.report import DEFAULT_METRICS, render_report, render_status
+from repro.sweep.spec import SweepSpec, default_spec
+from repro.sweep.store import ResultStore
+from repro.sweep.workloads import workload_names
+
+DEFAULT_RESULTS_DIR = "sweep-results"
+
+
+def _load_spec(args: argparse.Namespace) -> SweepSpec:
+    if args.spec is not None:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            spec = SweepSpec.from_mapping(json.load(handle))
+    else:
+        spec = default_spec()
+    if getattr(args, "benchmarks", None):
+        spec = SweepSpec(
+            name=spec.name,
+            benchmarks=tuple(args.benchmarks),
+            axes=spec.axes,
+            base=spec.base,
+        )
+    return spec
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--results-dir",
+        default=DEFAULT_RESULTS_DIR,
+        help=f"result store directory (default: ./{DEFAULT_RESULTS_DIR})",
+    )
+    parser.add_argument(
+        "--spec",
+        default=None,
+        help="JSON sweep spec file (default: the built-in design-space grid)",
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _load_spec(args)
+    store = ResultStore(Path(args.results_dir))
+    jobs = spec.expand()
+    print(
+        f"sweep {spec.name!r}: {len(jobs)} points, "
+        f"{args.workers} worker(s), store {store.root}"
+    )
+
+    def progress(done: int, total: int, outcome: JobOutcome) -> None:
+        state = "hit " if outcome.cached else "ran "
+        metrics = outcome.record.get("metrics", {})
+        cycles = metrics.get("total_cycles", "?")
+        print(
+            f"  [{done:>3}/{total}] {state} {outcome.job.benchmark:<12} "
+            f"{outcome.job.architecture:<24} total_cycles={cycles}"
+        )
+
+    summary = run_sweep(
+        spec,
+        store=store,
+        workers=args.workers,
+        force=args.force,
+        progress=progress if not args.quiet else None,
+    )
+    info = summary.describe()
+    print(
+        f"done: {info['executed']} executed, {info['cache_hits']} cache hits "
+        f"in {info['elapsed_seconds']}s"
+    )
+    if not args.quiet:
+        keys = {job.key for job in jobs}
+        records = [r for r in store.records() if r.get("key") in keys]
+        print()
+        print(render_report(records, title=f"Sweep results - {spec.name}"))
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    store = ResultStore(Path(args.results_dir))
+    spec: Optional[SweepSpec] = None
+    if args.spec is not None or args.default_spec:
+        spec = _load_spec(args)
+    print(render_status(store, spec))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore(Path(args.results_dir))
+    print(
+        render_report(
+            store.records(),
+            sort_by=args.sort,
+            benchmark=args.benchmark,
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point of ``python -m repro.sweep`` and ``repro-sweep``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep", description=__doc__.split("::")[0].strip()
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="execute a sweep grid")
+    _add_common(run_parser)
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=default_workers(),
+        help="worker processes (default: cpu count, capped at 8, at least 2)",
+    )
+    run_parser.add_argument(
+        "--benchmarks",
+        nargs="+",
+        metavar="NAME",
+        help=f"override the spec's benchmarks; known: {', '.join(workload_names())}",
+    )
+    run_parser.add_argument(
+        "--force", action="store_true", help="re-run even stored points"
+    )
+    run_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress and table"
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    status_parser = sub.add_parser("status", help="summarize the result store")
+    _add_common(status_parser)
+    status_parser.add_argument(
+        "--default-spec",
+        action="store_true",
+        help="compare the store against the built-in grid",
+    )
+    status_parser.set_defaults(func=_cmd_status)
+
+    report_parser = sub.add_parser("report", help="render stored results")
+    report_parser.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR)
+    report_parser.add_argument(
+        "--sort",
+        default="benchmark",
+        help=f"sort column (one of the metrics: {', '.join(DEFAULT_METRICS)})",
+    )
+    report_parser.add_argument(
+        "--benchmark", default=None, help="only show one benchmark's rows"
+    )
+    report_parser.set_defaults(func=_cmd_report)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early; not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

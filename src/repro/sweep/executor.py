@@ -1,0 +1,224 @@
+"""Execution engine of the sweep subsystem.
+
+Jobs are executed either in-process (``workers <= 1``) or fanned out
+across a ``multiprocessing`` pool.  Each pool worker keeps a module-global
+compile cache, so a worker that executes several jobs sharing one
+(benchmark, machine, compiler-options) combination compiles the loops only
+once -- simulation options such as the iteration cap do not invalidate it.
+
+Results flow back to the parent as ``(record, BenchmarkSimulationResult)``
+pairs and are written to the :class:`~repro.sweep.store.ResultStore`; jobs
+whose key is already stored are skipped entirely (incremental re-runs),
+unless ``force=True``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.scheduler.pipeline import compile_loop
+from repro.sim.engine import simulate_compiled_loops
+from repro.sim.stats import BenchmarkSimulationResult
+from repro.sweep.spec import SweepJob, SweepSpec, canonical_json
+from repro.sweep.store import ResultStore
+from repro.sweep.workloads import resolve_workload
+
+#: Per-process compile cache: compile key -> compiled loops.
+_COMPILE_CACHE: dict[str, list] = {}
+
+
+def default_workers(cap: int = 8) -> int:
+    """Default pool size: the CPU count, capped, but at least 2."""
+    return max(2, min(cap, os.cpu_count() or 2))
+
+
+def _compile_cache_key(job: SweepJob) -> str:
+    description = job.describe()
+    description.pop("simulation", None)
+    return canonical_json(description)
+
+
+def make_record(
+    job: SweepJob, result: BenchmarkSimulationResult, elapsed_seconds: float
+) -> dict:
+    """Assemble the queryable JSON record of one executed job."""
+    metrics = result.describe()
+    metrics["ipc"] = round(result.ipc(), 4)
+    return {
+        "key": job.key,
+        "architecture": job.architecture,
+        "job": job.describe(),
+        "metrics": metrics,
+        "elapsed_seconds": round(elapsed_seconds, 4),
+        "worker_pid": os.getpid(),
+    }
+
+
+def execute_job(job: SweepJob) -> tuple[dict, BenchmarkSimulationResult]:
+    """Compile (cached per process) and simulate one job."""
+    started = time.perf_counter()
+    benchmark = resolve_workload(job.benchmark)
+    cache_key = _compile_cache_key(job)
+    compiled = _COMPILE_CACHE.get(cache_key)
+    if compiled is None:
+        compiled = [
+            compile_loop(loop, job.config, job.options) for loop in benchmark.loops
+        ]
+        _COMPILE_CACHE[cache_key] = compiled
+    result = simulate_compiled_loops(
+        compiled,
+        benchmark.name,
+        job.config,
+        job.simulation,
+        architecture=job.architecture,
+    )
+    return make_record(job, result, time.perf_counter() - started), result
+
+
+def _pool_execute(job: SweepJob) -> tuple[str, dict, BenchmarkSimulationResult]:
+    record, result = execute_job(job)
+    return job.key, record, result
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job of a sweep run."""
+
+    job: SweepJob
+    record: dict
+    cached: bool
+    result: Optional[BenchmarkSimulationResult] = None
+
+    @property
+    def key(self) -> str:
+        """Content hash of the job."""
+        return self.job.key
+
+
+@dataclass
+class SweepRunSummary:
+    """Aggregate outcome of one sweep run."""
+
+    total: int
+    executed: int
+    cache_hits: int
+    workers: int
+    elapsed_seconds: float
+    outcomes: list[JobOutcome] = field(default_factory=list)
+
+    def describe(self) -> dict[str, object]:
+        """Flat summary for logs and the CLI."""
+        return {
+            "total_jobs": self.total,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "workers": self.workers,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+        }
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    preferred = os.environ.get("REPRO_SWEEP_START_METHOD")
+    methods = multiprocessing.get_all_start_methods()
+    if preferred and preferred in methods:
+        return multiprocessing.get_context(preferred)
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _dedupe(jobs: Iterable[SweepJob]) -> list[SweepJob]:
+    seen: set[str] = set()
+    unique: list[SweepJob] = []
+    for job in jobs:
+        if job.key not in seen:
+            seen.add(job.key)
+            unique.append(job)
+    return unique
+
+
+def run_jobs(
+    jobs: Sequence[SweepJob],
+    store: Optional[ResultStore] = None,
+    workers: int = 1,
+    force: bool = False,
+    save_payloads: bool = True,
+    progress: Optional[Callable[[int, int, JobOutcome], None]] = None,
+) -> SweepRunSummary:
+    """Execute jobs, skipping stored results, optionally in parallel.
+
+    Duplicate jobs (same content hash) are executed once.  With a store,
+    finished results are persisted as JSON records plus (optionally) full
+    pickle payloads; without one, everything is computed in memory.
+    """
+    started = time.perf_counter()
+    unique = _dedupe(jobs)
+
+    outcomes: list[JobOutcome] = []
+    pending: list[SweepJob] = []
+    for job in unique:
+        record = None if (force or store is None) else store.load_record(job.key)
+        if record is not None:
+            outcomes.append(JobOutcome(job=job, record=record, cached=True))
+        else:
+            pending.append(job)
+
+    done = len(outcomes)
+    total = len(unique)
+    if progress is not None:
+        for index, outcome in enumerate(outcomes, start=1):
+            progress(index, total, outcome)
+
+    def finish(job: SweepJob, record: dict, result: BenchmarkSimulationResult) -> None:
+        nonlocal done
+        if store is not None:
+            store.save(job.key, record, payload=result if save_payloads else None)
+        outcome = JobOutcome(job=job, record=record, cached=False, result=result)
+        outcomes.append(outcome)
+        done += 1
+        if progress is not None:
+            progress(done, total, outcome)
+
+    pool_size = min(workers, len(pending))
+    if pool_size > 1:
+        by_key = {job.key: job for job in pending}
+        context = _mp_context()
+        with context.Pool(processes=pool_size) as pool:
+            for key, record, result in pool.imap_unordered(
+                _pool_execute, pending
+            ):
+                finish(by_key[key], record, result)
+    else:
+        for job in pending:
+            record, result = execute_job(job)
+            finish(job, record, result)
+
+    return SweepRunSummary(
+        total=total,
+        executed=len(pending),
+        cache_hits=total - len(pending),
+        workers=max(1, pool_size),
+        elapsed_seconds=time.perf_counter() - started,
+        outcomes=outcomes,
+    )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    store: Optional[ResultStore] = None,
+    workers: int = 1,
+    force: bool = False,
+    save_payloads: bool = True,
+    progress: Optional[Callable[[int, int, JobOutcome], None]] = None,
+) -> SweepRunSummary:
+    """Expand a spec and execute the resulting grid."""
+    return run_jobs(
+        spec.expand(),
+        store=store,
+        workers=workers,
+        force=force,
+        save_payloads=save_payloads,
+        progress=progress,
+    )

@@ -1,0 +1,102 @@
+"""Rendering of stored sweep results as text tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.sweep.spec import SweepSpec
+from repro.sweep.store import ResultStore
+
+#: Metric columns shown by default, in order.
+DEFAULT_METRICS: tuple[str, ...] = (
+    "total_cycles",
+    "compute_cycles",
+    "stall_cycles",
+    "stall_ratio",
+    "local_hit_ratio",
+    "workload_balance",
+    "ipc",
+)
+
+
+def _job_summary(record: dict) -> dict[str, object]:
+    job = record.get("job", {})
+    machine = job.get("machine", {})
+    compiler = job.get("compiler", {})
+    attraction = machine.get("attraction_buffer", {})
+    return {
+        "benchmark": job.get("benchmark", "?"),
+        "architecture": record.get("architecture", machine.get("organization", "?")),
+        "clusters": machine.get("clusters", "?"),
+        "interleaving": machine.get("interleaving_factor", "?"),
+        "ab_entries": attraction.get("entries", 0) if attraction.get("enabled") else 0,
+        "heuristic": compiler.get("heuristic", "?"),
+        "unroll": compiler.get("unroll_policy", "?"),
+    }
+
+
+def render_report(
+    records: Iterable[dict],
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    sort_by: str = "benchmark",
+    benchmark: Optional[str] = None,
+    title: str = "Sweep results",
+) -> str:
+    """Render records as an aligned table, one row per stored job."""
+    rows = []
+    for record in records:
+        summary = _job_summary(record)
+        if benchmark is not None and summary["benchmark"] != benchmark:
+            continue
+        values = record.get("metrics", {})
+        rows.append(
+            {
+                **summary,
+                **{name: values.get(name, "") for name in metrics},
+                "key": str(record.get("key", ""))[:12],
+            }
+        )
+    if not rows:
+        return f"{title}\n(no stored results)"
+    headers = [
+        "benchmark",
+        "architecture",
+        "clusters",
+        "interleaving",
+        "ab_entries",
+        "heuristic",
+        "unroll",
+        *metrics,
+        "key",
+    ]
+    sort_key = sort_by if sort_by in headers else "benchmark"
+    rows.sort(key=lambda row: (_sortable(row[sort_key]), str(row["benchmark"])))
+    return format_table(headers, [[row[name] for name in headers] for row in rows], title=title)
+
+
+def _sortable(value: object) -> tuple:
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (0, float(value), "")
+    return (1, 0.0, str(value))
+
+
+def render_status(store: ResultStore, spec: Optional[SweepSpec] = None) -> str:
+    """Summarize store contents, optionally against a spec's grid."""
+    keys = store.keys()
+    lines = [f"result store: {store.root}", f"stored records: {len(keys)}"]
+    per_benchmark: dict[str, int] = {}
+    for record in store.records():
+        name = record.get("job", {}).get("benchmark", "?")
+        per_benchmark[name] = per_benchmark.get(name, 0) + 1
+    for name in sorted(per_benchmark):
+        lines.append(f"  {name}: {per_benchmark[name]}")
+    if spec is not None:
+        jobs = spec.expand()
+        stored = set(keys)
+        done = sum(1 for job in jobs if job.key in stored)
+        lines.append(
+            f"spec {spec.name!r}: {done}/{len(jobs)} points stored"
+            + ("" if done < len(jobs) else " (complete)")
+        )
+    return "\n".join(lines)

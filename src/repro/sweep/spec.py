@@ -1,0 +1,299 @@
+"""Declarative descriptions of design-space sweeps.
+
+A sweep is a parameter grid over machine configurations, compiler options
+and benchmarks.  :class:`SweepSpec` holds the grid declaratively (axis name
+-> list of values) and :meth:`SweepSpec.expand` turns it into concrete
+:class:`SweepJob` objects, each carrying the fully built
+:class:`~repro.machine.config.MachineConfig`,
+:class:`~repro.scheduler.pipeline.CompilerOptions` and
+:class:`~repro.sim.engine.SimulationOptions` for one point.
+
+Every job has a stable content-addressed :attr:`SweepJob.key` -- the SHA-256
+of the canonical JSON encoding of the job's complete description.  Two jobs
+with the same benchmark, machine and knobs always hash to the same key, no
+matter how they were constructed (CLI grid, experiment harness, or by hand),
+which is what makes the on-disk result store incremental.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field, fields
+from functools import cached_property
+from typing import Iterable, Mapping, Optional
+
+from repro.machine.config import CacheOrganization, MachineConfig
+from repro.scheduler.core import SchedulingHeuristic
+from repro.scheduler.pipeline import CompilerOptions, default_heuristic_for
+from repro.scheduler.unrolling import UnrollPolicy
+from repro.sim.engine import SimulationOptions
+
+#: Version tag mixed into every job key.  Bump when the meaning of a job's
+#: description changes so stale records are never mistaken for hits.
+JOB_SCHEMA = 2
+
+
+def canonical_json(data: object) -> str:
+    """Deterministic JSON encoding used for hashing."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def job_key(description: Mapping[str, object]) -> str:
+    """Stable content hash of a job description."""
+    payload = canonical_json({"schema": JOB_SCHEMA, "job": dict(description)})
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of the declarative grid, in primitive (JSON-able) terms.
+
+    ``heuristic="auto"`` resolves to the heuristic the paper pairs with the
+    selected cache organization; ``attraction_entries=0`` disables the
+    Attraction Buffers.
+    """
+
+    benchmark: str
+    organization: str = CacheOrganization.WORD_INTERLEAVED.value
+    clusters: int = 4
+    interleaving: int = 4
+    attraction_entries: int = 0
+    unified_latency: int = 1
+    heuristic: str = "auto"
+    unroll_policy: str = UnrollPolicy.SELECTIVE.value
+    variable_alignment: bool = True
+    use_chains: bool = True
+    iteration_cap: int = 256
+    dataset: str = "execution"
+
+    def machine_config(self) -> MachineConfig:
+        """Build the machine configuration of this point."""
+        organization = CacheOrganization(self.organization)
+        if organization is CacheOrganization.UNIFIED:
+            config = MachineConfig.unified(latency=self.unified_latency)
+        elif organization is CacheOrganization.COHERENT:
+            config = MachineConfig.multivliw()
+        else:
+            config = MachineConfig.word_interleaved(
+                attraction_buffers=self.attraction_entries > 0,
+                entries=self.attraction_entries or 16,
+            )
+        if config.num_clusters != self.clusters:
+            config = config.with_clusters(self.clusters)
+        if config.interleaving_factor != self.interleaving:
+            config = config.with_interleaving(self.interleaving)
+        return config
+
+    def compiler_options(self) -> CompilerOptions:
+        """Build the compiler options of this point."""
+        if self.heuristic == "auto":
+            heuristic = default_heuristic_for(self.machine_config())
+        else:
+            heuristic = SchedulingHeuristic(self.heuristic)
+        return CompilerOptions(
+            heuristic=heuristic,
+            unroll_policy=UnrollPolicy(self.unroll_policy),
+            variable_alignment=self.variable_alignment,
+            use_chains=self.use_chains,
+        )
+
+    def simulation_options(self) -> SimulationOptions:
+        """Build the simulation options of this point."""
+        return SimulationOptions(
+            dataset=self.dataset, iteration_cap=self.iteration_cap
+        )
+
+    def architecture_name(self) -> str:
+        """Short display name for reports."""
+        organization = CacheOrganization(self.organization)
+        if organization is CacheOrganization.UNIFIED:
+            return f"unified-L{self.unified_latency}"
+        if organization is CacheOrganization.COHERENT:
+            return "multivliw"
+        heuristic = self.compiler_options().heuristic.value
+        suffix = f"+ab{self.attraction_entries}" if self.attraction_entries else ""
+        return (
+            f"{heuristic}{suffix}/c{self.clusters}i{self.interleaving}"
+        )
+
+    def job(self) -> "SweepJob":
+        """Materialize this point into an executable job."""
+        return SweepJob(
+            benchmark=self.benchmark,
+            architecture=self.architecture_name(),
+            config=self.machine_config(),
+            options=self.compiler_options(),
+            simulation=self.simulation_options(),
+        )
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """A fully built, executable point of the design space.
+
+    The ``architecture`` string is a display name only; it is deliberately
+    excluded from :meth:`describe` (and therefore from :attr:`key`) so two
+    experiments that sweep the same configuration under different labels
+    share one stored result.
+    """
+
+    benchmark: str
+    architecture: str
+    config: MachineConfig
+    options: CompilerOptions
+    simulation: SimulationOptions
+
+    def describe(self) -> dict[str, object]:
+        """Canonical description: the basis of the content hash."""
+        return {
+            "benchmark": self.benchmark,
+            "machine": self.config.describe(),
+            "compiler": self.options.describe(),
+            "simulation": self.simulation.describe(),
+        }
+
+    @cached_property
+    def key(self) -> str:
+        """Content-addressed identity of this job."""
+        return job_key(self.describe())
+
+
+def make_job(
+    benchmark: str,
+    config: MachineConfig,
+    options: CompilerOptions,
+    simulation: Optional[SimulationOptions] = None,
+    architecture: Optional[str] = None,
+) -> SweepJob:
+    """Build a job from already-constructed configuration objects."""
+    return SweepJob(
+        benchmark=benchmark,
+        architecture=architecture or config.organization.value,
+        config=config,
+        options=options,
+        simulation=simulation or SimulationOptions(),
+    )
+
+
+_POINT_FIELDS = {f.name for f in fields(SweepPoint)}
+
+
+@dataclass
+class SweepSpec:
+    """A named parameter grid over benchmarks and :class:`SweepPoint` axes.
+
+    ``axes`` maps a SweepPoint field name to the list of values to sweep;
+    ``base`` overrides SweepPoint defaults for fields that are not swept.
+    Benchmarks are an implicit outermost axis.
+    """
+
+    name: str = "sweep"
+    benchmarks: tuple[str, ...] = ()
+    axes: dict[str, tuple] = field(default_factory=dict)
+    base: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.benchmarks:
+            raise ValueError("a sweep needs at least one benchmark")
+        from repro.sweep.workloads import workload_names
+
+        known = set(workload_names())
+        unknown_benchmarks = [b for b in self.benchmarks if b not in known]
+        if unknown_benchmarks:
+            raise ValueError(
+                f"unknown workloads: {unknown_benchmarks}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        unknown = (set(self.axes) | set(self.base)) - (_POINT_FIELDS - {"benchmark"})
+        if unknown:
+            raise ValueError(
+                f"unknown sweep parameters: {sorted(unknown)}; "
+                f"known: {sorted(_POINT_FIELDS - {'benchmark'})}"
+            )
+        for axis, values in self.axes.items():
+            if not values:
+                raise ValueError(f"axis {axis!r} has no values")
+
+    @property
+    def num_points(self) -> int:
+        """Size of the expanded grid."""
+        count = len(self.benchmarks)
+        for values in self.axes.values():
+            count *= len(values)
+        return count
+
+    def points(self) -> list[SweepPoint]:
+        """Expand the grid into concrete points (deterministic order)."""
+        axis_names = list(self.axes)
+        combos = itertools.product(*(self.axes[name] for name in axis_names))
+        points = []
+        for combo in combos:
+            overrides = dict(self.base)
+            overrides.update(zip(axis_names, combo))
+            for benchmark in self.benchmarks:
+                points.append(SweepPoint(benchmark=benchmark, **overrides))
+        return points
+
+    def expand(self) -> list[SweepJob]:
+        """Expand the grid into executable jobs.
+
+        Raises ValueError (via the compiler-option constructors) when an
+        explicitly requested heuristic is incompatible with the swept cache
+        organization; use ``heuristic="auto"`` to pair them automatically.
+        """
+        jobs = [point.job() for point in self.points()]
+        _check_compatibility(jobs)
+        return jobs
+
+    # ------------------------------------------------------------------
+    # JSON (de)serialization for the CLI
+    # ------------------------------------------------------------------
+    def to_mapping(self) -> dict[str, object]:
+        """Plain-dict form, suitable for JSON."""
+        return {
+            "name": self.name,
+            "benchmarks": list(self.benchmarks),
+            "axes": {name: list(values) for name, values in self.axes.items()},
+            "base": dict(self.base),
+        }
+
+    @staticmethod
+    def from_mapping(data: Mapping[str, object]) -> "SweepSpec":
+        """Build a spec from a plain dict (e.g. a parsed JSON file)."""
+        return SweepSpec(
+            name=str(data.get("name", "sweep")),
+            benchmarks=tuple(data.get("benchmarks", ())),
+            axes={name: tuple(values) for name, values in dict(data.get("axes", {})).items()},
+            base=dict(data.get("base", {})),
+        )
+
+
+def _check_compatibility(jobs: Iterable[SweepJob]) -> None:
+    from repro.scheduler.pipeline import _heuristic_matches
+
+    for job in jobs:
+        if not _heuristic_matches(job.config, job.options.heuristic):
+            raise ValueError(
+                f"job {job.benchmark!r}: heuristic {job.options.heuristic.value} "
+                f"does not match the {job.config.organization.value} cache "
+                "organization (use heuristic='auto' to pair them)"
+            )
+
+
+def default_spec(
+    benchmarks: tuple[str, ...] = ("kernels-mix",),
+    iteration_cap: int = 256,
+) -> SweepSpec:
+    """The 8-point architectural grid of ``examples/design_space_sweep.py``."""
+    return SweepSpec(
+        name="design-space",
+        benchmarks=benchmarks,
+        axes={
+            "clusters": (2, 4),
+            "interleaving": (4, 8),
+            "attraction_entries": (0, 16),
+        },
+        base={"heuristic": "ipbc", "iteration_cap": iteration_cap},
+    )

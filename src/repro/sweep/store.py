@@ -1,0 +1,131 @@
+"""Content-addressed, on-disk store for sweep results.
+
+Layout under the store root::
+
+    records/<key>.json   -- one queryable JSON record per executed job
+    payloads/<key>.pkl   -- the full BenchmarkSimulationResult (optional)
+
+The JSON record is the durable, tool-friendly artefact: it carries the
+complete job description (benchmark, machine, compiler and simulation
+knobs) plus the flat metrics, so results remain queryable long after the
+process that produced them exited.  The pickle payload preserves full
+fidelity (per-operation records, counters) so the experiment harness can
+serve figure computations from the store without re-simulating.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent writers of
+the same key -- e.g. two pool workers racing on a shared configuration --
+cannot leave a torn record behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Iterator, Optional
+
+#: Version of the record format, stored in every record.
+RECORD_SCHEMA = 1
+
+
+class ResultStore:
+    """Directory-backed store of sweep result records keyed by job hash."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self._records_dir = self.root / "records"
+        self._payloads_dir = self.root / "payloads"
+        self._records_dir.mkdir(parents=True, exist_ok=True)
+        self._payloads_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def record_path(self, key: str) -> Path:
+        """Path of the JSON record of ``key``."""
+        return self._records_dir / f"{key}.json"
+
+    def payload_path(self, key: str) -> Path:
+        """Path of the pickle payload of ``key``."""
+        return self._payloads_dir / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return self.record_path(key).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._records_dir.glob("*.json"))
+
+    def keys(self) -> list[str]:
+        """All stored job keys, sorted."""
+        return sorted(path.stem for path in self._records_dir.glob("*.json"))
+
+    def load_record(self, key: str) -> Optional[dict]:
+        """Load one JSON record, or None if absent or unreadable."""
+        path = self.record_path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def records(self) -> Iterator[dict]:
+        """Iterate every stored record, sorted by key."""
+        for key in self.keys():
+            record = self.load_record(key)
+            if record is not None:
+                yield record
+
+    def load_payload(self, key: str) -> Optional[object]:
+        """Unpickle the full simulation result, or None if absent/broken."""
+        path = self.payload_path(key)
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            return None
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def save(
+        self, key: str, record: dict, payload: Optional[object] = None
+    ) -> None:
+        """Atomically persist a record (and optionally its payload)."""
+        if payload is not None:
+            self._atomic_write(
+                self.payload_path(key), pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+        body = dict(record)
+        body.setdefault("schema", RECORD_SCHEMA)
+        body.setdefault("key", key)
+        encoded = json.dumps(body, indent=2, sort_keys=True).encode("utf-8")
+        self._atomic_write(self.record_path(key), encoded)
+
+    def discard(self, key: str) -> None:
+        """Remove a record and its payload if present."""
+        for path in (self.record_path(key), self.payload_path(key)):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+
+    @staticmethod
+    def _atomic_write(path: Path, data: bytes) -> None:
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=path.parent, prefix=f".{path.name}.", delete=False
+        )
+        try:
+            with handle:
+                handle.write(data)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,84 @@
+"""Workload resolution for sweep jobs.
+
+Sweep jobs name their workload with a string so job descriptions stay
+JSON-able; this module turns those names back into
+:class:`~repro.workloads.spec.Benchmark` objects.  Three name forms are
+understood:
+
+* a Mediabench benchmark name (``"epicdec"``, ``"gsmencode"``, ...);
+* ``"kernels-mix"``, the three-kernel mix used by
+  ``examples/design_space_sweep.py``;
+* ``"kernel:<template>"`` for a single synthetic kernel template
+  (``kernel:streaming``, ``kernel:reduction``, ``kernel:strided``,
+  ``kernel:indirect``, ``kernel:stencil``).
+
+Resolution is cached per process, so a pool worker builds each workload
+once no matter how many jobs it executes.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.workloads.generator import (
+    indirect_kernel,
+    reduction_kernel,
+    stencil_kernel,
+    streaming_kernel,
+    strided_kernel,
+)
+from repro.workloads.mediabench import BENCHMARK_NAMES, mediabench_suite
+from repro.workloads.spec import Benchmark, BenchmarkCharacteristics
+
+_KERNEL_TEMPLATES = {
+    "streaming": lambda name: streaming_kernel(name, element_bytes=2, trip_count=2048),
+    "reduction": lambda name: reduction_kernel(name, element_bytes=4, trip_count=2048),
+    "strided": lambda name: strided_kernel(
+        name, element_bytes=2, stride_elements=8, trip_count=1024
+    ),
+    "indirect": lambda name: indirect_kernel(name, trip_count=1024),
+    "stencil": lambda name: stencil_kernel(name, trip_count=1024),
+}
+
+_SYNTHETIC_CHARACTERISTICS = BenchmarkCharacteristics(
+    dominant_element_bytes=2,
+    dominant_fraction=1.0,
+    description="synthetic sweep kernel",
+)
+
+
+def workload_names() -> list[str]:
+    """Every workload name the sweep engine can resolve."""
+    return [
+        *BENCHMARK_NAMES,
+        "kernels-mix",
+        *(f"kernel:{template}" for template in sorted(_KERNEL_TEMPLATES)),
+    ]
+
+
+@lru_cache(maxsize=None)
+def resolve_workload(name: str) -> Benchmark:
+    """Resolve a workload name into a Benchmark (cached per process)."""
+    if name in BENCHMARK_NAMES:
+        return mediabench_suite()[name]
+    if name == "kernels-mix":
+        return Benchmark(
+            name="kernels-mix",
+            loops=[
+                _KERNEL_TEMPLATES["streaming"]("sweep_stream"),
+                _KERNEL_TEMPLATES["reduction"]("sweep_reduce"),
+                _KERNEL_TEMPLATES["strided"]("sweep_stride"),
+            ],
+            characteristics=_SYNTHETIC_CHARACTERISTICS,
+        )
+    if name.startswith("kernel:"):
+        template = name.split(":", 1)[1]
+        if template in _KERNEL_TEMPLATES:
+            return Benchmark(
+                name=name,
+                loops=[_KERNEL_TEMPLATES[template](f"sweep_{template}")],
+                characteristics=_SYNTHETIC_CHARACTERISTICS,
+            )
+    raise KeyError(
+        f"unknown workload {name!r}; known: {', '.join(workload_names())}"
+    )

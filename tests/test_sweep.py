@@ -1,0 +1,335 @@
+"""Tests of the design-space sweep subsystem (repro.sweep)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.common import ExperimentOptions, ExperimentRunner, interleaved_setup
+from repro.machine.config import MachineConfig
+from repro.scheduler.core import SchedulingHeuristic
+from repro.scheduler.pipeline import CompilerOptions, compile_loop
+from repro.sim.engine import SimulationOptions, simulate_compiled_loops
+from repro.sweep.executor import execute_job, run_jobs
+from repro.sweep.spec import SweepJob, SweepPoint, SweepSpec, default_spec, make_job
+from repro.sweep.store import ResultStore
+from repro.sweep.workloads import resolve_workload, workload_names
+
+from tests.conftest import build_streaming_loop
+
+FAST = {"iteration_cap": 64}
+
+
+def small_spec(benchmarks=("kernel:streaming",), **base) -> SweepSpec:
+    merged = dict(FAST)
+    merged.update(base)
+    return SweepSpec(
+        name="test",
+        benchmarks=benchmarks,
+        axes={"clusters": (2, 4)},
+        base=merged,
+    )
+
+
+# ----------------------------------------------------------------------
+# Grid expansion
+# ----------------------------------------------------------------------
+class TestGridExpansion:
+    def test_default_spec_is_eight_points(self):
+        spec = default_spec()
+        assert spec.num_points == 8
+        jobs = spec.expand()
+        assert len(jobs) == 8
+        assert len({job.key for job in jobs}) == 8
+
+    def test_axes_and_base_are_applied(self):
+        spec = SweepSpec(
+            name="grid",
+            benchmarks=("kernel:streaming", "kernel:reduction"),
+            axes={"clusters": (2, 4), "attraction_entries": (0, 16)},
+            base={"heuristic": "ipbc", "iteration_cap": 32},
+        )
+        jobs = spec.expand()
+        assert len(jobs) == 8
+        assert {job.benchmark for job in jobs} == {
+            "kernel:streaming",
+            "kernel:reduction",
+        }
+        assert {job.config.num_clusters for job in jobs} == {2, 4}
+        assert {job.config.attraction_buffer.enabled for job in jobs} == {True, False}
+        assert all(job.simulation.iteration_cap == 32 for job in jobs)
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep parameters"):
+            SweepSpec(name="bad", benchmarks=("epicdec",), axes={"bogus": (1,)})
+
+    def test_incompatible_heuristic_rejected(self):
+        spec = SweepSpec(
+            name="bad",
+            benchmarks=("kernel:streaming",),
+            axes={"organization": ("unified",)},
+            base={"heuristic": "ipbc"},
+        )
+        with pytest.raises(ValueError, match="does not match"):
+            spec.expand()
+
+    def test_auto_heuristic_pairs_with_organization(self):
+        spec = SweepSpec(
+            name="auto",
+            benchmarks=("kernel:streaming",),
+            axes={"organization": ("word-interleaved", "unified", "coherent")},
+        )
+        by_org = {
+            job.config.organization.value: job.options.heuristic for job in spec.expand()
+        }
+        assert by_org["word-interleaved"] is SchedulingHeuristic.IPBC
+        assert by_org["unified"] is SchedulingHeuristic.BASE
+        assert by_org["coherent"] is SchedulingHeuristic.MULTIVLIW
+
+    def test_spec_round_trips_through_json(self):
+        spec = default_spec()
+        clone = SweepSpec.from_mapping(json.loads(json.dumps(spec.to_mapping())))
+        assert [job.key for job in clone.expand()] == [
+            job.key for job in spec.expand()
+        ]
+
+    def test_workload_names_resolve(self):
+        for name in ("kernels-mix", "kernel:streaming", "epicdec"):
+            assert name in workload_names()
+            assert len(resolve_workload(name).loops) >= 1
+
+
+# ----------------------------------------------------------------------
+# Job hashing
+# ----------------------------------------------------------------------
+class TestJobHashing:
+    def test_same_point_same_key(self):
+        a = SweepPoint(benchmark="epicdec", clusters=4, **FAST).job()
+        b = SweepPoint(benchmark="epicdec", clusters=4, **FAST).job()
+        assert a.key == b.key
+
+    def test_display_name_does_not_change_key(self):
+        point = SweepPoint(benchmark="epicdec", **FAST)
+        renamed = SweepJob(
+            benchmark=point.benchmark,
+            architecture="some-other-label",
+            config=point.machine_config(),
+            options=point.compiler_options(),
+            simulation=point.simulation_options(),
+        )
+        assert renamed.key == point.job().key
+
+    def test_any_parameter_changes_key(self):
+        base = SweepPoint(benchmark="epicdec", **FAST)
+        variants = [
+            SweepPoint(benchmark="gsmdec", **FAST),
+            SweepPoint(benchmark="epicdec", clusters=2, **FAST),
+            SweepPoint(benchmark="epicdec", attraction_entries=16, **FAST),
+            SweepPoint(benchmark="epicdec", unroll_policy="none", **FAST),
+            SweepPoint(benchmark="epicdec", iteration_cap=65),
+        ]
+        keys = {base.job().key} | {variant.job().key for variant in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_point_and_object_construction_agree(self):
+        point = SweepPoint(benchmark="epicdec", heuristic="ipbc", **FAST)
+        job = make_job(
+            "epicdec",
+            MachineConfig.word_interleaved(),
+            CompilerOptions(heuristic=SchedulingHeuristic.IPBC),
+            SimulationOptions(iteration_cap=64),
+        )
+        assert job.key == point.job().key
+
+
+# ----------------------------------------------------------------------
+# Result store
+# ----------------------------------------------------------------------
+class TestResultStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        record = {"key": "abc", "metrics": {"total_cycles": 42}}
+        store.save("abc", record, payload={"anything": [1, 2, 3]})
+
+        reopened = ResultStore(tmp_path / "store")
+        assert "abc" in reopened
+        assert reopened.load_record("abc")["metrics"]["total_cycles"] == 42
+        assert reopened.load_payload("abc") == {"anything": [1, 2, 3]}
+        assert reopened.keys() == ["abc"]
+
+        reopened.discard("abc")
+        assert "abc" not in reopened
+        assert reopened.load_payload("abc") is None
+
+    def test_missing_and_corrupt_records_are_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.load_record("nope") is None
+        store.record_path("broken").write_text("{not json", encoding="utf-8")
+        assert store.load_record("broken") is None
+
+    def test_cache_hit_skips_execution(self, tmp_path):
+        store = ResultStore(tmp_path)
+        jobs = small_spec().expand()
+
+        first = run_jobs(jobs, store=store, workers=1)
+        assert first.executed == len(jobs)
+        assert first.cache_hits == 0
+
+        second = run_jobs(jobs, store=store, workers=1)
+        assert second.executed == 0
+        assert second.cache_hits == len(jobs)
+        assert all(outcome.cached for outcome in second.outcomes)
+
+        forced = run_jobs(jobs, store=store, workers=1, force=True)
+        assert forced.executed == len(jobs)
+
+    def test_records_are_queryable_json(self, tmp_path):
+        store = ResultStore(tmp_path)
+        jobs = small_spec().expand()
+        run_jobs(jobs, store=store, workers=1)
+        for record in store.records():
+            assert record["job"]["benchmark"] == "kernel:streaming"
+            assert record["metrics"]["total_cycles"] > 0
+            assert record["job"]["machine"]["clusters"] in (2, 4)
+
+
+# ----------------------------------------------------------------------
+# Parallel execution
+# ----------------------------------------------------------------------
+class TestParallelExecution:
+    def test_parallel_matches_serial(self, tmp_path):
+        spec = small_spec(benchmarks=("kernel:streaming", "kernel:reduction"))
+        jobs = spec.expand()
+        assert len(jobs) == 4
+
+        serial_store = ResultStore(tmp_path / "serial")
+        parallel_store = ResultStore(tmp_path / "parallel")
+        serial = run_jobs(jobs, store=serial_store, workers=1)
+        parallel = run_jobs(spec.expand(), store=parallel_store, workers=2)
+        assert parallel.executed == len(jobs)
+
+        assert serial_store.keys() == parallel_store.keys()
+        for key in serial_store.keys():
+            serial_metrics = serial_store.load_record(key)["metrics"]
+            parallel_metrics = parallel_store.load_record(key)["metrics"]
+            assert serial_metrics == parallel_metrics
+
+    def test_duplicate_jobs_executed_once(self, tmp_path):
+        jobs = small_spec().expand()
+        summary = run_jobs(jobs + jobs, store=ResultStore(tmp_path), workers=1)
+        assert summary.total == len(jobs)
+        assert summary.executed == len(jobs)
+
+
+# ----------------------------------------------------------------------
+# Experiment harness integration
+# ----------------------------------------------------------------------
+class TestExperimentRunnerIntegration:
+    OPTIONS = ExperimentOptions(
+        benchmarks=("gsmdec",), simulation_iteration_cap=32
+    )
+
+    def test_store_backed_runner_reuses_results(self, tmp_path):
+        setup = interleaved_setup(SchedulingHeuristic.IPBC)
+        first_runner = ExperimentRunner(self.OPTIONS, store=tmp_path / "store")
+        benchmark = first_runner.benchmark("gsmdec")
+        first = first_runner.run_benchmark(benchmark, setup)
+
+        second_runner = ExperimentRunner(self.OPTIONS, store=tmp_path / "store")
+        second = second_runner.run_benchmark(benchmark, setup)
+        # Served from the store: nothing was compiled in the new runner.
+        assert second_runner._compile_cache == {}
+        assert second.total_cycles == first.total_cycles
+        assert second.local_hit_ratio() == first.local_hit_ratio()
+
+    def test_relabeled_result_does_not_alias_earlier_reference(self, tmp_path):
+        runner = ExperimentRunner(self.OPTIONS, store=tmp_path / "store")
+        benchmark = runner.benchmark("gsmdec")
+        first = runner.run_benchmark(
+            benchmark, interleaved_setup(SchedulingHeuristic.IPBC, name="baseline")
+        )
+        second = runner.run_benchmark(
+            benchmark, interleaved_setup(SchedulingHeuristic.IPBC, name="fig/ipbc")
+        )
+        # Same stored configuration under a new display name: the earlier
+        # reference must keep its label, and the data must be shared.
+        assert first.architecture == "baseline"
+        assert second.architecture == "fig/ipbc"
+        assert second.total_cycles == first.total_cycles
+
+    def test_prewarm_fills_memo(self, tmp_path):
+        runner = ExperimentRunner(self.OPTIONS, store=tmp_path / "store")
+        setup = interleaved_setup(SchedulingHeuristic.IPBC)
+        summary = runner.prewarm([("gsmdec", setup)], workers=1)
+        assert summary.executed == 1
+        job = runner.job_for("gsmdec", setup)
+        assert job.key in runner._result_memo
+        # run_benchmark is now a pure cache hit.
+        result = runner.run_benchmark(runner.benchmark("gsmdec"), setup)
+        assert result is runner._result_memo[job.key]
+
+
+# ----------------------------------------------------------------------
+# Regression: engine.py KeyError on mutated attractable hints
+# ----------------------------------------------------------------------
+class TestAttractableMutationRegression:
+    """Pins the fix for the seed KeyError at sim/engine.py:164.
+
+    Operation hashing used to include the MemoryAccess descriptor, so the
+    attractable-hint ablation's in-place ``attractable`` flip changed the
+    hash of operations already used as schedule-entry keys and every later
+    lookup raised KeyError.  Identity (uid) hashing keeps lookups stable.
+    """
+
+    def test_schedule_lookup_survives_attractable_mutation(self):
+        config = MachineConfig.word_interleaved(attraction_buffers=True, entries=8)
+        options = CompilerOptions(heuristic=SchedulingHeuristic.IPBC)
+        compiled = compile_loop(build_streaming_loop(), config, options)
+
+        ops = compiled.loop.memory_operations
+        assert all(op in compiled.schedule.entries for op in ops)
+        for op in ops:
+            object.__setattr__(op.memory, "attractable", False)
+        try:
+            # Lookups by the mutated operations must still succeed...
+            assert all(op in compiled.schedule.entries for op in ops)
+            # ...and the simulator must accept the mutated loop.
+            result = simulate_compiled_loops(
+                [compiled], "regression", config, SimulationOptions(iteration_cap=32)
+            )
+            assert result.total_cycles > 0
+        finally:
+            for op in ops:
+                object.__setattr__(op.memory, "attractable", True)
+
+    def test_execute_job_after_hint_style_mutation(self):
+        job = SweepPoint(benchmark="kernel:streaming", iteration_cap=32).job()
+        record, result = execute_job(job)
+        assert record["metrics"]["total_cycles"] == result.describe()["total_cycles"]
+
+    def test_hint_ablation_restores_shared_memory_hints(self):
+        from repro.experiments.ablations import run_attractable_hint_ablation
+
+        options = ExperimentOptions(
+            benchmarks=("jpegdec",), simulation_iteration_cap=32
+        )
+        runner = ExperimentRunner(options)
+        run_attractable_hint_ablation(runner=runner, benchmark_name="jpegdec")
+        # Unrolled clones share MemoryAccess objects with the source suite;
+        # the restore must bring every hint back to its original value.
+        for loop in runner.benchmark("jpegdec").loops:
+            for op in loop.memory_operations:
+                assert op.memory.attractable is True
+
+    def test_compile_cache_distinguishes_profile_options(self):
+        options = ExperimentOptions(
+            benchmarks=("gsmdec",), simulation_iteration_cap=32
+        )
+        runner = ExperimentRunner(options)
+        benchmark = runner.benchmark("gsmdec")
+        setup = interleaved_setup(SchedulingHeuristic.IPBC)
+        tweaked = setup.with_options(profile_iteration_cap=8)
+        first = runner.compile_benchmark(benchmark, setup)
+        second = runner.compile_benchmark(benchmark, tweaked)
+        assert first is not second
