@@ -6,6 +6,11 @@ configuration) is shared through a session-scoped :class:`ExperimentRunner`
 whose compilation cache persists across benchmark files, so the whole harness
 runs in minutes.  Rendered reports are written to ``benchmarks/results/`` so
 the regenerated rows/series can be inspected after the run.
+
+Compilation is deterministic and independent of process history (see
+``DataDependenceGraph.recurrences``), so every file under ``results/`` is
+reproduced byte-identically whether its benchmark runs standalone or as part
+of the full suite.
 """
 
 from __future__ import annotations

@@ -176,6 +176,10 @@ class DataDependenceGraph:
     #: remains correct even if some recurrences are never enumerated.
     MAX_RECURRENCES = 128
     RECURRENCE_LENGTH_BOUND = 24
+    #: How many cycles to enumerate before sorting and truncating to
+    #: MAX_RECURRENCES, so the kept subset prefers the short (II-critical)
+    #: cycles rather than whatever the enumeration yields first.
+    RECURRENCE_ENUMERATION_SLACK = 4
 
     def recurrences(
         self,
@@ -184,10 +188,16 @@ class DataDependenceGraph:
     ) -> list["Recurrence"]:
         """Enumerate elementary recurrences (dependence cycles), bounded.
 
-        Cycles are enumerated shortest-first up to ``length_bound`` nodes and
-        at most ``max_count`` cycles are returned; results are cached until
-        the graph changes.  Loop bodies are small, so the bounds are only hit
-        by pathological conservative-disambiguation graphs.
+        Cycles are returned shortest-first, at most ``max_count`` of them,
+        each rotated to start at its earliest program-order node; results are
+        cached until the graph changes.  Loop bodies are small, so the bounds
+        are only hit by pathological conservative-disambiguation graphs.
+
+        The enumeration runs over program-order node indices rather than the
+        Operation objects themselves: Operation hashes are process-global
+        uids, so cycle enumeration over them (networkx iterates node sets)
+        would depend on how many operations were created earlier in the
+        process, making schedules differ between otherwise identical runs.
         """
         max_count = max_count if max_count is not None else self.MAX_RECURRENCES
         length_bound = (
@@ -203,16 +213,26 @@ class DataDependenceGraph:
         if cached is not None and cached[0] == cache_key:
             return list(cached[1])
 
-        recurrences: list[Recurrence] = []
+        order = {op: index for index, op in enumerate(self._ops_in_order)}
         simple = nx.DiGraph()
-        simple.add_nodes_from(self._graph.nodes)
+        simple.add_nodes_from(range(len(self._ops_in_order)))
         for src, dst in self._graph.edges():
-            simple.add_edge(src, dst)
+            simple.add_edge(order[src], order[dst])
         bound = min(length_bound, len(self._ops_in_order)) or None
+        enumeration_cap = max_count * self.RECURRENCE_ENUMERATION_SLACK
+        cycles: set[tuple[int, ...]] = set()
         for cycle in nx.simple_cycles(simple, length_bound=bound):
-            edges = self._cycle_edges(cycle)
+            pivot = cycle.index(min(cycle))
+            cycles.add(tuple(cycle[pivot:] + cycle[:pivot]))
+            if len(cycles) >= enumeration_cap:
+                break
+
+        recurrences: list[Recurrence] = []
+        for indices in sorted(cycles, key=lambda c: (len(c), c)):
+            cycle_ops = [self._ops_in_order[index] for index in indices]
+            edges = self._cycle_edges(cycle_ops)
             if edges is not None:
-                recurrences.append(Recurrence(tuple(cycle), tuple(edges)))
+                recurrences.append(Recurrence(tuple(cycle_ops), tuple(edges)))
             if len(recurrences) >= max_count:
                 break
         self._recurrence_cache = (cache_key, list(recurrences))

@@ -193,6 +193,55 @@ class TestRecurrences:
         recurrences = ddg.recurrences(max_count=50)
         assert 0 < len(recurrences) <= 50
 
+    def test_recurrences_shortest_first(self):
+        ddg = DataDependenceGraph()
+        ops = [ddg.add_operation(make_operation(f"op{i}", "add")) for i in range(4)]
+        # A long 4-cycle plus a short 2-cycle embedded in it.
+        for i in range(4):
+            ddg.connect(ops[i], ops[(i + 1) % 4], DependenceKind.REG_FLOW, 1 if i == 3 else 0)
+        ddg.connect(ops[1], ops[0], DependenceKind.REG_FLOW, 1)
+        lengths = [len(rec.nodes) for rec in ddg.recurrences()]
+        assert lengths == sorted(lengths)
+
+    def test_recurrences_independent_of_operation_uids(self):
+        # Operation hashes are process-global uids; recurrence enumeration
+        # (and with it every schedule downstream) must not depend on how many
+        # operations were created earlier in the process.  Regression test for
+        # run-order-dependent benchmark results.
+        def build():
+            ddg = DataDependenceGraph()
+            stores = [
+                ddg.add_operation(
+                    make_operation(
+                        f"st{i}",
+                        "st",
+                        MemoryAccess(array="a", stride_bytes=4, is_store=True),
+                    )
+                )
+                for i in range(4)
+            ]
+            loads = [
+                ddg.add_operation(
+                    make_operation(
+                        f"ld{i}", "ld", MemoryAccess(array="a", stride_bytes=4)
+                    )
+                )
+                for i in range(8)
+            ]
+            for st in stores:
+                for ld in loads:
+                    ddg.connect(st, ld, DependenceKind.MEMORY, 0)
+                    ddg.connect(ld, st, DependenceKind.MEMORY, 1)
+            return ddg
+
+        def names(ddg):
+            return [tuple(op.name for op in rec.nodes) for rec in ddg.recurrences(max_count=20)]
+
+        first = names(build())
+        for i in range(997):  # shift subsequent uids by an odd prime
+            make_operation(f"uid_burn_{i}", "add")
+        assert names(build()) == first
+
     def test_recurrence_cache_reused(self):
         ddg = DataDependenceGraph()
         a = ddg.add_operation(make_operation("a", "add"))

@@ -260,3 +260,31 @@ class TestPipeline:
     def test_unrolled_variant_preserves_original(self, compiled_streaming_ipbc):
         if compiled_streaming_ipbc.unroll_factor > 1:
             assert compiled_streaming_ipbc.loop.original is compiled_streaming_ipbc.original
+
+    def test_compile_independent_of_operation_uids(self):
+        # Schedules must depend only on the loop and the options, not on how
+        # many Operation uids the process allocated beforehand (regression:
+        # run-order-dependent benchmark results via recurrence enumeration).
+        config = MachineConfig.word_interleaved()
+        options = CompilerOptions(
+            heuristic=SchedulingHeuristic.IPBC, unroll_policy=UnrollPolicy.OUF
+        )
+        loop = long_chain_kernel("uid_chain", num_loads=10, trip_count=256)
+
+        def signature():
+            compiled = compile_loop(loop, config, options)
+            return (
+                compiled.schedule.ii,
+                compiled.unroll_factor,
+                tuple(
+                    sorted(
+                        (op.name, entry.start_cycle, entry.cluster)
+                        for op, entry in compiled.schedule.entries.items()
+                    )
+                ),
+            )
+
+        first = signature()
+        for i in range(997):
+            make_operation(f"uid_burn_{i}", "add")
+        assert signature() == first
