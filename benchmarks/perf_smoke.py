@@ -1,0 +1,119 @@
+"""Performance smoke benchmark: time the compile+simulate hot path.
+
+Runs the full pipeline (profile, latency-assign, schedule over the
+unrolling candidates, then simulate) on three representative synthetic
+kernels and writes the wall-clock numbers to ``BENCH_perf.json`` at the
+repository root.  The file seeds the perf trajectory of the project: CI or
+a developer can diff it across commits to spot hot-path regressions that
+the (correctness-oriented) tier-1 suite would never notice.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py [--repeats N] [--output FILE]
+
+Times are the *minimum* over ``--repeats`` runs (minimum is the standard
+low-noise estimator for micro-benchmarks); cycle counts are asserted
+deterministic across repeats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.machine.config import MachineConfig
+from repro.model.predict import predict_benchmark
+from repro.scheduler.pipeline import CompilerOptions, compile_loop
+from repro.sim.engine import SimulationOptions, simulate_compiled_loops
+from repro.sweep.workloads import resolve_workload
+
+#: The three representative kernels: a unit-stride stream (unrolling win),
+#: a loop-carried reduction (recurrence bound) and a strided walk
+#: (locality/interleaving sensitive).
+KERNELS = ("kernel:streaming", "kernel:reduction", "kernel:strided")
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+
+def time_kernel(name: str, repeats: int) -> dict[str, object]:
+    """Time compile, simulate and model-predict for one kernel."""
+    benchmark = resolve_workload(name)
+    config = MachineConfig.word_interleaved()
+    options = CompilerOptions()
+    simulation = SimulationOptions(iteration_cap=256)
+
+    compile_times, simulate_times, predict_times = [], [], []
+    cycles: set[float] = set()
+    for _ in range(repeats):
+        started = time.perf_counter()
+        compiled = [
+            compile_loop(loop, config, options) for loop in benchmark.loops
+        ]
+        compile_times.append(time.perf_counter() - started)
+
+        started = time.perf_counter()
+        result = simulate_compiled_loops(
+            compiled, benchmark.name, config, simulation
+        )
+        simulate_times.append(time.perf_counter() - started)
+        cycles.add(result.total_cycles)
+
+        started = time.perf_counter()
+        predict_benchmark(benchmark, config, options, simulation)
+        predict_times.append(time.perf_counter() - started)
+
+    if len(cycles) != 1:
+        raise AssertionError(
+            f"{name}: nondeterministic cycle counts across repeats: {cycles}"
+        )
+    return {
+        "compile_seconds": round(min(compile_times), 4),
+        "simulate_seconds": round(min(simulate_times), 4),
+        "model_predict_seconds": round(min(predict_times), 4),
+        "total_cycles": cycles.pop(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (default 3)"
+    )
+    parser.add_argument(
+        "--output", default=str(DEFAULT_OUTPUT), help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    report: dict[str, object] = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "repeats": args.repeats,
+        "kernels": {},
+    }
+    total = 0.0
+    for name in KERNELS:
+        timing = time_kernel(name, args.repeats)
+        report["kernels"][name] = timing
+        total += timing["compile_seconds"] + timing["simulate_seconds"]
+        print(
+            f"{name:20s} compile={timing['compile_seconds']:.3f}s "
+            f"simulate={timing['simulate_seconds']:.3f}s "
+            f"model={timing['model_predict_seconds']:.3f}s "
+            f"cycles={timing['total_cycles']}"
+        )
+    report["compile_plus_simulate_seconds"] = round(total, 4)
+
+    output = Path(args.output)
+    output.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,26 @@ def speedup(baseline_cycles: float, cycles: float) -> float:
     return baseline_cycles / cycles if cycles else 0.0
 
 
+def relative_error(predicted: float, actual: float) -> float:
+    """|predicted - actual| / actual, with an empty-actual guard.
+
+    The model-validation experiment reports this per benchmark; by
+    convention a prediction for a zero actual is a full (1.0) error unless
+    it is also zero.
+    """
+    if actual == 0:
+        return 0.0 if predicted == 0 else 1.0
+    return abs(predicted - actual) / abs(actual)
+
+
+def mean_absolute_relative_error(
+    pairs: Iterable[tuple[float, float]]
+) -> float:
+    """MARE over (predicted, actual) pairs -- the model's headline metric."""
+    errors = [relative_error(predicted, actual) for predicted, actual in pairs]
+    return arithmetic_mean(errors)
+
+
 # ----------------------------------------------------------------------
 # Figure 4: access classification
 # ----------------------------------------------------------------------

@@ -1,0 +1,162 @@
+"""Model validation: analytical predictions vs. the simulator.
+
+For every benchmark of the suite and a small set of representative
+architectures, this experiment simulates the configuration (through the
+shared :class:`~repro.experiments.common.ExperimentRunner`, so results are
+memoized and store-backed like every other experiment), predicts the same
+configuration with :mod:`repro.model`, fits the calibration coefficients on
+the collected pairs, and reports the relative cycle-count error before and
+after calibration -- per benchmark and overall.
+
+This is the experiment that backs the pruning mode's honesty: the overall
+calibrated MARE it prints is the error budget a ``--prune-model`` sweep
+operates under.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.metrics import relative_error
+from repro.experiments.common import (
+    ArchitectureSetup,
+    ExperimentOptions,
+    ExperimentResult,
+    ExperimentRunner,
+    interleaved_setup,
+    unified_setup,
+)
+from repro.model.calibrate import (
+    CalibrationSample,
+    ModelCalibration,
+    fit_calibration,
+)
+from repro.model.predict import PredictedResult, predict_benchmark
+
+
+@dataclass
+class ModelValidationRow:
+    """Model-vs-simulator comparison of one (benchmark, setup) pair."""
+
+    benchmark: str
+    architecture: str
+    predicted_cycles: float
+    calibrated_cycles: float
+    actual_cycles: float
+
+    @property
+    def raw_error(self) -> float:
+        """Relative error of the uncalibrated prediction."""
+        return relative_error(self.predicted_cycles, self.actual_cycles)
+
+    @property
+    def calibrated_error(self) -> float:
+        """Relative error after calibration."""
+        return relative_error(self.calibrated_cycles, self.actual_cycles)
+
+
+def _setups() -> list[ArchitectureSetup]:
+    return [
+        interleaved_setup(name="model/ipbc"),
+        interleaved_setup(attraction_buffers=True, name="model/ipbc+ab"),
+        unified_setup(latency=1, name="model/unified-L1"),
+    ]
+
+
+def sweep_setups() -> list:
+    """The setups this experiment simulates, for sweep prewarming."""
+    return _setups()
+
+
+def _collect_samples(
+    runner: ExperimentRunner,
+) -> tuple[
+    dict[tuple[str, str], PredictedResult],
+    dict[tuple[str, str], float],
+    list[CalibrationSample],
+]:
+    """Predict and simulate every (benchmark, setup) pair of the suite."""
+    simulation = runner.options.simulation_options()
+    predictions: dict[tuple[str, str], PredictedResult] = {}
+    actuals: dict[tuple[str, str], float] = {}
+    samples: list[CalibrationSample] = []
+    for benchmark in runner.benchmarks:
+        for setup in _setups():
+            predicted = predict_benchmark(
+                benchmark,
+                setup.config,
+                setup.options,
+                simulation,
+                architecture=setup.name,
+            )
+            actual = runner.run_benchmark(benchmark, setup)
+            key = (benchmark.name, setup.name)
+            predictions[key] = predicted
+            actuals[key] = actual.total_cycles
+            samples.append(
+                CalibrationSample.from_results(predicted, actual.total_cycles)
+            )
+    return predictions, actuals, samples
+
+
+def run_model_validation(
+    runner: Optional[ExperimentRunner] = None,
+    options: Optional[ExperimentOptions] = None,
+) -> tuple[list[ModelValidationRow], ExperimentResult]:
+    """Compare model predictions against the simulator across the suite."""
+    runner = runner or ExperimentRunner(options)
+    predictions, actuals, samples = _collect_samples(runner)
+    calibration, report = fit_calibration(samples)
+
+    rows: list[ModelValidationRow] = []
+    result = ExperimentResult(
+        title="Model validation - predicted vs simulated cycle counts",
+        headers=[
+            "benchmark",
+            "architecture",
+            "predicted",
+            "calibrated",
+            "simulated",
+            "raw_error",
+            "cal_error",
+        ],
+    )
+    for (benchmark_name, setup_name), predicted in predictions.items():
+        calibrated = calibration.apply(predicted)
+        row = ModelValidationRow(
+            benchmark=benchmark_name,
+            architecture=setup_name,
+            predicted_cycles=predicted.total_cycles,
+            calibrated_cycles=calibrated.total_cycles,
+            actual_cycles=actuals[(benchmark_name, setup_name)],
+        )
+        rows.append(row)
+        result.add_row(
+            [
+                row.benchmark,
+                row.architecture,
+                round(row.predicted_cycles),
+                round(row.calibrated_cycles),
+                round(row.actual_cycles),
+                row.raw_error,
+                row.calibrated_error,
+            ]
+        )
+    result.notes.append(
+        f"MARE raw={report.mare_raw:.3f} calibrated={report.mare_calibrated:.3f} "
+        f"over {len(samples)} samples; per-benchmark coefficients fitted by "
+        "least squares on (compute, stall) predictions"
+    )
+    return rows, result
+
+
+def fitted_calibration(
+    runner: Optional[ExperimentRunner] = None,
+    options: Optional[ExperimentOptions] = None,
+) -> ModelCalibration:
+    """Convenience: run the validation and return just the calibration."""
+    runner = runner or ExperimentRunner(options)
+    _, _, samples = _collect_samples(runner)
+    calibration, _ = fit_calibration(samples)
+    return calibration

@@ -18,7 +18,15 @@ import argparse
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.experiments import ablations, figure4, figure5, figure6, figure7, figure8
+from repro.experiments import (
+    ablations,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    model_validation,
+)
 from repro.experiments.ablations import (
     run_attraction_buffer_ablation,
     run_unrolling_ablation,
@@ -35,6 +43,7 @@ from repro.experiments.figure6 import run_figure6
 from repro.experiments.figure7 import run_figure7
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.latency_example import run_latency_example
+from repro.experiments.model_validation import run_model_validation
 from repro.experiments.table1 import run_table1
 from repro.workloads.mediabench import BENCHMARK_NAMES
 
@@ -123,6 +132,12 @@ EXPERIMENTS: tuple[ExperimentEntry, ...] = (
         "unrolling policy ablation",
         _wrap(run_unrolling_ablation),
         prewarm=_suite_pairs(ablations.sweep_setups_unrolling),
+    ),
+    ExperimentEntry(
+        "model-validation",
+        "analytical model vs simulator error",
+        _wrap(run_model_validation),
+        prewarm=_suite_pairs(model_validation.sweep_setups),
     ),
 )
 

@@ -317,6 +317,72 @@ class MachineConfig:
         """Return a copy with a different interleaving factor."""
         return replace(self, interleaving_factor=interleaving_factor)
 
+    @staticmethod
+    def from_description(data: dict) -> "MachineConfig":
+        """Rebuild a configuration from :meth:`describe` output.
+
+        The sweep store persists job descriptions as JSON; this inverse makes
+        stored records self-describing -- the calibration pass of
+        :mod:`repro.model` re-predicts stored jobs without needing the
+        process that produced them.  Round-trips exactly:
+        ``MachineConfig.from_description(c.describe()) == c``.
+        """
+        fu = data["fu_per_cluster"]
+        lat = data["latencies"]
+        ab = data["attraction_buffer"]
+        op_lat = data["op_latencies"]
+        return MachineConfig(
+            num_clusters=int(data["clusters"]),
+            organization=CacheOrganization(data["organization"]),
+            functional_units=FunctionalUnitSet(
+                integer=int(fu["integer"]),
+                float_=int(fu["float"]),
+                memory=int(fu["memory"]),
+            ),
+            cache=CacheGeometry(
+                size_bytes=int(data["cache_total_bytes"]),
+                block_bytes=int(data["cache_block_bytes"]),
+                associativity=int(data["cache_associativity"]),
+            ),
+            interleaving_factor=int(data["interleaving_factor"]),
+            latencies=MemoryLatencies(
+                local_hit=int(lat["local_hit"]),
+                remote_hit=int(lat["remote_hit"]),
+                local_miss=int(lat["local_miss"]),
+                remote_miss=int(lat["remote_miss"]),
+                store_issue=int(data["store_issue_latency"]),
+            ),
+            op_latencies=OperationLatencies(
+                int_alu=int(op_lat["int_alu"]),
+                int_mul=int(op_lat["int_mul"]),
+                fp_alu=int(op_lat["fp_alu"]),
+                fp_mul=int(op_lat["fp_mul"]),
+                fp_div=int(op_lat["fp_div"]),
+                branch=int(op_lat["branch"]),
+                copy=int(op_lat["copy"]),
+            ),
+            register_buses=BusConfig(
+                count=int(data["register_buses"]),
+                frequency_divisor=int(data["register_bus_divisor"]),
+            ),
+            memory_buses=BusConfig(
+                count=int(data["memory_buses"]),
+                frequency_divisor=int(data["memory_bus_divisor"]),
+            ),
+            attraction_buffer=AttractionBufferConfig(
+                enabled=bool(ab["enabled"]),
+                entries=int(ab["entries"]),
+                associativity=int(ab["associativity"]),
+            ),
+            next_level=NextLevelConfig(
+                latency=int(data["next_level_latency"]),
+                ports=int(data["next_level_ports"]),
+            ),
+            unified_cache_latency=int(data["unified_cache_latency"]),
+            unified_cache_ports=int(data["unified_cache_ports"]),
+            registers_per_cluster=int(data["registers_per_cluster"]),
+        )
+
     def describe(self) -> dict[str, object]:
         """A flat dictionary used by reports and Table-2 style output."""
         return {

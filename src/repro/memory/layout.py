@@ -23,6 +23,7 @@ the paper.
 from __future__ import annotations
 
 import hashlib
+import math
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
@@ -150,6 +151,45 @@ class DataLayout:
     def placements(self) -> dict[str, PlacedArray]:
         """All placements made so far."""
         return dict(self._placements)
+
+
+def stride_cluster_fractions(
+    config: MachineConfig, stride_bytes: int, phase_bytes: int = 0
+) -> dict[int, float]:
+    """Home-cluster visit fractions of an aligned strided address stream.
+
+    The cluster pattern of ``base + phase + k * stride`` is periodic in ``k``
+    with period ``span / gcd(span, stride mod span)`` when ``base`` is a
+    multiple of the interleave span (the variable-alignment guarantee), so
+    the long-run fraction of accesses each cluster receives is a pure
+    geometry question -- no addresses need to be simulated.  This is the
+    closed-form query the analytical performance model
+    (:mod:`repro.model.locality`) builds its expected locality on.
+    """
+    span = config.interleave_span
+    residue = stride_bytes % span
+    if residue == 0:
+        return {config.cluster_of_address(phase_bytes % span): 1.0}
+    period = span // math.gcd(span, residue)
+    counts: dict[int, int] = {}
+    for k in range(period):
+        cluster = config.cluster_of_address((phase_bytes + k * residue) % span)
+        counts[cluster] = counts.get(cluster, 0) + 1
+    return {cluster: count / period for cluster, count in counts.items()}
+
+
+def stride_locality(
+    config: MachineConfig, stride_bytes: int, phase_bytes: int = 0
+) -> float:
+    """Best achievable local fraction of an aligned strided stream.
+
+    The fraction of accesses landing on the stream's most-visited cluster --
+    what a scheduler that places the operation on its preferred cluster can
+    keep local.  Equals 1.0 for strides that are multiples of N x I (the
+    unrolling target of Section 4.3.1) and 1/N for streams that spread
+    evenly.
+    """
+    return max(stride_cluster_fractions(config, stride_bytes, phase_bytes).values())
 
 
 def _align_up(value: int, alignment: int) -> int:

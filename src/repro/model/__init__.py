@@ -1,0 +1,63 @@
+"""Analytical performance model: predict without simulating.
+
+Every point of a design-space sweep normally pays for a full compile
+(profiling, latency assignment, modulo scheduling over several unrolling
+candidates) plus an event-loop simulation.  This package predicts the same
+headline quantities -- II, cycle counts, stall breakdowns, access mixes --
+from loop and machine *structure* alone, in a fraction of the cost:
+
+* :mod:`repro.model.bounds` -- first-order II bounds (ResMII/RecMII reuse
+  from :mod:`repro.scheduler.mii`, plus bus-bandwidth and memory-port
+  bounds derived from the :class:`~repro.machine.config.MachineConfig`);
+* :mod:`repro.model.locality` -- closed-form expected local/remote x
+  hit/miss mixes from the interleaving geometry
+  (:mod:`repro.memory.layout`) and per-operation access footprints,
+  mirroring :class:`~repro.memory.classify.AccessType`;
+* :mod:`repro.model.predict` -- :class:`PredictedResult`, shaped like
+  :class:`~repro.sim.stats.BenchmarkSimulationResult` so
+  :mod:`repro.analysis.metrics` consumes either;
+* :mod:`repro.model.calibrate` -- least-squares fitting of the model's
+  compute/stall coefficients against simulator records persisted in a
+  sweep :class:`~repro.sweep.store.ResultStore`, with per-benchmark error
+  reports.
+
+The sweep engine uses these predictions as a pruning mode
+(``python -m repro.sweep run --prune-model``): jobs are ranked per
+benchmark by predicted cycles and only the most promising fraction is
+simulated; the rest is recorded as model-only store entries.
+"""
+
+from repro.model.bounds import PerformanceBounds, loop_bounds
+from repro.model.calibrate import (
+    CalibrationReport,
+    CalibrationSample,
+    ModelCalibration,
+    fit_calibration,
+    fit_from_store,
+)
+from repro.model.locality import ExpectedAccessMix, loop_access_mix, operation_access_mix
+from repro.model.predict import (
+    PredictedLoopResult,
+    PredictedResult,
+    predict_benchmark,
+    predict_job,
+    predict_loop,
+)
+
+__all__ = [
+    "CalibrationReport",
+    "CalibrationSample",
+    "ExpectedAccessMix",
+    "ModelCalibration",
+    "PerformanceBounds",
+    "PredictedLoopResult",
+    "PredictedResult",
+    "fit_calibration",
+    "fit_from_store",
+    "loop_access_mix",
+    "loop_bounds",
+    "operation_access_mix",
+    "predict_benchmark",
+    "predict_job",
+    "predict_loop",
+]

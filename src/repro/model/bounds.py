@@ -1,0 +1,197 @@
+"""First-order II and throughput bounds of a loop on a machine.
+
+The modulo scheduler can never beat the resource bound (ResMII) or the
+recurrence bound (RecMII); both are reused verbatim from
+:mod:`repro.scheduler.mii`.  Two further bounds come from the shared memory
+system of the paper's processors and only depend on the
+:class:`~repro.machine.config.MachineConfig`:
+
+* **bus bandwidth** -- every remote access occupies one of the memory buses
+  for ``transfer_cycles`` core cycles, so a kernel that issues ``R`` remote
+  accesses per iteration cannot initiate iterations faster than
+  ``R * transfer_cycles / num_buses`` cycles apart (for the unified cache
+  the equivalent constraint is its read/write ports);
+* **memory ports** -- every first-level miss occupies one next-level port
+  for a cycle, bounding the II by ``misses per iteration / ports``.
+
+These are the structural floors the analytical model clamps its II
+prediction to; they are also useful on their own to explain *why* a
+configuration cannot go faster (bus-bound vs recurrence-bound kernels).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional
+
+from repro.ir.loop import Loop
+from repro.ir.operation import Operation
+from repro.machine.config import CacheOrganization, MachineConfig
+from repro.model.locality import ExpectedAccessMix, loop_access_mix
+from repro.scheduler.mii import (
+    compute_mii,
+    critical_path_length,
+    make_latency_function,
+)
+
+
+@dataclass(frozen=True)
+class PerformanceBounds:
+    """II bounds of one loop under one machine configuration."""
+
+    res_mii: int
+    rec_mii: int
+    bus_mii: float
+    port_mii: float
+    critical_path: int
+    cluster_mii: int = 1
+
+    @property
+    def mii(self) -> int:
+        """The classic scheduler bound: max(ResMII, RecMII)."""
+        return max(self.res_mii, self.rec_mii)
+
+    @property
+    def ii(self) -> int:
+        """The tightest initiation-interval bound the model knows."""
+        return max(
+            self.mii,
+            self.cluster_mii,
+            math.ceil(self.bus_mii),
+            math.ceil(self.port_mii),
+            1,
+        )
+
+    @property
+    def binding_constraint(self) -> str:
+        """Name of the constraint that sets the II bound."""
+        named = {
+            "resources": self.res_mii,
+            "recurrences": self.rec_mii,
+            "cluster-assignment": self.cluster_mii,
+            "memory-buses": math.ceil(self.bus_mii),
+            "memory-ports": math.ceil(self.port_mii),
+        }
+        return max(named, key=lambda name: (named[name], name == "resources"))
+
+    def describe(self) -> dict[str, object]:
+        """Flat summary for reports and model records."""
+        return {
+            "res_mii": self.res_mii,
+            "rec_mii": self.rec_mii,
+            "cluster_mii": self.cluster_mii,
+            "bus_mii": round(self.bus_mii, 3),
+            "port_mii": round(self.port_mii, 3),
+            "ii_bound": self.ii,
+            "critical_path": self.critical_path,
+            "binding_constraint": self.binding_constraint,
+        }
+
+
+def bus_bandwidth_bound(
+    config: MachineConfig, remote_accesses_per_iteration: float
+) -> float:
+    """II floor imposed by the shared memory interconnect.
+
+    For the distributed organizations the constraint is the memory buses;
+    for the unified cache it is the centralized read/write ports (the
+    next-level ports constrain misses separately).
+    """
+    if config.organization is CacheOrganization.UNIFIED:
+        return 0.0
+    buses = config.memory_buses
+    return remote_accesses_per_iteration * buses.transfer_cycles / buses.count
+
+
+def memory_port_bound(
+    config: MachineConfig,
+    memory_ops_per_iteration: float,
+    misses_per_iteration: float,
+) -> float:
+    """II floor imposed by first-level ports and next-level ports."""
+    next_level = misses_per_iteration / config.next_level.ports
+    if config.organization is CacheOrganization.UNIFIED:
+        first_level = memory_ops_per_iteration / config.unified_cache_ports
+        return max(first_level, next_level)
+    return next_level
+
+
+def cluster_assignment_bound(
+    loop: Loop,
+    config: MachineConfig,
+    use_chains: bool = True,
+    preferred_clusters: Optional[Mapping[Operation, Optional[int]]] = None,
+) -> int:
+    """II floor induced by forced cluster assignments.
+
+    Mirrors the modulo scheduler's own search floor
+    (:meth:`ModuloScheduler._cluster_constrained_mii`): every memory
+    dependent chain shares one cluster's memory units, and a
+    preferred-cluster heuristic concentrates the memory operations mapped
+    to the same cluster on that cluster's units.
+    """
+    memory_units = config.functional_units.memory
+    bound = 1
+    per_cluster: dict[int, int] = {}
+    if use_chains:
+        from repro.ir.chains import build_memory_chains
+
+        chains = build_memory_chains(loop.ddg)
+        for chain in chains.chains:
+            bound = max(bound, -(-len(chain) // memory_units))
+            if preferred_clusters is not None:
+                votes: dict[int, int] = {}
+                for op in chain:
+                    cluster = preferred_clusters.get(op)
+                    if cluster is not None:
+                        votes[cluster] = votes.get(cluster, 0) + 1
+                if votes:
+                    target = max(sorted(votes), key=lambda c: votes[c])
+                    per_cluster[target] = per_cluster.get(target, 0) + len(chain)
+    elif preferred_clusters is not None:
+        for op in loop.memory_operations:
+            cluster = preferred_clusters.get(op)
+            if cluster is not None:
+                per_cluster[cluster] = per_cluster.get(cluster, 0) + 1
+    for count in per_cluster.values():
+        bound = max(bound, -(-count // memory_units))
+    return bound
+
+
+def loop_bounds(
+    loop: Loop,
+    config: MachineConfig,
+    latency_of: Optional[Callable[[Operation], int]] = None,
+    mixes: Optional[Mapping[Operation, ExpectedAccessMix]] = None,
+    aligned: bool = True,
+    use_chains: bool = True,
+    preferred_clusters: Optional[Mapping[Operation, Optional[int]]] = None,
+) -> PerformanceBounds:
+    """Compute every bound the model knows for one loop.
+
+    ``latency_of`` defaults to local-hit memory latencies (the latency
+    assignment's target, matching :func:`repro.scheduler.mii.compute_mii`);
+    ``mixes`` defaults to the closed-form expected access mixes of
+    :mod:`repro.model.locality`.  ``use_chains`` / ``preferred_clusters``
+    describe the cluster-assignment constraints the scheduling heuristic
+    will enforce (chains for IBC/IPBC, preferred clusters for IPBC).
+    """
+    if latency_of is None:
+        latency_of = make_latency_function(config)
+    if mixes is None:
+        mixes = loop_access_mix(loop, config, aligned=aligned)
+
+    mii_result = compute_mii(loop, config, latency_of)
+    remote = sum(mix.remote for mix in mixes.values())
+    misses = sum(mix.miss for mix in mixes.values())
+    return PerformanceBounds(
+        res_mii=mii_result.res_mii,
+        rec_mii=mii_result.rec_mii,
+        bus_mii=bus_bandwidth_bound(config, remote),
+        port_mii=memory_port_bound(config, len(mixes), misses),
+        critical_path=critical_path_length(loop.ddg, latency_of),
+        cluster_mii=cluster_assignment_bound(
+            loop, config, use_chains=use_chains, preferred_clusters=preferred_clusters
+        ),
+    )

@@ -1,0 +1,293 @@
+"""Calibration of the analytical model against simulator records.
+
+The raw model predicts *structural* quantities (II-driven compute cycles,
+expected uncovered latency).  Real schedules carry systematic offsets the
+model cannot see -- copy operations lengthen the II, schedule slack hides
+part of the memory latency, bus contention adds to it.  Both effects are
+close to linear, so the calibration pass fits
+
+    actual_total_cycles ~ a * predicted_compute + b * predicted_stall
+
+by ordinary least squares, globally and per benchmark, against simulator
+records already persisted in a sweep
+:class:`~repro.sweep.store.ResultStore`.  Stored job descriptions are
+self-describing (:func:`repro.sweep.spec.job_from_description`), so
+calibration needs nothing but the store directory.
+
+The per-benchmark error report is the honesty check: it states the mean
+absolute relative error before and after calibration, per benchmark and
+overall, and is what the ``model-validation`` experiment renders.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Optional
+
+from repro.analysis.metrics import mean_absolute_relative_error, relative_error
+from repro.model.predict import PredictedResult, predict_job
+
+#: Coefficients below which a least-squares fit is considered degenerate.
+_MIN_DETERMINANT = 1e-9
+
+
+@dataclass(frozen=True)
+class CalibrationSample:
+    """One (prediction, simulator ground truth) pair."""
+
+    benchmark: str
+    predicted_compute: float
+    predicted_stall: float
+    actual_total: float
+    key: str = ""
+
+    @property
+    def predicted_total(self) -> float:
+        """Uncalibrated total prediction."""
+        return self.predicted_compute + self.predicted_stall
+
+    @staticmethod
+    def from_results(
+        predicted: PredictedResult, actual_total: float, key: str = ""
+    ) -> "CalibrationSample":
+        """Build a sample from a prediction and a measured cycle count."""
+        return CalibrationSample(
+            benchmark=predicted.benchmark,
+            predicted_compute=predicted.compute_cycles,
+            predicted_stall=predicted.stall_cycles,
+            actual_total=actual_total,
+            key=key,
+        )
+
+
+@dataclass
+class ModelCalibration:
+    """Fitted compute/stall coefficients, global plus per benchmark."""
+
+    compute_scale: float = 1.0
+    stall_scale: float = 1.0
+    per_benchmark: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    def scales_for(self, benchmark: str) -> tuple[float, float]:
+        """(compute, stall) coefficients applicable to one benchmark."""
+        return self.per_benchmark.get(
+            benchmark, (self.compute_scale, self.stall_scale)
+        )
+
+    def apply(self, predicted: PredictedResult) -> PredictedResult:
+        """Return a calibrated copy of a prediction."""
+        compute_scale, stall_scale = self.scales_for(predicted.benchmark)
+        return predicted.scaled(compute_scale, stall_scale)
+
+    def calibrated_total(
+        self, benchmark: str, predicted_compute: float, predicted_stall: float
+    ) -> float:
+        """Calibrated total-cycle estimate without building a result."""
+        compute_scale, stall_scale = self.scales_for(benchmark)
+        return compute_scale * predicted_compute + stall_scale * predicted_stall
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_mapping(self) -> dict[str, object]:
+        """Plain-dict form, suitable for JSON."""
+        return {
+            "compute_scale": self.compute_scale,
+            "stall_scale": self.stall_scale,
+            "per_benchmark": {
+                name: list(scales) for name, scales in self.per_benchmark.items()
+            },
+        }
+
+    @staticmethod
+    def from_mapping(data: Mapping[str, object]) -> "ModelCalibration":
+        """Rebuild a calibration from a plain dict."""
+        return ModelCalibration(
+            compute_scale=float(data.get("compute_scale", 1.0)),
+            stall_scale=float(data.get("stall_scale", 1.0)),
+            per_benchmark={
+                str(name): (float(scales[0]), float(scales[1]))
+                for name, scales in dict(data.get("per_benchmark", {})).items()
+            },
+        )
+
+    def save(self, path: Path | str) -> None:
+        """Write the calibration as JSON."""
+        Path(path).write_text(
+            json.dumps(self.to_mapping(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @staticmethod
+    def load(path: Path | str) -> "ModelCalibration":
+        """Read a calibration written by :meth:`save`."""
+        return ModelCalibration.from_mapping(
+            json.loads(Path(path).read_text(encoding="utf-8"))
+        )
+
+
+@dataclass(frozen=True)
+class BenchmarkErrorRow:
+    """Model error of one benchmark, before and after calibration."""
+
+    benchmark: str
+    samples: int
+    mare_raw: float
+    mare_calibrated: float
+    worst_calibrated: float
+
+
+@dataclass
+class CalibrationReport:
+    """Per-benchmark and overall error of a fitted calibration."""
+
+    rows: list[BenchmarkErrorRow]
+    mare_raw: float
+    mare_calibrated: float
+
+    def describe(self) -> dict[str, object]:
+        """Flat summary for logs and JSON reports."""
+        return {
+            "benchmarks": len(self.rows),
+            "samples": sum(row.samples for row in self.rows),
+            "mare_raw": round(self.mare_raw, 4),
+            "mare_calibrated": round(self.mare_calibrated, 4),
+        }
+
+
+def _least_squares(
+    samples: list[CalibrationSample],
+) -> Optional[tuple[float, float]]:
+    """Fit a*compute + b*stall ~ actual; None when degenerate."""
+    sum_cc = sum(s.predicted_compute * s.predicted_compute for s in samples)
+    sum_cs = sum(s.predicted_compute * s.predicted_stall for s in samples)
+    sum_ss = sum(s.predicted_stall * s.predicted_stall for s in samples)
+    sum_cy = sum(s.predicted_compute * s.actual_total for s in samples)
+    sum_sy = sum(s.predicted_stall * s.actual_total for s in samples)
+    determinant = sum_cc * sum_ss - sum_cs * sum_cs
+    if abs(determinant) < _MIN_DETERMINANT * max(1.0, sum_cc * sum_ss):
+        return None
+    compute_scale = (sum_cy * sum_ss - sum_sy * sum_cs) / determinant
+    stall_scale = (sum_sy * sum_cc - sum_cy * sum_cs) / determinant
+    if compute_scale <= 0.0 or stall_scale < 0.0:
+        # A negative coefficient means the two regressors are nearly
+        # collinear on this sample set; the scale-only fallback is safer.
+        return None
+    return compute_scale, stall_scale
+
+
+def _scale_only(samples: list[CalibrationSample]) -> tuple[float, float]:
+    """Single multiplicative factor on the total prediction."""
+    denominator = sum(s.predicted_total * s.predicted_total for s in samples)
+    if denominator <= 0.0:
+        return 1.0, 1.0
+    scale = sum(s.predicted_total * s.actual_total for s in samples) / denominator
+    return scale, scale
+
+
+def _fit(samples: list[CalibrationSample]) -> tuple[float, float]:
+    if len(samples) >= 2:
+        fitted = _least_squares(samples)
+        if fitted is not None:
+            return fitted
+    return _scale_only(samples)
+
+
+def fit_calibration(
+    samples: Iterable[CalibrationSample],
+) -> tuple[ModelCalibration, CalibrationReport]:
+    """Fit global and per-benchmark coefficients; report the errors."""
+    samples = list(samples)
+    if not samples:
+        return ModelCalibration(), CalibrationReport(
+            rows=[], mare_raw=0.0, mare_calibrated=0.0
+        )
+
+    compute_scale, stall_scale = _fit(samples)
+    calibration = ModelCalibration(
+        compute_scale=compute_scale, stall_scale=stall_scale
+    )
+    by_benchmark: dict[str, list[CalibrationSample]] = {}
+    for sample in samples:
+        by_benchmark.setdefault(sample.benchmark, []).append(sample)
+    for benchmark, group in by_benchmark.items():
+        calibration.per_benchmark[benchmark] = _fit(group)
+
+    rows = []
+    for benchmark in sorted(by_benchmark):
+        group = by_benchmark[benchmark]
+        calibrated_errors = [
+            relative_error(
+                calibration.calibrated_total(
+                    benchmark, s.predicted_compute, s.predicted_stall
+                ),
+                s.actual_total,
+            )
+            for s in group
+        ]
+        rows.append(
+            BenchmarkErrorRow(
+                benchmark=benchmark,
+                samples=len(group),
+                mare_raw=mean_absolute_relative_error(
+                    (s.predicted_total, s.actual_total) for s in group
+                ),
+                mare_calibrated=sum(calibrated_errors) / len(calibrated_errors),
+                worst_calibrated=max(calibrated_errors),
+            )
+        )
+    report = CalibrationReport(
+        rows=rows,
+        mare_raw=mean_absolute_relative_error(
+            (s.predicted_total, s.actual_total) for s in samples
+        ),
+        mare_calibrated=mean_absolute_relative_error(
+            (
+                calibration.calibrated_total(
+                    s.benchmark, s.predicted_compute, s.predicted_stall
+                ),
+                s.actual_total,
+            )
+            for s in samples
+        ),
+    )
+    return calibration, report
+
+
+def samples_from_store(
+    store,
+    predict: Callable[[object], PredictedResult] = predict_job,
+) -> list[CalibrationSample]:
+    """Re-predict every *simulator* record of a result store.
+
+    Model-only records (``source == "model"``) are skipped -- calibrating
+    the model against itself would be circular.
+    """
+    from repro.sweep.spec import job_from_description
+
+    samples = []
+    for record in store.records():
+        if record.get("source") == "model":
+            continue
+        description = record.get("job")
+        metrics = record.get("metrics", {})
+        actual = metrics.get("total_cycles")
+        if not description or actual is None:
+            continue
+        job = job_from_description(description)
+        samples.append(
+            CalibrationSample.from_results(
+                predict(job), float(actual), key=str(record.get("key", ""))
+            )
+        )
+    return samples
+
+
+def fit_from_store(
+    store,
+    predict: Callable[[object], PredictedResult] = predict_job,
+) -> tuple[ModelCalibration, CalibrationReport]:
+    """Fit a calibration against every simulator record of a store."""
+    return fit_calibration(samples_from_store(store, predict))

@@ -1,0 +1,320 @@
+"""Closed-form expected access mixes (the model's memory-system view).
+
+The simulator classifies every dynamic access into the four classes of the
+paper (local/remote x hit/miss, :class:`~repro.memory.classify.AccessType`).
+This module predicts the long-run *fractions* of those classes per static
+memory operation without streaming a single address through a cache model:
+
+* the **local fraction** comes from the interleaving geometry
+  (:func:`repro.memory.layout.stride_cluster_fractions`): an aligned strided
+  stream visits home clusters periodically, and a scheduler that places the
+  operation on its most-visited cluster keeps exactly the peak fraction
+  local.  Unaligned stack/heap objects shift by a data-set dependent jitter,
+  so the profile-learned preferred cluster is right only 1/N of the time --
+  the gsmdec effect of Section 4.3.4;
+* the **hit rate** comes from the operation's footprint (stride x trip
+  count, bounded by the array size) measured against the cache capacity --
+  cold misses when the working set fits, steady-state capacity misses when
+  it does not;
+* the **Attraction Buffer** correction replays the address arithmetic of a
+  bounded window against an LRU set of (home cluster, block) pairs --
+  subblock reuse is what the buffers convert from remote accesses into
+  local hits (Section 3).
+
+All of this is pure arithmetic on the loop and machine structure; nothing
+here touches :mod:`repro.sim` or the behavioural cache models.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.loop import ArraySpec, Loop, StorageClass
+from repro.ir.operation import Operation
+from repro.machine.config import CacheOrganization, MachineConfig
+from repro.memory.classify import AccessType
+from repro.memory.layout import stride_locality
+
+#: Accesses examined when replaying address arithmetic for subblock reuse.
+REUSE_WINDOW = 1024
+
+
+@dataclass(frozen=True)
+class ExpectedAccessMix:
+    """Expected fractions of the access classes for one static operation.
+
+    Mirrors :class:`~repro.memory.classify.AccessType`; the four fractions
+    sum to 1 (the model does not predict request combining, so
+    ``AccessType.COMBINED`` has no counterpart here).
+    """
+
+    local_hit: float
+    remote_hit: float
+    local_miss: float
+    remote_miss: float
+
+    def __post_init__(self) -> None:
+        total = self.local_hit + self.remote_hit + self.local_miss + self.remote_miss
+        if not 0.999 <= total <= 1.001:
+            raise ValueError(f"access-mix fractions must sum to 1, got {total}")
+
+    @property
+    def local(self) -> float:
+        """Fraction of accesses served without crossing the memory buses."""
+        return self.local_hit + self.local_miss
+
+    @property
+    def remote(self) -> float:
+        """Fraction of accesses that pay a bus traversal."""
+        return self.remote_hit + self.remote_miss
+
+    @property
+    def hit(self) -> float:
+        """Fraction of accesses found in a first-level structure."""
+        return self.local_hit + self.remote_hit
+
+    @property
+    def miss(self) -> float:
+        """Fraction of accesses that go to the next memory level."""
+        return self.local_miss + self.remote_miss
+
+    def as_dict(self) -> dict[str, float]:
+        """Fractions keyed like :meth:`AccessCounters.fractions`."""
+        return {
+            "local_hits": self.local_hit,
+            "remote_hits": self.remote_hit,
+            "local_misses": self.local_miss,
+            "remote_misses": self.remote_miss,
+        }
+
+    def latency_fractions(self, config: MachineConfig) -> list[tuple[int, float]]:
+        """(latency, probability) pairs under a machine's latency classes."""
+        lat = config.latencies
+        return [
+            (lat.local_hit, self.local_hit),
+            (lat.remote_hit, self.remote_hit),
+            (lat.local_miss, self.local_miss),
+            (lat.remote_miss, self.remote_miss),
+        ]
+
+    def expected_stall(self, config: MachineConfig, covered_latency: float) -> float:
+        """Expected stall cycles per access given the covered latency.
+
+        The processor stalls for the part of the real latency the schedule
+        did not cover -- the same ``max(0, real - assigned)`` rule the
+        simulator applies.
+        """
+        total = 0.0
+        for latency, probability in self.latency_fractions(config):
+            if latency > covered_latency:
+                total += probability * (latency - covered_latency)
+        return total
+
+    def stall_by_type(
+        self, config: MachineConfig, covered_latency: float
+    ) -> dict[AccessType, float]:
+        """Expected stall cycles per access, attributed per access class."""
+        lat = config.latencies
+        attribution = {}
+        for access_type, latency, probability in (
+            (AccessType.REMOTE_HIT, lat.remote_hit, self.remote_hit),
+            (AccessType.LOCAL_MISS, lat.local_miss, self.local_miss),
+            (AccessType.REMOTE_MISS, lat.remote_miss, self.remote_miss),
+        ):
+            if latency > covered_latency:
+                attribution[access_type] = probability * (latency - covered_latency)
+        return attribution
+
+
+# ----------------------------------------------------------------------
+# Hit-rate model
+# ----------------------------------------------------------------------
+def _distinct_blocks(footprint_bytes: int, step_bytes: int, block_bytes: int) -> int:
+    """Distinct cache blocks a strided walk of ``footprint_bytes`` touches."""
+    return max(1, -(-footprint_bytes // max(block_bytes, step_bytes)))
+
+
+def expected_hit_rate(
+    spec: ArraySpec,
+    op: Operation,
+    config: MachineConfig,
+    iterations: int,
+    capacity_bytes: int,
+) -> float:
+    """Expected first-level hit rate of one memory operation.
+
+    Cold misses dominate when the footprint fits in ``capacity_bytes``;
+    otherwise every pass over the array misses afresh on each new block.
+    Indirect accesses draw uniformly from their index range, so the distinct
+    blocks touched after ``k`` draws follow the standard occupancy
+    expectation ``B * (1 - (1 - 1/B)^k)``.
+    """
+    iterations = max(1, iterations)
+    access = op.memory
+    block = config.cache.block_bytes
+
+    if access.indirect or not access.stride_known:
+        index_range = spec.index_range or spec.num_elements
+        region = min(index_range * access.granularity, spec.size_bytes)
+        blocks = max(1, -(-region // block))
+        distinct = blocks * (1.0 - (1.0 - 1.0 / blocks) ** iterations)
+        if region <= capacity_bytes:
+            return max(0.0, 1.0 - distinct / iterations)
+        # Steady state: only the resident fraction of the region can hit.
+        return max(0.0, capacity_bytes / region - 1.0 / iterations)
+
+    stride = abs(access.stride_bytes)
+    if stride == 0:
+        return 1.0 - 1.0 / iterations
+
+    footprint = min(iterations * stride, spec.size_bytes)
+    if footprint <= capacity_bytes:
+        distinct = min(iterations, _distinct_blocks(footprint, stride, block))
+        return max(0.0, 1.0 - distinct / iterations)
+    if stride >= block:
+        return 0.0
+    return max(0.0, 1.0 - stride / block)
+
+
+def _capacity_for(config: MachineConfig) -> int:
+    """First-level capacity relevant to one operation's working set."""
+    if config.organization is CacheOrganization.COHERENT:
+        # Data migrates to the using cluster, so one operation's working set
+        # competes for a single module (the replication cost the paper
+        # notes).
+        return config.module_geometry.size_bytes
+    return config.cache.size_bytes
+
+
+# ----------------------------------------------------------------------
+# Local-fraction model
+# ----------------------------------------------------------------------
+def expected_local_fraction(
+    spec: ArraySpec,
+    op: Operation,
+    config: MachineConfig,
+    aligned: bool,
+) -> float:
+    """Fraction of accesses a preferred-cluster placement keeps local."""
+    if config.organization is not CacheOrganization.WORD_INTERLEAVED:
+        # Unified: every access is "local" by construction.  Coherent: data
+        # migrates into the requesting cluster's module, so steady-state
+        # accesses are local as well.
+        return 1.0
+    access = op.memory
+    if config.spans_multiple_clusters(access.granularity):
+        return 0.0
+    if access.indirect or not access.stride_known:
+        return 1.0 / config.num_clusters
+    if not aligned and spec.storage is not StorageClass.GLOBAL:
+        # The execution data set shifts unpadded stack/heap objects by an
+        # arbitrary residue, so the profile-learned preferred cluster is
+        # right only by chance.
+        return 1.0 / config.num_clusters
+    return stride_locality(config, access.stride_bytes, access.offset_bytes)
+
+
+# ----------------------------------------------------------------------
+# Attraction-Buffer correction
+# ----------------------------------------------------------------------
+def attraction_reuse_fraction(
+    spec: ArraySpec,
+    op: Operation,
+    config: MachineConfig,
+    iterations: int,
+) -> float:
+    """Fraction of accesses that revisit an already-attracted subblock.
+
+    Replays the pure address arithmetic of a bounded window, tracking the
+    (home cluster, block) pairs an LRU buffer of the configured capacity
+    would hold.  Only the revisits that would otherwise be *remote* matter;
+    the caller intersects this fraction with the remote fraction.
+    """
+    buffer_config = config.attraction_buffer
+    if not buffer_config.enabled:
+        return 0.0
+    access = op.memory
+    if access.is_store or not access.attractable:
+        return 0.0
+
+    entries = buffer_config.entries
+    if access.indirect or not access.stride_known:
+        index_range = spec.index_range or spec.num_elements
+        region = min(index_range * access.granularity, spec.size_bytes)
+        subblocks = max(1, region // max(1, config.interleaving_factor))
+        return min(1.0, entries / subblocks)
+
+    stride = access.stride_bytes
+    if stride == 0:
+        return 1.0 - 1.0 / max(1, iterations)
+
+    window = min(max(1, iterations), REUSE_WINDOW)
+    block = config.cache.block_bytes
+    held: OrderedDict[tuple[int, int], None] = OrderedDict()
+    reused = 0
+    for k in range(window):
+        address = (access.offset_bytes + k * stride) % spec.size_bytes
+        pair = (address // block, config.cluster_of_address(address))
+        if pair in held:
+            held.move_to_end(pair)
+            reused += 1
+        else:
+            held[pair] = None
+            if len(held) > entries:
+                held.popitem(last=False)
+    return reused / window
+
+
+# ----------------------------------------------------------------------
+# Per-operation and per-loop mixes
+# ----------------------------------------------------------------------
+def operation_access_mix(
+    loop: Loop,
+    op: Operation,
+    config: MachineConfig,
+    aligned: bool = True,
+    iterations: Optional[int] = None,
+) -> ExpectedAccessMix:
+    """Expected access mix of one memory operation of a loop."""
+    if not op.is_memory:
+        raise ValueError("only memory operations have an access mix")
+    spec = loop.array_of(op)
+    iterations = iterations if iterations is not None else loop.trip_count
+    local = expected_local_fraction(spec, op, config, aligned)
+    hit = expected_hit_rate(spec, op, config, iterations, _capacity_for(config))
+
+    local_hit = local * hit
+    remote_hit = (1.0 - local) * hit
+    local_miss = local * (1.0 - hit)
+    remote_miss = (1.0 - local) * (1.0 - hit)
+
+    if config.organization is CacheOrganization.WORD_INTERLEAVED:
+        reuse = attraction_reuse_fraction(spec, op, config, iterations)
+        if reuse > 0.0:
+            # Revisited subblocks are served from the buffer: the reused
+            # share of the remote classes becomes local hits.
+            local_hit += (remote_hit + remote_miss) * reuse
+            remote_hit *= 1.0 - reuse
+            remote_miss *= 1.0 - reuse
+
+    return ExpectedAccessMix(
+        local_hit=local_hit,
+        remote_hit=remote_hit,
+        local_miss=local_miss,
+        remote_miss=remote_miss,
+    )
+
+
+def loop_access_mix(
+    loop: Loop,
+    config: MachineConfig,
+    aligned: bool = True,
+    iterations: Optional[int] = None,
+) -> dict[Operation, ExpectedAccessMix]:
+    """Expected access mix of every memory operation of a loop."""
+    return {
+        op: operation_access_mix(loop, op, config, aligned, iterations)
+        for op in loop.memory_operations
+    }

@@ -1,0 +1,352 @@
+"""Benchmark-level performance prediction (no scheduling, no simulation).
+
+:func:`predict_loop` mirrors the decisions of the compilation pipeline --
+candidate unrolling factors, selective latency assignment, the paper's
+``(iterations + SC - 1) * II`` execution model -- but replaces every
+measured quantity with its analytical counterpart:
+
+* the profile-derived hit rate / preferred-cluster concentration becomes
+  the closed-form mix of :mod:`repro.model.locality`;
+* the scheduler's II becomes the bound of :mod:`repro.model.bounds` under
+  the latencies the (real) latency-assignment pass picks when fed the
+  model's statistics;
+* the stage count becomes ``ceil(critical_path / II)``;
+* stall time becomes the expected uncovered latency per access, scaled by
+  the trip count -- the same ``max(0, real - assigned)`` rule the
+  simulator applies per dynamic operation.
+
+The result types subclass the simulator's containers, so everything that
+consumes a :class:`~repro.sim.stats.BenchmarkSimulationResult` -- the
+metrics of :mod:`repro.analysis.metrics`, the sweep report, the experiment
+harness -- consumes a :class:`PredictedResult` unchanged; ``source`` tells
+them apart where it matters (the result store).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.ir.ddg import DependenceKind
+from repro.ir.loop import Loop
+from repro.ir.operation import Operation
+from repro.ir.unroll import unroll_loop
+from repro.machine.config import CacheOrganization, MachineConfig
+from repro.memory.classify import AccessCounters, StallCounters
+from repro.model.bounds import PerformanceBounds, loop_bounds
+from repro.model.locality import ExpectedAccessMix, loop_access_mix
+from repro.scheduler.latency import MemoryOpStats, assign_latencies
+from repro.scheduler.mii import make_latency_function
+from repro.scheduler.pipeline import CompilerOptions, default_heuristic_for
+from repro.scheduler.unrolling import candidate_factors
+from repro.sim.engine import SimulationOptions
+from repro.sim.stats import BenchmarkSimulationResult, LoopSimulationResult
+from repro.workloads.spec import Benchmark
+
+
+@dataclass
+class PredictedLoopResult(LoopSimulationResult):
+    """Model prediction for one loop, shaped like a simulation result."""
+
+    bounds: Optional[PerformanceBounds] = None
+    unroll_factor: int = 1
+    mixes: dict[Operation, ExpectedAccessMix] = field(default_factory=dict)
+
+    def describe(self) -> dict[str, object]:
+        """Flat summary, extended with the model's II decomposition."""
+        summary = super().describe()
+        summary["unroll_factor"] = self.unroll_factor
+        if self.bounds is not None:
+            summary["binding_constraint"] = self.bounds.binding_constraint
+        return summary
+
+
+@dataclass
+class PredictedResult(BenchmarkSimulationResult):
+    """Model prediction for a benchmark, shaped like a simulation result.
+
+    Duck-compatible with :class:`BenchmarkSimulationResult` everywhere
+    (:mod:`repro.analysis.metrics`, sweep reports); ``source`` marks store
+    records produced by the model rather than the simulator.
+    """
+
+    source: str = "model"
+
+    def describe(self) -> dict[str, object]:
+        """Flat summary used by reports; keys match the simulator's."""
+        summary = super().describe()
+        summary["source"] = self.source
+        return summary
+
+    def scaled(self, compute_scale: float, stall_scale: float) -> "PredictedResult":
+        """A copy with calibrated compute/stall cycles (per-loop scaling)."""
+        loops = [
+            replace(
+                loop,
+                compute_cycles=int(round(loop.compute_cycles * compute_scale)),
+                stall_cycles=int(round(loop.stall_cycles * stall_scale)),
+            )
+            for loop in self.loops
+        ]
+        return replace(self, loops=loops)
+
+
+def _preferred_cluster(fractions: dict[int, float]) -> int:
+    """Most-visited cluster of a stream; lowest index breaks ties.
+
+    The same deterministic tie-break the profiler uses, shared by the
+    balance estimate and the cluster-assignment bound so one operation is
+    never attributed to different clusters within a single prediction.
+    """
+    return max(sorted(fractions), key=lambda cluster: fractions[cluster])
+
+
+def _covered_latency(
+    loop: Loop, op: Operation, assigned: int, ii: int
+) -> float:
+    """Cycles the schedule is expected to cover before a consumer stalls.
+
+    Mirrors the simulator's consumer-cover rule: loads without register
+    consumers never stall, and consumers reached only through loop-carried
+    flow dependences sit at least ``distance * II`` cycles downstream.
+    """
+    slack: Optional[float] = None
+    for dep in loop.ddg.dependences_from(op):
+        if dep.kind is not DependenceKind.REG_FLOW:
+            continue
+        distance = float(assigned) if dep.distance == 0 else float(dep.distance * ii)
+        slack = distance if slack is None else min(slack, distance)
+    if slack is None:
+        return math.inf
+    return max(float(assigned), slack)
+
+
+def _predicted_balance(loop: Loop, config: MachineConfig) -> float:
+    """Expected WB(L): preferred-cluster pull plus an even non-memory spread."""
+    clusters = config.num_clusters
+    total = len(loop.operations)
+    if total == 0 or clusters <= 1:
+        return 1.0
+    if config.organization is not CacheOrganization.WORD_INTERLEAVED:
+        return 1.0 / clusters
+    per_cluster = [0.0] * clusters
+    memory_ops = len(loop.memory_operations)
+    for preferred in _expected_preferred_clusters(loop, config).values():
+        per_cluster[preferred] += 1.0
+    non_memory = total - memory_ops
+    for index in range(clusters):
+        per_cluster[index] += non_memory / clusters
+    return max(per_cluster) / total
+
+
+def _expected_preferred_clusters(
+    loop: Loop, config: MachineConfig
+) -> dict[Operation, Optional[int]]:
+    """The cluster a preferred-cluster heuristic would pin each op to.
+
+    Strided operations go to the cluster their stream visits most (pure
+    geometry); operations without a usable stride get an even round-robin
+    spread, matching the roughly uniform histograms profiling yields for
+    them.
+    """
+    from repro.memory.layout import stride_cluster_fractions
+
+    preferred: dict[Operation, Optional[int]] = {}
+    for index, op in enumerate(loop.memory_operations):
+        access = op.memory
+        if access.stride_known and not access.indirect:
+            fractions = stride_cluster_fractions(
+                config, access.stride_bytes, access.offset_bytes
+            )
+            preferred[op] = _preferred_cluster(fractions)
+        else:
+            preferred[op] = index % config.num_clusters
+    return preferred
+
+
+def _recurrence_ratio(loop: Loop, latency_of) -> float:
+    """Latency/distance of the most constraining original recurrence.
+
+    Unrolling by U turns a recurrence of latency L and distance d into one
+    of latency ~U*L at the same total distance, so the II of the unrolled
+    loop can never beat ``U * L / d``.  Enumerating recurrences directly on
+    a heavily unrolled body misses this -- long cycles fall outside the
+    enumeration length bound -- so the floor is derived from the original
+    loop, where every recurrence is short enough to see.
+    """
+    return max(
+        (
+            rec.latency_sum(latency_of) / rec.total_distance
+            for rec in loop.ddg.recurrences()
+        ),
+        default=0.0,
+    )
+
+
+def _predict_variant(
+    variant: Loop,
+    config: MachineConfig,
+    options: CompilerOptions,
+    simulation: SimulationOptions,
+    factor: int,
+    rec_floor: int = 1,
+) -> PredictedLoopResult:
+    """Predict one unrolled variant of a loop."""
+    simulated = min(variant.trip_count, simulation.iteration_cap)
+    mixes = loop_access_mix(
+        variant, config, aligned=options.variable_alignment, iterations=simulated
+    )
+    stats = {
+        op: MemoryOpStats(
+            hit_rate=min(1.0, mix.hit), local_ratio=min(1.0, mix.local)
+        )
+        for op, mix in mixes.items()
+    }
+    assignment = assign_latencies(variant, config, stats=stats)
+    latency_of = make_latency_function(
+        config, memory_latencies=assignment.latencies
+    )
+    preferred = (
+        _expected_preferred_clusters(variant, config)
+        if options.heuristic.uses_preferred_cluster
+        and config.organization is CacheOrganization.WORD_INTERLEAVED
+        else None
+    )
+    bounds = loop_bounds(
+        variant,
+        config,
+        latency_of=latency_of,
+        mixes=mixes,
+        use_chains=options.use_chains and options.heuristic.uses_chains,
+        preferred_clusters=preferred,
+    )
+    if rec_floor > bounds.rec_mii:
+        bounds = replace(bounds, rec_mii=rec_floor)
+    ii = bounds.ii
+    stage_count = max(1, -(-bounds.critical_path // ii))
+    iterations = variant.trip_count
+    compute_cycles = (iterations + stage_count - 1) * ii
+
+    accesses = AccessCounters()
+    stalls = StallCounters()
+    stall_per_iteration = 0.0
+    for op, mix in mixes.items():
+        accesses.local_hits += int(round(mix.local_hit * iterations))
+        accesses.remote_hits += int(round(mix.remote_hit * iterations))
+        accesses.local_misses += int(round(mix.local_miss * iterations))
+        accesses.remote_misses += int(round(mix.remote_miss * iterations))
+        if op.is_store:
+            continue
+        cover = _covered_latency(variant, op, assignment.latency_of(op), ii)
+        if math.isinf(cover):
+            continue
+        stall_per_iteration += mix.expected_stall(config, cover)
+        for access_type, cycles in mix.stall_by_type(config, cover).items():
+            stalls.record(access_type, int(round(cycles * iterations)))
+
+    return PredictedLoopResult(
+        loop_name=(variant.original or variant).name,
+        heuristic=options.heuristic.value,
+        ii=ii,
+        stage_count=stage_count,
+        iterations=iterations,
+        simulated_iterations=simulated,
+        compute_cycles=compute_cycles,
+        stall_cycles=int(round(stall_per_iteration * iterations)),
+        accesses=accesses,
+        stalls=stalls,
+        operation_records={},
+        workload_balance=_predicted_balance(variant, config),
+        num_copies=0,
+        ops_per_iteration=len(variant.operations),
+        weight=variant.weight,
+        bounds=bounds,
+        unroll_factor=factor,
+        mixes=mixes,
+    )
+
+
+def predict_loop(
+    loop: Loop,
+    config: MachineConfig,
+    options: Optional[CompilerOptions] = None,
+    simulation: Optional[SimulationOptions] = None,
+) -> PredictedLoopResult:
+    """Predict the execution of one loop without compiling or simulating.
+
+    Evaluates the same unrolling candidates the pipeline would and keeps
+    the variant with the smallest predicted ``(iterations + SC - 1) * II``
+    -- the pipeline's own selection criterion.
+    """
+    if options is None:
+        options = CompilerOptions(heuristic=default_heuristic_for(config))
+    simulation = simulation or SimulationOptions()
+
+    # The recurrence floor scales with the unroll factor; derive it from the
+    # original loop under the latencies its own assignment would pick.
+    base_mixes = loop_access_mix(
+        loop,
+        config,
+        aligned=options.variable_alignment,
+        iterations=min(loop.trip_count, simulation.iteration_cap),
+    )
+    base_stats = {
+        op: MemoryOpStats(hit_rate=min(1.0, mix.hit), local_ratio=min(1.0, mix.local))
+        for op, mix in base_mixes.items()
+    }
+    base_assignment = assign_latencies(loop, config, stats=base_stats)
+    ratio = _recurrence_ratio(
+        loop, make_latency_function(config, memory_latencies=base_assignment.latencies)
+    )
+
+    best: Optional[PredictedLoopResult] = None
+    for factor in candidate_factors(loop, config, options.unroll_policy):
+        variant = unroll_loop(loop, factor) if factor > 1 else loop
+        candidate = _predict_variant(
+            variant,
+            config,
+            options,
+            simulation,
+            factor,
+            rec_floor=math.ceil(factor * ratio),
+        )
+        if best is None or candidate.compute_cycles < best.compute_cycles:
+            best = candidate
+    assert best is not None  # candidate_factors is never empty
+    return best
+
+
+def predict_benchmark(
+    benchmark: Benchmark,
+    config: MachineConfig,
+    options: Optional[CompilerOptions] = None,
+    simulation: Optional[SimulationOptions] = None,
+    architecture: Optional[str] = None,
+) -> PredictedResult:
+    """Predict a whole benchmark: one prediction per loop, aggregated."""
+    if options is None:
+        options = CompilerOptions(heuristic=default_heuristic_for(config))
+    loops = [
+        predict_loop(loop, config, options, simulation) for loop in benchmark.loops
+    ]
+    return PredictedResult(
+        benchmark=benchmark.name,
+        architecture=architecture or config.organization.value,
+        heuristic=options.heuristic.value,
+        loops=loops,
+    )
+
+
+def predict_job(job) -> PredictedResult:
+    """Predict one sweep job (a :class:`~repro.sweep.spec.SweepJob`)."""
+    from repro.sweep.workloads import resolve_workload
+
+    benchmark = resolve_workload(job.benchmark)
+    return predict_benchmark(
+        benchmark,
+        job.config,
+        job.options,
+        job.simulation,
+        architecture=job.architecture,
+    )

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional
 
-from repro.ir.ddg import DataDependenceGraph, Recurrence
+from repro.ir.ddg import DataDependenceGraph, DependenceKind, Recurrence
 from repro.ir.loop import Loop
 from repro.ir.operation import Operation, OperationClass
 from repro.machine.config import MachineConfig
@@ -92,3 +92,43 @@ def recurrence_ii(
 ) -> int:
     """II bound of a single recurrence under the given latencies."""
     return recurrence.initiation_interval(latency_of)
+
+
+def critical_path_length(
+    ddg: DataDependenceGraph, latency_of: Callable[[Operation], int]
+) -> int:
+    """Length of the longest intra-iteration dependence chain, in cycles.
+
+    Only same-iteration (distance-0) dependences constrain the length of one
+    iteration's schedule; loop-carried edges constrain the II instead.  Edge
+    latencies follow the same semantics as
+    :meth:`~repro.ir.ddg.Recurrence.latency_sum`: anti and output dependences
+    add nothing, memory serialization edges add one cycle, flow dependences
+    add the producer's latency.  The analytical performance model uses this
+    as a stage-count estimate (``SC ~ ceil(path / II)``) without running the
+    scheduler.
+    """
+    longest: dict[Operation, int] = {}
+    # Distance-0 dependences always point forward in program order (the IR
+    # builder constructs loop bodies that way), so a single program-order
+    # pass is a valid topological traversal.
+    for op in ddg.operations:
+        start = longest.get(op, 0)
+        for dep in ddg.dependences_from(op):
+            if dep.distance != 0:
+                continue
+            if dep.kind in (DependenceKind.REG_ANTI, DependenceKind.REG_OUTPUT):
+                contribution = 0
+            elif dep.kind is DependenceKind.MEMORY:
+                contribution = 1
+            else:
+                contribution = latency_of(op)
+            candidate = start + contribution
+            if candidate > longest.get(dep.dst, 0):
+                longest[dep.dst] = candidate
+    if not ddg.operations:
+        return 1
+    # The path ends when the last operation completes.
+    return max(
+        longest.get(op, 0) + latency_of(op) for op in ddg.operations
+    )

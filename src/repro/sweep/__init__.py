@@ -14,18 +14,21 @@ The subsystem splits design-space exploration into explicit phases:
 
 from repro.sweep.executor import (
     JobOutcome,
+    PruneOptions,
     SweepRunSummary,
     default_workers,
     execute_job,
+    is_simulated_record,
     run_jobs,
     run_sweep,
 )
-from repro.sweep.report import render_report, render_status
+from repro.sweep.report import render_report, render_report_json, render_status
 from repro.sweep.spec import (
     SweepJob,
     SweepPoint,
     SweepSpec,
     default_spec,
+    job_from_description,
     job_key,
     make_job,
 )
@@ -34,6 +37,7 @@ from repro.sweep.workloads import resolve_workload, workload_names
 
 __all__ = [
     "JobOutcome",
+    "PruneOptions",
     "ResultStore",
     "SweepJob",
     "SweepPoint",
@@ -42,9 +46,12 @@ __all__ = [
     "default_spec",
     "default_workers",
     "execute_job",
+    "is_simulated_record",
+    "job_from_description",
     "job_key",
     "make_job",
     "render_report",
+    "render_report_json",
     "render_status",
     "resolve_workload",
     "run_jobs",

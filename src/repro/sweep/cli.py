@@ -3,13 +3,18 @@
 ::
 
     python -m repro.sweep run     [--spec FILE] [--workers N] [--results-dir DIR]
+                                  [--prune-model] [--prune-keep F] [--calibration FILE]
     python -m repro.sweep status  [--spec FILE] [--results-dir DIR]
     python -m repro.sweep report  [--results-dir DIR] [--sort METRIC] [--benchmark NAME]
+                                  [--format table|json] [--source simulator|model]
 
 ``run`` executes the grid (the built-in 8-point architectural grid of the
 design-space example when no spec file is given), persists one JSON record
 per point, and prints the result table; re-running with an unchanged grid
-completes from the store with 100% cache hits.
+completes from the store with 100% cache hits.  With ``--prune-model`` the
+analytical model (:mod:`repro.model`) ranks every benchmark's points and
+only the best ``--prune-keep`` fraction is simulated -- the rest is stored
+as model-only records.
 """
 
 from __future__ import annotations
@@ -20,8 +25,18 @@ import sys
 from pathlib import Path
 from typing import Optional
 
-from repro.sweep.executor import JobOutcome, default_workers, run_sweep
-from repro.sweep.report import DEFAULT_METRICS, render_report, render_status
+from repro.sweep.executor import (
+    JobOutcome,
+    PruneOptions,
+    default_workers,
+    run_sweep,
+)
+from repro.sweep.report import (
+    DEFAULT_METRICS,
+    render_report,
+    render_report_json,
+    render_status,
+)
 from repro.sweep.spec import SweepSpec, default_spec
 from repro.sweep.store import ResultStore
 from repro.sweep.workloads import workload_names
@@ -45,6 +60,19 @@ def _load_spec(args: argparse.Namespace) -> SweepSpec:
     return spec
 
 
+def _keep_fraction(text: str) -> float:
+    """argparse type for --prune-keep: a fraction in (0, 1]."""
+    try:
+        value = float(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}") from error
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be a fraction in (0, 1], got {text}"
+        )
+    return value
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--results-dir",
@@ -62,13 +90,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     spec = _load_spec(args)
     store = ResultStore(Path(args.results_dir))
     jobs = spec.expand()
+    prune = None
+    if args.prune_model:
+        calibration = None
+        if args.calibration is not None:
+            from repro.model.calibrate import ModelCalibration
+
+            calibration = ModelCalibration.load(args.calibration)
+        prune = PruneOptions(
+            keep_fraction=args.prune_keep, calibration=calibration
+        )
     print(
         f"sweep {spec.name!r}: {len(jobs)} points, "
         f"{args.workers} worker(s), store {store.root}"
+        + (f", model pruning keeps {args.prune_keep:.0%}" if prune else "")
     )
 
     def progress(done: int, total: int, outcome: JobOutcome) -> None:
-        state = "hit " if outcome.cached else "ran "
+        # Pruned outcomes stay labelled "model" even when their record was
+        # reused from the store -- the point was never simulated.
+        state = "model" if outcome.pruned else ("hit  " if outcome.cached else "ran  ")
         metrics = outcome.record.get("metrics", {})
         cycles = metrics.get("total_cycles", "?")
         print(
@@ -82,11 +123,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         force=args.force,
         progress=progress if not args.quiet else None,
+        prune=prune,
     )
     info = summary.describe()
     print(
-        f"done: {info['executed']} executed, {info['cache_hits']} cache hits "
-        f"in {info['elapsed_seconds']}s"
+        f"done: {info['executed']} executed, {info['cache_hits']} cache hits, "
+        f"{info['pruned']} model-pruned in {info['elapsed_seconds']}s"
     )
     if not args.quiet:
         keys = {job.key for job in jobs}
@@ -107,13 +149,27 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     store = ResultStore(Path(args.results_dir))
-    print(
-        render_report(
-            store.records(),
-            sort_by=args.sort,
-            benchmark=args.benchmark,
+    records = store.records()
+    if args.source is not None:
+        records = (
+            record
+            for record in records
+            if record.get("source", "simulator") == args.source
         )
-    )
+    if args.format == "json":
+        print(
+            render_report_json(
+                records, sort_by=args.sort, benchmark=args.benchmark
+            )
+        )
+    else:
+        print(
+            render_report(
+                records,
+                sort_by=args.sort,
+                benchmark=args.benchmark,
+            )
+        )
     return 0
 
 
@@ -144,6 +200,26 @@ def main(argv: Optional[list[str]] = None) -> int:
     run_parser.add_argument(
         "--quiet", action="store_true", help="suppress per-job progress and table"
     )
+    run_parser.add_argument(
+        "--prune-model",
+        action="store_true",
+        help="rank points with the analytical model; simulate only the best",
+    )
+    run_parser.add_argument(
+        "--prune-keep",
+        type=_keep_fraction,
+        default=0.5,
+        metavar="FRACTION",
+        help="fraction of each benchmark's points to simulate with "
+        "--prune-model (default 0.5)",
+    )
+    run_parser.add_argument(
+        "--calibration",
+        default=None,
+        metavar="FILE",
+        help="with --prune-model: apply a fitted model calibration (JSON) "
+        "before ranking",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     status_parser = sub.add_parser("status", help="summarize the result store")
@@ -164,6 +240,18 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     report_parser.add_argument(
         "--benchmark", default=None, help="only show one benchmark's rows"
+    )
+    report_parser.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output format (json rows are machine-readable)",
+    )
+    report_parser.add_argument(
+        "--source",
+        choices=("simulator", "model"),
+        default=None,
+        help="only show records from one source",
     )
     report_parser.set_defaults(func=_cmd_report)
 

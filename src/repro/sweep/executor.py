@@ -10,10 +10,18 @@ Results flow back to the parent as ``(record, BenchmarkSimulationResult)``
 pairs and are written to the :class:`~repro.sweep.store.ResultStore`; jobs
 whose key is already stored are skipped entirely (incremental re-runs),
 unless ``force=True``.
+
+With :class:`PruneOptions` the analytical model (:mod:`repro.model`) ranks
+every benchmark's jobs by predicted cycles first and only the most
+promising fraction is simulated; the pruned remainder is stored as
+model-only records (``"source": "model"``), which never satisfy the
+cache-hit check of a later unpruned run -- simulating a previously pruned
+point simply overwrites its model record.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 import time
@@ -53,9 +61,43 @@ def make_record(
         "architecture": job.architecture,
         "job": job.describe(),
         "metrics": metrics,
+        "source": "simulator",
         "elapsed_seconds": round(elapsed_seconds, 4),
         "worker_pid": os.getpid(),
     }
+
+
+def make_model_record(
+    job: SweepJob, predicted, elapsed_seconds: float, calibrated: bool = False
+) -> dict:
+    """Assemble the store record of a model-only (pruned) job.
+
+    ``calibrated`` marks records whose metrics went through fitted
+    coefficients; raw and calibrated predictions are not interchangeable,
+    so the flag is what the record-reuse path keys on.
+    """
+    metrics = predicted.describe()
+    metrics.pop("source", None)  # recorded at the top level instead
+    metrics["ipc"] = round(predicted.ipc(), 4)
+    return {
+        "key": job.key,
+        "architecture": job.architecture,
+        "job": job.describe(),
+        "metrics": metrics,
+        "source": "model",
+        "calibrated": calibrated,
+        "elapsed_seconds": round(elapsed_seconds, 4),
+        "worker_pid": os.getpid(),
+    }
+
+
+def is_simulated_record(record: Optional[dict]) -> bool:
+    """True for records the simulator produced (model records don't count).
+
+    Records written before the ``source`` field existed are simulator
+    records.
+    """
+    return record is not None and record.get("source", "simulator") != "model"
 
 
 def execute_job(job: SweepJob) -> tuple[dict, BenchmarkSimulationResult]:
@@ -92,11 +134,36 @@ class JobOutcome:
     record: dict
     cached: bool
     result: Optional[BenchmarkSimulationResult] = None
+    pruned: bool = False
 
     @property
     def key(self) -> str:
         """Content hash of the job."""
         return self.job.key
+
+
+@dataclass(frozen=True)
+class PruneOptions:
+    """Model-guided pruning knobs of a sweep run.
+
+    ``keep_fraction`` is the fraction of each benchmark's jobs that is
+    actually simulated; the rest is recorded from the analytical model
+    only.  Already-simulated (stored) jobs always count towards the kept
+    set -- their results are free.  ``calibration`` optionally applies
+    fitted coefficients before ranking.
+    """
+
+    keep_fraction: float = 0.5
+    metric: str = "total_cycles"
+    calibration: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.keep_fraction <= 1.0:
+            raise ValueError("keep_fraction must be in (0, 1]")
+
+    def keep_count(self, total: int) -> int:
+        """Jobs of a benchmark that survive pruning."""
+        return max(1, math.ceil(total * self.keep_fraction))
 
 
 @dataclass
@@ -109,6 +176,7 @@ class SweepRunSummary:
     workers: int
     elapsed_seconds: float
     outcomes: list[JobOutcome] = field(default_factory=list)
+    pruned: int = 0
 
     def describe(self) -> dict[str, object]:
         """Flat summary for logs and the CLI."""
@@ -116,6 +184,7 @@ class SweepRunSummary:
             "total_jobs": self.total,
             "executed": self.executed,
             "cache_hits": self.cache_hits,
+            "pruned": self.pruned,
             "workers": self.workers,
             "elapsed_seconds": round(self.elapsed_seconds, 3),
         }
@@ -139,6 +208,60 @@ def _dedupe(jobs: Iterable[SweepJob]) -> list[SweepJob]:
     return unique
 
 
+def predict_job_with_calibration(job: SweepJob, prune: Optional[PruneOptions]):
+    """Predict one job, applying the prune options' calibration if set."""
+    from repro.model.predict import predict_job
+
+    predicted = predict_job(job)
+    if prune is not None and prune.calibration is not None:
+        predicted = prune.calibration.apply(predicted)
+    return predicted
+
+
+def _prune_pending(
+    unique: Sequence[SweepJob],
+    pending: Sequence[SweepJob],
+    prune: PruneOptions,
+) -> tuple[list[SweepJob], list[SweepJob], dict[str, tuple[object, float]]]:
+    """Split pending jobs into (simulate, model-only) per benchmark.
+
+    Every benchmark keeps ``keep_count`` of its grid points; stored
+    simulator results occupy kept slots first (they cost nothing), and the
+    best-predicted pending jobs fill the rest.
+    """
+    pending_keys = {job.key for job in pending}
+    by_benchmark: dict[str, list[SweepJob]] = {}
+    for job in unique:
+        by_benchmark.setdefault(job.benchmark, []).append(job)
+
+    predictions: dict[str, tuple[object, float]] = {}
+    kept: set[str] = set()
+    for group in by_benchmark.values():
+        budget = prune.keep_count(len(group))
+        budget -= sum(1 for job in group if job.key not in pending_keys)
+        if budget <= 0:
+            # Stored simulator results already fill the keep budget; no
+            # ranking (and therefore no prediction) is needed to decide
+            # that every pending job of this benchmark is pruned.
+            continue
+        scored = []
+        for job in group:
+            if job.key not in pending_keys:
+                continue
+            started = time.perf_counter()
+            predicted = predict_job_with_calibration(job, prune)
+            predictions[job.key] = (predicted, time.perf_counter() - started)
+            metrics = predicted.describe()
+            score = metrics.get(prune.metric, predicted.total_cycles)
+            scored.append((score, job.key))
+        scored.sort()
+        kept.update(key for _, key in scored[:budget])
+
+    simulate = [job for job in pending if job.key in kept]
+    model_only = [job for job in pending if job.key not in kept]
+    return simulate, model_only, predictions
+
+
 def run_jobs(
     jobs: Sequence[SweepJob],
     store: Optional[ResultStore] = None,
@@ -146,12 +269,23 @@ def run_jobs(
     force: bool = False,
     save_payloads: bool = True,
     progress: Optional[Callable[[int, int, JobOutcome], None]] = None,
+    prune: Optional[PruneOptions] = None,
 ) -> SweepRunSummary:
     """Execute jobs, skipping stored results, optionally in parallel.
 
     Duplicate jobs (same content hash) are executed once.  With a store,
     finished results are persisted as JSON records plus (optionally) full
-    pickle payloads; without one, everything is computed in memory.
+    pickle payloads; without one, everything is computed in memory.  Only
+    *simulator* records count as cache hits -- a model-only record left by
+    a pruned run is recomputed (and overwritten) once the job is actually
+    simulated.
+
+    With ``prune``, the analytical model ranks each benchmark's jobs and
+    only the configured fraction is simulated; pruned jobs are recorded
+    from the model alone.  Combining ``prune`` with ``force`` re-ranks the
+    whole grid from scratch: previously simulated points that fall outside
+    the keep budget are deliberately replaced by model-only records (their
+    stale payloads are removed with them).
     """
     started = time.perf_counter()
     unique = _dedupe(jobs)
@@ -160,10 +294,15 @@ def run_jobs(
     pending: list[SweepJob] = []
     for job in unique:
         record = None if (force or store is None) else store.load_record(job.key)
-        if record is not None:
+        if is_simulated_record(record):
             outcomes.append(JobOutcome(job=job, record=record, cached=True))
         else:
             pending.append(job)
+
+    pruned_jobs: list[SweepJob] = []
+    predictions: dict[str, tuple[object, float]] = {}
+    if prune is not None and pending:
+        pending, pruned_jobs, predictions = _prune_pending(unique, pending, prune)
 
     done = len(outcomes)
     total = len(unique)
@@ -171,15 +310,57 @@ def run_jobs(
         for index, outcome in enumerate(outcomes, start=1):
             progress(index, total, outcome)
 
-    def finish(job: SweepJob, record: dict, result: BenchmarkSimulationResult) -> None:
+    def finish(outcome: JobOutcome) -> None:
         nonlocal done
-        if store is not None:
-            store.save(job.key, record, payload=result if save_payloads else None)
-        outcome = JobOutcome(job=job, record=record, cached=False, result=result)
         outcomes.append(outcome)
         done += 1
         if progress is not None:
             progress(done, total, outcome)
+
+    for job in pruned_jobs:
+        entry = predictions.get(job.key)
+        if entry is None:
+            # The benchmark's keep budget was already filled by stored
+            # simulator results, so this job was pruned without ranking.
+            # Raw predictions are deterministic, so an existing *raw* model
+            # record is reusable as-is; calibrated records are tied to the
+            # coefficients that produced them and are never reused.
+            if store is not None and prune is not None and prune.calibration is None:
+                existing = store.load_record(job.key)
+                if (
+                    existing is not None
+                    and existing.get("source") == "model"
+                    and not existing.get("calibrated", False)
+                ):
+                    finish(
+                        JobOutcome(
+                            job=job, record=existing, cached=True, pruned=True
+                        )
+                    )
+                    continue
+            started = time.perf_counter()
+            predicted = predict_job_with_calibration(job, prune)
+            entry = (predicted, time.perf_counter() - started)
+        predicted, elapsed = entry
+        record = make_model_record(
+            job,
+            predicted,
+            elapsed,
+            calibrated=prune is not None and prune.calibration is not None,
+        )
+        if store is not None:
+            store.save(job.key, record)
+            # A force re-run may prune a previously simulated point; drop
+            # the stale simulator payload so it cannot outlive its record.
+            store.discard_payload(job.key)
+        finish(JobOutcome(job=job, record=record, cached=False, pruned=True))
+
+    def finish_executed(
+        job: SweepJob, record: dict, result: BenchmarkSimulationResult
+    ) -> None:
+        if store is not None:
+            store.save(job.key, record, payload=result if save_payloads else None)
+        finish(JobOutcome(job=job, record=record, cached=False, result=result))
 
     pool_size = min(workers, len(pending))
     if pool_size > 1:
@@ -189,19 +370,20 @@ def run_jobs(
             for key, record, result in pool.imap_unordered(
                 _pool_execute, pending
             ):
-                finish(by_key[key], record, result)
+                finish_executed(by_key[key], record, result)
     else:
         for job in pending:
             record, result = execute_job(job)
-            finish(job, record, result)
+            finish_executed(job, record, result)
 
     return SweepRunSummary(
         total=total,
         executed=len(pending),
-        cache_hits=total - len(pending),
+        cache_hits=total - len(pending) - len(pruned_jobs),
         workers=max(1, pool_size),
         elapsed_seconds=time.perf_counter() - started,
         outcomes=outcomes,
+        pruned=len(pruned_jobs),
     )
 
 
@@ -212,6 +394,7 @@ def run_sweep(
     force: bool = False,
     save_payloads: bool = True,
     progress: Optional[Callable[[int, int, JobOutcome], None]] = None,
+    prune: Optional[PruneOptions] = None,
 ) -> SweepRunSummary:
     """Expand a spec and execute the resulting grid."""
     return run_jobs(
@@ -221,4 +404,5 @@ def run_sweep(
         force=force,
         save_payloads=save_payloads,
         progress=progress,
+        prune=prune,
     )

@@ -1,7 +1,8 @@
-"""Rendering of stored sweep results as text tables."""
+"""Rendering of stored sweep results as text tables or JSON rows."""
 
 from __future__ import annotations
 
+import json
 from typing import Iterable, Optional, Sequence
 
 from repro.analysis.report import format_table
@@ -33,7 +34,47 @@ def _job_summary(record: dict) -> dict[str, object]:
         "ab_entries": attraction.get("entries", 0) if attraction.get("enabled") else 0,
         "heuristic": compiler.get("heuristic", "?"),
         "unroll": compiler.get("unroll_policy", "?"),
+        "source": record.get("source", "simulator"),
     }
+
+
+def _report_rows(
+    records: Iterable[dict],
+    metrics: Sequence[str],
+    sort_by: str,
+    benchmark: Optional[str],
+    key_length: Optional[int] = 12,
+) -> tuple[list[str], list[dict[str, object]]]:
+    """Shared row assembly of the table and JSON renderings."""
+    rows = []
+    for record in records:
+        summary = _job_summary(record)
+        if benchmark is not None and summary["benchmark"] != benchmark:
+            continue
+        values = record.get("metrics", {})
+        key = str(record.get("key", ""))
+        rows.append(
+            {
+                **summary,
+                **{name: values.get(name, "") for name in metrics},
+                "key": key[:key_length] if key_length else key,
+            }
+        )
+    headers = [
+        "benchmark",
+        "architecture",
+        "clusters",
+        "interleaving",
+        "ab_entries",
+        "heuristic",
+        "unroll",
+        "source",
+        *metrics,
+        "key",
+    ]
+    sort_key = sort_by if sort_by in headers else "benchmark"
+    rows.sort(key=lambda row: (_sortable(row[sort_key]), str(row["benchmark"])))
+    return headers, rows
 
 
 def render_report(
@@ -44,35 +85,27 @@ def render_report(
     title: str = "Sweep results",
 ) -> str:
     """Render records as an aligned table, one row per stored job."""
-    rows = []
-    for record in records:
-        summary = _job_summary(record)
-        if benchmark is not None and summary["benchmark"] != benchmark:
-            continue
-        values = record.get("metrics", {})
-        rows.append(
-            {
-                **summary,
-                **{name: values.get(name, "") for name in metrics},
-                "key": str(record.get("key", ""))[:12],
-            }
-        )
+    headers, rows = _report_rows(records, metrics, sort_by, benchmark)
     if not rows:
         return f"{title}\n(no stored results)"
-    headers = [
-        "benchmark",
-        "architecture",
-        "clusters",
-        "interleaving",
-        "ab_entries",
-        "heuristic",
-        "unroll",
-        *metrics,
-        "key",
-    ]
-    sort_key = sort_by if sort_by in headers else "benchmark"
-    rows.sort(key=lambda row: (_sortable(row[sort_key]), str(row["benchmark"])))
     return format_table(headers, [[row[name] for name in headers] for row in rows], title=title)
+
+
+def render_report_json(
+    records: Iterable[dict],
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    sort_by: str = "benchmark",
+    benchmark: Optional[str] = None,
+) -> str:
+    """Render records as a JSON array of flat row objects.
+
+    The machine-readable twin of :func:`render_report` -- same rows, same
+    sorting, full (untruncated) job keys -- so model-vs-simulator
+    comparisons can be scripted against ``repro-sweep report --format
+    json``.
+    """
+    _, rows = _report_rows(records, metrics, sort_by, benchmark, key_length=None)
+    return json.dumps(rows, indent=2, sort_keys=True)
 
 
 def _sortable(value: object) -> tuple:
@@ -86,17 +119,31 @@ def render_status(store: ResultStore, spec: Optional[SweepSpec] = None) -> str:
     keys = store.keys()
     lines = [f"result store: {store.root}", f"stored records: {len(keys)}"]
     per_benchmark: dict[str, int] = {}
+    model_only = 0
+    simulated_keys: set[str] = set()
     for record in store.records():
         name = record.get("job", {}).get("benchmark", "?")
         per_benchmark[name] = per_benchmark.get(name, 0) + 1
+        if record.get("source", "simulator") == "model":
+            model_only += 1
+        else:
+            simulated_keys.add(str(record.get("key", "")))
+    if model_only:
+        lines[-1] += f" ({model_only} model-only)"
     for name in sorted(per_benchmark):
         lines.append(f"  {name}: {per_benchmark[name]}")
     if spec is not None:
         jobs = spec.expand()
         stored = set(keys)
-        done = sum(1 for job in jobs if job.key in stored)
+        done = sum(1 for job in jobs if job.key in simulated_keys)
+        pruned = sum(
+            1
+            for job in jobs
+            if job.key in stored and job.key not in simulated_keys
+        )
         lines.append(
-            f"spec {spec.name!r}: {done}/{len(jobs)} points stored"
+            f"spec {spec.name!r}: {done}/{len(jobs)} points simulated"
+            + (f", {pruned} model-only" if pruned else "")
             + ("" if done < len(jobs) else " (complete)")
         )
     return "\n".join(lines)

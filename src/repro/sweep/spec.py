@@ -177,6 +177,37 @@ def make_job(
     )
 
 
+def job_from_description(description: Mapping[str, object]) -> SweepJob:
+    """Rebuild an executable job from a stored job description.
+
+    The inverse of :meth:`SweepJob.describe`: every record the
+    :class:`~repro.sweep.store.ResultStore` holds carries enough information
+    to reconstruct the job that produced it, so model calibration
+    (:mod:`repro.model.calibrate`) can re-predict stored results without the
+    original spec.  Round-trips exactly -- the rebuilt job hashes to the
+    same key.
+    """
+    machine = dict(description["machine"])
+    compiler = dict(description["compiler"])
+    simulation = dict(description.get("simulation", {}))
+    config = MachineConfig.from_description(machine)
+    options = CompilerOptions(
+        heuristic=SchedulingHeuristic(compiler["heuristic"]),
+        unroll_policy=UnrollPolicy(compiler["unroll_policy"]),
+        variable_alignment=bool(compiler["variable_alignment"]),
+        use_chains=bool(compiler["use_chains"]),
+        profile_dataset=str(compiler.get("profile_dataset", "profile")),
+        profile_iteration_cap=int(compiler.get("profile_iteration_cap", 512)),
+    )
+    sim_options = SimulationOptions(
+        dataset=str(simulation.get("dataset", "execution")),
+        iteration_cap=int(simulation.get("iteration_cap", 256)),
+    )
+    return make_job(
+        str(description["benchmark"]), config, options, sim_options
+    )
+
+
 _POINT_FIELDS = {f.name for f in fields(SweepPoint)}
 
 

@@ -114,6 +114,18 @@ class ResultStore:
             except FileNotFoundError:
                 pass
 
+    def discard_payload(self, key: str) -> None:
+        """Remove just the pickle payload of a key, if present.
+
+        Used when a record is replaced by one that has no payload (e.g. a
+        model-only record overwriting a force-rerun simulator record), so a
+        stale pickle can never outlive the record that described it.
+        """
+        try:
+            self.payload_path(key).unlink()
+        except FileNotFoundError:
+            pass
+
     @staticmethod
     def _atomic_write(path: Path, data: bytes) -> None:
         handle = tempfile.NamedTemporaryFile(

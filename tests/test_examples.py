@@ -1,0 +1,76 @@
+"""End-to-end smoke tests for the ``examples/`` scripts.
+
+The examples double as user-facing documentation; these tests run them the
+way a reader would (a fresh subprocess, ``PYTHONPATH=src``) so a refactor
+that breaks their imports or CLI flags fails the suite instead of the
+first user.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO_ROOT / "examples"
+
+
+def _run_example(script: str, *args: str, cwd: Path) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def test_design_space_sweep_example_end_to_end(tmp_path):
+    results_dir = tmp_path / "sweep-results"
+    proc = _run_example(
+        "design_space_sweep.py",
+        "--workers",
+        "2",
+        "--results-dir",
+        str(results_dir),
+        cwd=tmp_path,
+    )
+    assert proc.returncode == 0, proc.stderr
+
+    # The 8-point grid must have been executed and persisted.
+    assert "8 points: 8 executed" in proc.stdout
+    records = sorted((results_dir / "records").glob("*.json"))
+    assert len(records) == 8
+    for path in records:
+        record = json.loads(path.read_text(encoding="utf-8"))
+        assert record["source"] == "simulator"
+        assert record["metrics"]["total_cycles"] > 0
+    # The rendered report shows every architecture of the grid.
+    assert "ipbc/c4i8" in proc.stdout
+    assert "ipbc+ab16/c2i4" in proc.stdout
+
+    # A second run completes entirely from the store.
+    proc = _run_example(
+        "design_space_sweep.py",
+        "--workers",
+        "2",
+        "--results-dir",
+        str(results_dir),
+        cwd=tmp_path,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "8 points: 0 executed" in proc.stdout
+
+
+def test_quickstart_example(tmp_path):
+    proc = _run_example("quickstart.py", cwd=tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip()

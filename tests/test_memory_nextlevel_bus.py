@@ -1,0 +1,130 @@
+"""Edge-case coverage for the shared-bus and next-level memory models.
+
+These are the two memory modules the rest of the suite only exercises
+indirectly (through whole-benchmark simulations); the tests here pin down
+their contention behaviour directly: saturation, queueing fairness, reset
+semantics and the configuration validation guards.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.config import BusConfig, NextLevelConfig
+from repro.memory.bus import BusSet
+from repro.memory.nextlevel import NextMemoryLevel
+
+
+# ----------------------------------------------------------------------
+# BusSet
+# ----------------------------------------------------------------------
+class TestBusSet:
+    def test_uncontended_requests_start_immediately(self):
+        buses = BusSet(BusConfig(count=4, frequency_divisor=2))
+        for _ in range(4):
+            grant = buses.request(cycle=10)
+            assert grant.start_cycle == 10
+            assert grant.wait_cycles == 0
+            assert grant.transfer_cycles == 2
+            assert grant.completion_cycle == 12
+
+    def test_contention_saturation_waits_grow_linearly(self):
+        # 2 buses at half frequency: request pairs queue 2 cycles apart.
+        buses = BusSet(BusConfig(count=2, frequency_divisor=2))
+        waits = [buses.request(cycle=0).wait_cycles for _ in range(8)]
+        assert waits == [0, 0, 2, 2, 4, 4, 6, 6]
+        assert buses.transfers == 8
+        assert buses.total_wait_cycles == sum(waits)
+
+    def test_saturated_utilization_caps_at_one(self):
+        buses = BusSet(BusConfig(count=1, frequency_divisor=2))
+        for _ in range(10):
+            buses.request(cycle=0)
+        # 10 transfers x 2 cycles on 1 bus over 20 cycles: exactly full.
+        assert buses.utilization(elapsed_cycles=20) == 1.0
+        # Over a shorter window the estimate is clamped rather than > 1.
+        assert buses.utilization(elapsed_cycles=5) == 1.0
+
+    def test_utilization_of_empty_window_is_zero(self):
+        buses = BusSet(BusConfig())
+        assert buses.utilization(elapsed_cycles=0) == 0.0
+        assert buses.utilization(elapsed_cycles=-5) == 0.0
+
+    def test_late_request_reuses_freed_bus(self):
+        buses = BusSet(BusConfig(count=1, frequency_divisor=2))
+        first = buses.request(cycle=0)
+        assert first.completion_cycle == 2
+        # A request issued after the bus freed up never waits.
+        second = buses.request(cycle=5)
+        assert second.wait_cycles == 0
+        assert second.start_cycle == 5
+
+    def test_reset_clears_occupancy_and_statistics(self):
+        buses = BusSet(BusConfig(count=1, frequency_divisor=2))
+        buses.request(cycle=0)
+        buses.request(cycle=0)
+        assert buses.total_wait_cycles > 0
+        buses.reset()
+        assert buses.transfers == 0
+        assert buses.total_wait_cycles == 0
+        assert buses.request(cycle=0).wait_cycles == 0
+
+    def test_invalid_configurations_are_rejected(self):
+        with pytest.raises(ValueError):
+            BusConfig(count=0)
+        with pytest.raises(ValueError):
+            BusConfig(frequency_divisor=0)
+
+
+# ----------------------------------------------------------------------
+# NextMemoryLevel
+# ----------------------------------------------------------------------
+class TestNextMemoryLevel:
+    def test_uncontended_access_pays_configured_latency(self):
+        level = NextMemoryLevel(NextLevelConfig(latency=10, ports=4))
+        assert level.access(cycle=0) == 10
+        assert level.total_wait_cycles == 0
+
+    def test_port_contention_saturation(self):
+        # One port: each same-cycle request queues one cycle behind the
+        # previous one (ports are occupied for a single cycle).
+        level = NextMemoryLevel(NextLevelConfig(latency=10, ports=1))
+        latencies = [level.access(cycle=0) for _ in range(5)]
+        assert latencies == [10, 11, 12, 13, 14]
+        assert level.accesses == 5
+        assert level.total_wait_cycles == 0 + 1 + 2 + 3 + 4
+
+    def test_requests_beyond_port_count_queue_fairly(self):
+        level = NextMemoryLevel(NextLevelConfig(latency=10, ports=4))
+        latencies = [level.access(cycle=0) for _ in range(8)]
+        assert latencies == [10, 10, 10, 10, 11, 11, 11, 11]
+
+    def test_zero_latency_next_level_is_rejected(self):
+        with pytest.raises(ValueError):
+            NextLevelConfig(latency=0)
+        with pytest.raises(ValueError):
+            NextLevelConfig(latency=10, ports=0)
+        with pytest.raises(ValueError):
+            NextLevelConfig(latency=-1)
+
+    def test_minimum_latency_level_still_orders_requests(self):
+        # latency=1 is the smallest legal next level; contention still
+        # serializes same-cycle requests.
+        level = NextMemoryLevel(NextLevelConfig(latency=1, ports=1))
+        assert [level.access(cycle=0) for _ in range(3)] == [1, 2, 3]
+
+    def test_reset_clears_ports_and_statistics(self):
+        level = NextMemoryLevel(NextLevelConfig(latency=10, ports=1))
+        level.access(cycle=0)
+        level.access(cycle=0)
+        assert level.total_wait_cycles == 1
+        level.reset()
+        assert level.accesses == 0
+        assert level.total_wait_cycles == 0
+        assert level.access(cycle=0) == 10
+
+    def test_idle_gap_absorbs_backlog(self):
+        level = NextMemoryLevel(NextLevelConfig(latency=10, ports=1))
+        level.access(cycle=0)
+        # By cycle 3 the port has long been free again.
+        assert level.access(cycle=3) == 10

@@ -1,0 +1,460 @@
+"""Tests for the analytical performance model (:mod:`repro.model`).
+
+Covers the four layers of the subsystem -- bounds, locality, prediction,
+calibration -- plus the two acceptance properties of the model: calibrated
+cycle-count error at most 15% MARE over the full benchmark suite, and
+result-shape compatibility with the simulator's containers so the analysis
+layer consumes either.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import metrics
+from repro.analysis.metrics import (
+    mean_absolute_relative_error,
+    relative_error,
+)
+from repro.machine.config import MachineConfig
+from repro.memory.classify import AccessType
+from repro.memory.layout import stride_cluster_fractions, stride_locality
+from repro.model import (
+    CalibrationSample,
+    ExpectedAccessMix,
+    ModelCalibration,
+    PredictedResult,
+    fit_calibration,
+    loop_access_mix,
+    loop_bounds,
+    predict_benchmark,
+    predict_job,
+    predict_loop,
+)
+from repro.model.locality import operation_access_mix
+from repro.scheduler.mii import (
+    compute_mii,
+    critical_path_length,
+    make_latency_function,
+)
+from repro.scheduler.pipeline import CompilerOptions, compile_loop
+from repro.sim.engine import SimulationOptions, simulate_compiled_loops
+from repro.sweep.spec import job_from_description, make_job
+from repro.sweep.workloads import resolve_workload
+from repro.workloads.mediabench import BENCHMARK_NAMES
+
+from tests.conftest import (
+    build_indirect_loop,
+    build_recurrence_loop,
+    build_streaming_loop,
+)
+
+
+# ----------------------------------------------------------------------
+# Geometry queries (memory layer)
+# ----------------------------------------------------------------------
+class TestStrideGeometry:
+    def test_fractions_are_a_distribution(self, interleaved_config):
+        fractions = stride_cluster_fractions(interleaved_config, stride_bytes=2)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert all(fraction > 0 for fraction in fractions.values())
+
+    def test_span_multiple_stride_stays_on_one_cluster(self, interleaved_config):
+        span = interleaved_config.interleave_span
+        fractions = stride_cluster_fractions(interleaved_config, stride_bytes=span)
+        assert fractions == {0: 1.0}
+        assert stride_locality(interleaved_config, 3 * span) == 1.0
+
+    def test_word_stride_spreads_evenly(self, interleaved_config):
+        # Stride == interleaving factor: each access moves one cluster over.
+        fractions = stride_cluster_fractions(
+            interleaved_config, interleaved_config.interleaving_factor
+        )
+        clusters = interleaved_config.num_clusters
+        assert len(fractions) == clusters
+        for fraction in fractions.values():
+            assert fraction == pytest.approx(1.0 / clusters)
+
+    def test_phase_shifts_do_not_change_locality(self, interleaved_config):
+        for stride in (2, 4, 6, 8, 12):
+            base = stride_locality(interleaved_config, stride)
+            shifted = stride_locality(interleaved_config, stride, phase_bytes=8)
+            assert base == pytest.approx(shifted)
+
+    def test_zero_stride_is_fully_local(self, interleaved_config):
+        assert stride_locality(interleaved_config, 0) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Critical path (scheduler layer)
+# ----------------------------------------------------------------------
+class TestCriticalPath:
+    def test_streaming_loop_path_covers_load_consumer_chain(
+        self, interleaved_config
+    ):
+        loop = build_streaming_loop()
+        latency_of = make_latency_function(interleaved_config)
+        path = critical_path_length(loop.ddg, latency_of)
+        # ld(1, local hit) -> mul(2) -> shl(1) -> st(1): at least 5 cycles.
+        assert path >= 5
+
+    def test_longer_latencies_lengthen_the_path(self, interleaved_config):
+        loop = build_streaming_loop()
+        short = critical_path_length(
+            loop.ddg, make_latency_function(interleaved_config)
+        )
+        long = critical_path_length(
+            loop.ddg,
+            make_latency_function(interleaved_config, default_memory_latency=15),
+        )
+        assert long > short
+
+
+# ----------------------------------------------------------------------
+# Locality model
+# ----------------------------------------------------------------------
+class TestLocalityModel:
+    def test_mix_fractions_sum_to_one(self, interleaved_config):
+        loop = build_streaming_loop()
+        for mix in loop_access_mix(loop, interleaved_config).values():
+            total = mix.local_hit + mix.remote_hit + mix.local_miss + mix.remote_miss
+            assert total == pytest.approx(1.0)
+
+    def test_unified_cache_is_fully_local(self, unified_config):
+        loop = build_streaming_loop()
+        for mix in loop_access_mix(loop, unified_config).values():
+            assert mix.local == pytest.approx(1.0)
+            assert mix.remote == pytest.approx(0.0)
+
+    def test_wide_accesses_cannot_be_local(self, interleaved_config):
+        loop = build_streaming_loop(element_bytes=8)  # > 4-byte interleaving
+        for op, mix in loop_access_mix(loop, interleaved_config).items():
+            assert mix.local == pytest.approx(0.0), op.name
+
+    def test_unaligned_stack_data_loses_locality(self, interleaved_config):
+        from repro.ir.loop import StorageClass
+
+        loop = build_streaming_loop(storage=StorageClass.STACK)
+        aligned = loop_access_mix(loop, interleaved_config, aligned=True)
+        unaligned = loop_access_mix(loop, interleaved_config, aligned=False)
+        for op in loop.memory_operations:
+            assert unaligned[op].local <= aligned[op].local
+            assert unaligned[op].local == pytest.approx(
+                1.0 / interleaved_config.num_clusters
+            )
+
+    def test_attraction_buffers_convert_remote_to_local(
+        self, interleaved_config, interleaved_ab_config
+    ):
+        # A 2-byte stride revisits each interleaving chunk, so the buffers
+        # convert a share of the remote accesses into local hits.
+        loop = build_streaming_loop(element_bytes=2)
+        without = loop_access_mix(loop, interleaved_config)
+        with_ab = loop_access_mix(loop, interleaved_ab_config)
+        load = next(op for op in loop.memory_operations if op.is_load)
+        assert with_ab[load].remote < without[load].remote
+        assert with_ab[load].local_hit > without[load].local_hit
+
+    def test_indirect_access_spreads_over_clusters(self, interleaved_config):
+        loop = build_indirect_loop()
+        lookup = next(
+            op for op in loop.memory_operations if op.memory.indirect
+        )
+        mix = operation_access_mix(loop, lookup, interleaved_config)
+        assert mix.local == pytest.approx(1.0 / interleaved_config.num_clusters)
+
+    def test_expected_stall_mirrors_uncovered_latency(self, interleaved_config):
+        mix = ExpectedAccessMix(
+            local_hit=0.5, remote_hit=0.3, local_miss=0.1, remote_miss=0.1
+        )
+        lat = interleaved_config.latencies
+        expected = (
+            0.3 * (lat.remote_hit - 1)
+            + 0.1 * (lat.local_miss - 1)
+            + 0.1 * (lat.remote_miss - 1)
+        )
+        assert mix.expected_stall(interleaved_config, 1) == pytest.approx(expected)
+        # Covering the worst case leaves no stall.
+        assert mix.expected_stall(interleaved_config, lat.remote_miss) == 0.0
+        by_type = mix.stall_by_type(interleaved_config, 1)
+        assert by_type[AccessType.REMOTE_HIT] == pytest.approx(
+            0.3 * (lat.remote_hit - 1)
+        )
+
+
+# ----------------------------------------------------------------------
+# Bounds
+# ----------------------------------------------------------------------
+class TestBounds:
+    def test_bounds_reuse_scheduler_mii(self, interleaved_config):
+        loop = build_recurrence_loop()
+        latency_of = make_latency_function(interleaved_config)
+        bounds = loop_bounds(loop, interleaved_config, latency_of=latency_of)
+        mii = compute_mii(loop, interleaved_config, latency_of)
+        assert bounds.res_mii == mii.res_mii
+        assert bounds.rec_mii == mii.rec_mii
+        assert bounds.ii >= mii.mii
+
+    def test_chain_constraint_raises_the_bound(self, interleaved_config):
+        loop = build_recurrence_loop()
+        with_chains = loop_bounds(loop, interleaved_config, use_chains=True)
+        without = loop_bounds(loop, interleaved_config, use_chains=False)
+        assert with_chains.cluster_mii >= without.cluster_mii
+
+    def test_wide_accesses_create_bus_pressure(self, interleaved_config):
+        wide = build_streaming_loop(element_bytes=8)
+        narrow = build_streaming_loop(element_bytes=4)
+        wide_bounds = loop_bounds(wide, interleaved_config)
+        narrow_bounds = loop_bounds(narrow, interleaved_config)
+        assert wide_bounds.bus_mii > narrow_bounds.bus_mii
+
+    def test_describe_names_the_binding_constraint(self, interleaved_config):
+        bounds = loop_bounds(build_streaming_loop(), interleaved_config)
+        summary = bounds.describe()
+        assert summary["ii_bound"] == bounds.ii
+        assert summary["binding_constraint"] in (
+            "resources",
+            "recurrences",
+            "cluster-assignment",
+            "memory-buses",
+            "memory-ports",
+        )
+
+
+# ----------------------------------------------------------------------
+# Prediction shape compatibility
+# ----------------------------------------------------------------------
+class TestPredictedResultShape:
+    def test_predicted_result_is_shaped_like_simulation_result(
+        self, interleaved_config
+    ):
+        benchmark = resolve_workload("kernels-mix")
+        predicted = predict_benchmark(benchmark, interleaved_config)
+        compiled = [
+            compile_loop(loop, interleaved_config, CompilerOptions())
+            for loop in benchmark.loops
+        ]
+        simulated = simulate_compiled_loops(
+            compiled, benchmark.name, interleaved_config
+        )
+        predicted_keys = set(predicted.describe())
+        simulated_keys = set(simulated.describe())
+        assert simulated_keys <= predicted_keys
+        assert predicted.describe()["source"] == "model"
+
+    def test_analysis_metrics_consume_predictions(self, interleaved_config):
+        benchmark = resolve_workload("kernels-mix")
+        predicted = predict_benchmark(benchmark, interleaved_config)
+        fractions = metrics.access_fractions(predicted)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert 0.0 <= metrics.local_hit_ratio(predicted) <= 1.0
+        assert metrics.workload_balance(predicted) > 0.0
+        breakdown = metrics.normalized_cycle_breakdown(
+            {"model": predicted, "model2": predicted}, baseline="model"
+        )
+        assert breakdown["model"].total == pytest.approx(1.0)
+
+    def test_prediction_is_deterministic(self, interleaved_config):
+        benchmark = resolve_workload("kernel:streaming")
+        first = predict_benchmark(benchmark, interleaved_config)
+        second = predict_benchmark(benchmark, interleaved_config)
+        assert first.total_cycles == second.total_cycles
+        assert first.describe() == second.describe()
+
+    def test_predict_job_resolves_workloads(self):
+        job = make_job(
+            "kernel:reduction",
+            MachineConfig.word_interleaved(),
+            CompilerOptions(),
+            SimulationOptions(iteration_cap=64),
+        )
+        predicted = predict_job(job)
+        assert predicted.benchmark == "kernel:reduction"
+        assert predicted.total_cycles > 0
+
+    def test_loop_prediction_reports_bounds(self, interleaved_config):
+        loop = build_streaming_loop()
+        predicted = predict_loop(loop, interleaved_config)
+        assert predicted.bounds is not None
+        assert predicted.ii >= predicted.bounds.mii
+        assert predicted.compute_cycles >= predicted.iterations
+
+
+# ----------------------------------------------------------------------
+# Job descriptions round-trip (store self-description)
+# ----------------------------------------------------------------------
+class TestDescriptionRoundTrip:
+    def test_machine_config_round_trips(self):
+        for config in (
+            MachineConfig.word_interleaved(),
+            MachineConfig.word_interleaved(attraction_buffers=True, entries=32),
+            MachineConfig.unified(latency=5),
+            MachineConfig.multivliw().with_clusters(2),
+        ):
+            rebuilt = MachineConfig.from_description(config.describe())
+            assert rebuilt == config
+
+    def test_job_round_trips_to_the_same_key(self):
+        job = make_job(
+            "kernel:strided",
+            MachineConfig.word_interleaved(attraction_buffers=True),
+            CompilerOptions(),
+            SimulationOptions(dataset="execution", iteration_cap=96),
+        )
+        rebuilt = job_from_description(job.describe())
+        assert rebuilt.key == job.key
+        assert rebuilt.describe() == job.describe()
+
+
+# ----------------------------------------------------------------------
+# Calibration
+# ----------------------------------------------------------------------
+class TestCalibration:
+    def test_fit_recovers_linear_coefficients(self):
+        # Synthetic ground truth: actual = 2 * compute + 3 * stall.
+        samples = [
+            CalibrationSample("bench", 100.0, 10.0, 2 * 100.0 + 3 * 10.0),
+            CalibrationSample("bench", 150.0, 40.0, 2 * 150.0 + 3 * 40.0),
+            CalibrationSample("bench", 80.0, 90.0, 2 * 80.0 + 3 * 90.0),
+        ]
+        calibration, report = fit_calibration(samples)
+        compute_scale, stall_scale = calibration.scales_for("bench")
+        assert compute_scale == pytest.approx(2.0)
+        assert stall_scale == pytest.approx(3.0)
+        assert report.mare_calibrated == pytest.approx(0.0, abs=1e-9)
+        assert report.mare_raw > 0.0
+
+    def test_scale_only_fallback_for_single_sample(self):
+        samples = [CalibrationSample("one", 100.0, 0.0, 150.0)]
+        calibration, report = fit_calibration(samples)
+        compute_scale, stall_scale = calibration.scales_for("one")
+        assert compute_scale == pytest.approx(1.5)
+        assert stall_scale == pytest.approx(1.5)
+        assert report.mare_calibrated == pytest.approx(0.0, abs=1e-9)
+
+    def test_unknown_benchmark_uses_global_scales(self):
+        samples = [
+            CalibrationSample("a", 100.0, 0.0, 120.0),
+            CalibrationSample("a", 200.0, 0.0, 240.0),
+        ]
+        calibration, _ = fit_calibration(samples)
+        assert calibration.scales_for("never-seen") == (
+            calibration.compute_scale,
+            calibration.stall_scale,
+        )
+
+    def test_round_trips_through_json(self, tmp_path):
+        calibration = ModelCalibration(
+            compute_scale=1.25,
+            stall_scale=0.5,
+            per_benchmark={"epicdec": (1.1, 0.9)},
+        )
+        path = tmp_path / "calibration.json"
+        calibration.save(path)
+        loaded = ModelCalibration.load(path)
+        assert loaded.compute_scale == calibration.compute_scale
+        assert loaded.stall_scale == calibration.stall_scale
+        assert loaded.per_benchmark == calibration.per_benchmark
+
+    def test_error_metrics(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(5.0, 0.0) == 1.0
+        assert mean_absolute_relative_error(
+            [(110.0, 100.0), (90.0, 100.0)]
+        ) == pytest.approx(0.1)
+
+
+# ----------------------------------------------------------------------
+# Acceptance: calibrated error over the full benchmark suite
+# ----------------------------------------------------------------------
+class TestModelAccuracy:
+    #: The acceptance threshold of the subsystem.
+    MARE_THRESHOLD = 0.15
+
+    def test_calibrated_mare_below_threshold_on_full_suite(self):
+        """Calibrated predictions stay within 15% MARE across the suite."""
+        options = CompilerOptions()
+        simulation = SimulationOptions(iteration_cap=64)
+        configs = [
+            MachineConfig.word_interleaved(),
+            MachineConfig.word_interleaved(attraction_buffers=True),
+            MachineConfig.word_interleaved().with_clusters(2),
+        ]
+        samples = []
+        for name in BENCHMARK_NAMES:
+            benchmark = resolve_workload(name)
+            for config in configs:
+                predicted = predict_benchmark(
+                    benchmark, config, options, simulation
+                )
+                compiled = [
+                    compile_loop(loop, config, options)
+                    for loop in benchmark.loops
+                ]
+                simulated = simulate_compiled_loops(
+                    compiled, name, config, simulation
+                )
+                samples.append(
+                    CalibrationSample.from_results(
+                        predicted, simulated.total_cycles
+                    )
+                )
+        assert len(samples) == len(BENCHMARK_NAMES) * len(configs)
+        _, report = fit_calibration(samples)
+        assert report.mare_calibrated <= self.MARE_THRESHOLD, (
+            f"calibrated MARE {report.mare_calibrated:.3f} exceeds "
+            f"{self.MARE_THRESHOLD}: "
+            + ", ".join(
+                f"{row.benchmark}={row.mare_calibrated:.2f}"
+                for row in report.rows
+            )
+        )
+        # The raw model is informative on its own -- not an order of
+        # magnitude off -- and calibration only tightens it.
+        assert report.mare_raw < 0.5
+        assert report.mare_calibrated <= report.mare_raw
+
+    def test_predictions_are_cheaper_than_simulation(self):
+        """The model must stay well under the compile+simulate cost."""
+        import time
+
+        benchmark = resolve_workload("gsmdec")
+        config = MachineConfig.word_interleaved()
+        options = CompilerOptions()
+        simulation = SimulationOptions(iteration_cap=64)
+
+        started = time.perf_counter()
+        predict_benchmark(benchmark, config, options, simulation)
+        model_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        compiled = [
+            compile_loop(loop, config, options) for loop in benchmark.loops
+        ]
+        simulate_compiled_loops(compiled, benchmark.name, config, simulation)
+        simulate_seconds = time.perf_counter() - started
+
+        # Generous 2x margin: the observed gap is ~10-20x, but CI machines
+        # are noisy and the property that matters is "cheaper".
+        assert model_seconds < simulate_seconds / 2
+
+
+class TestModelValidationExperiment:
+    def test_experiment_reports_per_benchmark_errors(self):
+        from repro.experiments.common import ExperimentOptions
+        from repro.experiments.model_validation import run_model_validation
+
+        options = ExperimentOptions(
+            benchmarks=("epicdec", "mpeg2dec"), simulation_iteration_cap=64
+        )
+        rows, result = run_model_validation(options=options)
+        assert len(rows) == 2 * 3  # benchmarks x setups
+        assert any("MARE" in note for note in result.notes)
+        rendered = result.render()
+        assert "epicdec" in rendered and "mpeg2dec" in rendered
+        for row in rows:
+            assert row.actual_cycles > 0
+            assert math.isfinite(row.calibrated_error)

@@ -1,0 +1,214 @@
+"""Tests for model-guided sweep pruning (``--prune-model``).
+
+The acceptance property: a pruned sweep with ``keep_fraction=0.5`` must
+simulate at most half of each benchmark's grid *and* still recover the
+exhaustive sweep's best configuration (the minimum simulated cycle count),
+with every skipped point recorded as a model-only store entry.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sweep.cli import main as sweep_main
+from repro.sweep.executor import (
+    PruneOptions,
+    is_simulated_record,
+    run_sweep,
+)
+from repro.sweep.spec import SweepSpec
+from repro.sweep.store import ResultStore
+
+
+def _kernel_grid(iteration_cap: int = 128) -> SweepSpec:
+    """A 12-point grid over three synthetic kernels (fast to simulate)."""
+    return SweepSpec(
+        name="prune-test",
+        benchmarks=("kernel:streaming", "kernel:reduction", "kernel:strided"),
+        axes={"clusters": (2, 4), "attraction_entries": (0, 16)},
+        base={"heuristic": "ipbc", "iteration_cap": iteration_cap},
+    )
+
+
+def _best_cycles_per_benchmark(store: ResultStore, simulated_only: bool) -> dict:
+    best: dict[str, float] = {}
+    for record in store.records():
+        if simulated_only and not is_simulated_record(record):
+            continue
+        name = record["job"]["benchmark"]
+        cycles = record["metrics"]["total_cycles"]
+        if name not in best or cycles < best[name]:
+            best[name] = cycles
+    return best
+
+
+class TestPruneOptions:
+    def test_keep_fraction_must_be_a_fraction(self):
+        with pytest.raises(ValueError):
+            PruneOptions(keep_fraction=0.0)
+        with pytest.raises(ValueError):
+            PruneOptions(keep_fraction=1.5)
+
+    def test_keep_count_rounds_up_and_keeps_at_least_one(self):
+        assert PruneOptions(keep_fraction=0.5).keep_count(4) == 2
+        assert PruneOptions(keep_fraction=0.5).keep_count(3) == 2
+        assert PruneOptions(keep_fraction=0.1).keep_count(4) == 1
+        assert PruneOptions(keep_fraction=1.0).keep_count(4) == 4
+
+
+class TestPrunedSweep:
+    def test_pruned_sweep_recovers_best_configuration(self, tmp_path):
+        """The acceptance criterion of the pruning mode."""
+        spec = _kernel_grid()
+
+        exhaustive_store = ResultStore(tmp_path / "exhaustive")
+        exhaustive = run_sweep(spec, store=exhaustive_store)
+        assert exhaustive.executed == spec.num_points
+
+        pruned_store = ResultStore(tmp_path / "pruned")
+        pruned = run_sweep(
+            spec, store=pruned_store, prune=PruneOptions(keep_fraction=0.5)
+        )
+
+        # At most half of the grid was simulated; the rest is model-only.
+        assert pruned.executed <= spec.num_points // 2
+        assert pruned.executed + pruned.pruned == spec.num_points
+
+        # Per benchmark, exactly the keep fraction was simulated.
+        simulated_per_benchmark: dict[str, int] = {}
+        for outcome in pruned.outcomes:
+            if outcome.result is not None:
+                name = outcome.job.benchmark
+                simulated_per_benchmark[name] = (
+                    simulated_per_benchmark.get(name, 0) + 1
+                )
+        for name, count in simulated_per_benchmark.items():
+            assert count == 2, name  # half of the 4 points per benchmark
+
+        # The pruned sweep finds the same best configuration (same minimum
+        # simulated cycle count) as the exhaustive sweep, per benchmark.
+        exhaustive_best = _best_cycles_per_benchmark(
+            exhaustive_store, simulated_only=True
+        )
+        pruned_best = _best_cycles_per_benchmark(pruned_store, simulated_only=True)
+        assert set(pruned_best) == set(exhaustive_best)
+        for name, cycles in exhaustive_best.items():
+            assert pruned_best[name] == cycles, name
+
+    def test_pruned_jobs_are_stored_as_model_records(self, tmp_path):
+        spec = _kernel_grid()
+        store = ResultStore(tmp_path / "store")
+        summary = run_sweep(spec, store=store, prune=PruneOptions(keep_fraction=0.5))
+
+        sources = {"model": 0, "simulator": 0}
+        for record in store.records():
+            sources[record["source"]] += 1
+        assert sources["model"] == summary.pruned
+        assert sources["simulator"] == summary.executed
+        # Model records carry the full job description and metrics, but no
+        # pickle payload (there is no simulation result to preserve).
+        for record in store.records():
+            if record["source"] == "model":
+                assert record["metrics"]["total_cycles"] > 0
+                assert record["job"]["benchmark"] in spec.benchmarks
+                assert store.load_payload(record["key"]) is None
+
+    def test_model_records_are_not_cache_hits_for_real_runs(self, tmp_path):
+        spec = _kernel_grid()
+        store = ResultStore(tmp_path / "store")
+        pruned = run_sweep(spec, store=store, prune=PruneOptions(keep_fraction=0.5))
+        assert pruned.pruned > 0
+
+        # An unpruned re-run simulates exactly the previously pruned points
+        # and overwrites their model records.
+        full = run_sweep(spec, store=store)
+        assert full.executed == pruned.pruned
+        assert full.cache_hits == pruned.executed
+        assert all(
+            record["source"] == "simulator" for record in store.records()
+        )
+
+    def test_pruned_rerun_completes_from_cache(self, tmp_path):
+        spec = _kernel_grid()
+        store = ResultStore(tmp_path / "store")
+        first = run_sweep(spec, store=store, prune=PruneOptions(keep_fraction=0.5))
+        second = run_sweep(spec, store=store, prune=PruneOptions(keep_fraction=0.5))
+        # Stored simulator results fill the keep budget, so nothing new is
+        # simulated; the pruned points are re-recorded from the model.
+        assert second.executed == 0
+        assert second.cache_hits == first.executed
+
+    def test_keep_everything_prunes_nothing(self, tmp_path):
+        spec = _kernel_grid()
+        summary = run_sweep(
+            spec,
+            store=ResultStore(tmp_path / "store"),
+            prune=PruneOptions(keep_fraction=1.0),
+        )
+        assert summary.pruned == 0
+        assert summary.executed == spec.num_points
+
+
+class TestPruneCli:
+    def test_cli_prune_run_and_json_report(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            json.dumps(_kernel_grid(iteration_cap=64).to_mapping()),
+            encoding="utf-8",
+        )
+        results_dir = tmp_path / "results"
+        exit_code = sweep_main(
+            [
+                "run",
+                "--spec",
+                str(spec_path),
+                "--results-dir",
+                str(results_dir),
+                "--workers",
+                "1",
+                "--prune-model",
+                "--prune-keep",
+                "0.5",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "model" in out
+        assert "6 executed" in out and "6 model-pruned" in out
+
+        exit_code = sweep_main(
+            [
+                "report",
+                "--results-dir",
+                str(results_dir),
+                "--format",
+                "json",
+            ]
+        )
+        assert exit_code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 12
+        sources = {row["source"] for row in rows}
+        assert sources == {"model", "simulator"}
+        for row in rows:
+            assert "total_cycles" in row
+            assert len(row["key"]) == 64  # full key in machine-readable form
+
+        # --source filters to one origin.
+        exit_code = sweep_main(
+            [
+                "report",
+                "--results-dir",
+                str(results_dir),
+                "--format",
+                "json",
+                "--source",
+                "model",
+            ]
+        )
+        assert exit_code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 6
+        assert all(row["source"] == "model" for row in rows)
