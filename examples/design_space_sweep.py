@@ -12,6 +12,7 @@ re-running the example completes instantly from cache.
 Run with::
 
     python examples/design_space_sweep.py [--workers N] [--results-dir DIR]
+                                          [--granularity benchmark|loop]
 
 The same grid is available from the command line as
 ``python -m repro.sweep run``.
@@ -29,18 +30,29 @@ def main() -> None:
         "--workers",
         type=int,
         default=default_workers(cap=4),
-        help="worker processes (default: cpu count, capped at 4, at least 2)",
+        help="worker processes (default: cpu count, capped at 4)",
     )
     parser.add_argument(
         "--results-dir",
         default="sweep-results",
         help="persistent result store directory (default: ./sweep-results)",
     )
+    parser.add_argument(
+        "--granularity",
+        choices=("benchmark", "loop"),
+        default="benchmark",
+        help="schedule whole benchmarks or individual loops across the pool",
+    )
     args = parser.parse_args()
 
     spec = default_spec()
     store = ResultStore(args.results_dir)
-    summary = run_sweep(spec, store=store, workers=args.workers)
+    summary = run_sweep(
+        spec,
+        store=store,
+        workers=args.workers,
+        granularity=args.granularity,
+    )
     info = summary.describe()
     print(
         f"{info['total_jobs']} points: {info['executed']} executed on "

@@ -240,18 +240,26 @@ class ExperimentRunner:
         pairs: Iterable[tuple[str, ArchitectureSetup]],
         workers: int = 1,
         progress=None,
+        granularity: str = "benchmark",
     ) -> "object":
         """Execute (benchmark, setup) pairs through the sweep engine.
 
         With ``workers > 1`` the jobs are fanned out across a process pool;
         results land in the in-memory memo (and the store, when configured),
         so subsequent :meth:`run_benchmark` calls are cache hits.
+        ``granularity="loop"`` schedules individual loops across the pool
+        and reassembles the benchmark-level results -- same records, better
+        load balance when few benchmarks fan out over many workers.
         """
         from repro.sweep.executor import run_jobs
 
         jobs = [self.job_for(name, setup) for name, setup in pairs]
         summary = run_jobs(
-            jobs, store=self._store, workers=workers, progress=progress
+            jobs,
+            store=self._store,
+            workers=workers,
+            progress=progress,
+            granularity=granularity,
         )
         for outcome in summary.outcomes:
             result = outcome.result

@@ -148,6 +148,7 @@ def run_all_experiments(
     workers: int = 1,
     store=None,
     progress=None,
+    granularity: str = "benchmark",
 ) -> dict[str, ExperimentResult]:
     """Run the selected experiments (all of them by default).
 
@@ -155,7 +156,9 @@ def run_all_experiments(
     selected experiments need is executed up front through the sweep
     engine's process pool; the per-experiment aggregation then runs from
     cache.  ``store`` (a directory path or ResultStore) makes the results
-    persistent across runs.
+    persistent across runs.  ``granularity="loop"`` fans individual loops
+    out across the pool instead of whole benchmarks -- identical results,
+    better load balance when a few multi-loop benchmarks dominate.
     """
     options = options or ExperimentOptions()
     shared_runner = ExperimentRunner(options, store=store)
@@ -174,7 +177,10 @@ def run_all_experiments(
             if entry.prewarm is not None:
                 pairs.extend(entry.prewarm(options))
         if pairs:
-            shared_runner.prewarm(pairs, workers=workers, progress=progress)
+            shared_runner.prewarm(
+                pairs, workers=workers, progress=progress,
+                granularity=granularity,
+            )
 
     return {entry.key: entry.runner(shared_runner) for entry in entries}
 
@@ -218,6 +224,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         default=None,
         help="persist simulation results to this sweep store directory",
     )
+    parser.add_argument(
+        "--granularity",
+        choices=("benchmark", "loop"),
+        default="benchmark",
+        help="prewarm job granularity (loop = schedule individual loops "
+        "across the pool)",
+    )
     args = parser.parse_args(argv)
     options = ExperimentOptions(
         benchmarks=tuple(args.benchmarks),
@@ -228,6 +241,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         args.experiments,
         workers=args.workers,
         store=args.results_dir,
+        granularity=args.granularity,
     )
     print(render_report(results))
     return 0

@@ -339,10 +339,20 @@ def predict_benchmark(
 
 
 def predict_job(job) -> PredictedResult:
-    """Predict one sweep job (a :class:`~repro.sweep.spec.SweepJob`)."""
-    from repro.sweep.workloads import resolve_workload
+    """Predict one sweep job (a :class:`~repro.sweep.spec.SweepJob`).
+
+    A loop-scoped job predicts just its loop: loops are modelled
+    independently (exactly as :func:`predict_benchmark` treats them), so
+    the single-loop prediction equals the matching entry of the
+    benchmark-level prediction.
+    """
+    from repro.sweep.workloads import resolve_loop, resolve_workload
 
     benchmark = resolve_workload(job.benchmark)
+    if getattr(job, "loop", None) is not None:
+        benchmark = replace(
+            benchmark, loops=[resolve_loop(job.benchmark, job.loop)]
+        )
     return predict_benchmark(
         benchmark,
         job.config,

@@ -275,18 +275,24 @@ def simulate_compiled_loops(
     options: Optional[SimulationOptions] = None,
     architecture: Optional[str] = None,
 ) -> BenchmarkSimulationResult:
-    """Simulate a benchmark's loops sequentially on a shared cache model.
+    """Simulate a benchmark's loops, each on its own cache model.
 
-    The loops share one cache model (data survives across loops, as in a
-    real program) and the Attraction Buffers are flushed at every loop
-    boundary, as the architecture requires for correctness.
+    Every loop starts from cold caches: each loop rebuilds its
+    :class:`~repro.memory.layout.DataLayout` from the same segment bases, so
+    a shared cache would let one loop's arrays alias a *different* loop's
+    arrays at the same addresses -- warm state that models no real reuse and
+    makes a loop's metrics depend on which loops ran before it.  Independent
+    loop simulations keep II, stall and locality genuinely loop-level
+    quantities, so a benchmark result is exactly the aggregation of its
+    per-loop results (the contract the per-loop sweep granularity relies
+    on).
     """
     if not compiled_loops:
         raise ValueError("a benchmark needs at least one compiled loop")
     machine = config or compiled_loops[0].schedule.config
-    cache = make_cache_model(machine)
     results = [
-        LoopSimulator(compiled, cache, options).run() for compiled in compiled_loops
+        LoopSimulator(compiled, make_cache_model(machine), options).run()
+        for compiled in compiled_loops
     ]
     heuristics = {compiled.options.heuristic.value for compiled in compiled_loops}
     return BenchmarkSimulationResult(

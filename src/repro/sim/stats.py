@@ -218,3 +218,35 @@ class BenchmarkSimulationResult:
             "local_hit_ratio": round(self.local_hit_ratio(), 4),
             "workload_balance": round(self.workload_balance(), 4),
         }
+
+
+def merge_benchmark_results(
+    parts: list[BenchmarkSimulationResult],
+    architecture: Optional[str] = None,
+) -> BenchmarkSimulationResult:
+    """Reassemble one benchmark-level result from partial (per-loop) results.
+
+    Loops simulate independently (see
+    :func:`~repro.sim.engine.simulate_compiled_loops`), so concatenating the
+    loop results of the parts -- in the order given, which the loop-level
+    sweep keeps aligned with the benchmark's loop order -- yields a result
+    that is metric-for-metric identical to simulating the whole benchmark
+    at once.  Every aggregate of this class is a weighted sum or mean over
+    ``self.loops``, so no information is lost in the split.
+    """
+    if not parts:
+        raise ValueError("cannot merge zero partial results")
+    benchmarks = {part.benchmark for part in parts}
+    if len(benchmarks) != 1:
+        raise ValueError(
+            f"partial results span several benchmarks: {sorted(benchmarks)}"
+        )
+    heuristics = {part.heuristic for part in parts}
+    architectures = {part.architecture for part in parts}
+    return BenchmarkSimulationResult(
+        benchmark=parts[0].benchmark,
+        architecture=architecture
+        or (architectures.pop() if len(architectures) == 1 else "mixed"),
+        heuristic=heuristics.pop() if len(heuristics) == 1 else "mixed",
+        loops=[loop for part in parts for loop in part.loops],
+    )

@@ -28,12 +28,13 @@ from repro.sweep.spec import (
     SweepPoint,
     SweepSpec,
     default_spec,
+    expand_loop_jobs,
     job_from_description,
     job_key,
     make_job,
 )
 from repro.sweep.store import ResultStore
-from repro.sweep.workloads import resolve_workload, workload_names
+from repro.sweep.workloads import loop_names, resolve_loop, resolve_workload, workload_names
 
 __all__ = [
     "JobOutcome",
@@ -46,13 +47,16 @@ __all__ = [
     "default_spec",
     "default_workers",
     "execute_job",
+    "expand_loop_jobs",
     "is_simulated_record",
     "job_from_description",
     "job_key",
+    "loop_names",
     "make_job",
     "render_report",
     "render_report_json",
     "render_status",
+    "resolve_loop",
     "resolve_workload",
     "run_jobs",
     "run_sweep",

@@ -3,18 +3,24 @@
 ::
 
     python -m repro.sweep run     [--spec FILE] [--workers N] [--results-dir DIR]
+                                  [--granularity benchmark|loop]
                                   [--prune-model] [--prune-keep F] [--calibration FILE]
     python -m repro.sweep status  [--spec FILE] [--results-dir DIR]
     python -m repro.sweep report  [--results-dir DIR] [--sort METRIC] [--benchmark NAME]
+                                  [--granularity benchmark|loop|all]
                                   [--format table|json] [--source simulator|model]
+    python -m repro.sweep vacuum  [--results-dir DIR]
 
 ``run`` executes the grid (the built-in 8-point architectural grid of the
 design-space example when no spec file is given), persists one JSON record
 per point, and prints the result table; re-running with an unchanged grid
-completes from the store with 100% cache hits.  With ``--prune-model`` the
-analytical model (:mod:`repro.model`) ranks every benchmark's points and
-only the best ``--prune-keep`` fraction is simulated -- the rest is stored
-as model-only records.
+completes from the store with 100% cache hits.  With ``--granularity
+loop`` every benchmark's loops are scheduled across the pool individually
+(better load balance on multi-loop benchmarks) and reassembled into the
+same benchmark-level records.  With ``--prune-model`` the analytical model
+(:mod:`repro.model`) ranks every benchmark's points and only the best
+``--prune-keep`` fraction is simulated -- the rest is stored as model-only
+records.  ``vacuum`` drops payloads orphaned by crashes mid-save.
 """
 
 from __future__ import annotations
@@ -102,7 +108,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     print(
         f"sweep {spec.name!r}: {len(jobs)} points, "
-        f"{args.workers} worker(s), store {store.root}"
+        f"{args.workers} worker(s), {args.granularity} granularity, "
+        f"store {store.root}"
         + (f", model pruning keeps {args.prune_keep:.0%}" if prune else "")
     )
 
@@ -124,12 +131,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         force=args.force,
         progress=progress if not args.quiet else None,
         prune=prune,
+        granularity=args.granularity,
     )
     info = summary.describe()
-    print(
+    done_line = (
         f"done: {info['executed']} executed, {info['cache_hits']} cache hits, "
         f"{info['pruned']} model-pruned in {info['elapsed_seconds']}s"
     )
+    if summary.granularity == "loop":
+        done_line += (
+            f" ({info['loop_jobs']} loop jobs, {info['loop_cache_hits']} loop "
+            f"cache hits, {info['peak_parallelism']} concurrent)"
+        )
+    print(done_line)
     if not args.quiet:
         keys = {job.key for job in jobs}
         records = [r for r in store.records() if r.get("key") in keys]
@@ -159,7 +173,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if args.format == "json":
         print(
             render_report_json(
-                records, sort_by=args.sort, benchmark=args.benchmark
+                records,
+                sort_by=args.sort,
+                benchmark=args.benchmark,
+                granularity=args.granularity,
             )
         )
     else:
@@ -168,8 +185,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 records,
                 sort_by=args.sort,
                 benchmark=args.benchmark,
+                granularity=args.granularity,
             )
         )
+    return 0
+
+
+def _cmd_vacuum(args: argparse.Namespace) -> int:
+    store = ResultStore(Path(args.results_dir))
+    orphaned = store.vacuum(grace_seconds=args.grace)
+    print(
+        f"vacuumed {store.root}: {len(orphaned)} orphaned payload(s) removed"
+    )
+    for key in orphaned:
+        print(f"  {key}")
     return 0
 
 
@@ -186,7 +215,14 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--workers",
         type=int,
         default=default_workers(),
-        help="worker processes (default: cpu count, capped at 8, at least 2)",
+        help="worker processes (default: cpu count, capped at 8)",
+    )
+    run_parser.add_argument(
+        "--granularity",
+        choices=("benchmark", "loop"),
+        default="benchmark",
+        help="job granularity: one job per benchmark point, or one per "
+        "loop (better pool load balance on multi-loop benchmarks)",
     )
     run_parser.add_argument(
         "--benchmarks",
@@ -253,11 +289,37 @@ def main(argv: Optional[list[str]] = None) -> int:
         default=None,
         help="only show records from one source",
     )
+    report_parser.add_argument(
+        "--granularity",
+        choices=("benchmark", "loop", "all"),
+        default="benchmark",
+        help="which record granularity to show (default: benchmark-level)",
+    )
     report_parser.set_defaults(func=_cmd_report)
+
+    vacuum_parser = sub.add_parser(
+        "vacuum", help="remove orphaned payloads from the result store"
+    )
+    vacuum_parser.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR)
+    vacuum_parser.add_argument(
+        "--grace",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="only collect files older than this, so vacuuming next to a "
+        "live sweep never removes an in-flight save (default 60; use 0 "
+        "for offline stores)",
+    )
+    vacuum_parser.set_defaults(func=_cmd_vacuum)
 
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except ValueError as error:
+        # e.g. an unknown --sort column: fail loudly with a non-zero exit
+        # instead of silently falling back to a default ordering.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Output piped into a pager/head that exited early; not an error.
         try:

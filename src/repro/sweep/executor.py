@@ -2,21 +2,34 @@
 
 Jobs are executed either in-process (``workers <= 1``) or fanned out
 across a ``multiprocessing`` pool.  Each pool worker keeps a module-global
-compile cache, so a worker that executes several jobs sharing one
-(benchmark, machine, compiler-options) combination compiles the loops only
-once -- simulation options such as the iteration cap do not invalidate it.
+compile cache (a small LRU, see :data:`COMPILE_CACHE_CAPACITY`), so a
+worker that executes several jobs sharing one (benchmark, machine,
+compiler-options) combination compiles the loops only once -- simulation
+options such as the iteration cap do not invalidate it.
 
 Results flow back to the parent as ``(record, BenchmarkSimulationResult)``
 pairs and are written to the :class:`~repro.sweep.store.ResultStore`; jobs
 whose key is already stored are skipped entirely (incremental re-runs),
 unless ``force=True``.
 
+``granularity="loop"`` schedules one job per (loop, machine,
+compiler-options) point instead of one per benchmark: the loop jobs of
+every pending benchmark job are fanned out across the pool (a multi-loop
+benchmark no longer serializes behind a single worker) and the per-loop
+results are reassembled -- exactly, since loops simulate independently --
+into the same benchmark-level records and payloads the monolithic path
+writes, so ``report``, ``status``, pruning and the experiment harness
+consume either granularity unchanged.  Loop-level records/payloads are
+stored too, which makes interrupted loop-granularity runs resumable.
+
 With :class:`PruneOptions` the analytical model (:mod:`repro.model`) ranks
 every benchmark's jobs by predicted cycles first and only the most
 promising fraction is simulated; the pruned remainder is stored as
 model-only records (``"source": "model"``), which never satisfy the
 cache-hit check of a later unpruned run -- simulating a previously pruned
-point simply overwrites its model record.
+point simply overwrites its model record.  Pruning ranks whole benchmarks
+regardless of granularity, so pruned runs keep identical keep-sets at
+either granularity.
 """
 
 from __future__ import annotations
@@ -25,29 +38,57 @@ import math
 import multiprocessing
 import os
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.scheduler.pipeline import compile_loop
 from repro.sim.engine import simulate_compiled_loops
-from repro.sim.stats import BenchmarkSimulationResult
-from repro.sweep.spec import SweepJob, SweepSpec, canonical_json
+from repro.sim.stats import BenchmarkSimulationResult, merge_benchmark_results
+from repro.sweep.spec import SweepJob, SweepSpec, canonical_json, expand_loop_jobs
 from repro.sweep.store import ResultStore
-from repro.sweep.workloads import resolve_workload
+from repro.sweep.workloads import resolve_loop, resolve_workload
 
-#: Per-process compile cache: compile key -> compiled loops.
-_COMPILE_CACHE: dict[str, list] = {}
+#: Upper bound on cached compilations per worker process.  Each entry holds
+#: the compiled loops of one (benchmark, machine, compiler) combination, so
+#: a large grid with many distinct compile keys would otherwise grow worker
+#: memory without bound over the lifetime of the pool.
+COMPILE_CACHE_CAPACITY = max(
+    1, int(os.environ.get("REPRO_SWEEP_COMPILE_CACHE", "8"))
+)
+
+#: Per-process compile cache: compile key -> compiled loops, LRU-ordered
+#: (least recently used first).
+_COMPILE_CACHE: OrderedDict[str, list] = OrderedDict()
 
 
 def default_workers(cap: int = 8) -> int:
-    """Default pool size: the CPU count, capped, but at least 2."""
-    return max(2, min(cap, os.cpu_count() or 2))
+    """Default pool size: the CPU count, capped.
+
+    Never exceeds the machine's CPU count -- a single-core CI runner gets
+    one worker (the in-process path), not an oversubscribed pool.
+    """
+    return max(1, min(cap, os.cpu_count() or 1))
 
 
 def _compile_cache_key(job: SweepJob) -> str:
     description = job.describe()
     description.pop("simulation", None)
     return canonical_json(description)
+
+
+def _compile_cache_get(key: str) -> Optional[list]:
+    compiled = _COMPILE_CACHE.get(key)
+    if compiled is not None:
+        _COMPILE_CACHE.move_to_end(key)
+    return compiled
+
+
+def _compile_cache_put(key: str, compiled: list) -> None:
+    _COMPILE_CACHE[key] = compiled
+    _COMPILE_CACHE.move_to_end(key)
+    while len(_COMPILE_CACHE) > COMPILE_CACHE_CAPACITY:
+        _COMPILE_CACHE.popitem(last=False)
 
 
 def make_record(
@@ -101,16 +142,26 @@ def is_simulated_record(record: Optional[dict]) -> bool:
 
 
 def execute_job(job: SweepJob) -> tuple[dict, BenchmarkSimulationResult]:
-    """Compile (cached per process) and simulate one job."""
+    """Compile (cached per process) and simulate one job.
+
+    A loop-scoped job compiles and simulates just its loop; the returned
+    result is a single-loop :class:`BenchmarkSimulationResult` whose loop
+    entry is identical to the one a benchmark-level run would produce
+    (loops simulate independently).
+    """
     started = time.perf_counter()
     benchmark = resolve_workload(job.benchmark)
+    if job.loop is None:
+        loops = benchmark.loops
+    else:
+        loops = [resolve_loop(job.benchmark, job.loop)]
     cache_key = _compile_cache_key(job)
-    compiled = _COMPILE_CACHE.get(cache_key)
+    compiled = _compile_cache_get(cache_key)
     if compiled is None:
         compiled = [
-            compile_loop(loop, job.config, job.options) for loop in benchmark.loops
+            compile_loop(loop, job.config, job.options) for loop in loops
         ]
-        _COMPILE_CACHE[cache_key] = compiled
+        _compile_cache_put(cache_key, compiled)
     result = simulate_compiled_loops(
         compiled,
         benchmark.name,
@@ -168,7 +219,16 @@ class PruneOptions:
 
 @dataclass
 class SweepRunSummary:
-    """Aggregate outcome of one sweep run."""
+    """Aggregate outcome of one sweep run.
+
+    ``total``/``executed``/``cache_hits``/``pruned`` always count
+    benchmark-level jobs, whatever the granularity, so summaries stay
+    comparable across runs.  ``loop_jobs``/``loop_cache_hits`` break the
+    executed jobs down further at ``granularity="loop"``, and
+    ``peak_parallelism`` is how many jobs the pool could actually run
+    side by side -- at loop granularity this exceeds the benchmark count
+    whenever multi-loop benchmarks are swept.
+    """
 
     total: int
     executed: int
@@ -177,17 +237,27 @@ class SweepRunSummary:
     elapsed_seconds: float
     outcomes: list[JobOutcome] = field(default_factory=list)
     pruned: int = 0
+    granularity: str = "benchmark"
+    loop_jobs: int = 0
+    loop_cache_hits: int = 0
+    peak_parallelism: int = 0
 
     def describe(self) -> dict[str, object]:
         """Flat summary for logs and the CLI."""
-        return {
+        info: dict[str, object] = {
             "total_jobs": self.total,
             "executed": self.executed,
             "cache_hits": self.cache_hits,
             "pruned": self.pruned,
             "workers": self.workers,
+            "granularity": self.granularity,
+            "peak_parallelism": self.peak_parallelism,
             "elapsed_seconds": round(self.elapsed_seconds, 3),
         }
+        if self.granularity == "loop":
+            info["loop_jobs"] = self.loop_jobs
+            info["loop_cache_hits"] = self.loop_cache_hits
+        return info
 
 
 def _mp_context() -> multiprocessing.context.BaseContext:
@@ -270,6 +340,7 @@ def run_jobs(
     save_payloads: bool = True,
     progress: Optional[Callable[[int, int, JobOutcome], None]] = None,
     prune: Optional[PruneOptions] = None,
+    granularity: str = "benchmark",
 ) -> SweepRunSummary:
     """Execute jobs, skipping stored results, optionally in parallel.
 
@@ -280,6 +351,13 @@ def run_jobs(
     a pruned run is recomputed (and overwritten) once the job is actually
     simulated.
 
+    With ``granularity="loop"`` every pending benchmark-level job is split
+    into per-loop jobs that are scheduled across the pool individually and
+    reassembled into the benchmark-level record afterwards; cache checks,
+    pruning, outcomes and the returned summary stay at benchmark level, so
+    callers observe the same results either way (only the load balance and
+    the extra loop-level store records differ).
+
     With ``prune``, the analytical model ranks each benchmark's jobs and
     only the configured fraction is simulated; pruned jobs are recorded
     from the model alone.  Combining ``prune`` with ``force`` re-ranks the
@@ -287,6 +365,10 @@ def run_jobs(
     the keep budget are deliberately replaced by model-only records (their
     stale payloads are removed with them).
     """
+    if granularity not in ("benchmark", "loop"):
+        raise ValueError(
+            f"unknown granularity {granularity!r}; use 'benchmark' or 'loop'"
+        )
     started = time.perf_counter()
     unique = _dedupe(jobs)
 
@@ -362,29 +444,144 @@ def run_jobs(
             store.save(job.key, record, payload=result if save_payloads else None)
         finish(JobOutcome(job=job, record=record, cached=False, result=result))
 
-    pool_size = min(workers, len(pending))
-    if pool_size > 1:
-        by_key = {job.key: job for job in pending}
-        context = _mp_context()
-        with context.Pool(processes=pool_size) as pool:
-            for key, record, result in pool.imap_unordered(
-                _pool_execute, pending
-            ):
-                finish_executed(by_key[key], record, result)
+    loop_stats = {"jobs": 0, "cache_hits": 0}
+    if granularity == "loop":
+        run_units = _execute_loop_granularity(
+            pending,
+            store,
+            workers,
+            force,
+            save_payloads,
+            finish_executed,
+            loop_stats,
+        )
     else:
-        for job in pending:
-            record, result = execute_job(job)
-            finish_executed(job, record, result)
+        run_units = pending
+        _dispatch(pending, workers, finish_executed)
 
     return SweepRunSummary(
         total=total,
         executed=len(pending),
         cache_hits=total - len(pending) - len(pruned_jobs),
-        workers=max(1, pool_size),
+        workers=max(1, min(workers, len(run_units))),
         elapsed_seconds=time.perf_counter() - started,
         outcomes=outcomes,
         pruned=len(pruned_jobs),
+        granularity=granularity,
+        loop_jobs=loop_stats["jobs"],
+        loop_cache_hits=loop_stats["cache_hits"],
+        peak_parallelism=min(max(1, workers), len(run_units)) if run_units else 0,
     )
+
+
+def _dispatch(
+    jobs: Sequence[SweepJob],
+    workers: int,
+    handle: Callable[[SweepJob, dict, BenchmarkSimulationResult], None],
+) -> None:
+    """Execute jobs in-process or across a pool, streaming completions.
+
+    ``handle`` is called in the parent process as each job finishes
+    (completion order under a pool, submission order in-process).
+    """
+    pool_size = min(workers, len(jobs))
+    if pool_size > 1:
+        by_key = {job.key: job for job in jobs}
+        context = _mp_context()
+        with context.Pool(processes=pool_size) as pool:
+            for key, record, result in pool.imap_unordered(_pool_execute, jobs):
+                handle(by_key[key], record, result)
+    else:
+        for job in jobs:
+            record, result = execute_job(job)
+            handle(job, record, result)
+
+
+def _execute_loop_granularity(
+    pending: Sequence[SweepJob],
+    store: Optional[ResultStore],
+    workers: int,
+    force: bool,
+    save_payloads: bool,
+    finish_executed: Callable[[SweepJob, dict, BenchmarkSimulationResult], None],
+    loop_stats: dict,
+) -> list[SweepJob]:
+    """Fan the pending benchmark jobs out as per-loop jobs and reassemble.
+
+    Each benchmark job expands into one job per loop (benchmark order);
+    loop jobs already stored *with a payload* are reused, the rest run
+    across the pool, and as soon as the last loop of a benchmark finishes
+    its per-loop results are merged -- exactly, since loops simulate
+    independently -- into the benchmark-level record ``finish_executed``
+    persists.  Loop-level records and payloads are stored as well, so an
+    interrupted run resumes loop by loop.
+
+    Returns the loop jobs actually executed (the run's schedulable units).
+    """
+    expansions: dict[str, list[SweepJob]] = {
+        job.key: expand_loop_jobs(job) for job in pending
+    }
+    loop_stats["jobs"] = sum(len(parts) for parts in expansions.values())
+
+    loop_results: dict[str, tuple[dict, BenchmarkSimulationResult]] = {}
+    to_run: list[SweepJob] = []
+    seen: set[str] = set()
+    for parts in expansions.values():
+        for loop_job in parts:
+            if loop_job.key in seen:
+                continue
+            seen.add(loop_job.key)
+            if not force and store is not None:
+                record = store.load_record(loop_job.key)
+                if is_simulated_record(record):
+                    payload = store.load_payload(loop_job.key)
+                    if payload is not None:
+                        loop_results[loop_job.key] = (record, payload)
+                        loop_stats["cache_hits"] += 1
+                        continue
+            to_run.append(loop_job)
+
+    parents: dict[str, SweepJob] = {job.key: job for job in pending}
+    remaining: dict[str, int] = {
+        job.key: sum(
+            1 for part in expansions[job.key] if part.key not in loop_results
+        )
+        for job in pending
+    }
+    parents_of: dict[str, list[str]] = {}
+    for parent_key, parts in expansions.items():
+        for part in parts:
+            parents_of.setdefault(part.key, []).append(parent_key)
+
+    def aggregate(parent_key: str) -> None:
+        parent = parents[parent_key]
+        parts = [loop_results[part.key] for part in expansions[parent_key]]
+        merged = merge_benchmark_results(
+            [result for _, result in parts], architecture=parent.architecture
+        )
+        elapsed = sum(
+            float(record.get("elapsed_seconds", 0.0)) for record, _ in parts
+        )
+        finish_executed(parent, make_record(parent, merged, elapsed), merged)
+
+    def finish_loop(loop_job: SweepJob, record: dict, result) -> None:
+        if store is not None:
+            store.save(
+                loop_job.key, record, payload=result if save_payloads else None
+            )
+        loop_results[loop_job.key] = (record, result)
+        for parent_key in parents_of.get(loop_job.key, ()):
+            remaining[parent_key] -= 1
+            if remaining[parent_key] == 0:
+                aggregate(parent_key)
+
+    # Benchmarks fully served from stored loop results aggregate up front.
+    for parent_key, count in list(remaining.items()):
+        if count == 0:
+            aggregate(parent_key)
+
+    _dispatch(to_run, workers, finish_loop)
+    return to_run
 
 
 def run_sweep(
@@ -395,6 +592,7 @@ def run_sweep(
     save_payloads: bool = True,
     progress: Optional[Callable[[int, int, JobOutcome], None]] = None,
     prune: Optional[PruneOptions] = None,
+    granularity: str = "benchmark",
 ) -> SweepRunSummary:
     """Expand a spec and execute the resulting grid."""
     return run_jobs(
@@ -405,4 +603,5 @@ def run_sweep(
         save_payloads=save_payloads,
         progress=progress,
         prune=prune,
+        granularity=granularity,
     )

@@ -20,6 +20,14 @@ DEFAULT_METRICS: tuple[str, ...] = (
     "ipc",
 )
 
+#: Record granularities a report can select.
+GRANULARITIES = ("benchmark", "loop", "all")
+
+
+def record_granularity(record: dict) -> str:
+    """Whether a stored record covers a whole benchmark or one loop."""
+    return "loop" if record.get("job", {}).get("loop") else "benchmark"
+
 
 def _job_summary(record: dict) -> dict[str, object]:
     job = record.get("job", {})
@@ -28,6 +36,7 @@ def _job_summary(record: dict) -> dict[str, object]:
     attraction = machine.get("attraction_buffer", {})
     return {
         "benchmark": job.get("benchmark", "?"),
+        "loop": job.get("loop", ""),
         "architecture": record.get("architecture", machine.get("organization", "?")),
         "clusters": machine.get("clusters", "?"),
         "interleaving": machine.get("interleaving_factor", "?"),
@@ -44,10 +53,47 @@ def _report_rows(
     sort_by: str,
     benchmark: Optional[str],
     key_length: Optional[int] = 12,
+    granularity: str = "benchmark",
 ) -> tuple[list[str], list[dict[str, object]]]:
-    """Shared row assembly of the table and JSON renderings."""
+    """Shared row assembly of the table and JSON renderings.
+
+    ``granularity`` selects benchmark-level records (the default; also
+    matches every record written before loop-granularity sweeps existed),
+    loop-level records, or both.  An unknown ``sort_by`` column raises
+    ValueError listing the valid columns rather than silently falling back
+    to the benchmark sort.
+    """
+    if granularity not in GRANULARITIES:
+        raise ValueError(
+            f"unknown granularity {granularity!r}; "
+            f"valid: {', '.join(GRANULARITIES)}"
+        )
+    headers = [
+        "benchmark",
+        "loop",
+        "architecture",
+        "clusters",
+        "interleaving",
+        "ab_entries",
+        "heuristic",
+        "unroll",
+        "source",
+        *metrics,
+        "key",
+    ]
+    if granularity == "benchmark":
+        # Benchmark-level rows have no loop column (and old stores never
+        # did), so it is not a valid sort target either.
+        headers.remove("loop")
+    if sort_by not in headers:
+        raise ValueError(
+            f"unknown sort column {sort_by!r}; "
+            f"valid columns: {', '.join(headers)}"
+        )
     rows = []
     for record in records:
+        if granularity != "all" and record_granularity(record) != granularity:
+            continue
         summary = _job_summary(record)
         if benchmark is not None and summary["benchmark"] != benchmark:
             continue
@@ -60,20 +106,16 @@ def _report_rows(
                 "key": key[:key_length] if key_length else key,
             }
         )
-    headers = [
-        "benchmark",
-        "architecture",
-        "clusters",
-        "interleaving",
-        "ab_entries",
-        "heuristic",
-        "unroll",
-        "source",
-        *metrics,
-        "key",
-    ]
-    sort_key = sort_by if sort_by in headers else "benchmark"
-    rows.sort(key=lambda row: (_sortable(row[sort_key]), str(row["benchmark"])))
+    if granularity == "benchmark":
+        for row in rows:
+            row.pop("loop", None)
+    rows.sort(
+        key=lambda row: (
+            _sortable(row[sort_by]),
+            str(row["benchmark"]),
+            str(row.get("loop", "")),
+        )
+    )
     return headers, rows
 
 
@@ -83,9 +125,12 @@ def render_report(
     sort_by: str = "benchmark",
     benchmark: Optional[str] = None,
     title: str = "Sweep results",
+    granularity: str = "benchmark",
 ) -> str:
     """Render records as an aligned table, one row per stored job."""
-    headers, rows = _report_rows(records, metrics, sort_by, benchmark)
+    headers, rows = _report_rows(
+        records, metrics, sort_by, benchmark, granularity=granularity
+    )
     if not rows:
         return f"{title}\n(no stored results)"
     return format_table(headers, [[row[name] for name in headers] for row in rows], title=title)
@@ -96,6 +141,7 @@ def render_report_json(
     metrics: Sequence[str] = DEFAULT_METRICS,
     sort_by: str = "benchmark",
     benchmark: Optional[str] = None,
+    granularity: str = "benchmark",
 ) -> str:
     """Render records as a JSON array of flat row objects.
 
@@ -104,7 +150,10 @@ def render_report_json(
     comparisons can be scripted against ``repro-sweep report --format
     json``.
     """
-    _, rows = _report_rows(records, metrics, sort_by, benchmark, key_length=None)
+    _, rows = _report_rows(
+        records, metrics, sort_by, benchmark, key_length=None,
+        granularity=granularity,
+    )
     return json.dumps(rows, indent=2, sort_keys=True)
 
 
@@ -115,21 +164,36 @@ def _sortable(value: object) -> tuple:
 
 
 def render_status(store: ResultStore, spec: Optional[SweepSpec] = None) -> str:
-    """Summarize store contents, optionally against a spec's grid."""
+    """Summarize store contents, optionally against a spec's grid.
+
+    Loop-level records (written by ``--granularity loop`` runs) are
+    counted separately from the benchmark-level records everything else
+    keys on; a store without them reports exactly what it always did.
+    """
     keys = store.keys()
-    lines = [f"result store: {store.root}", f"stored records: {len(keys)}"]
+    lines = [f"result store: {store.root}"]
     per_benchmark: dict[str, int] = {}
     model_only = 0
+    loop_level = 0
+    benchmark_level = 0
     simulated_keys: set[str] = set()
     for record in store.records():
+        if record_granularity(record) == "loop":
+            loop_level += 1
+            continue
+        benchmark_level += 1
         name = record.get("job", {}).get("benchmark", "?")
         per_benchmark[name] = per_benchmark.get(name, 0) + 1
         if record.get("source", "simulator") == "model":
             model_only += 1
         else:
             simulated_keys.add(str(record.get("key", "")))
+    summary = f"stored records: {benchmark_level}"
     if model_only:
-        lines[-1] += f" ({model_only} model-only)"
+        summary += f" ({model_only} model-only)"
+    if loop_level:
+        summary += f" + {loop_level} loop-level"
+    lines.append(summary)
     for name in sorted(per_benchmark):
         lines.append(f"  {name}: {per_benchmark[name]}")
     if spec is not None:

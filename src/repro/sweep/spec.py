@@ -20,7 +20,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 from functools import cached_property
 from typing import Iterable, Mapping, Optional
 
@@ -32,7 +32,10 @@ from repro.sim.engine import SimulationOptions
 
 #: Version tag mixed into every job key.  Bump when the meaning of a job's
 #: description changes so stale records are never mistaken for hits.
-JOB_SCHEMA = 2
+#: 3: loops simulate on per-loop cold caches (no cross-loop address
+#: aliasing), so records written under the shared-cache semantics must
+#: never satisfy a cache hit.
+JOB_SCHEMA = 3
 
 
 def canonical_json(data: object) -> str:
@@ -137,6 +140,12 @@ class SweepJob:
     excluded from :meth:`describe` (and therefore from :attr:`key`) so two
     experiments that sweep the same configuration under different labels
     share one stored result.
+
+    ``loop`` optionally narrows the job to a single loop of the benchmark:
+    a loop-scoped job compiles and simulates just that loop, which is the
+    unit the executor schedules at ``granularity="loop"``.  The loop name
+    is part of :meth:`describe` only when set, so benchmark-level jobs keep
+    the keys they have always had.
     """
 
     benchmark: str
@@ -144,20 +153,42 @@ class SweepJob:
     config: MachineConfig
     options: CompilerOptions
     simulation: SimulationOptions
+    loop: Optional[str] = None
 
     def describe(self) -> dict[str, object]:
         """Canonical description: the basis of the content hash."""
-        return {
+        description: dict[str, object] = {
             "benchmark": self.benchmark,
             "machine": self.config.describe(),
             "compiler": self.options.describe(),
             "simulation": self.simulation.describe(),
         }
+        if self.loop is not None:
+            description["loop"] = self.loop
+        return description
 
     @cached_property
     def key(self) -> str:
         """Content-addressed identity of this job."""
         return job_key(self.describe())
+
+    def scoped_to(self, loop: str) -> "SweepJob":
+        """A copy of this job narrowed to one loop of its benchmark."""
+        return replace(self, loop=loop)
+
+
+def expand_loop_jobs(job: SweepJob) -> list[SweepJob]:
+    """Split one benchmark-level job into one job per loop.
+
+    A job that is already loop-scoped expands to itself.  The returned jobs
+    follow the benchmark's loop order, so aggregating their results in this
+    order reassembles the benchmark-level result exactly.
+    """
+    if job.loop is not None:
+        return [job]
+    from repro.sweep.workloads import loop_names
+
+    return [job.scoped_to(name) for name in loop_names(job.benchmark)]
 
 
 def make_job(
@@ -203,9 +234,13 @@ def job_from_description(description: Mapping[str, object]) -> SweepJob:
         dataset=str(simulation.get("dataset", "execution")),
         iteration_cap=int(simulation.get("iteration_cap", 256)),
     )
-    return make_job(
+    job = make_job(
         str(description["benchmark"]), config, options, sim_options
     )
+    loop = description.get("loop")
+    if loop is not None:
+        job = job.scoped_to(str(loop))
+    return job
 
 
 _POINT_FIELDS = {f.name for f in fields(SweepPoint)}
@@ -267,15 +302,26 @@ class SweepSpec:
                 points.append(SweepPoint(benchmark=benchmark, **overrides))
         return points
 
-    def expand(self) -> list[SweepJob]:
+    def expand(self, granularity: str = "benchmark") -> list[SweepJob]:
         """Expand the grid into executable jobs.
+
+        With ``granularity="loop"`` every grid point is split into one
+        content-addressed job per (loop, machine, compiler-options) point;
+        the default emits one job per (benchmark, machine, compiler-options)
+        point as before.
 
         Raises ValueError (via the compiler-option constructors) when an
         explicitly requested heuristic is incompatible with the swept cache
         organization; use ``heuristic="auto"`` to pair them automatically.
         """
+        if granularity not in ("benchmark", "loop"):
+            raise ValueError(
+                f"unknown granularity {granularity!r}; use 'benchmark' or 'loop'"
+            )
         jobs = [point.job() for point in self.points()]
         _check_compatibility(jobs)
+        if granularity == "loop":
+            jobs = [scoped for job in jobs for scoped in expand_loop_jobs(job)]
         return jobs
 
     # ------------------------------------------------------------------

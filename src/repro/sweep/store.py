@@ -2,8 +2,15 @@
 
 Layout under the store root::
 
-    records/<key>.json   -- one queryable JSON record per executed job
-    payloads/<key>.pkl   -- the full BenchmarkSimulationResult (optional)
+    records/<shard>/<key>.json   -- one queryable JSON record per job
+    payloads/<shard>/<key>.pkl   -- the full BenchmarkSimulationResult
+                                    (optional)
+
+``<shard>`` is the first two hex characters of the key, so a
+million-record store spreads over 256 directories instead of forcing
+every lookup to scan one flat directory.  Stores written by earlier
+versions (flat ``records/<key>.json``) are migrated in place the first
+time they are opened; records keep their keys, so nothing else changes.
 
 The JSON record is the durable, tool-friendly artefact: it carries the
 complete job description (benchmark, machine, compiler and simulation
@@ -14,7 +21,10 @@ serve figure computations from the store without re-simulating.
 
 Writes are atomic (temp file + ``os.replace``) so concurrent writers of
 the same key -- e.g. two pool workers racing on a shared configuration --
-cannot leave a torn record behind.
+cannot leave a torn record behind.  :meth:`ResultStore.save` writes the
+payload first and the record last: a record never describes a payload
+that is not yet durable, and a crash between the two writes leaves at
+worst an orphaned payload, which :meth:`ResultStore.vacuum` collects.
 """
 
 from __future__ import annotations
@@ -23,11 +33,20 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Iterator, Optional
 
 #: Version of the record format, stored in every record.
 RECORD_SCHEMA = 1
+
+#: Number of leading key characters that name a record's shard directory.
+SHARD_CHARS = 2
+
+
+def shard_of(key: str) -> str:
+    """Shard directory name of a key (its first hex characters)."""
+    return key[:SHARD_CHARS] or "_"
 
 
 class ResultStore:
@@ -39,17 +58,38 @@ class ResultStore:
         self._payloads_dir = self.root / "payloads"
         self._records_dir.mkdir(parents=True, exist_ok=True)
         self._payloads_dir.mkdir(parents=True, exist_ok=True)
+        self._migrate_flat_layout()
+
+    def _migrate_flat_layout(self) -> None:
+        """Move flat (pre-shard) records/payloads into their shard dirs.
+
+        Stores written before key-prefix sharding kept every file directly
+        under ``records/`` and ``payloads/``.  Migration is a rename per
+        file (same filesystem, atomic), keeps every key unchanged and is
+        idempotent; a store that is already sharded pays only a directory
+        listing.
+        """
+        for directory, suffix in (
+            (self._records_dir, ".json"),
+            (self._payloads_dir, ".pkl"),
+        ):
+            for path in directory.iterdir():
+                if not path.is_file() or path.suffix != suffix:
+                    continue
+                target_dir = directory / shard_of(path.stem)
+                target_dir.mkdir(exist_ok=True)
+                os.replace(path, target_dir / path.name)
 
     # ------------------------------------------------------------------
     # Paths
     # ------------------------------------------------------------------
     def record_path(self, key: str) -> Path:
         """Path of the JSON record of ``key``."""
-        return self._records_dir / f"{key}.json"
+        return self._records_dir / shard_of(key) / f"{key}.json"
 
     def payload_path(self, key: str) -> Path:
         """Path of the pickle payload of ``key``."""
-        return self._payloads_dir / f"{key}.pkl"
+        return self._payloads_dir / shard_of(key) / f"{key}.pkl"
 
     # ------------------------------------------------------------------
     # Queries
@@ -58,11 +98,11 @@ class ResultStore:
         return self.record_path(key).is_file()
 
     def __len__(self) -> int:
-        return sum(1 for _ in self._records_dir.glob("*.json"))
+        return sum(1 for _ in self._records_dir.glob("*/*.json"))
 
     def keys(self) -> list[str]:
         """All stored job keys, sorted."""
-        return sorted(path.stem for path in self._records_dir.glob("*.json"))
+        return sorted(path.stem for path in self._records_dir.glob("*/*.json"))
 
     def load_record(self, key: str) -> Optional[dict]:
         """Load one JSON record, or None if absent or unreadable."""
@@ -95,7 +135,13 @@ class ResultStore:
     def save(
         self, key: str, record: dict, payload: Optional[object] = None
     ) -> None:
-        """Atomically persist a record (and optionally its payload)."""
+        """Atomically persist a record (and optionally its payload).
+
+        The payload is written *before* the record: once a record is
+        visible its payload is guaranteed durable, and a crash between the
+        two writes can only leave an orphaned payload (collected by
+        :meth:`vacuum`), never a record pointing at a torn payload.
+        """
         if payload is not None:
             self._atomic_write(
                 self.payload_path(key), pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
@@ -126,8 +172,50 @@ class ResultStore:
         except FileNotFoundError:
             pass
 
+    def vacuum(self, grace_seconds: float = 60.0) -> list[str]:
+        """Drop payloads no record describes; returns their keys, sorted.
+
+        A crash between :meth:`save`'s payload write and record write
+        leaves a payload nothing references; nothing ever reads it (every
+        lookup goes record first), so it is pure leaked disk space until
+        collected here.  Leftover temp files from interrupted atomic
+        writes are swept as well.
+
+        ``grace_seconds`` makes vacuuming safe next to a live sweep: a
+        payload younger than the window may belong to a save whose record
+        simply has not landed yet (payload is written first), and a young
+        dotfile may be another process's in-flight atomic write.  Only
+        files older than the window are collected; pass ``0`` when the
+        store is known to be offline.
+        """
+        cutoff = time.time() - grace_seconds
+
+        def expired(path: Path) -> bool:
+            try:
+                return path.stat().st_mtime <= cutoff
+            except OSError:
+                return False
+
+        orphaned = []
+        for path in self._payloads_dir.glob("*/*.pkl"):
+            if not self.record_path(path.stem).is_file() and expired(path):
+                orphaned.append(path.stem)
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
+        for directory in (self._records_dir, self._payloads_dir):
+            for stale in directory.glob("**/.*"):
+                if stale.is_file() and expired(stale):
+                    try:
+                        stale.unlink()
+                    except FileNotFoundError:
+                        pass
+        return sorted(orphaned)
+
     @staticmethod
     def _atomic_write(path: Path, data: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
         handle = tempfile.NamedTemporaryFile(
             mode="wb", dir=path.parent, prefix=f".{path.name}.", delete=False
         )

@@ -82,3 +82,27 @@ def resolve_workload(name: str) -> Benchmark:
     raise KeyError(
         f"unknown workload {name!r}; known: {', '.join(workload_names())}"
     )
+
+
+def loop_names(name: str) -> list[str]:
+    """The loop names of a workload, in benchmark order.
+
+    This is the expansion order of loop-granularity sweep jobs; aggregating
+    per-loop results in this order reassembles the benchmark-level result.
+    """
+    return [loop.name for loop in resolve_workload(name).loops]
+
+
+def resolve_loop(benchmark: str, loop: str):
+    """Resolve one named loop of a workload.
+
+    Raises KeyError when the benchmark has no loop of that name, listing
+    the loops it does have.
+    """
+    for candidate in resolve_workload(benchmark).loops:
+        if candidate.name == loop:
+            return candidate
+    raise KeyError(
+        f"workload {benchmark!r} has no loop {loop!r}; "
+        f"loops: {', '.join(loop_names(benchmark))}"
+    )

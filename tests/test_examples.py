@@ -45,9 +45,10 @@ def test_design_space_sweep_example_end_to_end(tmp_path):
     )
     assert proc.returncode == 0, proc.stderr
 
-    # The 8-point grid must have been executed and persisted.
+    # The 8-point grid must have been executed and persisted (records land
+    # in key-prefix shard directories).
     assert "8 points: 8 executed" in proc.stdout
-    records = sorted((results_dir / "records").glob("*.json"))
+    records = sorted((results_dir / "records").glob("*/*.json"))
     assert len(records) == 8
     for path in records:
         record = json.loads(path.read_text(encoding="utf-8"))

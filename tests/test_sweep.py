@@ -165,7 +165,9 @@ class TestResultStore:
     def test_missing_and_corrupt_records_are_none(self, tmp_path):
         store = ResultStore(tmp_path)
         assert store.load_record("nope") is None
-        store.record_path("broken").write_text("{not json", encoding="utf-8")
+        path = store.record_path("broken")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{not json", encoding="utf-8")
         assert store.load_record("broken") is None
 
     def test_cache_hit_skips_execution(self, tmp_path):

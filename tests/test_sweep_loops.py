@@ -1,0 +1,524 @@
+"""Tests of per-loop sweep granularity, the sharded store and the
+executor bugfix batch (PR 3)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentOptions, ExperimentRunner, interleaved_setup
+from repro.scheduler.core import SchedulingHeuristic
+from repro.sim.stats import merge_benchmark_results
+from repro.sweep import cli as sweep_cli
+from repro.sweep import executor
+from repro.sweep.executor import (
+    PruneOptions,
+    default_workers,
+    execute_job,
+    run_jobs,
+)
+from repro.sweep.report import render_report, render_status
+from repro.sweep.spec import (
+    SweepPoint,
+    SweepSpec,
+    expand_loop_jobs,
+    job_from_description,
+)
+from repro.sweep.store import ResultStore, shard_of
+from repro.sweep.workloads import loop_names, resolve_loop
+
+FAST = {"iteration_cap": 32}
+
+
+def mix_spec(**base) -> SweepSpec:
+    merged = dict(FAST)
+    merged.update(base)
+    return SweepSpec(
+        name="loops",
+        benchmarks=("kernels-mix",),
+        axes={"clusters": (2, 4)},
+        base=merged,
+    )
+
+
+# ----------------------------------------------------------------------
+# Loop-scoped jobs
+# ----------------------------------------------------------------------
+class TestLoopJobs:
+    def test_expand_loop_jobs_follows_benchmark_order(self):
+        job = SweepPoint(benchmark="kernels-mix", **FAST).job()
+        scoped = expand_loop_jobs(job)
+        assert [part.loop for part in scoped] == loop_names("kernels-mix")
+        assert len(scoped) == 3
+        # A loop-scoped job expands to itself.
+        assert expand_loop_jobs(scoped[0]) == [scoped[0]]
+
+    def test_loop_scope_changes_key_benchmark_scope_does_not(self):
+        job = SweepPoint(benchmark="kernels-mix", **FAST).job()
+        scoped = job.scoped_to("sweep_stream")
+        assert scoped.key != job.key
+        # Benchmark-level jobs keep the key they had before the loop field
+        # existed: the description does not mention the loop at all.
+        assert "loop" not in job.describe()
+        assert scoped.describe()["loop"] == "sweep_stream"
+
+    def test_loop_job_round_trips_through_description(self):
+        job = SweepPoint(benchmark="kernels-mix", **FAST).job().scoped_to(
+            "sweep_reduce"
+        )
+        clone = job_from_description(
+            json.loads(json.dumps(job.describe()))
+        )
+        assert clone.key == job.key
+        assert clone.loop == "sweep_reduce"
+
+    def test_spec_expands_at_loop_granularity(self):
+        spec = mix_spec()
+        benchmark_jobs = spec.expand()
+        loop_jobs = spec.expand("loop")
+        assert len(loop_jobs) == 3 * len(benchmark_jobs)
+        assert len({job.key for job in loop_jobs}) == len(loop_jobs)
+        with pytest.raises(ValueError, match="granularity"):
+            spec.expand("bogus")
+
+    def test_unknown_loop_rejected(self):
+        with pytest.raises(KeyError, match="has no loop"):
+            resolve_loop("kernels-mix", "no_such_loop")
+        job = SweepPoint(benchmark="kernels-mix", **FAST).job().scoped_to("nope")
+        with pytest.raises(KeyError, match="has no loop"):
+            execute_job(job)
+
+    def test_execute_loop_job_matches_benchmark_slice(self):
+        job = SweepPoint(benchmark="kernels-mix", **FAST).job()
+        _, whole = execute_job(job)
+        _, part = execute_job(job.scoped_to("sweep_reduce"))
+        assert len(part.loops) == 1
+        matching = next(
+            loop for loop in whole.loops if loop.loop_name == "sweep_reduce"
+        )
+        assert part.loops[0].describe() == matching.describe()
+
+
+# ----------------------------------------------------------------------
+# Per-loop vs monolithic equivalence
+# ----------------------------------------------------------------------
+class TestLoopGranularityEquivalence:
+    def test_loop_granularity_matches_monolithic(self, tmp_path):
+        spec = mix_spec()
+        jobs = spec.expand()
+        mono = ResultStore(tmp_path / "mono")
+        serial = ResultStore(tmp_path / "serial")
+        parallel = ResultStore(tmp_path / "parallel")
+
+        run_jobs(spec.expand(), store=mono, workers=1)
+        s_serial = run_jobs(
+            spec.expand(), store=serial, workers=1, granularity="loop"
+        )
+        s_parallel = run_jobs(
+            spec.expand(), store=parallel, workers=3, granularity="loop"
+        )
+
+        assert s_serial.loop_jobs == s_parallel.loop_jobs == 3 * len(jobs)
+        for job in jobs:
+            reference = mono.load_record(job.key)["metrics"]
+            assert serial.load_record(job.key)["metrics"] == reference
+            assert parallel.load_record(job.key)["metrics"] == reference
+
+    def test_loop_granularity_payload_aggregates_exactly(self, tmp_path):
+        spec = mix_spec()
+        job = spec.expand()[0]
+        mono = ResultStore(tmp_path / "mono")
+        loop = ResultStore(tmp_path / "loop")
+        run_jobs([job], store=mono, workers=1)
+        run_jobs([job], store=loop, workers=1, granularity="loop")
+        whole = mono.load_payload(job.key)
+        merged = loop.load_payload(job.key)
+        assert [l.loop_name for l in merged.loops] == [
+            l.loop_name for l in whole.loops
+        ]
+        assert merged.describe() == whole.describe()
+
+    def test_loop_granularity_with_model_pruning(self, tmp_path):
+        spec = SweepSpec(
+            name="pruned",
+            benchmarks=("kernels-mix",),
+            axes={"clusters": (2, 4), "attraction_entries": (0, 16)},
+            base=dict(FAST),
+        )
+        jobs = spec.expand()
+        prune = PruneOptions(keep_fraction=0.5)
+        bench = ResultStore(tmp_path / "bench")
+        loop = ResultStore(tmp_path / "loop")
+        s_bench = run_jobs(spec.expand(), store=bench, workers=1, prune=prune)
+        s_loop = run_jobs(
+            spec.expand(), store=loop, workers=2, granularity="loop",
+            prune=prune,
+        )
+        assert s_bench.pruned == s_loop.pruned == 2
+        for job in jobs:
+            a = bench.load_record(job.key)
+            b = loop.load_record(job.key)
+            assert a["source"] == b["source"]
+            assert a["metrics"] == b["metrics"]
+
+    def test_loop_granularity_resumes_from_stored_loops(self, tmp_path):
+        spec = mix_spec()
+        job = spec.expand()[0]
+        store = ResultStore(tmp_path)
+        # Pre-store one loop result, as an interrupted run would have.
+        loop_job = expand_loop_jobs(job)[0]
+        record, result = execute_job(loop_job)
+        store.save(loop_job.key, record, payload=result)
+
+        summary = run_jobs([job], store=store, workers=1, granularity="loop")
+        assert summary.loop_jobs == 3
+        assert summary.loop_cache_hits == 1
+        assert summary.executed == 1  # the benchmark job itself ran
+        assert store.load_record(job.key) is not None
+
+    def test_summary_shows_more_concurrency_than_benchmarks(self, tmp_path):
+        # One 3-loop benchmark, two workers: a benchmark-granularity run
+        # can use one worker at most, the loop-granularity run uses both.
+        spec = SweepSpec(
+            name="balance", benchmarks=("kernels-mix",), base=dict(FAST)
+        )
+        summary = run_jobs(
+            spec.expand(), store=ResultStore(tmp_path), workers=2,
+            granularity="loop",
+        )
+        benchmarks = len(spec.benchmarks)
+        assert summary.peak_parallelism > benchmarks
+        assert summary.describe()["peak_parallelism"] == 2
+        assert summary.describe()["loop_jobs"] == 3
+
+
+# ----------------------------------------------------------------------
+# Loop-aware model prediction
+# ----------------------------------------------------------------------
+class TestLoopScopedPrediction:
+    def test_predict_job_loop_scope_matches_benchmark_slice(self):
+        from repro.model.predict import predict_job
+
+        job = SweepPoint(benchmark="kernels-mix", **FAST).job()
+        whole = predict_job(job)
+        part = predict_job(job.scoped_to("sweep_stride"))
+        assert len(part.loops) == 1
+        matching = next(
+            loop for loop in whole.loops if loop.loop_name == "sweep_stride"
+        )
+        assert part.loops[0].describe() == matching.describe()
+
+
+# ----------------------------------------------------------------------
+# Aggregation primitive
+# ----------------------------------------------------------------------
+class TestMergeBenchmarkResults:
+    def test_merge_rejects_empty_and_mixed_benchmarks(self):
+        job = SweepPoint(benchmark="kernels-mix", **FAST).job()
+        _, part = execute_job(expand_loop_jobs(job)[0])
+        _, other = execute_job(
+            SweepPoint(benchmark="kernel:streaming", **FAST).job()
+        )
+        with pytest.raises(ValueError, match="zero partial"):
+            merge_benchmark_results([])
+        with pytest.raises(ValueError, match="several benchmarks"):
+            merge_benchmark_results([part, other])
+
+    def test_merge_concatenates_loops(self):
+        job = SweepPoint(benchmark="kernels-mix", **FAST).job()
+        parts = [execute_job(p)[1] for p in expand_loop_jobs(job)]
+        merged = merge_benchmark_results(parts, architecture=job.architecture)
+        assert [l.loop_name for l in merged.loops] == loop_names("kernels-mix")
+        assert merged.architecture == job.architecture
+        assert merged.heuristic == parts[0].heuristic
+
+
+# ----------------------------------------------------------------------
+# Satellite: default_workers clamps to the CPU count
+# ----------------------------------------------------------------------
+class TestDefaultWorkers:
+    def test_single_core_machine_gets_one_worker(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert default_workers() == 1
+
+    def test_unknown_cpu_count_gets_one_worker(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert default_workers() == 1
+
+    def test_many_cores_stay_capped(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert default_workers() == 8
+        assert default_workers(cap=4) == 4
+
+
+# ----------------------------------------------------------------------
+# Satellite: bounded per-worker compile cache
+# ----------------------------------------------------------------------
+class TestCompileCacheBound:
+    def test_cache_never_exceeds_capacity(self, monkeypatch):
+        monkeypatch.setattr(executor, "COMPILE_CACHE_CAPACITY", 2)
+        executor._COMPILE_CACHE.clear()
+        spec = SweepSpec(
+            name="grid",
+            benchmarks=("kernel:streaming",),
+            axes={"clusters": (2, 4), "interleaving": (4, 8)},
+            base=dict(FAST),
+        )
+        for job in spec.expand():
+            execute_job(job)
+            assert len(executor._COMPILE_CACHE) <= 2
+        executor._COMPILE_CACHE.clear()
+
+    def test_eviction_keeps_results_identical(self, monkeypatch, tmp_path):
+        spec = SweepSpec(
+            name="grid",
+            benchmarks=("kernel:streaming", "kernel:reduction"),
+            axes={"clusters": (2, 4)},
+            base=dict(FAST),
+        )
+        monkeypatch.setattr(executor, "COMPILE_CACHE_CAPACITY", 1)
+        executor._COMPILE_CACHE.clear()
+        evicting = ResultStore(tmp_path / "evicting")
+        run_jobs(spec.expand(), store=evicting, workers=1)
+        assert len(executor._COMPILE_CACHE) <= 1
+
+        monkeypatch.setattr(executor, "COMPILE_CACHE_CAPACITY", 64)
+        executor._COMPILE_CACHE.clear()
+        roomy = ResultStore(tmp_path / "roomy")
+        run_jobs(spec.expand(), store=roomy, workers=1)
+        for key in evicting.keys():
+            assert (
+                evicting.load_record(key)["metrics"]
+                == roomy.load_record(key)["metrics"]
+            )
+        executor._COMPILE_CACHE.clear()
+
+    def test_lru_evicts_least_recently_used(self, monkeypatch):
+        monkeypatch.setattr(executor, "COMPILE_CACHE_CAPACITY", 2)
+        executor._COMPILE_CACHE.clear()
+        executor._compile_cache_put("a", [1])
+        executor._compile_cache_put("b", [2])
+        assert executor._compile_cache_get("a") == [1]  # refresh "a"
+        executor._compile_cache_put("c", [3])  # evicts "b"
+        assert list(executor._COMPILE_CACHE) == ["a", "c"]
+        executor._COMPILE_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# Satellite: unknown report sort column fails loudly
+# ----------------------------------------------------------------------
+class TestReportSortValidation:
+    def test_unknown_sort_column_raises_with_valid_columns(self):
+        with pytest.raises(ValueError, match="total_cycles"):
+            render_report([], sort_by="bogus")
+
+    def test_cli_exits_non_zero_listing_columns(self, tmp_path, capsys):
+        code = sweep_cli.main(
+            ["report", "--results-dir", str(tmp_path), "--sort", "bogus"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err
+        assert "total_cycles" in err
+
+    def test_known_columns_still_sort(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_jobs(mix_spec().expand(), store=store, workers=1)
+        for column in ("benchmark", "total_cycles", "ipc", "key"):
+            assert "kernels-mix" in render_report(
+                store.records(), sort_by=column
+            )
+
+    def test_sort_by_loop_requires_loop_granularity(self, tmp_path, capsys):
+        # Benchmark-level rows have no loop column, so sorting by it is the
+        # clean unknown-column error (not a KeyError crash)...
+        with pytest.raises(ValueError, match="unknown sort column 'loop'"):
+            render_report([], sort_by="loop")
+        code = sweep_cli.main(
+            ["report", "--results-dir", str(tmp_path), "--sort", "loop"]
+        )
+        assert code == 2
+        assert "unknown sort column" in capsys.readouterr().err
+        # ...while loop- and all-granularity reports sort by it fine.
+        store = ResultStore(tmp_path)
+        run_jobs(
+            mix_spec().expand(), store=store, workers=1, granularity="loop"
+        )
+        for granularity in ("loop", "all"):
+            assert "sweep_reduce" in render_report(
+                store.records(), sort_by="loop", granularity=granularity
+            )
+
+
+# ----------------------------------------------------------------------
+# Sharded store: layout, migration, vacuum
+# ----------------------------------------------------------------------
+class TestShardedStore:
+    def test_records_land_in_shard_directories(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "abcdef0123456789"
+        store.save(key, {"metrics": {}}, payload={"x": 1})
+        assert store.record_path(key).parent.name == shard_of(key) == "ab"
+        assert store.record_path(key).is_file()
+        assert store.payload_path(key).parent.name == "ab"
+        assert store.keys() == [key]
+        assert len(store) == 1
+
+    def test_flat_store_migrates_transparently(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_jobs(mix_spec().expand(), store=store, workers=1)
+        status_before = render_status(store)
+        report_before = render_report(store.records())
+
+        # Rebuild the pre-shard flat layout an older version wrote.
+        for directory in (tmp_path / "records", tmp_path / "payloads"):
+            for shard in [p for p in directory.iterdir() if p.is_dir()]:
+                for path in shard.iterdir():
+                    os.replace(path, directory / path.name)
+                shard.rmdir()
+        assert any((tmp_path / "records").glob("*.json"))
+
+        reopened = ResultStore(tmp_path)
+        assert not any((tmp_path / "records").glob("*.json"))
+        assert any((tmp_path / "records").glob("*/*.json"))
+        assert render_status(reopened) == status_before
+        assert render_report(reopened.records()) == report_before
+        # Payloads migrated with their records.
+        assert all(
+            reopened.load_payload(key) is not None for key in reopened.keys()
+        )
+
+    def test_vacuum_drops_orphaned_payloads_only(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("feedcafe", {"metrics": {}}, payload={"keep": True})
+        orphan_key = "0123456789abcdef"
+        orphan = store.payload_path(orphan_key)
+        orphan.parent.mkdir(parents=True, exist_ok=True)
+        orphan.write_bytes(b"orphaned payload")
+
+        assert store.vacuum(grace_seconds=0.0) == [orphan_key]
+        assert not orphan.exists()
+        assert store.load_payload("feedcafe") == {"keep": True}
+        # Records without payloads (e.g. model-only) are never touched.
+        store.save("cafe2222", {"metrics": {}, "source": "model"})
+        assert store.vacuum(grace_seconds=0.0) == []
+        assert store.load_record("cafe2222") is not None
+
+    def test_vacuum_grace_spares_in_flight_saves(self, tmp_path):
+        # A payload younger than the grace window may belong to a save
+        # whose record has not landed yet; it must survive the vacuum.
+        store = ResultStore(tmp_path)
+        orphan = store.payload_path("0123456789abcdef")
+        orphan.parent.mkdir(parents=True, exist_ok=True)
+        orphan.write_bytes(b"in-flight payload")
+        assert store.vacuum(grace_seconds=3600.0) == []
+        assert orphan.exists()
+
+    def test_vacuum_sweeps_stale_temp_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("feedcafe", {"metrics": {}})
+        stale = store.record_path("feedcafe").parent / ".feedcafe.json.tmp123"
+        stale.write_bytes(b"torn write")
+        store.vacuum(grace_seconds=0.0)
+        assert not stale.exists()
+        assert store.load_record("feedcafe") is not None
+
+    def test_save_writes_record_last(self, tmp_path, monkeypatch):
+        """A crash mid-save leaves an orphaned payload, never a record
+        whose payload is missing."""
+        store = ResultStore(tmp_path)
+        original = ResultStore._atomic_write
+        calls = []
+
+        def crashing(path, data):
+            calls.append(path.suffix)
+            if path.suffix == ".json":
+                raise RuntimeError("crash between payload and record")
+            original(path, data)
+
+        monkeypatch.setattr(ResultStore, "_atomic_write", staticmethod(crashing))
+        with pytest.raises(RuntimeError):
+            store.save("deadbeef", {"metrics": {}}, payload={"x": 1})
+        monkeypatch.setattr(ResultStore, "_atomic_write", staticmethod(original))
+        assert calls == [".pkl", ".json"]  # payload first, record last
+        assert store.load_record("deadbeef") is None
+        assert store.payload_path("deadbeef").is_file()
+        assert store.vacuum(grace_seconds=0.0) == ["deadbeef"]
+
+
+# ----------------------------------------------------------------------
+# Status / report expose the granularity split
+# ----------------------------------------------------------------------
+class TestGranularityReporting:
+    @pytest.fixture()
+    def populated(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_jobs(
+            mix_spec().expand(), store=store, workers=1, granularity="loop"
+        )
+        return store
+
+    def test_status_counts_loop_records_separately(self, populated):
+        status = render_status(populated)
+        assert "stored records: 2 + 6 loop-level" in status
+
+    def test_status_spec_coverage_uses_benchmark_records(self, populated):
+        status = render_status(populated, mix_spec())
+        assert "2/2 points simulated (complete)" in status
+
+    def test_report_granularity_filters(self, populated):
+        records = list(populated.records())
+        benchmark_rows = render_report(records, granularity="benchmark")
+        loop_rows = render_report(records, granularity="loop")
+        assert "sweep_reduce" not in benchmark_rows
+        assert "sweep_reduce" in loop_rows
+        both = render_report(records, granularity="all")
+        assert "sweep_reduce" in both
+        with pytest.raises(ValueError, match="granularity"):
+            render_report(records, granularity="bogus")
+
+    def test_cli_run_loop_granularity_end_to_end(self, tmp_path, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(
+            json.dumps(mix_spec().to_mapping()), encoding="utf-8"
+        )
+        code = sweep_cli.main(
+            [
+                "run",
+                "--spec", str(spec_file),
+                "--results-dir", str(tmp_path / "store"),
+                "--workers", "2",
+                "--granularity", "loop",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "loop granularity" in out
+        assert "6 loop jobs" in out
+
+
+# ----------------------------------------------------------------------
+# Experiment harness at loop granularity
+# ----------------------------------------------------------------------
+class TestExperimentRunnerLoopGranularity:
+    def test_prewarm_loop_granularity_fills_memo(self, tmp_path):
+        options = ExperimentOptions(
+            benchmarks=("gsmdec",), simulation_iteration_cap=32
+        )
+        setup = interleaved_setup(SchedulingHeuristic.IPBC)
+
+        reference = ExperimentRunner(options)
+        expected = reference.run_benchmark(
+            reference.benchmark("gsmdec"), setup
+        )
+
+        runner = ExperimentRunner(options, store=tmp_path / "store")
+        summary = runner.prewarm(
+            [("gsmdec", setup)], workers=2, granularity="loop"
+        )
+        assert summary.executed == 1
+        assert summary.loop_jobs == len(reference.benchmark("gsmdec").loops)
+        result = runner.run_benchmark(runner.benchmark("gsmdec"), setup)
+        assert result.describe() == expected.describe()
