@@ -1,11 +1,16 @@
 """Performance smoke benchmark: time the compile+simulate hot path.
 
-Runs the full pipeline (profile, latency-assign, schedule over the
-unrolling candidates, then simulate) on three representative synthetic
-kernels and writes the wall-clock numbers to ``BENCH_perf.json`` at the
-repository root.  The file seeds the perf trajectory of the project: CI or
-a developer can diff it across commits to spot hot-path regressions that
-the (correctness-oriented) tier-1 suite would never notice.
+Runs the staged pipeline (unroll, profile, latency-assign, schedule, then
+simulate) on three representative synthetic kernels and writes the
+wall-clock numbers to ``BENCH_perf.json`` at the repository root.  The
+file seeds the perf trajectory of the project: CI or a developer can diff
+it across commits to spot hot-path regressions that the
+(correctness-oriented) tier-1 suite would never notice.
+
+Schema 2 breaks the compile time down per pipeline stage
+(``stage_seconds``), so a regression points at the stage that caused it
+instead of at "compile".  Stage timings are measured cold (no artifact
+cache), like the aggregate compile time.
 
 Run with::
 
@@ -27,7 +32,11 @@ from pathlib import Path
 
 from repro.machine.config import MachineConfig
 from repro.model.predict import predict_benchmark
-from repro.scheduler.pipeline import CompilerOptions, compile_loop
+from repro.scheduler.pipeline import (
+    PIPELINE_STAGES,
+    CompilerOptions,
+    compile_loop,
+)
 from repro.sim.engine import SimulationOptions, simulate_compiled_loops
 from repro.sweep.workloads import resolve_workload
 
@@ -40,20 +49,27 @@ DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
 
 def time_kernel(name: str, repeats: int) -> dict[str, object]:
-    """Time compile, simulate and model-predict for one kernel."""
+    """Time compile (per stage), simulate and model-predict for one kernel."""
     benchmark = resolve_workload(name)
     config = MachineConfig.word_interleaved()
     options = CompilerOptions()
     simulation = SimulationOptions(iteration_cap=256)
 
     compile_times, simulate_times, predict_times = [], [], []
+    stage_times: dict[str, list[float]] = {
+        stage.name: [] for stage in PIPELINE_STAGES
+    }
     cycles: set[float] = set()
     for _ in range(repeats):
+        timings: dict[str, float] = {}
         started = time.perf_counter()
         compiled = [
-            compile_loop(loop, config, options) for loop in benchmark.loops
+            compile_loop(loop, config, options, timings=timings)
+            for loop in benchmark.loops
         ]
         compile_times.append(time.perf_counter() - started)
+        for stage in PIPELINE_STAGES:
+            stage_times[stage.name].append(timings.get(stage.name, 0.0))
 
         started = time.perf_counter()
         result = simulate_compiled_loops(
@@ -72,6 +88,9 @@ def time_kernel(name: str, repeats: int) -> dict[str, object]:
         )
     return {
         "compile_seconds": round(min(compile_times), 4),
+        "stage_seconds": {
+            stage: round(min(times), 4) for stage, times in stage_times.items()
+        },
         "simulate_seconds": round(min(simulate_times), 4),
         "model_predict_seconds": round(min(predict_times), 4),
         "total_cycles": cycles.pop(),
@@ -89,7 +108,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     report: dict[str, object] = {
-        "schema": 1,
+        "schema": 2,
         "python": platform.python_version(),
         "repeats": args.repeats,
         "kernels": {},
@@ -99,8 +118,13 @@ def main(argv=None) -> int:
         timing = time_kernel(name, args.repeats)
         report["kernels"][name] = timing
         total += timing["compile_seconds"] + timing["simulate_seconds"]
+        stages = " ".join(
+            f"{stage}={seconds:.3f}s"
+            for stage, seconds in timing["stage_seconds"].items()
+        )
         print(
             f"{name:20s} compile={timing['compile_seconds']:.3f}s "
+            f"({stages}) "
             f"simulate={timing['simulate_seconds']:.3f}s "
             f"model={timing['model_predict_seconds']:.3f}s "
             f"cycles={timing['total_cycles']}"

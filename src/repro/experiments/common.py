@@ -21,6 +21,7 @@ from repro.scheduler.pipeline import CompiledLoop, CompilerOptions, compile_loop
 from repro.scheduler.unrolling import UnrollPolicy
 from repro.sim.engine import SimulationOptions, simulate_compiled_loops
 from repro.sim.stats import BenchmarkSimulationResult
+from repro.sweep.artifacts import ARTIFACTS_DIRNAME, ArtifactCache, ArtifactStore
 from repro.sweep.spec import SweepJob, make_job
 from repro.sweep.store import ResultStore
 from repro.workloads.mediabench import BENCHMARK_NAMES, mediabench_suite
@@ -133,6 +134,13 @@ class ExperimentRunner:
     :meth:`prewarm` fans a batch of jobs out across worker processes to
     fill the store before the (serial) per-figure aggregation runs.
 
+    Compilation runs through the staged pipeline against a stage-artifact
+    cache (disk-backed under the store when one is given): setups that
+    share upstream dependency slices -- e.g. two heuristics on one machine
+    -- share unroll, profile and latency work across figures, and a
+    prewarm's pool workers leave their stage artifacts behind for the
+    serial per-figure compiles.
+
     The returned :class:`BenchmarkSimulationResult` objects are shared
     between callers; treat them as read-only.
     """
@@ -148,6 +156,11 @@ class ExperimentRunner:
         if isinstance(store, (str, Path)):
             store = ResultStore(store)
         self._store = store
+        self._artifacts = ArtifactCache(
+            ArtifactStore(store.root / ARTIFACTS_DIRNAME)
+            if store is not None
+            else None
+        )
         self._result_memo: dict[str, BenchmarkSimulationResult] = {}
 
     @property
@@ -166,7 +179,9 @@ class ExperimentRunner:
         key = _compile_cache_key(benchmark.name, setup)
         if key not in self._compile_cache:
             self._compile_cache[key] = [
-                compile_loop(loop, setup.config, setup.options)
+                compile_loop(
+                    loop, setup.config, setup.options, cache=self._artifacts
+                )
                 for loop in benchmark.loops
             ]
         return self._compile_cache[key]

@@ -167,6 +167,39 @@ class DataDependenceGraph:
                 return op
         raise KeyError(name)
 
+    def structural_description(self) -> dict[str, object]:
+        """Process-independent, JSON-able description of the graph.
+
+        Operations are referred to by program-order index rather than
+        ``uid`` (uids depend on process history), so two graphs built the
+        same way in different processes describe identically.  This is the
+        basis of the staged compilation pipeline's content-addressed stage
+        keys (:mod:`repro.scheduler.pipeline`).
+        """
+        index_of = {op: index for index, op in enumerate(self._ops_in_order)}
+        operations = []
+        for op in self._ops_in_order:
+            entry: dict[str, object] = {"name": op.name, "mnemonic": op.mnemonic}
+            if op.memory is not None:
+                access = op.memory
+                entry["memory"] = {
+                    "array": access.array,
+                    "stride_bytes": access.stride_bytes,
+                    "granularity": access.granularity,
+                    "offset_bytes": access.offset_bytes,
+                    "is_store": access.is_store,
+                    "indirect": access.indirect,
+                    "index_array": access.index_array,
+                    "stride_known": access.stride_known,
+                    "attractable": access.attractable,
+                }
+            operations.append(entry)
+        dependences = [
+            [index_of[dep.src], index_of[dep.dst], dep.kind.value, dep.distance]
+            for dep in self._deps_in_order
+        ]
+        return {"operations": operations, "dependences": dependences}
+
     # ------------------------------------------------------------------
     # Recurrence analysis
     # ------------------------------------------------------------------

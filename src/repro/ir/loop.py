@@ -139,6 +139,44 @@ class Loop:
             "weight": self.weight,
         }
 
+    def structural_description(self) -> dict[str, object]:
+        """Complete, process-independent description of the loop.
+
+        Covers everything the compilation pipeline reads -- the dependence
+        graph (by program-order index, never ``uid``), the data environment
+        and the trip counts -- so its canonical JSON encoding is a stable
+        content address for the loop across processes and sessions.
+        Metadata values that are not JSON primitives are reduced to their
+        type name: ``repr`` of arbitrary objects may embed memory addresses,
+        which would make the description process-dependent.
+        """
+        metadata = {
+            key: (
+                value
+                if value is None or isinstance(value, (bool, int, float, str))
+                else type(value).__name__
+            )
+            for key, value in sorted(self.metadata.items())
+        }
+        return {
+            "name": self.name,
+            "trip_count": self.trip_count,
+            "profile_trip_count": self.profile_trip_count,
+            "weight": self.weight,
+            "unroll_factor": self.unroll_factor,
+            "arrays": {
+                name: {
+                    "element_bytes": spec.element_bytes,
+                    "num_elements": spec.num_elements,
+                    "storage": spec.storage.value,
+                    "index_range": spec.index_range,
+                }
+                for name, spec in sorted(self.arrays.items())
+            },
+            "metadata": metadata,
+            "ddg": self.ddg.structural_description(),
+        }
+
 
 @dataclass
 class LoopNest:

@@ -267,17 +267,48 @@ def _predict_variant(
     )
 
 
+def _cached_unroll_factors(
+    loop: Loop,
+    config: MachineConfig,
+    options: CompilerOptions,
+    artifacts,
+) -> Optional[list[int]]:
+    """The pipeline's real candidate factors, if already compiled.
+
+    When the staged pipeline has run this loop's unroll stage (for this
+    machine/options slice), its artifact carries the exact candidate set --
+    including the profile-driven hit-rate filter on the OUF that a purely
+    analytical enumeration cannot reproduce.  Lookups use ``peek`` so a
+    read-only prediction never counts as a stage-cache hit or miss, and
+    nothing is ever computed here: without an artifact the model falls
+    back to the analytical candidate set.
+    """
+    if artifacts is None:
+        return None
+    from repro.scheduler.pipeline import StageContext, UnrollStage
+
+    ctx = StageContext(loop, config, options)
+    payload = artifacts.peek(UnrollStage.name, UnrollStage.key(ctx))
+    if payload is None:
+        return None
+    return list(payload["factors"])
+
+
 def predict_loop(
     loop: Loop,
     config: MachineConfig,
     options: Optional[CompilerOptions] = None,
     simulation: Optional[SimulationOptions] = None,
+    artifacts=None,
 ) -> PredictedLoopResult:
     """Predict the execution of one loop without compiling or simulating.
 
     Evaluates the same unrolling candidates the pipeline would and keeps
     the variant with the smallest predicted ``(iterations + SC - 1) * II``
-    -- the pipeline's own selection criterion.
+    -- the pipeline's own selection criterion.  With ``artifacts`` (a
+    stage-artifact cache, see :mod:`repro.sweep.artifacts`) the candidate
+    set is read from the pipeline's cached unroll stage instead of being
+    re-derived analytically.
     """
     if options is None:
         options = CompilerOptions(heuristic=default_heuristic_for(config))
@@ -300,8 +331,12 @@ def predict_loop(
         loop, make_latency_function(config, memory_latencies=base_assignment.latencies)
     )
 
+    factors = _cached_unroll_factors(loop, config, options, artifacts)
+    if factors is None:
+        factors = candidate_factors(loop, config, options.unroll_policy)
+
     best: Optional[PredictedLoopResult] = None
-    for factor in candidate_factors(loop, config, options.unroll_policy):
+    for factor in factors:
         variant = unroll_loop(loop, factor) if factor > 1 else loop
         candidate = _predict_variant(
             variant,
@@ -323,12 +358,14 @@ def predict_benchmark(
     options: Optional[CompilerOptions] = None,
     simulation: Optional[SimulationOptions] = None,
     architecture: Optional[str] = None,
+    artifacts=None,
 ) -> PredictedResult:
     """Predict a whole benchmark: one prediction per loop, aggregated."""
     if options is None:
         options = CompilerOptions(heuristic=default_heuristic_for(config))
     loops = [
-        predict_loop(loop, config, options, simulation) for loop in benchmark.loops
+        predict_loop(loop, config, options, simulation, artifacts=artifacts)
+        for loop in benchmark.loops
     ]
     return PredictedResult(
         benchmark=benchmark.name,
@@ -338,13 +375,14 @@ def predict_benchmark(
     )
 
 
-def predict_job(job) -> PredictedResult:
+def predict_job(job, artifacts=None) -> PredictedResult:
     """Predict one sweep job (a :class:`~repro.sweep.spec.SweepJob`).
 
     A loop-scoped job predicts just its loop: loops are modelled
     independently (exactly as :func:`predict_benchmark` treats them), so
     the single-loop prediction equals the matching entry of the
-    benchmark-level prediction.
+    benchmark-level prediction.  ``artifacts`` forwards a stage-artifact
+    cache so predictions reuse the pipeline's cached unroll candidates.
     """
     from repro.sweep.workloads import resolve_loop, resolve_workload
 
@@ -359,4 +397,5 @@ def predict_job(job) -> PredictedResult:
         job.options,
         job.simulation,
         architecture=job.architecture,
+        artifacts=artifacts,
     )

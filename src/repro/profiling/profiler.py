@@ -109,6 +109,64 @@ class LoopProfile:
         profile = self.operations.get(op)
         return profile.distribution if profile else 0.0
 
+    def to_payload(self) -> dict[str, object]:
+        """Process-independent form of the profile.
+
+        Per-operation entries are keyed by the operation's program-order
+        index among the loop's memory operations instead of the operation
+        object itself: operation identity (``uid``) is process-local, so a
+        profile persisted by one process would silently miss every lookup
+        in another.  :meth:`from_payload` rebinds the data to the current
+        process's loop objects.
+        """
+        return {
+            "profiled_iterations": self.profiled_iterations,
+            "average_trip_count": self.average_trip_count,
+            "ops": [
+                {
+                    "accesses": profile.accesses,
+                    "hits": profile.hits,
+                    "clusters": dict(profile.cluster_counts),
+                }
+                for profile in (
+                    self.operations[op] for op in self.loop.memory_operations
+                )
+            ],
+        }
+
+    @staticmethod
+    def from_payload(payload: Mapping[str, object], loop: Loop) -> "LoopProfile":
+        """Rebind a :meth:`to_payload` dump to ``loop``'s operations.
+
+        ``loop`` must be structurally identical to the loop the payload was
+        profiled on (same memory operations in the same program order) --
+        the staged pipeline guarantees this by deriving both from the same
+        content-addressed loop description.
+        """
+        entries = payload["ops"]
+        memory_ops = loop.memory_operations
+        if len(entries) != len(memory_ops):
+            raise ValueError(
+                f"profile payload covers {len(entries)} memory operations, "
+                f"loop {loop.name!r} has {len(memory_ops)}"
+            )
+        operations = {}
+        for op, entry in zip(memory_ops, entries):
+            operations[op] = OperationProfile(
+                operation=op,
+                accesses=int(entry["accesses"]),
+                hits=int(entry["hits"]),
+                cluster_counts=Counter(
+                    {int(cluster): count for cluster, count in entry["clusters"].items()}
+                ),
+            )
+        return LoopProfile(
+            loop=loop,
+            operations=operations,
+            profiled_iterations=int(payload["profiled_iterations"]),
+            average_trip_count=float(payload["average_trip_count"]),
+        )
+
 
 def profile_loop(
     loop: Loop,

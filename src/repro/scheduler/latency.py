@@ -183,6 +183,67 @@ class LatencyAssignment:
         """Only the steps that were actually applied."""
         return [step for step in self.steps if step.applied]
 
+    def to_payload(self, loop: Loop) -> dict[str, object]:
+        """Process-independent form of the assignment.
+
+        Operations are referenced by program-order index among ``loop``'s
+        memory operations (uids are process-local); :meth:`from_payload`
+        rebinds to the current process's loop.  ``loop`` must be the loop
+        the assignment was computed for.
+        """
+        index_of = {op: index for index, op in enumerate(loop.memory_operations)}
+        return {
+            "latencies": [self.latencies[op] for op in loop.memory_operations],
+            "target_mii": self.target_mii,
+            "model": self.model.value,
+            "steps": [
+                {
+                    "operation": index_of[step.operation],
+                    "recurrence_index": step.recurrence_index,
+                    "from_latency": step.from_latency,
+                    "to_latency": step.to_latency,
+                    "ii_decrease": step.ii_decrease,
+                    "stall_increase": step.stall_increase,
+                    "benefit": step.benefit,
+                    "applied": step.applied,
+                }
+                for step in self.steps
+            ],
+        }
+
+    @staticmethod
+    def from_payload(
+        payload: Mapping[str, object], loop: Loop
+    ) -> "LatencyAssignment":
+        """Rebind a :meth:`to_payload` dump to ``loop``'s operations."""
+        memory_ops = loop.memory_operations
+        latencies = payload["latencies"]
+        if len(latencies) != len(memory_ops):
+            raise ValueError(
+                f"latency payload covers {len(latencies)} memory operations, "
+                f"loop {loop.name!r} has {len(memory_ops)}"
+            )
+        return LatencyAssignment(
+            latencies={
+                op: int(latency) for op, latency in zip(memory_ops, latencies)
+            },
+            target_mii=int(payload["target_mii"]),
+            steps=[
+                LatencyStep(
+                    operation=memory_ops[int(entry["operation"])],
+                    recurrence_index=int(entry["recurrence_index"]),
+                    from_latency=int(entry["from_latency"]),
+                    to_latency=int(entry["to_latency"]),
+                    ii_decrease=int(entry["ii_decrease"]),
+                    stall_increase=float(entry["stall_increase"]),
+                    benefit=float(entry["benefit"]),
+                    applied=bool(entry["applied"]),
+                )
+                for entry in payload["steps"]
+            ],
+            model=LatencyModel(payload["model"]),
+        )
+
 
 class LatencyAssigner:
     """Implements the selective latency assignment of the paper."""

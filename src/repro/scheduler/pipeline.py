@@ -1,23 +1,44 @@
 """The compilation pipeline: unroll, profile, assign latencies, schedule.
 
 This module glues the individual phases of Section 4.3.1 into the flow the
-experiments use:
+experiments use, as an explicit **staged pipeline**:
 
-1. compute the candidate unrolling factors of the loop (no unrolling,
-   unroll-by-N, OUF, or the selective combination of the three);
-2. for each candidate, unroll the loop, profile it on the *profile* data
-   set, run the latency assignment, order the nodes and schedule them with
-   the requested cluster heuristic;
-3. keep the variant with the smallest estimated execution time.
+1. :class:`UnrollStage` -- compute the candidate unrolling factors of the
+   loop (no unrolling, unroll-by-N, OUF, or the selective combination),
+   profiling the original body on the *profile* data set to filter
+   never-hitting instructions out of the OUF;
+2. :class:`ProfileStage` -- profile every unrolled variant;
+3. :class:`LatencyStage` -- run the selective latency assignment on every
+   variant;
+4. :class:`ScheduleStage` -- order and schedule every variant with the
+   requested cluster heuristic and keep the one with the smallest
+   estimated execution time ``(iterations + SC - 1) * II``.
 
-The result bundles everything later stages need: the scheduled variant, its
-profile, the latency assignment and the schedule itself.
+:func:`compile_loop` drives the four stages and returns a
+:class:`CompiledLoop` bundling everything later phases need: the scheduled
+variant, its profile, the latency assignment and the schedule itself.
+
+Each stage declares -- via ``machine_keys`` / ``option_keys`` -- exactly
+which slice of ``(loop, MachineConfig, CompilerOptions)`` its output
+depends on, and :meth:`PipelineStage.key` derives a content-addressed
+stage key from that slice.  Two grid points that differ only in knobs
+*downstream* of a stage (e.g. the scheduling heuristic, which only the
+schedule stage reads, or the Attraction Buffer configuration, which only
+the simulator reads) share that stage's key, so a stage cache -- see
+:class:`repro.sweep.artifacts.ArtifactCache` -- computes the stage once
+for the whole grid.  Stage payloads are process-independent: operations
+are referenced by program-order index, never by ``uid`` (uids depend on
+process history), so artifacts persisted by one worker rehydrate exactly
+in another.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import time
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Callable, Mapping, Optional, Protocol
 
 from repro.ir.loop import Loop
 from repro.ir.unroll import unroll_loop
@@ -32,6 +53,11 @@ from repro.scheduler.unrolling import (
     candidate_factors,
     estimate_execution_time,
 )
+
+#: Version tag mixed into every stage key.  Bump whenever the meaning of a
+#: stage's payload (or of the dependency slices) changes, so artifacts
+#: persisted by an older pipeline can never be mistaken for hits.
+STAGE_SCHEMA = 1
 
 
 @dataclass(frozen=True)
@@ -59,6 +85,46 @@ class CompilerOptions:
             "profile_dataset": self.profile_dataset,
             "profile_iteration_cap": self.profile_iteration_cap,
         }
+
+    @staticmethod
+    def from_description(data: Mapping[str, object]) -> "CompilerOptions":
+        """Rebuild options from :meth:`describe` output (exact round trip).
+
+        The inverse used by stage keys and stored sweep-job descriptions,
+        mirroring :meth:`MachineConfig.from_description`, so both share one
+        canonical encoding.  Records written before the profile knobs
+        existed omit them and get the defaults; *unknown* keys are
+        rejected, since silently ignoring one would let two genuinely
+        different configurations round-trip to the same options.
+        """
+        known = {
+            "heuristic",
+            "unroll_policy",
+            "variable_alignment",
+            "use_chains",
+            "profile_dataset",
+            "profile_iteration_cap",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown compiler option keys: {unknown}; "
+                f"known: {sorted(known)}"
+            )
+        missing = sorted(
+            {"heuristic", "unroll_policy", "variable_alignment", "use_chains"}
+            - set(data)
+        )
+        if missing:
+            raise ValueError(f"compiler option keys missing: {missing}")
+        return CompilerOptions(
+            heuristic=SchedulingHeuristic(data["heuristic"]),
+            unroll_policy=UnrollPolicy(data["unroll_policy"]),
+            variable_alignment=bool(data["variable_alignment"]),
+            use_chains=bool(data["use_chains"]),
+            profile_dataset=str(data.get("profile_dataset", "profile")),
+            profile_iteration_cap=int(data.get("profile_iteration_cap", 512)),
+        )
 
 
 def default_heuristic_for(config: MachineConfig) -> SchedulingHeuristic:
@@ -110,12 +176,441 @@ class CompiledLoop:
         return summary
 
 
+# ----------------------------------------------------------------------
+# Stage framework
+# ----------------------------------------------------------------------
+class StageCache(Protocol):
+    """What the pipeline needs from a stage cache.
+
+    Implemented by :class:`repro.sweep.artifacts.ArtifactCache` (in-process
+    LRU front over an on-disk store); any object with the same two methods
+    works.  ``get`` returns the cached payload or None; ``put`` stores one.
+    """
+
+    def get(self, stage: str, key: str) -> Optional[object]: ...
+
+    def put(self, stage: str, key: str, payload: object) -> None: ...
+
+
+def _canonical_json(data: object) -> str:
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class StageContext:
+    """One loop's trip through the pipeline.
+
+    Memoizes the loop's structural description (the content-address basis)
+    and the unrolled variants, so every stage of one :func:`compile_loop`
+    call works on the *same* variant objects -- profiles and latency
+    assignments rehydrated from cached payloads are rebound to these
+    variants by program-order index.
+    """
+
+    loop: Loop
+    config: MachineConfig
+    options: CompilerOptions
+
+    def __post_init__(self) -> None:
+        self._variants: dict[int, Loop] = {}
+        self._loop_description: Optional[dict[str, object]] = None
+        self._loop_digest: Optional[str] = None
+        self._machine_description: Optional[dict[str, object]] = None
+        self._options_description: Optional[dict[str, object]] = None
+
+    @property
+    def loop_description(self) -> dict[str, object]:
+        """Structural description of the loop (computed once)."""
+        if self._loop_description is None:
+            self._loop_description = self.loop.structural_description()
+        return self._loop_description
+
+    @property
+    def loop_digest(self) -> str:
+        """SHA-256 of the loop description (computed once).
+
+        Stage keys embed this digest instead of re-serializing the full
+        description per stage; the digest is equivalent content-wise and
+        keeps key computation O(description) per loop, not per stage.
+        """
+        if self._loop_digest is None:
+            encoded = _canonical_json(self.loop_description).encode("utf-8")
+            self._loop_digest = hashlib.sha256(encoded).hexdigest()
+        return self._loop_digest
+
+    @property
+    def machine_description(self) -> dict[str, object]:
+        """Machine description (computed once)."""
+        if self._machine_description is None:
+            self._machine_description = self.config.describe()
+        return self._machine_description
+
+    @property
+    def options_description(self) -> dict[str, object]:
+        """Compiler-options description (computed once)."""
+        if self._options_description is None:
+            self._options_description = self.options.describe()
+        return self._options_description
+
+    def variant(self, factor: int) -> Loop:
+        """The loop unrolled by ``factor`` (memoized; factor 1 is the loop)."""
+        variant = self._variants.get(factor)
+        if variant is None:
+            variant = unroll_loop(self.loop, factor)
+            self._variants[factor] = variant
+        return variant
+
+
+#: Machine-description keys profiling and unrolling read: the data layout
+#: and the cache-module geometry.  Latencies, buses, functional units and
+#: the Attraction Buffers do not change a single profiled address or hit.
+PROFILE_MACHINE_KEYS: tuple[str, ...] = (
+    "organization",
+    "clusters",
+    "interleaving_factor",
+    "cache_total_bytes",
+    "cache_block_bytes",
+    "cache_associativity",
+)
+
+#: Machine-description keys the latency assignment and the schedulers read
+#: on top of the profile slice: every latency, resource and bus parameter.
+#: The Attraction Buffer configuration is deliberately absent -- it is a
+#: *simulation-time* structure (Section 3); no compilation phase reads it,
+#: so an AB sweep shares every compilation stage across its grid points.
+SCHEDULING_MACHINE_KEYS: tuple[str, ...] = PROFILE_MACHINE_KEYS + (
+    "fu_per_cluster",
+    "latencies",
+    "op_latencies",
+    "store_issue_latency",
+    "register_buses",
+    "register_bus_divisor",
+    "memory_buses",
+    "memory_bus_divisor",
+    "next_level_latency",
+    "next_level_ports",
+    "unified_cache_latency",
+    "unified_cache_ports",
+    "registers_per_cluster",
+)
+
+#: Compiler-option keys that determine profiles and unroll candidates.
+PROFILE_OPTION_KEYS: tuple[str, ...] = (
+    "unroll_policy",
+    "variable_alignment",
+    "profile_dataset",
+    "profile_iteration_cap",
+)
+
+#: Compiler-option keys the schedule stage reads (all of them).
+SCHEDULE_OPTION_KEYS: tuple[str, ...] = PROFILE_OPTION_KEYS + (
+    "heuristic",
+    "use_chains",
+)
+
+
+class PipelineStage:
+    """A stage of the compilation pipeline.
+
+    Subclasses declare their dependency slice -- the machine and compiler
+    keys their output depends on -- and implement ``compute``.  The slice
+    plus the loop's structural description is hashed into the stage key,
+    which is what makes stage outputs shareable across a sweep grid: a
+    knob outside the slice cannot change the output, so it does not change
+    the key either.
+    """
+
+    name: str = ""
+    machine_keys: tuple[str, ...] = ()
+    option_keys: tuple[str, ...] = ()
+
+    @classmethod
+    def dependency_slice(cls, ctx: StageContext) -> dict[str, object]:
+        """The exact inputs this stage's output depends on."""
+        machine = ctx.machine_description
+        options = ctx.options_description
+        return {
+            "loop": ctx.loop_description,
+            "machine": {key: machine[key] for key in cls.machine_keys},
+            "compiler": {key: options[key] for key in cls.option_keys},
+        }
+
+    @classmethod
+    def key(cls, ctx: StageContext) -> str:
+        """Content-addressed identity of this stage's output.
+
+        Hashes the loop's description digest plus the machine/compiler
+        slices -- equivalent to hashing the full dependency slice, without
+        re-serializing the loop description once per stage.
+        """
+        machine = ctx.machine_description
+        options = ctx.options_description
+        payload = _canonical_json(
+            {
+                "stage": cls.name,
+                "schema": STAGE_SCHEMA,
+                "loop": ctx.loop_digest,
+                "machine": {key: machine[key] for key in cls.machine_keys},
+                "compiler": {key: options[key] for key in cls.option_keys},
+            }
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class UnrollStage(PipelineStage):
+    """Candidate unrolling factors (plus the base-variant profile).
+
+    The base profile is computed here because the selective OUF needs the
+    original body's hit rates; it is part of the payload so the profile
+    stage never profiles the base variant twice.
+    """
+
+    name = "unroll"
+    machine_keys = PROFILE_MACHINE_KEYS
+    option_keys = PROFILE_OPTION_KEYS
+
+    @classmethod
+    def compute(cls, ctx: StageContext) -> dict[str, object]:
+        options = ctx.options
+        base_profile = profile_loop(
+            ctx.loop,
+            ctx.config,
+            dataset=options.profile_dataset,
+            aligned=options.variable_alignment,
+            iteration_cap=options.profile_iteration_cap,
+        )
+        factors = candidate_factors(
+            ctx.loop, ctx.config, options.unroll_policy, base_profile
+        )
+        return {"factors": list(factors), "base_profile": base_profile.to_payload()}
+
+
+class ProfileStage(PipelineStage):
+    """Per-variant :class:`LoopProfile` for every candidate factor."""
+
+    name = "profile"
+    machine_keys = PROFILE_MACHINE_KEYS
+    option_keys = PROFILE_OPTION_KEYS
+
+    @classmethod
+    def compute(
+        cls, ctx: StageContext, unroll: Mapping[str, object]
+    ) -> dict[str, object]:
+        options = ctx.options
+        profiles: dict[int, object] = {1: unroll["base_profile"]}
+        for factor in unroll["factors"]:
+            if factor == 1:
+                continue
+            profile = profile_loop(
+                ctx.variant(factor),
+                ctx.config,
+                dataset=options.profile_dataset,
+                aligned=options.variable_alignment,
+                iteration_cap=options.profile_iteration_cap,
+            )
+            profiles[factor] = profile.to_payload()
+        return {"profiles": profiles}
+
+    @classmethod
+    def rehydrate(
+        cls, ctx: StageContext, payload: Mapping[str, object]
+    ) -> dict[int, LoopProfile]:
+        """Bind the stored per-variant profiles to this process's variants."""
+        return {
+            factor: LoopProfile.from_payload(entry, ctx.variant(factor))
+            for factor, entry in payload["profiles"].items()
+        }
+
+
+class LatencyStage(PipelineStage):
+    """Per-variant :class:`LatencyAssignment` for every candidate factor."""
+
+    name = "latency"
+    machine_keys = SCHEDULING_MACHINE_KEYS
+    option_keys = PROFILE_OPTION_KEYS
+
+    @classmethod
+    def compute(
+        cls,
+        ctx: StageContext,
+        factors: list[int],
+        profiles: Mapping[int, LoopProfile],
+    ) -> dict[str, object]:
+        assignments: dict[int, object] = {}
+        for factor in factors:
+            variant = ctx.variant(factor)
+            assignment = assign_latencies(
+                variant, ctx.config, profile=profiles[factor]
+            )
+            assignments[factor] = assignment.to_payload(variant)
+        return {"assignments": assignments}
+
+    @classmethod
+    def rehydrate(
+        cls, ctx: StageContext, payload: Mapping[str, object]
+    ) -> dict[int, LatencyAssignment]:
+        """Bind the stored assignments to this process's variants."""
+        return {
+            factor: LatencyAssignment.from_payload(entry, ctx.variant(factor))
+            for factor, entry in payload["assignments"].items()
+        }
+
+
+class ScheduleStage(PipelineStage):
+    """Schedule every variant and keep the best-estimated one.
+
+    The payload is the final :class:`CompiledLoop` itself: a self-contained
+    object graph (variant, profile, assignment and schedule all referencing
+    the same operations), which pickles and unpickles consistently across
+    processes.
+    """
+
+    name = "schedule"
+    machine_keys = SCHEDULING_MACHINE_KEYS
+    option_keys = SCHEDULE_OPTION_KEYS
+
+    @classmethod
+    def compute(
+        cls,
+        ctx: StageContext,
+        factors: list[int],
+        profiles: Mapping[int, LoopProfile],
+        assignments: Mapping[int, LatencyAssignment],
+    ) -> CompiledLoop:
+        options = ctx.options
+        best: Optional[tuple[int, ClusteredSchedule, UnrollingEstimate]] = None
+        rejected: list[UnrollingEstimate] = []
+        for factor in factors:
+            variant = ctx.variant(factor)
+            schedule = schedule_loop(
+                variant,
+                ctx.config,
+                assignments[factor],
+                options.heuristic,
+                profile=profiles[factor],
+                use_chains=options.use_chains,
+            )
+            estimate = estimate_execution_time(
+                factor, schedule.ii, schedule.stage_count, ctx.loop.trip_count
+            )
+            if best is None or estimate.estimated_cycles < best[2].estimated_cycles:
+                if best is not None:
+                    rejected.append(best[2])
+                best = (factor, schedule, estimate)
+            else:
+                rejected.append(estimate)
+        assert best is not None  # factors is never empty
+        factor, schedule, estimate = best
+        return CompiledLoop(
+            original=ctx.loop,
+            loop=ctx.variant(factor),
+            schedule=schedule,
+            profile=profiles[factor],
+            latency_assignment=assignments[factor],
+            unroll_factor=factor,
+            estimate=estimate,
+            options=options,
+            rejected=rejected,
+        )
+
+
+#: The pipeline's stages, in execution order.
+PIPELINE_STAGES: tuple[type[PipelineStage], ...] = (
+    UnrollStage,
+    ProfileStage,
+    LatencyStage,
+    ScheduleStage,
+)
+
+
+def _run_stage(
+    stage: type[PipelineStage],
+    ctx: StageContext,
+    cache: Optional[StageCache],
+    timings: Optional[dict[str, float]],
+    compute: Callable[[], object],
+) -> object:
+    """Serve one stage from the cache or compute (and cache) it."""
+    started = time.perf_counter()
+    if cache is not None:
+        key = stage.key(ctx)
+        payload = cache.get(stage.name, key)
+        if payload is None:
+            payload = compute()
+            cache.put(stage.name, key, payload)
+    else:
+        payload = compute()
+    if timings is not None:
+        timings[stage.name] = (
+            timings.get(stage.name, 0.0) + time.perf_counter() - started
+        )
+    return payload
+
+
 def compile_loop(
     loop: Loop,
     config: MachineConfig,
     options: Optional[CompilerOptions] = None,
+    cache: Optional[StageCache] = None,
+    timings: Optional[dict[str, float]] = None,
 ) -> CompiledLoop:
-    """Run the full compilation pipeline on one loop."""
+    """Run the staged compilation pipeline on one loop.
+
+    ``cache`` serves stages whose content-addressed key is already stored
+    and receives the ones computed here; without it every stage runs (the
+    behaviour of the pre-staged monolithic pipeline, kept metric-for-metric
+    identical -- see :func:`compile_loop_reference`).  ``timings``, when
+    given, accumulates wall-clock seconds per stage name (cache hits count
+    the lookup time, which is the point of measuring).
+    """
+    if options is None:
+        options = CompilerOptions(heuristic=default_heuristic_for(config))
+    if not _heuristic_matches(config, options.heuristic):
+        raise ValueError(
+            f"heuristic {options.heuristic.value} does not match the "
+            f"{config.organization.value} cache organization"
+        )
+
+    ctx = StageContext(loop, config, options)
+    unroll = _run_stage(
+        UnrollStage, ctx, cache, timings, lambda: UnrollStage.compute(ctx)
+    )
+    factors = list(unroll["factors"])
+    profile_payload = _run_stage(
+        ProfileStage, ctx, cache, timings, lambda: ProfileStage.compute(ctx, unroll)
+    )
+    profiles = ProfileStage.rehydrate(ctx, profile_payload)
+    latency_payload = _run_stage(
+        LatencyStage,
+        ctx,
+        cache,
+        timings,
+        lambda: LatencyStage.compute(ctx, factors, profiles),
+    )
+    assignments = LatencyStage.rehydrate(ctx, latency_payload)
+    compiled = _run_stage(
+        ScheduleStage,
+        ctx,
+        cache,
+        timings,
+        lambda: ScheduleStage.compute(ctx, factors, profiles, assignments),
+    )
+    return compiled
+
+
+def compile_loop_reference(
+    loop: Loop,
+    config: MachineConfig,
+    options: Optional[CompilerOptions] = None,
+) -> CompiledLoop:
+    """The pre-staged monolithic pipeline, kept as the equivalence oracle.
+
+    The staged :func:`compile_loop` must stay metric-for-metric identical
+    to this implementation (same factors evaluated in the same order, same
+    profiles, same selection tie-breaks); the equivalence suite in
+    ``tests/test_pipeline_stages.py`` compares the two over the full
+    benchmark suite.  Not used by any production path.
+    """
     if options is None:
         options = CompilerOptions(heuristic=default_heuristic_for(config))
     if not _heuristic_matches(config, options.heuristic):
@@ -177,14 +672,14 @@ def compile_loop(
         else:
             rejected.append(estimate)
     assert best is not None  # factors is never empty
-    best.rejected = rejected
-    return best
+    return replace(best, rejected=rejected)
 
 
 def compile_loops(
     loops: list[Loop],
     config: MachineConfig,
     options: Optional[CompilerOptions] = None,
+    cache: Optional[StageCache] = None,
 ) -> list[CompiledLoop]:
     """Compile a list of loops with the same options."""
-    return [compile_loop(loop, config, options) for loop in loops]
+    return [compile_loop(loop, config, options, cache=cache) for loop in loops]

@@ -4,18 +4,25 @@ The subsystem splits design-space exploration into explicit phases:
 
 * :mod:`repro.sweep.spec` -- declarative grids (:class:`SweepSpec`) expanded
   into content-addressed jobs (:class:`SweepJob`);
-* :mod:`repro.sweep.executor` -- serial or process-pool execution with
-  per-worker compile caching;
+* :mod:`repro.sweep.executor` -- serial or process-pool execution through
+  the staged compilation pipeline;
+* :mod:`repro.sweep.artifacts` -- the content-addressed stage-artifact
+  store (plus its in-process LRU front) that shares unroll/profile/
+  latency/schedule outputs across the grid, across workers and across
+  runs;
 * :mod:`repro.sweep.store` -- the on-disk JSON record store that makes
   re-runs incremental and results queryable after exit;
 * :mod:`repro.sweep.report` -- text-table rendering of stored results;
 * :mod:`repro.sweep.cli` -- the ``python -m repro.sweep`` command line.
 """
 
+from repro.sweep.artifacts import ArtifactCache, ArtifactStore
 from repro.sweep.executor import (
     JobOutcome,
     PruneOptions,
     SweepRunSummary,
+    artifact_cache,
+    configure_artifacts,
     default_workers,
     execute_job,
     is_simulated_record,
@@ -37,9 +44,13 @@ from repro.sweep.store import ResultStore
 from repro.sweep.workloads import loop_names, resolve_loop, resolve_workload, workload_names
 
 __all__ = [
+    "ArtifactCache",
+    "ArtifactStore",
     "JobOutcome",
     "PruneOptions",
     "ResultStore",
+    "artifact_cache",
+    "configure_artifacts",
     "SweepJob",
     "SweepPoint",
     "SweepRunSummary",

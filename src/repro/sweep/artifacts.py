@@ -1,0 +1,236 @@
+"""Content-addressed, on-disk store for compilation-stage artifacts.
+
+The staged compilation pipeline (:mod:`repro.scheduler.pipeline`) gives
+every stage output a content-addressed key derived from exactly the slice
+of ``(loop, MachineConfig, CompilerOptions)`` the stage depends on.  This
+module persists those outputs so they are shared across pool workers,
+across benchmark- and loop-granularity jobs, and across interrupted and
+resumed sweep runs: a grid sweeping 4 scheduling configurations times 3
+machines that differ only in simulation-time knobs performs each loop's
+unroll and profile stages once, not 12 times.
+
+Layout under the store root (``<results-dir>/artifacts`` by default)::
+
+    <stage>/<shard>/<key>.pkl
+
+``<stage>`` is the pipeline stage name (``unroll``, ``profile``,
+``latency``, ``schedule``) and ``<shard>`` the first two hex characters of
+the stage key, mirroring the :class:`~repro.sweep.store.ResultStore`
+sharding so a large store never scans one flat directory.  Each file
+pickles a small envelope ``{"schema", "stage", "payload"}``; entries whose
+schema does not match :data:`ARTIFACT_SCHEMA` (or that do not unpickle)
+are treated as misses and collected by :meth:`ArtifactStore.vacuum`.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent workers
+racing on one stage key cannot tear an artifact; both compute the same
+content, and the last replace wins.
+
+:class:`ArtifactCache` is the in-process front: a bounded LRU over the
+payloads (replacing the old whole-``CompiledLoop`` per-worker compile
+cache) that falls through to the disk store on miss and counts per-stage
+hits and misses for the sweep summary.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional
+
+#: Version of the artifact envelope.  Bump when payload formats change so
+#: stale artifacts read as misses (and become vacuumable) instead of
+#: rehydrating into garbage.
+ARTIFACT_SCHEMA = 1
+
+#: Number of leading key characters that name an artifact's shard directory.
+SHARD_CHARS = 2
+
+#: Subdirectory of a sweep result store that holds its artifact store.
+ARTIFACTS_DIRNAME = "artifacts"
+
+#: Upper bound on in-memory artifact payloads per process.  Each schedule
+#: artifact holds one compiled loop, so an unbounded front would grow
+#: worker memory with the grid; the old compile cache held 8 whole
+#: benchmarks' compiled loops, which this default roughly matches.
+DEFAULT_CACHE_CAPACITY = max(
+    1, int(os.environ.get("REPRO_SWEEP_ARTIFACT_CACHE", "128"))
+)
+
+
+def shard_of(key: str) -> str:
+    """Shard directory name of a key (its first hex characters)."""
+    return key[:SHARD_CHARS] or "_"
+
+
+class ArtifactStore:
+    """Directory-backed store of stage artifacts keyed by stage key."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, stage: str, key: str) -> Path:
+        """Path of the artifact of ``key`` within ``stage``."""
+        return self.root / stage / shard_of(key) / f"{key}.pkl"
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*/*.pkl"))
+
+    def stats(self) -> dict[str, int]:
+        """Artifact count per stage, sorted by stage name."""
+        counts: dict[str, int] = {}
+        for stage_dir in sorted(self.root.iterdir()):
+            if stage_dir.is_dir():
+                counts[stage_dir.name] = sum(
+                    1 for _ in stage_dir.glob("*/*.pkl")
+                )
+        return counts
+
+    def get(self, stage: str, key: str) -> Optional[object]:
+        """Load one artifact payload, or None if absent/stale/unreadable."""
+        path = self.path(stage, key)
+        try:
+            with path.open("rb") as handle:
+                envelope = pickle.load(handle)
+        except Exception:
+            # Anything unreadable is a miss, never a crash: unpickling
+            # arbitrary stale bytes can raise far more than PickleError
+            # (ImportError after a payload class moved, ValueError,
+            # IndexError...), and vacuum() relies on get() degrading
+            # gracefully to identify exactly these files as collectable.
+            return None
+        if not isinstance(envelope, dict):
+            return None
+        if envelope.get("schema") != ARTIFACT_SCHEMA:
+            return None
+        if envelope.get("stage") != stage:
+            return None
+        return envelope.get("payload")
+
+    def put(self, stage: str, key: str, payload: object) -> None:
+        """Atomically persist one artifact payload."""
+        envelope = {"schema": ARTIFACT_SCHEMA, "stage": stage, "payload": payload}
+        data = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+        path = self.path(stage, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=path.parent, prefix=f".{path.name}.", delete=False
+        )
+        try:
+            with handle:
+                handle.write(data)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def vacuum(self, grace_seconds: float = 60.0) -> int:
+        """Drop unreachable artifacts; returns how many files were removed.
+
+        Unreachable means: leftover temp files from interrupted atomic
+        writes, and artifacts no current ``get`` can return -- entries
+        whose envelope schema is stale (the stage key embeds the pipeline
+        schema, so nothing addresses them any more) or that fail to
+        unpickle.  ``grace_seconds`` keeps vacuuming safe next to a live
+        sweep: files younger than the window may be another worker's
+        in-flight write and are left alone; pass ``0`` for offline stores.
+        """
+        cutoff = time.time() - grace_seconds
+
+        def expired(path: Path) -> bool:
+            try:
+                return path.stat().st_mtime <= cutoff
+            except OSError:
+                return False
+
+        removed = 0
+        for stale in self.root.glob("**/.*"):
+            if stale.is_file() and expired(stale):
+                try:
+                    stale.unlink()
+                    removed += 1
+                except FileNotFoundError:
+                    pass
+        for path in self.root.glob("*/*/*.pkl"):
+            if not expired(path):
+                continue
+            stage = path.parent.parent.name
+            if self.get(stage, path.stem) is None:
+                try:
+                    path.unlink()
+                    removed += 1
+                except FileNotFoundError:
+                    pass
+        return removed
+
+
+class ArtifactCache:
+    """Bounded LRU front over an (optional) :class:`ArtifactStore`.
+
+    Implements the pipeline's ``StageCache`` protocol.  ``get`` serves from
+    memory first, then from the disk store (promoting the payload into
+    memory); ``put`` writes both.  Per-stage hit/miss counters feed the
+    sweep run summary; :meth:`peek` looks up without touching them, for
+    read-only consumers like the analytical model.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ArtifactStore] = None,
+        capacity: Optional[int] = None,
+    ) -> None:
+        self.store = store
+        self.capacity = DEFAULT_CACHE_CAPACITY if capacity is None else capacity
+        if self.capacity < 1:
+            raise ValueError("artifact cache capacity must be at least 1")
+        self._memory: OrderedDict[str, object] = OrderedDict()
+        self.hits: dict[str, int] = {}
+        self.misses: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def peek(self, stage: str, key: str) -> Optional[object]:
+        """Look up a payload without counting a hit or a miss."""
+        payload = self._memory.get(key)
+        if payload is not None:
+            self._memory.move_to_end(key)
+            return payload
+        if self.store is not None:
+            payload = self.store.get(stage, key)
+            if payload is not None:
+                self._remember(key, payload)
+        return payload
+
+    def get(self, stage: str, key: str) -> Optional[object]:
+        """Look up a payload, counting the outcome for the run summary."""
+        payload = self.peek(stage, key)
+        counter = self.hits if payload is not None else self.misses
+        counter[stage] = counter.get(stage, 0) + 1
+        return payload
+
+    def put(self, stage: str, key: str, payload: object) -> None:
+        """Store a payload in memory and (when backed) on disk."""
+        self._remember(key, payload)
+        if self.store is not None:
+            self.store.put(stage, key, payload)
+
+    def _remember(self, key: str, payload: object) -> None:
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+
+    def take_stats(self) -> dict[str, dict[str, int]]:
+        """Return and reset the per-stage hit/miss counters."""
+        stats = {"hits": self.hits, "misses": self.misses}
+        self.hits = {}
+        self.misses = {}
+        return stats

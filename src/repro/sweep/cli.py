@@ -31,6 +31,7 @@ import sys
 from pathlib import Path
 from typing import Optional
 
+from repro.sweep.artifacts import ARTIFACTS_DIRNAME, ArtifactStore
 from repro.sweep.executor import (
     JobOutcome,
     PruneOptions,
@@ -144,6 +145,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"cache hits, {info['peak_parallelism']} concurrent)"
         )
     print(done_line)
+    if summary.stage_hits or summary.stage_misses:
+        print(summary.stage_cache_line())
     if not args.quiet:
         keys = {job.key for job in jobs}
         records = [r for r in store.records() if r.get("key") in keys]
@@ -157,8 +160,14 @@ def _cmd_status(args: argparse.Namespace) -> int:
     spec: Optional[SweepSpec] = None
     if args.spec is not None or args.default_spec:
         spec = _load_spec(args)
-    print(render_status(store, spec))
+    print(render_status(store, spec, artifacts=_artifact_store(args)))
     return 0
+
+
+def _artifact_store(args: argparse.Namespace) -> Optional[ArtifactStore]:
+    """The artifact store living under the results dir, if it exists."""
+    root = Path(args.results_dir) / ARTIFACTS_DIRNAME
+    return ArtifactStore(root) if root.is_dir() else None
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -199,6 +208,12 @@ def _cmd_vacuum(args: argparse.Namespace) -> int:
     )
     for key in orphaned:
         print(f"  {key}")
+    artifacts = _artifact_store(args)
+    if artifacts is not None:
+        removed = artifacts.vacuum(grace_seconds=args.grace)
+        print(
+            f"vacuumed {artifacts.root}: {removed} orphaned artifact(s) removed"
+        )
     return 0
 
 

@@ -1,11 +1,16 @@
 """Execution engine of the sweep subsystem.
 
 Jobs are executed either in-process (``workers <= 1``) or fanned out
-across a ``multiprocessing`` pool.  Each pool worker keeps a module-global
-compile cache (a small LRU, see :data:`COMPILE_CACHE_CAPACITY`), so a
-worker that executes several jobs sharing one (benchmark, machine,
-compiler-options) combination compiles the loops only once -- simulation
-options such as the iteration cap do not invalidate it.
+across a ``multiprocessing`` pool.  Compilation runs through the staged
+pipeline (:mod:`repro.scheduler.pipeline`) backed by a per-process
+:class:`~repro.sweep.artifacts.ArtifactCache`: each stage output is keyed
+by exactly the input slice it depends on, so jobs that differ only in
+downstream knobs (scheduling heuristic, Attraction Buffers, simulation
+options) reuse the upstream stages instead of recompiling.  When a result
+store is configured the cache is disk-backed (``<store>/artifacts``),
+which shares the stage artifacts *across* workers, across benchmark- and
+loop-granularity jobs, and across interrupted and resumed runs; per-stage
+hit/miss counters surface in the run summary.
 
 Results flow back to the parent as ``(record, BenchmarkSimulationResult)``
 pairs and are written to the :class:`~repro.sweep.store.ResultStore`; jobs
@@ -38,28 +43,22 @@ import math
 import multiprocessing
 import os
 import time
-from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 from repro.scheduler.pipeline import compile_loop
 from repro.sim.engine import simulate_compiled_loops
 from repro.sim.stats import BenchmarkSimulationResult, merge_benchmark_results
-from repro.sweep.spec import SweepJob, SweepSpec, canonical_json, expand_loop_jobs
+from repro.sweep.artifacts import ARTIFACTS_DIRNAME, ArtifactCache, ArtifactStore
+from repro.sweep.spec import SweepJob, SweepSpec, expand_loop_jobs
 from repro.sweep.store import ResultStore
 from repro.sweep.workloads import resolve_loop, resolve_workload
 
-#: Upper bound on cached compilations per worker process.  Each entry holds
-#: the compiled loops of one (benchmark, machine, compiler) combination, so
-#: a large grid with many distinct compile keys would otherwise grow worker
-#: memory without bound over the lifetime of the pool.
-COMPILE_CACHE_CAPACITY = max(
-    1, int(os.environ.get("REPRO_SWEEP_COMPILE_CACHE", "8"))
-)
-
-#: Per-process compile cache: compile key -> compiled loops, LRU-ordered
-#: (least recently used first).
-_COMPILE_CACHE: OrderedDict[str, list] = OrderedDict()
+#: Per-process stage-artifact cache.  Memory-only by default; pool workers
+#: and in-process runs with a result store rebind it to the store's
+#: artifact directory via :func:`configure_artifacts`.
+_ARTIFACTS: Optional[ArtifactCache] = None
 
 
 def default_workers(cap: int = 8) -> int:
@@ -71,24 +70,23 @@ def default_workers(cap: int = 8) -> int:
     return max(1, min(cap, os.cpu_count() or 1))
 
 
-def _compile_cache_key(job: SweepJob) -> str:
-    description = job.describe()
-    description.pop("simulation", None)
-    return canonical_json(description)
+def artifact_cache() -> ArtifactCache:
+    """This process's stage-artifact cache (memory-only until configured)."""
+    global _ARTIFACTS
+    if _ARTIFACTS is None:
+        _ARTIFACTS = ArtifactCache()
+    return _ARTIFACTS
 
 
-def _compile_cache_get(key: str) -> Optional[list]:
-    compiled = _COMPILE_CACHE.get(key)
-    if compiled is not None:
-        _COMPILE_CACHE.move_to_end(key)
-    return compiled
+def configure_artifacts(root: Union[Path, str, None]) -> ArtifactCache:
+    """Point this process's artifact cache at a disk store (or at nothing).
 
-
-def _compile_cache_put(key: str, compiled: list) -> None:
-    _COMPILE_CACHE[key] = compiled
-    _COMPILE_CACHE.move_to_end(key)
-    while len(_COMPILE_CACHE) > COMPILE_CACHE_CAPACITY:
-        _COMPILE_CACHE.popitem(last=False)
+    Used as the pool-worker initializer and by in-process runs; returns
+    the new cache so callers can read its counters.
+    """
+    global _ARTIFACTS
+    _ARTIFACTS = ArtifactCache(ArtifactStore(root) if root else None)
+    return _ARTIFACTS
 
 
 def make_record(
@@ -142,12 +140,14 @@ def is_simulated_record(record: Optional[dict]) -> bool:
 
 
 def execute_job(job: SweepJob) -> tuple[dict, BenchmarkSimulationResult]:
-    """Compile (cached per process) and simulate one job.
+    """Compile (through the stage cache) and simulate one job.
 
     A loop-scoped job compiles and simulates just its loop; the returned
     result is a single-loop :class:`BenchmarkSimulationResult` whose loop
     entry is identical to the one a benchmark-level run would produce
-    (loops simulate independently).
+    (loops simulate independently).  Stage outputs are served from and
+    fed into this process's :func:`artifact_cache`, so repeated jobs
+    sharing upstream stages recompile nothing.
     """
     started = time.perf_counter()
     benchmark = resolve_workload(job.benchmark)
@@ -155,13 +155,10 @@ def execute_job(job: SweepJob) -> tuple[dict, BenchmarkSimulationResult]:
         loops = benchmark.loops
     else:
         loops = [resolve_loop(job.benchmark, job.loop)]
-    cache_key = _compile_cache_key(job)
-    compiled = _compile_cache_get(cache_key)
-    if compiled is None:
-        compiled = [
-            compile_loop(loop, job.config, job.options) for loop in loops
-        ]
-        _compile_cache_put(cache_key, compiled)
+    cache = artifact_cache()
+    compiled = [
+        compile_loop(loop, job.config, job.options, cache=cache) for loop in loops
+    ]
     result = simulate_compiled_loops(
         compiled,
         benchmark.name,
@@ -172,9 +169,11 @@ def execute_job(job: SweepJob) -> tuple[dict, BenchmarkSimulationResult]:
     return make_record(job, result, time.perf_counter() - started), result
 
 
-def _pool_execute(job: SweepJob) -> tuple[str, dict, BenchmarkSimulationResult]:
+def _pool_execute(
+    job: SweepJob,
+) -> tuple[str, dict, BenchmarkSimulationResult, dict]:
     record, result = execute_job(job)
-    return job.key, record, result
+    return job.key, record, result, artifact_cache().take_stats()
 
 
 @dataclass
@@ -228,6 +227,10 @@ class SweepRunSummary:
     ``peak_parallelism`` is how many jobs the pool could actually run
     side by side -- at loop granularity this exceeds the benchmark count
     whenever multi-loop benchmarks are swept.
+
+    ``stage_hits``/``stage_misses`` count compilation-stage cache lookups
+    (per stage name) across every executed job and worker: a miss is a
+    stage actually computed, a hit a stage reused from the artifact cache.
     """
 
     total: int
@@ -241,6 +244,8 @@ class SweepRunSummary:
     loop_jobs: int = 0
     loop_cache_hits: int = 0
     peak_parallelism: int = 0
+    stage_hits: dict[str, int] = field(default_factory=dict)
+    stage_misses: dict[str, int] = field(default_factory=dict)
 
     def describe(self) -> dict[str, object]:
         """Flat summary for logs and the CLI."""
@@ -257,7 +262,37 @@ class SweepRunSummary:
         if self.granularity == "loop":
             info["loop_jobs"] = self.loop_jobs
             info["loop_cache_hits"] = self.loop_cache_hits
+        if self.stage_hits or self.stage_misses:
+            info["stage_cache_hits"] = sum(self.stage_hits.values())
+            info["stage_cache_misses"] = sum(self.stage_misses.values())
         return info
+
+    def stage_cache_line(self) -> str:
+        """One-line per-stage ``hits/requests`` rendering for the CLI."""
+        stages = sorted(set(self.stage_hits) | set(self.stage_misses))
+        parts = []
+        for stage in ("unroll", "profile", "latency", "schedule"):
+            if stage in stages:
+                stages.remove(stage)
+                hits = self.stage_hits.get(stage, 0)
+                total = hits + self.stage_misses.get(stage, 0)
+                parts.append(f"{stage} {hits}/{total}")
+        for stage in stages:  # unknown stage names, if any, go last
+            hits = self.stage_hits.get(stage, 0)
+            total = hits + self.stage_misses.get(stage, 0)
+            parts.append(f"{stage} {hits}/{total}")
+        return "stage cache: " + ", ".join(parts) + " (hits/requests)"
+
+    def record_stage_stats(self, stats: Optional[dict]) -> None:
+        """Fold one job's per-stage hit/miss counters into the summary."""
+        if not stats:
+            return
+        for counter, totals in (
+            (stats.get("hits"), self.stage_hits),
+            (stats.get("misses"), self.stage_misses),
+        ):
+            for stage, count in (counter or {}).items():
+                totals[stage] = totals.get(stage, 0) + count
 
 
 def _mp_context() -> multiprocessing.context.BaseContext:
@@ -278,11 +313,21 @@ def _dedupe(jobs: Iterable[SweepJob]) -> list[SweepJob]:
     return unique
 
 
-def predict_job_with_calibration(job: SweepJob, prune: Optional[PruneOptions]):
-    """Predict one job, applying the prune options' calibration if set."""
+def predict_job_with_calibration(
+    job: SweepJob,
+    prune: Optional[PruneOptions],
+    artifacts: Optional[ArtifactCache] = None,
+):
+    """Predict one job, applying the prune options' calibration if set.
+
+    ``artifacts`` lets the model reuse already-compiled unroll artifacts
+    (the pipeline's real candidate factors) instead of re-deriving the
+    candidate set analytically; lookups go through :meth:`ArtifactCache.peek`
+    so read-only predictions never skew the run's stage hit counters.
+    """
     from repro.model.predict import predict_job
 
-    predicted = predict_job(job)
+    predicted = predict_job(job, artifacts=artifacts)
     if prune is not None and prune.calibration is not None:
         predicted = prune.calibration.apply(predicted)
     return predicted
@@ -292,6 +337,7 @@ def _prune_pending(
     unique: Sequence[SweepJob],
     pending: Sequence[SweepJob],
     prune: PruneOptions,
+    artifacts: Optional[ArtifactCache] = None,
 ) -> tuple[list[SweepJob], list[SweepJob], dict[str, tuple[object, float]]]:
     """Split pending jobs into (simulate, model-only) per benchmark.
 
@@ -319,7 +365,7 @@ def _prune_pending(
             if job.key not in pending_keys:
                 continue
             started = time.perf_counter()
-            predicted = predict_job_with_calibration(job, prune)
+            predicted = predict_job_with_calibration(job, prune, artifacts)
             predictions[job.key] = (predicted, time.perf_counter() - started)
             metrics = predicted.describe()
             score = metrics.get(prune.metric, predicted.total_cycles)
@@ -332,6 +378,25 @@ def _prune_pending(
     return simulate, model_only, predictions
 
 
+def _resolve_artifacts_root(
+    artifacts: Union[ArtifactStore, Path, str, None],
+    store: Optional[ResultStore],
+) -> Optional[Path]:
+    """Where a run's stage artifacts live on disk (None = memory only).
+
+    Defaults to ``<result store>/artifacts`` so every run against one
+    store -- whatever its worker count, granularity or spec -- shares one
+    artifact store.
+    """
+    if isinstance(artifacts, ArtifactStore):
+        return artifacts.root
+    if artifacts is not None:
+        return Path(artifacts)
+    if store is not None:
+        return store.root / ARTIFACTS_DIRNAME
+    return None
+
+
 def run_jobs(
     jobs: Sequence[SweepJob],
     store: Optional[ResultStore] = None,
@@ -341,6 +406,7 @@ def run_jobs(
     progress: Optional[Callable[[int, int, JobOutcome], None]] = None,
     prune: Optional[PruneOptions] = None,
     granularity: str = "benchmark",
+    artifacts: Union[ArtifactStore, Path, str, None] = None,
 ) -> SweepRunSummary:
     """Execute jobs, skipping stored results, optionally in parallel.
 
@@ -364,6 +430,9 @@ def run_jobs(
     whole grid from scratch: previously simulated points that fall outside
     the keep budget are deliberately replaced by model-only records (their
     stale payloads are removed with them).
+
+    ``artifacts`` overrides where compilation-stage artifacts persist;
+    by default they live under the result store (memory-only without one).
     """
     if granularity not in ("benchmark", "loop"):
         raise ValueError(
@@ -371,6 +440,12 @@ def run_jobs(
         )
     started = time.perf_counter()
     unique = _dedupe(jobs)
+    artifacts_root = _resolve_artifacts_root(artifacts, store)
+    parent_artifacts = (
+        ArtifactCache(ArtifactStore(artifacts_root))
+        if artifacts_root is not None
+        else artifact_cache()
+    )
 
     outcomes: list[JobOutcome] = []
     pending: list[SweepJob] = []
@@ -384,7 +459,9 @@ def run_jobs(
     pruned_jobs: list[SweepJob] = []
     predictions: dict[str, tuple[object, float]] = {}
     if prune is not None and pending:
-        pending, pruned_jobs, predictions = _prune_pending(unique, pending, prune)
+        pending, pruned_jobs, predictions = _prune_pending(
+            unique, pending, prune, parent_artifacts
+        )
 
     done = len(outcomes)
     total = len(unique)
@@ -444,6 +521,17 @@ def run_jobs(
             store.save(job.key, record, payload=result if save_payloads else None)
         finish(JobOutcome(job=job, record=record, cached=False, result=result))
 
+    summary = SweepRunSummary(
+        total=total,
+        executed=len(pending),
+        cache_hits=total - len(pending) - len(pruned_jobs),
+        workers=1,
+        elapsed_seconds=0.0,
+        outcomes=outcomes,
+        pruned=len(pruned_jobs),
+        granularity=granularity,
+    )
+
     loop_stats = {"jobs": 0, "cache_hits": 0}
     if granularity == "loop":
         run_units = _execute_loop_granularity(
@@ -454,47 +542,78 @@ def run_jobs(
             save_payloads,
             finish_executed,
             loop_stats,
+            artifacts_root,
+            summary.record_stage_stats,
         )
     else:
         run_units = pending
-        _dispatch(pending, workers, finish_executed)
+        _dispatch(
+            pending,
+            workers,
+            finish_executed,
+            artifacts_root,
+            summary.record_stage_stats,
+        )
 
-    return SweepRunSummary(
-        total=total,
-        executed=len(pending),
-        cache_hits=total - len(pending) - len(pruned_jobs),
-        workers=max(1, min(workers, len(run_units))),
-        elapsed_seconds=time.perf_counter() - started,
-        outcomes=outcomes,
-        pruned=len(pruned_jobs),
-        granularity=granularity,
-        loop_jobs=loop_stats["jobs"],
-        loop_cache_hits=loop_stats["cache_hits"],
-        peak_parallelism=min(max(1, workers), len(run_units)) if run_units else 0,
+    summary.workers = max(1, min(workers, len(run_units)))
+    summary.elapsed_seconds = time.perf_counter() - started
+    summary.loop_jobs = loop_stats["jobs"]
+    summary.loop_cache_hits = loop_stats["cache_hits"]
+    summary.peak_parallelism = (
+        min(max(1, workers), len(run_units)) if run_units else 0
     )
+    return summary
 
 
 def _dispatch(
     jobs: Sequence[SweepJob],
     workers: int,
     handle: Callable[[SweepJob, dict, BenchmarkSimulationResult], None],
+    artifacts_root: Optional[Path] = None,
+    on_stats: Optional[Callable[[dict], None]] = None,
 ) -> None:
     """Execute jobs in-process or across a pool, streaming completions.
 
     ``handle`` is called in the parent process as each job finishes
-    (completion order under a pool, submission order in-process).
+    (completion order under a pool, submission order in-process).  With
+    ``artifacts_root`` every executing process -- pool workers via the
+    initializer, the in-process path for the duration of the call -- binds
+    its stage cache to that store; ``on_stats`` receives each finished
+    job's per-stage hit/miss counters.
     """
     pool_size = min(workers, len(jobs))
     if pool_size > 1:
         by_key = {job.key: job for job in jobs}
         context = _mp_context()
-        with context.Pool(processes=pool_size) as pool:
-            for key, record, result in pool.imap_unordered(_pool_execute, jobs):
+        initargs = (str(artifacts_root) if artifacts_root is not None else None,)
+        with context.Pool(
+            processes=pool_size, initializer=configure_artifacts, initargs=initargs
+        ) as pool:
+            for key, record, result, stats in pool.imap_unordered(
+                _pool_execute, jobs
+            ):
+                if on_stats is not None:
+                    on_stats(stats)
                 handle(by_key[key], record, result)
     else:
-        for job in jobs:
-            record, result = execute_job(job)
-            handle(job, record, result)
+        global _ARTIFACTS
+        previous = _ARTIFACTS
+        if artifacts_root is not None:
+            configure_artifacts(artifacts_root)
+        else:
+            # Reusing the process-global cache: drop counters left behind
+            # by direct execute_job() calls so this run's summary only
+            # counts its own stage lookups.
+            artifact_cache().take_stats()
+        try:
+            for job in jobs:
+                record, result = execute_job(job)
+                if on_stats is not None:
+                    on_stats(artifact_cache().take_stats())
+                handle(job, record, result)
+        finally:
+            if artifacts_root is not None:
+                _ARTIFACTS = previous
 
 
 def _execute_loop_granularity(
@@ -505,6 +624,8 @@ def _execute_loop_granularity(
     save_payloads: bool,
     finish_executed: Callable[[SweepJob, dict, BenchmarkSimulationResult], None],
     loop_stats: dict,
+    artifacts_root: Optional[Path] = None,
+    on_stats: Optional[Callable[[dict], None]] = None,
 ) -> list[SweepJob]:
     """Fan the pending benchmark jobs out as per-loop jobs and reassemble.
 
@@ -580,7 +701,7 @@ def _execute_loop_granularity(
         if count == 0:
             aggregate(parent_key)
 
-    _dispatch(to_run, workers, finish_loop)
+    _dispatch(to_run, workers, finish_loop, artifacts_root, on_stats)
     return to_run
 
 
@@ -593,6 +714,7 @@ def run_sweep(
     progress: Optional[Callable[[int, int, JobOutcome], None]] = None,
     prune: Optional[PruneOptions] = None,
     granularity: str = "benchmark",
+    artifacts: Union[ArtifactStore, Path, str, None] = None,
 ) -> SweepRunSummary:
     """Expand a spec and execute the resulting grid."""
     return run_jobs(
@@ -604,4 +726,5 @@ def run_sweep(
         progress=progress,
         prune=prune,
         granularity=granularity,
+        artifacts=artifacts,
     )

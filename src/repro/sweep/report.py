@@ -163,12 +163,18 @@ def _sortable(value: object) -> tuple:
     return (1, 0.0, str(value))
 
 
-def render_status(store: ResultStore, spec: Optional[SweepSpec] = None) -> str:
+def render_status(
+    store: ResultStore,
+    spec: Optional[SweepSpec] = None,
+    artifacts=None,
+) -> str:
     """Summarize store contents, optionally against a spec's grid.
 
     Loop-level records (written by ``--granularity loop`` runs) are
     counted separately from the benchmark-level records everything else
     keys on; a store without them reports exactly what it always did.
+    ``artifacts`` (an :class:`~repro.sweep.artifacts.ArtifactStore`) adds
+    a compilation-stage artifact count line when given.
     """
     keys = store.keys()
     lines = [f"result store: {store.root}"]
@@ -196,6 +202,15 @@ def render_status(store: ResultStore, spec: Optional[SweepSpec] = None) -> str:
     lines.append(summary)
     for name in sorted(per_benchmark):
         lines.append(f"  {name}: {per_benchmark[name]}")
+    if artifacts is not None:
+        counts = artifacts.stats()
+        total = sum(counts.values())
+        breakdown = ", ".join(
+            f"{stage} {count}" for stage, count in counts.items()
+        )
+        lines.append(
+            f"stage artifacts: {total}" + (f" ({breakdown})" if breakdown else "")
+        )
     if spec is not None:
         jobs = spec.expand()
         stored = set(keys)

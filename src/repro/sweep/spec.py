@@ -222,14 +222,7 @@ def job_from_description(description: Mapping[str, object]) -> SweepJob:
     compiler = dict(description["compiler"])
     simulation = dict(description.get("simulation", {}))
     config = MachineConfig.from_description(machine)
-    options = CompilerOptions(
-        heuristic=SchedulingHeuristic(compiler["heuristic"]),
-        unroll_policy=UnrollPolicy(compiler["unroll_policy"]),
-        variable_alignment=bool(compiler["variable_alignment"]),
-        use_chains=bool(compiler["use_chains"]),
-        profile_dataset=str(compiler.get("profile_dataset", "profile")),
-        profile_iteration_cap=int(compiler.get("profile_iteration_cap", 512)),
-    )
+    options = CompilerOptions.from_description(compiler)
     sim_options = SimulationOptions(
         dataset=str(simulation.get("dataset", "execution")),
         iteration_cap=int(simulation.get("iteration_cap", 256)),

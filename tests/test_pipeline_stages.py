@@ -1,0 +1,369 @@
+"""Tests of the staged compilation pipeline (PR 4).
+
+Covers the staged-vs-monolithic equivalence contract, the dependency
+slices behind the content-addressed stage keys, the process-independent
+stage payloads, and the satellite refactors (``CompiledLoop.rejected`` at
+construction, ``CompilerOptions.from_description``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.operation import make_operation
+from repro.machine.config import MachineConfig
+from repro.profiling.profiler import LoopProfile, profile_loop
+from repro.scheduler.core import SchedulingHeuristic
+from repro.scheduler.latency import LatencyAssignment, assign_latencies
+from repro.scheduler.pipeline import (
+    PIPELINE_STAGES,
+    CompilerOptions,
+    LatencyStage,
+    ProfileStage,
+    ScheduleStage,
+    StageContext,
+    UnrollStage,
+    compile_loop,
+    compile_loop_reference,
+)
+from repro.scheduler.unrolling import UnrollPolicy
+from repro.sim.engine import SimulationOptions, simulate_compiled_loops
+from repro.sweep.artifacts import ArtifactCache, ArtifactStore
+from repro.sweep.workloads import resolve_workload
+from repro.workloads.generator import reduction_kernel, strided_kernel
+from repro.workloads.mediabench import BENCHMARK_NAMES, mediabench_suite
+
+SIM = SimulationOptions(iteration_cap=64)
+
+
+def setups():
+    """One setup per cache organization (matching heuristics)."""
+    return [
+        (MachineConfig.word_interleaved(), CompilerOptions()),
+        (
+            MachineConfig.unified(latency=1),
+            CompilerOptions(heuristic=SchedulingHeuristic.BASE),
+        ),
+        (
+            MachineConfig.multivliw(),
+            CompilerOptions(heuristic=SchedulingHeuristic.MULTIVLIW),
+        ),
+    ]
+
+
+def assert_compiled_equal(staged, reference) -> None:
+    """Field-for-field equivalence of two compiled loops."""
+    assert staged.unroll_factor == reference.unroll_factor
+    assert staged.ii == reference.ii
+    assert staged.estimate == reference.estimate
+    assert staged.rejected == reference.rejected
+    assert staged.schedule.describe() == reference.schedule.describe()
+    # Placement-for-placement: same cluster, cycle and latency per op.
+    staged_entries = [
+        (entry.operation.name, entry.cluster, entry.start_cycle, entry.assigned_latency)
+        for entry in staged.schedule.scheduled_operations()
+    ]
+    reference_entries = [
+        (entry.operation.name, entry.cluster, entry.start_cycle, entry.assigned_latency)
+        for entry in reference.schedule.scheduled_operations()
+    ]
+    assert staged_entries == reference_entries
+    assert staged.latency_assignment.target_mii == reference.latency_assignment.target_mii
+    staged_latencies = [
+        staged.latency_assignment.latency_of(op)
+        for op in staged.loop.memory_operations
+    ]
+    reference_latencies = [
+        reference.latency_assignment.latency_of(op)
+        for op in reference.loop.memory_operations
+    ]
+    assert staged_latencies == reference_latencies
+
+
+class TestStagedVsMonolithicEquivalence:
+    """The staged pipeline must match the pre-refactor monolithic path."""
+
+    def test_full_suite_equivalence(self):
+        suite = mediabench_suite()
+        config = MachineConfig.word_interleaved()
+        options = CompilerOptions()
+        assert len(BENCHMARK_NAMES) == 14
+        for name in BENCHMARK_NAMES:
+            for loop in suite[name].loops:
+                staged = compile_loop(loop, config, options)
+                reference = compile_loop_reference(loop, config, options)
+                assert_compiled_equal(staged, reference)
+                staged_result = simulate_compiled_loops(
+                    [staged], name, config, SIM
+                )
+                reference_result = simulate_compiled_loops(
+                    [reference], name, config, SIM
+                )
+                assert staged_result.describe() == reference_result.describe()
+
+    def test_equivalence_across_organizations(self):
+        benchmark = resolve_workload("kernels-mix")
+        for config, options in setups():
+            for loop in benchmark.loops:
+                staged = compile_loop(loop, config, options)
+                reference = compile_loop_reference(loop, config, options)
+                assert_compiled_equal(staged, reference)
+
+    def test_cached_path_equivalent_to_uncached(self, tmp_path):
+        benchmark = resolve_workload("kernels-mix")
+        config = MachineConfig.word_interleaved()
+        options = CompilerOptions()
+        store = ArtifactStore(tmp_path)
+        cold = ArtifactCache(store)
+        warm = ArtifactCache(store)  # separate memory front, shared disk
+        for loop in benchmark.loops:
+            uncached = compile_loop(loop, config, options)
+            first = compile_loop(loop, config, options, cache=cold)
+            second = compile_loop(loop, config, options, cache=warm)
+            assert_compiled_equal(first, uncached)
+            assert_compiled_equal(second, uncached)
+        assert not cold.hits
+        assert sum(warm.hits.values()) == 4 * len(benchmark.loops)
+        assert not warm.misses
+
+
+class TestStageKeys:
+    """Stage keys must change exactly when their dependency slice does."""
+
+    LOOP = None
+
+    def ctx(self, **option_changes) -> StageContext:
+        loop = resolve_workload("kernel:strided").loops[0]
+        config = option_changes.pop("config", MachineConfig.word_interleaved())
+        options = CompilerOptions(**option_changes)
+        return StageContext(loop, config, options)
+
+    def keys(self, ctx) -> dict[str, str]:
+        return {stage.name: stage.key(ctx) for stage in PIPELINE_STAGES}
+
+    def test_heuristic_only_changes_schedule_key(self):
+        base = self.keys(self.ctx(heuristic=SchedulingHeuristic.IPBC))
+        changed = self.keys(self.ctx(heuristic=SchedulingHeuristic.IBC))
+        assert changed["unroll"] == base["unroll"]
+        assert changed["profile"] == base["profile"]
+        assert changed["latency"] == base["latency"]
+        assert changed["schedule"] != base["schedule"]
+
+    def test_use_chains_only_changes_schedule_key(self):
+        base = self.keys(self.ctx(use_chains=True))
+        changed = self.keys(self.ctx(use_chains=False))
+        assert changed["unroll"] == base["unroll"]
+        assert changed["profile"] == base["profile"]
+        assert changed["latency"] == base["latency"]
+        assert changed["schedule"] != base["schedule"]
+
+    def test_attraction_buffers_change_no_compile_key(self):
+        base = self.keys(self.ctx(config=MachineConfig.word_interleaved()))
+        buffered = self.keys(
+            self.ctx(
+                config=MachineConfig.word_interleaved(
+                    attraction_buffers=True, entries=8
+                )
+            )
+        )
+        assert buffered == base
+
+    def test_memory_latencies_spare_unroll_and_profile(self):
+        from dataclasses import replace
+
+        from repro.machine.config import MemoryLatencies
+
+        config = MachineConfig.word_interleaved()
+        slower = replace(
+            config, latencies=MemoryLatencies(remote_miss=20, local_miss=12)
+        )
+        base = self.keys(self.ctx(config=config))
+        changed = self.keys(self.ctx(config=slower))
+        assert changed["unroll"] == base["unroll"]
+        assert changed["profile"] == base["profile"]
+        assert changed["latency"] != base["latency"]
+        assert changed["schedule"] != base["schedule"]
+
+    def test_interleaving_changes_every_key(self):
+        base = self.keys(self.ctx(config=MachineConfig.word_interleaved()))
+        changed = self.keys(
+            self.ctx(config=MachineConfig.word_interleaved().with_interleaving(8))
+        )
+        for stage in ("unroll", "profile", "latency", "schedule"):
+            assert changed[stage] != base[stage]
+
+    def test_unroll_policy_changes_every_key(self):
+        base = self.keys(self.ctx(unroll_policy=UnrollPolicy.SELECTIVE))
+        changed = self.keys(self.ctx(unroll_policy=UnrollPolicy.NONE))
+        for stage in ("unroll", "profile", "latency", "schedule"):
+            assert changed[stage] != base[stage]
+
+    def test_keys_independent_of_process_history(self):
+        """Stage keys never depend on Operation uids.
+
+        Two structurally identical loops built at different points of the
+        process's lifetime (different uid ranges) must produce identical
+        keys -- that is what makes artifacts shareable across worker
+        processes.
+        """
+        first = strided_kernel("fp", element_bytes=2, stride_elements=8, trip_count=1024)
+        # Burn uids so the second loop's operations get a disjoint range.
+        for index in range(64):
+            make_operation(f"burn{index}", "add")
+        second = strided_kernel("fp", element_bytes=2, stride_elements=8, trip_count=1024)
+        assert [op.uid for op in first.operations] != [
+            op.uid for op in second.operations
+        ]
+        config = MachineConfig.word_interleaved()
+        options = CompilerOptions()
+        first_keys = self.keys(StageContext(first, config, options))
+        second_keys = self.keys(StageContext(second, config, options))
+        assert first_keys == second_keys
+
+    def test_attractable_hint_is_part_of_the_key(self):
+        loop = reduction_kernel("hint", element_bytes=4, trip_count=256)
+        config = MachineConfig.word_interleaved()
+        options = CompilerOptions()
+        base = UnrollStage.key(StageContext(loop, config, options))
+        op = loop.memory_operations[0]
+        object.__setattr__(op.memory, "attractable", False)
+        try:
+            flipped = UnrollStage.key(StageContext(loop, config, options))
+        finally:
+            object.__setattr__(op.memory, "attractable", True)
+        assert flipped != base
+
+
+class TestPayloadRoundTrips:
+    """Stage payloads rebind losslessly to a fresh process's loops."""
+
+    def test_profile_payload_round_trip(self):
+        loop = resolve_workload("kernel:strided").loops[0]
+        config = MachineConfig.word_interleaved()
+        profile = profile_loop(loop, config, iteration_cap=64)
+        clone = LoopProfile.from_payload(profile.to_payload(), loop)
+        for op in loop.memory_operations:
+            assert clone.hit_rate(op) == profile.hit_rate(op)
+            assert clone.preferred_cluster(op) == profile.preferred_cluster(op)
+            assert clone.distribution(op) == profile.distribution(op)
+        assert clone.profiled_iterations == profile.profiled_iterations
+        assert clone.average_trip_count == profile.average_trip_count
+
+    def test_profile_payload_rejects_mismatched_loop(self):
+        loop = resolve_workload("kernel:strided").loops[0]
+        other = resolve_workload("kernel:stencil").loops[0]
+        config = MachineConfig.word_interleaved()
+        payload = profile_loop(loop, config, iteration_cap=16).to_payload()
+        with pytest.raises(ValueError, match="memory operations"):
+            LoopProfile.from_payload(payload, other)
+
+    def test_latency_payload_round_trip(self):
+        loop = resolve_workload("kernel:reduction").loops[0]
+        config = MachineConfig.word_interleaved()
+        profile = profile_loop(loop, config, iteration_cap=64)
+        assignment = assign_latencies(loop, config, profile=profile)
+        clone = LatencyAssignment.from_payload(
+            assignment.to_payload(loop), loop
+        )
+        assert clone.target_mii == assignment.target_mii
+        assert clone.model == assignment.model
+        for op in loop.memory_operations:
+            assert clone.latency_of(op) == assignment.latency_of(op)
+        assert len(clone.steps) == len(assignment.steps)
+        for ours, theirs in zip(clone.steps, assignment.steps):
+            assert ours.operation == theirs.operation
+            assert ours.benefit == theirs.benefit
+            assert ours.applied == theirs.applied
+
+
+class TestCrossProcessArtifacts:
+    """Artifacts written under one uid history serve another exactly."""
+
+    def test_rehydration_after_uid_shift(self, tmp_path):
+        config = MachineConfig.word_interleaved()
+        options = CompilerOptions()
+        store = ArtifactStore(tmp_path)
+
+        first = strided_kernel("xp", element_bytes=2, stride_elements=8, trip_count=1024)
+        cold = ArtifactCache(store)
+        compiled_cold = compile_loop(first, config, options, cache=cold)
+        reference = simulate_compiled_loops([compiled_cold], "xp", config, SIM)
+
+        # A "new process": fresh loop objects with different uids, fresh
+        # memory front, same disk store.
+        for index in range(128):
+            make_operation(f"shift{index}", "add")
+        second = strided_kernel("xp", element_bytes=2, stride_elements=8, trip_count=1024)
+        warm = ArtifactCache(store)
+        compiled_warm = compile_loop(second, config, options, cache=warm)
+        assert sum(warm.hits.values()) == 4
+        assert not warm.misses
+        result = simulate_compiled_loops([compiled_warm], "xp", config, SIM)
+        assert result.describe() == reference.describe()
+
+
+class TestCompiledLoopConstruction:
+    """Satellite: ``rejected`` is part of construction, not a mutation."""
+
+    def test_rejected_filled_at_construction(self):
+        loop = resolve_workload("kernel:streaming").loops[0]
+        config = MachineConfig.word_interleaved()
+        compiled = compile_loop(loop, config, CompilerOptions())
+        reference = compile_loop_reference(loop, config, CompilerOptions())
+        # Selective unrolling evaluates several factors, so some estimates
+        # must have been rejected -- and they match the monolithic path's.
+        assert compiled.rejected
+        assert compiled.rejected == reference.rejected
+        assert compiled.estimate.factor not in [
+            estimate.factor for estimate in compiled.rejected
+        ]
+
+
+class TestCompilerOptionsDescription:
+    """Satellite: ``CompilerOptions.from_description`` round trip."""
+
+    def test_round_trip(self):
+        options = CompilerOptions(
+            heuristic=SchedulingHeuristic.IBC,
+            unroll_policy=UnrollPolicy.OUF,
+            variable_alignment=False,
+            use_chains=False,
+            profile_dataset="execution",
+            profile_iteration_cap=128,
+        )
+        assert CompilerOptions.from_description(options.describe()) == options
+
+    def test_defaults_round_trip(self):
+        options = CompilerOptions()
+        assert CompilerOptions.from_description(options.describe()) == options
+
+    def test_missing_profile_knobs_get_defaults(self):
+        description = CompilerOptions().describe()
+        description.pop("profile_dataset")
+        description.pop("profile_iteration_cap")
+        rebuilt = CompilerOptions.from_description(description)
+        assert rebuilt.profile_dataset == "profile"
+        assert rebuilt.profile_iteration_cap == 512
+
+    def test_unknown_key_rejected(self):
+        description = CompilerOptions().describe()
+        description["scheduling_mode"] = "aggressive"
+        with pytest.raises(ValueError, match="unknown compiler option keys.*scheduling_mode"):
+            CompilerOptions.from_description(description)
+
+    def test_missing_core_key_rejected(self):
+        description = CompilerOptions().describe()
+        description.pop("heuristic")
+        with pytest.raises(ValueError, match="missing.*heuristic"):
+            CompilerOptions.from_description(description)
+
+
+class TestStageTimings:
+    def test_timings_cover_every_stage(self):
+        loop = resolve_workload("kernel:reduction").loops[0]
+        timings: dict[str, float] = {}
+        compile_loop(
+            loop, MachineConfig.word_interleaved(), CompilerOptions(), timings=timings
+        )
+        assert set(timings) == {stage.name for stage in PIPELINE_STAGES}
+        assert all(seconds >= 0.0 for seconds in timings.values())

@@ -1,0 +1,455 @@
+"""Tests of the artifact store/cache and its sweep-engine integration (PR 4)."""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.experiments.common import ExperimentOptions, ExperimentRunner, interleaved_setup
+from repro.model.predict import predict_job
+from repro.scheduler.core import SchedulingHeuristic
+from repro.sweep import cli as sweep_cli
+from repro.sweep import executor
+from repro.sweep.artifacts import (
+    ARTIFACT_SCHEMA,
+    ArtifactCache,
+    ArtifactStore,
+    shard_of,
+)
+from repro.sweep.executor import execute_job, make_record, run_jobs
+from repro.sweep.report import render_report
+from repro.sweep.spec import SweepSpec, canonical_json
+from repro.sweep.store import ResultStore
+from repro.sweep.workloads import loop_names, resolve_loop, resolve_workload
+
+FAST = {"iteration_cap": 32}
+
+#: Record fields that legitimately differ between two identical runs.
+VOLATILE_RECORD_FIELDS = ("elapsed_seconds", "worker_pid")
+
+
+def stable_record(record: dict) -> str:
+    """Canonical encoding of a record minus its volatile fields."""
+    body = {
+        key: value
+        for key, value in record.items()
+        if key not in VOLATILE_RECORD_FIELDS
+    }
+    return canonical_json(body)
+
+
+def mix_spec(**base) -> SweepSpec:
+    merged = dict(FAST)
+    merged.update(base)
+    return SweepSpec(
+        name="artifacts",
+        benchmarks=("kernels-mix",),
+        axes={"clusters": (2, 4)},
+        base=merged,
+    )
+
+
+# ----------------------------------------------------------------------
+# ArtifactStore
+# ----------------------------------------------------------------------
+class TestArtifactStore:
+    def test_round_trip_and_layout(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = "ab" + "0" * 62
+        store.put("profile", key, {"profiles": {1: "data"}})
+        assert store.get("profile", key) == {"profiles": {1: "data"}}
+        path = store.path("profile", key)
+        assert path.exists()
+        assert path.parent.name == shard_of(key) == "ab"
+        assert path.parent.parent.name == "profile"
+        assert len(store) == 1
+        assert store.stats() == {"profile": 1}
+
+    def test_get_misses_absent_and_wrong_stage(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("unroll", "f" * 64, {"factors": [1, 4]})
+        assert store.get("unroll", "0" * 64) is None
+        assert store.get("schedule", "f" * 64) is None
+
+    def test_stale_schema_reads_as_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = "c" * 64
+        path = store.path("latency", key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(
+            pickle.dumps(
+                {"schema": ARTIFACT_SCHEMA + 1, "stage": "latency", "payload": 1}
+            )
+        )
+        assert store.get("latency", key) is None
+
+    def test_corrupt_artifact_reads_as_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = "d" * 64
+        path = store.path("unroll", key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a pickle")
+        assert store.get("unroll", key) is None
+
+    def test_vacuum_collects_orphans_and_spares_the_young(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("unroll", "1" * 64, {"factors": [1]})
+
+        stale_key = "2" * 64
+        stale = store.path("latency", stale_key)
+        stale.parent.mkdir(parents=True)
+        stale.write_bytes(
+            pickle.dumps(
+                {"schema": ARTIFACT_SCHEMA - 1, "stage": "latency", "payload": 1}
+            )
+        )
+        corrupt = store.path("schedule", "3" * 64)
+        corrupt.parent.mkdir(parents=True)
+        corrupt.write_bytes(b"torn")
+        temp = store.root / "profile" / "ab" / ".orphan.pkl.tmp"
+        temp.parent.mkdir(parents=True)
+        temp.write_bytes(b"partial")
+
+        # Young files survive a graced vacuum...
+        assert store.vacuum(grace_seconds=3600) == 0
+        assert stale.exists() and corrupt.exists() and temp.exists()
+        # ...and an offline vacuum collects exactly the unreachable ones.
+        old = time.time() - 7200
+        for path in (stale, corrupt, temp):
+            os.utime(path, (old, old))
+        assert store.vacuum(grace_seconds=0) == 3
+        assert not stale.exists() and not corrupt.exists() and not temp.exists()
+        assert store.get("unroll", "1" * 64) == {"factors": [1]}
+
+
+# ----------------------------------------------------------------------
+# ArtifactCache
+# ----------------------------------------------------------------------
+class TestArtifactCache:
+    def test_counters_and_take_stats(self, tmp_path):
+        cache = ArtifactCache(ArtifactStore(tmp_path))
+        assert cache.get("unroll", "a" * 64) is None
+        cache.put("unroll", "a" * 64, {"factors": [1]})
+        assert cache.get("unroll", "a" * 64) == {"factors": [1]}
+        stats = cache.take_stats()
+        assert stats == {"hits": {"unroll": 1}, "misses": {"unroll": 1}}
+        assert cache.take_stats() == {"hits": {}, "misses": {}}
+
+    def test_peek_does_not_count(self, tmp_path):
+        cache = ArtifactCache(ArtifactStore(tmp_path))
+        cache.put("profile", "b" * 64, {"profiles": {}})
+        assert cache.peek("profile", "b" * 64) == {"profiles": {}}
+        assert cache.peek("profile", "c" * 64) is None
+        assert cache.take_stats() == {"hits": {}, "misses": {}}
+
+    def test_disk_fallthrough_promotes_into_memory(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        writer = ArtifactCache(store)
+        writer.put("latency", "e" * 64, {"assignments": {}})
+        reader = ArtifactCache(store)
+        assert len(reader) == 0
+        assert reader.get("latency", "e" * 64) == {"assignments": {}}
+        assert len(reader) == 1  # promoted into the LRU front
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ArtifactCache(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# Sweep integration
+# ----------------------------------------------------------------------
+class TestSweepStageCache:
+    def test_cold_then_warm_records_identical(self, tmp_path):
+        """Cold/warm artifact-store runs write byte-identical records.
+
+        Two stores, one artifact directory: the warm run compiles nothing
+        (every stage is a hit) and its records -- minus wall-clock and pid,
+        which are volatile by design -- are byte-for-byte the cold run's.
+        """
+        spec = mix_spec()
+        artifacts = tmp_path / "artifacts"
+        cold_store = ResultStore(tmp_path / "cold")
+        cold = run_jobs(
+            spec.expand(), store=cold_store, workers=1, artifacts=artifacts
+        )
+        assert sum(cold.stage_misses.values()) > 0
+
+        warm_store = ResultStore(tmp_path / "warm")
+        warm = run_jobs(
+            spec.expand(), store=warm_store, workers=1, artifacts=artifacts
+        )
+        assert warm.executed == cold.executed == len(spec.expand())
+        assert not warm.stage_misses
+        assert sum(warm.stage_hits.values()) == sum(cold.stage_hits.values()) + sum(
+            cold.stage_misses.values()
+        )
+        for key in cold_store.keys():
+            cold_record = cold_store.load_record(key)
+            warm_record = warm_store.load_record(key)
+            assert stable_record(warm_record) == stable_record(cold_record)
+
+    def test_artifacts_default_under_result_store(self, tmp_path):
+        store = ResultStore(tmp_path / "results")
+        run_jobs(mix_spec().expand(), store=store, workers=1)
+        artifacts = ArtifactStore(store.root / "artifacts")
+        stats = artifacts.stats()
+        assert set(stats) == {"unroll", "profile", "latency", "schedule"}
+        assert all(count > 0 for count in stats.values())
+
+    def test_granularities_share_artifacts(self, tmp_path):
+        """Loop jobs reuse the stages a benchmark-level run compiled."""
+        spec = mix_spec()
+        artifacts = tmp_path / "artifacts"
+        first = ResultStore(tmp_path / "benchmark")
+        run_jobs(spec.expand(), store=first, workers=1, artifacts=artifacts)
+        second = ResultStore(tmp_path / "loops")
+        summary = run_jobs(
+            spec.expand(),
+            store=second,
+            workers=1,
+            granularity="loop",
+            artifacts=artifacts,
+        )
+        assert summary.loop_jobs > 0
+        assert not summary.stage_misses
+        assert sum(summary.stage_hits.values()) == 4 * summary.loop_jobs
+
+    def test_summary_describe_and_cache_line(self, tmp_path):
+        store = ResultStore(tmp_path / "results")
+        summary = run_jobs(mix_spec().expand(), store=store, workers=1)
+        info = summary.describe()
+        assert info["stage_cache_misses"] > 0
+        line = summary.stage_cache_line()
+        assert line.startswith("stage cache: unroll ")
+        assert "schedule" in line
+
+    def test_acceptance_heuristic_by_machine_grid(self, tmp_path):
+        """ISSUE 4 acceptance: 4 scheduling configs x 3 machines, one
+        unroll/profile pass per loop, report identical to the monolithic
+        path.
+
+        The four scheduling configurations (ibc/ipbc x chains on/off) and
+        the three machines (Attraction Buffers off/8/16 -- simulation-only
+        knobs) share the unroll and profile dependency slices, so each of
+        the three kernels-mix loops is unrolled and profiled exactly once
+        across the 12 grid points.
+        """
+        spec = SweepSpec(
+            name="acceptance",
+            benchmarks=("kernels-mix",),
+            axes={
+                "heuristic": ("ibc", "ipbc"),
+                "use_chains": (True, False),
+                "attraction_entries": (0, 8, 16),
+            },
+            base=dict(FAST),
+        )
+        jobs = spec.expand()
+        assert len(jobs) == 12
+        store = ResultStore(tmp_path / "results")
+        summary = run_jobs(jobs, store=store, workers=1)
+        loops = len(loop_names("kernels-mix"))
+        requests = len(jobs) * loops
+        for stage in ("unroll", "profile"):
+            assert summary.stage_misses.get(stage, 0) == loops
+            assert summary.stage_hits.get(stage, 0) == requests - loops
+        # The latency stage is also AB- and heuristic-independent: one
+        # computation per loop.  Only scheduling runs per configuration --
+        # and even it shares across the three AB machines.
+        assert summary.stage_misses.get("latency", 0) == loops
+        assert summary.stage_misses.get("schedule", 0) == 4 * loops
+
+        # Report output must match the pre-refactor monolithic path.
+        from repro.scheduler.pipeline import compile_loop_reference
+        from repro.sim.engine import simulate_compiled_loops
+
+        reference_records = []
+        for job in jobs:
+            benchmark = resolve_workload(job.benchmark)
+            compiled = [
+                compile_loop_reference(loop, job.config, job.options)
+                for loop in benchmark.loops
+            ]
+            result = simulate_compiled_loops(
+                compiled,
+                benchmark.name,
+                job.config,
+                job.simulation,
+                architecture=job.architecture,
+            )
+            reference_records.append(make_record(job, result, 0.0))
+        stored = [store.load_record(job.key) for job in jobs]
+        assert render_report(stored, sort_by="total_cycles") == render_report(
+            reference_records, sort_by="total_cycles"
+        )
+
+    def test_parallel_and_serial_share_disk_artifacts(self, tmp_path):
+        """Pool workers persist stages a later serial run fully reuses."""
+        spec = mix_spec()
+        artifacts = tmp_path / "artifacts"
+        pool_store = ResultStore(tmp_path / "pool")
+        run_jobs(
+            spec.expand(), store=pool_store, workers=2, artifacts=artifacts
+        )
+        serial_store = ResultStore(tmp_path / "serial")
+        summary = run_jobs(
+            spec.expand(), store=serial_store, workers=1, artifacts=artifacts
+        )
+        assert not summary.stage_misses
+        assert sum(summary.stage_hits.values()) > 0
+        for key in pool_store.keys():
+            assert stable_record(serial_store.load_record(key)) == stable_record(
+                pool_store.load_record(key)
+            )
+
+    def test_pruned_run_reuses_unroll_artifacts_for_predictions(self, tmp_path):
+        """Model pruning with a warm artifact store stays consistent."""
+        from repro.sweep.executor import PruneOptions
+
+        spec = mix_spec()
+        artifacts = tmp_path / "artifacts"
+        exhaustive = ResultStore(tmp_path / "exhaustive")
+        run_jobs(
+            spec.expand(), store=exhaustive, workers=1, artifacts=artifacts
+        )
+        pruned_store = ResultStore(tmp_path / "pruned")
+        summary = run_jobs(
+            spec.expand(),
+            store=pruned_store,
+            workers=1,
+            prune=PruneOptions(keep_fraction=0.5),
+            artifacts=artifacts,
+        )
+        assert summary.pruned == 1
+        assert summary.executed == 1
+        # The simulated point's record matches the exhaustive run exactly.
+        for outcome in summary.outcomes:
+            if not outcome.pruned:
+                assert stable_record(
+                    pruned_store.load_record(outcome.key)
+                ) == stable_record(exhaustive.load_record(outcome.key))
+
+    def test_predict_job_accepts_artifacts(self, tmp_path):
+        job = mix_spec().expand()[0]
+        artifacts = ArtifactCache(ArtifactStore(tmp_path))
+        blind = predict_job(job)
+        execute_job_with_artifacts(job, artifacts)
+        informed = predict_job(job, artifacts=artifacts)
+        assert informed.total_cycles > 0
+        assert informed.benchmark == blind.benchmark
+        # Read-only predictions never touch the stage counters.
+        assert artifacts.take_stats() == {"hits": {}, "misses": {}}
+
+
+def execute_job_with_artifacts(job, artifacts) -> None:
+    """Run one job against a specific artifact cache."""
+    previous = executor._ARTIFACTS
+    executor._ARTIFACTS = artifacts
+    try:
+        execute_job(job)
+        artifacts.take_stats()
+    finally:
+        executor._ARTIFACTS = previous
+
+
+# ----------------------------------------------------------------------
+# Experiment runner integration
+# ----------------------------------------------------------------------
+class TestExperimentRunnerArtifacts:
+    OPTIONS = ExperimentOptions(benchmarks=("gsmdec",), simulation_iteration_cap=32)
+
+    def test_fresh_runner_compiles_from_stored_artifacts(self, tmp_path):
+        first = ExperimentRunner(self.OPTIONS, store=tmp_path / "store")
+        setup = interleaved_setup(SchedulingHeuristic.IPBC)
+        first.compile_benchmark(first.benchmark("gsmdec"), setup)
+        assert sum(first._artifacts.misses.values()) > 0
+
+        second = ExperimentRunner(self.OPTIONS, store=tmp_path / "store")
+        second.compile_benchmark(second.benchmark("gsmdec"), setup)
+        assert not second._artifacts.misses
+        assert sum(second._artifacts.hits.values()) > 0
+
+    def test_heuristics_share_upstream_stages(self):
+        runner = ExperimentRunner(self.OPTIONS)
+        benchmark = runner.benchmark("gsmdec")
+        runner.compile_benchmark(benchmark, interleaved_setup(SchedulingHeuristic.IPBC))
+        runner._artifacts.take_stats()
+        runner.compile_benchmark(benchmark, interleaved_setup(SchedulingHeuristic.IBC))
+        stats = runner._artifacts.take_stats()
+        loops = len(benchmark.loops)
+        # Unroll, profile and latency hit; only scheduling recomputes.
+        assert stats["hits"] == {
+            "unroll": loops,
+            "profile": loops,
+            "latency": loops,
+        }
+        assert stats["misses"] == {"schedule": loops}
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+class TestArtifactCli:
+    def test_run_prints_stage_cache_line(self, tmp_path, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(mix_spec().to_mapping()))
+        assert (
+            sweep_cli.main(
+                [
+                    "run",
+                    "--spec",
+                    str(spec_file),
+                    "--results-dir",
+                    str(tmp_path / "results"),
+                    "--workers",
+                    "1",
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "stage cache: unroll " in out
+
+    def test_status_reports_artifacts(self, tmp_path, capsys):
+        store = ResultStore(tmp_path / "results")
+        run_jobs(mix_spec().expand(), store=store, workers=1)
+        capsys.readouterr()
+        assert (
+            sweep_cli.main(["status", "--results-dir", str(tmp_path / "results")])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "stage artifacts:" in out
+        assert "schedule" in out
+
+    def test_vacuum_collects_orphaned_artifacts(self, tmp_path, capsys):
+        store = ResultStore(tmp_path / "results")
+        run_jobs(mix_spec().expand(), store=store, workers=1)
+        artifacts = ArtifactStore(store.root / "artifacts")
+        orphan = artifacts.path("unroll", "9" * 64)
+        orphan.parent.mkdir(parents=True, exist_ok=True)
+        orphan.write_bytes(b"torn")
+        old = time.time() - 7200
+        os.utime(orphan, (old, old))
+        capsys.readouterr()
+        assert (
+            sweep_cli.main(
+                [
+                    "vacuum",
+                    "--results-dir",
+                    str(tmp_path / "results"),
+                    "--grace",
+                    "60",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "1 orphaned artifact(s) removed" in out
+        assert not orphan.exists()

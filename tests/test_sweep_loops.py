@@ -11,8 +11,10 @@ import pytest
 from repro.experiments.common import ExperimentOptions, ExperimentRunner, interleaved_setup
 from repro.scheduler.core import SchedulingHeuristic
 from repro.sim.stats import merge_benchmark_results
+from repro.sweep import artifacts as artifacts_module
 from repro.sweep import cli as sweep_cli
 from repro.sweep import executor
+from repro.sweep.artifacts import ArtifactCache
 from repro.sweep.executor import (
     PruneOptions,
     default_workers,
@@ -254,12 +256,11 @@ class TestDefaultWorkers:
 
 
 # ----------------------------------------------------------------------
-# Satellite: bounded per-worker compile cache
+# Satellite: bounded per-worker stage-artifact cache
 # ----------------------------------------------------------------------
-class TestCompileCacheBound:
+class TestArtifactCacheBound:
     def test_cache_never_exceeds_capacity(self, monkeypatch):
-        monkeypatch.setattr(executor, "COMPILE_CACHE_CAPACITY", 2)
-        executor._COMPILE_CACHE.clear()
+        monkeypatch.setattr(executor, "_ARTIFACTS", ArtifactCache(capacity=2))
         spec = SweepSpec(
             name="grid",
             benchmarks=("kernel:streaming",),
@@ -268,8 +269,7 @@ class TestCompileCacheBound:
         )
         for job in spec.expand():
             execute_job(job)
-            assert len(executor._COMPILE_CACHE) <= 2
-        executor._COMPILE_CACHE.clear()
+            assert len(executor.artifact_cache()) <= 2
 
     def test_eviction_keeps_results_identical(self, monkeypatch, tmp_path):
         spec = SweepSpec(
@@ -278,14 +278,13 @@ class TestCompileCacheBound:
             axes={"clusters": (2, 4)},
             base=dict(FAST),
         )
-        monkeypatch.setattr(executor, "COMPILE_CACHE_CAPACITY", 1)
-        executor._COMPILE_CACHE.clear()
+        # The run binds a fresh store-backed cache, so constrain the LRU
+        # front through the default capacity it is constructed with.
+        monkeypatch.setattr(artifacts_module, "DEFAULT_CACHE_CAPACITY", 1)
         evicting = ResultStore(tmp_path / "evicting")
         run_jobs(spec.expand(), store=evicting, workers=1)
-        assert len(executor._COMPILE_CACHE) <= 1
 
-        monkeypatch.setattr(executor, "COMPILE_CACHE_CAPACITY", 64)
-        executor._COMPILE_CACHE.clear()
+        monkeypatch.setattr(artifacts_module, "DEFAULT_CACHE_CAPACITY", 256)
         roomy = ResultStore(tmp_path / "roomy")
         run_jobs(spec.expand(), store=roomy, workers=1)
         for key in evicting.keys():
@@ -293,17 +292,15 @@ class TestCompileCacheBound:
                 evicting.load_record(key)["metrics"]
                 == roomy.load_record(key)["metrics"]
             )
-        executor._COMPILE_CACHE.clear()
 
-    def test_lru_evicts_least_recently_used(self, monkeypatch):
-        monkeypatch.setattr(executor, "COMPILE_CACHE_CAPACITY", 2)
-        executor._COMPILE_CACHE.clear()
-        executor._compile_cache_put("a", [1])
-        executor._compile_cache_put("b", [2])
-        assert executor._compile_cache_get("a") == [1]  # refresh "a"
-        executor._compile_cache_put("c", [3])  # evicts "b"
-        assert list(executor._COMPILE_CACHE) == ["a", "c"]
-        executor._COMPILE_CACHE.clear()
+    def test_lru_evicts_least_recently_used(self):
+        cache = ArtifactCache(capacity=2)
+        cache.put("schedule", "a", [1])
+        cache.put("schedule", "b", [2])
+        assert cache.get("schedule", "a") == [1]  # refresh "a"
+        cache.put("schedule", "c", [3])  # evicts "b"
+        assert list(cache._memory) == ["a", "c"]
+        assert cache.peek("schedule", "b") is None
 
 
 # ----------------------------------------------------------------------
