@@ -7,10 +7,19 @@ file seeds the perf trajectory of the project: CI or a developer can diff
 it across commits to spot hot-path regressions that the
 (correctness-oriented) tier-1 suite would never notice.
 
-Schema 2 breaks the compile time down per pipeline stage
-(``stage_seconds``), so a regression points at the stage that caused it
-instead of at "compile".  Stage timings are measured cold (no artifact
-cache), like the aggregate compile time.
+Schema 3 adds the trace-compiled hot path (see ``docs/perf.md``):
+
+* ``trace_seconds`` is the cold cost of materialising a kernel's address
+  traces (:mod:`repro.profiling.trace`).  Compile and simulate times are
+  *steady-state*: the in-process trace memo is warm after the first
+  repeat, matching how the sweep engine replays one trace across a whole
+  grid -- and ``--repeats 1`` measures everything cold.
+* a two-point ``grid`` scenario compiles and simulates ``kernels-mix``
+  twice against one stage-artifact store, with Attraction Buffers (a
+  simulation-only knob) as the axis.  The second point must reuse every
+  compilation stage *and* every execution trace: the run asserts zero
+  trace misses on it, which is the cross-grid reuse this hot path exists
+  for.
 
 Run with::
 
@@ -27,23 +36,30 @@ import argparse
 import json
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
 from repro.machine.config import MachineConfig
 from repro.model.predict import predict_benchmark
+from repro.profiling.trace import reset_trace_state, trace_stats
 from repro.scheduler.pipeline import (
     PIPELINE_STAGES,
     CompilerOptions,
     compile_loop,
 )
 from repro.sim.engine import SimulationOptions, simulate_compiled_loops
+from repro.sweep.artifacts import ArtifactCache, ArtifactStore
 from repro.sweep.workloads import resolve_workload
 
 #: The three representative kernels: a unit-stride stream (unrolling win),
 #: a loop-carried reduction (recurrence bound) and a strided walk
 #: (locality/interleaving sensitive).
 KERNELS = ("kernel:streaming", "kernel:reduction", "kernel:strided")
+
+#: The multi-point grid scenario: one benchmark, two machines that differ
+#: only in a simulation-time knob, one shared artifact store.
+GRID_BENCHMARK = "kernels-mix"
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
@@ -55,12 +71,14 @@ def time_kernel(name: str, repeats: int) -> dict[str, object]:
     options = CompilerOptions()
     simulation = SimulationOptions(iteration_cap=256)
 
+    reset_trace_state()
     compile_times, simulate_times, predict_times = [], [], []
     stage_times: dict[str, list[float]] = {
         stage.name: [] for stage in PIPELINE_STAGES
     }
+    trace_seconds = 0.0
     cycles: set[float] = set()
-    for _ in range(repeats):
+    for repeat in range(repeats):
         timings: dict[str, float] = {}
         started = time.perf_counter()
         compiled = [
@@ -77,6 +95,10 @@ def time_kernel(name: str, repeats: int) -> dict[str, object]:
         )
         simulate_times.append(time.perf_counter() - started)
         cycles.add(result.total_cycles)
+        if repeat == 0:
+            # Every trace this kernel needs was built (cold) by now; later
+            # repeats replay them from the in-process memo.
+            trace_seconds = trace_stats()["build_seconds"]
 
         started = time.perf_counter()
         predict_benchmark(benchmark, config, options, simulation)
@@ -91,16 +113,78 @@ def time_kernel(name: str, repeats: int) -> dict[str, object]:
         "stage_seconds": {
             stage: round(min(times), 4) for stage, times in stage_times.items()
         },
+        "trace_seconds": round(trace_seconds, 4),
         "simulate_seconds": round(min(simulate_times), 4),
         "model_predict_seconds": round(min(predict_times), 4),
         "total_cycles": cycles.pop(),
     }
 
 
+def run_grid_point(benchmark, config, cache) -> float:
+    """Compile and simulate one grid point against the shared stage cache."""
+    options = CompilerOptions()
+    simulation = SimulationOptions(iteration_cap=256)
+    started = time.perf_counter()
+    compiled = [
+        compile_loop(loop, config, options, cache=cache)
+        for loop in benchmark.loops
+    ]
+    simulate_compiled_loops(
+        compiled, benchmark.name, config, simulation, trace_cache=cache
+    )
+    return time.perf_counter() - started
+
+
+def time_grid() -> dict[str, object]:
+    """The two-point cross-grid reuse scenario.
+
+    Point one (cold store) computes every stage and trace; point two turns
+    on Attraction Buffers -- outside every compile slice and outside the
+    trace slice -- so it must hit every pipeline stage and replay every
+    execution trace: zero trace misses, one hit per loop.
+    """
+    benchmark = resolve_workload(GRID_BENCHMARK)
+    with tempfile.TemporaryDirectory(prefix="perf-smoke-artifacts-") as root:
+        cache = ArtifactCache(ArtifactStore(root))
+        cold_seconds = run_grid_point(
+            benchmark, MachineConfig.word_interleaved(), cache
+        )
+        cold = cache.take_stats()
+        warm_seconds = run_grid_point(
+            benchmark,
+            MachineConfig.word_interleaved(attraction_buffers=True),
+            cache,
+        )
+        warm = cache.take_stats()
+
+    loops = len(benchmark.loops)
+    trace_hits = warm["hits"].get("trace", 0)
+    trace_misses = warm["misses"].get("trace", 0)
+    if trace_misses or trace_hits != loops:
+        raise AssertionError(
+            f"second grid point must replay every execution trace: expected "
+            f"{loops} hits / 0 misses, got {trace_hits} hits / {trace_misses} "
+            f"misses"
+        )
+    if warm["misses"]:
+        raise AssertionError(
+            f"second grid point recompiled stages: {warm['misses']}"
+        )
+    return {
+        "benchmark": GRID_BENCHMARK,
+        "points": 2,
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "cold_trace_misses": cold["misses"].get("trace", 0),
+        "warm_trace_hits": trace_hits,
+        "warm_trace_misses": trace_misses,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--repeats", type=int, default=3, help="timing repeats (default 3)"
+        "--repeats", type=int, default=5, help="timing repeats (default 5)"
     )
     parser.add_argument(
         "--output", default=str(DEFAULT_OUTPUT), help="output JSON path"
@@ -108,7 +192,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     report: dict[str, object] = {
-        "schema": 2,
+        "schema": 3,
         "python": platform.python_version(),
         "repeats": args.repeats,
         "kernels": {},
@@ -125,11 +209,22 @@ def main(argv=None) -> int:
         print(
             f"{name:20s} compile={timing['compile_seconds']:.3f}s "
             f"({stages}) "
+            f"trace={timing['trace_seconds']:.3f}s "
             f"simulate={timing['simulate_seconds']:.3f}s "
             f"model={timing['model_predict_seconds']:.3f}s "
             f"cycles={timing['total_cycles']}"
         )
     report["compile_plus_simulate_seconds"] = round(total, 4)
+
+    grid = time_grid()
+    report["grid"] = grid
+    requests = grid["warm_trace_hits"] + grid["warm_trace_misses"]
+    print(
+        f"grid {grid['benchmark']}: cold={grid['cold_seconds']:.3f}s "
+        f"warm={grid['warm_seconds']:.3f}s, second point trace "
+        f"{grid['warm_trace_hits']}/{requests} hits, "
+        f"{grid['warm_trace_misses']} misses"
+    )
 
     output = Path(args.output)
     output.write_text(

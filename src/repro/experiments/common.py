@@ -219,6 +219,7 @@ class ExperimentRunner:
             setup.config,
             self.options.simulation_options(),
             architecture=setup.name,
+            trace_cache=self._artifacts,
         )
         if self._store is not None:
             from repro.sweep.executor import make_record

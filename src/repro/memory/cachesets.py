@@ -76,7 +76,8 @@ class SetAssociativeStore:
     # ------------------------------------------------------------------
     def lookup(self, key: int) -> bool:
         """Probe for ``key``; updates LRU order and hit/miss statistics."""
-        entry_set = self._set_of(key)
+        # _set_of inlined: lookup runs once per simulated/profiled access.
+        entry_set = self._sets[key % self._num_sets]
         if key in entry_set:
             entry_set.move_to_end(key)
             self._hits += 1
@@ -90,7 +91,7 @@ class SetAssociativeStore:
 
     def insert(self, key: int) -> Optional[int]:
         """Insert ``key``; returns the evicted key, if any."""
-        entry_set = self._set_of(key)
+        entry_set = self._sets[key % self._num_sets]
         if key in entry_set:
             entry_set.move_to_end(key)
             return None

@@ -23,6 +23,11 @@ class AccessType(enum.Enum):
     REMOTE_MISS = "remote-miss"
     COMBINED = "combined"
 
+    # Members are singletons, so the identity hash is correct -- and, being
+    # implemented in C, far cheaper than ``Enum.__hash__`` in the simulator's
+    # per-access counter updates (dicts and Counters keyed by AccessType).
+    __hash__ = object.__hash__
+
     @property
     def is_hit(self) -> bool:
         """True if the data was found in some first-level structure."""
@@ -72,18 +77,21 @@ class AccessCounters:
     combined: int = 0
     attraction_buffer_hits: int = 0
 
-    _FIELD_BY_TYPE = {
-        AccessType.LOCAL_HIT: "local_hits",
-        AccessType.REMOTE_HIT: "remote_hits",
-        AccessType.LOCAL_MISS: "local_misses",
-        AccessType.REMOTE_MISS: "remote_misses",
-        AccessType.COMBINED: "combined",
-    }
-
     def record(self, result: AccessResult) -> None:
         """Record one access result."""
-        name = self._FIELD_BY_TYPE[result.classification]
-        setattr(self, name, getattr(self, name) + 1)
+        # Identity dispatch: this runs once per simulated access, where the
+        # old name-indirection (dict lookup + getattr + setattr) dominated.
+        classification = result.classification
+        if classification is AccessType.LOCAL_HIT:
+            self.local_hits += 1
+        elif classification is AccessType.REMOTE_HIT:
+            self.remote_hits += 1
+        elif classification is AccessType.LOCAL_MISS:
+            self.local_misses += 1
+        elif classification is AccessType.REMOTE_MISS:
+            self.remote_misses += 1
+        else:
+            self.combined += 1
         if result.via_attraction_buffer:
             self.attraction_buffer_hits += 1
 
@@ -125,6 +133,21 @@ class AccessCounters:
             "combined": self.combined / total,
         }
 
+    def scale(self, factor: float) -> None:
+        """Scale every counter in place, rounding to integers.
+
+        Used by the simulator to extrapolate the counters of a sampled
+        iteration prefix to a loop's full trip count.
+        """
+        self.local_hits = int(round(self.local_hits * factor))
+        self.remote_hits = int(round(self.remote_hits * factor))
+        self.local_misses = int(round(self.local_misses * factor))
+        self.remote_misses = int(round(self.remote_misses * factor))
+        self.combined = int(round(self.combined * factor))
+        self.attraction_buffer_hits = int(
+            round(self.attraction_buffer_hits * factor)
+        )
+
     def merge(self, other: "AccessCounters") -> "AccessCounters":
         """Return the element-wise sum of two counter sets."""
         return AccessCounters(
@@ -157,13 +180,6 @@ class StallCounters:
     remote_miss: int = 0
     combined: int = 0
 
-    _FIELD_BY_TYPE = {
-        AccessType.REMOTE_HIT: "remote_hit",
-        AccessType.LOCAL_MISS: "local_miss",
-        AccessType.REMOTE_MISS: "remote_miss",
-        AccessType.COMBINED: "combined",
-    }
-
     def record(self, classification: AccessType, cycles: int) -> None:
         """Attribute ``cycles`` of stall to an access class.
 
@@ -172,10 +188,16 @@ class StallCounters:
         """
         if cycles <= 0:
             return
-        if classification is AccessType.LOCAL_HIT:
+        if classification is AccessType.REMOTE_HIT:
+            self.remote_hit += cycles
+        elif classification is AccessType.LOCAL_MISS:
+            self.local_miss += cycles
+        elif classification is AccessType.REMOTE_MISS:
+            self.remote_miss += cycles
+        elif classification is AccessType.COMBINED:
+            self.combined += cycles
+        else:
             raise ValueError("local hits cannot generate stall time")
-        name = self._FIELD_BY_TYPE[classification]
-        setattr(self, name, getattr(self, name) + cycles)
 
     @property
     def total(self) -> int:
@@ -191,6 +213,13 @@ class StallCounters:
             "remote_miss": self.remote_miss / total,
             "combined": self.combined / total,
         }
+
+    def scale(self, factor: float) -> None:
+        """Scale every stall counter in place, rounding to integers."""
+        self.remote_hit = int(round(self.remote_hit * factor))
+        self.local_miss = int(round(self.local_miss * factor))
+        self.remote_miss = int(round(self.remote_miss * factor))
+        self.combined = int(round(self.combined * factor))
 
     def merge(self, other: "StallCounters") -> "StallCounters":
         """Return the element-wise sum of two stall counter sets."""

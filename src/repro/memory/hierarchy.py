@@ -24,6 +24,11 @@ class DataCacheModel(abc.ABC):
         self.counters = AccessCounters()
         self.next_level = NextMemoryLevel(config.next_level)
         self.memory_buses = BusSet(config.memory_buses)
+        # Hoisted constants: ``access`` runs once per simulated memory
+        # access, so the per-call attribute chases through the config
+        # dataclasses are paid once here instead.
+        self._num_clusters = config.num_clusters
+        self._block_bytes = config.cache.block_bytes
 
     @property
     def config(self) -> MachineConfig:
@@ -43,7 +48,7 @@ class DataCacheModel(abc.ABC):
         attractable: bool = True,
     ) -> AccessResult:
         """Perform one access and record it in the counters."""
-        if cluster < 0 or cluster >= self._config.num_clusters:
+        if cluster < 0 or cluster >= self._num_clusters:
             raise ValueError(f"cluster {cluster} out of range")
         if size <= 0:
             raise ValueError("access size must be positive")
@@ -87,9 +92,8 @@ class DataCacheModel(abc.ABC):
     # ------------------------------------------------------------------
     def block_address(self, address: int) -> int:
         """Address of the cache block containing ``address``."""
-        block = self._config.cache.block_bytes
-        return address - (address % block)
+        return address - (address % self._block_bytes)
 
     def block_index(self, address: int) -> int:
         """Block number (block address divided by the block size)."""
-        return address // self._config.cache.block_bytes
+        return address // self._block_bytes

@@ -42,6 +42,21 @@ class WordInterleavedDataCache(DataCacheModel):
         )
         #: In-flight subblock requests: (home cluster, block index) -> ready cycle.
         self._pending: dict[tuple[int, int], int] = {}
+        # Per-access hot-path constants, hoisted from the config dataclasses.
+        self._interleaving = config.interleaving_factor
+        self._clusters = config.num_clusters
+        # Local hits are by far the most common outcome and their result is
+        # a constant per cluster; AccessResult is frozen, so one shared
+        # instance per cluster replaces a dataclass construction per hit.
+        self._local_hits = [
+            AccessResult(
+                classification=AccessType.LOCAL_HIT,
+                latency=config.latencies.local_hit,
+                home_cluster=cluster,
+                requesting_cluster=cluster,
+            )
+            for cluster in range(config.num_clusters)
+        ]
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -68,40 +83,34 @@ class WordInterleavedDataCache(DataCacheModel):
         cycle: int,
         attractable: bool,
     ) -> AccessResult:
-        config = self._config
-        home = config.cluster_of_address(address)
-        spans = config.spans_multiple_clusters(size)
-        block = self.block_index(address)
+        interleaving = self._interleaving
+        home = (address // interleaving) % self._clusters
+        spans = size > interleaving
+        block = address // self._block_bytes
         subblock_key = (home, block)
 
         if home == cluster and not spans:
-            return self._local_access(cluster, block, is_store, cycle)
+            # Local-hit fast path inlined: the most common outcome of an
+            # access pays no extra call and no result construction.
+            if self._modules[cluster].lookup(block):
+                return self._local_hits[cluster]
+            return self._local_fill(cluster, block, cycle)
 
         # Accesses wider than the interleaving factor touch more than one
         # cluster and therefore always pay a remote access (Section 5.2);
         # the remote part determines the hit/miss outcome.
         if spans and home == cluster:
-            remote_home = config.cluster_of_address(address + config.interleaving_factor)
-            subblock_key = (remote_home, self.block_index(address + config.interleaving_factor))
+            remote_home = ((address + interleaving) // interleaving) % self._clusters
+            subblock_key = (remote_home, (address + interleaving) // self._block_bytes)
             home = remote_home
 
         return self._remote_access(
             cluster, home, block, subblock_key, is_store, cycle, attractable, spans
         )
 
-    def _local_access(
-        self, cluster: int, block: int, is_store: bool, cycle: int
-    ) -> AccessResult:
-        module = self._modules[cluster]
-        hit = module.lookup(block)
-        if hit:
-            return AccessResult(
-                classification=AccessType.LOCAL_HIT,
-                latency=self._config.latencies.local_hit,
-                home_cluster=cluster,
-                requesting_cluster=cluster,
-            )
-        module.insert(block)
+    def _local_fill(self, cluster: int, block: int, cycle: int) -> AccessResult:
+        """A local miss: fill the module from the next memory level."""
+        self._modules[cluster].insert(block)
         wait = self.next_level.access(cycle)
         latency = self._config.latencies.local_miss + max(
             0, wait - self._config.next_level.latency

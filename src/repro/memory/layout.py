@@ -144,9 +144,18 @@ class DataLayout:
         """Address of a byte offset within a placed array."""
         return self._placements[array_name].address_of(byte_offset)
 
+    def cluster_of(self, address: int) -> int:
+        """Home cluster of an absolute address under word interleaving.
+
+        Public accessor over the machine configuration's interleaving
+        function, so address-stream code never has to reach into the
+        layout's private configuration.
+        """
+        return self._config.cluster_of_address(address)
+
     def home_cluster(self, array_name: str, byte_offset: int) -> int:
         """Home cluster of an element under word interleaving."""
-        return self._config.cluster_of_address(self.address_of(array_name, byte_offset))
+        return self.cluster_of(self.address_of(array_name, byte_offset))
 
     def placements(self) -> dict[str, PlacedArray]:
         """All placements made so far."""

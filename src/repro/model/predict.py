@@ -191,19 +191,29 @@ def _predict_variant(
     simulation: SimulationOptions,
     factor: int,
     rec_floor: int = 1,
+    mixes: Optional[dict[Operation, ExpectedAccessMix]] = None,
+    assignment=None,
 ) -> PredictedLoopResult:
-    """Predict one unrolled variant of a loop."""
+    """Predict one unrolled variant of a loop.
+
+    ``mixes``/``assignment`` let :func:`predict_loop` pass the base loop's
+    already-computed access mixes and latency assignment for the factor-1
+    variant (both are pure functions of the same inputs, so reuse cannot
+    change the prediction) instead of recomputing them per call.
+    """
     simulated = min(variant.trip_count, simulation.iteration_cap)
-    mixes = loop_access_mix(
-        variant, config, aligned=options.variable_alignment, iterations=simulated
-    )
-    stats = {
-        op: MemoryOpStats(
-            hit_rate=min(1.0, mix.hit), local_ratio=min(1.0, mix.local)
+    if mixes is None:
+        mixes = loop_access_mix(
+            variant, config, aligned=options.variable_alignment, iterations=simulated
         )
-        for op, mix in mixes.items()
-    }
-    assignment = assign_latencies(variant, config, stats=stats)
+    if assignment is None:
+        stats = {
+            op: MemoryOpStats(
+                hit_rate=min(1.0, mix.hit), local_ratio=min(1.0, mix.local)
+            )
+            for op, mix in mixes.items()
+        }
+        assignment = assign_latencies(variant, config, stats=stats)
     latency_of = make_latency_function(
         config, memory_latencies=assignment.latencies
     )
@@ -345,6 +355,10 @@ def predict_loop(
             simulation,
             factor,
             rec_floor=math.ceil(factor * ratio),
+            # The factor-1 variant *is* the loop whose mixes and assignment
+            # the recurrence floor above already computed; reuse them.
+            mixes=base_mixes if factor == 1 else None,
+            assignment=base_assignment if factor == 1 else None,
         )
         if best is None or candidate.compute_cycles < best.compute_cycles:
             best = candidate

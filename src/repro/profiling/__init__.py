@@ -1,4 +1,4 @@
-"""Profiling: hit rates, preferred clusters, address streams."""
+"""Profiling: hit rates, preferred clusters, address streams and traces."""
 
 from repro.profiling.address import AddressStream
 from repro.profiling.profiler import (
@@ -7,11 +7,25 @@ from repro.profiling.profiler import (
     OperationProfile,
     profile_loop,
 )
+from repro.profiling.trace import (
+    TRACE_MACHINE_KEYS,
+    TRACE_STAGE,
+    LoopTrace,
+    build_trace,
+    loop_trace,
+    trace_key,
+)
 
 __all__ = [
     "AddressStream",
     "DEFAULT_PROFILE_ITERATION_CAP",
     "LoopProfile",
+    "LoopTrace",
     "OperationProfile",
+    "TRACE_MACHINE_KEYS",
+    "TRACE_STAGE",
+    "build_trace",
+    "loop_trace",
     "profile_loop",
+    "trace_key",
 ]

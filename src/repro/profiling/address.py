@@ -8,6 +8,11 @@ function of the data-set name, the index array and the iteration number, so
 that the profile data set and the execution data set see *different but
 reproducible* streams -- exactly the property the paper's variable-alignment
 discussion hinges on.
+
+:class:`AddressStream` is the element-wise *reference* implementation; the
+hot paths (profiler, simulator) consume bulk-materialised
+:class:`~repro.profiling.trace.LoopTrace` arrays instead, which are
+property-tested to match this class address for address.
 """
 
 from __future__ import annotations
@@ -67,8 +72,7 @@ class AddressStream:
 
     def home_cluster(self, op: Operation, iteration: int) -> int:
         """Home cluster of the address referenced in the given iteration."""
-        address = self.address(op, iteration)
-        return self._layout._config.cluster_of_address(address)  # noqa: SLF001
+        return self._layout.cluster_of(self.address(op, iteration))
 
     def iteration_addresses(self, iteration: int) -> dict[Operation, int]:
         """Addresses of every memory operation for one iteration."""

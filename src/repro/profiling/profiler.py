@@ -12,7 +12,11 @@ information, both obtained by running the program on a *profile* data set:
 
 :func:`profile_loop` reproduces this by streaming the loop's addresses (from
 the profile data set) through a fresh cache-module model and the data-layout
-model, then summarising per static operation.
+model, then summarising per static operation.  Addresses come from the
+loop's precomputed :class:`~repro.profiling.trace.LoopTrace`: the cluster
+histograms are bulk-counted from the trace's home-cluster arrays, and only
+the (order-dependent) cache replay walks the accesses one by one -- over
+flat block arrays, not per-access address computation.
 """
 
 from __future__ import annotations
@@ -25,8 +29,7 @@ from repro.ir.loop import Loop
 from repro.ir.operation import Operation
 from repro.machine.config import CacheOrganization, MachineConfig
 from repro.memory.cachesets import SetAssociativeStore
-from repro.memory.layout import DataLayout
-from repro.profiling.address import AddressStream
+from repro.profiling.trace import loop_trace
 
 #: Cap on profiled iterations; profiling is statistical, not exhaustive.
 DEFAULT_PROFILE_ITERATION_CAP = 2048
@@ -174,6 +177,7 @@ def profile_loop(
     dataset: str = "profile",
     aligned: bool = True,
     iteration_cap: int = DEFAULT_PROFILE_ITERATION_CAP,
+    cache=None,
 ) -> LoopProfile:
     """Profile one loop on the given machine configuration.
 
@@ -182,10 +186,17 @@ def profile_loop(
     For unified-cache machines the cluster histogram is still collected --
     the interleaving function is a property of addresses -- but is unused by
     the BASE scheduler.
+
+    ``cache`` (a stage-artifact cache, see :mod:`repro.sweep.artifacts`)
+    serves and persists the loop's address trace, sharing it across every
+    grid point -- and every cache geometry -- with the same interleaving
+    layout.
     """
-    layout = DataLayout(config, aligned=aligned, dataset=dataset)
-    stream = AddressStream(loop, layout, dataset)
     iterations = min(loop.profile_trip_count, iteration_cap)
+    trace = loop_trace(
+        loop, config, dataset=dataset, aligned=aligned,
+        iterations=iterations, cache=cache,
+    )
 
     if config.organization is CacheOrganization.UNIFIED:
         geometry = config.cache
@@ -199,24 +210,43 @@ def profile_loop(
             for _ in range(config.num_clusters)
         ]
 
-    block_bytes = config.cache.block_bytes
-    profiles: dict[Operation, OperationProfile] = {
-        op: OperationProfile(op) for op in loop.memory_operations
-    }
+    memory_ops = loop.memory_operations
+    homes = trace.home_clusters()
+    blocks = trace.blocks(config.cache.block_bytes)
+    hit_counts = [0] * len(memory_ops)
 
-    for iteration in range(iterations):
-        for op in loop.memory_operations:
-            address = stream.address(op, iteration)
-            block = address // block_bytes
-            home = config.cluster_of_address(address)
-            store = stores[0] if len(stores) == 1 else stores[home]
-            hit = store.lookup(block)
-            if not hit:
-                store.insert(block)
-            profile = profiles[op]
-            profile.accesses += 1
-            profile.hits += int(hit)
-            profile.cluster_counts[home] += 1
+    # The cache replay is the one genuinely sequential part: store state is
+    # shared across operations, so accesses must be walked in the original
+    # (iteration, operation) order.  ``zip(*blocks)`` transposes the per-op
+    # arrays into per-iteration rows at C speed.
+    if len(stores) == 1:
+        store = stores[0]
+        lookup, insert = store.lookup, store.insert
+        for row in zip(*blocks):
+            for index, block in enumerate(row):
+                if lookup(block):
+                    hit_counts[index] += 1
+                else:
+                    insert(block)
+    else:
+        indices = range(len(memory_ops))
+        for block_row, home_row in zip(zip(*blocks), zip(*homes)):
+            for index in indices:
+                block = block_row[index]
+                store = stores[home_row[index]]
+                if store.lookup(block):
+                    hit_counts[index] += 1
+                else:
+                    store.insert(block)
+
+    profiles: dict[Operation, OperationProfile] = {}
+    for index, op in enumerate(memory_ops):
+        profiles[op] = OperationProfile(
+            operation=op,
+            accesses=iterations,
+            hits=hit_counts[index],
+            cluster_counts=Counter(homes[index]),
+        )
 
     return LoopProfile(
         loop=loop,

@@ -1,0 +1,414 @@
+"""Precomputed address traces: the trace-compiled hot path.
+
+The methodology of the paper is trace-driven: every experiment streams each
+loop's memory addresses through a cache-module model twice (once on the
+profile data set, once on the execution data set), and the sweep engine
+multiplies that by the whole design-space grid.  :class:`AddressStream`
+computes those addresses one ``(operation, iteration)`` at a time -- a
+Python call with dict lookups per access and a blake2b digest per indirect
+access -- even though a loop's trace is *invariant* across the scheduling
+axes (heuristic, OUF policy, latency assignment, Attraction Buffers) that
+dominate a sweep grid.
+
+This module materialises each loop's address and home-cluster streams once
+into flat :mod:`array`-module arrays (:class:`LoopTrace`):
+
+* direct strided streams are generated in bulk (one list comprehension per
+  operation, tiled over the wrap period of small arrays) instead of one
+  method call per access;
+* indirect index streams -- the blake2b-derived pseudo-random values of
+  :func:`repro.profiling.address._stream_value` -- are memoised per
+  ``(dataset, stream)`` and shared by every operation, unrolled variant and
+  trace length that draws from the same stream;
+* home clusters are derived lazily from the address arrays in bulk.
+
+Traces are content-addressed on exactly what determines the addresses: the
+*layout-relevant* machine slice (:data:`TRACE_MACHINE_KEYS` -- cluster
+count and interleaving factor, nothing else; cache geometry, latencies,
+buses and Attraction Buffers cannot change a single address), the
+*address-relevant* slice of the loop (arrays plus each memory operation's
+access descriptor, by program-order index), the data-set name, the
+alignment policy and the iteration count.  :func:`loop_trace` serves traces
+through the sweep's stage-artifact cache (:mod:`repro.sweep.artifacts`)
+under the ``trace`` stage, so one trace serves every scheduling-option
+point of a grid, both sweep granularities, every worker and resumed runs;
+without an artifact cache a small in-process LRU keeps repeated
+compilations of the same loop warm.
+
+Equivalence contract: ``LoopTrace.addresses[j][i]`` equals
+``AddressStream.address(loop.memory_operations[j], i)`` element for
+element (property-tested over the whole workload suite in
+``tests/test_trace.py``); :class:`AddressStream` stays in-tree as the
+reference implementation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import time
+from array import array
+from collections import OrderedDict
+from typing import Optional
+
+from repro.ir.loop import Loop
+from repro.machine.config import MachineConfig
+from repro.memory.layout import DataLayout
+
+#: Stage name traces are stored under in the sweep artifact store.
+TRACE_STAGE = "trace"
+
+#: Version tag mixed into every trace key.  Bump whenever the payload format
+#: or the meaning of the key slices changes, so stale artifacts read as
+#: misses instead of rehydrating into wrong addresses.
+TRACE_SCHEMA = 1
+
+#: Machine-description keys that can change an address or a home cluster:
+#: the interleaving geometry (N and I fix both the N x I alignment span of
+#: the data layout and the address-to-cluster mapping).  Deliberately a
+#: strict subset of the pipeline's ``PROFILE_MACHINE_KEYS``: machines that
+#: differ only in cache geometry share their traces.
+TRACE_MACHINE_KEYS: tuple[str, ...] = ("clusters", "interleaving_factor")
+
+#: In-process traces kept when no artifact cache is provided.
+DEFAULT_MEMO_CAPACITY = max(1, int(os.environ.get("REPRO_TRACE_MEMO", "32")))
+
+#: Memoised pseudo-random index streams, keyed by ``(dataset, stream)``.
+#: Values are append-only arrays grown geometrically on demand; a bounded
+#: number of streams is kept so pathological test workloads with thousands
+#: of distinct array names cannot grow the process without limit.
+_INDEX_STREAMS: OrderedDict[tuple[str, str], array] = OrderedDict()
+_INDEX_STREAM_LIMIT = 512
+
+#: In-process LRU of built traces (used only when no artifact cache is
+#: passed; with one, the artifact cache's own memory front is the in-process
+#: layer, keeping its hit/miss counters authoritative).
+_TRACE_MEMO: OrderedDict[str, "LoopTrace"] = OrderedDict()
+
+#: Build statistics for the perf harness (see ``benchmarks/perf_smoke.py``).
+_STATS = {"built": 0, "build_seconds": 0.0, "memo_hits": 0}
+
+
+def trace_stats() -> dict[str, float]:
+    """Snapshot of this process's trace-build counters."""
+    return dict(_STATS)
+
+
+def reset_trace_state() -> None:
+    """Clear the in-process memo, index streams and build counters.
+
+    Used by the perf harness to measure cold builds and by tests that
+    assert build counts; production code never needs it.
+    """
+    _TRACE_MEMO.clear()
+    _INDEX_STREAMS.clear()
+    _STATS.update({"built": 0, "build_seconds": 0.0, "memo_hits": 0})
+
+
+def _index_stream(dataset: str, stream: str, length: int) -> array:
+    """The first ``length`` values of one pseudo-random index stream.
+
+    Element ``i`` equals ``_stream_value(dataset, stream, i)`` of
+    :mod:`repro.profiling.address`: the low 32 bits of
+    ``blake2b(f"{dataset}/{stream}/{i}", digest_size=8)``, little-endian.
+    The stream is memoised and grown geometrically, so unrolled variants
+    and differently capped traces drawing from the same stream never
+    recompute a digest.
+    """
+    key = (dataset, stream)
+    values = _INDEX_STREAMS.get(key)
+    if values is None:
+        values = array("Q")
+        while len(_INDEX_STREAMS) >= _INDEX_STREAM_LIMIT:
+            _INDEX_STREAMS.popitem(last=False)
+        _INDEX_STREAMS[key] = values
+    else:
+        _INDEX_STREAMS.move_to_end(key)
+    if len(values) < length:
+        prefix = f"{dataset}/{stream}/".encode("utf-8")
+        blake2b = hashlib.blake2b
+        from_bytes = int.from_bytes
+        values.extend(
+            from_bytes(
+                blake2b(prefix + str(i).encode("utf-8"), digest_size=8).digest()[:4],
+                "little",
+            )
+            for i in range(len(values), length)
+        )
+    return values
+
+
+class LoopTrace:
+    """The materialised address streams of one loop's memory operations.
+
+    ``addresses[j]`` is a flat ``array('q')`` holding the address of the
+    ``j``-th memory operation (program order) in every traced iteration;
+    ``home_clusters()[j]`` the matching home-cluster stream and
+    ``granularities[j]`` the operation's (static) access size.  Instances
+    hold plain data only -- no :class:`~repro.ir.operation.Operation`
+    references -- so payloads persist process-independently.
+    """
+
+    __slots__ = (
+        "iterations",
+        "dataset",
+        "aligned",
+        "addresses",
+        "granularities",
+        "interleaving_factor",
+        "num_clusters",
+        "_homes",
+    )
+
+    def __init__(
+        self,
+        iterations: int,
+        dataset: str,
+        aligned: bool,
+        addresses: list[array],
+        granularities: tuple[int, ...],
+        interleaving_factor: int,
+        num_clusters: int,
+    ) -> None:
+        self.iterations = iterations
+        self.dataset = dataset
+        self.aligned = aligned
+        self.addresses = addresses
+        self.granularities = granularities
+        self.interleaving_factor = interleaving_factor
+        self.num_clusters = num_clusters
+        self._homes: Optional[list[array]] = None
+
+    def home_clusters(self) -> list[array]:
+        """Per-operation home-cluster streams (computed once, in bulk).
+
+        Mirrors :meth:`MachineConfig.cluster_of_address` (and the public
+        :meth:`DataLayout.cluster_of`): ``(address // I) % N``.
+        """
+        if self._homes is None:
+            interleaving = self.interleaving_factor
+            clusters = self.num_clusters
+            self._homes = [
+                array("h", [(a // interleaving) % clusters for a in addrs])
+                for addrs in self.addresses
+            ]
+        return self._homes
+
+    def blocks(self, block_bytes: int) -> list[array]:
+        """Per-operation cache-block streams for a given block size."""
+        return [
+            array("q", [a // block_bytes for a in addrs])
+            for addrs in self.addresses
+        ]
+
+    def to_payload(self) -> dict[str, object]:
+        """Process-independent form stored in the artifact store."""
+        return {
+            "iterations": self.iterations,
+            "granularities": list(self.granularities),
+            "addresses": [addrs.tobytes() for addrs in self.addresses],
+        }
+
+    @staticmethod
+    def from_payload(
+        payload: dict[str, object],
+        config: MachineConfig,
+        dataset: str,
+        aligned: bool,
+    ) -> "LoopTrace":
+        """Rebuild a trace from :meth:`to_payload` output.
+
+        The interleaving geometry is taken from ``config`` -- the trace key
+        guarantees it matches the geometry the payload was built under.
+        """
+        addresses = []
+        for data in payload["addresses"]:
+            addrs = array("q")
+            addrs.frombytes(data)
+            addresses.append(addrs)
+        return LoopTrace(
+            iterations=int(payload["iterations"]),
+            dataset=dataset,
+            aligned=aligned,
+            addresses=addresses,
+            granularities=tuple(payload["granularities"]),
+            interleaving_factor=config.interleaving_factor,
+            num_clusters=config.num_clusters,
+        )
+
+
+def _address_slice(loop: Loop) -> dict[str, object]:
+    """The slice of a loop that determines its addresses.
+
+    Arrays (placement order is sorted-by-name and every object's size moves
+    the segment cursor for the next, so all of them matter) plus each memory
+    operation's access descriptor in program order.  Dependences, trip
+    counts, operation names and the ``attractable`` hint are deliberately
+    absent: none of them can change an address, so loops differing only
+    there share one trace.
+    """
+    return {
+        "arrays": {
+            name: [
+                spec.element_bytes,
+                spec.num_elements,
+                spec.storage.value,
+                spec.index_range,
+            ]
+            for name, spec in sorted(loop.arrays.items())
+        },
+        "ops": [
+            [
+                access.array,
+                access.stride_bytes,
+                access.offset_bytes,
+                access.granularity,
+                access.indirect,
+                access.index_array,
+            ]
+            for access in (op.memory for op in loop.memory_operations)
+        ],
+    }
+
+
+def trace_key(
+    loop: Loop,
+    config: MachineConfig,
+    dataset: str,
+    aligned: bool,
+    iterations: int,
+) -> str:
+    """Content-addressed identity of one loop trace.
+
+    Follows the stage-key recipe of :mod:`repro.scheduler.pipeline`: the
+    stage name and schema, the machine slice restricted to
+    :data:`TRACE_MACHINE_KEYS`, and the loop's address slice -- never an
+    ``Operation`` uid, so keys are stable across processes and sessions.
+    """
+    machine = config.describe()
+    payload = json.dumps(
+        {
+            "stage": TRACE_STAGE,
+            "schema": TRACE_SCHEMA,
+            "machine": {key: machine[key] for key in TRACE_MACHINE_KEYS},
+            "loop": _address_slice(loop),
+            "dataset": dataset,
+            "aligned": aligned,
+            "iterations": iterations,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def build_trace(
+    loop: Loop,
+    config: MachineConfig,
+    dataset: str,
+    aligned: bool,
+    iterations: int,
+) -> LoopTrace:
+    """Materialise one loop's address streams (no caching).
+
+    Bulk-generates exactly the addresses
+    :meth:`~repro.profiling.address.AddressStream.address` would return for
+    ``iterations`` iterations of every memory operation.
+    """
+    started = time.perf_counter()
+    layout = DataLayout(config, aligned=aligned, dataset=dataset)
+    layout.place_all(loop.arrays)
+
+    addresses: list[array] = []
+    granularities: list[int] = []
+    for op in loop.memory_operations:
+        access = op.memory
+        spec = loop.arrays[access.array]
+        base = layout.base_address(access.array)
+        size = spec.size_bytes
+        offset = access.offset_bytes
+        granularities.append(access.granularity)
+        if access.indirect:
+            index_spec = loop.arrays[access.index_array]
+            index_range = (
+                spec.index_range or index_spec.index_range or spec.num_elements
+            )
+            raws = _index_stream(dataset, access.index_array, iterations)
+            granularity = access.granularity
+            addrs = array(
+                "q",
+                [
+                    base + ((offset + (raws[i] % index_range) * granularity) % size)
+                    for i in range(iterations)
+                ],
+            )
+        else:
+            stride = access.stride_bytes
+            # The offset pattern is periodic in ``size / gcd(stride, size)``
+            # iterations; small (wrapping) arrays tile one period instead of
+            # evaluating the modulo per iteration.
+            period = (
+                size // math.gcd(stride, size) if stride else 1
+            )
+            count = min(period, iterations)
+            addrs = array(
+                "q",
+                [base + ((offset + stride * i) % size) for i in range(count)],
+            )
+            if count < iterations:
+                addrs = addrs * (iterations // count)
+                addrs.extend(addrs[: iterations - len(addrs)])
+        addresses.append(addrs)
+
+    _STATS["built"] += 1
+    _STATS["build_seconds"] += time.perf_counter() - started
+    return LoopTrace(
+        iterations=iterations,
+        dataset=dataset,
+        aligned=aligned,
+        addresses=addresses,
+        granularities=tuple(granularities),
+        interleaving_factor=config.interleaving_factor,
+        num_clusters=config.num_clusters,
+    )
+
+
+def loop_trace(
+    loop: Loop,
+    config: MachineConfig,
+    dataset: str,
+    aligned: bool,
+    iterations: int,
+    cache=None,
+) -> LoopTrace:
+    """The (possibly cached) trace of one loop.
+
+    With ``cache`` -- any object implementing the pipeline's ``StageCache``
+    protocol, in practice :class:`repro.sweep.artifacts.ArtifactCache` --
+    traces are served from and persisted to the ``trace`` artifact stage,
+    sharing them across grid points, workers and runs; the cache's own
+    memory front is then the only in-process layer, so its per-stage
+    hit/miss counters stay authoritative.  Without one, a small module-level
+    LRU keeps repeated builds within a process warm.
+    """
+    key = trace_key(loop, config, dataset, aligned, iterations)
+    if cache is not None:
+        payload = cache.get(TRACE_STAGE, key)
+        if payload is not None:
+            return LoopTrace.from_payload(payload, config, dataset, aligned)
+        trace = build_trace(loop, config, dataset, aligned, iterations)
+        cache.put(TRACE_STAGE, key, trace.to_payload())
+        return trace
+
+    trace = _TRACE_MEMO.get(key)
+    if trace is not None:
+        _TRACE_MEMO.move_to_end(key)
+        _STATS["memo_hits"] += 1
+        return trace
+    trace = build_trace(loop, config, dataset, aligned, iterations)
+    _TRACE_MEMO[key] = trace
+    while len(_TRACE_MEMO) > DEFAULT_MEMO_CAPACITY:
+        _TRACE_MEMO.popitem(last=False)
+    return trace

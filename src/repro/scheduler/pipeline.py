@@ -370,7 +370,9 @@ class UnrollStage(PipelineStage):
     option_keys = PROFILE_OPTION_KEYS
 
     @classmethod
-    def compute(cls, ctx: StageContext) -> dict[str, object]:
+    def compute(
+        cls, ctx: StageContext, cache: Optional[StageCache] = None
+    ) -> dict[str, object]:
         options = ctx.options
         base_profile = profile_loop(
             ctx.loop,
@@ -378,6 +380,7 @@ class UnrollStage(PipelineStage):
             dataset=options.profile_dataset,
             aligned=options.variable_alignment,
             iteration_cap=options.profile_iteration_cap,
+            cache=cache,
         )
         factors = candidate_factors(
             ctx.loop, ctx.config, options.unroll_policy, base_profile
@@ -394,7 +397,10 @@ class ProfileStage(PipelineStage):
 
     @classmethod
     def compute(
-        cls, ctx: StageContext, unroll: Mapping[str, object]
+        cls,
+        ctx: StageContext,
+        unroll: Mapping[str, object],
+        cache: Optional[StageCache] = None,
     ) -> dict[str, object]:
         options = ctx.options
         profiles: dict[int, object] = {1: unroll["base_profile"]}
@@ -407,6 +413,7 @@ class ProfileStage(PipelineStage):
                 dataset=options.profile_dataset,
                 aligned=options.variable_alignment,
                 iteration_cap=options.profile_iteration_cap,
+                cache=cache,
             )
             profiles[factor] = profile.to_payload()
         return {"profiles": profiles}
@@ -573,11 +580,15 @@ def compile_loop(
 
     ctx = StageContext(loop, config, options)
     unroll = _run_stage(
-        UnrollStage, ctx, cache, timings, lambda: UnrollStage.compute(ctx)
+        UnrollStage, ctx, cache, timings, lambda: UnrollStage.compute(ctx, cache)
     )
     factors = list(unroll["factors"])
     profile_payload = _run_stage(
-        ProfileStage, ctx, cache, timings, lambda: ProfileStage.compute(ctx, unroll)
+        ProfileStage,
+        ctx,
+        cache,
+        timings,
+        lambda: ProfileStage.compute(ctx, unroll, cache),
     )
     profiles = ProfileStage.rehydrate(ctx, profile_payload)
     latency_payload = _run_stage(

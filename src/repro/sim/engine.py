@@ -15,21 +15,26 @@ which is the decomposition the paper plots.  Long loops are simulated for a
 bounded number of iterations and the stall/access statistics are scaled to
 the full trip count (the schedule repeats every iteration, so the sampled
 prefix is representative).
+
+The inner loop is trace-compiled: addresses come from the loop's
+precomputed :class:`~repro.profiling.trace.LoopTrace` arrays (shareable
+across every scheduling-option point of a sweep grid through the stage
+artifact cache), and the software-pipelined global event order is produced
+by a per-II periodic template (:func:`event_template`) instead of building
+and sorting a ``simulated x ops`` event list per run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.ir.ddg import DependenceKind
-from repro.ir.loop import Loop
 from repro.machine.config import MachineConfig
 from repro.memory.classify import AccessCounters, AccessType, StallCounters
 from repro.memory.coherent import make_cache_model
 from repro.memory.hierarchy import DataCacheModel
-from repro.memory.layout import DataLayout
-from repro.profiling.address import AddressStream
+from repro.profiling.trace import loop_trace
 from repro.scheduler.pipeline import CompiledLoop
 from repro.sim.stats import (
     BenchmarkSimulationResult,
@@ -53,19 +58,55 @@ class SimulationOptions:
         return {"dataset": self.dataset, "iteration_cap": self.iteration_cap}
 
 
+def event_template(
+    start_cycles: Sequence[int], ii: int
+) -> tuple[list[tuple[int, int, int]], int]:
+    """Periodic event-order template of a software-pipelined loop.
+
+    Operation ``j`` issuing at schedule cycle ``s_j`` executes its instance
+    of iteration ``i`` at global cycle ``i * ii + s_j``.  Writing
+    ``s_j = k_j * ii + p_j`` with ``p_j = s_j % ii``, the instance fires at
+    cycle ``m * ii + p_j`` where ``m = i + k_j`` -- so the global
+    ``(cycle, j)`` order is periodic in ``m``: within one ``m``, events run
+    phases ``p`` ascending, ties broken by ``j`` ascending (two instances of
+    one ``j`` can never share a cycle).  Returns the flattened template --
+    ``(p_j, k_j, j)`` sorted by ``(p_j, j)`` -- plus ``max(k_j)``; a driver
+    emits exactly ``sorted((i * ii + s_j, j, i))`` by sweeping ``m`` from 0
+    to ``simulated - 1 + max_k`` and skipping instances whose iteration
+    ``m - k_j`` falls outside ``[0, simulated)``.
+    """
+    entries = sorted(
+        ((start % ii, start // ii, index) for index, start in enumerate(start_cycles)),
+        key=lambda entry: (entry[0], entry[2]),
+    )
+    max_k = max((k for _, k, _ in entries), default=0)
+    return entries, max_k
+
+
 class LoopSimulator:
-    """Simulates one compiled loop against a memory-system model."""
+    """Simulates one compiled loop against a memory-system model.
+
+    :meth:`run` owns the cache model's access counters: it resets them on
+    entry and detaches them into the returned result (scaled to the full
+    trip count), leaving ``cache.counters`` freshly zeroed afterwards.
+    Production paths build one cold model per loop (see
+    :func:`simulate_compiled_loops`), so this is only observable to
+    callers sharing a model across runs -- accumulate from the returned
+    results instead of the model in that case.
+    """
 
     def __init__(
         self,
         compiled: CompiledLoop,
         cache: DataCacheModel,
         options: Optional[SimulationOptions] = None,
+        trace_cache=None,
     ) -> None:
         self._compiled = compiled
         self._cache = cache
         self._options = options or SimulationOptions()
         self._config = cache.config
+        self._trace_cache = trace_cache
 
     def run(self) -> LoopSimulationResult:
         """Execute the loop and return its statistics."""
@@ -74,24 +115,32 @@ class LoopSimulator:
         loop = compiled.loop
         options = self._options
 
-        layout = DataLayout(
-            self._config,
-            aligned=compiled.options.variable_alignment,
-            dataset=options.dataset,
-        )
-        stream = AddressStream(loop, layout, options.dataset)
-
         self._cache.begin_loop()
 
         iterations = loop.trip_count
         simulated = min(iterations, options.iteration_cap)
         scale = iterations / simulated if simulated else 0.0
 
+        trace = loop_trace(
+            loop,
+            self._config,
+            dataset=options.dataset,
+            aligned=compiled.options.variable_alignment,
+            iterations=simulated,
+            cache=self._trace_cache,
+        )
+        trace_index = {op: j for j, op in enumerate(loop.memory_operations)}
+
         records = self._make_records(compiled)
         covers = self._consumer_covers(compiled)
-        accesses = AccessCounters()
         stalls = StallCounters()
         accumulated_stall = 0
+
+        # The cache model's own wrapper records every access it serves, and
+        # this run is the only issuer, so its counters *are* the loop's
+        # access counters: reset them here and adopt (detach) them at the
+        # end instead of double-counting every access in the event loop.
+        self._cache.reset_statistics()
 
         memory_entries = sorted(
             (schedule.entries[op] for op in loop.memory_operations),
@@ -99,17 +148,24 @@ class LoopSimulator:
         )
 
         # Everything that is constant across the dynamic instances of one
-        # static operation is resolved once up front, so the event loop does
-        # no dict lookups or property calls per access.
+        # static operation is resolved once up front -- including the op's
+        # flat trace address array -- so the event loop does no dict
+        # lookups, property calls or address computation per access.
+        ii = schedule.ii
+        template, max_k = event_template(
+            [entry.start_cycle for entry in memory_entries], ii
+        )
         per_op = []
-        for entry in memory_entries:
+        for phase, wrap, index in template:
+            entry = memory_entries[index]
             op = entry.operation
             memory = op.memory
             per_op.append(
                 (
-                    entry.start_cycle,
+                    phase,
+                    wrap,
+                    trace.addresses[trace_index[op]],
                     entry.cluster,
-                    op,
                     memory.granularity,
                     memory.is_store,
                     memory.attractable,
@@ -118,55 +174,56 @@ class LoopSimulator:
                 )
             )
 
-        # Software pipelining overlaps iterations: operation instances are
-        # executed in global cycle order, not iteration by iteration, which
-        # matters for port/bus contention and request combining.
-        ii = schedule.ii
-        events = [
-            (iteration * ii + info[0], index, iteration)
-            for iteration in range(simulated)
-            for index, info in enumerate(per_op)
-        ]
-        events.sort()
-
         cache_access = self._cache.access
-        stream_address = stream.address
         local_hit = AccessType.LOCAL_HIT
         record_stall = stalls.record
-        record_access = accesses.record
 
-        for nominal_cycle, index, iteration in events:
-            (
-                _,
+        # Software pipelining overlaps iterations: operation instances are
+        # executed in global cycle order, not iteration by iteration, which
+        # matters for port/bus contention and request combining.  The
+        # periodic template reproduces that order without materialising and
+        # sorting a ``simulated x ops`` event list: sweep ``m``, and within
+        # each ``m`` walk the template; iteration ``m - wrap`` is out of
+        # range only during pipeline fill and drain.
+        last_m = simulated + max_k if per_op and simulated else 0
+        for m in range(last_m):
+            base_cycle = m * ii
+            for (
+                phase,
+                wrap,
+                addresses,
                 cluster,
-                op,
                 granularity,
                 is_store,
                 attractable,
                 cover,
                 record_op,
-            ) = per_op[index]
-            result = cache_access(
-                cluster=cluster,
-                address=stream_address(op, iteration),
-                size=granularity,
-                is_store=is_store,
-                cycle=nominal_cycle + accumulated_stall,
-                attractable=attractable,
-            )
-            record_access(result)
-            stall = 0
-            if not is_store and result.latency > cover:
-                stall = result.latency - cover
-                accumulated_stall += stall
-                if result.classification is not local_hit:
-                    record_stall(result.classification, stall)
-            record_op(result.classification, result.home_cluster, stall)
+            ) in per_op:
+                iteration = m - wrap
+                if iteration < 0 or iteration >= simulated:
+                    continue
+                result = cache_access(
+                    cluster,
+                    addresses[iteration],
+                    granularity,
+                    is_store,
+                    base_cycle + phase + accumulated_stall,
+                    attractable,
+                )
+                stall = 0
+                if not is_store and result.latency > cover:
+                    stall = result.latency - cover
+                    accumulated_stall += stall
+                    if result.classification is not local_hit:
+                        record_stall(result.classification, stall)
+                record_op(result.classification, result.home_cluster, stall)
 
         compute_cycles = schedule.compute_cycles(iterations)
         stall_cycles = int(round(accumulated_stall * scale))
-        self._scale_counters(accesses, scale)
-        self._scale_stalls(stalls, scale)
+        accesses = self._cache.counters
+        self._cache.reset_statistics()
+        accesses.scale(scale)
+        stalls.scale(scale)
 
         return LoopSimulationResult(
             loop_name=compiled.original.name,
@@ -237,35 +294,18 @@ class LoopSimulator:
                 covers[op] = max(entry.assigned_latency, slack)
         return covers
 
-    @staticmethod
-    def _scale_counters(counters: AccessCounters, scale: float) -> None:
-        counters.local_hits = int(round(counters.local_hits * scale))
-        counters.remote_hits = int(round(counters.remote_hits * scale))
-        counters.local_misses = int(round(counters.local_misses * scale))
-        counters.remote_misses = int(round(counters.remote_misses * scale))
-        counters.combined = int(round(counters.combined * scale))
-        counters.attraction_buffer_hits = int(
-            round(counters.attraction_buffer_hits * scale)
-        )
-
-    @staticmethod
-    def _scale_stalls(stalls: StallCounters, scale: float) -> None:
-        stalls.remote_hit = int(round(stalls.remote_hit * scale))
-        stalls.local_miss = int(round(stalls.local_miss * scale))
-        stalls.remote_miss = int(round(stalls.remote_miss * scale))
-        stalls.combined = int(round(stalls.combined * scale))
-
 
 def simulate_compiled_loop(
     compiled: CompiledLoop,
     config: Optional[MachineConfig] = None,
     cache: Optional[DataCacheModel] = None,
     options: Optional[SimulationOptions] = None,
+    trace_cache=None,
 ) -> LoopSimulationResult:
     """Simulate one compiled loop on a fresh (or provided) cache model."""
     if cache is None:
         cache = make_cache_model(config or compiled.schedule.config)
-    return LoopSimulator(compiled, cache, options).run()
+    return LoopSimulator(compiled, cache, options, trace_cache=trace_cache).run()
 
 
 def simulate_compiled_loops(
@@ -274,6 +314,7 @@ def simulate_compiled_loops(
     config: Optional[MachineConfig] = None,
     options: Optional[SimulationOptions] = None,
     architecture: Optional[str] = None,
+    trace_cache=None,
 ) -> BenchmarkSimulationResult:
     """Simulate a benchmark's loops, each on its own cache model.
 
@@ -291,7 +332,9 @@ def simulate_compiled_loops(
         raise ValueError("a benchmark needs at least one compiled loop")
     machine = config or compiled_loops[0].schedule.config
     results = [
-        LoopSimulator(compiled, make_cache_model(machine), options).run()
+        LoopSimulator(
+            compiled, make_cache_model(machine), options, trace_cache=trace_cache
+        ).run()
         for compiled in compiled_loops
     ]
     heuristics = {compiled.options.heuristic.value for compiled in compiled_loops}

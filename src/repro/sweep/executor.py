@@ -6,11 +6,15 @@ pipeline (:mod:`repro.scheduler.pipeline`) backed by a per-process
 :class:`~repro.sweep.artifacts.ArtifactCache`: each stage output is keyed
 by exactly the input slice it depends on, so jobs that differ only in
 downstream knobs (scheduling heuristic, Attraction Buffers, simulation
-options) reuse the upstream stages instead of recompiling.  When a result
-store is configured the cache is disk-backed (``<store>/artifacts``),
-which shares the stage artifacts *across* workers, across benchmark- and
-loop-granularity jobs, and across interrupted and resumed runs; per-stage
-hit/miss counters surface in the run summary.
+options) reuse the upstream stages instead of recompiling.  The same
+cache serves the ``trace`` stage -- the precomputed address traces of
+:mod:`repro.profiling.trace` that both the profiler and the simulator
+replay -- so a loop's profile- and execution-data-set traces are
+materialised once for the whole grid.  When a result store is configured
+the cache is disk-backed (``<store>/artifacts``), which shares the stage
+artifacts *across* workers, across benchmark- and loop-granularity jobs,
+and across interrupted and resumed runs; per-stage hit/miss counters
+surface in the run summary.
 
 Results flow back to the parent as ``(record, BenchmarkSimulationResult)``
 pairs and are written to the :class:`~repro.sweep.store.ResultStore`; jobs
@@ -165,6 +169,7 @@ def execute_job(job: SweepJob) -> tuple[dict, BenchmarkSimulationResult]:
         job.config,
         job.simulation,
         architecture=job.architecture,
+        trace_cache=cache,
     )
     return make_record(job, result, time.perf_counter() - started), result
 
@@ -271,7 +276,7 @@ class SweepRunSummary:
         """One-line per-stage ``hits/requests`` rendering for the CLI."""
         stages = sorted(set(self.stage_hits) | set(self.stage_misses))
         parts = []
-        for stage in ("unroll", "profile", "latency", "schedule"):
+        for stage in ("unroll", "profile", "latency", "schedule", "trace"):
             if stage in stages:
                 stages.remove(stage)
                 hits = self.stage_hits.get(stage, 0)

@@ -1,0 +1,364 @@
+"""The trace-compiled hot path: LoopTrace vs AddressStream equivalence,
+content-addressed trace keys, artifact persistence, the simulator's periodic
+event-order template, and the counter-scaling satellites."""
+
+import pytest
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.loop import StorageClass
+from repro.ir.unroll import unroll_loop
+from repro.machine.config import MachineConfig
+from repro.memory.classify import AccessCounters, StallCounters
+from repro.memory.layout import DataLayout
+from repro.profiling.address import AddressStream
+from repro.profiling.profiler import profile_loop
+from repro.profiling.trace import (
+    TRACE_STAGE,
+    LoopTrace,
+    build_trace,
+    loop_trace,
+    reset_trace_state,
+    trace_key,
+    trace_stats,
+)
+from repro.scheduler.pipeline import CompilerOptions, compile_loop
+from repro.sim.engine import (
+    SimulationOptions,
+    event_template,
+    simulate_compiled_loops,
+)
+from repro.sweep.artifacts import ArtifactCache, ArtifactStore
+from repro.workloads.mediabench import BENCHMARK_NAMES, mediabench_suite
+
+
+def reference_addresses(loop, config, dataset, aligned, iterations):
+    """Element-wise oracle: the original AddressStream, op by op."""
+    layout = DataLayout(config, aligned=aligned, dataset=dataset)
+    stream = AddressStream(loop, layout, dataset)
+    return [
+        [stream.address(op, i) for i in range(iterations)]
+        for op in loop.memory_operations
+    ], stream
+
+
+def wrapping_loop():
+    """Edge cases in one loop: tiny wrapping array, zero and negative
+    strides, an indirect access whose range comes from the index array."""
+    builder = LoopBuilder("wrap", trip_count=300)
+    builder.array("tiny", element_bytes=4, num_elements=8, storage=StorageClass.STACK)
+    builder.array("idx", element_bytes=2, num_elements=64, index_range=48)
+    builder.array("table", element_bytes=8, num_elements=256, storage=StorageClass.HEAP)
+    a = builder.load("wrap_fwd", "tiny", stride=4)
+    b = builder.load("wrap_back", "tiny", stride=-12, offset=20)
+    c = builder.load("wrap_const", "tiny", stride=0, offset=4)
+    i = builder.load("wrap_ldi", "idx", stride=2)
+    t = builder.load(
+        "wrap_ldt", "table", indirect=True, index_array="idx", inputs=[i]
+    )
+    out = builder.compute("wrap_sum", "add", inputs=[a, b, c, t])
+    builder.store("wrap_st", "tiny", stride=4, inputs=[out])
+    return builder.build()
+
+
+class TestTraceEquivalence:
+    """LoopTrace must match AddressStream address for address."""
+
+    @pytest.mark.parametrize("benchmark_name", BENCHMARK_NAMES)
+    def test_every_workload_loop_both_datasets(self, benchmark_name):
+        suite = mediabench_suite()
+        config = MachineConfig.word_interleaved()
+        for loop in suite[benchmark_name].loops:
+            for dataset in ("profile", "execution"):
+                for aligned in (True, False):
+                    n = min(loop.trip_count, 48)
+                    expected, stream = reference_addresses(
+                        loop, config, dataset, aligned, n
+                    )
+                    trace = build_trace(loop, config, dataset, aligned, n)
+                    assert [list(a) for a in trace.addresses] == expected
+                    homes = trace.home_clusters()
+                    for j, op in enumerate(loop.memory_operations):
+                        assert list(homes[j]) == [
+                            stream.home_cluster(op, i) for i in range(n)
+                        ]
+
+    def test_unrolled_variants_and_other_organizations(self):
+        suite = mediabench_suite()
+        loops = suite["jpegdec"].loops + suite["gsmdec"].loops
+        for config in (MachineConfig.unified(latency=2), MachineConfig.multivliw()):
+            for loop in loops:
+                variant = unroll_loop(loop, 4)
+                n = min(variant.trip_count, 32)
+                expected, _ = reference_addresses(
+                    variant, config, "execution", True, n
+                )
+                trace = build_trace(variant, config, "execution", True, n)
+                assert [list(a) for a in trace.addresses] == expected
+
+    def test_wrapping_strides_and_index_range_fallback(self):
+        loop = wrapping_loop()
+        config = MachineConfig.word_interleaved()
+        for dataset in ("profile", "execution"):
+            for aligned in (True, False):
+                expected, _ = reference_addresses(loop, config, dataset, aligned, 300)
+                trace = build_trace(loop, config, dataset, aligned, 300)
+                assert [list(a) for a in trace.addresses] == expected
+
+    def test_granularities_match_operations(self):
+        loop = wrapping_loop()
+        trace = build_trace(
+            loop, MachineConfig.word_interleaved(), "profile", True, 4
+        )
+        assert trace.granularities == tuple(
+            op.memory.granularity for op in loop.memory_operations
+        )
+
+
+class TestTraceKey:
+    def setup_method(self):
+        self.loop = mediabench_suite()["gsmdec"].loops[0]
+        self.config = MachineConfig.word_interleaved()
+
+    def key(self, **overrides):
+        args = {
+            "loop": self.loop,
+            "config": self.config,
+            "dataset": "profile",
+            "aligned": True,
+            "iterations": 128,
+        }
+        args.update(overrides)
+        return trace_key(**args)
+
+    def test_scheduling_knobs_do_not_change_the_key(self):
+        """Cache geometry, latencies and ABs are outside the trace slice."""
+        from dataclasses import replace
+
+        from repro.machine.config import CacheGeometry
+
+        base = self.key()
+        assert base == self.key(
+            config=MachineConfig.word_interleaved(attraction_buffers=True)
+        )
+        bigger_cache = replace(
+            self.config, cache=CacheGeometry(size_bytes=32 * 1024)
+        )
+        assert base == self.key(config=bigger_cache)
+
+    def test_layout_slice_changes_the_key(self):
+        base = self.key()
+        assert base != self.key(config=self.config.with_clusters(2))
+        assert base != self.key(config=self.config.with_interleaving(8))
+        assert base != self.key(dataset="execution")
+        assert base != self.key(aligned=False)
+        assert base != self.key(iterations=64)
+
+    def test_address_irrelevant_loop_fields_share_the_key(self):
+        """attractable hints and trip counts cannot change an address."""
+        base = self.key()
+        tweaked = self.loop.with_trip_count(self.loop.trip_count * 2)
+        assert base == self.key(loop=tweaked)
+
+    def test_address_relevant_loop_fields_change_the_key(self):
+        base = self.key()
+        variant = unroll_loop(self.loop, 2)  # strides and offsets change
+        assert base != self.key(loop=variant)
+
+
+class TestTraceCaching:
+    def test_memo_serves_repeated_builds(self):
+        reset_trace_state()
+        loop = mediabench_suite()["g721dec"].loops[0]
+        config = MachineConfig.word_interleaved()
+        first = loop_trace(loop, config, "profile", True, 64)
+        second = loop_trace(loop, config, "profile", True, 64)
+        assert second is first
+        stats = trace_stats()
+        assert stats["built"] == 1
+        assert stats["memo_hits"] == 1
+        reset_trace_state()
+
+    def test_payload_round_trip(self):
+        loop = wrapping_loop()
+        config = MachineConfig.word_interleaved()
+        trace = build_trace(loop, config, "execution", False, 96)
+        clone = LoopTrace.from_payload(
+            trace.to_payload(), config, "execution", False
+        )
+        assert [list(a) for a in clone.addresses] == [
+            list(a) for a in trace.addresses
+        ]
+        assert clone.granularities == trace.granularities
+        assert [list(h) for h in clone.home_clusters()] == [
+            list(h) for h in trace.home_clusters()
+        ]
+
+    def test_artifact_store_round_trip_and_counters(self, tmp_path):
+        loop = mediabench_suite()["rasta"].loops[0]
+        config = MachineConfig.word_interleaved()
+        cache = ArtifactCache(ArtifactStore(tmp_path))
+        built = loop_trace(loop, config, "execution", True, 128, cache=cache)
+        assert cache.misses == {TRACE_STAGE: 1}
+        # A fresh cache over the same store must serve the trace from disk.
+        rehydrated = loop_trace(
+            loop,
+            config,
+            "execution",
+            True,
+            128,
+            cache=ArtifactCache(ArtifactStore(tmp_path)),
+        )
+        assert [list(a) for a in rehydrated.addresses] == [
+            list(a) for a in built.addresses
+        ]
+        hits_cache = ArtifactCache(ArtifactStore(tmp_path))
+        loop_trace(loop, config, "execution", True, 128, cache=hits_cache)
+        assert hits_cache.hits == {TRACE_STAGE: 1}
+
+    def test_profile_loop_with_cache_is_identical(self, tmp_path):
+        loop = mediabench_suite()["jpegenc"].loops[0]
+        config = MachineConfig.word_interleaved()
+        cache = ArtifactCache(ArtifactStore(tmp_path))
+        without = profile_loop(loop, config)
+        cold = profile_loop(loop, config, cache=cache)
+        warm = profile_loop(loop, config, cache=cache)
+        for op in loop.memory_operations:
+            assert cold.operations[op].hits == without.operations[op].hits
+            assert warm.operations[op].cluster_counts == without.operations[
+                op
+            ].cluster_counts
+        assert cache.hits.get(TRACE_STAGE) == 1
+
+    def test_simulation_reuses_execution_traces_across_scheduling_points(
+        self, tmp_path
+    ):
+        """The cross-grid reuse the tentpole is about: two compiles that
+        differ only in a simulation-time knob (Attraction Buffers) replay
+        the same execution trace -- the second simulate has zero misses."""
+        benchmark = mediabench_suite()["g721enc"]
+        plain = MachineConfig.word_interleaved()
+        with_ab = MachineConfig.word_interleaved(attraction_buffers=True)
+        options = CompilerOptions()
+        sim = SimulationOptions(iteration_cap=128)
+
+        cache = ArtifactCache(ArtifactStore(tmp_path))
+        compiled = [
+            compile_loop(loop, plain, options, cache=cache)
+            for loop in benchmark.loops
+        ]
+        baseline = simulate_compiled_loops(
+            compiled, benchmark.name, plain, sim, trace_cache=cache
+        )
+        cache.take_stats()
+
+        compiled_ab = [
+            compile_loop(loop, with_ab, options, cache=cache)
+            for loop in benchmark.loops
+        ]
+        simulate_compiled_loops(
+            compiled_ab, benchmark.name, with_ab, sim, trace_cache=cache
+        )
+        stats = cache.take_stats()
+        assert stats["misses"].get(TRACE_STAGE) is None
+        assert stats["hits"][TRACE_STAGE] == len(benchmark.loops)
+
+        # And the trace-served simulation matches a cache-less one exactly.
+        uncached = simulate_compiled_loops(compiled, benchmark.name, plain, sim)
+        assert uncached.describe() == baseline.describe()
+
+
+class TestEventTemplate:
+    """The periodic template must reproduce the sorted event list exactly."""
+
+    @staticmethod
+    def emit(start_cycles, ii, simulated):
+        template, max_k = event_template(start_cycles, ii)
+        events = []
+        for m in range(simulated + max_k if simulated and template else 0):
+            for phase, wrap, index in template:
+                iteration = m - wrap
+                if 0 <= iteration < simulated:
+                    events.append((m * ii + phase, index, iteration))
+        return events
+
+    @staticmethod
+    def reference(start_cycles, ii, simulated):
+        return sorted(
+            (iteration * ii + start, index, iteration)
+            for iteration in range(simulated)
+            for index, start in enumerate(start_cycles)
+        )
+
+    @pytest.mark.parametrize(
+        "start_cycles,ii",
+        [
+            ([0], 1),
+            ([0, 0, 3, 5], 2),  # ties within a cycle
+            ([4, 1, 9, 9, 2], 3),  # start cycles beyond one II
+            ([7, 13, 2], 5),
+            ([11, 3, 8, 0, 6, 6], 4),
+            ([5, 17], 1),  # ii=1: every op in every cycle
+        ],
+    )
+    @pytest.mark.parametrize("simulated", [0, 1, 2, 7, 32])
+    def test_matches_sorted_event_list(self, start_cycles, ii, simulated):
+        assert self.emit(start_cycles, ii, simulated) == self.reference(
+            start_cycles, ii, simulated
+        )
+
+    def test_ties_resolve_by_operation_index(self):
+        # Ops 0 and 2 share phase 1; at equal cycles op 0 must come first
+        # even though op 2 has the smaller wrap count.
+        events = self.emit([5, 0, 1], 2, 8)
+        same_cycle = [e for e in events if e[0] == 5]
+        assert [index for _, index, _ in same_cycle] == [0, 2]
+
+
+class TestCounterScaling:
+    def test_access_counters_scale(self):
+        counters = AccessCounters(
+            local_hits=10,
+            remote_hits=5,
+            local_misses=3,
+            remote_misses=2,
+            combined=1,
+            attraction_buffer_hits=4,
+        )
+        counters.scale(2.5)
+        assert counters.local_hits == 25
+        assert counters.remote_hits == 12  # banker's rounding of 12.5
+        assert counters.local_misses == 8
+        assert counters.remote_misses == 5
+        assert counters.combined == 2
+        assert counters.attraction_buffer_hits == 10
+
+    def test_stall_counters_scale(self):
+        stalls = StallCounters(remote_hit=7, local_miss=4, remote_miss=2, combined=1)
+        stalls.scale(0.5)
+        assert stalls.remote_hit == 4  # banker's rounding of 3.5
+        assert stalls.local_miss == 2
+        assert stalls.remote_miss == 1
+        assert stalls.combined == 0
+
+    def test_scale_identity(self):
+        counters = AccessCounters(local_hits=11, remote_hits=7)
+        counters.scale(1.0)
+        assert counters.local_hits == 11 and counters.remote_hits == 7
+
+
+class TestClusterOfAccessor:
+    def test_matches_machine_interleaving(self):
+        config = MachineConfig.word_interleaved()
+        layout = DataLayout(config)
+        for address in range(0, 256, 4):
+            assert layout.cluster_of(address) == config.cluster_of_address(address)
+
+    def test_address_stream_home_cluster_uses_it(self):
+        loop = wrapping_loop()
+        config = MachineConfig.word_interleaved()
+        layout = DataLayout(config, aligned=True, dataset="profile")
+        stream = AddressStream(loop, layout, "profile")
+        op = loop.memory_operations[0]
+        assert stream.home_cluster(op, 3) == layout.cluster_of(
+            stream.address(op, 3)
+        )
