@@ -21,6 +21,11 @@ Schema 3 adds the trace-compiled hot path (see ``docs/perf.md``):
   trace misses on it, which is the cross-grid reuse this hot path exists
   for.
 
+Schema 4 adds a ``telemetry`` scenario (see ``docs/observability.md``):
+the warm kernels-mix point timed with spans enabled versus
+``REPRO_OBS=off``, recording the overhead ratio of always-on telemetry
+on the compile+simulate hot path (budget: <= 5%).
+
 Run with::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py [--repeats N] [--output FILE]
@@ -42,6 +47,7 @@ from pathlib import Path
 
 from repro.machine.config import MachineConfig
 from repro.model.predict import predict_benchmark
+from repro.obs import trace as obs_trace
 from repro.profiling.trace import reset_trace_state, trace_stats
 from repro.scheduler.pipeline import (
     PIPELINE_STAGES,
@@ -181,6 +187,50 @@ def time_grid() -> dict[str, object]:
     }
 
 
+def time_telemetry(repeats: int) -> dict[str, object]:
+    """Overhead of enabled telemetry on the warm kernels-mix point.
+
+    The warm point is the worst proportional case: every stage and trace
+    is served from the artifact store, so the span bookkeeping is as
+    large a fraction of the work as it ever gets.  Both modes are timed
+    steady-state (minimum over repeats) against the same warmed store.
+    """
+    benchmark = resolve_workload(GRID_BENCHMARK)
+    config = MachineConfig.word_interleaved()
+    # The real span cost is microseconds against a ~15ms point, so
+    # scheduler noise dominates any back-to-back comparison; interleave
+    # the two modes (drift hits both alike) and min over enough rounds.
+    rounds = max(repeats, 10)
+    samples: dict[str, list[float]] = {"enabled": [], "disabled": []}
+    previous = obs_trace.enabled()
+    with tempfile.TemporaryDirectory(prefix="perf-smoke-telemetry-") as root:
+        cache = ArtifactCache(ArtifactStore(root))
+        run_grid_point(benchmark, config, cache)  # warm store + trace memo
+        try:
+            for _ in range(rounds):
+                for label, flag in (("enabled", True), ("disabled", False)):
+                    obs_trace.set_enabled(flag)
+                    samples[label].append(
+                        run_grid_point(benchmark, config, cache)
+                    )
+        finally:
+            obs_trace.set_enabled(previous)
+            obs_trace.take_events()  # drop the benchmark's spans
+        cache.take_stats()
+    seconds = {label: min(times) for label, times in samples.items()}
+    ratio = (
+        seconds["enabled"] / seconds["disabled"]
+        if seconds["disabled"] > 0
+        else 1.0
+    )
+    return {
+        "benchmark": GRID_BENCHMARK,
+        "enabled_seconds": round(seconds["enabled"], 4),
+        "disabled_seconds": round(seconds["disabled"], 4),
+        "overhead_ratio": round(ratio, 4),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -192,7 +242,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     report: dict[str, object] = {
-        "schema": 3,
+        "schema": 4,
         "python": platform.python_version(),
         "repeats": args.repeats,
         "kernels": {},
@@ -224,6 +274,15 @@ def main(argv=None) -> int:
         f"warm={grid['warm_seconds']:.3f}s, second point trace "
         f"{grid['warm_trace_hits']}/{requests} hits, "
         f"{grid['warm_trace_misses']} misses"
+    )
+
+    telemetry = time_telemetry(args.repeats)
+    report["telemetry"] = telemetry
+    print(
+        f"telemetry {telemetry['benchmark']}: "
+        f"enabled={telemetry['enabled_seconds']:.3f}s "
+        f"disabled={telemetry['disabled_seconds']:.3f}s "
+        f"overhead={telemetry['overhead_ratio']:.3f}x"
     )
 
     output = Path(args.output)

@@ -1,0 +1,48 @@
+"""Lightweight, dependency-free observability for the repro stack.
+
+The subsystem has four layers, each usable on its own:
+
+* :mod:`repro.obs.trace` -- nested ``span(name, **attrs)`` context
+  managers on monotonic clocks, thread-safe, with a true no-op path when
+  telemetry is disabled (``REPRO_OBS=off``);
+* :mod:`repro.obs.metrics` -- a process-local registry of counters,
+  gauges and histograms whose snapshots merge exactly, so per-worker
+  telemetry combines into one run-level view without cross-process
+  queues;
+* :mod:`repro.obs.events` -- a schema-versioned JSONL event log (one
+  span per line), per-worker shard files, and the per-run manifest
+  (spec hash, machine grid, git describe, schema versions);
+* :mod:`repro.obs.export` -- Chrome trace-event/Perfetto JSON export and
+  the human ``--timings`` percentile summary.
+
+Telemetry never changes what the simulator or the compiler computes:
+every byte of benchmark output is identical with telemetry enabled and
+disabled (asserted in CI).  See ``docs/observability.md`` for the span
+and metric naming conventions and the on-disk layout.
+"""
+
+from repro.obs.trace import (
+    Span,
+    current_span_id,
+    enabled,
+    measured_span,
+    set_enabled,
+    span,
+    take_events,
+    trace_overview,
+)
+from repro.obs.metrics import MetricsRegistry, merge_snapshots, registry
+
+__all__ = [
+    "MetricsRegistry",
+    "Span",
+    "current_span_id",
+    "enabled",
+    "measured_span",
+    "merge_snapshots",
+    "registry",
+    "set_enabled",
+    "span",
+    "take_events",
+    "trace_overview",
+]

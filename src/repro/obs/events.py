@@ -1,0 +1,243 @@
+"""JSONL event log, per-worker shards, and the per-run manifest.
+
+On-disk layout under a sweep result store (``<results-dir>/obs/``)::
+
+    obs/trace.jsonl        -- the merged run trace, one event per line
+    obs/metrics.json       -- merged counter/gauge/histogram snapshot
+    obs/manifest.json      -- spec hash, machine grid, git describe,
+                              schema versions, run summary
+    obs/worker-<pid>.jsonl -- transient per-worker shards (merged and
+                              removed by finalize_run)
+
+Every JSONL line is a self-describing JSON object carrying ``schema``
+(:data:`EVENT_SCHEMA`) and ``kind`` (``"span"`` or ``"metrics"``).  Pool
+workers append to their own shard file -- one writer per file, no
+cross-process queues or locks -- and the parent merges the shards into
+``trace.jsonl`` at summary time, re-parenting each worker's top-level
+spans under the run's root span so the whole sweep renders as one tree.
+
+Unreadable lines are skipped, never fatal: a worker killed mid-write
+leaves at worst one torn trailing line, and telemetry must not take a
+run down with it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+#: Version of the JSONL event format.  Bump when the meaning of event
+#: fields changes so old shards and traces are never misread.
+EVENT_SCHEMA = 1
+
+#: Version of the manifest format.
+MANIFEST_SCHEMA = 1
+
+#: Subdirectory of a result store that holds its telemetry.
+OBS_DIRNAME = "obs"
+
+TRACE_FILENAME = "trace.jsonl"
+METRICS_FILENAME = "metrics.json"
+MANIFEST_FILENAME = "manifest.json"
+SHARD_PREFIX = "worker-"
+
+#: This process's shard file (pool workers only; None elsewhere).
+_SHARD_PATH: Optional[Path] = None
+
+
+def obs_dir(root: Union[Path, str]) -> Path:
+    """The telemetry directory under a result-store root."""
+    return Path(root) / OBS_DIRNAME
+
+
+def append_events(path: Path, events: Iterable[dict]) -> int:
+    """Append events to a JSONL file; returns how many were written.
+
+    Each line gains the ``schema`` field; the file is opened in append
+    mode, so a worker can flush after every job without rewriting.
+    """
+    lines = [
+        json.dumps({"schema": EVENT_SCHEMA, **event}, sort_keys=True)
+        for event in events
+    ]
+    if not lines:
+        return 0
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+    return len(lines)
+
+
+def read_events(path: Path) -> Iterator[dict]:
+    """Yield the events of a JSONL file, skipping unreadable lines.
+
+    Lines that fail to parse, or whose ``schema`` does not match
+    :data:`EVENT_SCHEMA`, are silently dropped -- a torn trailing line
+    from a killed worker must not poison the merged trace.
+    """
+    try:
+        handle = path.open("r", encoding="utf-8")
+    except OSError:
+        return
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(event, dict) and event.get("schema") == EVENT_SCHEMA:
+                yield event
+
+
+def configure_shard(directory: Union[Path, str, None]) -> Optional[Path]:
+    """Bind this process's event flushes to a per-pid shard file.
+
+    Called from pool-worker initializers; ``None`` unbinds.  Returns the
+    shard path so tests can assert it.
+    """
+    global _SHARD_PATH
+    if directory is None:
+        _SHARD_PATH = None
+    else:
+        _SHARD_PATH = Path(directory) / f"{SHARD_PREFIX}{os.getpid()}.jsonl"
+    return _SHARD_PATH
+
+
+def flush_shard() -> int:
+    """Drain buffered spans and metrics into this process's shard.
+
+    No-op (returns 0) when no shard is configured or telemetry is
+    disabled.  The metrics registry is snapshot-and-reset on every flush,
+    so successive snapshots in one shard merge exactly.
+    """
+    if _SHARD_PATH is None or not obs_trace.enabled():
+        return 0
+    events: list[dict] = obs_trace.take_events()
+    snapshot = obs_metrics.registry().take_snapshot()
+    if any(snapshot.get(kind) for kind in ("counters", "gauges", "histograms")):
+        events.append(
+            {"kind": "metrics", "pid": os.getpid(), "snapshot": snapshot}
+        )
+    return append_events(_SHARD_PATH, events)
+
+
+def _git_describe() -> Optional[str]:
+    """``git describe`` of the working tree, or None outside a checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip() or None
+
+
+def build_manifest(extra: Optional[dict] = None) -> dict[str, object]:
+    """The per-run manifest: provenance plus every schema version."""
+    manifest: dict[str, object] = {
+        "schema": MANIFEST_SCHEMA,
+        "event_schema": EVENT_SCHEMA,
+        "metric_schema": obs_metrics.METRIC_SCHEMA,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "argv": list(sys.argv),
+        "pid": os.getpid(),
+        "git_describe": _git_describe(),
+    }
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def finalize_run(
+    store_root: Union[Path, str],
+    run_id: Optional[str],
+    manifest_extra: Optional[dict] = None,
+) -> Path:
+    """Merge this run's telemetry into ``<store_root>/obs/``.
+
+    Drains the parent process's span buffer and metrics registry, folds
+    in every ``worker-*.jsonl`` shard (re-parenting orphan top-level
+    spans under ``run_id`` so worker job spans hang off the run root),
+    and writes ``trace.jsonl``, ``metrics.json`` and ``manifest.json``.
+    The trace is per-run: an earlier run's files are overwritten, and the
+    consumed shards are removed.  Returns the telemetry directory.
+    """
+    directory = obs_dir(store_root)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    events = obs_trace.take_events()
+    snapshots = [obs_metrics.registry().take_snapshot()]
+    for shard in sorted(directory.glob(f"{SHARD_PREFIX}*.jsonl")):
+        for event in read_events(shard):
+            if event.get("kind") == "metrics":
+                snapshots.append(event.get("snapshot") or {})
+            else:
+                events.append(event)
+        try:
+            shard.unlink()
+        except OSError:
+            pass
+
+    for event in events:
+        if (
+            event.get("kind") == "span"
+            and event.get("parent") is None
+            and event.get("id") != run_id
+        ):
+            event["parent"] = run_id
+    events.sort(key=lambda event: (event.get("ts", 0.0), str(event.get("id"))))
+
+    trace_path = directory / TRACE_FILENAME
+    trace_path.unlink(missing_ok=True)
+    append_events(trace_path, events)
+
+    merged = obs_metrics.merge_snapshots(snapshots)
+    (directory / METRICS_FILENAME).write_text(
+        json.dumps(merged, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    (directory / MANIFEST_FILENAME).write_text(
+        json.dumps(build_manifest(manifest_extra), indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+    return directory
+
+
+def load_metrics(store_root: Union[Path, str]) -> Optional[dict]:
+    """The merged metrics snapshot of the last finalized run, if any."""
+    path = obs_dir(store_root) / METRICS_FILENAME
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def load_manifest(store_root: Union[Path, str]) -> Optional[dict]:
+    """The manifest of the last finalized run, if any."""
+    path = obs_dir(store_root) / MANIFEST_FILENAME
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None

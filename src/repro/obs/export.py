@@ -1,0 +1,132 @@
+"""Exports: Chrome trace-event JSON and the human ``--timings`` summary.
+
+:func:`chrome_trace` converts a merged run trace (the span events of
+``obs/trace.jsonl``) into the Chrome trace-event format -- complete
+("X") events with microsecond timestamps -- which both ``chrome://tracing``
+and https://ui.perfetto.dev open directly.  Span nesting is conveyed the
+way those tools expect it: events sharing a ``(pid, tid)`` track nest by
+time containment, and each event's ``args`` carries the explicit
+``id``/``parent`` links for programmatic consumers.
+
+:func:`timings_summary` renders per-span-name duration percentiles as an
+aligned text table -- the backend of ``repro-sweep report --timings``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence, Union
+
+
+def chrome_trace(events: Iterable[dict]) -> dict[str, object]:
+    """Chrome trace-event document for a sequence of span events.
+
+    Non-span events (metrics lines) are skipped.  Timestamps are wall
+    clock in microseconds -- one machine's processes share a timeline;
+    durations are the spans' monotonic measurements.
+    """
+    trace_events = []
+    for event in events:
+        if event.get("kind") != "span":
+            continue
+        name = str(event.get("name", "?"))
+        args = dict(event.get("attrs") or {})
+        args["id"] = event.get("id")
+        args["parent"] = event.get("parent")
+        trace_events.append(
+            {
+                "name": name,
+                "cat": name.split(".", 1)[0],
+                "ph": "X",
+                "ts": round(float(event.get("ts", 0.0)) * 1e6, 3),
+                "dur": round(float(event.get("dur", 0.0)) * 1e6, 3),
+                "pid": event.get("pid", 0),
+                "tid": event.get("tid", 0),
+                "args": args,
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(
+    events: Iterable[dict], output: Union[Path, str]
+) -> int:
+    """Write a Chrome trace JSON file; returns the exported event count."""
+    document = chrome_trace(events)
+    path = Path(output)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(document, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(document["traceEvents"])
+
+
+def span_durations(events: Iterable[dict]) -> dict[str, list[float]]:
+    """Group span durations (seconds) by span name, names sorted."""
+    groups: dict[str, list[float]] = {}
+    for event in events:
+        if event.get("kind") != "span":
+            continue
+        groups.setdefault(str(event.get("name", "?")), []).append(
+            float(event.get("dur", 0.0))
+        )
+    return {name: groups[name] for name in sorted(groups)}
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty sequence."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def _format_seconds(value: float) -> str:
+    return f"{value * 1000:.3f}ms" if value < 1.0 else f"{value:.3f}s"
+
+
+def timings_table(
+    groups: Mapping[str, Sequence[float]], title: str
+) -> str:
+    """Aligned count/total/percentile table, one row per group name."""
+    headers = ["name", "count", "total", "mean", "p50", "p90", "p99", "max"]
+    rows: list[list[str]] = []
+    for name, values in groups.items():
+        if not values:
+            continue
+        total = sum(values)
+        rows.append(
+            [
+                name,
+                str(len(values)),
+                _format_seconds(total),
+                _format_seconds(total / len(values)),
+                _format_seconds(percentile(values, 0.50)),
+                _format_seconds(percentile(values, 0.90)),
+                _format_seconds(percentile(values, 0.99)),
+                _format_seconds(max(values)),
+            ]
+        )
+    if not rows:
+        return f"{title}\n(no samples)"
+    widths = [
+        max(len(headers[i]), max(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+
+    def render(cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+            for i, cell in enumerate(cells)
+        ).rstrip()
+
+    lines = [title, render(headers), render(["-" * width for width in widths])]
+    lines.extend(render(row) for row in rows)
+    return "\n".join(lines)
+
+
+def timings_summary(events: Iterable[dict], title: str = "span timings") -> str:
+    """Per-span-name percentile table for a merged run trace."""
+    return timings_table(span_durations(events), title)

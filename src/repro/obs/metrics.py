@@ -1,0 +1,258 @@
+"""Process-local metrics with exact merge semantics.
+
+Three instrument kinds, deliberately minimal:
+
+* :class:`Counter` -- a monotonically increasing number (cache hits,
+  bytes written, evictions);
+* :class:`Gauge` -- a last-written value with its wall-clock update time
+  (queue depth, store size);
+* :class:`Histogram` -- fixed-boundary bucket counts plus sum, count,
+  min and max (durations).
+
+A :class:`MetricsRegistry` owns named instruments and renders them into a
+plain-dict :meth:`~MetricsRegistry.snapshot`.  Snapshots are the unit of
+transport: pool workers snapshot their registry into their JSONL shard,
+and :func:`merge_snapshots` combines any number of snapshots *exactly* --
+counters and histogram buckets add, gauges keep the latest write (by
+update time, value as tie-break), min/max combine -- and is associative
+and commutative, so per-worker telemetry folds into one run-level view in
+any order.  ``tests/test_obs.py`` property-tests the associativity.
+
+Metrics are always collected (they are a handful of dict operations; the
+``REPRO_OBS`` switch gates only span recording and persistence), so
+product accounting built on them -- e.g. the artifact-cache eviction
+counters -- never changes behaviour with the telemetry setting.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterable, Optional, Sequence
+
+#: Version of the snapshot format, embedded in every snapshot.
+METRIC_SCHEMA = 1
+
+#: Default histogram boundaries (seconds): log-ish spacing from 100us to
+#: a minute, suitable for stage and job durations.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A last-written value stamped with its wall-clock update time."""
+
+    __slots__ = ("value", "updated")
+
+    def __init__(self) -> None:
+        self.value: float = 0
+        self.updated: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+        self.updated = time.time()
+
+
+class Histogram:
+    """Fixed-boundary bucket counts plus sum/count/min/max.
+
+    ``counts[i]`` counts observations ``<= buckets[i]``; the final slot
+    counts overflows.  All instances sharing one metric name must use the
+    same boundaries or their snapshots refuse to merge.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "total", "min", "max")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+
+class MetricsRegistry:
+    """Named instruments of one process (or one subsystem).
+
+    ``counter``/``gauge``/``histogram`` get-or-create by name; lookups
+    are lock-protected, but the returned instrument is then updated
+    without further locking (CPython dict/float ops are atomic enough
+    for telemetry, and instruments are plain accumulators).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter()
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge()
+            return instrument
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(buckets)
+            return instrument
+
+    def snapshot(self) -> dict[str, object]:
+        """Plain-dict rendering of every instrument (JSON-safe)."""
+        with self._lock:
+            return {
+                "schema": METRIC_SCHEMA,
+                "counters": {
+                    name: counter.value
+                    for name, counter in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: {"value": gauge.value, "updated": gauge.updated}
+                    for name, gauge in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: {
+                        "buckets": list(histogram.buckets),
+                        "counts": list(histogram.counts),
+                        "count": histogram.count,
+                        "total": histogram.total,
+                        "min": histogram.min,
+                        "max": histogram.max,
+                    }
+                    for name, histogram in sorted(self._histograms.items())
+                },
+            }
+
+    def clear(self) -> None:
+        """Drop every instrument."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def take_snapshot(self) -> dict[str, object]:
+        """Snapshot and reset, so successive snapshots merge exactly."""
+        snapshot = self.snapshot()
+        self.clear()
+        return snapshot
+
+
+def empty_snapshot() -> dict[str, object]:
+    """The identity element of :func:`merge_snapshots`."""
+    return {
+        "schema": METRIC_SCHEMA,
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }
+
+
+def _merge_histogram(into: dict, entry: dict, name: str) -> None:
+    if into["buckets"] != entry["buckets"]:
+        raise ValueError(
+            f"histogram {name!r}: cannot merge snapshots with different "
+            f"bucket boundaries"
+        )
+    into["counts"] = [a + b for a, b in zip(into["counts"], entry["counts"])]
+    into["count"] += entry["count"]
+    into["total"] += entry["total"]
+    for side, pick in (("min", min), ("max", max)):
+        values = [v for v in (into[side], entry[side]) if v is not None]
+        into[side] = pick(values) if values else None
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict[str, object]:
+    """Combine snapshots exactly; associative and commutative.
+
+    Counters and histograms add; a gauge keeps the entry with the latest
+    ``updated`` time (value as a deterministic tie-break).  Snapshots
+    whose schema does not match :data:`METRIC_SCHEMA` are rejected --
+    silently merging a stale format would corrupt every total.
+    """
+    merged = empty_snapshot()
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        if snapshot.get("schema") != METRIC_SCHEMA:
+            raise ValueError(
+                f"cannot merge metrics snapshot with schema "
+                f"{snapshot.get('schema')!r} (expected {METRIC_SCHEMA})"
+            )
+        for name, value in snapshot.get("counters", {}).items():
+            merged["counters"][name] = merged["counters"].get(name, 0) + value
+        for name, entry in snapshot.get("gauges", {}).items():
+            current = merged["gauges"].get(name)
+            if current is None or (entry["updated"], entry["value"]) > (
+                current["updated"], current["value"]
+            ):
+                merged["gauges"][name] = dict(entry)
+        for name, entry in snapshot.get("histograms", {}).items():
+            current = merged["histograms"].get(name)
+            if current is None:
+                merged["histograms"][name] = {
+                    "buckets": list(entry["buckets"]),
+                    "counts": list(entry["counts"]),
+                    "count": entry["count"],
+                    "total": entry["total"],
+                    "min": entry["min"],
+                    "max": entry["max"],
+                }
+            else:
+                _merge_histogram(current, entry, name)
+    return merged
+
+
+#: The process-global registry most instrumentation feeds.
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """This process's shared metrics registry."""
+    return _REGISTRY

@@ -1,0 +1,230 @@
+"""Nested spans on monotonic clocks.
+
+A span measures one named region of work.  Durations always come from
+``time.perf_counter()`` (monotonic, immune to wall-clock steps); the wall
+clock is read once per span, at entry, solely so events from different
+processes can be laid out on one shared timeline.
+
+Two entry points:
+
+* :func:`span` -- the telemetry primitive.  When telemetry is disabled
+  (``REPRO_OBS=off``) it returns a shared, stateless no-op singleton:
+  no allocation, no clock reads, no lock -- a disabled span costs one
+  boolean check.  Use it everywhere a timing is *only* telemetry.
+* :func:`measured_span` -- for timings that are product data (e.g. the
+  ``elapsed_seconds`` field of a sweep record).  It always measures
+  ``elapsed`` with the same ``perf_counter`` pair the hand-rolled code
+  used, and records a trace event only when telemetry is enabled, so
+  emitted record fields stay byte-identical whichever way the switch is
+  set.
+
+Spans nest through a thread-local stack: a span opened while another is
+active records that span's id as its ``parent``.  Each thread has its own
+stack, so concurrent threads produce independent, correctly-parented
+trees.  Finished spans land in a bounded process-local buffer that
+:func:`take_events` drains -- the sweep executor flushes it into
+per-worker JSONL shards (:mod:`repro.obs.events`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from typing import Optional
+
+#: Environment variable controlling telemetry.  Unset or any other value
+#: means enabled; the values below (case-insensitive) disable it.
+ENV_VAR = "REPRO_OBS"
+_OFF_VALUES = frozenset({"off", "0", "false", "no", "disabled"})
+
+#: Upper bound on buffered finished spans.  A long-lived process that
+#: never drains the buffer (e.g. a REPL compiling loops by hand) must not
+#: grow without limit; when the cap is hit the oldest half is dropped and
+#: counted in :func:`trace_overview`.
+MAX_BUFFERED_EVENTS = 50_000
+
+_LOCK = threading.Lock()
+_EVENTS: list[dict] = []
+_DROPPED = 0
+_IDS = itertools.count(1)
+_TLS = threading.local()
+
+
+def _enabled_from_env() -> bool:
+    return os.environ.get(ENV_VAR, "").strip().lower() not in _OFF_VALUES
+
+
+_ENABLED = _enabled_from_env()
+
+
+def enabled() -> bool:
+    """Whether spans are currently being recorded."""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> bool:
+    """Switch telemetry on or off; returns the previous setting.
+
+    Overrides the ``REPRO_OBS`` environment variable for this process
+    (used by tests and the perf harness's overhead measurement).
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(flag)
+    return previous
+
+
+def refresh_from_env() -> bool:
+    """Re-read ``REPRO_OBS`` (after an env change); returns the setting."""
+    set_enabled(_enabled_from_env())
+    return _ENABLED
+
+
+def new_span_id() -> str:
+    """Process-unique span id; globally unique through the pid prefix."""
+    return f"{os.getpid()}:{next(_IDS)}"
+
+
+def _stack() -> list:
+    stack = getattr(_TLS, "stack", None)
+    if stack is None:
+        stack = []
+        _TLS.stack = stack
+    return stack
+
+
+def current_span_id() -> Optional[str]:
+    """Id of this thread's innermost open span, or None."""
+    stack = _stack()
+    return stack[-1].id if stack else None
+
+
+class Span:
+    """One named, timed region; use via ``with``.
+
+    ``elapsed`` (seconds, monotonic) is valid after exit.  When the span
+    records (telemetry enabled), ``id`` and ``parent`` identify it in the
+    event log; otherwise both stay None and nothing is buffered.
+    """
+
+    __slots__ = ("name", "attrs", "id", "parent", "started", "elapsed", "_t0")
+
+    def __init__(self, name: str, attrs: dict, record: bool) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.id: Optional[str] = new_span_id() if record else None
+        self.parent: Optional[str] = None
+        self.started = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Span":
+        if self.id is not None:
+            stack = _stack()
+            self.parent = stack[-1].id if stack else None
+            stack.append(self)
+        self.started = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.elapsed = time.perf_counter() - self._t0
+        if self.id is not None:
+            stack = _stack()
+            if stack and stack[-1] is self:
+                stack.pop()
+            if exc_type is not None:
+                self.attrs["error"] = exc_type.__name__
+            event = {
+                "kind": "span",
+                "id": self.id,
+                "parent": self.parent,
+                "name": self.name,
+                "ts": self.started,
+                "dur": self.elapsed,
+                "pid": os.getpid(),
+                "tid": threading.get_ident(),
+                "attrs": self.attrs,
+            }
+            global _DROPPED
+            with _LOCK:
+                _EVENTS.append(event)
+                if len(_EVENTS) > MAX_BUFFERED_EVENTS:
+                    drop = MAX_BUFFERED_EVENTS // 2
+                    del _EVENTS[:drop]
+                    _DROPPED += drop
+        return False
+
+    def annotate(self, **attrs: object) -> None:
+        """Attach attributes discovered after entry (e.g. a cache hit)."""
+        self.attrs.update(attrs)
+
+
+class _NoopSpan:
+    """The shared disabled-mode span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    name = ""
+    id = None
+    parent = None
+    started = 0.0
+    elapsed = 0.0
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def annotate(self, **attrs: object) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+def span(name: str, **attrs: object):
+    """A telemetry span; the shared no-op singleton when disabled."""
+    if not _ENABLED:
+        return NOOP_SPAN
+    return Span(name, attrs, True)
+
+
+def measured_span(name: str, **attrs: object) -> Span:
+    """A span whose ``elapsed`` is always measured.
+
+    Recording still follows the telemetry switch, so product code can
+    replace a hand-rolled ``perf_counter`` pair with this and keep its
+    emitted fields identical whether telemetry is on or off.
+    """
+    return Span(name, attrs, _ENABLED)
+
+
+def take_events() -> list[dict]:
+    """Drain and return this process's buffered finished-span events."""
+    global _EVENTS
+    with _LOCK:
+        events, _EVENTS = _EVENTS, []
+    return events
+
+
+def trace_overview() -> dict[str, int]:
+    """Buffer statistics (pending events, dropped-at-cap count)."""
+    with _LOCK:
+        return {"pending": len(_EVENTS), "dropped": _DROPPED}
+
+
+def reset() -> None:
+    """Clear buffered events and this thread's span stack.
+
+    Used by pool-worker initializers: a forked worker inherits the
+    parent's undrained buffer, which would otherwise be re-emitted in
+    the worker's shard and duplicated at merge time.
+    """
+    global _DROPPED
+    with _LOCK:
+        _EVENTS.clear()
+        _DROPPED = 0
+    _TLS.stack = []

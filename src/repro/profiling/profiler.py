@@ -29,6 +29,7 @@ from repro.ir.loop import Loop
 from repro.ir.operation import Operation
 from repro.machine.config import CacheOrganization, MachineConfig
 from repro.memory.cachesets import SetAssociativeStore
+from repro.obs import trace as obs
 from repro.profiling.trace import loop_trace
 
 #: Cap on profiled iterations; profiling is statistical, not exhaustive.
@@ -219,25 +220,28 @@ def profile_loop(
     # shared across operations, so accesses must be walked in the original
     # (iteration, operation) order.  ``zip(*blocks)`` transposes the per-op
     # arrays into per-iteration rows at C speed.
-    if len(stores) == 1:
-        store = stores[0]
-        lookup, insert = store.lookup, store.insert
-        for row in zip(*blocks):
-            for index, block in enumerate(row):
-                if lookup(block):
-                    hit_counts[index] += 1
-                else:
-                    insert(block)
-    else:
-        indices = range(len(memory_ops))
-        for block_row, home_row in zip(zip(*blocks), zip(*homes)):
-            for index in indices:
-                block = block_row[index]
-                store = stores[home_row[index]]
-                if store.lookup(block):
-                    hit_counts[index] += 1
-                else:
-                    store.insert(block)
+    with obs.span(
+        "profile.replay", loop=loop.name, dataset=dataset, iterations=iterations
+    ):
+        if len(stores) == 1:
+            store = stores[0]
+            lookup, insert = store.lookup, store.insert
+            for row in zip(*blocks):
+                for index, block in enumerate(row):
+                    if lookup(block):
+                        hit_counts[index] += 1
+                    else:
+                        insert(block)
+        else:
+            indices = range(len(memory_ops))
+            for block_row, home_row in zip(zip(*blocks), zip(*homes)):
+                for index in indices:
+                    block = block_row[index]
+                    store = stores[home_row[index]]
+                    if store.lookup(block):
+                        hit_counts[index] += 1
+                    else:
+                        store.insert(block)
 
     profiles: dict[Operation, OperationProfile] = {}
     for index, op in enumerate(memory_ops):

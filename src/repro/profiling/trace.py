@@ -56,6 +56,7 @@ from typing import Optional
 from repro.ir.loop import Loop
 from repro.machine.config import MachineConfig
 from repro.memory.layout import DataLayout
+from repro.obs import trace as obs
 
 #: Stage name traces are stored under in the sweep artifact store.
 TRACE_STAGE = "trace"
@@ -394,21 +395,29 @@ def loop_trace(
     LRU keeps repeated builds within a process warm.
     """
     key = trace_key(loop, config, dataset, aligned, iterations)
-    if cache is not None:
-        payload = cache.get(TRACE_STAGE, key)
-        if payload is not None:
-            return LoopTrace.from_payload(payload, config, dataset, aligned)
-        trace = build_trace(loop, config, dataset, aligned, iterations)
-        cache.put(TRACE_STAGE, key, trace.to_payload())
-        return trace
+    with obs.span(
+        f"stage.{TRACE_STAGE}", loop=loop.name, dataset=dataset,
+        iterations=iterations,
+    ) as span:
+        if cache is not None:
+            payload = cache.get(TRACE_STAGE, key)
+            if payload is not None:
+                span.annotate(cache_hit=True)
+                return LoopTrace.from_payload(payload, config, dataset, aligned)
+            span.annotate(cache_hit=False)
+            trace = build_trace(loop, config, dataset, aligned, iterations)
+            cache.put(TRACE_STAGE, key, trace.to_payload())
+            return trace
 
-    trace = _TRACE_MEMO.get(key)
-    if trace is not None:
-        _TRACE_MEMO.move_to_end(key)
-        _STATS["memo_hits"] += 1
+        trace = _TRACE_MEMO.get(key)
+        if trace is not None:
+            _TRACE_MEMO.move_to_end(key)
+            _STATS["memo_hits"] += 1
+            span.annotate(cache_hit=True)
+            return trace
+        span.annotate(cache_hit=False)
+        trace = build_trace(loop, config, dataset, aligned, iterations)
+        _TRACE_MEMO[key] = trace
+        while len(_TRACE_MEMO) > DEFAULT_MEMO_CAPACITY:
+            _TRACE_MEMO.popitem(last=False)
         return trace
-    trace = build_trace(loop, config, dataset, aligned, iterations)
-    _TRACE_MEMO[key] = trace
-    while len(_TRACE_MEMO) > DEFAULT_MEMO_CAPACITY:
-        _TRACE_MEMO.popitem(last=False)
-    return trace

@@ -36,11 +36,11 @@ from __future__ import annotations
 
 import hashlib
 import json
-import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping, Optional, Protocol
 
 from repro.ir.loop import Loop
+from repro.obs import trace as obs
 from repro.ir.unroll import unroll_loop
 from repro.machine.config import CacheOrganization, MachineConfig
 from repro.profiling.profiler import LoopProfile, profile_loop
@@ -537,20 +537,26 @@ def _run_stage(
     timings: Optional[dict[str, float]],
     compute: Callable[[], object],
 ) -> object:
-    """Serve one stage from the cache or compute (and cache) it."""
-    started = time.perf_counter()
-    if cache is not None:
-        key = stage.key(ctx)
-        payload = cache.get(stage.name, key)
-        if payload is None:
+    """Serve one stage from the cache or compute (and cache) it.
+
+    Each trip is wrapped in a ``stage.<name>`` telemetry span (see
+    ``docs/observability.md``), annotated with whether the stage was
+    served from the cache; the span's monotonic measurement also feeds
+    the caller's ``timings`` dict, replacing the old hand-rolled
+    ``perf_counter`` pair one for one.
+    """
+    with obs.measured_span(f"stage.{stage.name}", loop=ctx.loop.name) as span:
+        if cache is not None:
+            key = stage.key(ctx)
+            payload = cache.get(stage.name, key)
+            span.annotate(cache_hit=payload is not None)
+            if payload is None:
+                payload = compute()
+                cache.put(stage.name, key, payload)
+        else:
             payload = compute()
-            cache.put(stage.name, key, payload)
-    else:
-        payload = compute()
     if timings is not None:
-        timings[stage.name] = (
-            timings.get(stage.name, 0.0) + time.perf_counter() - started
-        )
+        timings[stage.name] = timings.get(stage.name, 0.0) + span.elapsed
     return payload
 
 

@@ -31,6 +31,7 @@ from typing import Optional, Sequence
 
 from repro.ir.ddg import DependenceKind
 from repro.machine.config import MachineConfig
+from repro.obs import trace as obs
 from repro.memory.classify import AccessCounters, AccessType, StallCounters
 from repro.memory.coherent import make_cache_model
 from repro.memory.hierarchy import DataCacheModel
@@ -131,52 +132,60 @@ class LoopSimulator:
         )
         trace_index = {op: j for j, op in enumerate(loop.memory_operations)}
 
-        records = self._make_records(compiled)
-        covers = self._consumer_covers(compiled)
-        stalls = StallCounters()
-        accumulated_stall = 0
+        # Phase spans (``sim.setup`` / ``sim.replay`` / ``sim.account``,
+        # see docs/observability.md) wrap the three parts of a simulation;
+        # the trace fetch above reports itself as a ``stage.trace`` span.
+        with obs.span(
+            "sim.setup", loop=compiled.original.name, iterations=simulated
+        ):
+            records = self._make_records(compiled)
+            covers = self._consumer_covers(compiled)
+            stalls = StallCounters()
+            accumulated_stall = 0
 
-        # The cache model's own wrapper records every access it serves, and
-        # this run is the only issuer, so its counters *are* the loop's
-        # access counters: reset them here and adopt (detach) them at the
-        # end instead of double-counting every access in the event loop.
-        self._cache.reset_statistics()
+            # The cache model's own wrapper records every access it serves,
+            # and this run is the only issuer, so its counters *are* the
+            # loop's access counters: reset them here and adopt (detach)
+            # them at the end instead of double-counting every access in
+            # the event loop.
+            self._cache.reset_statistics()
 
-        memory_entries = sorted(
-            (schedule.entries[op] for op in loop.memory_operations),
-            key=lambda entry: entry.start_cycle,
-        )
-
-        # Everything that is constant across the dynamic instances of one
-        # static operation is resolved once up front -- including the op's
-        # flat trace address array -- so the event loop does no dict
-        # lookups, property calls or address computation per access.
-        ii = schedule.ii
-        template, max_k = event_template(
-            [entry.start_cycle for entry in memory_entries], ii
-        )
-        per_op = []
-        for phase, wrap, index in template:
-            entry = memory_entries[index]
-            op = entry.operation
-            memory = op.memory
-            per_op.append(
-                (
-                    phase,
-                    wrap,
-                    trace.addresses[trace_index[op]],
-                    entry.cluster,
-                    memory.granularity,
-                    memory.is_store,
-                    memory.attractable,
-                    covers[op],
-                    records[op].record,
-                )
+            memory_entries = sorted(
+                (schedule.entries[op] for op in loop.memory_operations),
+                key=lambda entry: entry.start_cycle,
             )
 
-        cache_access = self._cache.access
-        local_hit = AccessType.LOCAL_HIT
-        record_stall = stalls.record
+            # Everything that is constant across the dynamic instances of
+            # one static operation is resolved once up front -- including
+            # the op's flat trace address array -- so the event loop does
+            # no dict lookups, property calls or address computation per
+            # access.
+            ii = schedule.ii
+            template, max_k = event_template(
+                [entry.start_cycle for entry in memory_entries], ii
+            )
+            per_op = []
+            for phase, wrap, index in template:
+                entry = memory_entries[index]
+                op = entry.operation
+                memory = op.memory
+                per_op.append(
+                    (
+                        phase,
+                        wrap,
+                        trace.addresses[trace_index[op]],
+                        entry.cluster,
+                        memory.granularity,
+                        memory.is_store,
+                        memory.attractable,
+                        covers[op],
+                        records[op].record,
+                    )
+                )
+
+            cache_access = self._cache.access
+            local_hit = AccessType.LOCAL_HIT
+            record_stall = stalls.record
 
         # Software pipelining overlaps iterations: operation instances are
         # executed in global cycle order, not iteration by iteration, which
@@ -186,44 +195,48 @@ class LoopSimulator:
         # each ``m`` walk the template; iteration ``m - wrap`` is out of
         # range only during pipeline fill and drain.
         last_m = simulated + max_k if per_op and simulated else 0
-        for m in range(last_m):
-            base_cycle = m * ii
-            for (
-                phase,
-                wrap,
-                addresses,
-                cluster,
-                granularity,
-                is_store,
-                attractable,
-                cover,
-                record_op,
-            ) in per_op:
-                iteration = m - wrap
-                if iteration < 0 or iteration >= simulated:
-                    continue
-                result = cache_access(
+        with obs.span(
+            "sim.replay", loop=compiled.original.name, iterations=simulated
+        ):
+            for m in range(last_m):
+                base_cycle = m * ii
+                for (
+                    phase,
+                    wrap,
+                    addresses,
                     cluster,
-                    addresses[iteration],
                     granularity,
                     is_store,
-                    base_cycle + phase + accumulated_stall,
                     attractable,
-                )
-                stall = 0
-                if not is_store and result.latency > cover:
-                    stall = result.latency - cover
-                    accumulated_stall += stall
-                    if result.classification is not local_hit:
-                        record_stall(result.classification, stall)
-                record_op(result.classification, result.home_cluster, stall)
+                    cover,
+                    record_op,
+                ) in per_op:
+                    iteration = m - wrap
+                    if iteration < 0 or iteration >= simulated:
+                        continue
+                    result = cache_access(
+                        cluster,
+                        addresses[iteration],
+                        granularity,
+                        is_store,
+                        base_cycle + phase + accumulated_stall,
+                        attractable,
+                    )
+                    stall = 0
+                    if not is_store and result.latency > cover:
+                        stall = result.latency - cover
+                        accumulated_stall += stall
+                        if result.classification is not local_hit:
+                            record_stall(result.classification, stall)
+                    record_op(result.classification, result.home_cluster, stall)
 
-        compute_cycles = schedule.compute_cycles(iterations)
-        stall_cycles = int(round(accumulated_stall * scale))
-        accesses = self._cache.counters
-        self._cache.reset_statistics()
-        accesses.scale(scale)
-        stalls.scale(scale)
+        with obs.span("sim.account", loop=compiled.original.name):
+            compute_cycles = schedule.compute_cycles(iterations)
+            stall_cycles = int(round(accumulated_stall * scale))
+            accesses = self._cache.counters
+            self._cache.reset_statistics()
+            accesses.scale(scale)
+            stalls.scale(scale)
 
         return LoopSimulationResult(
             loop_name=compiled.original.name,

@@ -41,6 +41,8 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Optional
 
+from repro.obs import metrics as obs_metrics
+
 #: Version of the artifact envelope.  Bump when payload formats change so
 #: stale artifacts read as misses (and become vacuumable) instead of
 #: rehydrating into garbage.
@@ -115,6 +117,9 @@ class ArtifactStore:
         """Atomically persist one artifact payload."""
         envelope = {"schema": ARTIFACT_SCHEMA, "stage": stage, "payload": payload}
         data = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+        metrics = obs_metrics.registry()
+        metrics.counter("artifacts.puts").inc()
+        metrics.counter("artifacts.put_bytes").inc(len(data))
         path = self.path(stage, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         handle = tempfile.NamedTemporaryFile(
@@ -168,6 +173,7 @@ class ArtifactStore:
                     removed += 1
                 except FileNotFoundError:
                     pass
+        obs_metrics.registry().counter("artifacts.vacuum_removed").inc(removed)
         return removed
 
 
@@ -214,6 +220,12 @@ class ArtifactCache:
         payload = self.peek(stage, key)
         counter = self.hits if payload is not None else self.misses
         counter[stage] = counter.get(stage, 0) + 1
+        # Telemetry counters are a separate channel (obs/metrics.json);
+        # the hits/misses dicts above stay the single source the sweep
+        # summary's stage_hits/stage_misses are fed from.
+        obs_metrics.registry().counter(
+            "artifacts.hits" if payload is not None else "artifacts.misses"
+        ).inc()
         return payload
 
     def put(self, stage: str, key: str, payload: object) -> None:
@@ -227,6 +239,7 @@ class ArtifactCache:
         self._memory.move_to_end(key)
         while len(self._memory) > self.capacity:
             self._memory.popitem(last=False)
+            obs_metrics.registry().counter("artifacts.evictions").inc()
 
     def take_stats(self) -> dict[str, dict[str, int]]:
         """Return and reset the per-stage hit/miss counters."""

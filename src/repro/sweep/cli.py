@@ -9,6 +9,8 @@
     python -m repro.sweep report  [--results-dir DIR] [--sort METRIC] [--benchmark NAME]
                                   [--granularity benchmark|loop|all]
                                   [--format table|json] [--source simulator|model]
+                                  [--timings]
+    python -m repro.sweep trace   RESULTS_DIR [--output FILE]
     python -m repro.sweep vacuum  [--results-dir DIR]
 
 ``run`` executes the grid (the built-in 8-point architectural grid of the
@@ -21,6 +23,12 @@ same benchmark-level records.  With ``--prune-model`` the analytical model
 (:mod:`repro.model`) ranks every benchmark's points and only the best
 ``--prune-keep`` fraction is simulated -- the rest is stored as model-only
 records.  ``vacuum`` drops payloads orphaned by crashes mid-save.
+
+Telemetry (on unless ``REPRO_OBS=off``) lands under ``<results-dir>/obs/``;
+``report --timings`` renders its per-stage/per-job percentiles, ``status``
+shows the last run's counters, and ``trace`` exports a Chrome
+trace-event JSON that chrome://tracing and ui.perfetto.dev open directly
+(see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -31,6 +39,8 @@ import sys
 from pathlib import Path
 from typing import Optional
 
+from repro.obs import events as obs_events
+from repro.obs.export import export_chrome_trace
 from repro.sweep.artifacts import ARTIFACTS_DIRNAME, ArtifactStore
 from repro.sweep.executor import (
     JobOutcome,
@@ -43,6 +53,8 @@ from repro.sweep.report import (
     render_report,
     render_report_json,
     render_status,
+    render_telemetry_status,
+    render_timings,
 )
 from repro.sweep.spec import SweepSpec, default_spec
 from repro.sweep.store import ResultStore
@@ -147,6 +159,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(done_line)
     if summary.stage_hits or summary.stage_misses:
         print(summary.stage_cache_line())
+    if summary.telemetry_dir is not None:
+        print(
+            f"telemetry: {summary.telemetry_dir} "
+            "(trace.jsonl, metrics.json, manifest.json; "
+            "see 'report --timings' and 'trace')"
+        )
     if not args.quiet:
         keys = {job.key for job in jobs}
         records = [r for r in store.records() if r.get("key") in keys]
@@ -161,6 +179,9 @@ def _cmd_status(args: argparse.Namespace) -> int:
     if args.spec is not None or args.default_spec:
         spec = _load_spec(args)
     print(render_status(store, spec, artifacts=_artifact_store(args)))
+    telemetry = render_telemetry_status(store.root)
+    if telemetry is not None:
+        print(telemetry)
     return 0
 
 
@@ -172,6 +193,9 @@ def _artifact_store(args: argparse.Namespace) -> Optional[ArtifactStore]:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     store = ResultStore(Path(args.results_dir))
+    if args.timings:
+        print(render_timings(store.root, store.records()))
+        return 0
     records = store.records()
     if args.source is not None:
         records = (
@@ -197,6 +221,29 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 granularity=args.granularity,
             )
         )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    root = Path(args.results_dir)
+    trace_path = obs_events.obs_dir(root) / obs_events.TRACE_FILENAME
+    if not trace_path.is_file():
+        print(
+            f"error: no run trace at {trace_path} "
+            "(run a sweep against this store with REPRO_OBS enabled)",
+            file=sys.stderr,
+        )
+        return 2
+    output = (
+        Path(args.output)
+        if args.output is not None
+        else obs_events.obs_dir(root) / "trace.json"
+    )
+    count = export_chrome_trace(obs_events.read_events(trace_path), output)
+    print(
+        f"exported {count} span(s) to {output} "
+        "(open in chrome://tracing or https://ui.perfetto.dev)"
+    )
     return 0
 
 
@@ -310,7 +357,29 @@ def main(argv: Optional[list[str]] = None) -> int:
         default="benchmark",
         help="which record granularity to show (default: benchmark-level)",
     )
+    report_parser.add_argument(
+        "--timings",
+        action="store_true",
+        help="show per-stage/per-job duration percentiles from the last "
+        "run's telemetry instead of the result table",
+    )
     report_parser.set_defaults(func=_cmd_report)
+
+    trace_parser = sub.add_parser(
+        "trace", help="export the last run's trace as Chrome trace-event JSON"
+    )
+    trace_parser.add_argument(
+        "results_dir",
+        metavar="RESULTS_DIR",
+        help="result store directory holding the run's obs/trace.jsonl",
+    )
+    trace_parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="output path (default: RESULTS_DIR/obs/trace.json)",
+    )
+    trace_parser.set_defaults(func=_cmd_trace)
 
     vacuum_parser = sub.add_parser(
         "vacuum", help="remove orphaned payloads from the result store"

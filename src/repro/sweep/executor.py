@@ -43,14 +43,17 @@ either granularity.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import multiprocessing
 import os
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Optional, Sequence, Union
 
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs
 from repro.scheduler.pipeline import compile_loop
 from repro.sim.engine import simulate_compiled_loops
 from repro.sim.stats import BenchmarkSimulationResult, merge_benchmark_results
@@ -94,9 +97,20 @@ def configure_artifacts(root: Union[Path, str, None]) -> ArtifactCache:
 
 
 def make_record(
-    job: SweepJob, result: BenchmarkSimulationResult, elapsed_seconds: float
+    job: SweepJob,
+    result: BenchmarkSimulationResult,
+    elapsed_seconds: float,
+    source_timing: str = "measured",
 ) -> dict:
-    """Assemble the queryable JSON record of one executed job."""
+    """Assemble the queryable JSON record of one executed job.
+
+    ``source_timing`` marks what ``elapsed_seconds`` measured:
+    ``"measured"`` for a fresh compile+simulate, ``"replayed"`` for a
+    loop-granularity aggregate whose parts were (at least partly) served
+    from stored loop results -- their summed timings describe the original
+    runs, not this one.  Report percentiles filter on this marker so
+    cache-replay timings never dilute fresh-simulation timings.
+    """
     metrics = result.describe()
     metrics["ipc"] = round(result.ipc(), 4)
     return {
@@ -106,6 +120,7 @@ def make_record(
         "metrics": metrics,
         "source": "simulator",
         "elapsed_seconds": round(elapsed_seconds, 4),
+        "source_timing": source_timing,
         "worker_pid": os.getpid(),
     }
 
@@ -130,6 +145,7 @@ def make_model_record(
         "source": "model",
         "calibrated": calibrated,
         "elapsed_seconds": round(elapsed_seconds, 4),
+        "source_timing": "model",
         "worker_pid": os.getpid(),
     }
 
@@ -153,31 +169,64 @@ def execute_job(job: SweepJob) -> tuple[dict, BenchmarkSimulationResult]:
     fed into this process's :func:`artifact_cache`, so repeated jobs
     sharing upstream stages recompile nothing.
     """
-    started = time.perf_counter()
-    benchmark = resolve_workload(job.benchmark)
-    if job.loop is None:
-        loops = benchmark.loops
-    else:
-        loops = [resolve_loop(job.benchmark, job.loop)]
-    cache = artifact_cache()
-    compiled = [
-        compile_loop(loop, job.config, job.options, cache=cache) for loop in loops
-    ]
-    result = simulate_compiled_loops(
-        compiled,
-        benchmark.name,
-        job.config,
-        job.simulation,
+    # The span's elapsed *is* the record's ``elapsed_seconds``
+    # (measured_span keeps it identical to the old hand-rolled
+    # ``perf_counter`` pair whether telemetry records or not).
+    with obs.measured_span(
+        "sweep.job",
+        benchmark=job.benchmark,
+        loop=job.loop,
         architecture=job.architecture,
-        trace_cache=cache,
-    )
-    return make_record(job, result, time.perf_counter() - started), result
+        key=job.key[:12],
+    ) as job_span:
+        benchmark = resolve_workload(job.benchmark)
+        if job.loop is None:
+            loops = benchmark.loops
+        else:
+            loops = [resolve_loop(job.benchmark, job.loop)]
+        cache = artifact_cache()
+        compiled = [
+            compile_loop(loop, job.config, job.options, cache=cache)
+            for loop in loops
+        ]
+        result = simulate_compiled_loops(
+            compiled,
+            benchmark.name,
+            job.config,
+            job.simulation,
+            architecture=job.architecture,
+            trace_cache=cache,
+        )
+    return make_record(job, result, job_span.elapsed), result
+
+
+def _init_worker(
+    artifacts_root: Optional[str],
+    shard_dir: Optional[str],
+    obs_enabled: bool,
+) -> None:
+    """Pool-worker initializer: artifact cache plus telemetry binding.
+
+    The telemetry state is reset explicitly because a *forked* worker
+    inherits the parent's undrained span buffer and live metric counters
+    (which would be duplicated at merge time), while a *spawned* worker
+    re-reads ``REPRO_OBS`` but misses any ``set_enabled`` override -- so
+    the effective switch travels as an initarg.
+    """
+    configure_artifacts(artifacts_root)
+    obs.reset()
+    obs.set_enabled(obs_enabled)
+    obs_metrics.registry().clear()
+    obs_events.configure_shard(shard_dir)
 
 
 def _pool_execute(
     job: SweepJob,
 ) -> tuple[str, dict, BenchmarkSimulationResult, dict]:
     record, result = execute_job(job)
+    # One append per job: the shard stays current even if the worker is
+    # later killed, and the parent never needs a cross-process queue.
+    obs_events.flush_shard()
     return job.key, record, result, artifact_cache().take_stats()
 
 
@@ -251,6 +300,9 @@ class SweepRunSummary:
     peak_parallelism: int = 0
     stage_hits: dict[str, int] = field(default_factory=dict)
     stage_misses: dict[str, int] = field(default_factory=dict)
+    #: Where this run's merged telemetry was written (``<store>/obs``), or
+    #: None for storeless or ``REPRO_OBS=off`` runs.
+    telemetry_dir: Optional[Path] = None
 
     def describe(self) -> dict[str, object]:
         """Flat summary for logs and the CLI."""
@@ -369,9 +421,13 @@ def _prune_pending(
         for job in group:
             if job.key not in pending_keys:
                 continue
-            started = time.perf_counter()
-            predicted = predict_job_with_calibration(job, prune, artifacts)
-            predictions[job.key] = (predicted, time.perf_counter() - started)
+            with obs.measured_span(
+                "model.predict",
+                benchmark=job.benchmark,
+                architecture=job.architecture,
+            ) as predict_span:
+                predicted = predict_job_with_calibration(job, prune, artifacts)
+            predictions[job.key] = (predicted, predict_span.elapsed)
             metrics = predicted.describe()
             score = metrics.get(prune.metric, predicted.total_cycles)
             scored.append((score, job.key))
@@ -443,130 +499,179 @@ def run_jobs(
         raise ValueError(
             f"unknown granularity {granularity!r}; use 'benchmark' or 'loop'"
         )
-    started = time.perf_counter()
     unique = _dedupe(jobs)
-    artifacts_root = _resolve_artifacts_root(artifacts, store)
-    parent_artifacts = (
-        ArtifactCache(ArtifactStore(artifacts_root))
-        if artifacts_root is not None
-        else artifact_cache()
+    # The root span's elapsed is the summary's ``elapsed_seconds`` (it
+    # replaces the old hand-rolled ``perf_counter`` pair); every span the
+    # run opens -- including pool workers' job spans, re-parented at merge
+    # time -- hangs off its id in the exported trace.
+    run_root = obs.measured_span(
+        "sweep.run", jobs=len(unique), granularity=granularity, workers=workers
     )
-
-    outcomes: list[JobOutcome] = []
-    pending: list[SweepJob] = []
-    for job in unique:
-        record = None if (force or store is None) else store.load_record(job.key)
-        if is_simulated_record(record):
-            outcomes.append(JobOutcome(job=job, record=record, cached=True))
-        else:
-            pending.append(job)
-
-    pruned_jobs: list[SweepJob] = []
-    predictions: dict[str, tuple[object, float]] = {}
-    if prune is not None and pending:
-        pending, pruned_jobs, predictions = _prune_pending(
-            unique, pending, prune, parent_artifacts
+    telemetry = store is not None and obs.enabled()
+    if telemetry:
+        # Spans buffered by earlier in-process activity (a previous run
+        # against another store, ad-hoc compiles) belong to no shard and
+        # would otherwise merge -- misparented -- into this run's trace.
+        obs.take_events()
+    shard_dir = obs_events.obs_dir(store.root) if telemetry else None
+    with run_root:
+        artifacts_root = _resolve_artifacts_root(artifacts, store)
+        parent_artifacts = (
+            ArtifactCache(ArtifactStore(artifacts_root))
+            if artifacts_root is not None
+            else artifact_cache()
         )
 
-    done = len(outcomes)
-    total = len(unique)
-    if progress is not None:
-        for index, outcome in enumerate(outcomes, start=1):
-            progress(index, total, outcome)
+        outcomes: list[JobOutcome] = []
+        pending: list[SweepJob] = []
+        for job in unique:
+            record = (
+                None if (force or store is None) else store.load_record(job.key)
+            )
+            if is_simulated_record(record):
+                outcomes.append(JobOutcome(job=job, record=record, cached=True))
+            else:
+                pending.append(job)
 
-    def finish(outcome: JobOutcome) -> None:
-        nonlocal done
-        outcomes.append(outcome)
-        done += 1
+        pruned_jobs: list[SweepJob] = []
+        predictions: dict[str, tuple[object, float]] = {}
+        if prune is not None and pending:
+            pending, pruned_jobs, predictions = _prune_pending(
+                unique, pending, prune, parent_artifacts
+            )
+
+        done = len(outcomes)
+        total = len(unique)
         if progress is not None:
-            progress(done, total, outcome)
+            for index, outcome in enumerate(outcomes, start=1):
+                progress(index, total, outcome)
 
-    for job in pruned_jobs:
-        entry = predictions.get(job.key)
-        if entry is None:
-            # The benchmark's keep budget was already filled by stored
-            # simulator results, so this job was pruned without ranking.
-            # Raw predictions are deterministic, so an existing *raw* model
-            # record is reusable as-is; calibrated records are tied to the
-            # coefficients that produced them and are never reused.
-            if store is not None and prune is not None and prune.calibration is None:
-                existing = store.load_record(job.key)
+        def finish(outcome: JobOutcome) -> None:
+            nonlocal done
+            outcomes.append(outcome)
+            done += 1
+            if progress is not None:
+                progress(done, total, outcome)
+
+        for job in pruned_jobs:
+            entry = predictions.get(job.key)
+            if entry is None:
+                # The benchmark's keep budget was already filled by stored
+                # simulator results, so this job was pruned without ranking.
+                # Raw predictions are deterministic, so an existing *raw*
+                # model record is reusable as-is; calibrated records are
+                # tied to the coefficients that produced them and are never
+                # reused.
                 if (
-                    existing is not None
-                    and existing.get("source") == "model"
-                    and not existing.get("calibrated", False)
+                    store is not None
+                    and prune is not None
+                    and prune.calibration is None
                 ):
-                    finish(
-                        JobOutcome(
-                            job=job, record=existing, cached=True, pruned=True
+                    existing = store.load_record(job.key)
+                    if (
+                        existing is not None
+                        and existing.get("source") == "model"
+                        and not existing.get("calibrated", False)
+                    ):
+                        finish(
+                            JobOutcome(
+                                job=job, record=existing, cached=True, pruned=True
+                            )
                         )
-                    )
-                    continue
-            started = time.perf_counter()
-            predicted = predict_job_with_calibration(job, prune)
-            entry = (predicted, time.perf_counter() - started)
-        predicted, elapsed = entry
-        record = make_model_record(
-            job,
-            predicted,
-            elapsed,
-            calibrated=prune is not None and prune.calibration is not None,
-        )
-        if store is not None:
-            store.save(job.key, record)
-            # A force re-run may prune a previously simulated point; drop
-            # the stale simulator payload so it cannot outlive its record.
-            store.discard_payload(job.key)
-        finish(JobOutcome(job=job, record=record, cached=False, pruned=True))
+                        continue
+                with obs.measured_span(
+                    "model.predict",
+                    benchmark=job.benchmark,
+                    architecture=job.architecture,
+                ) as predict_span:
+                    predicted = predict_job_with_calibration(job, prune)
+                entry = (predicted, predict_span.elapsed)
+            predicted, elapsed = entry
+            record = make_model_record(
+                job,
+                predicted,
+                elapsed,
+                calibrated=prune is not None and prune.calibration is not None,
+            )
+            if store is not None:
+                store.save(job.key, record)
+                # A force re-run may prune a previously simulated point;
+                # drop the stale simulator payload so it cannot outlive its
+                # record.
+                store.discard_payload(job.key)
+            finish(JobOutcome(job=job, record=record, cached=False, pruned=True))
 
-    def finish_executed(
-        job: SweepJob, record: dict, result: BenchmarkSimulationResult
-    ) -> None:
-        if store is not None:
-            store.save(job.key, record, payload=result if save_payloads else None)
-        finish(JobOutcome(job=job, record=record, cached=False, result=result))
+        def finish_executed(
+            job: SweepJob, record: dict, result: BenchmarkSimulationResult
+        ) -> None:
+            if store is not None:
+                store.save(
+                    job.key, record, payload=result if save_payloads else None
+                )
+            finish(
+                JobOutcome(job=job, record=record, cached=False, result=result)
+            )
 
-    summary = SweepRunSummary(
-        total=total,
-        executed=len(pending),
-        cache_hits=total - len(pending) - len(pruned_jobs),
-        workers=1,
-        elapsed_seconds=0.0,
-        outcomes=outcomes,
-        pruned=len(pruned_jobs),
-        granularity=granularity,
-    )
-
-    loop_stats = {"jobs": 0, "cache_hits": 0}
-    if granularity == "loop":
-        run_units = _execute_loop_granularity(
-            pending,
-            store,
-            workers,
-            force,
-            save_payloads,
-            finish_executed,
-            loop_stats,
-            artifacts_root,
-            summary.record_stage_stats,
-        )
-    else:
-        run_units = pending
-        _dispatch(
-            pending,
-            workers,
-            finish_executed,
-            artifacts_root,
-            summary.record_stage_stats,
+        summary = SweepRunSummary(
+            total=total,
+            executed=len(pending),
+            cache_hits=total - len(pending) - len(pruned_jobs),
+            workers=1,
+            elapsed_seconds=0.0,
+            outcomes=outcomes,
+            pruned=len(pruned_jobs),
+            granularity=granularity,
         )
 
-    summary.workers = max(1, min(workers, len(run_units)))
-    summary.elapsed_seconds = time.perf_counter() - started
-    summary.loop_jobs = loop_stats["jobs"]
-    summary.loop_cache_hits = loop_stats["cache_hits"]
-    summary.peak_parallelism = (
-        min(max(1, workers), len(run_units)) if run_units else 0
-    )
+        loop_stats = {"jobs": 0, "cache_hits": 0}
+        if granularity == "loop":
+            run_units = _execute_loop_granularity(
+                pending,
+                store,
+                workers,
+                force,
+                save_payloads,
+                finish_executed,
+                loop_stats,
+                artifacts_root,
+                summary.record_stage_stats,
+                shard_dir,
+            )
+        else:
+            run_units = pending
+            _dispatch(
+                pending,
+                workers,
+                finish_executed,
+                artifacts_root,
+                summary.record_stage_stats,
+                shard_dir,
+            )
+
+        summary.workers = max(1, min(workers, len(run_units)))
+        summary.loop_jobs = loop_stats["jobs"]
+        summary.loop_cache_hits = loop_stats["cache_hits"]
+        summary.peak_parallelism = (
+            min(max(1, workers), len(run_units)) if run_units else 0
+        )
+
+    summary.elapsed_seconds = run_root.elapsed
+    if telemetry:
+        spec_hash = hashlib.sha256(
+            "\n".join(sorted(job.key for job in unique)).encode("utf-8")
+        ).hexdigest()
+        summary.telemetry_dir = obs_events.finalize_run(
+            store.root,
+            run_id=run_root.id,
+            manifest_extra={
+                "spec_hash": spec_hash,
+                "benchmarks": sorted({job.benchmark for job in unique}),
+                "machine_grid": sorted({job.architecture for job in unique}),
+                "granularity": granularity,
+                "workers": summary.workers,
+                "run": summary.describe(),
+            },
+        )
     return summary
 
 
@@ -576,6 +681,7 @@ def _dispatch(
     handle: Callable[[SweepJob, dict, BenchmarkSimulationResult], None],
     artifacts_root: Optional[Path] = None,
     on_stats: Optional[Callable[[dict], None]] = None,
+    shard_dir: Optional[Path] = None,
 ) -> None:
     """Execute jobs in-process or across a pool, streaming completions.
 
@@ -584,15 +690,21 @@ def _dispatch(
     ``artifacts_root`` every executing process -- pool workers via the
     initializer, the in-process path for the duration of the call -- binds
     its stage cache to that store; ``on_stats`` receives each finished
-    job's per-stage hit/miss counters.
+    job's per-stage hit/miss counters.  With ``shard_dir`` pool workers
+    flush their telemetry to per-pid JSONL shards there (the in-process
+    path needs no shard: its spans land in the parent's own buffer).
     """
     pool_size = min(workers, len(jobs))
     if pool_size > 1:
         by_key = {job.key: job for job in jobs}
         context = _mp_context()
-        initargs = (str(artifacts_root) if artifacts_root is not None else None,)
+        initargs = (
+            str(artifacts_root) if artifacts_root is not None else None,
+            str(shard_dir) if shard_dir is not None else None,
+            obs.enabled(),
+        )
         with context.Pool(
-            processes=pool_size, initializer=configure_artifacts, initargs=initargs
+            processes=pool_size, initializer=_init_worker, initargs=initargs
         ) as pool:
             for key, record, result, stats in pool.imap_unordered(
                 _pool_execute, jobs
@@ -631,6 +743,7 @@ def _execute_loop_granularity(
     loop_stats: dict,
     artifacts_root: Optional[Path] = None,
     on_stats: Optional[Callable[[dict], None]] = None,
+    shard_dir: Optional[Path] = None,
 ) -> list[SweepJob]:
     """Fan the pending benchmark jobs out as per-loop jobs and reassemble.
 
@@ -650,6 +763,7 @@ def _execute_loop_granularity(
     loop_stats["jobs"] = sum(len(parts) for parts in expansions.values())
 
     loop_results: dict[str, tuple[dict, BenchmarkSimulationResult]] = {}
+    served_from_store: set[str] = set()
     to_run: list[SweepJob] = []
     seen: set[str] = set()
     for parts in expansions.values():
@@ -663,6 +777,7 @@ def _execute_loop_granularity(
                     payload = store.load_payload(loop_job.key)
                     if payload is not None:
                         loop_results[loop_job.key] = (record, payload)
+                        served_from_store.add(loop_job.key)
                         loop_stats["cache_hits"] += 1
                         continue
             to_run.append(loop_job)
@@ -688,7 +803,21 @@ def _execute_loop_granularity(
         elapsed = sum(
             float(record.get("elapsed_seconds", 0.0)) for record, _ in parts
         )
-        finish_executed(parent, make_record(parent, merged, elapsed), merged)
+        # If any part was replayed from the store, the summed elapsed mixes
+        # this run's timings with past runs' -- mark the record so report
+        # percentiles can keep fresh and replayed timings apart.
+        timing = (
+            "replayed"
+            if any(
+                part.key in served_from_store for part in expansions[parent_key]
+            )
+            else "measured"
+        )
+        finish_executed(
+            parent,
+            make_record(parent, merged, elapsed, source_timing=timing),
+            merged,
+        )
 
     def finish_loop(loop_job: SweepJob, record: dict, result) -> None:
         if store is not None:
@@ -706,7 +835,7 @@ def _execute_loop_granularity(
         if count == 0:
             aggregate(parent_key)
 
-    _dispatch(to_run, workers, finish_loop, artifacts_root, on_stats)
+    _dispatch(to_run, workers, finish_loop, artifacts_root, on_stats, shard_dir)
     return to_run
 
 

@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 import json
-from typing import Iterable, Optional, Sequence
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
 
 from repro.analysis.report import format_table
+from repro.obs import events as obs_events
+from repro.obs.export import timings_summary, timings_table
 from repro.sweep.spec import SweepSpec
 from repro.sweep.store import ResultStore
 
@@ -155,6 +158,74 @@ def render_report_json(
         granularity=granularity,
     )
     return json.dumps(rows, indent=2, sort_keys=True)
+
+
+def render_timings(
+    store_root: Union[Path, str], records: Iterable[dict]
+) -> str:
+    """Per-stage and per-job duration percentiles of the last run.
+
+    Two tables: span timings from the finalized run trace
+    (``<store>/obs/trace.jsonl`` -- pipeline stages, simulator phases,
+    worker jobs), and per-benchmark ``elapsed_seconds`` percentiles from
+    the stored records.  The record table only counts fresh simulator
+    timings (``source_timing == "measured"``): model predictions and
+    loop-granularity replays from earlier runs would skew the
+    percentiles of what this run actually paid for.
+    """
+    sections = []
+    trace_path = obs_events.obs_dir(store_root) / obs_events.TRACE_FILENAME
+    events = list(obs_events.read_events(trace_path))
+    if events:
+        sections.append(
+            timings_summary(events, title=f"span timings - {trace_path}")
+        )
+    else:
+        sections.append(
+            f"span timings - no run trace at {trace_path}\n"
+            "(run a sweep against this store with REPRO_OBS enabled)"
+        )
+    groups: dict[str, list[float]] = {}
+    for record in records:
+        if record.get("source", "simulator") == "model":
+            continue
+        if record.get("source_timing", "measured") != "measured":
+            continue
+        name = record.get("job", {}).get("benchmark", "?")
+        groups.setdefault(f"job.{name}", []).append(
+            float(record.get("elapsed_seconds", 0.0))
+        )
+    sections.append(
+        timings_table(
+            {name: groups[name] for name in sorted(groups)},
+            title="job elapsed_seconds (fresh simulator records only)",
+        )
+    )
+    return "\n\n".join(sections)
+
+
+def render_telemetry_status(store_root: Union[Path, str]) -> Optional[str]:
+    """Counter/manifest lines of the last finalized run, if any."""
+    metrics = obs_events.load_metrics(store_root)
+    if metrics is None:
+        return None
+    lines = ["telemetry (last finalized run):"]
+    manifest = obs_events.load_manifest(store_root)
+    if manifest is not None:
+        created = manifest.get("created", "?")
+        described = manifest.get("git_describe") or "?"
+        lines.append(f"  run: created {created}, git {described}")
+    counters = metrics.get("counters") or {}
+    for name in sorted(counters):
+        lines.append(f"  {name} = {counters[name]}")
+    gauges = metrics.get("gauges") or {}
+    for name in sorted(gauges):
+        entry = gauges[name]
+        value = entry.get("value") if isinstance(entry, dict) else entry
+        lines.append(f"  {name} = {value}")
+    if len(lines) == 1:
+        lines.append("  (no counters recorded)")
+    return "\n".join(lines)
 
 
 def _sortable(value: object) -> tuple:

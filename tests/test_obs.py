@@ -1,0 +1,390 @@
+"""Tests of the observability subsystem (repro.obs)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.export import (
+    chrome_trace,
+    export_chrome_trace,
+    percentile,
+    span_durations,
+    timings_summary,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Every test starts with telemetry enabled and empty buffers."""
+    previous = obs_trace.set_enabled(True)
+    obs_trace.reset()
+    obs_metrics.registry().clear()
+    obs_events.configure_shard(None)
+    yield
+    obs_trace.set_enabled(previous)
+    obs_trace.reset()
+    obs_metrics.registry().clear()
+    obs_events.configure_shard(None)
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+class TestSpans:
+    def test_nesting_records_parent_links(self):
+        with obs_trace.span("outer") as outer:
+            with obs_trace.span("middle") as middle:
+                with obs_trace.span("inner"):
+                    pass
+            with obs_trace.span("sibling"):
+                pass
+        events = {e["name"]: e for e in obs_trace.take_events()}
+        assert set(events) == {"outer", "middle", "inner", "sibling"}
+        assert events["outer"]["parent"] is None
+        assert events["middle"]["parent"] == outer.id
+        assert events["inner"]["parent"] == middle.id
+        assert events["sibling"]["parent"] == outer.id
+
+    def test_events_carry_timing_and_process_identity(self):
+        with obs_trace.span("work", label="x"):
+            pass
+        (event,) = obs_trace.take_events()
+        assert event["kind"] == "span"
+        assert event["pid"] == os.getpid()
+        assert event["dur"] >= 0.0
+        assert event["ts"] > 0.0
+        assert event["attrs"] == {"label": "x"}
+
+    def test_current_span_id_tracks_the_stack(self):
+        assert obs_trace.current_span_id() is None
+        with obs_trace.span("outer") as outer:
+            assert obs_trace.current_span_id() == outer.id
+            with obs_trace.span("inner") as inner:
+                assert obs_trace.current_span_id() == inner.id
+            assert obs_trace.current_span_id() == outer.id
+        assert obs_trace.current_span_id() is None
+        obs_trace.take_events()
+
+    def test_annotate_attaches_late_attributes(self):
+        with obs_trace.span("lookup") as span:
+            span.annotate(cache_hit=True)
+        (event,) = obs_trace.take_events()
+        assert event["attrs"]["cache_hit"] is True
+
+    def test_exception_marks_the_span_and_propagates(self):
+        with pytest.raises(RuntimeError):
+            with obs_trace.span("doomed"):
+                raise RuntimeError("boom")
+        (event,) = obs_trace.take_events()
+        assert event["attrs"]["error"] == "RuntimeError"
+
+    def test_buffer_is_bounded(self):
+        cap = obs_trace.MAX_BUFFERED_EVENTS
+        for _ in range(cap + 1):
+            with obs_trace.span("tick"):
+                pass
+        overview = obs_trace.trace_overview()
+        assert overview["pending"] <= cap
+        assert overview["dropped"] > 0
+        obs_trace.take_events()
+
+
+class TestDisabledMode:
+    def test_disabled_span_is_the_shared_noop_singleton(self):
+        obs_trace.set_enabled(False)
+        first = obs_trace.span("a", attr=1)
+        second = obs_trace.span("b")
+        assert first is second is obs_trace.NOOP_SPAN
+        with first:
+            pass
+        assert obs_trace.take_events() == []
+
+    def test_measured_span_still_measures_when_disabled(self):
+        obs_trace.set_enabled(False)
+        with obs_trace.measured_span("timed") as span:
+            sum(range(1000))
+        assert span.elapsed > 0.0
+        assert span.id is None
+        assert obs_trace.take_events() == []
+
+    def test_measured_span_records_when_enabled(self):
+        with obs_trace.measured_span("timed") as span:
+            pass
+        assert span.elapsed >= 0.0
+        (event,) = obs_trace.take_events()
+        assert event["id"] == span.id
+
+    def test_env_values_disable(self, monkeypatch):
+        for value in ("off", "0", "FALSE", "No", "disabled"):
+            monkeypatch.setenv(obs_trace.ENV_VAR, value)
+            assert obs_trace.refresh_from_env() is False
+        monkeypatch.setenv(obs_trace.ENV_VAR, "on")
+        assert obs_trace.refresh_from_env() is True
+        monkeypatch.delenv(obs_trace.ENV_VAR)
+        assert obs_trace.refresh_from_env() is True
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counters_accumulate_and_reject_negative(self):
+        registry = obs_metrics.MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(4)
+        assert registry.snapshot()["counters"]["hits"] == 5
+        with pytest.raises(ValueError):
+            registry.counter("hits").inc(-1)
+
+    def test_take_snapshot_resets(self):
+        registry = obs_metrics.MetricsRegistry()
+        registry.counter("n").inc(3)
+        first = registry.take_snapshot()
+        assert first["counters"] == {"n": 3}
+        assert registry.take_snapshot()["counters"] == {}
+
+    def test_merge_is_associative_and_commutative(self):
+        # Durations are exact binary floats, so even the histogram totals
+        # compare bit-identical whichever way the merges are grouped.
+        snapshots = []
+        for values in ((1, 0.25), (2, 0.5), (4, 2.0)):
+            registry = obs_metrics.MetricsRegistry()
+            count, duration = values
+            registry.counter("jobs").inc(count)
+            registry.histogram("dur").observe(duration)
+            snapshots.append(registry.take_snapshot())
+        a, b, c = snapshots
+
+        def merged(*parts):
+            return obs_metrics.merge_snapshots(parts)
+
+        left = merged(merged(a, b), c)
+        right = merged(a, merged(b, c))
+        swapped = merged(c, a, b)
+        assert left == right == swapped
+        assert left["counters"]["jobs"] == 7
+        assert left["histograms"]["dur"]["count"] == 3
+        assert left["histograms"]["dur"]["total"] == 2.75
+        assert left["histograms"]["dur"]["min"] == 0.25
+        assert left["histograms"]["dur"]["max"] == 2.0
+
+    def test_merge_with_empty_is_identity(self):
+        registry = obs_metrics.MetricsRegistry()
+        registry.counter("x").inc(2)
+        registry.gauge("depth").set(7)
+        snapshot = registry.take_snapshot()
+        remerged = obs_metrics.merge_snapshots(
+            [obs_metrics.empty_snapshot(), snapshot, {}]
+        )
+        assert remerged == obs_metrics.merge_snapshots([snapshot])
+
+    def test_gauge_keeps_latest_write(self):
+        first = obs_metrics.MetricsRegistry()
+        first.gauge("depth").set(3)
+        early = first.take_snapshot()
+        second = obs_metrics.MetricsRegistry()
+        second.gauge("depth").set(9)
+        late = second.take_snapshot()
+        merged = obs_metrics.merge_snapshots([late, early])
+        assert merged["gauges"]["depth"]["value"] == 9
+
+    def test_merge_rejects_foreign_schema(self):
+        bad = obs_metrics.empty_snapshot()
+        bad["schema"] = 999
+        with pytest.raises(ValueError):
+            obs_metrics.merge_snapshots([bad])
+
+    def test_merge_rejects_mismatched_buckets(self):
+        a = obs_metrics.MetricsRegistry()
+        a.histogram("d", buckets=(1.0,)).observe(0.5)
+        b = obs_metrics.MetricsRegistry()
+        b.histogram("d", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            obs_metrics.merge_snapshots([a.take_snapshot(), b.take_snapshot()])
+
+
+# ----------------------------------------------------------------------
+# JSONL shards and run finalization
+# ----------------------------------------------------------------------
+class TestEventLog:
+    def test_append_and_read_roundtrip(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        written = obs_events.append_events(
+            path, [{"kind": "span", "name": "a"}, {"kind": "span", "name": "b"}]
+        )
+        assert written == 2
+        names = [event["name"] for event in obs_events.read_events(path)]
+        assert names == ["a", "b"]
+
+    def test_read_skips_torn_and_foreign_lines(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        obs_events.append_events(path, [{"kind": "span", "name": "good"}])
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"schema": 999, "name": "stale"}\n')
+            handle.write('{"kind": "span", "na')  # torn trailing line
+        names = [event["name"] for event in obs_events.read_events(path)]
+        assert names == ["good"]
+
+    def test_flush_shard_writes_spans_and_metrics(self, tmp_path):
+        shard = obs_events.configure_shard(tmp_path)
+        assert shard is not None and str(os.getpid()) in shard.name
+        with obs_trace.span("job"):
+            pass
+        obs_metrics.registry().counter("jobs").inc()
+        assert obs_events.flush_shard() == 2
+        kinds = sorted(e["kind"] for e in obs_events.read_events(shard))
+        assert kinds == ["metrics", "span"]
+        # The registry was snapshot-and-reset, so a second flush with no
+        # new activity writes nothing.
+        assert obs_events.flush_shard() == 0
+
+    def test_flush_shard_is_noop_when_disabled(self, tmp_path):
+        obs_events.configure_shard(tmp_path)
+        obs_trace.set_enabled(False)
+        obs_metrics.registry().counter("jobs").inc()
+        assert obs_events.flush_shard() == 0
+
+    def test_finalize_run_merges_shards_and_reparents(self, tmp_path):
+        # Parent process: a root span plus a child recorded in-buffer.
+        with obs_trace.span("sweep.run") as root:
+            with obs_trace.span("prune"):
+                pass
+        # Simulate two pool workers' shards: top-level job spans from
+        # other pids, plus their metrics snapshots.
+        for fake_pid, count in ((11111, 2), (22222, 3)):
+            registry = obs_metrics.MetricsRegistry()
+            registry.counter("jobs").inc(count)
+            shard = obs_events.obs_dir(tmp_path) / f"worker-{fake_pid}.jsonl"
+            obs_events.append_events(
+                shard,
+                [
+                    {
+                        "kind": "span",
+                        "id": f"{fake_pid}:1",
+                        "parent": None,
+                        "name": "sweep.job",
+                        "ts": 2.0,
+                        "dur": 0.5,
+                        "pid": fake_pid,
+                        "tid": 1,
+                        "attrs": {},
+                    },
+                    {
+                        "kind": "metrics",
+                        "pid": fake_pid,
+                        "snapshot": registry.take_snapshot(),
+                    },
+                ],
+            )
+
+        directory = obs_events.finalize_run(tmp_path, run_id=root.id)
+
+        events = list(
+            obs_events.read_events(directory / obs_events.TRACE_FILENAME)
+        )
+        by_name = {}
+        for event in events:
+            by_name.setdefault(event["name"], []).append(event)
+        assert len(by_name["sweep.job"]) == 2
+        # Orphan worker spans hang off the run root; the root itself and
+        # its in-process child keep their original links.
+        assert all(e["parent"] == root.id for e in by_name["sweep.job"])
+        assert by_name["sweep.run"][0]["parent"] is None
+        assert by_name["prune"][0]["parent"] == root.id
+        # Shards are consumed, metrics merged exactly across workers.
+        assert not list(directory.glob("worker-*.jsonl"))
+        metrics = obs_events.load_metrics(tmp_path)
+        assert metrics["counters"]["jobs"] == 5
+        manifest = obs_events.load_manifest(tmp_path)
+        assert manifest["schema"] == obs_events.MANIFEST_SCHEMA
+        assert manifest["event_schema"] == obs_events.EVENT_SCHEMA
+
+    def test_finalize_run_overwrites_previous_trace(self, tmp_path):
+        with obs_trace.span("sweep.run") as first:
+            pass
+        obs_events.finalize_run(tmp_path, run_id=first.id)
+        with obs_trace.span("sweep.run") as second:
+            pass
+        directory = obs_events.finalize_run(tmp_path, run_id=second.id)
+        events = list(
+            obs_events.read_events(directory / obs_events.TRACE_FILENAME)
+        )
+        assert [e["id"] for e in events] == [second.id]
+
+
+# ----------------------------------------------------------------------
+# Exports
+# ----------------------------------------------------------------------
+class TestExport:
+    def _span(self, name, ts, dur, span_id="1:1", parent=None):
+        return {
+            "kind": "span",
+            "id": span_id,
+            "parent": parent,
+            "name": name,
+            "ts": ts,
+            "dur": dur,
+            "pid": 1,
+            "tid": 1,
+            "attrs": {},
+        }
+
+    def test_chrome_trace_units_and_links(self):
+        document = chrome_trace(
+            [
+                self._span("sweep.run", ts=10.0, dur=2.0),
+                self._span("stage.unroll", ts=10.5, dur=0.25, span_id="1:2", parent="1:1"),
+                {"kind": "metrics", "snapshot": {}},
+            ]
+        )
+        events = document["traceEvents"]
+        assert len(events) == 2
+        run, stage = events
+        assert run["ph"] == "X"
+        assert run["ts"] == pytest.approx(10.0 * 1e6)
+        assert run["dur"] == pytest.approx(2.0 * 1e6)
+        assert run["cat"] == "sweep"
+        assert stage["cat"] == "stage"
+        assert stage["args"]["parent"] == "1:1"
+
+    def test_export_writes_valid_json(self, tmp_path):
+        output = tmp_path / "nested" / "trace.json"
+        count = export_chrome_trace(
+            [self._span("sim.replay", ts=1.0, dur=0.5)], output
+        )
+        assert count == 1
+        document = json.loads(output.read_text(encoding="utf-8"))
+        assert document["traceEvents"][0]["name"] == "sim.replay"
+
+    def test_percentile_nearest_rank(self):
+        values = [float(i) for i in range(1, 12)]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 0.5) == 6.0
+        assert percentile(values, 1.0) == 11.0
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_timings_summary_lists_each_span_name(self):
+        text = timings_summary(
+            [
+                self._span("stage.unroll", ts=1.0, dur=0.002),
+                self._span("stage.unroll", ts=2.0, dur=0.004),
+                self._span("sweep.job", ts=1.0, dur=1.5),
+            ]
+        )
+        assert "stage.unroll" in text
+        assert "sweep.job" in text
+        assert "p90" in text
+        durations = span_durations(
+            [
+                self._span("b", ts=1.0, dur=2.0),
+                self._span("a", ts=1.0, dur=1.0),
+            ]
+        )
+        assert list(durations) == ["a", "b"]

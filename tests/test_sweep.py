@@ -335,3 +335,113 @@ class TestAttractableMutationRegression:
         first = runner.compile_benchmark(benchmark, setup)
         second = runner.compile_benchmark(benchmark, tweaked)
         assert first is not second
+
+
+# ----------------------------------------------------------------------
+# Run telemetry (repro.obs integration)
+# ----------------------------------------------------------------------
+class TestRunTelemetry:
+    @pytest.fixture(autouse=True)
+    def clean_obs_state(self):
+        from repro.obs import events as obs_events
+        from repro.obs import metrics as obs_metrics
+        from repro.obs import trace as obs_trace
+
+        previous = obs_trace.set_enabled(True)
+        obs_trace.reset()
+        obs_metrics.registry().clear()
+        obs_events.configure_shard(None)
+        yield
+        obs_trace.set_enabled(previous)
+        obs_trace.reset()
+        obs_metrics.registry().clear()
+        obs_events.configure_shard(None)
+
+    def _trace_events(self, telemetry_dir):
+        from repro.obs import events as obs_events
+
+        return list(
+            obs_events.read_events(telemetry_dir / obs_events.TRACE_FILENAME)
+        )
+
+    def test_pool_run_merges_worker_spans_under_run_root(self, tmp_path):
+        spec = small_spec(benchmarks=("kernel:streaming", "kernel:reduction"))
+        jobs = spec.expand()
+        summary = run_jobs(jobs, store=ResultStore(tmp_path), workers=2)
+
+        assert summary.telemetry_dir == tmp_path / "obs"
+        events = self._trace_events(summary.telemetry_dir)
+        spans = [e for e in events if e.get("kind") == "span"]
+        names = {e["name"] for e in spans}
+        assert {"sweep.run", "sweep.job"} <= names
+        assert {
+            "stage.unroll",
+            "stage.profile",
+            "stage.latency",
+            "stage.schedule",
+            "stage.trace",
+        } <= names
+
+        (root,) = [e for e in spans if e["name"] == "sweep.run"]
+        assert root["parent"] is None
+        job_spans = [e for e in spans if e["name"] == "sweep.job"]
+        assert len(job_spans) == len(jobs)
+        # Worker job spans were re-parented under the run root at merge
+        # time; at least some ran in a pool worker, not the parent.
+        assert all(e["parent"] == root["id"] for e in job_spans)
+        assert any(e["pid"] != root["pid"] for e in job_spans)
+        # Shards were consumed into the merged trace.
+        assert not list(summary.telemetry_dir.glob("worker-*.jsonl"))
+
+        from repro.obs import events as obs_events
+
+        metrics = obs_events.load_metrics(tmp_path)
+        assert metrics["counters"]["artifacts.puts"] > 0
+        manifest = obs_events.load_manifest(tmp_path)
+        assert manifest["benchmarks"] == [
+            "kernel:reduction", "kernel:streaming"
+        ]
+        assert manifest["run"]["executed"] == len(jobs)
+        assert len(manifest["spec_hash"]) == 64
+
+    def test_disabled_mode_writes_no_telemetry_but_same_records(self, tmp_path):
+        from repro.obs import trace as obs_trace
+
+        spec = small_spec()
+        obs_trace.set_enabled(False)
+        off = run_jobs(spec.expand(), store=ResultStore(tmp_path / "off"), workers=1)
+        obs_trace.set_enabled(True)
+        on = run_jobs(spec.expand(), store=ResultStore(tmp_path / "on"), workers=1)
+
+        assert off.telemetry_dir is None
+        assert not (tmp_path / "off" / "obs").exists()
+        assert on.telemetry_dir is not None
+        # Same record fields either way (timings are wall-clock noisy, but
+        # the schema -- including elapsed_seconds -- must match).
+        off_store, on_store = ResultStore(tmp_path / "off"), ResultStore(tmp_path / "on")
+        assert off_store.keys() == on_store.keys()
+        for key in off_store.keys():
+            off_record = off_store.load_record(key)
+            on_record = on_store.load_record(key)
+            assert sorted(off_record) == sorted(on_record)
+            assert off_record["metrics"] == on_record["metrics"]
+            assert off_record["source_timing"] == "measured"
+            assert off_record["elapsed_seconds"] > 0.0
+
+    def test_source_timing_marks_replayed_aggregates(self, tmp_path):
+        spec = small_spec(benchmarks=("gsmdec",))
+        store = ResultStore(tmp_path)
+        run_jobs(spec.expand(), store=store, workers=1, granularity="loop")
+        benchmark_keys = [job.key for job in spec.expand()]
+        for key in benchmark_keys:
+            assert store.load_record(key)["source_timing"] == "measured"
+            # Drop the benchmark-level record so the next run reassembles
+            # it from the stored loop-level parts.
+            store.discard(key)
+
+        second = run_jobs(
+            spec.expand(), store=store, workers=1, granularity="loop"
+        )
+        assert second.loop_cache_hits > 0
+        for key in benchmark_keys:
+            assert store.load_record(key)["source_timing"] == "replayed"
