@@ -26,6 +26,12 @@ the warm kernels-mix point timed with spans enabled versus
 ``REPRO_OBS=off``, recording the overhead ratio of always-on telemetry
 on the compile+simulate hot path (budget: <= 5%).
 
+Schema 5 adds top-level ``spans``: per-span-name p50/p90/p99 duration
+digests (the run-ledger format of :func:`repro.obs.ledger.span_digests`)
+collected from the telemetry scenario's enabled rounds -- so the
+committed baseline doubles as a ledger entry that ``repro-sweep
+regress``-style comparisons can diff commit against commit.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py [--repeats N] [--output FILE]
@@ -47,6 +53,7 @@ from pathlib import Path
 
 from repro.machine.config import MachineConfig
 from repro.model.predict import predict_benchmark
+from repro.obs import ledger as obs_ledger
 from repro.obs import trace as obs_trace
 from repro.profiling.trace import reset_trace_state, trace_stats
 from repro.scheduler.pipeline import (
@@ -203,6 +210,7 @@ def time_telemetry(repeats: int) -> dict[str, object]:
     rounds = max(repeats, 10)
     samples: dict[str, list[float]] = {"enabled": [], "disabled": []}
     previous = obs_trace.enabled()
+    obs_trace.take_events()  # digests must cover only this scenario's spans
     with tempfile.TemporaryDirectory(prefix="perf-smoke-telemetry-") as root:
         cache = ArtifactCache(ArtifactStore(root))
         run_grid_point(benchmark, config, cache)  # warm store + trace memo
@@ -215,7 +223,9 @@ def time_telemetry(repeats: int) -> dict[str, object]:
                     )
         finally:
             obs_trace.set_enabled(previous)
-            obs_trace.take_events()  # drop the benchmark's spans
+            # The enabled rounds' spans become the baseline's ledger-style
+            # duration digests (and are drained off the buffer with it).
+            span_events = obs_trace.take_events()
         cache.take_stats()
     seconds = {label: min(times) for label, times in samples.items()}
     ratio = (
@@ -228,6 +238,7 @@ def time_telemetry(repeats: int) -> dict[str, object]:
         "enabled_seconds": round(seconds["enabled"], 4),
         "disabled_seconds": round(seconds["disabled"], 4),
         "overhead_ratio": round(ratio, 4),
+        "spans": obs_ledger.span_digests(span_events),
     }
 
 
@@ -242,7 +253,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     report: dict[str, object] = {
-        "schema": 4,
+        "schema": 5,
         "python": platform.python_version(),
         "repeats": args.repeats,
         "kernels": {},
@@ -277,6 +288,9 @@ def main(argv=None) -> int:
     )
 
     telemetry = time_telemetry(args.repeats)
+    # The digests live at the top level: they are the baseline's
+    # ledger-entry half, not a telemetry-overhead detail.
+    report["spans"] = telemetry.pop("spans")
     report["telemetry"] = telemetry
     print(
         f"telemetry {telemetry['benchmark']}: "
@@ -284,6 +298,7 @@ def main(argv=None) -> int:
         f"disabled={telemetry['disabled_seconds']:.3f}s "
         f"overhead={telemetry['overhead_ratio']:.3f}x"
     )
+    print(f"span digests: {len(report['spans'])} span name(s) recorded")
 
     output = Path(args.output)
     output.write_text(

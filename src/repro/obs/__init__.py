@@ -10,10 +10,23 @@ The subsystem has four layers, each usable on its own:
   telemetry combines into one run-level view without cross-process
   queues;
 * :mod:`repro.obs.events` -- a schema-versioned JSONL event log (one
-  span per line), per-worker shard files, and the per-run manifest
-  (spec hash, machine grid, git describe, schema versions);
+  span per line), per-worker shard files, straggler annotation, the
+  in-progress run header, and the per-run manifest (spec hash, machine
+  grid, git describe, schema versions);
 * :mod:`repro.obs.export` -- Chrome trace-event/Perfetto JSON export and
   the human ``--timings`` percentile summary.
+
+On top of those sit the cross-run layers:
+
+* :mod:`repro.obs.ledger` -- the append-only ``obs/ledger.jsonl``: one
+  compact entry per finalized run (manifest provenance, host
+  fingerprint, merged counters, stage hit rates, per-span-name
+  p50/p90/p99 digests), listed by ``repro-sweep runs``;
+* :mod:`repro.obs.regress` -- noise-aware regression verdicts between
+  ledger entries (``repro-sweep regress [--gate]``);
+* :mod:`repro.obs.profilehook` -- ``REPRO_OBS_PROFILE=<span-glob>``
+  cProfile capture on matching spans, persisted as pstats dumps plus
+  collapsed-stack folded files (``repro-sweep trace --folded``).
 
 Telemetry never changes what the simulator or the compiler computes:
 every byte of benchmark output is identical with telemetry enabled and

@@ -32,7 +32,9 @@ import time
 from pathlib import Path
 from typing import Iterable, Iterator, Optional, Union
 
+from repro.obs import ledger as obs_ledger
 from repro.obs import metrics as obs_metrics
+from repro.obs import profilehook as obs_profilehook
 from repro.obs import trace as obs_trace
 
 #: Version of the JSONL event format.  Bump when the meaning of event
@@ -42,13 +44,28 @@ EVENT_SCHEMA = 1
 #: Version of the manifest format.
 MANIFEST_SCHEMA = 1
 
+#: Version of the in-progress run header (``obs/run.json``).
+RUN_HEADER_SCHEMA = 1
+
 #: Subdirectory of a result store that holds its telemetry.
 OBS_DIRNAME = "obs"
 
 TRACE_FILENAME = "trace.jsonl"
 METRICS_FILENAME = "metrics.json"
 MANIFEST_FILENAME = "manifest.json"
+RUN_FILENAME = "run.json"
 SHARD_PREFIX = "worker-"
+
+#: Environment variable overriding the straggler threshold factor.
+STRAGGLER_ENV_VAR = "REPRO_OBS_STRAGGLER_K"
+
+#: A job span is annotated ``straggler=true`` when its duration exceeds
+#: this multiple of the run's median job duration.
+DEFAULT_STRAGGLER_FACTOR = 3.0
+
+#: Straggler annotation needs a population: tiny runs (fewer spans than
+#: this) are never annotated, so a 2-job run can't flag its slower half.
+MIN_STRAGGLER_SAMPLES = 4
 
 #: This process's shard file (pool workers only; None elsewhere).
 _SHARD_PATH: Optional[Path] = None
@@ -130,11 +147,104 @@ def flush_shard() -> int:
         events.append(
             {"kind": "metrics", "pid": os.getpid(), "snapshot": snapshot}
         )
+    if obs_profilehook.active():
+        # Accumulated span profiles ride along with the shard: per-pid
+        # pstats dumps under obs/profile/, merged at finalization.
+        obs_profilehook.flush(
+            _SHARD_PATH.parent / obs_profilehook.PROFILE_DIRNAME
+        )
     return append_events(_SHARD_PATH, events)
 
 
+def write_run_header(
+    store_root: Union[Path, str], info: Optional[dict] = None
+) -> Path:
+    """Publish the in-progress run's header (``obs/run.json``).
+
+    Written by the executor just before jobs are dispatched and removed
+    by :func:`finalize_run`, so its presence means "a run is live" --
+    ``repro-sweep watch`` reads it for the job total, start time and
+    worker count its progress rendering needs.
+    """
+    directory = obs_dir(store_root)
+    directory.mkdir(parents=True, exist_ok=True)
+    header = {"schema": RUN_HEADER_SCHEMA, "started": time.time()}
+    if info:
+        header.update(info)
+    path = directory / RUN_FILENAME
+    path.write_text(
+        json.dumps(header, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_run_header(store_root: Union[Path, str]) -> Optional[dict]:
+    """The in-progress run's header, or None when no run is live."""
+    path = obs_dir(store_root) / RUN_FILENAME
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def straggler_factor() -> float:
+    """The configured straggler threshold multiple (see module env var)."""
+    raw = os.environ.get(STRAGGLER_ENV_VAR, "")
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_STRAGGLER_FACTOR
+    return value if value > 1.0 else DEFAULT_STRAGGLER_FACTOR
+
+
+def mark_stragglers(
+    events: Iterable[dict],
+    name: str = "sweep.job",
+    factor: Optional[float] = None,
+) -> list[dict]:
+    """Annotate job spans that ran far longer than the run's median.
+
+    Spans called ``name`` whose duration exceeds ``factor`` times the
+    median of all such spans gain ``straggler=true`` (plus the ratio) in
+    their attrs; ``report --timings`` surfaces them.  Runs with fewer
+    than :data:`MIN_STRAGGLER_SAMPLES` job spans are left unannotated --
+    a median over two points flags nothing but noise.  Returns the
+    annotated spans.
+    """
+    if factor is None:
+        factor = straggler_factor()
+    jobs = [
+        event
+        for event in events
+        if event.get("kind") == "span" and event.get("name") == name
+    ]
+    if len(jobs) < MIN_STRAGGLER_SAMPLES:
+        return []
+    durations = sorted(float(event.get("dur", 0.0)) for event in jobs)
+    median = durations[len(durations) // 2]
+    if median <= 0.0:
+        return []
+    stragglers = []
+    for event in jobs:
+        duration = float(event.get("dur", 0.0))
+        if duration > factor * median:
+            attrs = event.setdefault("attrs", {})
+            attrs["straggler"] = True
+            attrs["straggler_ratio"] = round(duration / median, 2)
+            stragglers.append(event)
+    return stragglers
+
+
 def _git_describe() -> Optional[str]:
-    """``git describe`` of the working tree, or None outside a checkout."""
+    """``git describe`` of the working tree, or an explicit None.
+
+    The probe is provenance, never a requirement: a missing ``git``
+    binary, a tree that is not a repository (e.g. an installed package),
+    a hung subprocess or any other failure yields ``None`` without a
+    byte reaching this process's stdout/stderr -- both streams are
+    captured and discarded on failure, so CLI output stays clean.
+    """
     try:
         completed = subprocess.run(
             ["git", "describe", "--always", "--dirty", "--tags"],
@@ -142,8 +252,9 @@ def _git_describe() -> Optional[str]:
             text=True,
             timeout=5,
             cwd=Path(__file__).resolve().parent,
+            stdin=subprocess.DEVNULL,
         )
-    except (OSError, subprocess.SubprocessError):
+    except (OSError, ValueError, subprocess.SubprocessError):
         return None
     if completed.returncode != 0:
         return None
@@ -178,9 +289,13 @@ def finalize_run(
     Drains the parent process's span buffer and metrics registry, folds
     in every ``worker-*.jsonl`` shard (re-parenting orphan top-level
     spans under ``run_id`` so worker job spans hang off the run root),
-    and writes ``trace.jsonl``, ``metrics.json`` and ``manifest.json``.
-    The trace is per-run: an earlier run's files are overwritten, and the
-    consumed shards are removed.  Returns the telemetry directory.
+    annotates straggler job spans, and writes ``trace.jsonl``,
+    ``metrics.json`` and ``manifest.json``.  Accumulated span profiles
+    (``REPRO_OBS_PROFILE``) are merged into ``obs/profile/``, one ledger
+    entry is appended to ``obs/ledger.jsonl``, and the in-progress run
+    header (``run.json``) is removed.  The trace is per-run: an earlier
+    run's files are overwritten, and the consumed shards are removed.
+    Returns the telemetry directory.
     """
     directory = obs_dir(store_root)
     directory.mkdir(parents=True, exist_ok=True)
@@ -206,6 +321,7 @@ def finalize_run(
         ):
             event["parent"] = run_id
     events.sort(key=lambda event: (event.get("ts", 0.0), str(event.get("id"))))
+    mark_stragglers(events)
 
     trace_path = directory / TRACE_FILENAME
     trace_path.unlink(missing_ok=True)
@@ -215,11 +331,20 @@ def finalize_run(
     (directory / METRICS_FILENAME).write_text(
         json.dumps(merged, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
+
+    profiled = obs_profilehook.finalize(directory)
+    manifest = build_manifest(manifest_extra)
+    if profiled:
+        manifest["profiled_spans"] = profiled
     (directory / MANIFEST_FILENAME).write_text(
-        json.dumps(build_manifest(manifest_extra), indent=2, sort_keys=True)
-        + "\n",
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )
+
+    obs_ledger.append_entry(
+        directory, obs_ledger.build_entry(manifest, events, merged)
+    )
+    (directory / RUN_FILENAME).unlink(missing_ok=True)
     return directory
 
 

@@ -1,0 +1,214 @@
+"""The run ledger: one compact, schema-versioned entry per sweep run.
+
+Everything else under ``<results-dir>/obs/`` is *per-run* -- ``finalize_run``
+overwrites ``trace.jsonl``/``metrics.json``/``manifest.json`` each time --
+but the paper's claims, and every optimisation PR against this repo, are
+*comparative*: the question that matters is "did run N get slower than
+run N-1, and where?".  The ledger is the cross-run record that makes the
+question answerable: ``obs/ledger.jsonl`` is append-only, one JSON line
+per finalized run, carrying exactly what a later comparison needs and
+nothing bulky:
+
+* provenance -- spec hash, benchmark list, machine grid, granularity,
+  workers, ``git describe``, creation time;
+* a host fingerprint, so a laptop run is never diffed against a CI run;
+* the merged metric counters (artifact-cache hits/puts/evictions, ...);
+* per-stage artifact-cache hit rates;
+* per-span-name duration digests -- count, total, p50/p90/p99, max from
+  the same nearest-rank percentiles ``report --timings`` renders.
+
+Entries are self-describing (``schema`` field); readers skip torn or
+foreign-schema lines, so a crashed run can never poison the history.
+:mod:`repro.obs.regress` consumes the ledger to produce noise-aware
+regression verdicts; ``repro-sweep runs`` lists it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Iterable, Mapping, Optional, Union
+
+from repro.obs.export import percentile, span_durations
+
+#: Version of the ledger-entry format.  Bump when the meaning of entry
+#: fields changes so old histories are never misread as comparable.
+LEDGER_SCHEMA = 1
+
+#: File name of the ledger inside a store's ``obs/`` directory.
+LEDGER_FILENAME = "ledger.jsonl"
+
+#: The percentile fractions recorded per span name.
+DIGEST_PERCENTILES: tuple[tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p90", 0.90),
+    ("p99", 0.99),
+)
+
+_RUN_SEQ = itertools.count(1)
+
+
+def new_run_id() -> str:
+    """A human-sortable, process-unique run identifier.
+
+    ``<UTC stamp>-<pid>-<seq>``: sortable by creation time at one-second
+    granularity, unique across concurrent processes through the pid, and
+    unique within a process through the sequence number.
+    """
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    return f"{stamp}-{os.getpid()}-{next(_RUN_SEQ)}"
+
+
+def host_fingerprint() -> dict[str, object]:
+    """What machine this is, plus a short digest over it.
+
+    The fingerprint is what the regression gate keys on: timings are only
+    comparable between runs of the same interpreter on the same kind of
+    machine, so a baseline recorded elsewhere must never gate a run here.
+    """
+    info: dict[str, object] = {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+    digest = hashlib.sha256(
+        json.dumps(info, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    info["fingerprint"] = digest[:16]
+    return info
+
+
+def span_digests(events: Iterable[dict]) -> dict[str, dict[str, object]]:
+    """Per-span-name duration digests (seconds) of a run's span events.
+
+    Count, total and nearest-rank p50/p90/p99/max per name -- the compact
+    form of the ``--timings`` table, small enough to append per run.
+    """
+    digests: dict[str, dict[str, object]] = {}
+    for name, values in span_durations(events).items():
+        digest: dict[str, object] = {
+            "count": len(values),
+            "total": round(sum(values), 6),
+        }
+        for label, fraction in DIGEST_PERCENTILES:
+            digest[label] = round(percentile(values, fraction), 6)
+        digest["max"] = round(max(values), 6)
+        digests[name] = digest
+    return digests
+
+
+def stage_rates(
+    stage_hits: Mapping[str, int], stage_misses: Mapping[str, int]
+) -> dict[str, dict[str, object]]:
+    """Per-stage artifact-cache hit rates from the run summary counters."""
+    rates: dict[str, dict[str, object]] = {}
+    for stage in sorted(set(stage_hits) | set(stage_misses)):
+        hits = int(stage_hits.get(stage, 0))
+        misses = int(stage_misses.get(stage, 0))
+        total = hits + misses
+        rates[stage] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / total, 4) if total else None,
+        }
+    return rates
+
+
+def build_entry(
+    manifest: Mapping[str, object],
+    events: Iterable[dict],
+    metrics_snapshot: Optional[Mapping[str, object]] = None,
+    run_id: Optional[str] = None,
+) -> dict[str, object]:
+    """Assemble one ledger entry from a finalized run's telemetry."""
+    run = manifest.get("run") or {}
+    counters = dict((metrics_snapshot or {}).get("counters") or {})
+    return {
+        "schema": LEDGER_SCHEMA,
+        "run_id": run_id or new_run_id(),
+        "created": manifest.get("created"),
+        "host": host_fingerprint(),
+        "git_describe": manifest.get("git_describe"),
+        "spec_hash": manifest.get("spec_hash"),
+        "benchmarks": manifest.get("benchmarks"),
+        "machine_grid": manifest.get("machine_grid"),
+        "granularity": manifest.get("granularity"),
+        "workers": manifest.get("workers"),
+        "run": {
+            key: run.get(key)
+            for key in (
+                "total_jobs",
+                "executed",
+                "cache_hits",
+                "pruned",
+                "elapsed_seconds",
+            )
+            if key in run
+        },
+        "counters": counters,
+        "stages": stage_rates(
+            manifest.get("stage_hits") or {}, manifest.get("stage_misses") or {}
+        ),
+        "spans": span_digests(events),
+    }
+
+
+def ledger_path(obs_directory: Union[Path, str]) -> Path:
+    """The ledger file inside a telemetry directory."""
+    return Path(obs_directory) / LEDGER_FILENAME
+
+
+def append_entry(obs_directory: Union[Path, str], entry: dict) -> Path:
+    """Append one entry to the ledger (created on first use).
+
+    Unlike every other file under ``obs/``, the ledger survives run
+    finalization: it is the only cross-run state the telemetry keeps.
+    A torn final line left by a killed run (no trailing newline) is
+    sealed off with a newline first, so it can never glue itself onto --
+    and thereby corrupt -- the entry being appended.
+    """
+    path = ledger_path(obs_directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a+b") as handle:
+        handle.seek(0, os.SEEK_END)
+        if handle.tell() > 0:
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) != b"\n":
+                handle.write(b"\n")
+        handle.write(
+            json.dumps(entry, sort_keys=True).encode("utf-8") + b"\n"
+        )
+    return path
+
+
+def read_entries(obs_directory: Union[Path, str]) -> list[dict]:
+    """Every readable ledger entry, oldest first.
+
+    Torn lines (a killed run) and foreign-schema lines (an older or newer
+    format) are skipped, never fatal -- a comparison tool must not crash
+    on the history it is trying to protect.
+    """
+    path = ledger_path(obs_directory)
+    entries: list[dict] = []
+    try:
+        handle = path.open("r", encoding="utf-8")
+    except OSError:
+        return entries
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(entry, dict) and entry.get("schema") == LEDGER_SCHEMA:
+                entries.append(entry)
+    return entries

@@ -1,0 +1,289 @@
+"""cProfile hooks on telemetry spans (``REPRO_OBS_PROFILE=<span-glob>``).
+
+``docs/perf.md`` used to end with "fall back to cProfile and write your
+own driver".  This module is that driver, attached to the span layer the
+stack already has: set ``REPRO_OBS_PROFILE`` to a glob (comma-separated
+globs work too) and every *recorded* span whose name matches runs under
+a :class:`cProfile.Profile` --
+
+::
+
+    REPRO_OBS_PROFILE='stage.schedule' python -m repro.sweep run ...
+    REPRO_OBS_PROFILE='sim.*,stage.*'  python -m repro.sweep run ...
+
+Profiles accumulate per span *name* (one profiler re-enabled across all
+of a name's spans, so a thousand ``stage.schedule`` spans cost one
+profiler, not a thousand snapshots) and persist into the run's telemetry
+directory: per-pid ``obs/profile/<name>@<pid>.pstats`` dumps at shard
+flush time, merged by run finalization into ``obs/profile/<name>.pstats``
+plus a collapsed-stack ``<name>.folded`` file, exported as one
+flamegraph-ready file by ``repro-sweep trace --folded``.
+
+Contracts:
+
+* **Zero overhead when off.**  Matching is only consulted from recording
+  spans, and ``REPRO_OBS=off`` spans are the shared no-op singleton --
+  so profiling requires telemetry to be enabled, and an unset
+  ``REPRO_OBS_PROFILE`` costs recording spans a single falsy check.
+* **Never fatal.**  A profiler that cannot enable (another profiling
+  tool is active, e.g. an outer ``python -m cProfile``) is skipped; only
+  the outermost matching span of a thread profiles (cProfile cannot
+  nest).
+* **Approximate stacks.**  cProfile keeps caller/callee edges, not full
+  stacks, so the folded output reconstructs two-frame ``caller;callee``
+  stacks weighted by cumulative-time-under-caller (microseconds).  Frame
+  widths within a level are faithful relative timings; deep nesting is
+  not reconstructed, and cumulative weights double-count along call
+  chains.  For exact wall-clock attribution use the span timings
+  themselves; the flame answers "which functions, called from where".
+"""
+
+from __future__ import annotations
+
+import cProfile
+import fnmatch
+import os
+import pstats
+import re
+import threading
+from pathlib import Path
+from typing import Optional, Union
+
+#: Environment variable holding the span-name glob(s) to profile.
+ENV_VAR = "REPRO_OBS_PROFILE"
+
+#: Subdirectory of a store's ``obs/`` directory holding profile output.
+PROFILE_DIRNAME = "profile"
+
+_LOCK = threading.Lock()
+_TLS = threading.local()
+#: Accumulating profiler per span name (created on first matching span).
+_PROFILES: dict[str, cProfile.Profile] = {}
+#: Active glob patterns (empty tuple = profiling off).
+_PATTERNS: tuple[str, ...] = ()
+
+
+def configure(spec: Optional[str]) -> tuple[str, ...]:
+    """Set the active span-name globs from a comma-separated spec.
+
+    ``None`` or an empty/whitespace spec disables profiling.  Returns the
+    resulting pattern tuple (used by pool-worker initializers, which
+    receive the parent's spec as an initarg so a ``spawn``-started worker
+    matches the parent even when the parent configured programmatically).
+    """
+    global _PATTERNS
+    parts = [part.strip() for part in (spec or "").split(",")]
+    _PATTERNS = tuple(part for part in parts if part)
+    return _PATTERNS
+
+
+def refresh_from_env() -> tuple[str, ...]:
+    """Re-read :data:`ENV_VAR`; returns the active patterns."""
+    return configure(os.environ.get(ENV_VAR))
+
+
+def spec() -> Optional[str]:
+    """The active patterns as a comma-joined spec (None when off)."""
+    return ",".join(_PATTERNS) if _PATTERNS else None
+
+
+def active() -> bool:
+    """Whether any span glob is configured."""
+    return bool(_PATTERNS)
+
+
+def matches(name: str) -> bool:
+    """Whether a span name matches the active globs."""
+    return any(fnmatch.fnmatchcase(name, pattern) for pattern in _PATTERNS)
+
+
+def start(name: str) -> Optional[cProfile.Profile]:
+    """Begin profiling a span; returns the profiler to pass to :func:`stop`.
+
+    Returns None -- profile nothing -- when no glob matches, when an
+    enclosing span of this thread is already profiling (cProfile cannot
+    nest), or when the interpreter refuses to enable a second profiling
+    tool.  The caller treats None as "no profiling", so the hook can
+    never take a run down.
+    """
+    if not _PATTERNS or not matches(name):
+        return None
+    if getattr(_TLS, "busy", False):
+        return None
+    with _LOCK:
+        profile = _PROFILES.get(name)
+        if profile is None:
+            profile = _PROFILES[name] = cProfile.Profile()
+    try:
+        profile.enable()
+    except (ValueError, RuntimeError):
+        return None
+    _TLS.busy = True
+    return profile
+
+
+def stop(profile: cProfile.Profile) -> None:
+    """Finish profiling a span started by :func:`start`."""
+    profile.disable()
+    _TLS.busy = False
+
+
+def take_profiles() -> dict[str, cProfile.Profile]:
+    """Drain and return this process's accumulated profilers."""
+    with _LOCK:
+        taken = dict(_PROFILES)
+        _PROFILES.clear()
+    return taken
+
+
+def reset() -> None:
+    """Drop accumulated profilers and this thread's busy flag.
+
+    Used by pool-worker initializers: a forked worker inherits the
+    parent's accumulated profiles, which would otherwise be re-dumped
+    from the worker's pid and double-counted at merge time.
+    """
+    with _LOCK:
+        _PROFILES.clear()
+    _TLS.busy = False
+
+
+def _safe_name(name: str) -> str:
+    """A span name as a filesystem- and folded-format-safe token."""
+    return re.sub(r"[^A-Za-z0-9_.-]", "_", name)
+
+
+def _frame(func: tuple) -> str:
+    """One pstats function tuple as a folded-stack frame label."""
+    filename, lineno, name = func
+    if filename == "~":  # built-in
+        return _safe_name(name.strip("<>"))
+    return _safe_name(f"{Path(filename).name}:{lineno}:{name}")
+
+
+def folded_lines(stats: pstats.Stats) -> list[str]:
+    """Collapsed-stack lines (``frame[;frame] microseconds``) of a profile.
+
+    Two-frame ``caller;callee`` stacks weighted by the callee's cumulative
+    time under that caller; root functions (no recorded caller) emit a
+    single frame with their cumulative time.  See the module docstring
+    for what this approximation does and does not preserve.
+    """
+    lines: list[str] = []
+    for func, (_cc, _nc, _tt, ct, callers) in sorted(stats.stats.items()):
+        frame = _frame(func)
+        if callers:
+            for caller, caller_entry in sorted(callers.items()):
+                # The per-caller tuple's last slot is cumulative time.
+                value = int(caller_entry[3] * 1e6)
+                if value > 0:
+                    lines.append(f"{_frame(caller)};{frame} {value}")
+        else:
+            value = int(ct * 1e6)
+            if value > 0:
+                lines.append(f"{frame} {value}")
+    return lines
+
+
+def flush(directory: Union[Path, str]) -> list[Path]:
+    """Dump this process's accumulated profiles as per-pid pstats files.
+
+    Each profiler is drained (take semantics) and *merged* into
+    ``<directory>/<name>@<pid>.pstats`` if an earlier flush already wrote
+    one, so a pool worker can flush after every job without double
+    counting.  No-op (returns []) when nothing was profiled.
+    """
+    taken = take_profiles()
+    if not taken:
+        return []
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for name, profile in sorted(taken.items()):
+        profile.create_stats()
+        if not profile.stats:
+            continue
+        path = directory / f"{_safe_name(name)}@{os.getpid()}.pstats"
+        if path.exists():
+            stats = pstats.Stats(str(path))
+            stats.add(profile)
+        else:
+            stats = pstats.Stats(profile)
+        stats.dump_stats(str(path))
+        written.append(path)
+    return written
+
+
+def finalize(obs_directory: Union[Path, str]) -> list[str]:
+    """Merge per-pid profile dumps into per-span-name outputs.
+
+    Called from run finalization: flushes the parent's own profiles, then
+    for every span name folds all workers' ``<name>@<pid>.pstats`` parts
+    into ``<name>.pstats`` plus a collapsed-stack ``<name>.folded`` file,
+    removing the consumed parts.  Returns the merged span names (empty
+    when the run profiled nothing).
+    """
+    profile_dir = Path(obs_directory) / PROFILE_DIRNAME
+    flush(profile_dir)
+    if not profile_dir.is_dir():
+        return []
+    by_name: dict[str, list[Path]] = {}
+    for path in sorted(profile_dir.glob("*@*.pstats")):
+        name = path.name.rsplit(".", 1)[0].rsplit("@", 1)[0]
+        by_name.setdefault(name, []).append(path)
+    merged_names: list[str] = []
+    for name, parts in sorted(by_name.items()):
+        try:
+            stats = pstats.Stats(*[str(part) for part in parts])
+        except Exception:  # noqa: BLE001 - torn dump; telemetry stays non-fatal
+            continue
+        stats.dump_stats(str(profile_dir / f"{name}.pstats"))
+        (profile_dir / f"{name}.folded").write_text(
+            "\n".join(folded_lines(stats)) + "\n", encoding="utf-8"
+        )
+        for part in parts:
+            try:
+                part.unlink()
+            except OSError:
+                pass
+        merged_names.append(name)
+    return merged_names
+
+
+def folded_files(obs_directory: Union[Path, str]) -> list[Path]:
+    """The merged ``<name>.folded`` files of the last finalized run."""
+    profile_dir = Path(obs_directory) / PROFILE_DIRNAME
+    if not profile_dir.is_dir():
+        return []
+    return sorted(profile_dir.glob("*.folded"))
+
+
+def export_folded(
+    obs_directory: Union[Path, str], output: Union[Path, str]
+) -> int:
+    """Concatenate the run's folded profiles into one flamegraph input.
+
+    Each span name becomes the root frame of its stacks, so one file
+    renders every profiled span side by side.  Returns the number of
+    stack lines written; 0 means there was nothing to export.
+    """
+    lines: list[str] = []
+    for path in folded_files(obs_directory):
+        span_name = path.name.rsplit(".", 1)[0]
+        for line in path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            stack, _, value = line.rpartition(" ")
+            lines.append(f"{span_name};{stack} {value}")
+    if not lines:
+        return 0
+    output = Path(output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return len(lines)
+
+
+# Patterns are live from import time, so a spawned pool worker (fresh
+# interpreter) matches its parent without extra plumbing.
+refresh_from_env()

@@ -1,0 +1,216 @@
+"""Noise-aware perf-regression verdicts over the run ledger.
+
+The question this module answers is the one every optimisation PR has to
+answer honestly: *did this run get slower than the last comparable run,
+and where?*  ``repro-sweep regress`` wires it to the CLI; ``--gate``
+turns a regression verdict into a non-zero exit for CI.
+
+Comparability first: a run is only diffed against a ledger entry with
+the **same spec hash** (same benchmarks, same machine grid, same
+granularity -- otherwise the work differs and so must the timings), the
+**same host fingerprint** (same interpreter on the same kind of machine
+-- a laptop baseline must never gate a CI run), and the **same
+executed-job count** (an all-cache-hit run executed nothing and its
+near-zero timings would slander any real run that follows).  The most
+recent such entry is the default baseline; ``--baseline RUN_ID`` pins
+another.
+
+Verdicts are noise-aware by construction.  A span name regresses only
+when *both* trip:
+
+* the relative threshold -- its p50 grew by more than
+  :data:`DEFAULT_REL_THRESHOLD` (so a 2x stage slowdown always fires);
+* the absolute floor -- the p50 grew by more than
+  :data:`DEFAULT_ABS_FLOOR` seconds (so a sub-millisecond span that
+  doubles from 80us to 160us -- pure scheduler noise -- can't flap the
+  gate).
+
+Counter deltas (cache hits, evictions, ...) are reported for diagnosis
+but never gate: they describe *why* timings moved, not whether they did.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+#: A span regresses only if its p50 grew by more than this fraction ...
+DEFAULT_REL_THRESHOLD = 0.5
+
+#: ... *and* by more than this many seconds.  Sub-millisecond spans
+#: double on scheduler noise alone; they must not flap the gate.
+DEFAULT_ABS_FLOOR = 0.005
+
+#: Which digest statistic verdicts are computed from.  The median is the
+#: most noise-resistant single number the ledger records; tail statistics
+#: (p99, max) are reported in deltas but do not gate.
+VERDICT_STAT = "p50"
+
+
+def comparable(entry: Mapping, current: Mapping) -> bool:
+    """Whether a ledger entry is a valid baseline for the current run.
+
+    Same spec hash, same host fingerprint, *and the same executed-job
+    count*: a run that served everything from the result cache executed
+    no pipeline stages, so its (near-zero) timings would make any real
+    run after it look like a catastrophic regression -- the two runs did
+    different work and must not gate each other.
+    """
+    entry_host = (entry.get("host") or {}).get("fingerprint")
+    current_host = (current.get("host") or {}).get("fingerprint")
+    entry_run = entry.get("run") or {}
+    current_run = current.get("run") or {}
+    return (
+        entry.get("spec_hash") is not None
+        and entry.get("spec_hash") == current.get("spec_hash")
+        and entry_host is not None
+        and entry_host == current_host
+        and entry_run.get("executed") == current_run.get("executed")
+    )
+
+
+def find_baseline(
+    entries: Iterable[Mapping],
+    current: Mapping,
+    baseline_run_id: Optional[str] = None,
+) -> Optional[Mapping]:
+    """Pick the baseline entry to diff the current run against.
+
+    With ``baseline_run_id`` the entry with that run id is returned (or
+    None when absent).  Otherwise: the most recent entry, *older than the
+    current one*, that is comparable (same spec hash, same host).
+    """
+    entries = list(entries)
+    if baseline_run_id is not None:
+        for entry in reversed(entries):
+            if entry.get("run_id") == baseline_run_id:
+                return entry
+        return None
+    current_id = current.get("run_id")
+    seen_current = False
+    for entry in reversed(entries):
+        if not seen_current:
+            if entry.get("run_id") == current_id:
+                seen_current = True
+            continue
+        if comparable(entry, current):
+            return entry
+    return None
+
+
+def _span_delta(
+    name: str,
+    base: Mapping,
+    cur: Mapping,
+    rel_threshold: float,
+    abs_floor: float,
+) -> dict:
+    """One span name's structured delta plus its verdict."""
+    base_value = float(base.get(VERDICT_STAT) or 0.0)
+    cur_value = float(cur.get(VERDICT_STAT) or 0.0)
+    delta = cur_value - base_value
+    ratio = (cur_value / base_value) if base_value > 0 else None
+    verdict = "ok"
+    if base_value > 0:
+        if delta > abs_floor and delta > rel_threshold * base_value:
+            verdict = "regression"
+        elif -delta > abs_floor and -delta > rel_threshold * base_value:
+            verdict = "improvement"
+    return {
+        "name": name,
+        "verdict": verdict,
+        "stat": VERDICT_STAT,
+        "baseline": base_value,
+        "current": cur_value,
+        "delta": round(delta, 6),
+        "ratio": round(ratio, 4) if ratio is not None else None,
+        "count_baseline": base.get("count"),
+        "count_current": cur.get("count"),
+        "total_baseline": base.get("total"),
+        "total_current": cur.get("total"),
+    }
+
+
+def compare(
+    current: Mapping,
+    baseline: Mapping,
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    abs_floor: float = DEFAULT_ABS_FLOOR,
+) -> dict:
+    """Diff two ledger entries into structured deltas plus verdicts.
+
+    Returns a dict with ``spans`` (every span name of either run, each
+    carrying baseline/current p50, delta, ratio and a verdict), ``counters``
+    (per-counter deltas, informational), and the rolled-up ``regressions``
+    / ``improvements`` name lists the gate keys on.  Span names present in
+    only one run are reported as ``added`` / ``removed`` -- structure
+    changes are worth seeing but are not timing regressions.
+    """
+    base_spans: Mapping = baseline.get("spans") or {}
+    cur_spans: Mapping = current.get("spans") or {}
+    spans: list[dict] = []
+    for name in sorted(set(base_spans) | set(cur_spans)):
+        base = base_spans.get(name)
+        cur = cur_spans.get(name)
+        if base is None:
+            spans.append(
+                {
+                    "name": name,
+                    "verdict": "added",
+                    "stat": VERDICT_STAT,
+                    "baseline": None,
+                    "current": float((cur or {}).get(VERDICT_STAT) or 0.0),
+                    "delta": None,
+                    "ratio": None,
+                }
+            )
+        elif cur is None:
+            spans.append(
+                {
+                    "name": name,
+                    "verdict": "removed",
+                    "stat": VERDICT_STAT,
+                    "baseline": float(base.get(VERDICT_STAT) or 0.0),
+                    "current": None,
+                    "delta": None,
+                    "ratio": None,
+                }
+            )
+        else:
+            spans.append(
+                _span_delta(name, base, cur, rel_threshold, abs_floor)
+            )
+
+    base_counters: Mapping = baseline.get("counters") or {}
+    cur_counters: Mapping = current.get("counters") or {}
+    counters = [
+        {
+            "name": name,
+            "baseline": base_counters.get(name),
+            "current": cur_counters.get(name),
+            "delta": (
+                int(cur_counters.get(name, 0)) - int(base_counters.get(name, 0))
+            ),
+        }
+        for name in sorted(set(base_counters) | set(cur_counters))
+    ]
+
+    return {
+        "baseline_run_id": baseline.get("run_id"),
+        "current_run_id": current.get("run_id"),
+        "rel_threshold": rel_threshold,
+        "abs_floor": abs_floor,
+        "stat": VERDICT_STAT,
+        "spans": spans,
+        "counters": counters,
+        "regressions": [
+            row["name"] for row in spans if row["verdict"] == "regression"
+        ],
+        "improvements": [
+            row["name"] for row in spans if row["verdict"] == "improvement"
+        ],
+    }
+
+
+def has_regressions(comparison: Mapping) -> bool:
+    """Whether a comparison should fail the gate."""
+    return bool(comparison.get("regressions"))

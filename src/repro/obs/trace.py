@@ -34,6 +34,8 @@ import threading
 import time
 from typing import Optional
 
+from repro.obs import profilehook
+
 #: Environment variable controlling telemetry.  Unset or any other value
 #: means enabled; the values below (case-insensitive) disable it.
 ENV_VAR = "REPRO_OBS"
@@ -109,7 +111,9 @@ class Span:
     event log; otherwise both stay None and nothing is buffered.
     """
 
-    __slots__ = ("name", "attrs", "id", "parent", "started", "elapsed", "_t0")
+    __slots__ = (
+        "name", "attrs", "id", "parent", "started", "elapsed", "_t0", "_prof"
+    )
 
     def __init__(self, name: str, attrs: dict, record: bool) -> None:
         self.name = name
@@ -118,18 +122,26 @@ class Span:
         self.parent: Optional[str] = None
         self.started = 0.0
         self.elapsed = 0.0
+        self._prof = None
 
     def __enter__(self) -> "Span":
         if self.id is not None:
             stack = _stack()
             self.parent = stack[-1].id if stack else None
             stack.append(self)
+            # REPRO_OBS_PROFILE: only recording spans consult the hook, so
+            # profiling implies telemetry on, and an unset glob costs one
+            # falsy check.  start() returns None for non-matching names.
+            self._prof = profilehook.start(self.name)
         self.started = time.time()
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         self.elapsed = time.perf_counter() - self._t0
+        if self._prof is not None:
+            profilehook.stop(self._prof)
+            self._prof = None
         if self.id is not None:
             stack = _stack()
             if stack and stack[-1] is self:

@@ -36,6 +36,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping, Optional, Protocol
 
@@ -529,6 +531,30 @@ PIPELINE_STAGES: tuple[type[PipelineStage], ...] = (
     ScheduleStage,
 )
 
+#: Test-only knob: ``REPRO_SWEEP_TEST_SLOWDOWN="<stage>:<seconds>"`` sleeps
+#: inside the named stage's span (even on cache hits, so ``--force`` reruns
+#: against warm artifact stores still show it).  It exists so the perf
+#: regression gate can be exercised end to end -- a real, visible slowdown
+#: injected without touching product code -- and must never be set outside
+#: tests and the CI gate-smoke step.
+TEST_SLOWDOWN_ENV = "REPRO_SWEEP_TEST_SLOWDOWN"
+
+
+def _maybe_inject_test_slowdown(stage_name: str) -> None:
+    spec = os.environ.get(TEST_SLOWDOWN_ENV)
+    if not spec:
+        return
+    target, _, seconds = spec.partition(":")
+    target = target.strip()
+    if target not in (stage_name, f"stage.{stage_name}"):
+        return
+    try:
+        delay = float(seconds)
+    except ValueError:
+        return
+    if delay > 0:
+        time.sleep(delay)
+
 
 def _run_stage(
     stage: type[PipelineStage],
@@ -546,6 +572,7 @@ def _run_stage(
     ``perf_counter`` pair one for one.
     """
     with obs.measured_span(f"stage.{stage.name}", loop=ctx.loop.name) as span:
+        _maybe_inject_test_slowdown(stage.name)
         if cache is not None:
             key = stage.key(ctx)
             payload = cache.get(stage.name, key)

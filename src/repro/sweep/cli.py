@@ -10,7 +10,12 @@
                                   [--granularity benchmark|loop|all]
                                   [--format table|json] [--source simulator|model]
                                   [--timings]
-    python -m repro.sweep trace   RESULTS_DIR [--output FILE]
+    python -m repro.sweep trace   RESULTS_DIR [--output FILE] [--folded]
+    python -m repro.sweep runs    RESULTS_DIR [--limit N] [--spec-hash HASH]
+                                  [--format table|json]
+    python -m repro.sweep regress RESULTS_DIR [--gate] [--baseline RUN_ID]
+                                  [--format table|json]
+    python -m repro.sweep watch   RESULTS_DIR [--interval SECONDS] [--once]
     python -m repro.sweep vacuum  [--results-dir DIR]
 
 ``run`` executes the grid (the built-in 8-point architectural grid of the
@@ -28,7 +33,11 @@ Telemetry (on unless ``REPRO_OBS=off``) lands under ``<results-dir>/obs/``;
 ``report --timings`` renders its per-stage/per-job percentiles, ``status``
 shows the last run's counters, and ``trace`` exports a Chrome
 trace-event JSON that chrome://tracing and ui.perfetto.dev open directly
-(see docs/observability.md).
+(or, with ``--folded``, the run's collapsed-stack profiles).  Cross-run
+telemetry accumulates in the run ledger: ``runs`` lists history,
+``regress`` diffs the latest run against its most recent comparable
+baseline (``--gate`` exits non-zero on a regression), and ``watch`` tails
+a live run's progress (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -36,10 +45,14 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Optional
 
 from repro.obs import events as obs_events
+from repro.obs import ledger as obs_ledger
+from repro.obs import profilehook as obs_profilehook
+from repro.obs import regress as obs_regress
 from repro.obs.export import export_chrome_trace
 from repro.sweep.artifacts import ARTIFACTS_DIRNAME, ArtifactStore
 from repro.sweep.executor import (
@@ -50,11 +63,15 @@ from repro.sweep.executor import (
 )
 from repro.sweep.report import (
     DEFAULT_METRICS,
+    render_regress,
     render_report,
     render_report_json,
+    render_runs,
     render_status,
     render_telemetry_status,
     render_timings,
+    render_watch,
+    watch_snapshot,
 )
 from repro.sweep.spec import SweepSpec, default_spec
 from repro.sweep.store import ResultStore
@@ -173,6 +190,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _missing_telemetry_message(root: Path) -> str:
+    """The shared one-liner for stores without an ``obs/`` directory."""
+    return (
+        f"error: no telemetry at {obs_events.obs_dir(root)} -- the store's "
+        "runs had REPRO_OBS=off (or never ran); re-run with telemetry "
+        "enabled"
+    )
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     store = ResultStore(Path(args.results_dir))
     spec: Optional[SweepSpec] = None
@@ -182,6 +208,9 @@ def _cmd_status(args: argparse.Namespace) -> int:
     telemetry = render_telemetry_status(store.root)
     if telemetry is not None:
         print(telemetry)
+    elif not obs_events.obs_dir(store.root).is_dir():
+        print(_missing_telemetry_message(store.root), file=sys.stderr)
+        return 2
     return 0
 
 
@@ -226,7 +255,30 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     root = Path(args.results_dir)
-    trace_path = obs_events.obs_dir(root) / obs_events.TRACE_FILENAME
+    directory = obs_events.obs_dir(root)
+    if not directory.is_dir():
+        print(_missing_telemetry_message(root), file=sys.stderr)
+        return 2
+    if args.folded:
+        output = (
+            Path(args.output)
+            if args.output is not None
+            else directory / "profile.folded"
+        )
+        count = obs_profilehook.export_folded(directory, output)
+        if count == 0:
+            print(
+                f"error: no span profiles under {directory} -- run with "
+                f"{obs_profilehook.ENV_VAR}=<span-glob> to capture them",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            f"exported {count} folded stack line(s) to {output} "
+            "(flamegraph.pl / speedscope / inferno input)"
+        )
+        return 0
+    trace_path = directory / obs_events.TRACE_FILENAME
     if not trace_path.is_file():
         print(
             f"error: no run trace at {trace_path} "
@@ -237,13 +289,108 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     output = (
         Path(args.output)
         if args.output is not None
-        else obs_events.obs_dir(root) / "trace.json"
+        else directory / "trace.json"
     )
     count = export_chrome_trace(obs_events.read_events(trace_path), output)
     print(
         f"exported {count} span(s) to {output} "
         "(open in chrome://tracing or https://ui.perfetto.dev)"
     )
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    root = Path(args.results_dir)
+    directory = obs_events.obs_dir(root)
+    if not directory.is_dir():
+        print(_missing_telemetry_message(root), file=sys.stderr)
+        return 2
+    entries = obs_ledger.read_entries(directory)
+    if args.spec_hash is not None:
+        entries = [
+            entry
+            for entry in entries
+            if str(entry.get("spec_hash", "")).startswith(args.spec_hash)
+        ]
+    if args.format == "json":
+        shown = entries[-args.limit:] if args.limit else entries
+        print(json.dumps(shown, indent=2, sort_keys=True))
+    else:
+        print(render_runs(entries, limit=args.limit))
+    return 0
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    root = Path(args.results_dir)
+    directory = obs_events.obs_dir(root)
+    if not directory.is_dir():
+        print(_missing_telemetry_message(root), file=sys.stderr)
+        return 2
+    entries = obs_ledger.read_entries(directory)
+    if not entries:
+        print(
+            f"error: no ledger entries at {obs_ledger.ledger_path(directory)} "
+            "(finalize at least one run first)",
+            file=sys.stderr,
+        )
+        return 2
+    current = entries[-1]
+    baseline = obs_regress.find_baseline(entries, current, args.baseline)
+    if baseline is None:
+        if args.baseline is not None:
+            print(
+                f"error: no ledger entry with run id {args.baseline!r}",
+                file=sys.stderr,
+            )
+            return 2
+        # A first run has nothing comparable to regress against; that is
+        # a clean pass, not a failure -- the gate must hold on a fresh
+        # store.
+        print(
+            f"no comparable baseline for run {current.get('run_id')} "
+            "(same spec hash and host fingerprint); nothing to compare -- "
+            "no regressions"
+        )
+        return 0
+    comparison = obs_regress.compare(
+        current,
+        baseline,
+        rel_threshold=args.rel_threshold,
+        abs_floor=args.abs_floor,
+    )
+    if args.format == "json":
+        print(json.dumps(comparison, indent=2, sort_keys=True))
+    else:
+        print(render_regress(comparison))
+    if args.gate and obs_regress.has_regressions(comparison):
+        return 1
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    root = Path(args.results_dir)
+    directory = obs_events.obs_dir(root)
+    if not directory.is_dir():
+        print(_missing_telemetry_message(root), file=sys.stderr)
+        return 2
+    snapshot = watch_snapshot(root)
+    if snapshot is None:
+        manifest = obs_events.load_manifest(root)
+        if manifest is not None:
+            print(
+                "no run in progress; last run finalized "
+                f"{manifest.get('created', '?')} (see 'runs' for history)"
+            )
+        else:
+            print("no run in progress and no finalized run telemetry")
+        return 0
+    while snapshot is not None:
+        print(render_watch(snapshot))
+        if args.once:
+            return 0
+        time.sleep(args.interval)
+        snapshot = watch_snapshot(root)
+    print("run finalized (see 'report --timings' and 'regress')")
     return 0
 
 
@@ -377,9 +524,115 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--output",
         default=None,
         metavar="FILE",
-        help="output path (default: RESULTS_DIR/obs/trace.json)",
+        help="output path (default: RESULTS_DIR/obs/trace.json, or "
+        "RESULTS_DIR/obs/profile.folded with --folded)",
+    )
+    trace_parser.add_argument(
+        "--folded",
+        action="store_true",
+        help="export the run's collapsed-stack span profiles "
+        f"(captured with {obs_profilehook.ENV_VAR}=<span-glob>) instead "
+        "of the Chrome trace",
     )
     trace_parser.set_defaults(func=_cmd_trace)
+
+    runs_parser = sub.add_parser(
+        "runs", help="list the store's run-ledger history"
+    )
+    runs_parser.add_argument(
+        "results_dir",
+        metavar="RESULTS_DIR",
+        help="result store directory holding obs/ledger.jsonl",
+    )
+    runs_parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only show the last N runs",
+    )
+    runs_parser.add_argument(
+        "--spec-hash",
+        default=None,
+        metavar="HASH",
+        help="only show runs whose spec hash starts with HASH",
+    )
+    runs_parser.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output format (json entries are the raw ledger lines)",
+    )
+    runs_parser.set_defaults(func=_cmd_runs)
+
+    regress_parser = sub.add_parser(
+        "regress",
+        help="diff the latest run against its most recent comparable "
+        "baseline in the run ledger",
+    )
+    regress_parser.add_argument(
+        "results_dir",
+        metavar="RESULTS_DIR",
+        help="result store directory holding obs/ledger.jsonl",
+    )
+    regress_parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit non-zero when any span regressed (for CI)",
+    )
+    regress_parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="RUN_ID",
+        help="pin the baseline to a specific ledger run id instead of the "
+        "most recent comparable entry",
+    )
+    regress_parser.add_argument(
+        "--rel-threshold",
+        type=float,
+        default=obs_regress.DEFAULT_REL_THRESHOLD,
+        metavar="FRACTION",
+        help="relative p50 growth a span must exceed to regress "
+        f"(default {obs_regress.DEFAULT_REL_THRESHOLD})",
+    )
+    regress_parser.add_argument(
+        "--abs-floor",
+        type=float,
+        default=obs_regress.DEFAULT_ABS_FLOOR,
+        metavar="SECONDS",
+        help="absolute p50 growth a span must also exceed, so "
+        "sub-millisecond spans cannot flap the gate "
+        f"(default {obs_regress.DEFAULT_ABS_FLOOR})",
+    )
+    regress_parser.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output format (json is the structured comparison)",
+    )
+    regress_parser.set_defaults(func=_cmd_regress)
+
+    watch_parser = sub.add_parser(
+        "watch", help="tail a live run's progress from its worker shards"
+    )
+    watch_parser.add_argument(
+        "results_dir",
+        metavar="RESULTS_DIR",
+        help="result store directory the run is writing to",
+    )
+    watch_parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between refreshes (default 2)",
+    )
+    watch_parser.add_argument(
+        "--once",
+        action="store_true",
+        help="print one snapshot and exit (for scripts and tests)",
+    )
+    watch_parser.set_defaults(func=_cmd_watch)
 
     vacuum_parser = sub.add_parser(
         "vacuum", help="remove orphaned payloads from the result store"

@@ -53,6 +53,7 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 
 from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
+from repro.obs import profilehook as obs_profilehook
 from repro.obs import trace as obs
 from repro.scheduler.pipeline import compile_loop
 from repro.sim.engine import simulate_compiled_loops
@@ -204,6 +205,7 @@ def _init_worker(
     artifacts_root: Optional[str],
     shard_dir: Optional[str],
     obs_enabled: bool,
+    profile_spec: Optional[str] = None,
 ) -> None:
     """Pool-worker initializer: artifact cache plus telemetry binding.
 
@@ -211,13 +213,17 @@ def _init_worker(
     inherits the parent's undrained span buffer and live metric counters
     (which would be duplicated at merge time), while a *spawned* worker
     re-reads ``REPRO_OBS`` but misses any ``set_enabled`` override -- so
-    the effective switch travels as an initarg.
+    the effective switch (and the profiling glob with it) travels as an
+    initarg.  A forked worker's inherited accumulated profiles are
+    dropped for the same duplication reason.
     """
     configure_artifacts(artifacts_root)
     obs.reset()
     obs.set_enabled(obs_enabled)
     obs_metrics.registry().clear()
     obs_events.configure_shard(shard_dir)
+    obs_profilehook.reset()
+    obs_profilehook.configure(profile_spec)
 
 
 def _pool_execute(
@@ -639,6 +645,18 @@ def run_jobs(
             )
         else:
             run_units = pending
+            if telemetry and pending:
+                obs_events.write_run_header(
+                    store.root,
+                    {
+                        "run_id": run_root.id,
+                        "pid": os.getpid(),
+                        "total_jobs": total,
+                        "total_units": len(pending),
+                        "workers": min(max(1, workers), len(pending)),
+                        "granularity": granularity,
+                    },
+                )
             _dispatch(
                 pending,
                 workers,
@@ -670,6 +688,8 @@ def run_jobs(
                 "granularity": granularity,
                 "workers": summary.workers,
                 "run": summary.describe(),
+                "stage_hits": dict(summary.stage_hits),
+                "stage_misses": dict(summary.stage_misses),
             },
         )
     return summary
@@ -690,9 +710,11 @@ def _dispatch(
     ``artifacts_root`` every executing process -- pool workers via the
     initializer, the in-process path for the duration of the call -- binds
     its stage cache to that store; ``on_stats`` receives each finished
-    job's per-stage hit/miss counters.  With ``shard_dir`` pool workers
-    flush their telemetry to per-pid JSONL shards there (the in-process
-    path needs no shard: its spans land in the parent's own buffer).
+    job's per-stage hit/miss counters.  With ``shard_dir`` every executing
+    process flushes its telemetry to a per-pid JSONL shard there after
+    each job -- pool workers via the initializer, the in-process path for
+    the duration of the call -- which is what gives ``repro-sweep watch``
+    live progress whatever the worker count.
     """
     pool_size = min(workers, len(jobs))
     if pool_size > 1:
@@ -702,6 +724,7 @@ def _dispatch(
             str(artifacts_root) if artifacts_root is not None else None,
             str(shard_dir) if shard_dir is not None else None,
             obs.enabled(),
+            obs_profilehook.spec(),
         )
         with context.Pool(
             processes=pool_size, initializer=_init_worker, initargs=initargs
@@ -722,15 +745,21 @@ def _dispatch(
             # by direct execute_job() calls so this run's summary only
             # counts its own stage lookups.
             artifact_cache().take_stats()
+        if shard_dir is not None:
+            obs_events.configure_shard(shard_dir)
         try:
             for job in jobs:
                 record, result = execute_job(job)
                 if on_stats is not None:
                     on_stats(artifact_cache().take_stats())
                 handle(job, record, result)
+                if shard_dir is not None:
+                    obs_events.flush_shard()
         finally:
             if artifacts_root is not None:
                 _ARTIFACTS = previous
+            if shard_dir is not None:
+                obs_events.configure_shard(None)
 
 
 def _execute_loop_granularity(
@@ -835,6 +864,18 @@ def _execute_loop_granularity(
         if count == 0:
             aggregate(parent_key)
 
+    if shard_dir is not None and store is not None and to_run:
+        obs_events.write_run_header(
+            store.root,
+            {
+                "run_id": obs.current_span_id(),
+                "pid": os.getpid(),
+                "total_jobs": len(pending),
+                "total_units": len(to_run),
+                "workers": min(max(1, workers), len(to_run)),
+                "granularity": "loop",
+            },
+        )
     _dispatch(to_run, workers, finish_loop, artifacts_root, on_stats, shard_dir)
     return to_run
 

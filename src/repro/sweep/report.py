@@ -3,12 +3,14 @@
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
-from typing import Iterable, Optional, Sequence, Union
+from typing import Iterable, Mapping, Optional, Sequence, Union
 
 from repro.analysis.report import format_table
 from repro.obs import events as obs_events
-from repro.obs.export import timings_summary, timings_table
+from repro.obs import ledger as obs_ledger
+from repro.obs.export import percentile, timings_summary, timings_table
 from repro.sweep.spec import SweepSpec
 from repro.sweep.store import ResultStore
 
@@ -201,7 +203,227 @@ def render_timings(
             title="job elapsed_seconds (fresh simulator records only)",
         )
     )
+    stragglers = render_stragglers(events)
+    if stragglers is not None:
+        sections.append(stragglers)
     return "\n\n".join(sections)
+
+
+def render_stragglers(events: Iterable[dict]) -> Optional[str]:
+    """Jobs finalize_run flagged as stragglers, slowest first (or None).
+
+    A straggler is a ``sweep.job`` span whose duration exceeded k x the
+    run's median job duration (``REPRO_OBS_STRAGGLER_K``, default 3);
+    the annotation is made at finalization, so this only reads it back.
+    """
+    flagged = [
+        event
+        for event in events
+        if event.get("kind") == "span"
+        and (event.get("attrs") or {}).get("straggler")
+    ]
+    if not flagged:
+        return None
+    flagged.sort(key=lambda event: -float(event.get("dur", 0.0)))
+    rows = []
+    for event in flagged:
+        attrs = event.get("attrs") or {}
+        rows.append(
+            [
+                attrs.get("benchmark", "?"),
+                attrs.get("loop") or "",
+                attrs.get("architecture", "?"),
+                f"{float(event.get('dur', 0.0)):.4f}",
+                f"{attrs.get('straggler_ratio', '?')}x median",
+            ]
+        )
+    return format_table(
+        ["benchmark", "loop", "architecture", "seconds", "vs median"],
+        rows,
+        title=f"stragglers - {len(rows)} job(s) exceeded the straggler "
+        "threshold",
+    )
+
+
+def render_runs(
+    entries: Sequence[Mapping], limit: Optional[int] = None
+) -> str:
+    """The run ledger as a table, most recent run last."""
+    if not entries:
+        return "run ledger: (no entries)"
+    shown = list(entries[-limit:] if limit else entries)
+    rows = []
+    for entry in shown:
+        run = entry.get("run") or {}
+        host = entry.get("host") or {}
+        spec_hash = str(entry.get("spec_hash") or "?")
+        rows.append(
+            [
+                entry.get("run_id", "?"),
+                entry.get("created", "?"),
+                spec_hash[:12],
+                host.get("fingerprint", "?"),
+                run.get("total_jobs", "?"),
+                run.get("executed", "?"),
+                run.get("cache_hits", "?"),
+                run.get("elapsed_seconds", "?"),
+                entry.get("git_describe") or "?",
+            ]
+        )
+    title = f"run ledger - {len(entries)} run(s)"
+    if limit and len(entries) > limit:
+        title += f", showing last {len(shown)}"
+    return format_table(
+        [
+            "run_id",
+            "created",
+            "spec",
+            "host",
+            "jobs",
+            "executed",
+            "hits",
+            "seconds",
+            "git",
+        ],
+        rows,
+        title=title,
+    )
+
+
+def render_regress(comparison: Mapping) -> str:
+    """A regression comparison as a human-readable report."""
+    lines = [
+        "regression check: "
+        f"{comparison.get('current_run_id')} vs baseline "
+        f"{comparison.get('baseline_run_id')}",
+        f"  thresholds: {comparison.get('stat')} must grow by more than "
+        f"{float(comparison.get('rel_threshold', 0.0)):.0%} and "
+        f"{float(comparison.get('abs_floor', 0.0)) * 1e3:g}ms to regress",
+    ]
+    rows = []
+    for row in comparison.get("spans") or []:
+        if row["verdict"] == "ok":
+            continue
+        fmt = lambda value: "-" if value is None else f"{value:.6f}"
+        rows.append(
+            [
+                row["name"],
+                row["verdict"],
+                fmt(row.get("baseline")),
+                fmt(row.get("current")),
+                fmt(row.get("delta")),
+                "-" if row.get("ratio") is None else f"{row['ratio']:.2f}x",
+            ]
+        )
+    if rows:
+        lines.append(
+            format_table(
+                ["span", "verdict", "baseline_p50", "current_p50", "delta", "ratio"],
+                rows,
+                title="span verdicts (ok rows omitted)",
+            )
+        )
+    else:
+        lines.append("  all spans within thresholds")
+    changed = [
+        counter
+        for counter in comparison.get("counters") or []
+        if counter.get("delta")
+    ]
+    if changed:
+        lines.append(
+            format_table(
+                ["counter", "baseline", "current", "delta"],
+                [
+                    [c["name"], c.get("baseline"), c.get("current"), c["delta"]]
+                    for c in changed
+                ],
+                title="counter deltas (informational)",
+            )
+        )
+    regressions = comparison.get("regressions") or []
+    if regressions:
+        lines.append(f"REGRESSION: {', '.join(regressions)}")
+    else:
+        lines.append("no regressions")
+    return "\n".join(lines)
+
+
+def watch_snapshot(store_root: Union[Path, str]) -> Optional[dict]:
+    """One observation of an in-progress run's shard telemetry.
+
+    None when no run header is present (nothing live).  Completed units
+    are counted as ``sweep.job`` spans across the worker shards; the ETA
+    extrapolates from the running median job duration and the worker
+    count, so it sharpens as the run progresses.
+    """
+    header = obs_events.load_run_header(store_root)
+    if header is None:
+        return None
+    directory = obs_events.obs_dir(store_root)
+    durations: list[float] = []
+    stage_hits: dict[str, int] = {}
+    stage_totals: dict[str, int] = {}
+    for shard in sorted(directory.glob(f"{obs_events.SHARD_PREFIX}*.jsonl")):
+        for event in obs_events.read_events(shard):
+            if event.get("kind") != "span":
+                continue
+            name = event.get("name")
+            if name == "sweep.job":
+                durations.append(float(event.get("dur", 0.0)))
+            elif isinstance(name, str) and name.startswith("stage."):
+                stage = name[len("stage."):]
+                stage_totals[stage] = stage_totals.get(stage, 0) + 1
+                if (event.get("attrs") or {}).get("cache_hit"):
+                    stage_hits[stage] = stage_hits.get(stage, 0) + 1
+    total = int(header.get("total_units") or 0)
+    done = len(durations)
+    elapsed = max(0.0, time.time() - float(header.get("started") or 0.0))
+    workers = max(1, int(header.get("workers") or 1))
+    median = percentile(durations, 0.5) if durations else None
+    eta = None
+    if median is not None and total > done:
+        eta = (total - done) * median / workers
+    return {
+        "header": header,
+        "total_units": total,
+        "completed": done,
+        "elapsed_seconds": elapsed,
+        "median_job_seconds": median,
+        "eta_seconds": eta,
+        "stages": {
+            stage: {
+                "hits": stage_hits.get(stage, 0),
+                "total": stage_totals.get(stage, 0),
+            }
+            for stage in sorted(stage_totals)
+        },
+    }
+
+
+def render_watch(snapshot: Mapping) -> str:
+    """One ``repro-sweep watch`` progress line block from a snapshot."""
+    total = snapshot["total_units"]
+    done = snapshot["completed"]
+    share = f" ({done / total:.0%})" if total else ""
+    lines = [
+        f"run {snapshot['header'].get('run_id', '?')}: "
+        f"{done}/{total or '?'} jobs{share}, "
+        f"{snapshot['elapsed_seconds']:.1f}s elapsed"
+    ]
+    median = snapshot.get("median_job_seconds")
+    if median is not None:
+        eta = snapshot.get("eta_seconds")
+        eta_text = f", ~{eta:.0f}s left" if eta is not None else ""
+        lines.append(f"  median job {median:.3f}s{eta_text}")
+    stages = snapshot.get("stages") or {}
+    if stages:
+        parts = [
+            f"{stage} {info['hits']}/{info['total']}"
+            for stage, info in stages.items()
+        ]
+        lines.append("  stage cache: " + ", ".join(parts) + " (hits/lookups)")
+    return "\n".join(lines)
 
 
 def render_telemetry_status(store_root: Union[Path, str]) -> Optional[str]:
@@ -225,6 +447,12 @@ def render_telemetry_status(store_root: Union[Path, str]) -> Optional[str]:
         lines.append(f"  {name} = {value}")
     if len(lines) == 1:
         lines.append("  (no counters recorded)")
+    entries = obs_ledger.read_entries(obs_events.obs_dir(store_root))
+    if entries:
+        lines.append(
+            f"  ledger: {len(entries)} run(s) recorded "
+            "(see 'runs' and 'regress')"
+        )
     return "\n".join(lines)
 
 

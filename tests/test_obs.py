@@ -194,6 +194,58 @@ class TestMetrics:
         merged = obs_metrics.merge_snapshots([late, early])
         assert merged["gauges"]["depth"]["value"] == 9
 
+    def test_gauge_updated_tie_breaks_on_value(self):
+        # Two workers can stamp a gauge at the same wall-clock instant;
+        # the (updated, value) ordering must stay deterministic whichever
+        # way the snapshots arrive.
+        def snap(value, updated):
+            base = obs_metrics.empty_snapshot()
+            base["gauges"] = {"depth": {"value": value, "updated": updated}}
+            return base
+
+        a, b = snap(3, 100.0), snap(9, 100.0)
+        forward = obs_metrics.merge_snapshots([a, b])
+        backward = obs_metrics.merge_snapshots([b, a])
+        assert forward == backward
+        assert forward["gauges"]["depth"]["value"] == 9
+        # A later update always beats a larger tied value.
+        newer = snap(1, 101.0)
+        merged = obs_metrics.merge_snapshots([b, newer])
+        assert merged["gauges"]["depth"] == {"value": 1, "updated": 101.0}
+
+    def test_merge_empty_snapshot_is_identity_in_any_position(self):
+        registry = obs_metrics.MetricsRegistry()
+        registry.counter("jobs").inc(3)
+        registry.gauge("depth").set(2)
+        registry.histogram("dur").observe(0.5)
+        snapshot = registry.take_snapshot()
+        alone = obs_metrics.merge_snapshots([snapshot])
+        for parts in (
+            [obs_metrics.empty_snapshot(), snapshot],
+            [snapshot, obs_metrics.empty_snapshot()],
+            [
+                obs_metrics.empty_snapshot(),
+                snapshot,
+                obs_metrics.empty_snapshot(),
+            ],
+        ):
+            assert obs_metrics.merge_snapshots(parts) == alone
+        # Merging nothing but empties yields an empty snapshot.
+        merged = obs_metrics.merge_snapshots(
+            [obs_metrics.empty_snapshot(), obs_metrics.empty_snapshot()]
+        )
+        assert merged == obs_metrics.empty_snapshot()
+
+    def test_bucket_mismatch_error_names_the_histogram(self):
+        a = obs_metrics.MetricsRegistry()
+        a.histogram("stage_dur", buckets=(1.0, 2.0)).observe(0.5)
+        b = obs_metrics.MetricsRegistry()
+        b.histogram("stage_dur", buckets=(1.0, 4.0)).observe(0.5)
+        with pytest.raises(ValueError, match="stage_dur"):
+            obs_metrics.merge_snapshots(
+                [a.take_snapshot(), b.take_snapshot()]
+            )
+
     def test_merge_rejects_foreign_schema(self):
         bad = obs_metrics.empty_snapshot()
         bad["schema"] = 999
@@ -316,6 +368,55 @@ class TestEventLog:
             obs_events.read_events(directory / obs_events.TRACE_FILENAME)
         )
         assert [e["id"] for e in events] == [second.id]
+
+
+# ----------------------------------------------------------------------
+# Manifest provenance
+# ----------------------------------------------------------------------
+class TestGitDescribe:
+    def test_missing_git_binary_yields_none(self, monkeypatch):
+        def raise_missing(*args, **kwargs):
+            raise FileNotFoundError("git")
+
+        monkeypatch.setattr(obs_events.subprocess, "run", raise_missing)
+        assert obs_events._git_describe() is None
+
+    def test_not_a_repository_yields_none_without_leaking_stderr(
+        self, monkeypatch, capfd
+    ):
+        def fail_like_git(*args, **kwargs):
+            # A real `git describe` outside a repo prints to stderr; the
+            # probe must capture it (the CLI's output stays clean) and
+            # report an explicit None.
+            assert kwargs.get("capture_output") is True
+            return obs_events.subprocess.CompletedProcess(
+                args=args, returncode=128, stdout="",
+                stderr="fatal: not a git repository\n",
+            )
+
+        monkeypatch.setattr(obs_events.subprocess, "run", fail_like_git)
+        assert obs_events._git_describe() is None
+        manifest = obs_events.build_manifest()
+        assert manifest["git_describe"] is None
+        captured = capfd.readouterr()
+        assert captured.out == "" and captured.err == ""
+
+    def test_timeout_and_oserror_yield_none(self, monkeypatch):
+        def hang(*args, **kwargs):
+            raise obs_events.subprocess.TimeoutExpired(cmd="git", timeout=5)
+
+        monkeypatch.setattr(obs_events.subprocess, "run", hang)
+        assert obs_events._git_describe() is None
+
+    def test_empty_output_is_reported_as_none(self, monkeypatch):
+        monkeypatch.setattr(
+            obs_events.subprocess,
+            "run",
+            lambda *a, **k: obs_events.subprocess.CompletedProcess(
+                args=a, returncode=0, stdout="  \n", stderr=""
+            ),
+        )
+        assert obs_events._git_describe() is None
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,530 @@
+"""Tests of the cross-run telemetry layers.
+
+Covers the run ledger (repro.obs.ledger), the noise-aware regression
+gate (repro.obs.regress), the span profiling hook
+(repro.obs.profilehook), straggler annotation and the live-run header
+(repro.obs.events), and the CLI surfaces built on them
+(``runs`` / ``regress`` / ``watch`` / ``trace --folded``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import events as obs_events
+from repro.obs import ledger as obs_ledger
+from repro.obs import metrics as obs_metrics
+from repro.obs import profilehook as obs_profilehook
+from repro.obs import regress as obs_regress
+from repro.obs import trace as obs_trace
+from repro.scheduler.pipeline import TEST_SLOWDOWN_ENV
+from repro.sweep.cli import main as cli_main
+from repro.sweep.report import render_stragglers, render_watch, watch_snapshot
+
+FAST_SPEC = {
+    "name": "ledger-test",
+    "benchmarks": ["kernel:streaming"],
+    "axes": {"clusters": [2, 4]},
+    "base": {"iteration_cap": 64},
+}
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Every test starts with telemetry on and all obs state empty."""
+    previous = obs_trace.set_enabled(True)
+    obs_trace.reset()
+    obs_metrics.registry().clear()
+    obs_events.configure_shard(None)
+    obs_profilehook.reset()
+    obs_profilehook.configure(None)
+    yield
+    obs_trace.set_enabled(previous)
+    obs_trace.reset()
+    obs_metrics.registry().clear()
+    obs_events.configure_shard(None)
+    obs_profilehook.reset()
+    obs_profilehook.configure(None)
+
+
+def _span(name, dur, span_id="1:1", parent=None, attrs=None, ts=1.0):
+    return {
+        "kind": "span",
+        "id": span_id,
+        "parent": parent,
+        "name": name,
+        "ts": ts,
+        "dur": dur,
+        "pid": 1,
+        "tid": 1,
+        "attrs": dict(attrs or {}),
+    }
+
+
+def _entry(run_id, spec_hash="abc", executed=4, spans=None, counters=None,
+           host=None):
+    return {
+        "schema": obs_ledger.LEDGER_SCHEMA,
+        "run_id": run_id,
+        "created": "2026-01-01T00:00:00+0000",
+        "host": host or obs_ledger.host_fingerprint(),
+        "spec_hash": spec_hash,
+        "run": {"total_jobs": executed, "executed": executed},
+        "counters": dict(counters or {}),
+        "stages": {},
+        "spans": dict(spans or {}),
+    }
+
+
+def _digest(p50, count=10):
+    return {
+        "count": count,
+        "total": p50 * count,
+        "p50": p50,
+        "p90": p50,
+        "p99": p50,
+        "max": p50,
+    }
+
+
+# ----------------------------------------------------------------------
+# Run ledger
+# ----------------------------------------------------------------------
+class TestLedger:
+    def test_run_ids_are_unique_within_a_process(self):
+        ids = {obs_ledger.new_run_id() for _ in range(5)}
+        assert len(ids) == 5
+
+    def test_host_fingerprint_is_stable(self):
+        first = obs_ledger.host_fingerprint()
+        second = obs_ledger.host_fingerprint()
+        assert first == second
+        assert len(first["fingerprint"]) == 16
+
+    def test_span_digests_use_nearest_rank_percentiles(self):
+        events = [
+            _span("stage.x", dur=float(i), span_id=f"1:{i}")
+            for i in range(1, 12)
+        ]
+        digests = obs_ledger.span_digests(events)
+        digest = digests["stage.x"]
+        assert digest["count"] == 11
+        assert digest["p50"] == 6.0
+        assert digest["p99"] == 11.0
+        assert digest["max"] == 11.0
+        assert digest["total"] == pytest.approx(66.0)
+
+    def test_stage_rates(self):
+        rates = obs_ledger.stage_rates(
+            {"unroll": 3, "schedule": 0}, {"unroll": 1, "profile": 2}
+        )
+        assert rates["unroll"] == {"hits": 3, "misses": 1, "hit_rate": 0.75}
+        assert rates["profile"]["hit_rate"] == 0.0
+        assert rates["schedule"]["hit_rate"] is None
+
+    def test_append_and_read_skip_torn_and_foreign_lines(self, tmp_path):
+        obs_ledger.append_entry(tmp_path, _entry("r1"))
+        path = obs_ledger.ledger_path(tmp_path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"schema": 999, "run_id": "stale"}\n')
+            handle.write('{"run_id": "to')  # torn trailing line
+        obs_ledger.append_entry(tmp_path, _entry("r2"))
+        entries = obs_ledger.read_entries(tmp_path)
+        assert [entry["run_id"] for entry in entries] == ["r1", "r2"]
+
+    def test_finalize_run_appends_one_entry_per_run(self, tmp_path):
+        for _ in range(2):
+            with obs_trace.span("sweep.run") as root:
+                with obs_trace.span("stage.unroll"):
+                    pass
+            obs_events.finalize_run(
+                tmp_path,
+                run_id=root.id,
+                manifest_extra={
+                    "spec_hash": "s" * 64,
+                    "run": {"total_jobs": 1, "executed": 1},
+                    "stage_hits": {"unroll": 1},
+                    "stage_misses": {"unroll": 1},
+                },
+            )
+        directory = obs_events.obs_dir(tmp_path)
+        entries = obs_ledger.read_entries(directory)
+        # The ledger accumulates across finalizations even though the
+        # trace itself is overwritten per run.
+        assert len(entries) == 2
+        entry = entries[-1]
+        assert entry["schema"] == obs_ledger.LEDGER_SCHEMA
+        assert entry["spec_hash"] == "s" * 64
+        assert entry["host"]["fingerprint"]
+        assert "stage.unroll" in entry["spans"]
+        assert entry["stages"]["unroll"]["hit_rate"] == 0.5
+        assert entry["run"]["executed"] == 1
+
+
+# ----------------------------------------------------------------------
+# Regression verdicts
+# ----------------------------------------------------------------------
+class TestRegress:
+    def test_comparable_requires_spec_host_and_executed(self):
+        current = _entry("cur", spec_hash="abc", executed=4)
+        assert obs_regress.comparable(_entry("b1"), current)
+        assert not obs_regress.comparable(
+            _entry("b2", spec_hash="other"), current
+        )
+        assert not obs_regress.comparable(_entry("b3", executed=0), current)
+        foreign_host = dict(obs_ledger.host_fingerprint())
+        foreign_host["fingerprint"] = "f" * 16
+        assert not obs_regress.comparable(
+            _entry("b4", host=foreign_host), current
+        )
+        assert not obs_regress.comparable(
+            {**_entry("b5"), "spec_hash": None},
+            {**current, "spec_hash": None},
+        )
+
+    def test_find_baseline_picks_most_recent_comparable_before_current(self):
+        entries = [
+            _entry("r1"),
+            _entry("r2", spec_hash="other"),
+            _entry("r3"),
+            _entry("cur"),
+        ]
+        baseline = obs_regress.find_baseline(entries, entries[-1])
+        assert baseline["run_id"] == "r3"
+        pinned = obs_regress.find_baseline(
+            entries, entries[-1], baseline_run_id="r1"
+        )
+        assert pinned["run_id"] == "r1"
+        assert (
+            obs_regress.find_baseline(entries, entries[-1], "missing") is None
+        )
+        # A lone entry has no baseline (it never compares against itself).
+        assert obs_regress.find_baseline([entries[-1]], entries[-1]) is None
+
+    def test_regression_needs_both_relative_and_absolute_growth(self):
+        baseline = _entry("base", spans={
+            "stage.slow": _digest(0.100),
+            "stage.tiny": _digest(0.0001),
+        })
+        # The slow stage doubled (trips both thresholds); the tiny span
+        # also doubled but grew by only 0.1ms -- under the absolute
+        # floor, so it must not flap the gate.
+        current = _entry("cur", spans={
+            "stage.slow": _digest(0.200),
+            "stage.tiny": _digest(0.0002),
+        })
+        comparison = obs_regress.compare(current, baseline)
+        verdicts = {row["name"]: row["verdict"] for row in comparison["spans"]}
+        assert verdicts["stage.slow"] == "regression"
+        assert verdicts["stage.tiny"] == "ok"
+        assert comparison["regressions"] == ["stage.slow"]
+        assert obs_regress.has_regressions(comparison)
+
+    def test_improvements_added_and_removed_do_not_gate(self):
+        baseline = _entry("base", spans={
+            "stage.faster": _digest(0.200),
+            "stage.gone": _digest(0.050),
+        }, counters={"artifacts.hits": 10})
+        current = _entry("cur", spans={
+            "stage.faster": _digest(0.050),
+            "stage.new": _digest(0.075),
+        }, counters={"artifacts.hits": 14})
+        comparison = obs_regress.compare(current, baseline)
+        verdicts = {row["name"]: row["verdict"] for row in comparison["spans"]}
+        assert verdicts == {
+            "stage.faster": "improvement",
+            "stage.gone": "removed",
+            "stage.new": "added",
+        }
+        assert comparison["improvements"] == ["stage.faster"]
+        assert not obs_regress.has_regressions(comparison)
+        (counter,) = comparison["counters"]
+        assert counter == {
+            "name": "artifacts.hits", "baseline": 10, "current": 14,
+            "delta": 4,
+        }
+
+
+# ----------------------------------------------------------------------
+# Profiling hooks
+# ----------------------------------------------------------------------
+class TestProfileHook:
+    def test_configure_parses_comma_separated_globs(self):
+        assert obs_profilehook.configure("stage.*, sim.replay") == (
+            "stage.*",
+            "sim.replay",
+        )
+        assert obs_profilehook.spec() == "stage.*,sim.replay"
+        assert obs_profilehook.matches("stage.schedule")
+        assert obs_profilehook.matches("sim.replay")
+        assert not obs_profilehook.matches("sweep.job")
+        assert obs_profilehook.configure(None) == ()
+        assert obs_profilehook.spec() is None
+        assert not obs_profilehook.active()
+
+    def test_start_returns_none_without_a_match(self):
+        obs_profilehook.configure("stage.*")
+        assert obs_profilehook.start("sweep.job") is None
+
+    def test_nested_matching_spans_profile_only_the_outermost(self):
+        obs_profilehook.configure("work.*")
+        outer = obs_profilehook.start("work.outer")
+        assert outer is not None
+        assert obs_profilehook.start("work.inner") is None  # cProfile can't nest
+        obs_profilehook.stop(outer)
+        inner = obs_profilehook.start("work.inner")
+        assert inner is not None
+        obs_profilehook.stop(inner)
+
+    def test_matching_spans_accumulate_and_export_folded(self, tmp_path):
+        obs_profilehook.configure("stage.schedule")
+
+        def busy():
+            return sum(i * i for i in range(200))
+
+        for _ in range(3):
+            with obs_trace.span("stage.schedule"):
+                busy()
+        with obs_trace.span("stage.unroll"):
+            busy()
+        obs_trace.take_events()
+
+        merged = obs_profilehook.finalize(tmp_path)
+        assert merged == ["stage.schedule"]
+        profile_dir = tmp_path / obs_profilehook.PROFILE_DIRNAME
+        assert (profile_dir / "stage.schedule.pstats").is_file()
+        folded = (profile_dir / "stage.schedule.folded").read_text(
+            encoding="utf-8"
+        )
+        assert "busy" in folded
+        # Every line is "frame[;frame] <positive int>".
+        for line in folded.strip().splitlines():
+            stack, _, value = line.rpartition(" ")
+            assert stack and int(value) > 0
+
+        output = tmp_path / "all.folded"
+        count = obs_profilehook.export_folded(tmp_path, output)
+        assert count > 0
+        first = output.read_text(encoding="utf-8").splitlines()[0]
+        # The span name becomes the root frame of the merged export.
+        assert first.startswith("stage.schedule;")
+
+    def test_disabled_spans_never_touch_the_profiler(self):
+        obs_profilehook.configure("stage.*")
+        obs_trace.set_enabled(False)
+        with obs_trace.span("stage.schedule"):
+            pass
+        assert obs_profilehook.take_profiles() == {}
+
+    def test_export_folded_is_empty_without_profiles(self, tmp_path):
+        assert obs_profilehook.export_folded(tmp_path, tmp_path / "o") == 0
+        assert not (tmp_path / "o").exists()
+
+
+# ----------------------------------------------------------------------
+# Stragglers and the live-run header
+# ----------------------------------------------------------------------
+class TestStragglers:
+    def test_small_runs_are_never_annotated(self):
+        events = [_span("sweep.job", dur=d) for d in (0.1, 10.0)]
+        assert obs_events.mark_stragglers(events) == []
+        assert all("straggler" not in e["attrs"] for e in events)
+
+    def test_jobs_beyond_factor_times_median_are_flagged(self):
+        events = [
+            _span("sweep.job", dur=d, attrs={"benchmark": f"b{i}"})
+            for i, d in enumerate((0.10, 0.11, 0.09, 0.12, 0.95))
+        ]
+        flagged = obs_events.mark_stragglers(events, factor=3.0)
+        assert [e["attrs"]["benchmark"] for e in flagged] == ["b4"]
+        assert flagged[0]["attrs"]["straggler"] is True
+        assert flagged[0]["attrs"]["straggler_ratio"] > 3.0
+        text = render_stragglers(events)
+        assert "b4" in text and "median" in text
+        assert render_stragglers(events[:4]) is None
+
+    def test_factor_comes_from_the_environment(self, monkeypatch):
+        monkeypatch.setenv(obs_events.STRAGGLER_ENV_VAR, "2.0")
+        assert obs_events.straggler_factor() == 2.0
+        monkeypatch.setenv(obs_events.STRAGGLER_ENV_VAR, "bogus")
+        assert (
+            obs_events.straggler_factor()
+            == obs_events.DEFAULT_STRAGGLER_FACTOR
+        )
+        monkeypatch.setenv(obs_events.STRAGGLER_ENV_VAR, "0.5")
+        assert (
+            obs_events.straggler_factor()
+            == obs_events.DEFAULT_STRAGGLER_FACTOR
+        )
+
+
+class TestRunHeaderAndWatch:
+    def test_header_roundtrip_and_finalize_removes_it(self, tmp_path):
+        obs_events.write_run_header(tmp_path, {"total_units": 7})
+        header = obs_events.load_run_header(tmp_path)
+        assert header["total_units"] == 7
+        assert header["started"] > 0
+        with obs_trace.span("sweep.run") as root:
+            pass
+        obs_events.finalize_run(tmp_path, run_id=root.id)
+        assert obs_events.load_run_header(tmp_path) is None
+
+    def test_watch_snapshot_counts_shard_job_spans(self, tmp_path):
+        obs_events.write_run_header(
+            tmp_path,
+            {"run_id": "1:1", "total_units": 4, "workers": 2},
+        )
+        shard = obs_events.obs_dir(tmp_path) / "worker-111.jsonl"
+        obs_events.append_events(
+            shard,
+            [
+                _span("sweep.job", dur=2.0, span_id="111:1"),
+                _span("sweep.job", dur=4.0, span_id="111:2"),
+                _span(
+                    "stage.unroll", dur=0.1, span_id="111:3",
+                    attrs={"cache_hit": True},
+                ),
+                _span("stage.unroll", dur=0.2, span_id="111:4"),
+            ],
+        )
+        snapshot = watch_snapshot(tmp_path)
+        assert snapshot["completed"] == 2
+        assert snapshot["total_units"] == 4
+        assert snapshot["median_job_seconds"] == 2.0
+        # 2 remaining jobs x 2s median / 2 workers.
+        assert snapshot["eta_seconds"] == pytest.approx(2.0)
+        assert snapshot["stages"]["unroll"] == {"hits": 1, "total": 2}
+        text = render_watch(snapshot)
+        assert "2/4" in text and "unroll 1/2" in text
+
+    def test_watch_snapshot_is_none_without_a_header(self, tmp_path):
+        assert watch_snapshot(tmp_path) is None
+
+
+# ----------------------------------------------------------------------
+# CLI end-to-end: ledger, gate, watch, folded export, exit codes
+# ----------------------------------------------------------------------
+class TestCrossRunCli:
+    @pytest.fixture()
+    def spec_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(FAST_SPEC), encoding="utf-8")
+        return path
+
+    def _run(self, store, spec_file, *extra):
+        return cli_main(
+            [
+                "run",
+                "--results-dir",
+                str(store),
+                "--spec",
+                str(spec_file),
+                "--workers",
+                "1",
+                "--quiet",
+                *extra,
+            ]
+        )
+
+    def test_gate_detects_injected_slowdown(
+        self, tmp_path, spec_file, capsys, monkeypatch
+    ):
+        store = tmp_path / "store"
+        assert self._run(store, spec_file) == 0
+        # First run: nothing comparable yet -- the gate passes clean.
+        assert cli_main(["regress", str(store), "--gate"]) == 0
+        assert "no comparable baseline" in capsys.readouterr().out
+
+        # Identical re-run (--force so it executes): clean pass.
+        assert self._run(store, spec_file, "--force") == 0
+        assert cli_main(["regress", str(store), "--gate"]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+        # Inject a 50ms sleep into the schedule stage: the gate must trip
+        # and name the stage.
+        monkeypatch.setenv(TEST_SLOWDOWN_ENV, "schedule:0.05")
+        assert self._run(store, spec_file, "--force") == 0
+        monkeypatch.delenv(TEST_SLOWDOWN_ENV)
+        assert cli_main(["regress", str(store), "--gate"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "stage.schedule" in out
+        # Without --gate the same comparison reports but exits 0.
+        assert cli_main(["regress", str(store)]) == 0
+        capsys.readouterr()
+
+        # The ledger recorded all three runs; --format json is parseable.
+        assert cli_main(["runs", str(store)]) == 0
+        assert "run ledger - 3 run(s)" in capsys.readouterr().out
+        assert cli_main(["runs", str(store), "--format", "json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert len(entries) == 3
+        assert entries[-1]["spans"]["stage.schedule"]["p50"] > 0.05
+
+        # regress --format json carries the structured comparison.
+        assert cli_main(["regress", str(store), "--format", "json"]) == 0
+        comparison = json.loads(capsys.readouterr().out)
+        assert "stage.schedule" in comparison["regressions"]
+
+        # A pinned baseline that does not exist is an explicit error.
+        assert cli_main(["regress", str(store), "--baseline", "nope"]) == 2
+        capsys.readouterr()
+
+    def test_watch_once_after_finalize_reports_idle(
+        self, tmp_path, spec_file, capsys
+    ):
+        store = tmp_path / "store"
+        assert self._run(store, spec_file) == 0
+        assert cli_main(["watch", str(store), "--once"]) == 0
+        assert "no run in progress" in capsys.readouterr().out
+
+    def test_trace_folded_exports_profiles(
+        self, tmp_path, spec_file, capsys
+    ):
+        store = tmp_path / "store"
+        obs_profilehook.configure("stage.schedule")
+        assert self._run(store, spec_file) == 0
+        output = tmp_path / "profile.folded"
+        rc = cli_main(
+            ["trace", str(store), "--folded", "--output", str(output)]
+        )
+        assert rc == 0
+        assert output.is_file() and output.stat().st_size > 0
+        assert "folded stack line(s)" in capsys.readouterr().out
+
+    def test_trace_folded_without_profiles_exits_two(
+        self, tmp_path, spec_file, capsys
+    ):
+        store = tmp_path / "store"
+        assert self._run(store, spec_file) == 0
+        assert cli_main(["trace", str(store), "--folded"]) == 2
+        assert "no span profiles" in capsys.readouterr().err
+
+    def test_obs_less_store_exits_two_with_one_liner(
+        self, tmp_path, spec_file, capsys, monkeypatch
+    ):
+        store = tmp_path / "store"
+        obs_trace.set_enabled(False)
+        assert self._run(store, spec_file) == 0
+        obs_trace.set_enabled(True)
+        assert not (store / "obs").exists()
+
+        for argv in (
+            ["status", "--results-dir", str(store)],
+            ["trace", str(store)],
+            ["trace", str(store), "--folded"],
+            ["runs", str(store)],
+            ["regress", str(store)],
+            ["watch", str(store), "--once"],
+        ):
+            capsys.readouterr()
+            assert cli_main(argv) == 2, argv
+            err = capsys.readouterr().err
+            assert "no telemetry" in err and "REPRO_OBS" in err
+
+    def test_regress_on_empty_ledger_exits_two(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        obs_events.obs_dir(store).mkdir(parents=True)
+        assert cli_main(["regress", str(store)]) == 2
+        assert "no ledger entries" in capsys.readouterr().err
