@@ -32,6 +32,15 @@ collected from the telemetry scenario's enabled rounds -- so the
 committed baseline doubles as a ledger entry that ``repro-sweep
 regress``-style comparisons can diff commit against commit.
 
+Schema 6 names the active replay backend (``sim_kernel``, see
+``docs/perf.md``) and adds a ``backend_comparison`` scenario: the warm
+kernels-mix grid point (the steady-state sweep path), the simulate-only
+replay (``sim_replay_seconds``) and the profile-only replay
+(``profile_replay_seconds``) each timed under ``REPRO_SIM_KERNEL=scalar``
+and ``=vector`` in interleaved rounds (min-of-repeats), with the
+vector-over-scalar speedups recorded.  When numpy is unavailable the
+vector half is ``null`` and the speedups are omitted.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py [--repeats N] [--output FILE]
@@ -45,13 +54,16 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import tempfile
 import time
 from pathlib import Path
 
+from repro import kernels
 from repro.machine.config import MachineConfig
+from repro.profiling.profiler import profile_loop
 from repro.model.predict import predict_benchmark
 from repro.obs import ledger as obs_ledger
 from repro.obs import trace as obs_trace
@@ -242,6 +254,101 @@ def time_telemetry(repeats: int) -> dict[str, object]:
     }
 
 
+def time_backend_comparison(repeats: int) -> dict[str, object]:
+    """Scalar-vs-vector replay backend timings on the sweep hot path.
+
+    Three measurements per backend, interleaved round by round so machine
+    drift hits both backends alike (the telemetry scenario's discipline):
+
+    * ``compile_plus_simulate_seconds`` -- the warm kernels-mix grid
+      point: every stage and trace served from the artifact store, so the
+      time is what a sweep pays per steady-state grid point;
+    * ``sim_replay_seconds`` -- simulating already-compiled loops only;
+    * ``profile_replay_seconds`` -- the profiler's cache replay only
+      (trace memo warm).
+
+    The backends share every byte of input and must produce identical
+    cycle counts -- asserted here; the differential suite in
+    ``tests/test_kernels.py`` covers the full payloads.
+    """
+    benchmark = resolve_workload(GRID_BENCHMARK)
+    config = MachineConfig.word_interleaved()
+    options = CompilerOptions()
+    simulation = SimulationOptions(iteration_cap=256)
+    backends = ["scalar"]
+    if kernels.numpy_available():
+        backends.append("vector")
+    rounds = max(repeats, 10)
+    measures = ("compile_plus_simulate", "sim_replay", "profile_replay")
+    samples: dict[str, dict[str, list[float]]] = {
+        backend: {measure: [] for measure in measures} for backend in backends
+    }
+    cycles: dict[str, set[float]] = {backend: set() for backend in backends}
+    previous = os.environ.get("REPRO_SIM_KERNEL")
+    with tempfile.TemporaryDirectory(prefix="perf-smoke-backends-") as root:
+        cache = ArtifactCache(ArtifactStore(root))
+        run_grid_point(benchmark, config, cache)  # warm store + trace memo
+        compiled = [
+            compile_loop(loop, config, options, cache=cache)
+            for loop in benchmark.loops
+        ]
+        try:
+            for _ in range(rounds):
+                for backend in backends:
+                    os.environ["REPRO_SIM_KERNEL"] = backend
+                    samples[backend]["compile_plus_simulate"].append(
+                        run_grid_point(benchmark, config, cache)
+                    )
+                    started = time.perf_counter()
+                    result = simulate_compiled_loops(
+                        compiled, benchmark.name, config, simulation,
+                        trace_cache=cache,
+                    )
+                    samples[backend]["sim_replay"].append(
+                        time.perf_counter() - started
+                    )
+                    cycles[backend].add(result.total_cycles)
+                    started = time.perf_counter()
+                    for loop in benchmark.loops:
+                        profile_loop(loop, config)
+                    samples[backend]["profile_replay"].append(
+                        time.perf_counter() - started
+                    )
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_SIM_KERNEL", None)
+            else:
+                os.environ["REPRO_SIM_KERNEL"] = previous
+        cache.take_stats()
+    if len(set().union(*cycles.values())) != 1:
+        raise AssertionError(
+            f"backends disagree on cycle counts: {cycles}"
+        )
+    report: dict[str, object] = {
+        "benchmark": GRID_BENCHMARK,
+        "rounds": rounds,
+    }
+    for backend in ("scalar", "vector"):
+        report[backend] = (
+            {
+                f"{measure}_seconds": round(min(times), 4)
+                for measure, times in samples[backend].items()
+            }
+            if backend in samples
+            else None
+        )
+    if "vector" in samples:
+        report["speedup"] = {
+            measure: round(
+                min(samples["scalar"][measure])
+                / max(min(samples["vector"][measure]), 1e-9),
+                2,
+            )
+            for measure in measures
+        }
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -253,9 +360,10 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     report: dict[str, object] = {
-        "schema": 5,
+        "schema": 6,
         "python": platform.python_version(),
         "repeats": args.repeats,
+        "sim_kernel": kernels.active_backend(),
         "kernels": {},
     }
     total = 0.0
@@ -286,6 +394,19 @@ def main(argv=None) -> int:
         f"{grid['warm_trace_hits']}/{requests} hits, "
         f"{grid['warm_trace_misses']} misses"
     )
+
+    comparison = time_backend_comparison(args.repeats)
+    report["backend_comparison"] = comparison
+    if comparison.get("speedup"):
+        speedups = " ".join(
+            f"{measure}={ratio:.2f}x"
+            for measure, ratio in comparison["speedup"].items()
+        )
+        print(f"backends {comparison['benchmark']}: vector-over-scalar {speedups}")
+    else:
+        print(
+            f"backends {comparison['benchmark']}: scalar only (numpy unavailable)"
+        )
 
     telemetry = time_telemetry(args.repeats)
     # The digests live at the top level: they are the baseline's

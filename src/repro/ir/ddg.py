@@ -236,9 +236,12 @@ class DataDependenceGraph:
         length_bound = (
             length_bound if length_bound is not None else self.RECURRENCE_LENGTH_BOUND
         )
+        # len(_deps_in_order) mirrors number_of_edges() without the
+        # O(edges) MultiDiGraph walk -- this key is checked on every
+        # recurrence query of the scheduling pipeline.
         cache_key = (
             len(self._ops_in_order),
-            self._graph.number_of_edges(),
+            len(self._deps_in_order),
             max_count,
             length_bound,
         )
@@ -249,8 +252,9 @@ class DataDependenceGraph:
         order = {op: index for index, op in enumerate(self._ops_in_order)}
         simple = nx.DiGraph()
         simple.add_nodes_from(range(len(self._ops_in_order)))
-        for src, dst in self._graph.edges():
-            simple.add_edge(order[src], order[dst])
+        simple.add_edges_from(
+            (order[dep.src], order[dep.dst]) for dep in self._deps_in_order
+        )
         bound = min(length_bound, len(self._ops_in_order)) or None
         enumeration_cap = max_count * self.RECURRENCE_ENUMERATION_SLACK
         cycles: set[tuple[int, ...]] = set()

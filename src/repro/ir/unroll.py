@@ -16,6 +16,15 @@ from repro.ir.ddg import DataDependenceGraph, Dependence
 from repro.ir.loop import Loop
 from repro.ir.operation import Operation
 
+#: Attribute that memoizes a loop's unrolled variants on the loop object
+#: itself: unrolling is pure (the result is read-only everywhere
+#: downstream), so one loop object unrolled by the same factor always
+#: yields the same variant -- and a sweep rehydrates the same variants
+#: once per grid point.  Loop is an eq-without-hash dataclass, so the
+#: memo rides on the instance (identity-keyed, lifetime-tied) instead of
+#: a weak mapping.
+_VARIANT_MEMO = "_unroll_variant_memo"
+
 
 def unroll_ddg(ddg: DataDependenceGraph, factor: int, name: str) -> tuple[
     DataDependenceGraph, dict[tuple[Operation, int], Operation]
@@ -82,8 +91,12 @@ def unroll_loop(loop: Loop, factor: int) -> Loop:
         raise ValueError("unroll factor must be positive")
     if factor == 1:
         return loop
+    variants = loop.__dict__.setdefault(_VARIANT_MEMO, {})
+    cached = variants.get(factor)
+    if cached is not None:
+        return cached
     ddg, _ = unroll_ddg(loop.ddg, factor, f"{loop.name}.x{factor}")
-    return Loop(
+    variants[factor] = unrolled = Loop(
         name=f"{loop.name}.x{factor}",
         ddg=ddg,
         arrays=dict(loop.arrays),
@@ -94,3 +107,4 @@ def unroll_loop(loop: Loop, factor: int) -> Loop:
         original=loop.original or loop,
         metadata=dict(loop.metadata),
     )
+    return unrolled

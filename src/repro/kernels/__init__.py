@@ -1,0 +1,136 @@
+"""Replay kernel backends (scalar oracle vs. vectorised bulk passes).
+
+The simulator and profiler inner loops exist twice:
+
+* the **scalar** path -- the per-access loops in
+  :mod:`repro.sim.engine` and :mod:`repro.profiling.profiler` -- is the
+  equivalence oracle: straightforward, dependency-free and always
+  correct; and
+* the **vector** path (:mod:`repro.kernels.vector`) replays the same
+  flat trace arrays as bulk numpy passes, falling back to the scalar
+  loop whenever the memory model forces genuinely sequential cycles it
+  cannot reproduce (a kernel *declines* by returning ``None``).
+
+Both backends must produce byte-identical results; the differential
+tests in ``tests/test_kernels.py`` and the committed benchmark outputs
+enforce that.  Backend selection:
+
+* ``REPRO_SIM_KERNEL=scalar`` forces the oracle path;
+* ``REPRO_SIM_KERNEL=vector`` forces the vectorised path (an error if
+  numpy is not importable);
+* ``REPRO_SIM_KERNEL=auto`` (or unset) picks ``vector`` when numpy is
+  importable and silently falls back to ``scalar`` otherwise -- numpy is
+  the optional ``repro[perf]`` extra, never a hard dependency.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+_ENV_VAR = "REPRO_SIM_KERNEL"
+_CHOICES = ("auto", "scalar", "vector")
+
+#: Cached numpy availability (None = not probed yet).
+_numpy_available: Optional[bool] = None
+
+
+def numpy_available() -> bool:
+    """True when numpy can be imported (probed once per process)."""
+    global _numpy_available
+    if _numpy_available is None:
+        try:
+            import numpy  # noqa: F401
+        except ImportError:
+            _numpy_available = False
+        else:
+            _numpy_available = True
+    return _numpy_available
+
+
+def active_backend() -> str:
+    """The replay backend in effect: ``"scalar"`` or ``"vector"``.
+
+    Reads ``REPRO_SIM_KERNEL`` on every call so tests (and sweep workers
+    inheriting the environment) can switch backends without reimporting.
+    """
+    value = os.environ.get(_ENV_VAR, "auto").strip().lower() or "auto"
+    if value not in _CHOICES:
+        raise ValueError(
+            f"{_ENV_VAR} must be one of {', '.join(_CHOICES)}; got {value!r}"
+        )
+    if value == "auto":
+        return "vector" if numpy_available() else "scalar"
+    if value == "vector" and not numpy_available():
+        raise RuntimeError(
+            f"{_ENV_VAR}=vector requires numpy (install the repro[perf] "
+            f"extra); unset it or use REPRO_SIM_KERNEL=scalar"
+        )
+    return value
+
+
+def sim_replay(plan, cache, stalls) -> Optional[int]:
+    """Dispatch the simulator replay to the active backend.
+
+    Returns the accumulated stall cycles when the vector backend handled
+    the replay, or ``None`` when the scalar loop should run (scalar
+    backend selected, or the vector kernel declined the loop's shape).
+    """
+    if active_backend() != "vector":
+        return None
+    from repro.kernels import vector
+
+    return vector.sim_replay(plan, cache, stalls)
+
+
+def profile_replay(blocks, homes, num_sets, associativity, unified) -> Optional[list]:
+    """Dispatch the profiler replay to the active backend.
+
+    Returns per-operation hit counts, or ``None`` when the scalar replay
+    should run.
+    """
+    if active_backend() != "vector":
+        return None
+    from repro.kernels import vector
+
+    return vector.profile_replay(blocks, homes, num_sets, associativity, unified)
+
+
+def home_streams(addresses, interleaving, clusters) -> Optional[list]:
+    """Dispatch home-cluster stream derivation to the active backend.
+
+    Returns ``array('h')`` columns identical to the scalar comprehension,
+    or ``None`` when the scalar path should run.
+    """
+    if active_backend() != "vector":
+        return None
+    from repro.kernels import vector
+
+    return vector.home_streams(addresses, interleaving, clusters)
+
+
+def block_streams(addresses, block_bytes) -> Optional[list]:
+    """Dispatch cache-block stream derivation to the active backend.
+
+    Returns ``array('q')`` columns identical to the scalar comprehension,
+    or ``None`` when the scalar path should run.
+    """
+    if active_backend() != "vector":
+        return None
+    from repro.kernels import vector
+
+    return vector.block_streams(addresses, block_bytes)
+
+
+def profile_histograms(homes) -> Optional[list]:
+    """Dispatch the profiler's cluster counting to the active backend.
+
+    Returns per-operation ``(cluster, count)`` pairs in first-touch order
+    (the ``Counter`` insertion order the scalar path produces), or
+    ``None`` when the scalar counting should run.
+    """
+    if active_backend() != "vector":
+        return None
+    from repro.kernels import vector
+
+    return vector.cluster_histograms(homes)

@@ -1,0 +1,824 @@
+"""The vectorised replay backend (numpy bulk passes).
+
+Three kernels live here, all replaying the same flat trace arrays the
+scalar loops walk (see :mod:`repro.kernels` for the backend contract):
+
+* :func:`replay_lru` -- lockstep per-set LRU replay.  Accesses are
+  grouped by set (a stable sort preserves each set's access order),
+  padded into a ``sets x depth`` matrix, and the LRU state of *every*
+  set advances one access per step: tag match, way shift and fill are
+  ``(sets, ways)`` array operations, so the Python-level loop runs
+  ``max accesses per set`` times instead of once per access.  A repeat
+  of the immediately preceding key in the same set is a guaranteed hit
+  that leaves the state unchanged, so such runs are collapsed first --
+  this defeats the hot-set worst case (e.g. an accumulator re-touched
+  every iteration) that would otherwise degrade lockstep to scalar.
+* :func:`profile_replay` -- the profiler's set-associative replay as one
+  :func:`replay_lru` call over the transposed block arrays.
+* :func:`sim_replay` -- the simulator's event loop.  The periodic event
+  template fixes the global access order independent of stall cycles,
+  so event expansion, address/home/block/span derivation and the
+  consumer-cover test are always bulk passes.  What happens next depends
+  on how much the memory model couples cycles to outcomes:
+
+  - **all-local interleaved** and **unified** replays are outcome-wise
+    cycle-free: classifications come from :func:`replay_lru`, stalls are
+    a prefix sum, and the only cycle-coupled resources (next-level ports,
+    unified cache ports) are FIFO servers -- assume zero waits, compute
+    final cycles, then *verify* the zero-wait hypothesis
+    (``cycle[k] >= cycle[k - ports] + 1``); on failure the kernel
+    declines and the scalar oracle runs.
+  - **interleaved with remote accesses** is irreducibly sequenced (the
+    combining window ``pending_ready > cycle`` feeds stalls back into
+    classification), so a *thin sequenced pass* runs instead: the same
+    access-by-access semantics as the scalar engine, but over the
+    precomputed flat arrays with the model's wrapper layers (result
+    dataclasses, per-access counter dispatch) folded into batched
+    counters.
+  - **coherent** caches couple state across stores; the kernel declines.
+
+Every kernel either produces byte-identical state/results or returns
+``None`` -- partial work never leaks into the model.
+"""
+
+from __future__ import annotations
+
+from array import array
+from heapq import heapify, heappop, heappush
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.memory.classify import AccessType
+from repro.memory.interleaved import WordInterleavedDataCache
+from repro.memory.unified import UnifiedDataCache
+
+#: Way sentinel for empty slots; block indices are non-negative, so this
+#: can never collide with a real key.
+_EMPTY = -(2**62)
+
+#: Lockstep depth cutoff: beyond this many accesses to one set (after
+#: duplicate collapse) the per-step overhead outweighs the batching win.
+_MAX_DEPTH = 512
+
+#: Estimated-work ratio cutoff: decline when the padded matrix implies
+#: more than this many array cells per real access.
+_MAX_WORK_RATIO = 48
+
+_STALL_FIELDS = {
+    1: "remote_hit",
+    2: "local_miss",
+    3: "remote_miss",
+    4: "combined",
+}
+
+_CLASSES = (
+    AccessType.LOCAL_HIT,
+    AccessType.REMOTE_HIT,
+    AccessType.LOCAL_MISS,
+    AccessType.REMOTE_MISS,
+    AccessType.COMBINED,
+)
+
+
+# ----------------------------------------------------------------------
+# Lockstep LRU
+# ----------------------------------------------------------------------
+def replay_lru(
+    set_ids: np.ndarray,
+    keys: np.ndarray,
+    associativity: int,
+    initial_ways: Optional[dict[int, list[int]]] = None,
+    collect_state: bool = True,
+):
+    """Replay ``keys`` (lookup, insert on miss) against per-set LRU state.
+
+    ``set_ids`` and ``keys`` are parallel int arrays in access order;
+    sets are independent, so only the per-set subsequences' orders
+    matter -- which a stable grouping sort preserves.  ``initial_ways``
+    optionally seeds touched sets (LRU-to-MRU key lists, the
+    ``SetAssociativeStore.export_ways`` shape).
+
+    Returns ``(hits, final_ways, evictions)`` -- the per-access hit
+    flags, plus per-touched-set final contents and eviction counts keyed
+    by set id -- or ``None`` when the access pattern is too deep for
+    lockstep to pay off (the caller falls back to the scalar path).
+    With ``collect_state=False`` (callers that only need the hit flags,
+    like the profiler) the last two are ``None`` and the per-step
+    eviction accounting is skipped.
+    """
+    total = int(keys.shape[0])
+    if total == 0:
+        return np.zeros(0, dtype=bool), {}, {}
+    if keys.min() < 0:
+        return None
+
+    keys = keys.astype(np.int64, copy=False)
+    order = np.argsort(set_ids, kind="stable")
+    grouped_keys = keys[order]
+    grouped_sets = set_ids[order]
+
+    # Collapse immediate repeats within a set: the preceding access left
+    # the key most-recently-used, so a repeat hits and changes nothing.
+    dup = np.zeros(total, dtype=bool)
+    if total > 1:
+        dup[1:] = (grouped_sets[1:] == grouped_sets[:-1]) & (
+            grouped_keys[1:] == grouped_keys[:-1]
+        )
+    keep = ~dup
+    kept_keys = grouped_keys[keep]
+    kept_pos = order[keep]
+    kept_sets = grouped_sets[keep]
+
+    unique_sets, counts = np.unique(kept_sets, return_counts=True)
+    runs = int(unique_sets.shape[0])
+    depth = int(counts.max())
+    kept = int(kept_keys.shape[0])
+    if depth > _MAX_DEPTH or depth * runs * associativity > _MAX_WORK_RATIO * max(
+        kept, 1
+    ):
+        return None
+
+    # Deep-sets-first row order: at step ``t`` exactly the first
+    # ``(counts > t).sum()`` rows are live, so each step slices a prefix
+    # instead of boolean-masking the whole matrix.
+    row_order = np.argsort(-counts, kind="stable")
+    counts_desc = counts[row_order]
+    sets_desc = unique_sets[row_order]
+
+    # Ragged fill: the keys of each run packed into one matrix row, so a
+    # lockstep step touches only contiguous column slices (no gathers).
+    run_of = np.repeat(np.arange(runs), counts)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    within = np.arange(kept) - offsets[run_of]
+    row_of = np.empty(runs, dtype=np.int64)
+    row_of[row_order] = np.arange(runs)
+    rows = row_of[run_of]
+    key_matrix = np.full((runs, depth), _EMPTY, dtype=np.int64)
+    key_matrix[rows, within] = kept_keys
+    hit_matrix = np.zeros((runs, depth), dtype=bool)
+
+    tags = np.full((runs, associativity), _EMPTY, dtype=np.int64)
+    if initial_ways:
+        for row, set_id in enumerate(sets_desc.tolist()):
+            ways = initial_ways.get(set_id)
+            if ways:
+                tags[row, associativity - len(ways):] = ways
+
+    # Rows are live while they still have accesses; counts_desc is
+    # descending, so live(step) = #(counts_desc > step), precomputed for
+    # every step with one searchsorted over the ascending view.
+    lives = runs - np.searchsorted(
+        counts_desc[::-1], np.arange(depth), side="right"
+    )
+    evictions_rows = np.zeros(runs, dtype=np.int64)
+    if associativity == 2:
+        # The common geometry gets a two-column fast path: an MRU hit
+        # changes nothing; an LRU hit or a miss shifts the MRU way down
+        # and installs the key as MRU.
+        lru = tags[:, 0]
+        mru = tags[:, 1]
+        for step in range(depth):
+            live = int(lives[step])
+            step_keys = key_matrix[:live, step]
+            lru_live = lru[:live]
+            mru_live = mru[:live]
+            mru_hit = mru_live == step_keys
+            hit = (lru_live == step_keys) | mru_hit
+            hit_matrix[:live, step] = hit
+            if collect_state:
+                evictions_rows[:live] += ~hit & (lru_live != _EMPTY)
+            lru[:live] = np.where(mru_hit, lru_live, mru_live)
+            mru[:live] = step_keys
+    else:
+        columns = np.arange(associativity - 1)
+        for step in range(depth):
+            live = int(lives[step])
+            step_keys = key_matrix[:live, step]
+            live_tags = tags[:live]
+            matches = live_tags == step_keys[:, None]
+            hit = matches.any(axis=1)
+            hit_matrix[:live, step] = hit
+            # First (only) match position for hits; misses shift the
+            # whole row -- i.e. evict the LRU way at position 0.
+            position = np.where(hit, matches.argmax(axis=1), 0)
+            if collect_state:
+                evictions_rows[:live] += (~hit) & (live_tags[:, 0] != _EMPTY)
+            if associativity > 1:
+                shift = columns[None, :] >= position[:, None]
+                tags[:live, :-1] = np.where(
+                    shift, live_tags[:, 1:], live_tags[:, :-1]
+                )
+            tags[:live, associativity - 1] = step_keys
+
+    hits = np.zeros(total, dtype=bool)
+    hits[kept_pos] = hit_matrix[rows, within]
+    hits[order[dup]] = True
+    if not collect_state:
+        return hits, None, None
+
+    final_ways: dict[int, list[int]] = {}
+    evictions: dict[int, int] = {}
+    tag_rows = tags.tolist()
+    eviction_rows = evictions_rows.tolist()
+    for row, set_id in enumerate(sets_desc.tolist()):
+        final_ways[set_id] = [key for key in tag_rows[row] if key != _EMPTY]
+        evictions[set_id] = eviction_rows[row]
+    return hits, final_ways, evictions
+
+
+# ----------------------------------------------------------------------
+# Profiler replay
+# ----------------------------------------------------------------------
+def profile_replay(
+    blocks: Sequence, homes: Optional[Sequence], num_sets: int,
+    associativity: int, unified: bool,
+) -> Optional[list[int]]:
+    """Per-operation hit counts of the profiler's cache replay.
+
+    ``blocks``/``homes`` are the per-operation trace arrays
+    (:meth:`LoopTrace.blocks` / :meth:`LoopTrace.home_clusters`); the
+    replay order is iteration-major, operation-minor -- exactly the
+    transposed walk of the scalar profiler.  Unified geometries replay
+    one store; distributed ones key sets by ``(home cluster, set)``.
+    """
+    ops = len(blocks)
+    if ops == 0:
+        return []
+    block_matrix = np.stack(
+        [np.frombuffer(column, dtype=np.int64) for column in blocks]
+    )
+    flat_blocks = block_matrix.T.reshape(-1)
+    if unified:
+        set_ids = flat_blocks % num_sets
+    else:
+        home_matrix = np.stack(
+            [np.frombuffer(column, dtype=np.int16) for column in homes]
+        ).astype(np.int64)
+        set_ids = home_matrix.T.reshape(-1) * num_sets + flat_blocks % num_sets
+    outcome = replay_lru(set_ids, flat_blocks, associativity, collect_state=False)
+    if outcome is None:
+        return None
+    hits, _, _ = outcome
+    per_op = hits.reshape(-1, ops).sum(axis=0)
+    return [int(count) for count in per_op]
+
+
+def home_streams(
+    addresses: Sequence, interleaving: int, clusters: int
+) -> list[array]:
+    """Per-operation home-cluster streams: ``(address // I) % N`` in bulk.
+
+    Returns ``array('h')`` columns -- the exact shape (and values) of the
+    scalar comprehension in :meth:`LoopTrace.home_clusters`.
+    """
+    streams = []
+    for addrs in addresses:
+        values = np.frombuffer(addrs, dtype=np.int64)
+        homes = (values // interleaving) % clusters
+        column = array("h")
+        column.frombytes(homes.astype(np.int16).tobytes())
+        streams.append(column)
+    return streams
+
+
+def block_streams(addresses: Sequence, block_bytes: int) -> list[array]:
+    """Per-operation cache-block streams: ``address // block_bytes`` in bulk."""
+    streams = []
+    for addrs in addresses:
+        values = np.frombuffer(addrs, dtype=np.int64)
+        column = array("q")
+        column.frombytes((values // block_bytes).tobytes())
+        streams.append(column)
+    return streams
+
+
+def cluster_histograms(homes: Sequence) -> list[list[tuple[int, int]]]:
+    """Per-operation ``(cluster, count)`` pairs in first-touch order.
+
+    First-touch order matches ``Counter(stream)`` insertion order, so the
+    resulting histograms are indistinguishable from the scalar path's.
+    One combined ``np.unique`` pass covers every operation: streams are
+    op-major in the flattened key array, so a key's global first index
+    orders it exactly as its within-stream first touch.
+    """
+    if not homes:
+        return []
+    matrix = np.stack(
+        [np.frombuffer(column, dtype=np.int16) for column in homes]
+    ).astype(np.int64)
+    if matrix.size == 0:
+        return [[] for _ in homes]
+    span = int(matrix.max()) + 1
+    keys = (np.arange(matrix.shape[0])[:, None] * span + matrix).reshape(-1)
+    groups = _grouped_first_touch(keys, span)
+    return [groups.get(index, []) for index in range(matrix.shape[0])]
+
+
+# ----------------------------------------------------------------------
+# Simulator replay
+# ----------------------------------------------------------------------
+def sim_replay(plan, cache, stalls) -> Optional[int]:
+    """Vectorised replacement for the engine's event loop.
+
+    ``plan`` is the engine's :class:`repro.sim.engine.ReplayPlan`;
+    ``cache`` the live :class:`DataCacheModel` (state is either written
+    back wholesale after verification or mutated exactly as the scalar
+    loop would); ``stalls`` the run's :class:`StallCounters`.  Returns
+    the accumulated stall cycles, or ``None`` to decline.
+    """
+    per_op = plan.per_op
+    simulated = plan.simulated
+    if not per_op or not simulated:
+        return None
+
+    interleaved = isinstance(cache, WordInterleavedDataCache)
+    if not interleaved and not isinstance(cache, UnifiedDataCache):
+        return None  # coherent: cross-store coupling, scalar only
+
+    config = cache.config
+    num_clusters = config.num_clusters
+    ops = len(per_op)
+    clusters_static = np.array([entry[3] for entry in per_op], dtype=np.int64)
+    sizes_static = np.array([entry[4] for entry in per_op], dtype=np.int64)
+    if (
+        (clusters_static < 0).any()
+        or (clusters_static >= num_clusters).any()
+        or (sizes_static <= 0).any()
+    ):
+        return None  # scalar wrapper raises the matching ValueError
+
+    # --- event expansion: (m, template position) order, exactly the
+    # scalar loop's sweep ---------------------------------------------
+    phases = np.array([entry[0] for entry in per_op], dtype=np.int64)
+    wraps = np.array([entry[1] for entry in per_op], dtype=np.int64)
+    rounds = simulated + int(wraps.max())
+    m_values = np.arange(rounds, dtype=np.int64)[:, None]
+    iteration = m_values - wraps[None, :]
+    valid = (iteration >= 0) & (iteration < simulated)
+    flat_valid = valid.reshape(-1)
+    ev_op = np.broadcast_to(np.arange(ops), (rounds, ops)).reshape(-1)[flat_valid]
+    ev_iter = iteration.reshape(-1)[flat_valid]
+    ev_base = (m_values * plan.ii + phases[None, :]).reshape(-1)[flat_valid]
+
+    addresses = np.stack(
+        [np.frombuffer(entry[2], dtype=np.int64) for entry in per_op]
+    )
+    ev_addr = addresses[ev_op, ev_iter]
+    covers = np.array(
+        [float(entry[7]) for entry in per_op], dtype=np.float64
+    )
+    is_store = np.array([bool(entry[5]) for entry in per_op])
+    block_bytes = config.cache.block_bytes
+    ev_block = ev_addr // block_bytes
+    ev_cluster = clusters_static[ev_op]
+
+    if interleaved:
+        factor = config.interleaving_factor
+        home0 = (ev_addr // factor) % num_clusters
+        spans = (sizes_static > factor)[ev_op]
+        local = (home0 == ev_cluster) & ~spans
+        if bool(local.all()):
+            outcome = _interleaved_all_local(
+                plan, cache, stalls, ev_op, ev_base, ev_block, ev_cluster,
+                covers, is_store,
+            )
+            if outcome is not None:
+                return outcome
+        return _interleaved_sequenced(
+            plan, cache, stalls, ev_op, ev_base, ev_addr, ev_block,
+            home0, spans, local,
+        )
+    return _unified_vector(
+        plan, cache, stalls, ev_op, ev_base, ev_block, covers, is_store
+    )
+
+
+def _stall_prefix(
+    hits: np.ndarray,
+    hit_latency: int,
+    miss_latency: int,
+    ev_op: np.ndarray,
+    covers: np.ndarray,
+    is_store: np.ndarray,
+):
+    """Latency, per-event stall and pre-access cycles under fixed latencies."""
+    latency = np.where(hits, hit_latency, miss_latency).astype(np.int64)
+    ev_cover = covers[ev_op]
+    stall = np.where(
+        (~is_store[ev_op]) & (latency > ev_cover), latency - ev_cover, 0.0
+    ).astype(np.int64)
+    accumulated = np.cumsum(stall)
+    return latency, stall, accumulated - stall, int(accumulated[-1])
+
+
+def _fifo_zero_wait(cycles: np.ndarray, ports: int) -> bool:
+    """True iff a ``ports``-server unit-service FIFO (initially idle)
+    would serve every arrival in ``cycles`` (nondecreasing) without wait."""
+    if cycles.shape[0] <= ports:
+        return True
+    return bool((cycles[ports:] >= cycles[:-ports] + 1).all())
+
+
+def _replace_heap(heap: list[int], served: np.ndarray, occupancy: int) -> None:
+    """Rebuild a unit-service port heap after zero-wait bulk service."""
+    ports = len(heap)
+    ends = (served[-ports:] + occupancy).tolist()
+    if len(ends) < ports:
+        ends.extend(heap[: ports - len(ends)])
+    heap[:] = ends
+    heapify(heap)
+
+
+def _grouped_first_touch(group_keys: np.ndarray, span: int, weights=None):
+    """Per-group ``[(value, total), ...]`` lists in first-touch order.
+
+    ``group_keys`` encodes ``group * span + value``; the result maps each
+    group to its value totals ordered by first appearance in the event
+    stream -- one ``np.unique`` pass for every group at once, where the
+    naive per-group loop would pay a pass per group.
+    """
+    groups: dict[int, list[tuple[int, int]]] = {}
+    if group_keys.shape[0] == 0:
+        return groups
+    uniques, first_index, totals = np.unique(
+        group_keys, return_index=True, return_counts=True
+    )
+    if weights is not None:
+        totals = np.bincount(
+            np.searchsorted(uniques, group_keys),
+            weights=weights,
+            minlength=uniques.shape[0],
+        )
+    for i in np.argsort(first_index).tolist():
+        key = int(uniques[i])
+        groups.setdefault(key // span, []).append(
+            (key % span, int(totals[i]))
+        )
+    return groups
+
+
+def _fill_records(
+    per_op,
+    ev_op: np.ndarray,
+    classes: np.ndarray,
+    homes: Optional[np.ndarray],
+    stall: np.ndarray,
+) -> None:
+    """Populate each operation's ``OperationSimRecord`` from event arrays.
+
+    Counters are rebuilt in first-touch order so their iteration order --
+    observable through serialized reports -- matches the scalar loop's
+    insertion order.
+    """
+    span = len(_CLASSES)
+    class_keys = ev_op * span + classes
+    for index, pairs in _grouped_first_touch(class_keys, span).items():
+        record = per_op[index][8]
+        for value, count in pairs:
+            record.access_counts[_CLASSES[value]] = count
+    if homes is not None:
+        cluster_span = int(homes.max()) + 1
+        home_keys = ev_op * cluster_span + homes
+        for index, pairs in _grouped_first_touch(
+            home_keys, cluster_span
+        ).items():
+            record = per_op[index][8]
+            for value, count in pairs:
+                record.clusters_touched[value] = count
+    stalled = stall > 0
+    if stalled.any():
+        stalled_totals = _grouped_first_touch(
+            class_keys[stalled], span, weights=stall[stalled]
+        )
+        op_totals = np.bincount(
+            ev_op[stalled], weights=stall[stalled], minlength=len(per_op)
+        )
+        for index, pairs in stalled_totals.items():
+            record = per_op[index][8]
+            for value, total in pairs:
+                record.stall_by_type[_CLASSES[value]] = total
+            record.total_stall = int(op_totals[index])
+
+
+def _interleaved_all_local(
+    plan, cache, stalls, ev_op, ev_base, ev_block, ev_cluster, covers, is_store
+) -> Optional[int]:
+    """Full-vector replay of an interleaved loop with only local accesses.
+
+    Local accesses touch the home module and (on miss) the next-level
+    ports; nothing else.  Latencies are fixed per outcome once next-level
+    waits are zero, which the FIFO check verifies on the final cycles --
+    so state is only written back after the hypothesis holds.
+    """
+    if any(cache.next_level._port_free_at):
+        return None  # zero-wait hypothesis assumes idle ports
+    config = cache.config
+    module = cache.module(0)
+    num_sets, associativity = module.num_sets, module.associativity
+    set_ids = ev_cluster * num_sets + ev_block % num_sets
+
+    touched_clusters = np.unique(ev_cluster).tolist()
+    initial_ways: dict[int, list[int]] = {}
+    for cluster in touched_clusters:
+        store = cache.module(cluster)
+        if not store.occupied:
+            continue
+        for set_index, ways in enumerate(store.export_ways()):
+            if ways:
+                initial_ways[cluster * num_sets + set_index] = ways
+    outcome = replay_lru(set_ids, ev_block, associativity, initial_ways)
+    if outcome is None:
+        return None
+    hits, final_ways, evictions = outcome
+
+    latencies = config.latencies
+    _, stall, before, total_stall = _stall_prefix(
+        hits, latencies.local_hit, latencies.local_miss, ev_op, covers, is_store
+    )
+    miss_cycles = (ev_base + before)[~hits]
+    if not _fifo_zero_wait(miss_cycles, config.next_level.ports):
+        return None
+
+    # --- verified: write back state and results ----------------------
+    cluster_ways: dict[int, dict[int, list[int]]] = {}
+    cluster_evictions: dict[int, int] = {}
+    for set_id, contents in final_ways.items():
+        cluster = set_id // num_sets
+        cluster_ways.setdefault(cluster, {})[set_id % num_sets] = contents
+        cluster_evictions[cluster] = (
+            cluster_evictions.get(cluster, 0) + evictions[set_id]
+        )
+    for cluster in touched_clusters:
+        store = cache.module(cluster)
+        store.update_ways(cluster_ways.get(cluster, {}))
+        mine = ev_cluster == cluster
+        store.note_statistics(
+            hits=int(hits[mine].sum()),
+            misses=int((~hits[mine]).sum()),
+            evictions=cluster_evictions.get(cluster, 0),
+        )
+    cache.next_level.note_bulk(
+        accesses=int((~hits).sum()),
+        wait_cycles=0,
+        served_at=miss_cycles,
+        occupancy=1,
+    )
+
+    counters = cache.counters
+    counters.local_hits += int(hits.sum())
+    counters.local_misses += int((~hits).sum())
+    stalls.local_miss += int(stall[~hits].sum())
+    classes = np.where(hits, 0, 2)
+    _fill_records(plan.per_op, ev_op, classes, ev_cluster, stall)
+    return total_stall
+
+
+def _unified_vector(
+    plan, cache, stalls, ev_op, ev_base, ev_block, covers, is_store
+) -> Optional[int]:
+    """Full-vector replay of the unified cache (port FIFO verified)."""
+    if any(cache._port_free_at) or any(cache.next_level._port_free_at):
+        return None  # zero-wait hypothesis assumes idle ports
+    config = cache.config
+    store = cache._store
+    num_sets, associativity = store.num_sets, store.associativity
+    set_ids = ev_block % num_sets
+    initial_ways = {}
+    if store.occupied:
+        initial_ways = {
+            set_index: ways
+            for set_index, ways in enumerate(store.export_ways())
+            if ways
+        }
+    outcome = replay_lru(set_ids, ev_block, associativity, initial_ways)
+    if outcome is None:
+        return None
+    hits, final_ways, evictions = outcome
+
+    base = config.unified_cache_latency
+    _, stall, before, total_stall = _stall_prefix(
+        hits, base, base + config.next_level.latency, ev_op, covers, is_store
+    )
+    cycles = ev_base + before
+    if not _fifo_zero_wait(cycles, config.unified_cache_ports):
+        return None
+    miss_cycles = cycles[~hits]
+    if not _fifo_zero_wait(miss_cycles, config.next_level.ports):
+        return None
+
+    store.update_ways(final_ways)
+    store.note_statistics(
+        hits=int(hits.sum()),
+        misses=int((~hits).sum()),
+        evictions=sum(evictions.values()),
+    )
+    _replace_heap(cache._port_free_at, cycles, 1)
+    cache.next_level.note_bulk(
+        accesses=int((~hits).sum()),
+        wait_cycles=0,
+        served_at=miss_cycles,
+        occupancy=1,
+    )
+
+    counters = cache.counters
+    counters.local_hits += int(hits.sum())
+    counters.local_misses += int((~hits).sum())
+    stalls.local_miss += int(stall[~hits].sum())
+    classes = np.where(hits, 0, 2)
+    _fill_records(plan.per_op, ev_op, classes, None, stall)
+    return total_stall
+
+
+def _interleaved_sequenced(
+    plan, cache, stalls, ev_op, ev_base, ev_addr, ev_block, home0, spans, local
+) -> int:
+    """Thin sequenced pass for interleaved loops with remote accesses.
+
+    Request combining makes classification cycle-dependent (a stall
+    shifts later accesses out of -- or into -- the combining window), so
+    the access order *and* cycles must advance together: this pass keeps
+    the scalar semantics access by access, but all address arithmetic,
+    re-homing and event expansion are precomputed above, and the model's
+    per-access wrapper layers (``AccessResult`` construction, counter
+    dispatch, method indirection) are folded into flat local state that
+    is credited back in bulk.  This is exact, not verified-optimistic:
+    it transcribes ``WordInterleavedDataCache._access`` one-to-one.
+    """
+    config = cache.config
+    latencies = config.latencies
+    hit_latency = latencies.local_hit
+    local_miss_latency = latencies.local_miss
+    remote_hit_latency = latencies.remote_hit
+    remote_miss_latency = latencies.remote_miss
+
+    factor = config.interleaving_factor
+    num_clusters = config.num_clusters
+    rehome = spans & (home0 == np.array(
+        [entry[3] for entry in plan.per_op], dtype=np.int64
+    )[ev_op])
+    shifted = ev_addr + factor
+    home_final = np.where(rehome, (shifted // factor) % num_clusters, home0)
+    key_block = np.where(rehome, shifted // config.cache.block_bytes, ev_block)
+
+    events = ev_op.shape[0]
+    op_list = ev_op.tolist()
+    base_list = ev_base.tolist()
+    home_list = home_final.tolist()
+    block_list = ev_block.tolist()
+    key_list = key_block.tolist()
+    local_list = local.tolist()
+
+    per_op = plan.per_op
+    store_flags = [bool(entry[5]) for entry in per_op]
+    attract_flags = [bool(entry[6]) for entry in per_op]
+    cover_values = [entry[7] for entry in per_op]
+    cluster_values = [entry[3] for entry in per_op]
+
+    module_sets = [cache.module(c)._sets for c in range(num_clusters)]
+    num_sets = cache.module(0).num_sets
+    associativity = cache.module(0).associativity
+    buffers = cache.attraction_buffers
+    ab_enabled = buffers.enabled
+    pending = cache._pending
+    bus_heap = cache.memory_buses._free_at
+    transfer_cycles = cache.memory_buses.config.transfer_cycles
+    next_heap = cache.next_level._port_free_at
+
+    store_hits = [0] * num_clusters
+    store_misses = [0] * num_clusters
+    store_evictions = [0] * num_clusters
+    class_totals = [0] * 5
+    ab_hits = 0
+    bus_transfers = 0
+    bus_wait_total = 0
+    next_accesses = 0
+    next_wait_total = 0
+    accumulated = 0
+    ev_class = [0] * events
+    ev_stall = [0] * events
+
+    for event in range(events):
+        op = op_list[event]
+        if local_list[event]:
+            cluster = home_list[event]
+            block = block_list[event]
+            entry_set = module_sets[cluster][block % num_sets]
+            if block in entry_set:
+                entry_set.move_to_end(block)
+                store_hits[cluster] += 1
+                classification = 0
+                latency = hit_latency
+            else:
+                store_misses[cluster] += 1
+                if len(entry_set) >= associativity:
+                    entry_set.popitem(last=False)
+                    store_evictions[cluster] += 1
+                entry_set[block] = None
+                cycle = base_list[event] + accumulated
+                earliest = heappop(next_heap)
+                start = cycle if cycle > earliest else earliest
+                heappush(next_heap, start + 1)
+                wait = start - cycle
+                next_accesses += 1
+                next_wait_total += wait
+                classification = 2
+                latency = local_miss_latency + wait
+        else:
+            cycle = base_list[event] + accumulated
+            home = home_list[event]
+            subblock_key = (home, key_list[event])
+            storing = store_flags[op]
+            if ab_enabled:
+                hashed = hash(subblock_key)
+                requester = cluster_values[op]
+                if storing:
+                    buffers[requester].invalidate(hashed)
+            served = False
+            if not storing and ab_enabled and buffers[requester].lookup(hashed):
+                ab_hits += 1
+                classification = 0
+                latency = hit_latency
+                served = True
+            if not served:
+                ready = pending.get(subblock_key)
+                if ready is not None and ready > cycle:
+                    classification = 4
+                    latency = ready - cycle
+                else:
+                    earliest = heappop(bus_heap)
+                    start = cycle if cycle > earliest else earliest
+                    heappush(bus_heap, start + transfer_cycles)
+                    bus_wait = start - cycle
+                    bus_transfers += 1
+                    bus_wait_total += bus_wait
+                    block = block_list[event]
+                    entry_set = module_sets[home][block % num_sets]
+                    if block in entry_set:
+                        entry_set.move_to_end(block)
+                        store_hits[home] += 1
+                        classification = 1
+                        latency = remote_hit_latency + bus_wait
+                    else:
+                        store_misses[home] += 1
+                        if len(entry_set) >= associativity:
+                            entry_set.popitem(last=False)
+                            store_evictions[home] += 1
+                        entry_set[block] = None
+                        earliest = heappop(next_heap)
+                        arrival = cycle + bus_wait
+                        start = arrival if arrival > earliest else earliest
+                        heappush(next_heap, start + 1)
+                        wait = start - arrival
+                        next_accesses += 1
+                        next_wait_total += wait
+                        classification = 3
+                        latency = remote_miss_latency + bus_wait + wait
+                    if not storing and ab_enabled and attract_flags[op]:
+                        buffers[requester].attract(hashed)
+                    pending[subblock_key] = cycle + latency
+                    if len(pending) > 4096:
+                        pending = {
+                            key: value
+                            for key, value in pending.items()
+                            if value > cycle
+                        }
+
+        class_totals[classification] += 1
+        ev_class[event] = classification
+        if not store_flags[op]:
+            cover = cover_values[op]
+            if latency > cover:
+                stall = latency - cover
+                accumulated += stall
+                ev_stall[event] = stall
+
+    # --- bulk credit of everything the wrapper layers used to do ------
+    cache._pending = pending
+    for cluster in range(num_clusters):
+        if store_hits[cluster] or store_misses[cluster]:
+            cache.module(cluster).note_statistics(
+                hits=store_hits[cluster],
+                misses=store_misses[cluster],
+                evictions=store_evictions[cluster],
+            )
+    cache.memory_buses.note_transfers(bus_transfers, bus_wait_total)
+    cache.next_level.note_bulk(
+        accesses=next_accesses, wait_cycles=next_wait_total
+    )
+    counters = cache.counters
+    counters.local_hits += class_totals[0]
+    counters.remote_hits += class_totals[1]
+    counters.local_misses += class_totals[2]
+    counters.remote_misses += class_totals[3]
+    counters.combined += class_totals[4]
+    counters.attraction_buffer_hits += ab_hits
+
+    class_array = np.array(ev_class, dtype=np.int64)
+    stall_array = np.array(ev_stall, dtype=np.int64)
+    for value, field in _STALL_FIELDS.items():
+        total = int(stall_array[class_array == value].sum())
+        if total:
+            setattr(stalls, field, getattr(stalls, field) + total)
+    _fill_records(per_op, ev_op, class_array, home_final, stall_array)
+    return accumulated

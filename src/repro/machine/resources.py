@@ -13,7 +13,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Iterable
 
-from repro.ir.operation import Operation, OperationClass
+from repro.ir.operation import MNEMONIC_CLASSES, Operation, OperationClass
 from repro.machine.config import FunctionalUnitKind, MachineConfig
 
 
@@ -25,10 +25,19 @@ _CLASS_TO_UNIT: dict[OperationClass, FunctionalUnitKind] = {
     OperationClass.COPY: FunctionalUnitKind.INTEGER,
 }
 
+# Mnemonic-keyed mirror of _CLASS_TO_UNIT: the IR guarantees the mnemonic
+# determines the class, and string keys hash at C speed where Enum keys go
+# through the Python-level Enum.__hash__ -- measurable on the scheduler's
+# hot path, which classifies every operation many times per II attempt.
+_MNEMONIC_TO_UNIT: dict[str, FunctionalUnitKind] = {
+    mnemonic: _CLASS_TO_UNIT[op_class]
+    for mnemonic, op_class in MNEMONIC_CLASSES.items()
+}
+
 
 def unit_kind_for(op: Operation) -> FunctionalUnitKind:
     """Functional-unit kind an operation executes on."""
-    return _CLASS_TO_UNIT[op.op_class]
+    return _MNEMONIC_TO_UNIT[op.mnemonic]
 
 
 @dataclass(frozen=True)
@@ -62,6 +71,28 @@ class ResourceModel:
 
     def __init__(self, config: MachineConfig) -> None:
         self._config = config
+        lat = config.op_latencies
+        base = {
+            OperationClass.INTEGER: lat.int_alu,
+            OperationClass.FLOAT: lat.fp_alu,
+            OperationClass.BRANCH: lat.branch,
+            OperationClass.COPY: lat.copy,
+        }
+        # Latency by mnemonic, resolved once: the mnemonic determines the
+        # class and the multiply/divide overrides, so the per-operation
+        # lookup is a single string-keyed dict probe.
+        self._latency_by_mnemonic: dict[str, int] = {}
+        for mnemonic, op_class in MNEMONIC_CLASSES.items():
+            if op_class is OperationClass.MEMORY:
+                continue
+            latency = base[op_class]
+            if mnemonic == "mul":
+                latency = lat.int_mul
+            elif mnemonic == "fmul":
+                latency = lat.fp_mul
+            elif mnemonic in ("div", "fdiv"):
+                latency = lat.fp_div
+            self._latency_by_mnemonic[mnemonic] = latency
 
     @property
     def config(self) -> MachineConfig:
@@ -115,24 +146,10 @@ class ResourceModel:
         Memory operations do not have a fixed latency -- the scheduler
         assigns one -- so this raises for them.
         """
-        lat = self._config.op_latencies
-        if op.op_class is OperationClass.MEMORY:
+        latency = self._latency_by_mnemonic.get(op.mnemonic)
+        if latency is None:
             raise ValueError(
                 "memory operations have scheduler-assigned latencies; "
                 "use the latency assignment pass"
             )
-        table = {
-            OperationClass.INTEGER: lat.int_alu,
-            OperationClass.FLOAT: lat.fp_alu,
-            OperationClass.BRANCH: lat.branch,
-            OperationClass.COPY: lat.copy,
-        }
-        base = table[op.op_class]
-        # Multiplies and divides take longer than plain ALU operations.
-        if op.mnemonic in ("mul", "imul"):
-            base = lat.int_mul if op.op_class is OperationClass.INTEGER else lat.fp_mul
-        if op.mnemonic in ("fmul",):
-            base = lat.fp_mul
-        if op.mnemonic in ("div", "fdiv"):
-            base = lat.fp_div
-        return base
+        return latency

@@ -73,6 +73,16 @@ class BusSet:
             transfer_cycles=self._config.transfer_cycles,
         )
 
+    def note_transfers(self, count: int, wait_cycles: int) -> None:
+        """Credit transfers accounted outside :meth:`request`.
+
+        The vectorised replay kernels arbitrate directly on the
+        availability heap and report their transfer totals here so the
+        statistics stay identical to the per-request path.
+        """
+        self._transfers += count
+        self._total_wait += wait_cycles
+
     def reset(self) -> None:
         """Forget all outstanding occupancy and statistics."""
         self._free_at = [0] * self._config.count

@@ -9,7 +9,7 @@ implementation they all share.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterator, Optional
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
 
 class SetAssociativeStore:
@@ -50,6 +50,16 @@ class SetAssociativeStore:
         """Total number of entries the store can hold."""
         return self._num_sets * self._associativity
 
+    @property
+    def occupied(self) -> bool:
+        """True when any set holds an entry.
+
+        The vectorised kernels use this to skip exporting the initial
+        state of a store that has never been filled (the common case:
+        every simulation starts from a cold cache).
+        """
+        return any(self._sets)
+
     def _set_of(self, key: int) -> OrderedDict[int, None]:
         return self._sets[key % self._num_sets]
 
@@ -71,6 +81,19 @@ class SetAssociativeStore:
         """Number of entries displaced by insertions."""
         return self._evictions
 
+    def note_statistics(self, hits: int = 0, misses: int = 0, evictions: int = 0) -> None:
+        """Credit a batch of outcomes to the hit/miss/eviction counters.
+
+        Every path that accounts accesses -- the per-access :meth:`lookup`
+        /:meth:`insert` pair, the scalar :meth:`replay` bulk pass and the
+        vectorised kernels (:mod:`repro.kernels`) -- funnels through this
+        one helper, so the counters cannot drift between them when the
+        bookkeeping changes.
+        """
+        self._hits += hits
+        self._misses += misses
+        self._evictions += evictions
+
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
@@ -80,9 +103,9 @@ class SetAssociativeStore:
         entry_set = self._sets[key % self._num_sets]
         if key in entry_set:
             entry_set.move_to_end(key)
-            self._hits += 1
+            self.note_statistics(hits=1)
             return True
-        self._misses += 1
+        self.note_statistics(misses=1)
         return False
 
     def contains(self, key: int) -> bool:
@@ -98,9 +121,78 @@ class SetAssociativeStore:
         evicted: Optional[int] = None
         if len(entry_set) >= self._associativity:
             evicted, _ = entry_set.popitem(last=False)
-            self._evictions += 1
+            self.note_statistics(evictions=1)
         entry_set[key] = None
         return evicted
+
+    def replay(self, keys: Iterable[int]) -> list[bool]:
+        """Bulk lookup-then-insert-on-miss; returns the per-key hit flags.
+
+        Semantically identical to calling :meth:`lookup` for every key and
+        :meth:`insert` on every miss, but the statistics are accumulated
+        locally and credited once through :meth:`note_statistics` -- the
+        shape the vectorised kernels use, kept here as the scalar oracle.
+        """
+        sets = self._sets
+        num_sets = self._num_sets
+        associativity = self._associativity
+        hits = misses = evictions = 0
+        flags = []
+        append = flags.append
+        for key in keys:
+            entry_set = sets[key % num_sets]
+            if key in entry_set:
+                entry_set.move_to_end(key)
+                hits += 1
+                append(True)
+            else:
+                misses += 1
+                if len(entry_set) >= associativity:
+                    entry_set.popitem(last=False)
+                    evictions += 1
+                entry_set[key] = None
+                append(False)
+        self.note_statistics(hits=hits, misses=misses, evictions=evictions)
+        return flags
+
+    def export_ways(self) -> list[list[int]]:
+        """Per-set contents in LRU-to-MRU order (index 0 is evicted next)."""
+        return [list(entry_set) for entry_set in self._sets]
+
+    def load_ways(self, ways: Sequence[Sequence[int]]) -> None:
+        """Replace the contents from an :meth:`export_ways`-shaped dump.
+
+        Statistics are untouched: callers (the vectorised kernels) account
+        the accesses that produced the new state via
+        :meth:`note_statistics`.
+        """
+        if len(ways) != self._num_sets:
+            raise ValueError(
+                f"expected {self._num_sets} sets, got {len(ways)}"
+            )
+        for entry_set, keys in zip(self._sets, ways):
+            if len(keys) > self._associativity:
+                raise ValueError("set contents exceed associativity")
+            entry_set.clear()
+            for key in keys:
+                entry_set[key] = None
+
+    def update_ways(self, ways: Mapping[int, Sequence[int]]) -> None:
+        """Replace the contents of selected sets only.
+
+        ``ways`` maps set indices to LRU-to-MRU key lists (the per-set
+        shape of :meth:`export_ways`); unmentioned sets keep their state.
+        Statistics are untouched, as with :meth:`load_ways`.
+        """
+        for set_index, keys in ways.items():
+            if not 0 <= set_index < self._num_sets:
+                raise ValueError(f"set index {set_index} out of range")
+            if len(keys) > self._associativity:
+                raise ValueError("set contents exceed associativity")
+            entry_set = self._sets[set_index]
+            entry_set.clear()
+            for key in keys:
+                entry_set[key] = None
 
     def invalidate(self, key: int) -> bool:
         """Remove ``key`` if present; returns True if it was there."""

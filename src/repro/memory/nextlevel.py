@@ -52,6 +52,32 @@ class NextMemoryLevel:
         self._total_wait += wait
         return wait + self._config.latency
 
+    def note_bulk(
+        self,
+        accesses: int,
+        wait_cycles: int,
+        served_at=None,
+        occupancy: int = 1,
+    ) -> None:
+        """Credit a batch of accesses accounted outside :meth:`access`.
+
+        The vectorised kernels (:mod:`repro.kernels.vector`) serve whole
+        access sequences in bulk and report the totals here.  When
+        ``served_at`` (nondecreasing service-start cycles of a verified
+        zero-wait batch) is given, the port heap is rebuilt to the state
+        the per-access path would have left: the last ``ports`` services'
+        end cycles, padded with the previous heap entries.
+        """
+        self._accesses += accesses
+        self._total_wait += wait_cycles
+        if served_at is not None:
+            ports = self._config.ports
+            ends = [int(cycle) + occupancy for cycle in served_at[-ports:]]
+            if len(ends) < ports:
+                ends.extend(self._port_free_at[: ports - len(ends)])
+            self._port_free_at = ends
+            heapq.heapify(self._port_free_at)
+
     def reset(self) -> None:
         """Clear occupancy and statistics."""
         self._port_free_at = [0] * self._config.ports

@@ -139,6 +139,7 @@ def build_entry(
         "benchmarks": manifest.get("benchmarks"),
         "machine_grid": manifest.get("machine_grid"),
         "granularity": manifest.get("granularity"),
+        "sim_kernel": manifest.get("sim_kernel"),
         "workers": manifest.get("workers"),
         "run": {
             key: run.get(key)

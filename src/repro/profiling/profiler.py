@@ -23,8 +23,10 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from itertools import chain
 from typing import Mapping, Optional
 
+from repro import kernels
 from repro.ir.loop import Loop
 from repro.ir.operation import Operation
 from repro.machine.config import CacheOrganization, MachineConfig
@@ -199,57 +201,54 @@ def profile_loop(
         iterations=iterations, cache=cache,
     )
 
-    if config.organization is CacheOrganization.UNIFIED:
+    unified = config.organization is CacheOrganization.UNIFIED
+    if unified:
         geometry = config.cache
-        stores = [SetAssociativeStore(geometry.num_sets, geometry.associativity)]
+        num_sets, associativity = geometry.num_sets, geometry.associativity
     else:
         module = config.module_geometry
         subblocks = module.size_bytes // max(1, config.subblock_bytes)
         num_sets = max(1, subblocks // module.associativity)
-        stores = [
-            SetAssociativeStore(num_sets, module.associativity)
-            for _ in range(config.num_clusters)
-        ]
+        associativity = module.associativity
 
     memory_ops = loop.memory_operations
     homes = trace.home_clusters()
     blocks = trace.blocks(config.cache.block_bytes)
-    hit_counts = [0] * len(memory_ops)
 
     # The cache replay is the one genuinely sequential part: store state is
     # shared across operations, so accesses must be walked in the original
-    # (iteration, operation) order.  ``zip(*blocks)`` transposes the per-op
-    # arrays into per-iteration rows at C speed.
+    # (iteration, operation) order.  The vector backend replays the whole
+    # transposed stream as one lockstep-LRU pass (``None`` falls back to
+    # the scalar loop, where ``zip(*blocks)`` transposes the per-op arrays
+    # into per-iteration rows at C speed).
     with obs.span(
-        "profile.replay", loop=loop.name, dataset=dataset, iterations=iterations
+        "profile.replay",
+        loop=loop.name,
+        dataset=dataset,
+        iterations=iterations,
+        backend=kernels.active_backend(),
     ):
-        if len(stores) == 1:
-            store = stores[0]
-            lookup, insert = store.lookup, store.insert
-            for row in zip(*blocks):
-                for index, block in enumerate(row):
-                    if lookup(block):
-                        hit_counts[index] += 1
-                    else:
-                        insert(block)
-        else:
-            indices = range(len(memory_ops))
-            for block_row, home_row in zip(zip(*blocks), zip(*homes)):
-                for index in indices:
-                    block = block_row[index]
-                    store = stores[home_row[index]]
-                    if store.lookup(block):
-                        hit_counts[index] += 1
-                    else:
-                        store.insert(block)
+        hit_counts = kernels.profile_replay(
+            blocks, homes, num_sets, associativity, unified
+        )
+        if hit_counts is None:
+            hit_counts = _replay_scalar(
+                blocks, homes, num_sets, associativity, unified, config
+            )
 
+    histograms = kernels.profile_histograms(homes)
     profiles: dict[Operation, OperationProfile] = {}
     for index, op in enumerate(memory_ops):
+        if histograms is None:
+            cluster_counts = Counter(homes[index])
+        else:
+            # First-touch pair order reproduces Counter insertion order.
+            cluster_counts = Counter(dict(histograms[index]))
         profiles[op] = OperationProfile(
             operation=op,
             accesses=iterations,
             hits=hit_counts[index],
-            cluster_counts=Counter(homes[index]),
+            cluster_counts=cluster_counts,
         )
 
     return LoopProfile(
@@ -258,3 +257,32 @@ def profile_loop(
         profiled_iterations=iterations,
         average_trip_count=float(loop.profile_trip_count),
     )
+
+
+def _replay_scalar(
+    blocks, homes, num_sets: int, associativity: int, unified: bool,
+    config: MachineConfig,
+) -> list[int]:
+    """The scalar (oracle) cache replay behind the backend switch."""
+    ops = len(blocks)
+    hit_counts = [0] * ops
+    if unified:
+        store = SetAssociativeStore(num_sets, associativity)
+        flags = store.replay(chain.from_iterable(zip(*blocks)))
+        for index in range(ops):
+            hit_counts[index] = sum(flags[index::ops])
+    else:
+        stores = [
+            SetAssociativeStore(num_sets, associativity)
+            for _ in range(config.num_clusters)
+        ]
+        indices = range(ops)
+        for block_row, home_row in zip(zip(*blocks), zip(*homes)):
+            for index in indices:
+                block = block_row[index]
+                store = stores[home_row[index]]
+                if store.lookup(block):
+                    hit_counts[index] += 1
+                else:
+                    store.insert(block)
+    return hit_counts

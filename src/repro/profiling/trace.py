@@ -53,6 +53,7 @@ from array import array
 from collections import OrderedDict
 from typing import Optional
 
+from repro import kernels
 from repro.ir.loop import Loop
 from repro.machine.config import MachineConfig
 from repro.memory.layout import DataLayout
@@ -191,14 +192,22 @@ class LoopTrace:
         if self._homes is None:
             interleaving = self.interleaving_factor
             clusters = self.num_clusters
-            self._homes = [
-                array("h", [(a // interleaving) % clusters for a in addrs])
-                for addrs in self.addresses
-            ]
+            streams = kernels.home_streams(
+                self.addresses, interleaving, clusters
+            )
+            if streams is None:
+                streams = [
+                    array("h", [(a // interleaving) % clusters for a in addrs])
+                    for addrs in self.addresses
+                ]
+            self._homes = streams
         return self._homes
 
     def blocks(self, block_bytes: int) -> list[array]:
         """Per-operation cache-block streams for a given block size."""
+        streams = kernels.block_streams(self.addresses, block_bytes)
+        if streams is not None:
+            return streams
         return [
             array("q", [a // block_bytes for a in addrs])
             for addrs in self.addresses

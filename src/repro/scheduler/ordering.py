@@ -62,31 +62,34 @@ def _schedule_depths(
     Loop-carried edges are ignored so the graph is acyclic; the depths are
     only used as ordering priorities, not as scheduling bounds.
     """
-    depth: dict[Operation, int] = {op: 0 for op in ddg.operations}
     ops = ddg.operations
+    depth: dict[Operation, int] = {op: 0 for op in ops}
+    # Intra-iteration edges with their weights resolved once; the
+    # relaxation passes below then run over plain tuples.
+    edges = [
+        (dep.src, dep.dst, max(1, latency_of(dep.src)))
+        for dep in ddg.dependences()
+        if dep.distance == 0
+    ]
     # Operations are inserted in program order, which is a topological order
     # for the intra-iteration subgraph in well-formed loops; a few relaxation
     # passes make the computation robust to arbitrary insertion orders.
     for _ in range(max(1, len(ops))):
         changed = False
-        for dep in ddg.dependences():
-            if dep.distance > 0:
-                continue
-            candidate = depth[dep.src] + max(1, latency_of(dep.src))
-            if candidate > depth[dep.dst]:
-                depth[dep.dst] = candidate
+        for src, dst, weight in edges:
+            candidate = depth[src] + weight
+            if candidate > depth[dst]:
+                depth[dst] = candidate
                 changed = True
         if not changed:
             break
-    height: dict[Operation, int] = {op: 0 for op in ddg.operations}
+    height: dict[Operation, int] = {op: 0 for op in ops}
     for _ in range(max(1, len(ops))):
         changed = False
-        for dep in ddg.dependences():
-            if dep.distance > 0:
-                continue
-            candidate = height[dep.dst] + max(1, latency_of(dep.src))
-            if candidate > height[dep.src]:
-                height[dep.src] = candidate
+        for src, dst, weight in edges:
+            candidate = height[dst] + weight
+            if candidate > height[src]:
+                height[src] = candidate
                 changed = True
         if not changed:
             break

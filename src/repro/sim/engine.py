@@ -31,6 +31,7 @@ from typing import Optional, Sequence
 
 from repro.ir.ddg import DependenceKind
 from repro.machine.config import MachineConfig
+from repro import kernels
 from repro.obs import trace as obs
 from repro.memory.classify import AccessCounters, AccessType, StallCounters
 from repro.memory.coherent import make_cache_model
@@ -82,6 +83,26 @@ def event_template(
     )
     max_k = max((k for _, k, _ in entries), default=0)
     return entries, max_k
+
+
+@dataclass(frozen=True)
+class ReplayPlan:
+    """Everything the replay inner loop needs, resolved ahead of time.
+
+    ``per_op`` holds one tuple per template entry (template order):
+    ``(phase, wrap, addresses, cluster, granularity, is_store,
+    attractable, cover, record, record_method)`` -- the flat trace
+    address array, the static operation attributes, the consumer cover
+    and the operation's :class:`OperationSimRecord` (plus its pre-bound
+    ``record`` method for the scalar loop).  Both backends consume this
+    one structure: the scalar loop walks it event by event, the vector
+    kernels (:mod:`repro.kernels.vector`) turn it into arrays.
+    """
+
+    ii: int
+    simulated: int
+    max_k: int
+    per_op: list
 
 
 class LoopSimulator:
@@ -169,6 +190,7 @@ class LoopSimulator:
                 entry = memory_entries[index]
                 op = entry.operation
                 memory = op.memory
+                record = records[op]
                 per_op.append(
                     (
                         phase,
@@ -179,9 +201,13 @@ class LoopSimulator:
                         memory.is_store,
                         memory.attractable,
                         covers[op],
-                        records[op].record,
+                        record,
+                        record.record,
                     )
                 )
+            plan = ReplayPlan(
+                ii=ii, simulated=simulated, max_k=max_k, per_op=per_op
+            )
 
             cache_access = self._cache.access
             local_hit = AccessType.LOCAL_HIT
@@ -194,10 +220,23 @@ class LoopSimulator:
         # sorting a ``simulated x ops`` event list: sweep ``m``, and within
         # each ``m`` walk the template; iteration ``m - wrap`` is out of
         # range only during pipeline fill and drain.
+        #
+        # The vectorised backend replays the same plan as bulk array
+        # passes and returns the accumulated stall; ``None`` means the
+        # scalar loop below -- the equivalence oracle -- must run
+        # (scalar backend selected, or the kernel declined this loop's
+        # memory-model shape; see ``repro.kernels``).
         last_m = simulated + max_k if per_op and simulated else 0
         with obs.span(
-            "sim.replay", loop=compiled.original.name, iterations=simulated
+            "sim.replay",
+            loop=compiled.original.name,
+            iterations=simulated,
+            backend=kernels.active_backend(),
         ):
+            vectorised = kernels.sim_replay(plan, self._cache, stalls)
+            if vectorised is not None:
+                accumulated_stall = vectorised
+                last_m = 0
             for m in range(last_m):
                 base_cycle = m * ii
                 for (
@@ -209,6 +248,7 @@ class LoopSimulator:
                     is_store,
                     attractable,
                     cover,
+                    _record,
                     record_op,
                 ) in per_op:
                     iteration = m - wrap

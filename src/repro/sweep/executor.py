@@ -51,6 +51,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Optional, Sequence, Union
 
+from repro import kernels
 from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import profilehook as obs_profilehook
@@ -686,6 +687,7 @@ def run_jobs(
                 "benchmarks": sorted({job.benchmark for job in unique}),
                 "machine_grid": sorted({job.architecture for job in unique}),
                 "granularity": granularity,
+                "sim_kernel": kernels.active_backend(),
                 "workers": summary.workers,
                 "run": summary.describe(),
                 "stage_hits": dict(summary.stage_hits),

@@ -1,0 +1,297 @@
+"""Differential tests of the replay kernel backends.
+
+The vectorised backend (:mod:`repro.kernels.vector`) must be
+indistinguishable from the scalar oracle through every observable
+payload: simulation results, profiles and cache statistics.  These tests
+extend the ``tests/test_trace.py`` oracle pattern to the backend switch:
+randomized loops crossed with machine geometries and datasets are
+replayed on both backends and the full result payloads compared.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict
+
+import pytest
+
+from repro import kernels
+from repro.ir.builder import LoopBuilder
+from repro.ir.loop import StorageClass
+from repro.machine.config import MachineConfig
+from repro.memory.cachesets import SetAssociativeStore
+from repro.profiling.profiler import profile_loop
+from repro.profiling.trace import reset_trace_state
+from repro.scheduler.core import SchedulingHeuristic
+from repro.scheduler.pipeline import CompilerOptions, compile_loop
+from repro.sim.engine import SimulationOptions, simulate_compiled_loops
+
+requires_numpy = pytest.mark.skipif(
+    not kernels.numpy_available(), reason="vector backend requires numpy"
+)
+
+#: Machine geometries the differential suite crosses: the paper's
+#: word-interleaved cache (with and without Attraction Buffers -- the
+#: latter exercises the kernel's sequenced remote path), the unified
+#: cache and the coherent multiVLIW (where the vector kernel must decline
+#: and fall back to the scalar loop without changing a single payload).
+GEOMETRIES = (
+    ("word-interleaved", MachineConfig.word_interleaved, {}),
+    (
+        "word-interleaved-ab",
+        lambda: MachineConfig.word_interleaved(attraction_buffers=True),
+        {},
+    ),
+    ("unified", MachineConfig.unified, {"heuristic": SchedulingHeuristic.BASE}),
+    (
+        "multivliw",
+        MachineConfig.multivliw,
+        {"heuristic": SchedulingHeuristic.MULTIVLIW},
+    ),
+)
+
+
+def random_loop(seed: int):
+    """A randomized but schedulable loop: strided loads (some negative or
+    constant), an optional indirect gather, a reduction and a store."""
+    rng = random.Random(seed)
+    builder = LoopBuilder(f"fuzz{seed}", trip_count=rng.randrange(24, 200))
+    arrays = []
+    for index in range(rng.randrange(1, 4)):
+        name = f"arr{index}"
+        builder.array(
+            name,
+            element_bytes=rng.choice((2, 4, 8)),
+            num_elements=rng.randrange(16, 512),
+            storage=rng.choice(tuple(StorageClass)),
+        )
+        arrays.append(name)
+    values = []
+    for index in range(rng.randrange(2, 6)):
+        values.append(
+            builder.load(
+                f"ld{index}",
+                rng.choice(arrays),
+                stride=rng.choice((-8, -4, 0, 2, 4, 8, 12, 16)),
+                offset=rng.randrange(0, 32),
+            )
+        )
+    if rng.random() < 0.5:
+        builder.array("idx", element_bytes=2, num_elements=64, index_range=48)
+        builder.array("table", element_bytes=8, num_elements=256)
+        feeder = builder.load("ldi", "idx", stride=2)
+        values.append(
+            builder.load(
+                "ldt", "table", indirect=True, index_array="idx",
+                inputs=[feeder],
+            )
+        )
+    total = builder.compute("sum", rng.choice(("add", "fadd")), inputs=values)
+    builder.store(
+        "st", rng.choice(arrays), stride=rng.choice((2, 4, 8)), inputs=[total]
+    )
+    return builder.build()
+
+
+def sim_payload(result):
+    """Every observable field of a benchmark simulation result."""
+    payload = []
+    for loop_result in result.loops:
+        records = []
+        for op in sorted(loop_result.operation_records, key=lambda o: o.uid):
+            record = loop_result.operation_records[op]
+            records.append(
+                (
+                    record.cluster,
+                    record.assigned_latency,
+                    [(k.value, v) for k, v in record.access_counts.items()],
+                    [(k.value, v) for k, v in record.stall_by_type.items()],
+                    list(record.clusters_touched.items()),
+                    record.total_stall,
+                )
+            )
+        payload.append(
+            (
+                loop_result.loop_name,
+                loop_result.ii,
+                loop_result.stage_count,
+                loop_result.compute_cycles,
+                loop_result.stall_cycles,
+                asdict(loop_result.accesses),
+                asdict(loop_result.stalls),
+                records,
+            )
+        )
+    return payload
+
+
+def run_backend(backend, monkeypatch, loops, config, options):
+    """Compile, simulate and profile every loop under one backend."""
+    monkeypatch.setenv("REPRO_SIM_KERNEL", backend)
+    reset_trace_state()
+    compiled = [compile_loop(loop, config, options) for loop in loops]
+    result = simulate_compiled_loops(compiled, "fuzz", config, SimulationOptions())
+    profiles = {
+        (loop.name, dataset): profile_loop(
+            loop, config, dataset=dataset
+        ).to_payload()
+        for loop in loops
+        for dataset in ("profile", "execution")
+    }
+    return sim_payload(result), profiles
+
+
+@requires_numpy
+class TestDifferentialFuzz:
+    """Randomized loops x geometries x datasets, scalar vs vector."""
+
+    @pytest.mark.parametrize(
+        "geometry", GEOMETRIES, ids=[name for name, _, _ in GEOMETRIES]
+    )
+    def test_payloads_identical_across_backends(self, geometry, monkeypatch):
+        _, make_config, option_overrides = geometry
+        config = make_config()
+        options = CompilerOptions(**option_overrides)
+        loops = [random_loop(seed) for seed in range(6)]
+        scalar_sim, scalar_profiles = run_backend(
+            "scalar", monkeypatch, loops, config, options
+        )
+        vector_sim, vector_profiles = run_backend(
+            "vector", monkeypatch, loops, config, options
+        )
+        assert scalar_sim == vector_sim
+        assert scalar_profiles == vector_profiles
+
+
+class TestBackendSelection:
+    def test_explicit_choices(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "scalar")
+        assert kernels.active_backend() == "scalar"
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "bogus")
+        with pytest.raises(ValueError):
+            kernels.active_backend()
+
+    @requires_numpy
+    def test_auto_prefers_vector_when_numpy_importable(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_KERNEL", raising=False)
+        assert kernels.active_backend() == "vector"
+
+    def test_no_numpy_auto_selects_scalar_and_vector_errors(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_numpy_available", False)
+        monkeypatch.delenv("REPRO_SIM_KERNEL", raising=False)
+        assert kernels.active_backend() == "scalar"
+        assert kernels.sim_replay(None, None, None) is None
+        assert kernels.profile_replay(None, None, 1, 1, False) is None
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "vector")
+        with pytest.raises(RuntimeError, match="perf"):
+            kernels.active_backend()
+
+
+@requires_numpy
+class TestReplayLRU:
+    """The lockstep kernel against the scalar store, state included."""
+
+    @pytest.mark.parametrize("associativity", (1, 2, 4))
+    def test_matches_scalar_store(self, associativity):
+        import numpy as np
+
+        from repro.kernels.vector import replay_lru
+
+        rng = random.Random(associativity)
+        num_sets = 8
+        keys = [rng.randrange(0, 48) for _ in range(400)]
+        store = SetAssociativeStore(num_sets, associativity)
+        expected = store.replay(keys)
+
+        key_array = np.array(keys, dtype=np.int64)
+        outcome = replay_lru(key_array % num_sets, key_array, associativity)
+        assert outcome is not None
+        hits, final_ways, evictions = outcome
+        assert list(hits) == expected
+        exported = store.export_ways()
+        for set_id in range(num_sets):
+            assert exported[set_id] == final_ways.get(set_id, [])
+        assert sum(evictions.values()) == store.evictions
+
+    def test_initial_ways_seeding(self):
+        import numpy as np
+
+        from repro.kernels.vector import replay_lru
+
+        rng = random.Random(99)
+        num_sets, associativity = 4, 2
+        store = SetAssociativeStore(num_sets, associativity)
+        store.replay([rng.randrange(0, 24) for _ in range(60)])
+        seed_ways = {
+            set_id: ways
+            for set_id, ways in enumerate(store.export_ways())
+            if ways
+        }
+        keys = [rng.randrange(0, 24) for _ in range(120)]
+        expected = store.replay(keys)
+
+        key_array = np.array(keys, dtype=np.int64)
+        outcome = replay_lru(
+            key_array % num_sets, key_array, associativity,
+            initial_ways=seed_ways,
+        )
+        hits, final_ways, _ = outcome
+        assert list(hits) == expected
+        exported = store.export_ways()
+        for set_id in range(num_sets):
+            assert exported[set_id] == final_ways.get(set_id, [])
+
+    def test_declines_hot_set_deeper_than_cutoff(self):
+        import numpy as np
+
+        from repro.kernels import vector
+
+        keys = np.arange(vector._MAX_DEPTH + 1, dtype=np.int64)
+        set_ids = np.zeros_like(keys)
+        assert vector.replay_lru(set_ids, keys, 2) is None
+
+
+class TestStoreStatistics:
+    """Per-access and bulk replay must report identical statistics."""
+
+    def test_per_access_and_bulk_replay_match(self):
+        rng = random.Random(7)
+        keys = [rng.randrange(0, 64) for _ in range(500)]
+        per_access = SetAssociativeStore(8, 2)
+        bulk = SetAssociativeStore(8, 2)
+        flags = []
+        for key in keys:
+            hit = per_access.lookup(key)
+            if not hit:
+                per_access.insert(key)
+            flags.append(hit)
+        assert bulk.replay(keys) == flags
+        assert (bulk.hits, bulk.misses, bulk.evictions) == (
+            per_access.hits,
+            per_access.misses,
+            per_access.evictions,
+        )
+        assert bulk.export_ways() == per_access.export_ways()
+
+    def test_export_update_round_trip(self):
+        store = SetAssociativeStore(4, 2)
+        assert not store.occupied
+        store.replay([0, 4, 8, 1, 5])
+        assert store.occupied
+        exported = store.export_ways()
+
+        other = SetAssociativeStore(4, 2)
+        other.load_ways(exported)
+        assert other.export_ways() == exported
+        assert (other.hits, other.misses, other.evictions) == (0, 0, 0)
+
+        other.update_ways({0: [12], 2: []})
+        assert other.export_ways()[0] == [12]
+        assert other.export_ways()[1] == exported[1]
+        assert other.export_ways()[2] == []
+        with pytest.raises(ValueError):
+            other.update_ways({4: [1]})
+        with pytest.raises(ValueError):
+            other.update_ways({0: [1, 2, 3]})
+        with pytest.raises(ValueError):
+            other.load_ways([[1]])
