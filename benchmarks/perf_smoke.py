@@ -41,6 +41,16 @@ and ``=vector`` in interleaved rounds (min-of-repeats), with the
 vector-over-scalar speedups recorded.  When numpy is unavailable the
 vector half is ``null`` and the speedups are omitted.
 
+Schema 7 adds a ``service`` scenario (see ``docs/sweep.md``, "Service
+mode"): a 2x-overlapping two-client workload -- both clients submit the
+same two-point kernels-mix grid concurrently to one live sweep service --
+against two sequential ``repro-sweep run`` invocations of that grid
+(cold stores, the two-separate-users status quo; the shared-store rerun
+is recorded too).  Both sides are pinned to two workers.  The scenario
+asserts zero duplicate executions (the second client rides the first's
+in-flight jobs) and records the throughput speedup, the warm resubmit
+latency (a fully stored grid served back), and the dedup counters.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py [--repeats N] [--output FILE]
@@ -349,6 +359,119 @@ def time_backend_comparison(repeats: int) -> dict[str, object]:
     return report
 
 
+def time_service() -> dict[str, object]:
+    """The 2x-overlapping two-client service workload versus batch runs.
+
+    Both clients submit the same two-point grid to one live service at
+    the same instant (a barrier releases them together): the first
+    classifies every job *new*, the second rides the same executions
+    in-flight, so the service executes each point exactly once --
+    asserted.  The sequential baseline is what those two users pay
+    without a service: two ``run_jobs`` invocations on separate cold
+    stores, each spawning its own workers (the shared-store rerun, where
+    the second invocation is pure cache hits, is recorded alongside).
+    Worker counts are pinned to 2 on both sides so the scenario measures
+    scheduling and dedup, not this machine's core count.
+    """
+    import threading
+
+    from repro.sweep.executor import run_jobs
+    from repro.sweep.protocol import ServiceClient, default_socket_path
+    from repro.sweep.service import ServiceThread, SweepService
+    from repro.sweep.spec import SweepSpec
+    from repro.sweep.store import ResultStore
+
+    spec = SweepSpec(
+        name="perf-service",
+        benchmarks=(GRID_BENCHMARK,),
+        axes={"attraction_entries": (0, 16)},
+        base={"iteration_cap": 256},
+    )
+    points = len(spec.expand())
+    workers = 2
+
+    sequential_cold = 0.0
+    for _ in range(2):
+        with tempfile.TemporaryDirectory(prefix="perf-smoke-seq-") as root:
+            store = ResultStore(Path(root) / "store")
+            started = time.perf_counter()
+            run_jobs(spec.expand(), store=store, workers=workers)
+            sequential_cold += time.perf_counter() - started
+
+    with tempfile.TemporaryDirectory(prefix="perf-smoke-seq-") as root:
+        store = ResultStore(Path(root) / "store")
+        started = time.perf_counter()
+        run_jobs(spec.expand(), store=store, workers=workers)
+        run_jobs(spec.expand(), store=store, workers=workers)
+        sequential_shared = time.perf_counter() - started
+
+    with tempfile.TemporaryDirectory(prefix="perf-smoke-service-") as root:
+        store_root = Path(root) / "store"
+        service = SweepService(store_root, workers=workers)
+        with ServiceThread(service):
+            socket_path = default_socket_path(store_root)
+            barrier = threading.Barrier(2)
+            results: list[dict] = [{}, {}]
+
+            def client(index: int) -> None:
+                with ServiceClient(socket_path=socket_path) as c:
+                    barrier.wait()
+                    results[index] = c.submit(spec.to_mapping())
+
+            threads = [
+                threading.Thread(target=client, args=(index,))
+                for index in range(2)
+            ]
+            started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            service_seconds = time.perf_counter() - started
+
+            with ServiceClient(socket_path=socket_path) as c:
+                started = time.perf_counter()
+                resubmit = c.submit(spec.to_mapping())
+                warm_resubmit_seconds = time.perf_counter() - started
+                stats = c.stats()
+
+    executed = stats["jobs"]["executed"]
+    if executed != points:
+        raise AssertionError(
+            f"two overlapping clients must execute each point once: "
+            f"expected {points} executions, got {executed} "
+            f"(dedup: {stats['dedup']})"
+        )
+    if resubmit["executed"] != 0 or resubmit["stored"] != points:
+        raise AssertionError(
+            f"warm resubmit must be served entirely from the store, got "
+            f"{resubmit}"
+        )
+    speedup_cold = sequential_cold / max(service_seconds, 1e-9)
+    if speedup_cold < 1.2:
+        raise AssertionError(
+            f"service throughput must beat two sequential cold runs: "
+            f"{service_seconds:.3f}s vs {sequential_cold:.3f}s "
+            f"({speedup_cold:.2f}x)"
+        )
+    return {
+        "benchmark": GRID_BENCHMARK,
+        "points": points,
+        "clients": 2,
+        "workers": workers,
+        "service_seconds": round(service_seconds, 4),
+        "sequential_cold_seconds": round(sequential_cold, 4),
+        "sequential_shared_seconds": round(sequential_shared, 4),
+        "speedup_vs_sequential_cold": round(speedup_cold, 2),
+        "speedup_vs_sequential_shared": round(
+            sequential_shared / max(service_seconds, 1e-9), 2
+        ),
+        "warm_resubmit_seconds": round(warm_resubmit_seconds, 4),
+        "executed": executed,
+        "dedup": dict(stats["dedup"]),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -360,7 +483,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     report: dict[str, object] = {
-        "schema": 6,
+        "schema": 7,
         "python": platform.python_version(),
         "repeats": args.repeats,
         "sim_kernel": kernels.active_backend(),
@@ -407,6 +530,18 @@ def main(argv=None) -> int:
         print(
             f"backends {comparison['benchmark']}: scalar only (numpy unavailable)"
         )
+
+    service = time_service()
+    report["service"] = service
+    print(
+        f"service {service['benchmark']}: {service['clients']} clients x "
+        f"{service['points']} points: service={service['service_seconds']:.3f}s "
+        f"sequential={service['sequential_cold_seconds']:.3f}s "
+        f"({service['speedup_vs_sequential_cold']:.2f}x), warm resubmit "
+        f"{service['warm_resubmit_seconds'] * 1000:.0f}ms, dedup new "
+        f"{service['dedup']['new']} / in-flight {service['dedup']['inflight']} "
+        f"/ stored {service['dedup']['stored']}"
+    )
 
     telemetry = time_telemetry(args.repeats)
     # The digests live at the top level: they are the baseline's

@@ -43,6 +43,7 @@ Every kernel either produces byte-identical state/results or returns
 
 from __future__ import annotations
 
+import os
 from array import array
 from heapq import heapify, heappop, heappush
 from typing import Optional, Sequence
@@ -59,11 +60,40 @@ _EMPTY = -(2**62)
 
 #: Lockstep depth cutoff: beyond this many accesses to one set (after
 #: duplicate collapse) the per-step overhead outweighs the batching win.
+#: Default; override per process with :data:`MAX_DEPTH_ENV`.
 _MAX_DEPTH = 512
 
 #: Estimated-work ratio cutoff: decline when the padded matrix implies
-#: more than this many array cells per real access.
+#: more than this many array cells per real access.  Default; override
+#: per process with :data:`WORK_RATIO_ENV`.
 _MAX_WORK_RATIO = 48
+
+#: Environment overrides for the two lockstep-decline cutoffs, so the
+#: crossover can be re-tuned on a given machine (or forced low/high in
+#: experiments) without editing code.  Read on every replay, so tests
+#: and sweeps can flip them per call; invalid or non-positive values
+#: fall back to the defaults.
+MAX_DEPTH_ENV = "REPRO_SIM_KERNEL_MAX_DEPTH"
+WORK_RATIO_ENV = "REPRO_SIM_KERNEL_WORK_RATIO"
+
+
+def _env_cutoff(name: str, default: int) -> int:
+    text = os.environ.get(name)
+    if not text:
+        return default
+    try:
+        value = int(text)
+    except ValueError:
+        return default
+    return value if value > 0 else default
+
+
+def lockstep_cutoffs() -> tuple[int, int]:
+    """The effective ``(max_depth, max_work_ratio)`` decline cutoffs."""
+    return (
+        _env_cutoff(MAX_DEPTH_ENV, _MAX_DEPTH),
+        _env_cutoff(WORK_RATIO_ENV, _MAX_WORK_RATIO),
+    )
 
 _STALL_FIELDS = {
     1: "remote_hit",
@@ -134,7 +164,8 @@ def replay_lru(
     runs = int(unique_sets.shape[0])
     depth = int(counts.max())
     kept = int(kept_keys.shape[0])
-    if depth > _MAX_DEPTH or depth * runs * associativity > _MAX_WORK_RATIO * max(
+    max_depth, max_work_ratio = lockstep_cutoffs()
+    if depth > max_depth or depth * runs * associativity > max_work_ratio * max(
         kept, 1
     ):
         return None

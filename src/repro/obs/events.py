@@ -157,18 +157,27 @@ def flush_shard() -> int:
 
 
 def write_run_header(
-    store_root: Union[Path, str], info: Optional[dict] = None
+    store_root: Union[Path, str],
+    info: Optional[dict] = None,
+    started: Optional[float] = None,
 ) -> Path:
     """Publish the in-progress run's header (``obs/run.json``).
 
     Written by the executor just before jobs are dispatched and removed
     by :func:`finalize_run`, so its presence means "a run is live" --
     ``repro-sweep watch`` reads it for the job total, start time and
-    worker count its progress rendering needs.
+    worker count its progress rendering needs.  A long-lived caller that
+    *rewrites* the header as it makes progress (the sweep service bumps
+    ``completed_units`` and its dedup counters) passes the original
+    ``started`` so elapsed time survives the rewrites; the default stamps
+    the current wall clock.
     """
     directory = obs_dir(store_root)
     directory.mkdir(parents=True, exist_ok=True)
-    header = {"schema": RUN_HEADER_SCHEMA, "started": time.time()}
+    header = {
+        "schema": RUN_HEADER_SCHEMA,
+        "started": time.time() if started is None else started,
+    }
     if info:
         header.update(info)
     path = directory / RUN_FILENAME

@@ -129,7 +129,7 @@ def build_entry(
     """Assemble one ledger entry from a finalized run's telemetry."""
     run = manifest.get("run") or {}
     counters = dict((metrics_snapshot or {}).get("counters") or {})
-    return {
+    entry: dict[str, object] = {
         "schema": LEDGER_SCHEMA,
         "run_id": run_id or new_run_id(),
         "created": manifest.get("created"),
@@ -158,6 +158,11 @@ def build_entry(
         ),
         "spans": span_digests(events),
     }
+    if manifest.get("service"):
+        # Sweep-service sessions and served requests carry their dedup
+        # accounting into the ledger; plain runs stay byte-identical.
+        entry["service"] = manifest["service"]
+    return entry
 
 
 def ledger_path(obs_directory: Union[Path, str]) -> Path:

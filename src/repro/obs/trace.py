@@ -214,6 +214,47 @@ def measured_span(name: str, **attrs: object) -> Span:
     return Span(name, attrs, _ENABLED)
 
 
+def record_span(
+    name: str,
+    started: float,
+    elapsed: float,
+    parent: Optional[str] = None,
+    **attrs: object,
+) -> Optional[str]:
+    """Append an externally timed, already-finished span event.
+
+    For callers that measure a region whose start and end live in
+    different stack frames -- the sweep service's per-request spans open
+    at ``submit`` and close at the request's ``done``, with arbitrary
+    event-loop callbacks in between -- so a ``with``-scoped :class:`Span`
+    (and its thread-local nesting stack) cannot model them.  ``started``
+    is wall-clock seconds, ``elapsed`` monotonic seconds, exactly as a
+    :class:`Span` records them.  Returns the span id, or None when
+    telemetry is disabled.
+    """
+    if not _ENABLED:
+        return None
+    event = {
+        "kind": "span",
+        "id": new_span_id(),
+        "parent": parent,
+        "name": name,
+        "ts": started,
+        "dur": elapsed,
+        "pid": os.getpid(),
+        "tid": threading.get_ident(),
+        "attrs": attrs,
+    }
+    global _DROPPED
+    with _LOCK:
+        _EVENTS.append(event)
+        if len(_EVENTS) > MAX_BUFFERED_EVENTS:
+            drop = MAX_BUFFERED_EVENTS // 2
+            del _EVENTS[:drop]
+            _DROPPED += drop
+    return event["id"]
+
+
 def take_events() -> list[dict]:
     """Drain and return this process's buffered finished-span events."""
     global _EVENTS

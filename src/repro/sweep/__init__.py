@@ -12,8 +12,17 @@ The subsystem splits design-space exploration into explicit phases:
   runs;
 * :mod:`repro.sweep.store` -- the on-disk JSON record store that makes
   re-runs incremental and results queryable after exit;
+* :mod:`repro.sweep.scheduler` -- the benchmark-affine work-stealing
+  scheduler of persistent worker processes both ``run`` and the service
+  execute on;
+* :mod:`repro.sweep.service` / :mod:`repro.sweep.protocol` -- the
+  long-lived sweep service (``repro-sweep serve``) with cross-client job
+  dedup, and its JSONL socket protocol/client;
 * :mod:`repro.sweep.report` -- text-table rendering of stored results;
 * :mod:`repro.sweep.cli` -- the ``python -m repro.sweep`` command line.
+
+``repro.sweep.service`` itself is not re-exported (it pulls in asyncio
+machinery no batch run needs); import it directly.
 """
 
 from repro.sweep.artifacts import ArtifactCache, ArtifactStore
@@ -29,7 +38,9 @@ from repro.sweep.executor import (
     run_jobs,
     run_sweep,
 )
+from repro.sweep.protocol import ServiceClient, default_socket_path
 from repro.sweep.report import render_report, render_report_json, render_status
+from repro.sweep.scheduler import JobCompletion, WorkStealingScheduler
 from repro.sweep.spec import (
     SweepJob,
     SweepPoint,
@@ -46,9 +57,13 @@ from repro.sweep.workloads import loop_names, resolve_loop, resolve_workload, wo
 __all__ = [
     "ArtifactCache",
     "ArtifactStore",
+    "JobCompletion",
     "JobOutcome",
     "PruneOptions",
     "ResultStore",
+    "ServiceClient",
+    "WorkStealingScheduler",
+    "default_socket_path",
     "artifact_cache",
     "configure_artifacts",
     "SweepJob",

@@ -111,6 +111,12 @@ class ArtifactStore:
             return None
         if envelope.get("stage") != stage:
             return None
+        try:
+            # Touch on hit: mtime becomes a last-use clock, so size-based
+            # eviction (evict_to_size) drops cold shards, not hot ones.
+            os.utime(path)
+        except OSError:
+            pass
         return envelope.get("payload")
 
     def put(self, stage: str, key: str, payload: object) -> None:
@@ -174,6 +180,58 @@ class ArtifactStore:
                 except FileNotFoundError:
                     pass
         obs_metrics.registry().counter("artifacts.vacuum_removed").inc(removed)
+        return removed
+
+    def total_bytes(self) -> int:
+        """Total size of all stored artifact files, in bytes."""
+        total = 0
+        for path in self.root.glob("*/*/*.pkl"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def evict_to_size(
+        self, max_bytes: int, grace_seconds: float = 60.0
+    ) -> int:
+        """Evict cold artifacts, LRU by mtime, until the store fits.
+
+        ``get`` touches an artifact's mtime on every hit, so mtime order
+        is last-use order: the oldest files are the coldest and go first.
+        Artifacts are pure caches -- a future miss recomputes the stage --
+        so eviction can never lose results, only warmth.  Files younger
+        than ``grace_seconds`` are never touched (same live-sweep safety
+        contract as :meth:`vacuum`: a recent mtime may be an in-flight
+        write *or* an active job's working set), so next to a live run the
+        store may transiently stay above ``max_bytes``.  Returns how many
+        files were removed.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        cutoff = time.time() - grace_seconds
+        entries = []
+        total = 0
+        for path in self.root.glob("*/*/*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            total += stat.st_size
+            if stat.st_mtime <= cutoff:
+                entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()
+        removed = 0
+        for _, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue
+            total -= size
+            removed += 1
+        obs_metrics.registry().counter("artifacts.size_evictions").inc(removed)
         return removed
 
 

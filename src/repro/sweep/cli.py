@@ -16,7 +16,12 @@
     python -m repro.sweep regress RESULTS_DIR [--gate] [--baseline RUN_ID]
                                   [--format table|json]
     python -m repro.sweep watch   RESULTS_DIR [--interval SECONDS] [--once]
-    python -m repro.sweep vacuum  [--results-dir DIR]
+    python -m repro.sweep vacuum  [--results-dir DIR] [--max-bytes N]
+    python -m repro.sweep serve   RESULTS_DIR [--workers N]
+                                  [--socket PATH | --port P] [--queue-cap N]
+    python -m repro.sweep submit  RESULTS_DIR SPEC [--wait]
+                                  [--socket PATH | --port P]
+    python -m repro.sweep stats   RESULTS_DIR [--socket PATH | --port P]
 
 ``run`` executes the grid (the built-in 8-point architectural grid of the
 design-space example when no spec file is given), persists one JSON record
@@ -27,7 +32,16 @@ loop`` every benchmark's loops are scheduled across the pool individually
 same benchmark-level records.  With ``--prune-model`` the analytical model
 (:mod:`repro.model`) ranks every benchmark's points and only the best
 ``--prune-keep`` fraction is simulated -- the rest is stored as model-only
-records.  ``vacuum`` drops payloads orphaned by crashes mid-save.
+records.  ``vacuum`` drops payloads orphaned by crashes mid-save; with
+``--max-bytes`` it also evicts the coldest artifact files (LRU by mtime)
+until the artifact store fits the budget.
+
+``serve`` keeps one long-lived service on a store: persistent workers, a
+work-stealing scheduler, and cross-client dedup of content-addressed jobs
+(already-stored records are served back, in-flight duplicates are joined
+with zero re-execution).  ``submit`` sends a spec to a running service --
+record-for-record identical to ``run`` -- and ``stats`` prints its queue
+depth and dedup counters (see docs/sweep.md, "Service mode").
 
 Telemetry (on unless ``REPRO_OBS=off``) lands under ``<results-dir>/obs/``;
 ``report --timings`` renders its per-stage/per-job percentiles, ``status``
@@ -125,6 +139,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _load_spec(args)
     store = ResultStore(Path(args.results_dir))
+    workers = args.workers if args.workers else default_workers()
     jobs = spec.expand()
     prune = None
     if args.prune_model:
@@ -138,7 +153,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     print(
         f"sweep {spec.name!r}: {len(jobs)} points, "
-        f"{args.workers} worker(s), {args.granularity} granularity, "
+        f"{workers} worker(s), {args.granularity} granularity, "
         f"store {store.root}"
         + (f", model pruning keeps {args.prune_keep:.0%}" if prune else "")
     )
@@ -157,7 +172,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     summary = run_sweep(
         spec,
         store=store,
-        workers=args.workers,
+        workers=workers,
         force=args.force,
         progress=progress if not args.quiet else None,
         prune=prune,
@@ -408,6 +423,172 @@ def _cmd_vacuum(args: argparse.Namespace) -> int:
         print(
             f"vacuumed {artifacts.root}: {removed} orphaned artifact(s) removed"
         )
+        if args.max_bytes is not None:
+            evicted = artifacts.evict_to_size(
+                args.max_bytes, grace_seconds=args.grace
+            )
+            print(
+                f"evicted {evicted} cold artifact(s) to fit "
+                f"{args.max_bytes} bytes ({artifacts.total_bytes()} used)"
+            )
+    elif args.max_bytes is not None:
+        print(f"no artifact store under {store.root}; nothing to evict")
+    return 0
+
+
+def _service_endpoint(args: argparse.Namespace) -> dict:
+    """ServiceClient kwargs from ``--socket``/``--port`` (socket default)."""
+    if getattr(args, "port", None) is not None:
+        return {"port": args.port, "host": args.host}
+    socket_path = getattr(args, "socket", None)
+    if socket_path is None:
+        from repro.sweep.protocol import default_socket_path
+
+        socket_path = default_socket_path(Path(args.results_dir))
+    return {"socket_path": socket_path}
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.sweep.protocol import default_socket_path
+    from repro.sweep.service import SweepService
+
+    service = SweepService(
+        Path(args.results_dir),
+        workers=args.workers,
+        queue_cap=args.queue_cap,
+    )
+    if args.port is not None:
+        endpoint = f"{args.host}:{args.port}"
+    else:
+        endpoint = str(args.socket or default_socket_path(service.store.root))
+    print(
+        f"sweep service on {service.store.root}: {service.workers} worker(s), "
+        f"queue cap {service.queue_cap}, listening on {endpoint}"
+    )
+    print("serving (SIGTERM/SIGINT drains and stops)...", flush=True)
+    asyncio.run(
+        service.serve(socket_path=args.socket, host=args.host, port=args.port)
+    )
+    counters = service.counters
+    print(
+        f"stopped: {counters['requests']} request(s), "
+        f"{counters['executed']} executed, "
+        f"dedup new {counters['dedup_new']}, "
+        f"stored {counters['dedup_stored']}, "
+        f"in-flight {counters['dedup_inflight']}"
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.sweep.protocol import ServiceClient
+
+    if args.spec == "default":
+        spec = default_spec()
+    else:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            spec = SweepSpec.from_mapping(json.load(handle))
+
+    def on_event(event: dict) -> None:
+        kind = event.get("event")
+        if kind == "accepted":
+            print(
+                f"accepted {event['request']}: {event['total']} point(s) "
+                f"({event['new']} new, {event['stored']} stored, "
+                f"{event['inflight']} in-flight)"
+            )
+        elif kind == "progress" and not args.quiet:
+            record = event.get("record") or {}
+            state = {"stored": "hit  ", "inflight": "join "}.get(
+                event.get("origin"), "ran  "
+            )
+            cycles = (record.get("metrics") or {}).get("total_cycles", "?")
+            job = record.get("job") or {}
+            print(
+                f"  [{event['done']:>3}/{event['total']}] {state} "
+                f"{job.get('benchmark', '?'):<12} "
+                f"{record.get('architecture', '?'):<24} "
+                f"total_cycles={cycles}"
+            )
+        elif kind == "job_failed":
+            print(
+                f"  job {event.get('key', '?')[:12]} failed: "
+                f"{event.get('error')}",
+                file=sys.stderr,
+            )
+
+    try:
+        with ServiceClient(**_service_endpoint(args), timeout=args.timeout) as client:
+            result = client.submit(
+                spec.to_mapping(), wait=args.wait, on_event=on_event
+            )
+    except (ConnectionError, FileNotFoundError, OSError) as error:
+        print(
+            f"error: cannot reach a sweep service for {args.results_dir} "
+            f"({error}); start one with 'repro-sweep serve {args.results_dir}'",
+            file=sys.stderr,
+        )
+        return 2
+    if result.get("event") == "rejected":
+        retry = result.get("retry_after")
+        hint = f" (retry after {retry}s)" if retry is not None else ""
+        print(f"rejected: {result.get('error')}{hint}", file=sys.stderr)
+        return 3
+    if not args.wait:
+        return 0
+    print(
+        f"done: {result['executed']} executed, {result['stored']} stored, "
+        f"{result['inflight']} in-flight, {result['failed']} failed "
+        f"in {result['elapsed_seconds']}s"
+    )
+    return 1 if result.get("failed") else 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.sweep.protocol import ServiceClient
+
+    try:
+        with ServiceClient(**_service_endpoint(args), timeout=args.timeout) as client:
+            stats = client.stats()
+    except (ConnectionError, FileNotFoundError, OSError) as error:
+        print(
+            f"error: cannot reach a sweep service for {args.results_dir} "
+            f"({error})",
+            file=sys.stderr,
+        )
+        return 2
+    if stats.get("event") == "error":
+        print(f"error: {stats.get('error')}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    requests = stats["requests"]
+    dedup = stats["dedup"]
+    jobs = stats["jobs"]
+    print(
+        f"service on {stats['store']}: pid {stats['pid']}, "
+        f"{stats['workers']} worker(s), up {stats['uptime_seconds']}s"
+        + (" [draining]" if stats.get("draining") else "")
+    )
+    print(
+        f"queue: {stats['queued']} queued, {stats['running']} running "
+        f"(cap {stats['queue_cap']})"
+    )
+    print(
+        f"requests: {requests['total']} total, {requests['active']} active, "
+        f"{requests['rejected']} rejected, {requests['cancelled']} cancelled"
+    )
+    print(
+        f"dedup: new {dedup['new']}, stored {dedup['stored']}, "
+        f"in-flight {dedup['inflight']}"
+    )
+    print(
+        f"jobs: executed {jobs['executed']}, failed {jobs['failed']}, "
+        f"cancelled {jobs['cancelled']}"
+    )
     return 0
 
 
@@ -423,8 +604,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     run_parser.add_argument(
         "--workers",
         type=int,
-        default=default_workers(),
-        help="worker processes (default: cpu count, capped at 8)",
+        default=None,
+        help="worker processes (default: cpu count, capped at 8, resolved "
+        "when the run starts -- never baked in at parse time)",
     )
     run_parser.add_argument(
         "--granularity",
@@ -647,7 +829,110 @@ def main(argv: Optional[list[str]] = None) -> int:
         "live sweep never removes an in-flight save (default 60; use 0 "
         "for offline stores)",
     )
+    vacuum_parser.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also evict the coldest artifact files (LRU by last use) "
+        "until the artifact store is at most N bytes",
+    )
     vacuum_parser.set_defaults(func=_cmd_vacuum)
+
+    def _add_endpoint(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "results_dir",
+            metavar="RESULTS_DIR",
+            help="result store directory the service owns",
+        )
+        sub_parser.add_argument(
+            "--socket",
+            default=None,
+            metavar="PATH",
+            help="unix socket path (default: RESULTS_DIR/service.sock)",
+        )
+        sub_parser.add_argument(
+            "--port",
+            type=int,
+            default=None,
+            metavar="P",
+            help="listen/connect on TCP instead of the unix socket",
+        )
+        sub_parser.add_argument(
+            "--host",
+            default="127.0.0.1",
+            help="TCP host with --port (default: 127.0.0.1)",
+        )
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the long-lived sweep service on a store (persistent "
+        "workers, cross-client dedup)",
+    )
+    _add_endpoint(serve_parser)
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: cpu count, capped at 8, resolved "
+        "when the service starts)",
+    )
+    serve_parser.add_argument(
+        "--queue-cap",
+        type=int,
+        default=None,
+        metavar="N",
+        help="reject submits that would push the job backlog past N "
+        "(default 1024); rejected clients get a retry_after hint",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit a sweep spec to a running service"
+    )
+    _add_endpoint(submit_parser)
+    submit_parser.add_argument(
+        "spec",
+        metavar="SPEC",
+        help="JSON sweep spec file, or the literal 'default' for the "
+        "built-in design-space grid",
+    )
+    submit_parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="stream progress and wait for completion (default: detach "
+        "after the accepted/dedup classification)",
+    )
+    submit_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress lines"
+    )
+    submit_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="socket timeout (default 600)",
+    )
+    submit_parser.set_defaults(func=_cmd_submit)
+
+    stats_parser = sub.add_parser(
+        "stats", help="print a running service's queue and dedup counters"
+    )
+    _add_endpoint(stats_parser)
+    stats_parser.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output format (json is the raw stats event)",
+    )
+    stats_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="socket timeout (default 30)",
+    )
+    stats_parser.set_defaults(func=_cmd_stats)
 
     args = parser.parse_args(argv)
     try:

@@ -1,7 +1,9 @@
 """Execution engine of the sweep subsystem.
 
 Jobs are executed either in-process (``workers <= 1``) or fanned out
-across a ``multiprocessing`` pool.  Compilation runs through the staged
+across persistent worker processes driven by the benchmark-affine
+work-stealing scheduler (:mod:`repro.sweep.scheduler`).  Compilation runs
+through the staged
 pipeline (:mod:`repro.scheduler.pipeline`) backed by a per-process
 :class:`~repro.sweep.artifacts.ArtifactCache`: each stage output is keyed
 by exactly the input slice it depends on, so jobs that differ only in
@@ -45,7 +47,6 @@ from __future__ import annotations
 
 import hashlib
 import math
-import multiprocessing
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -60,6 +61,7 @@ from repro.scheduler.pipeline import compile_loop
 from repro.sim.engine import simulate_compiled_loops
 from repro.sim.stats import BenchmarkSimulationResult, merge_benchmark_results
 from repro.sweep.artifacts import ARTIFACTS_DIRNAME, ArtifactCache, ArtifactStore
+from repro.sweep.scheduler import WorkStealingScheduler
 from repro.sweep.spec import SweepJob, SweepSpec, expand_loop_jobs
 from repro.sweep.store import ResultStore
 from repro.sweep.workloads import resolve_loop, resolve_workload
@@ -227,16 +229,6 @@ def _init_worker(
     obs_profilehook.configure(profile_spec)
 
 
-def _pool_execute(
-    job: SweepJob,
-) -> tuple[str, dict, BenchmarkSimulationResult, dict]:
-    record, result = execute_job(job)
-    # One append per job: the shard stays current even if the worker is
-    # later killed, and the parent never needs a cross-process queue.
-    obs_events.flush_shard()
-    return job.key, record, result, artifact_cache().take_stats()
-
-
 @dataclass
 class JobOutcome:
     """What happened to one job of a sweep run."""
@@ -357,14 +349,6 @@ class SweepRunSummary:
         ):
             for stage, count in (counter or {}).items():
                 totals[stage] = totals.get(stage, 0) + count
-
-
-def _mp_context() -> multiprocessing.context.BaseContext:
-    preferred = os.environ.get("REPRO_SWEEP_START_METHOD")
-    methods = multiprocessing.get_all_start_methods()
-    if preferred and preferred in methods:
-        return multiprocessing.get_context(preferred)
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
 def _dedupe(jobs: Iterable[SweepJob]) -> list[SweepJob]:
@@ -705,38 +689,33 @@ def _dispatch(
     on_stats: Optional[Callable[[dict], None]] = None,
     shard_dir: Optional[Path] = None,
 ) -> None:
-    """Execute jobs in-process or across a pool, streaming completions.
+    """Execute jobs in-process or across workers, streaming completions.
 
     ``handle`` is called in the parent process as each job finishes
-    (completion order under a pool, submission order in-process).  With
-    ``artifacts_root`` every executing process -- pool workers via the
-    initializer, the in-process path for the duration of the call -- binds
-    its stage cache to that store; ``on_stats`` receives each finished
-    job's per-stage hit/miss counters.  With ``shard_dir`` every executing
-    process flushes its telemetry to a per-pid JSONL shard there after
-    each job -- pool workers via the initializer, the in-process path for
-    the duration of the call -- which is what gives ``repro-sweep watch``
-    live progress whatever the worker count.
+    (completion order under multiple workers, submission order
+    in-process).  The multi-worker path runs on a
+    :class:`~repro.sweep.scheduler.WorkStealingScheduler` -- one
+    benchmark's jobs stay affine to one worker's warm caches, idle
+    workers steal -- torn down when the call returns; the long-lived
+    service keeps its own scheduler alive across submissions instead of
+    calling this.  With ``artifacts_root`` every executing process --
+    scheduler workers via their initializer, the in-process path for the
+    duration of the call -- binds its stage cache to that store;
+    ``on_stats`` receives each finished job's per-stage hit/miss
+    counters.  With ``shard_dir`` every executing process flushes its
+    telemetry to a per-pid JSONL shard there after each job, which is
+    what gives ``repro-sweep watch`` live progress whatever the worker
+    count.
     """
     pool_size = min(workers, len(jobs))
     if pool_size > 1:
-        by_key = {job.key: job for job in jobs}
-        context = _mp_context()
-        initargs = (
-            str(artifacts_root) if artifacts_root is not None else None,
-            str(shard_dir) if shard_dir is not None else None,
-            obs.enabled(),
-            obs_profilehook.spec(),
+        scheduler = WorkStealingScheduler(
+            pool_size, artifacts_root=artifacts_root, shard_dir=shard_dir
         )
-        with context.Pool(
-            processes=pool_size, initializer=_init_worker, initargs=initargs
-        ) as pool:
-            for key, record, result, stats in pool.imap_unordered(
-                _pool_execute, jobs
-            ):
-                if on_stats is not None:
-                    on_stats(stats)
-                handle(by_key[key], record, result)
+        try:
+            scheduler.run_all(jobs, handle, on_stats)
+        finally:
+            scheduler.close()
     else:
         global _ARTIFACTS
         previous = _ARTIFACTS

@@ -1,0 +1,235 @@
+"""Wire protocol of the sweep service: newline-delimited JSON messages.
+
+One connection, two directions, one JSON object per line (UTF-8,
+``\\n``-terminated).  Client messages carry an ``op``; server messages
+carry an ``event``.  The protocol is deliberately small and fully
+self-describing so shell scripts, CI steps and tests can speak it with a
+few lines of python (or ``nc`` and ``jq``).
+
+Client -> server::
+
+    {"op": "submit", "spec": {...SweepSpec.to_mapping()...},
+     "wait": true|false}                  -- run a grid (benchmark granularity)
+    {"op": "cancel", "request": "req-3"}  -- cancel one of *this client's* requests
+    {"op": "stats"}                       -- service counters and queue depth
+    {"op": "ping"}                        -- liveness probe
+    {"op": "shutdown"}                    -- drain and stop (tests/CI)
+
+Server -> client (every reply names the request it belongs to)::
+
+    {"event": "accepted", "request": ..., "total": N,
+     "new": n, "stored": s, "inflight": i}          -- dedup classification
+    {"event": "rejected", "error": ...,
+     ["retry_after": seconds]}                      -- backpressure / draining
+    {"event": "progress", "request": ..., "done": k, "total": N,
+     "key": ..., "origin": "stored"|"inflight"|"executed",
+     "record": {...}}                               -- one record served
+    {"event": "job_failed", "request": ..., "key": ..., "error": ...}
+    {"event": "done", "request": ..., "total": N, "executed": e,
+     "stored": s, "inflight": i, "failed": f,
+     "cancelled": bool, "elapsed_seconds": ...}     -- request finished
+    {"event": "stats", ...}
+    {"event": "pong"} / {"event": "ok"} / {"event": "error", "error": ...}
+
+``submit`` with ``"wait": false`` detaches the request: the client gets
+the ``accepted`` classification and may disconnect; execution continues
+and later clients find the records in the store.  A *waiting* client's
+requests are cancelled automatically when its connection drops --
+mirroring Ctrl-C on a plain ``repro-sweep run``.
+
+:class:`ServiceClient` is the blocking client the CLI, the tests and the
+perf harness share; the server side lives in
+:mod:`repro.sweep.service`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Union
+
+#: Version of the message format, echoed in ``accepted`` events.  Bump
+#: when field meanings change so old clients fail loudly, not subtly.
+PROTOCOL_VERSION = 1
+
+#: Default name of the service's unix socket, directly under the store
+#: root it serves -- ``submit <store>`` finds the server with no extra
+#: flags, and two servers can never share a socket without sharing a
+#: store.
+SOCKET_FILENAME = "service.sock"
+
+
+class ProtocolError(ValueError):
+    """A line that is not a valid protocol message."""
+
+
+def default_socket_path(store_root: Union[Path, str]) -> Path:
+    """Where ``serve``/``submit`` rendezvous for a given store."""
+    return Path(store_root) / SOCKET_FILENAME
+
+
+def encode_message(message: dict) -> bytes:
+    """One message as a complete JSONL line (trailing newline included)."""
+    return json.dumps(message, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def decode_message(line: Union[bytes, str]) -> dict:
+    """Parse one JSONL line into a message dict.
+
+    Raises :class:`ProtocolError` on undecodable bytes, invalid JSON or a
+    non-object payload -- the server answers those with an ``error`` event
+    instead of dropping the connection.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError(f"undecodable message bytes: {error}") from error
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty message line")
+    try:
+        message = json.loads(line)
+    except ValueError as error:
+        raise ProtocolError(f"invalid JSON: {error}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+class ServiceClient:
+    """Blocking JSONL client of a running sweep service.
+
+    Connects over the store's unix socket (default) or TCP.  One client is
+    one connection; methods are synchronous and must not be interleaved
+    from multiple threads.  Use as a context manager to close cleanly.
+    """
+
+    def __init__(
+        self,
+        socket_path: Union[Path, str, None] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        timeout: Optional[float] = 300.0,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise ValueError("pass exactly one of socket_path or port")
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(str(socket_path))
+        else:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Message primitives
+    # ------------------------------------------------------------------
+    def send(self, message: dict) -> None:
+        """Send one message."""
+        self._sock.sendall(encode_message(message))
+
+    def receive(self) -> dict:
+        """Block for the next server event.
+
+        Raises ConnectionError at EOF (server gone mid-conversation).
+        """
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        return decode_message(line)
+
+    def events(self) -> Iterator[dict]:
+        """Iterate server events until the connection closes."""
+        while True:
+            line = self._file.readline()
+            if not line:
+                return
+            yield decode_message(line)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec_mapping: dict,
+        wait: bool = True,
+        on_event: Optional[Callable[[dict], None]] = None,
+    ) -> dict:
+        """Submit one sweep spec (its ``to_mapping()`` form).
+
+        With ``wait`` (default) streams events -- each through
+        ``on_event`` when given -- until the request's ``done`` event,
+        which is returned.  Without ``wait`` returns the ``accepted``
+        event immediately (execution continues server-side).  A
+        ``rejected`` event is returned as-is either way; callers check
+        ``"error"`` in the result.
+        """
+        self.send({"op": "submit", "spec": spec_mapping, "wait": wait})
+        reply = self.receive()
+        if on_event is not None:
+            on_event(reply)
+        if reply.get("event") == "rejected" or not wait:
+            return reply
+        request_id = reply.get("request")
+        while True:
+            event = self.receive()
+            if on_event is not None:
+                on_event(event)
+            if (
+                event.get("event") == "done"
+                and event.get("request") == request_id
+            ):
+                return event
+
+    def cancel(self, request_id: str) -> dict:
+        """Cancel one of this connection's requests; returns its done event."""
+        self.send({"op": "cancel", "request": request_id})
+        while True:
+            event = self.receive()
+            if event.get("event") == "error":
+                return event
+            if (
+                event.get("event") == "done"
+                and event.get("request") == request_id
+            ):
+                return event
+
+    def stats(self) -> dict:
+        """The service's stats event (counters, queue depth, workers)."""
+        self.send({"op": "stats"})
+        while True:
+            event = self.receive()
+            if event.get("event") in ("stats", "error"):
+                return event
+
+    def ping(self) -> dict:
+        """Liveness probe."""
+        self.send({"op": "ping"})
+        return self.receive()
+
+    def shutdown(self) -> dict:
+        """Ask the service to drain and stop (tests and CI teardown)."""
+        self.send({"op": "shutdown"})
+        return self.receive()

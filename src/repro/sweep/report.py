@@ -353,9 +353,13 @@ def watch_snapshot(store_root: Union[Path, str]) -> Optional[dict]:
     """One observation of an in-progress run's shard telemetry.
 
     None when no run header is present (nothing live).  Completed units
-    are counted as ``sweep.job`` spans across the worker shards; the ETA
-    extrapolates from the running median job duration and the worker
-    count, so it sharpens as the run progresses.
+    come from the header's ``completed_units`` when the writer maintains
+    it (the sweep service does; its worker shards accumulate spans over
+    the server's whole lifetime, so the per-shard ``sweep.job`` span
+    count is a lifetime total, not this snapshot's progress) and are
+    otherwise counted as ``sweep.job`` spans across the worker shards.
+    The ETA extrapolates from the running median job duration and the
+    worker count, so it sharpens as the run progresses.
     """
     header = obs_events.load_run_header(store_root)
     if header is None:
@@ -377,7 +381,10 @@ def watch_snapshot(store_root: Union[Path, str]) -> Optional[dict]:
                 if (event.get("attrs") or {}).get("cache_hit"):
                     stage_hits[stage] = stage_hits.get(stage, 0) + 1
     total = int(header.get("total_units") or 0)
-    done = len(durations)
+    if header.get("completed_units") is not None:
+        done = int(header.get("completed_units") or 0)
+    else:
+        done = len(durations)
     elapsed = max(0.0, time.time() - float(header.get("started") or 0.0))
     workers = max(1, int(header.get("workers") or 1))
     median = percentile(durations, 0.5) if durations else None
@@ -405,12 +412,21 @@ def render_watch(snapshot: Mapping) -> str:
     """One ``repro-sweep watch`` progress line block from a snapshot."""
     total = snapshot["total_units"]
     done = snapshot["completed"]
+    header = snapshot["header"]
     share = f" ({done / total:.0%})" if total else ""
+    kind = "service" if header.get("service") else "run"
     lines = [
-        f"run {snapshot['header'].get('run_id', '?')}: "
+        f"{kind} {header.get('run_id', '?')}: "
         f"{done}/{total or '?'} jobs{share}, "
         f"{snapshot['elapsed_seconds']:.1f}s elapsed"
     ]
+    if header.get("service"):
+        lines.append(
+            f"  requests: {header.get('requests_total', 0)} total, "
+            f"{header.get('requests_active', 0)} active; dedup served "
+            f"{header.get('served_stored', 0)} stored, "
+            f"{header.get('served_inflight', 0)} in-flight"
+        )
     median = snapshot.get("median_job_seconds")
     if median is not None:
         eta = snapshot.get("eta_seconds")

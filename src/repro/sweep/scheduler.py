@@ -1,0 +1,428 @@
+"""Work-stealing job scheduler over persistent worker processes.
+
+The pool-based fan-out the executor shipped with (``pool.imap_unordered``)
+had two structural limits the long-lived sweep service runs into head-on:
+
+* **No placement.**  A pool hands the next job to whichever worker asks
+  first, so two jobs of the same benchmark -- whose compilation stages and
+  address traces sit warm in one worker's
+  :class:`~repro.sweep.artifacts.ArtifactCache` -- routinely land on
+  different workers and re-read everything from disk.
+* **No incremental submission.**  ``imap_unordered`` consumes one job
+  list and is done; a server that accepts new sweep specs while earlier
+  ones are still executing needs to feed jobs continuously and observe
+  completions as callbacks, not as one blocking iteration.
+
+:class:`WorkStealingScheduler` replaces the pool with dedicated worker
+processes and parent-side per-worker deques:
+
+* every job is enqueued on its *home* worker's deque --
+  ``crc32(benchmark) % workers`` -- so one benchmark's jobs share a
+  worker (and therefore its in-memory stage artifacts and traces) as
+  long as the load allows;
+* each worker holds **at most one** outstanding job; when it completes
+  one, the parent feeds it the head of its own deque, or -- when that is
+  empty -- *steals the tail* of the longest deque, so affinity yields to
+  utilization the moment a worker runs dry (head = oldest affine work,
+  tail = the work its owner will reach last, the classic stealing rule);
+* completions are delivered by a parent-side pump thread as callbacks,
+  which is what the asyncio service bridges onto its event loop, and
+  what :meth:`run_all` folds back into the executor's blocking
+  "handle each completion in the caller's thread" contract.
+
+Workers initialize exactly like pool workers did
+(:func:`repro.sweep.executor._init_worker`: artifact cache binding, obs
+reset/shard/profile hooks) and run :func:`repro.sweep.executor.execute_job`
+per job, so records are byte-identical to the pool path's.
+"""
+
+from __future__ import annotations
+
+import collections
+import multiprocessing
+import os
+import queue
+import threading
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+from repro.obs import profilehook as obs_profilehook
+from repro.obs import trace as obs
+
+#: How long the pump thread waits on the result queue before checking for
+#: dead workers and shutdown; pure liveness, not a rate limit.
+_PUMP_POLL_SECONDS = 0.2
+
+
+class WorkerFailure(RuntimeError):
+    """A worker process died or raised while executing a job."""
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    """The start method used for sweep workers (honours the env override)."""
+    preferred = os.environ.get("REPRO_SWEEP_START_METHOD")
+    methods = multiprocessing.get_all_start_methods()
+    if preferred and preferred in methods:
+        return multiprocessing.get_context(preferred)
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+@dataclass
+class JobCompletion:
+    """One finished job, as delivered to submit callbacks.
+
+    ``error`` is None on success; on failure it carries the worker-side
+    exception rendering (or a worker-death notice) and every other payload
+    field is None.
+    """
+
+    key: str
+    record: Optional[dict]
+    result: Optional[object]
+    stats: Optional[dict]
+    error: Optional[str]
+
+
+def _worker_main(
+    worker_id: int,
+    inbox,
+    results,
+    artifacts_root: Optional[str],
+    shard_dir: Optional[str],
+    obs_enabled: bool,
+    profile_spec: Optional[str],
+) -> None:
+    """Worker process body: initialize once, execute jobs until sentinel.
+
+    Imports the executor lazily to keep the module dependency one-way
+    (executor imports this module at top level).
+    """
+    from repro.obs import events as obs_events
+    from repro.sweep import executor
+
+    executor._init_worker(artifacts_root, shard_dir, obs_enabled, profile_spec)
+    while True:
+        job = inbox.get()
+        if job is None:
+            return
+        try:
+            record, result = executor.execute_job(job)
+            obs_events.flush_shard()
+            stats = executor.artifact_cache().take_stats()
+        except BaseException as error:  # noqa: BLE001 - must reach the parent
+            try:
+                results.put(
+                    (
+                        worker_id,
+                        job.key,
+                        None,
+                        None,
+                        None,
+                        f"{type(error).__name__}: {error}",
+                    )
+                )
+            except Exception:
+                return
+        else:
+            results.put((worker_id, job.key, record, result, stats, None))
+
+
+class WorkStealingScheduler:
+    """Benchmark-affine job execution over persistent worker processes.
+
+    Thread-safe: :meth:`submit` may be called from any thread (the
+    service's event loop, the executor's caller) while the pump thread
+    delivers completions.  Callbacks run on the pump thread -- bridge to
+    your own execution context (``loop.call_soon_threadsafe``, a local
+    queue) rather than doing heavy work in them.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        artifacts_root: Union[Path, str, None] = None,
+        shard_dir: Union[Path, str, None] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("a scheduler needs at least one worker")
+        self._workers = workers
+        self._lock = threading.Lock()
+        self._deques: list[collections.deque] = [
+            collections.deque() for _ in range(workers)
+        ]
+        self._outstanding: list[Optional[str]] = [None] * workers
+        self._callbacks: dict[str, list[Callable[[JobCompletion], None]]] = {}
+        self._queued = 0
+        self._executed = 0
+        self._failed = 0
+        self._stolen = 0
+        self._closed = False
+        context = _mp_context()
+        self._results = context.Queue()
+        # SimpleQueue inboxes: no feeder thread per queue, and the parent's
+        # put() is synchronous, so a fed job is on the wire before the lock
+        # is released.
+        self._inboxes = [context.SimpleQueue() for _ in range(workers)]
+        initargs = (
+            str(artifacts_root) if artifacts_root is not None else None,
+            str(shard_dir) if shard_dir is not None else None,
+            obs.enabled(),
+            obs_profilehook.spec(),
+        )
+        self._procs = [
+            context.Process(
+                target=_worker_main,
+                args=(index, self._inboxes[index], self._results, *initargs),
+                daemon=True,
+                name=f"sweep-worker-{index}",
+            )
+            for index in range(workers)
+        ]
+        self._alive = [True] * workers
+        for proc in self._procs:
+            proc.start()
+        self._pump = threading.Thread(
+            target=self._pump_loop, daemon=True, name="sweep-scheduler-pump"
+        )
+        self._pump.start()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Number of worker processes (dead ones included)."""
+        return self._workers
+
+    def home_worker(self, benchmark: str) -> int:
+        """The worker a benchmark's jobs are affine to."""
+        return zlib.crc32(benchmark.encode("utf-8")) % self._workers
+
+    def pending(self) -> dict[str, int]:
+        """Queue depth right now: jobs queued and jobs running."""
+        with self._lock:
+            return {
+                "queued": self._queued,
+                "running": sum(
+                    1 for key in self._outstanding if key is not None
+                ),
+            }
+
+    def counters(self) -> dict[str, int]:
+        """Lifetime counters (executed/failed jobs, steals)."""
+        with self._lock:
+            return {
+                "executed": self._executed,
+                "failed": self._failed,
+                "stolen": self._stolen,
+            }
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self, job, on_done: Callable[[JobCompletion], None]
+    ) -> str:
+        """Enqueue one job; ``on_done`` fires (pump thread) on completion.
+
+        Returns ``"queued"`` when the job was newly enqueued on its home
+        worker's deque, or ``"inflight"`` when the same key is already
+        queued or running -- the callback is then subscribed to the
+        existing execution and the job is *not* run twice.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            callbacks = self._callbacks.get(job.key)
+            if callbacks is not None:
+                callbacks.append(on_done)
+                return "inflight"
+            self._callbacks[job.key] = [on_done]
+            self._deques[self.home_worker(job.benchmark)].append(job)
+            self._queued += 1
+            self._feed_locked()
+        return "queued"
+
+    def cancel(self, key: str) -> bool:
+        """Remove a not-yet-started job; True when it was dequeued.
+
+        A running job cannot be cancelled (False); its callbacks fire
+        normally when it completes.
+        """
+        with self._lock:
+            if key not in self._callbacks or key in self._outstanding:
+                return False
+            for deque_ in self._deques:
+                for job in deque_:
+                    if job.key == key:
+                        deque_.remove(job)
+                        self._queued -= 1
+                        del self._callbacks[key]
+                        return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Blocking execution (the executor's contract)
+    # ------------------------------------------------------------------
+    def run_all(
+        self,
+        jobs: Sequence,
+        handle: Callable,
+        on_stats: Optional[Callable[[dict], None]] = None,
+    ) -> None:
+        """Execute jobs, calling ``handle(job, record, result)`` here.
+
+        The blocking twin of :meth:`submit`: completions are consumed on
+        the calling thread in completion order, exactly like the old
+        ``pool.imap_unordered`` loop, so store writes and progress
+        callbacks keep running in the parent.  Raises
+        :class:`WorkerFailure` on the first failed job.
+        """
+        completions: queue.Queue = queue.Queue()
+        by_key = {}
+        for job in jobs:
+            by_key[job.key] = job
+            self.submit(job, completions.put)
+        for _ in range(len(jobs)):
+            completion = completions.get()
+            if completion.error is not None:
+                raise WorkerFailure(
+                    f"job {completion.key[:12]} failed: {completion.error}"
+                )
+            if on_stats is not None:
+                on_stats(completion.stats)
+            handle(by_key[completion.key], completion.record, completion.result)
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 10.0) -> None:
+        """Drain running jobs, stop the workers, reap the pump thread.
+
+        Queued-but-unstarted jobs are *dropped*: their callbacks receive a
+        ``"scheduler closed"`` failure completion.  Jobs already on a
+        worker finish first (the exit sentinel queues behind them), and
+        their callbacks fire normally -- a graceful drain is therefore
+        "wait for your callbacks, then close".  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            dropped: list[tuple[str, Callable]] = []
+            for deque_ in self._deques:
+                for job in deque_:
+                    for callback in self._callbacks.pop(job.key, []):
+                        dropped.append((job.key, callback))
+                deque_.clear()
+            self._queued = 0
+        for key, callback in dropped:
+            callback(JobCompletion(key, None, None, None, "scheduler closed"))
+        for index, inbox in enumerate(self._inboxes):
+            try:
+                inbox.put(None)
+            except (OSError, ValueError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=timeout)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._pump.join(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _feed_locked(self) -> None:
+        """Hand every idle worker its next job (lock held)."""
+        if self._closed:
+            return
+        for index in range(self._workers):
+            if not self._alive[index] or self._outstanding[index] is not None:
+                continue
+            job = self._next_job_locked(index)
+            if job is None:
+                continue
+            self._outstanding[index] = job.key
+            self._inboxes[index].put(job)
+
+    def _next_job_locked(self, index: int) -> Optional[object]:
+        """Own deque's head first, else steal the longest deque's tail."""
+        own = self._deques[index]
+        if own:
+            self._queued -= 1
+            return own.popleft()
+        victim = max(range(self._workers), key=lambda i: len(self._deques[i]))
+        if self._deques[victim]:
+            self._queued -= 1
+            self._stolen += 1
+            return self._deques[victim].pop()
+        return None
+
+    def _pump_loop(self) -> None:
+        while True:
+            try:
+                item = self._results.get(timeout=_PUMP_POLL_SECONDS)
+            except queue.Empty:
+                failures = self._reap_dead_workers()
+                for completion, callbacks in failures:
+                    for callback in callbacks:
+                        callback(completion)
+                with self._lock:
+                    if self._closed and not self._callbacks:
+                        return
+                continue
+            worker_id, key, record, result, stats, error = item
+            with self._lock:
+                if self._outstanding[worker_id] == key:
+                    self._outstanding[worker_id] = None
+                if error is None:
+                    self._executed += 1
+                else:
+                    self._failed += 1
+                callbacks = self._callbacks.pop(key, [])
+                self._feed_locked()
+            completion = JobCompletion(key, record, result, stats, error)
+            for callback in callbacks:
+                callback(completion)
+
+    def _reap_dead_workers(self):
+        """Fail the outstanding job of every worker that died mid-job.
+
+        The dead worker's deque stays: live workers steal from it.  The
+        slot itself is retired (no respawn) -- a worker death is an
+        abnormal event the caller surfaces, not one to paper over.
+        """
+        failures = []
+        with self._lock:
+            for index in range(self._workers):
+                if not self._alive[index]:
+                    continue
+                if self._outstanding[index] is None:
+                    continue
+                proc = self._procs[index]
+                if proc.is_alive():
+                    continue
+                self._alive[index] = False
+                key = self._outstanding[index]
+                self._outstanding[index] = None
+                self._failed += 1
+                callbacks = self._callbacks.pop(key, [])
+                failures.append(
+                    (
+                        JobCompletion(
+                            key,
+                            None,
+                            None,
+                            None,
+                            f"worker died (exit code {proc.exitcode})",
+                        ),
+                        callbacks,
+                    )
+                )
+            if failures:
+                self._feed_locked()
+        return failures

@@ -1,0 +1,902 @@
+"""The long-lived sweep service: an asyncio front-end over one store.
+
+``repro-sweep serve <store>`` turns the sweep engine from a short-lived
+batch process into a server: one process owns the result store, the
+artifact store and a :class:`~repro.sweep.scheduler.WorkStealingScheduler`
+of persistent workers, and any number of concurrent clients submit sweep
+specs over a JSONL socket (:mod:`repro.sweep.protocol`).  What a single
+``repro-sweep run`` pays per invocation -- worker startup, cold in-memory
+artifact/trace caches -- the service pays once.
+
+**Dedup is the point.**  Jobs are content-addressed
+(:attr:`~repro.sweep.spec.SweepJob.key`), so overlapping grids from
+different clients collapse three ways at submit time:
+
+* *stored* -- a simulator record already in the store is served back
+  immediately, exactly as ``run``'s cache-hit path would;
+* *in-flight* -- the same key is queued or running for an earlier
+  client: the new request subscribes to that execution and receives the
+  record when it lands, with **zero** re-execution;
+* *new* -- enqueued once on the scheduler, benchmark-affine.
+
+Records are byte-identical to ``repro-sweep run``'s: the service saves
+exactly what :func:`repro.sweep.executor.execute_job` returns through the
+same :meth:`~repro.sweep.store.ResultStore.save` path (only the
+inherently per-run ``elapsed_seconds``/``worker_pid`` fields vary between
+any two executions, service or not).
+
+**Backpressure.**  A submit whose *new* jobs would push the scheduler
+backlog past the queue cap is rejected with a ``retry_after`` hint
+estimated from the median job duration -- the client retries instead of
+the server buffering unboundedly.
+
+**Shutdown.**  SIGTERM/SIGINT (or a ``shutdown`` op) drains: the
+listener closes, new submits are rejected, accepted requests run to
+completion and their clients get their ``done`` events, then the workers
+are stopped and telemetry is finalized.
+
+**Telemetry.**  While serving, the obs run header (``obs/run.json``)
+carries live service totals (``completed_units``, dedup counters, queue
+depth) so ``repro-sweep watch`` tails a live server; every finished
+request appends its own ledger entry (``service`` field set) plus a
+``service.request`` span, and shutdown finalizes the whole service
+session into ``obs/`` like one big run.  All of it is off under
+``REPRO_OBS=off``, and results are byte-identical either way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import hashlib
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro import kernels
+from repro.obs import events as obs_events
+from repro.obs import ledger as obs_ledger
+from repro.obs import trace as obs
+from repro.sweep import protocol
+from repro.sweep.artifacts import ARTIFACTS_DIRNAME
+from repro.sweep.executor import default_workers, is_simulated_record
+from repro.sweep.scheduler import JobCompletion, WorkStealingScheduler
+from repro.sweep.spec import SweepJob, SweepSpec
+from repro.sweep.store import ResultStore
+
+#: Default bound on the scheduler backlog (queued + running jobs) a
+#: submit may grow it to; past it the submit is rejected with a
+#: ``retry_after`` hint.
+DEFAULT_QUEUE_CAP = 1024
+
+#: Fallback per-job seconds for ``retry_after`` before any job finished.
+_DEFAULT_JOB_SECONDS = 1.0
+
+#: Most recent job durations kept for the ``retry_after`` estimate.
+_DURATION_SAMPLES = 64
+
+#: Minimum seconds between run-header rewrites driven by job completions
+#: (request boundaries always rewrite, so totals are exact when idle).
+_HEADER_INTERVAL_SECONDS = 0.2
+
+
+@dataclass
+class _Request:
+    """One client submission being served."""
+
+    id: str
+    run_id: str
+    conn: Optional["_Connection"]  # None = detached (fire-and-forget)
+    total: int
+    new: int
+    stored: int
+    inflight: int
+    spec_name: str
+    spec_hash: str
+    benchmarks: list[str]
+    architectures: list[str]
+    started_wall: float
+    started_perf: float
+    pending: set[str] = field(default_factory=set)
+    done: int = 0
+    executed: int = 0
+    served_inflight: int = 0
+    failed: int = 0
+    cancelled: bool = False
+
+
+@dataclass
+class _Inflight:
+    """One key being executed, and who is waiting for it."""
+
+    job: SweepJob
+    owner: str  # request id that enqueued it
+    subscribers: list[_Request] = field(default_factory=list)
+
+
+class _Connection:
+    """Per-connection outbound event queue with one writer task.
+
+    Both the reader coroutine (op replies) and scheduler-completion
+    callbacks emit events; funnelling them through one queue keeps the
+    stream ordered and the ``StreamWriter`` single-owner.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.requests: set[str] = set()
+
+    def send(self, event: dict) -> None:
+        self.queue.put_nowait(event)
+
+    async def pump(self) -> None:
+        while True:
+            event = await self.queue.get()
+            if event is None:
+                return
+            try:
+                self.writer.write(protocol.encode_message(event))
+                await self.writer.drain()
+            except (ConnectionError, OSError):
+                return
+
+
+class SweepService:
+    """The server: scheduler, dedup index, per-client request state.
+
+    All state is mutated on the event loop thread; scheduler completions
+    arrive via ``call_soon_threadsafe``.  Construct, then ``await
+    serve(...)`` (or run it via :class:`ServiceThread`).
+    """
+
+    def __init__(
+        self,
+        store_root: Union[Path, str],
+        workers: Optional[int] = None,
+        queue_cap: Optional[int] = None,
+        save_payloads: bool = True,
+    ) -> None:
+        self.store = ResultStore(Path(store_root))
+        # Re-resolved here, at service start -- never baked in at CLI
+        # parse time -- and surfaced in `stats` so clients see the real
+        # parallelism.
+        self.workers = workers if workers and workers > 0 else default_workers()
+        self.queue_cap = queue_cap if queue_cap else DEFAULT_QUEUE_CAP
+        self.save_payloads = save_payloads
+        self.telemetry = obs.enabled()
+        self._requests: dict[str, _Request] = {}
+        self._inflight: dict[str, _Inflight] = {}
+        self._request_seq = 0
+        self._durations: list[float] = []
+        self._draining = False
+        self._started_wall = time.time()
+        self._started_perf = time.perf_counter()
+        self._last_header_write = 0.0
+        self._units_total = 0
+        self._units_done = 0
+        self._stage_hits: dict[str, int] = {}
+        self._stage_misses: dict[str, int] = {}
+        self.counters = {
+            "requests": 0,
+            "rejected": 0,
+            "cancelled_requests": 0,
+            "dedup_new": 0,
+            "dedup_stored": 0,
+            "dedup_inflight": 0,
+            "executed": 0,
+            "failed": 0,
+            "cancelled_jobs": 0,
+        }
+        self.scheduler: Optional[WorkStealingScheduler] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._idle: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def serve(
+        self,
+        socket_path: Union[Path, str, None] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        ready=None,
+    ) -> None:
+        """Run the service until a shutdown signal, then drain and stop.
+
+        Listens on ``socket_path`` (default: the store's
+        :func:`~repro.sweep.protocol.default_socket_path`) or, when
+        ``port`` is given, on TCP ``host:port``.  ``ready`` (a callable,
+        e.g. ``threading.Event().set``) fires once the listener is up.
+        """
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        if port is None and socket_path is None:
+            socket_path = protocol.default_socket_path(self.store.root)
+        shard_dir = (
+            obs_events.obs_dir(self.store.root) if self.telemetry else None
+        )
+        root_span = obs.measured_span(
+            "sweep.service", workers=self.workers, store=str(self.store.root)
+        )
+        root_span.__enter__()
+        self.scheduler = WorkStealingScheduler(
+            self.workers,
+            artifacts_root=self.store.root / ARTIFACTS_DIRNAME,
+            shard_dir=shard_dir,
+        )
+        self._run_id = root_span.id or obs_ledger.new_run_id()
+        self._write_header(force=True)
+        if port is None:
+            _clear_stale_socket(Path(socket_path))
+            server = await asyncio.start_unix_server(
+                self._handle_connection, path=str(socket_path)
+            )
+        else:
+            server = await asyncio.start_server(
+                self._handle_connection, host, port
+            )
+        self._install_signal_handlers()
+        try:
+            if ready is not None:
+                ready()
+            async with server:
+                await self._stop.wait()
+                # Drain: stop accepting, finish what was accepted.
+                server.close()
+                await server.wait_closed()
+                await self._wait_idle()
+        finally:
+            self._remove_signal_handlers()
+            self.scheduler.close()
+            # Let completions the close() delivered (orphaned cancelled
+            # jobs finishing their saves) land on the loop before
+            # finalizing.
+            await asyncio.sleep(0)
+            root_span.__exit__(None, None, None)
+            if self.telemetry:
+                obs_events.finalize_run(
+                    self.store.root,
+                    run_id=self._run_id,
+                    manifest_extra=self._session_manifest(),
+                )
+            if port is None:
+                Path(socket_path).unlink(missing_ok=True)
+
+    def begin_shutdown(self) -> None:
+        """Start the graceful drain (signal handlers, ``shutdown`` op)."""
+        self._draining = True
+        if self._stop is not None and not self._stop.is_set():
+            self._stop.set()
+
+    def _install_signal_handlers(self) -> None:
+        self._handled_signals = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(signum, self.begin_shutdown)
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Not the main thread (ServiceThread) or an exotic loop;
+                # shutdown then comes via the protocol or stop().
+                continue
+            self._handled_signals.append(signum)
+
+    def _remove_signal_handlers(self) -> None:
+        for signum in getattr(self, "_handled_signals", []):
+            with contextlib.suppress(Exception):
+                self._loop.remove_signal_handler(signum)
+
+    async def _wait_idle(self) -> None:
+        """Block until every accepted request has finished."""
+        while self._requests:
+            self._idle = asyncio.Event()
+            await self._idle.wait()
+        self._idle = None
+
+    def _notify_if_idle(self) -> None:
+        if self._idle is not None and not self._requests:
+            self._idle.set()
+
+    # ------------------------------------------------------------------
+    # Connections and message dispatch
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(writer)
+        pump = asyncio.create_task(conn.pump())
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    message = protocol.decode_message(line)
+                except protocol.ProtocolError as error:
+                    conn.send({"event": "error", "error": str(error)})
+                    continue
+                self._dispatch(conn, message)
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            # A waiting client that vanished mid-grid is a cancel -- the
+            # socket-server twin of Ctrl-C on a plain run.  Detached
+            # requests were never attached to the connection.
+            for request_id in list(conn.requests):
+                request = self._requests.get(request_id)
+                if request is not None:
+                    request.conn = None
+                    self._cancel_request(request)
+            conn.send(None)
+            try:
+                await pump
+            except asyncio.CancelledError:
+                # Loop teardown cancelled us mid-flush; nothing to save.
+                pass
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    def _dispatch(self, conn: _Connection, message: dict) -> None:
+        op = message.get("op")
+        if op == "submit":
+            self._op_submit(conn, message)
+        elif op == "cancel":
+            self._op_cancel(conn, message)
+        elif op == "stats":
+            conn.send(self.stats_event())
+        elif op == "ping":
+            conn.send({"event": "pong"})
+        elif op == "shutdown":
+            conn.send({"event": "ok", "op": "shutdown"})
+            self.begin_shutdown()
+        else:
+            conn.send({"event": "error", "error": f"unknown op {op!r}"})
+
+    # ------------------------------------------------------------------
+    # Submit: classify, dedup, enqueue
+    # ------------------------------------------------------------------
+    def _op_submit(self, conn: _Connection, message: dict) -> None:
+        if self._draining:
+            conn.send(
+                {"event": "rejected", "error": "service is shutting down"}
+            )
+            return
+        granularity = message.get("granularity", "benchmark")
+        if granularity != "benchmark":
+            conn.send(
+                {
+                    "event": "rejected",
+                    "error": "the service schedules benchmark-granularity "
+                    f"jobs only, got {granularity!r} (use 'repro-sweep run' "
+                    "for loop granularity)",
+                }
+            )
+            return
+        try:
+            spec = SweepSpec.from_mapping(dict(message.get("spec") or {}))
+            jobs = _dedupe(spec.expand())
+        except (ValueError, TypeError) as error:
+            conn.send({"event": "rejected", "error": f"invalid spec: {error}"})
+            return
+
+        with obs.span("service.submit", spec=spec.name, points=len(jobs)):
+            stored: list[tuple[SweepJob, dict]] = []
+            inflight: list[SweepJob] = []
+            new: list[SweepJob] = []
+            for job in jobs:
+                if job.key in self._inflight:
+                    inflight.append(job)
+                    continue
+                record = self.store.load_record(job.key)
+                if is_simulated_record(record):
+                    stored.append((job, record))
+                else:
+                    new.append(job)
+
+        backlog = self.scheduler.pending()
+        depth = backlog["queued"] + backlog["running"]
+        if new and depth + len(new) > self.queue_cap:
+            self.counters["rejected"] += 1
+            conn.send(
+                {
+                    "event": "rejected",
+                    "error": f"queue cap {self.queue_cap} exceeded "
+                    f"({depth} pending, {len(new)} new)",
+                    "retry_after": self._retry_after(depth + len(new)),
+                }
+            )
+            return
+
+        self._request_seq += 1
+        wait = bool(message.get("wait", True))
+        request = _Request(
+            id=f"req-{self._request_seq}",
+            run_id=obs_ledger.new_run_id(),
+            conn=conn if wait else None,
+            total=len(jobs),
+            new=len(new),
+            stored=len(stored),
+            inflight=len(inflight),
+            spec_name=spec.name,
+            spec_hash=_spec_hash(jobs),
+            benchmarks=sorted({job.benchmark for job in jobs}),
+            architectures=sorted({job.architecture for job in jobs}),
+            started_wall=time.time(),
+            started_perf=time.perf_counter(),
+            pending={job.key for job in inflight} | {job.key for job in new},
+        )
+        self._requests[request.id] = request
+        if wait:
+            conn.requests.add(request.id)
+        self.counters["requests"] += 1
+        self.counters["dedup_new"] += len(new)
+        self.counters["dedup_stored"] += len(stored)
+        self.counters["dedup_inflight"] += len(inflight)
+        conn.send(
+            {
+                "event": "accepted",
+                "protocol": protocol.PROTOCOL_VERSION,
+                "request": request.id,
+                "total": request.total,
+                "new": request.new,
+                "stored": request.stored,
+                "inflight": request.inflight,
+            }
+        )
+        for job in inflight:
+            self._inflight[job.key].subscribers.append(request)
+        for job in new:
+            self._inflight[job.key] = _Inflight(
+                job=job, owner=request.id, subscribers=[request]
+            )
+            self._units_total += 1
+            self.scheduler.submit(job, self._completion_threadsafe)
+        # Stored records stream after `accepted`; a fully stored grid
+        # completes the request synchronously.
+        for job, record in stored:
+            self._send_progress(request, job.key, record, "stored")
+            request.done += 1
+        if request.done >= request.total:
+            self._finish_request(request)
+        self._write_header(force=True)
+
+    # ------------------------------------------------------------------
+    # Completion flow (scheduler pump thread -> event loop)
+    # ------------------------------------------------------------------
+    def _completion_threadsafe(self, completion: JobCompletion) -> None:
+        try:
+            self._loop.call_soon_threadsafe(self._job_done, completion)
+        except RuntimeError:
+            # Loop already gone (late completion during teardown); the
+            # record was computed but cannot be routed.  The store stays
+            # consistent -- nothing was written.
+            pass
+
+    def _job_done(self, completion: JobCompletion) -> None:
+        entry = self._inflight.pop(completion.key, None)
+        self._units_done += 1
+        if completion.error is not None:
+            if completion.error != "scheduler closed":
+                self.counters["failed"] += 1
+            subscribers = entry.subscribers if entry is not None else []
+            for request in subscribers:
+                if completion.key not in request.pending:
+                    continue
+                request.pending.discard(completion.key)
+                request.done += 1
+                request.failed += 1
+                if request.conn is not None:
+                    request.conn.send(
+                        {
+                            "event": "job_failed",
+                            "request": request.id,
+                            "key": completion.key,
+                            "error": completion.error,
+                        }
+                    )
+                if request.done >= request.total:
+                    self._finish_request(request)
+        else:
+            # Same save path, same payload policy as `repro-sweep run` --
+            # this is what keeps served records byte-identical.
+            self.store.save(
+                completion.key,
+                completion.record,
+                payload=completion.result if self.save_payloads else None,
+            )
+            self.counters["executed"] += 1
+            self._record_stage_stats(completion.stats)
+            elapsed = float(
+                (completion.record or {}).get("elapsed_seconds", 0.0)
+            )
+            if elapsed > 0.0:
+                self._durations.append(elapsed)
+                del self._durations[:-_DURATION_SAMPLES]
+            subscribers = entry.subscribers if entry is not None else []
+            for request in subscribers:
+                if completion.key not in request.pending:
+                    continue
+                request.pending.discard(completion.key)
+                request.done += 1
+                if entry.owner == request.id:
+                    request.executed += 1
+                    origin = "executed"
+                else:
+                    request.served_inflight += 1
+                    origin = "inflight"
+                self._send_progress(
+                    request, completion.key, completion.record, origin
+                )
+                if request.done >= request.total:
+                    self._finish_request(request)
+        self._write_header()
+
+    def _send_progress(
+        self, request: _Request, key: str, record: Optional[dict], origin: str
+    ) -> None:
+        if request.conn is None:
+            return
+        request.conn.send(
+            {
+                "event": "progress",
+                "request": request.id,
+                "done": request.done + 1,
+                "total": request.total,
+                "key": key,
+                "origin": origin,
+                "record": record,
+            }
+        )
+
+    def _finish_request(self, request: _Request) -> None:
+        elapsed = time.perf_counter() - request.started_perf
+        self._requests.pop(request.id, None)
+        if request.conn is not None:
+            request.conn.requests.discard(request.id)
+            request.conn.send(
+                {
+                    "event": "done",
+                    "request": request.id,
+                    "total": request.total,
+                    "executed": request.executed,
+                    "stored": request.stored,
+                    "inflight": request.served_inflight,
+                    "failed": request.failed,
+                    "cancelled": request.cancelled,
+                    "elapsed_seconds": round(elapsed, 4),
+                }
+            )
+        if self.telemetry:
+            obs.record_span(
+                "service.request",
+                started=request.started_wall,
+                elapsed=elapsed,
+                parent=self._run_id,
+                request=request.id,
+                spec=request.spec_name,
+                total=request.total,
+                new=request.new,
+                stored=request.stored,
+                inflight=request.inflight,
+                cancelled=request.cancelled,
+            )
+            self._append_request_ledger_entry(request, elapsed)
+        self._write_header(force=True)
+        self._notify_if_idle()
+
+    # ------------------------------------------------------------------
+    # Cancel
+    # ------------------------------------------------------------------
+    def _op_cancel(self, conn: _Connection, message: dict) -> None:
+        request_id = message.get("request")
+        request = self._requests.get(request_id)
+        if request is None:
+            conn.send(
+                {
+                    "event": "error",
+                    "error": f"no live request {request_id!r}",
+                }
+            )
+            return
+        notify_separately = request.conn is not conn
+        self._cancel_request(request)
+        if notify_separately:
+            conn.send(
+                {
+                    "event": "done",
+                    "request": request_id,
+                    "total": request.total,
+                    "executed": request.executed,
+                    "stored": request.stored,
+                    "inflight": request.served_inflight,
+                    "failed": request.failed,
+                    "cancelled": True,
+                }
+            )
+
+    def _cancel_request(self, request: _Request) -> None:
+        """Unsubscribe a request; drop its not-yet-started exclusive jobs.
+
+        Jobs already running (or shared with another live request) are
+        left to finish -- their records are saved, so the store never
+        holds a partial grid state vacuum would need to repair.
+        """
+        request.cancelled = True
+        for key in list(request.pending):
+            entry = self._inflight.get(key)
+            if entry is None:
+                continue
+            if request in entry.subscribers:
+                entry.subscribers.remove(request)
+            if not entry.subscribers and self.scheduler.cancel(key):
+                del self._inflight[key]
+                self._units_total -= 1
+                self.counters["cancelled_jobs"] += 1
+        request.pending.clear()
+        self.counters["cancelled_requests"] += 1
+        self._finish_request(request)
+
+    # ------------------------------------------------------------------
+    # Stats, header, telemetry
+    # ------------------------------------------------------------------
+    def stats_event(self) -> dict:
+        backlog = (
+            self.scheduler.pending()
+            if self.scheduler is not None
+            else {"queued": 0, "running": 0}
+        )
+        return {
+            "event": "stats",
+            "protocol": protocol.PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "store": str(self.store.root),
+            "workers": self.workers,
+            "queue_cap": self.queue_cap,
+            "queued": backlog["queued"],
+            "running": backlog["running"],
+            "draining": self._draining,
+            "uptime_seconds": round(
+                time.perf_counter() - self._started_perf, 3
+            ),
+            "requests": {
+                "total": self.counters["requests"],
+                "active": len(self._requests),
+                "rejected": self.counters["rejected"],
+                "cancelled": self.counters["cancelled_requests"],
+            },
+            "dedup": {
+                "new": self.counters["dedup_new"],
+                "stored": self.counters["dedup_stored"],
+                "inflight": self.counters["dedup_inflight"],
+            },
+            "jobs": {
+                "executed": self.counters["executed"],
+                "failed": self.counters["failed"],
+                "cancelled": self.counters["cancelled_jobs"],
+            },
+        }
+
+    def _retry_after(self, backlog: int) -> float:
+        """Seconds until the backlog plausibly fits under the cap."""
+        if self._durations:
+            ordered = sorted(self._durations)
+            per_job = ordered[len(ordered) // 2]
+        else:
+            per_job = _DEFAULT_JOB_SECONDS
+        overflow = max(1, backlog - self.queue_cap)
+        return round(max(per_job, overflow * per_job / self.workers), 3)
+
+    def _record_stage_stats(self, stats: Optional[dict]) -> None:
+        if not stats:
+            return
+        for counter, totals in (
+            (stats.get("hits"), self._stage_hits),
+            (stats.get("misses"), self._stage_misses),
+        ):
+            for stage, count in (counter or {}).items():
+                totals[stage] = totals.get(stage, 0) + count
+
+    def _write_header(self, force: bool = False) -> None:
+        """Keep ``obs/run.json`` current so ``watch`` tails the live server.
+
+        ``completed_units`` is authoritative here -- the shard-span count
+        ``watch`` uses for plain runs never resets over a service's
+        lifetime, so the snapshot prefers these header fields.
+        """
+        if not self.telemetry:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_header_write < _HEADER_INTERVAL_SECONDS:
+            return
+        self._last_header_write = now
+        backlog = self.scheduler.pending() if self.scheduler else {}
+        obs_events.write_run_header(
+            self.store.root,
+            {
+                "run_id": self._run_id,
+                "pid": os.getpid(),
+                "service": True,
+                "workers": self.workers,
+                "granularity": "benchmark",
+                "total_jobs": self.counters["requests"],
+                "total_units": self._units_total,
+                "completed_units": self._units_done,
+                "requests_total": self.counters["requests"],
+                "requests_active": len(self._requests),
+                "served_stored": self.counters["dedup_stored"],
+                "served_inflight": self.counters["dedup_inflight"],
+                "queued": backlog.get("queued", 0),
+            },
+            started=self._started_wall,
+        )
+
+    def _append_request_ledger_entry(
+        self, request: _Request, elapsed: float
+    ) -> None:
+        """One ledger line per served request, ``run``-shaped plus dedup.
+
+        ``executed``/``cache_hits`` mean what they mean for a plain run
+        (jobs this request actually simulated / jobs served without
+        executing), so ``repro-sweep runs`` and the regression gate's
+        comparability rules (spec hash + host + executed count) apply to
+        served requests unchanged.
+        """
+        manifest = {
+            "created": time.strftime(
+                "%Y-%m-%dT%H:%M:%S%z", time.localtime(request.started_wall)
+            ),
+            "git_describe": None,
+            "spec_hash": request.spec_hash,
+            "benchmarks": request.benchmarks,
+            "machine_grid": request.architectures,
+            "granularity": "benchmark",
+            "sim_kernel": kernels.active_backend(),
+            "workers": self.workers,
+            "run": {
+                "total_jobs": request.total,
+                "executed": request.executed,
+                "cache_hits": request.stored + request.served_inflight,
+                "pruned": 0,
+                "elapsed_seconds": round(elapsed, 3),
+            },
+        }
+        entry = obs_ledger.build_entry(manifest, [], None, run_id=request.run_id)
+        entry["service"] = {
+            "request": request.id,
+            "session": self._run_id,
+            "spec": request.spec_name,
+            "new": request.new,
+            "stored": request.stored,
+            "inflight": request.inflight,
+            "failed": request.failed,
+            "cancelled": request.cancelled,
+        }
+        obs_ledger.append_entry(obs_events.obs_dir(self.store.root), entry)
+
+    def _session_manifest(self) -> dict:
+        counters = self.counters
+        return {
+            "spec_hash": None,
+            "benchmarks": None,
+            "machine_grid": None,
+            "granularity": "benchmark",
+            "sim_kernel": kernels.active_backend(),
+            "workers": self.workers,
+            "service": {
+                "requests": counters["requests"],
+                "rejected": counters["rejected"],
+                "cancelled_requests": counters["cancelled_requests"],
+                "dedup_new": counters["dedup_new"],
+                "dedup_stored": counters["dedup_stored"],
+                "dedup_inflight": counters["dedup_inflight"],
+            },
+            "run": {
+                "total_jobs": counters["requests"],
+                "executed": counters["executed"],
+                "cache_hits": counters["dedup_stored"]
+                + counters["dedup_inflight"],
+                "pruned": 0,
+                "elapsed_seconds": round(
+                    time.perf_counter() - self._started_perf, 3
+                ),
+            },
+            "stage_hits": dict(self._stage_hits),
+            "stage_misses": dict(self._stage_misses),
+        }
+
+
+class ServiceThread:
+    """A sweep service on a background thread (tests, perf harness).
+
+    Owns the event loop thread; :meth:`start` blocks until the listener
+    is up, :meth:`stop` drains and joins.  Use as a context manager.
+    """
+
+    def __init__(self, service: SweepService, **serve_kwargs) -> None:
+        self.service = service
+        self._serve_kwargs = serve_kwargs
+        self._thread = None
+        self._error: Optional[BaseException] = None
+
+    def __enter__(self) -> "ServiceThread":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    def start(self, timeout: float = 30.0) -> None:
+        import threading
+
+        ready = threading.Event()
+
+        def runner() -> None:
+            try:
+                asyncio.run(self.service.serve(ready=ready.set, **self._serve_kwargs))
+            except BaseException as error:  # noqa: BLE001 - surfaced in stop()
+                self._error = error
+                ready.set()
+
+        self._thread = threading.Thread(
+            target=runner, daemon=True, name="sweep-service"
+        )
+        self._thread.start()
+        if not ready.wait(timeout):
+            raise TimeoutError("sweep service did not start listening")
+        if self._error is not None:
+            raise RuntimeError("sweep service failed to start") from self._error
+
+    def stop(self, timeout: float = 60.0) -> None:
+        if self._thread is None:
+            return
+        loop = self.service._loop
+        if loop is not None and loop.is_running():
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(self.service.begin_shutdown)
+        self._thread.join(timeout)
+        self._thread = None
+        if self._error is not None:
+            raise RuntimeError("sweep service crashed") from self._error
+
+
+def _dedupe(jobs) -> list[SweepJob]:
+    seen: set[str] = set()
+    unique: list[SweepJob] = []
+    for job in jobs:
+        if job.key not in seen:
+            seen.add(job.key)
+            unique.append(job)
+    return unique
+
+
+def _spec_hash(jobs) -> str:
+    """Same formula as ``run_jobs`` -- served and plain runs compare."""
+    return hashlib.sha256(
+        "\n".join(sorted(job.key for job in jobs)).encode("utf-8")
+    ).hexdigest()
+
+
+def _clear_stale_socket(path: Path) -> None:
+    """Remove a socket file no server answers on (crash leftover)."""
+    if not path.exists():
+        return
+    import socket as socket_module
+
+    probe = socket_module.socket(socket_module.AF_UNIX)
+    probe.settimeout(1.0)
+    try:
+        probe.connect(str(path))
+    except OSError:
+        path.unlink(missing_ok=True)
+    else:
+        probe.close()
+        raise RuntimeError(
+            f"a sweep service is already listening on {path}"
+        )
+    finally:
+        with contextlib.suppress(OSError):
+            probe.close()

@@ -68,6 +68,12 @@ class ResultStore:
         file (same filesystem, atomic), keeps every key unchanged and is
         idempotent; a store that is already sharded pays only a directory
         listing.
+
+        Concurrent-open safe: the sweep service, ``submit`` clients and
+        plain ``run`` processes may all construct a :class:`ResultStore`
+        on the same root at once, so another process racing this loop may
+        migrate (or a writer may re-shard) a listed file first -- a
+        vanished source is its success, not our error.
         """
         for directory, suffix in (
             (self._records_dir, ".json"),
@@ -78,7 +84,10 @@ class ResultStore:
                     continue
                 target_dir = directory / shard_of(path.stem)
                 target_dir.mkdir(exist_ok=True)
-                os.replace(path, target_dir / path.name)
+                try:
+                    os.replace(path, target_dir / path.name)
+                except FileNotFoundError:
+                    continue
 
     # ------------------------------------------------------------------
     # Paths

@@ -250,6 +250,40 @@ class TestReplayLRU:
         set_ids = np.zeros_like(keys)
         assert vector.replay_lru(set_ids, keys, 2) is None
 
+    def test_cutoffs_default_and_env_overrides(self, monkeypatch):
+        from repro.kernels import vector
+
+        monkeypatch.delenv(vector.MAX_DEPTH_ENV, raising=False)
+        monkeypatch.delenv(vector.WORK_RATIO_ENV, raising=False)
+        assert vector.lockstep_cutoffs() == (
+            vector._MAX_DEPTH,
+            vector._MAX_WORK_RATIO,
+        )
+        monkeypatch.setenv(vector.MAX_DEPTH_ENV, "64")
+        monkeypatch.setenv(vector.WORK_RATIO_ENV, "7")
+        assert vector.lockstep_cutoffs() == (64, 7)
+        # Invalid and non-positive values fall back to the defaults.
+        monkeypatch.setenv(vector.MAX_DEPTH_ENV, "not-a-number")
+        monkeypatch.setenv(vector.WORK_RATIO_ENV, "0")
+        assert vector.lockstep_cutoffs() == (
+            vector._MAX_DEPTH,
+            vector._MAX_WORK_RATIO,
+        )
+
+    def test_env_cutoff_changes_the_decline_decision(self, monkeypatch):
+        import numpy as np
+
+        from repro.kernels import vector
+
+        # A hot set 65 deep: accepted at the default depth cutoff...
+        keys = np.arange(65, dtype=np.int64)
+        set_ids = np.zeros_like(keys)
+        monkeypatch.setenv(vector.WORK_RATIO_ENV, "1000000")
+        assert vector.replay_lru(set_ids, keys, 2) is not None
+        # ...declined once the env knob lowers it below the depth.
+        monkeypatch.setenv(vector.MAX_DEPTH_ENV, "64")
+        assert vector.replay_lru(set_ids, keys, 2) is None
+
 
 class TestStoreStatistics:
     """Per-access and bulk replay must report identical statistics."""

@@ -9,6 +9,7 @@ gate (repro.obs.regress), the span profiling hook
 
 from __future__ import annotations
 
+import gc
 import json
 
 import pytest
@@ -414,6 +415,13 @@ class TestCrossRunCli:
         return path
 
     def _run(self, store, spec_file, *extra):
+        # These runs' wall times are compared against each other by the
+        # regression gate at real thresholds, and the grid is tiny
+        # (~50ms) -- a gen-2 GC pause inherited from earlier tests in a
+        # long pytest session is the same order of magnitude and can
+        # flap the verdict.  Pay down the collector's debt before
+        # timing, exactly as a benchmark harness would.
+        gc.collect()
         return cli_main(
             [
                 "run",

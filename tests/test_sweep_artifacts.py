@@ -125,6 +125,49 @@ class TestArtifactStore:
         assert not stale.exists() and not corrupt.exists() and not temp.exists()
         assert store.get("unroll", "1" * 64) == {"factors": [1]}
 
+    def test_get_touches_mtime_as_a_last_use_clock(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = "e" * 64
+        store.put("unroll", key, {"factors": [1]})
+        path = store.path("unroll", key)
+        old = time.time() - 7200
+        os.utime(path, (old, old))
+        assert store.get("unroll", key) == {"factors": [1]}
+        assert path.stat().st_mtime > old + 3600
+
+    def test_evict_to_size_drops_coldest_first(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        keys = [str(index) * 64 for index in range(1, 5)]
+        for key in keys:
+            store.put("unroll", key, {"payload": key})
+        now = time.time()
+        # Ages: keys[0] coldest ... keys[3] hottest.
+        for age, key in enumerate(reversed(keys)):
+            stamp = now - 7200 - age * 600
+            os.utime(store.path("unroll", key), (stamp, stamp))
+        total = store.total_bytes()
+        per_file = total // len(keys)
+        removed = store.evict_to_size(total - per_file, grace_seconds=60)
+        assert removed == 1
+        assert store.get("unroll", keys[0]) is None
+        assert all(store.get("unroll", key) is not None for key in keys[1:])
+        assert store.total_bytes() <= total - per_file
+
+    def test_evict_to_size_spares_files_inside_the_grace_window(
+        self, tmp_path
+    ):
+        store = ArtifactStore(tmp_path)
+        store.put("unroll", "a" * 64, {"factors": [1]})
+        # Everything is younger than the grace window: nothing may go,
+        # even though the store exceeds the budget.
+        assert store.evict_to_size(0, grace_seconds=3600) == 0
+        assert store.get("unroll", "a" * 64) is not None
+        # Offline (no grace), the same budget clears the store.
+        old = time.time() - 7200
+        os.utime(store.path("unroll", "a" * 64), (old, old))
+        assert store.evict_to_size(0, grace_seconds=0) == 1
+        assert store.total_bytes() == 0
+
 
 # ----------------------------------------------------------------------
 # ArtifactCache

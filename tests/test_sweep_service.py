@@ -1,0 +1,489 @@
+"""Tests of the long-lived sweep service (repro.sweep.service).
+
+The service's whole value proposition is tested end to end, in process
+where possible (a :class:`ServiceThread` serving a unix socket in a tmp
+dir): cross-client dedup with zero re-execution, record parity with the
+batch ``run`` path, cancel leaving the store consistent, submit-side
+backpressure, and SIGTERM draining a real ``repro-sweep serve``
+subprocess.
+
+The grids are tiny (streaming kernel, iteration cap 64) and in-flight
+windows are held open deterministically with the pipeline's
+``REPRO_SWEEP_TEST_SLOWDOWN`` hook rather than timing luck.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.scheduler.pipeline import TEST_SLOWDOWN_ENV
+from repro.sweep.executor import default_workers, is_simulated_record, run_jobs
+from repro.sweep.protocol import ServiceClient, default_socket_path
+from repro.sweep.scheduler import WorkStealingScheduler
+from repro.sweep.service import ServiceThread, SweepService
+from repro.sweep.spec import SweepSpec
+from repro.sweep.store import ResultStore
+
+FAST = {"iteration_cap": 64}
+
+#: Record fields that legitimately differ between two executions of the
+#: same job (the run that produced them, not the result).
+VOLATILE_FIELDS = ("elapsed_seconds", "worker_pid")
+
+
+def small_spec(name="svc", clusters=(2, 4), axes=None, **base) -> SweepSpec:
+    merged = dict(FAST)
+    merged.update(base)
+    return SweepSpec(
+        name=name,
+        benchmarks=("kernel:streaming",),
+        axes=dict(axes) if axes is not None else {"clusters": clusters},
+        base=merged,
+    )
+
+
+def four_point_spec() -> SweepSpec:
+    return small_spec(
+        axes={"clusters": (2, 4), "attraction_entries": (0, 16)}
+    )
+
+
+def normalized_record(record: dict) -> dict:
+    stripped = dict(record)
+    for field in VOLATILE_FIELDS:
+        stripped.pop(field, None)
+    return stripped
+
+
+def start_service(store_root: Path, **kwargs) -> ServiceThread:
+    service = SweepService(store_root, **kwargs)
+    return ServiceThread(service)
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+# ----------------------------------------------------------------------
+class TestWorkStealingScheduler:
+    def test_run_all_executes_every_job_once(self, tmp_path):
+        jobs = small_spec(clusters=(2, 4)).expand()
+        handled = []
+        scheduler = WorkStealingScheduler(2)
+        try:
+            scheduler.run_all(
+                jobs, lambda job, record, result: handled.append((job, record))
+            )
+        finally:
+            scheduler.close()
+        assert sorted(job.key for job, _ in handled) == sorted(
+            j.key for j in jobs
+        )
+        assert all(is_simulated_record(record) for _, record in handled)
+
+    def test_duplicate_submit_is_deduped(self):
+        job = small_spec(clusters=(2,)).expand()[0]
+        done = threading.Event()
+        scheduler = WorkStealingScheduler(1)
+        try:
+            first = scheduler.submit(job, lambda c: done.set())
+            second = scheduler.submit(job, lambda c: None)
+            assert first == "queued"
+            assert second == "inflight"
+            assert done.wait(60)
+            assert scheduler.counters()["executed"] == 1
+        finally:
+            scheduler.close()
+
+    def test_benchmark_affinity_is_stable(self):
+        scheduler = WorkStealingScheduler(4)
+        try:
+            homes = {
+                scheduler.home_worker("kernel:streaming") for _ in range(8)
+            }
+            assert len(homes) == 1
+            assert 0 <= homes.pop() < 4
+        finally:
+            scheduler.close()
+
+
+# ----------------------------------------------------------------------
+# Dedup across concurrent clients
+# ----------------------------------------------------------------------
+class TestCrossClientDedup:
+    def test_inflight_overlap_executes_nothing_twice(
+        self, tmp_path, monkeypatch
+    ):
+        # Hold every job in flight long enough for the second client to
+        # land mid-grid; its whole grid must classify as in-flight/stored
+        # with zero new executions.
+        monkeypatch.setenv(TEST_SLOWDOWN_ENV, "schedule:0.3")
+        store_root = tmp_path / "store"
+        spec = small_spec().to_mapping()
+        with start_service(store_root, workers=2) as served:
+            socket_path = default_socket_path(store_root)
+            first_done = {}
+            accepted = threading.Event()
+
+            def first_client():
+                with ServiceClient(socket_path=socket_path) as client:
+                    first_done.update(
+                        client.submit(
+                            spec,
+                            on_event=lambda e: accepted.set()
+                            if e.get("event") == "accepted"
+                            else None,
+                        )
+                    )
+
+            thread = threading.Thread(target=first_client)
+            thread.start()
+            assert accepted.wait(30)
+            with ServiceClient(socket_path=socket_path) as client:
+                second_done = client.submit(spec)
+            thread.join(60)
+
+            assert first_done["executed"] == 2
+            assert second_done["executed"] == 0
+            assert second_done["inflight"] + second_done["stored"] == 2
+            with ServiceClient(socket_path=socket_path) as client:
+                stats = client.stats()
+            assert stats["jobs"]["executed"] == 2
+            assert stats["dedup"]["new"] == 2
+            assert stats["dedup"]["inflight"] + stats["dedup"]["stored"] == 2
+        assert served.service.counters["executed"] == 2
+
+    def test_served_records_match_plain_run(self, tmp_path):
+        spec = small_spec()
+        reference = ResultStore(tmp_path / "reference")
+        run_jobs(spec.expand(), store=reference, workers=1)
+
+        store_root = tmp_path / "served"
+        with start_service(store_root, workers=2):
+            with ServiceClient(
+                socket_path=default_socket_path(store_root)
+            ) as client:
+                done = client.submit(spec.to_mapping())
+        assert done["executed"] == len(spec.expand())
+
+        served = ResultStore(store_root)
+        assert served.keys() == reference.keys()
+        for key in reference.keys():
+            expected = json.loads(
+                reference.record_path(key).read_text(encoding="utf-8")
+            )
+            actual = json.loads(
+                served.record_path(key).read_text(encoding="utf-8")
+            )
+            assert normalized_record(actual) == normalized_record(expected)
+
+    def test_stored_grid_is_served_without_execution(self, tmp_path):
+        store_root = tmp_path / "store"
+        spec = small_spec()
+        run_jobs(spec.expand(), store=ResultStore(store_root), workers=1)
+        with start_service(store_root, workers=1):
+            with ServiceClient(
+                socket_path=default_socket_path(store_root)
+            ) as client:
+                done = client.submit(spec.to_mapping())
+        assert done["executed"] == 0
+        assert done["stored"] == len(spec.expand())
+
+
+# ----------------------------------------------------------------------
+# Cancel
+# ----------------------------------------------------------------------
+class TestCancel:
+    def test_cancel_mid_grid_leaves_store_consistent(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(TEST_SLOWDOWN_ENV, "schedule:0.3")
+        store_root = tmp_path / "store"
+        spec = four_point_spec().to_mapping()
+        with start_service(store_root, workers=1):
+            with ServiceClient(
+                socket_path=default_socket_path(store_root)
+            ) as client:
+                client.send({"op": "submit", "spec": spec, "wait": True})
+                accepted = client.receive()
+                assert accepted["event"] == "accepted"
+                done = client.cancel(accepted["request"])
+                assert done["cancelled"] is True
+                # The running job finished and saved; queued jobs were
+                # dropped before execution.
+                assert done["executed"] + done["failed"] < accepted["total"]
+
+        store = ResultStore(store_root)
+        for key in store.keys():
+            record = store.load_record(key)
+            assert is_simulated_record(record)
+        # No torn files, no orphaned payloads: vacuum finds nothing even
+        # with no grace window.
+        assert store.vacuum(grace_seconds=0.0) == []
+
+    def test_disconnect_cancels_waiting_request(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TEST_SLOWDOWN_ENV, "schedule:0.3")
+        store_root = tmp_path / "store"
+        with start_service(store_root, workers=1) as served:
+            client = ServiceClient(
+                socket_path=default_socket_path(store_root)
+            )
+            client.send(
+                {
+                    "op": "submit",
+                    "spec": four_point_spec().to_mapping(),
+                    "wait": True,
+                }
+            )
+            assert client.receive()["event"] == "accepted"
+            client.close()
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if served.service.counters["cancelled_requests"] == 1:
+                    break
+                time.sleep(0.05)
+            assert served.service.counters["cancelled_requests"] == 1
+
+
+# ----------------------------------------------------------------------
+# Backpressure
+# ----------------------------------------------------------------------
+class TestBackpressure:
+    def test_over_cap_submit_is_rejected_with_retry_after(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(TEST_SLOWDOWN_ENV, "schedule:0.5")
+        store_root = tmp_path / "store"
+        with start_service(store_root, workers=1, queue_cap=2):
+            socket_path = default_socket_path(store_root)
+            filling = ServiceClient(socket_path=socket_path)
+            try:
+                filling.send(
+                    {
+                        "op": "submit",
+                        "spec": small_spec(clusters=(2, 4)).to_mapping(),
+                        "wait": True,
+                    }
+                )
+                assert filling.receive()["event"] == "accepted"
+                with ServiceClient(socket_path=socket_path) as client:
+                    rejected = client.submit(
+                        small_spec(iteration_cap=65).to_mapping()
+                    )
+                assert rejected["event"] == "rejected"
+                assert "queue cap" in rejected["error"]
+                assert rejected["retry_after"] > 0
+                # The filling client still completes normally.
+                while True:
+                    event = filling.receive()
+                    if event.get("event") == "done":
+                        assert event["executed"] == 2
+                        break
+            finally:
+                filling.close()
+
+
+# ----------------------------------------------------------------------
+# Service lifecycle and telemetry
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_workers_resolved_at_start_and_exposed_in_stats(self, tmp_path):
+        store_root = tmp_path / "store"
+        service = SweepService(store_root)
+        assert service.workers == default_workers()
+        with ServiceThread(service):
+            with ServiceClient(
+                socket_path=default_socket_path(store_root)
+            ) as client:
+                stats = client.stats()
+        assert stats["workers"] == default_workers()
+        assert stats["queue_cap"] == service.queue_cap
+
+    def test_watch_reads_totals_from_live_header(self, tmp_path):
+        store_root = tmp_path / "store"
+        spec = small_spec()
+        from repro.sweep.report import watch_snapshot
+
+        with start_service(store_root, workers=1):
+            with ServiceClient(
+                socket_path=default_socket_path(store_root)
+            ) as client:
+                client.submit(spec.to_mapping())
+                # Second identical submit: all stored, executes nothing;
+                # the header totals must not move.
+                client.submit(spec.to_mapping())
+            snapshot = watch_snapshot(store_root)
+            assert snapshot is not None
+            assert snapshot["total_units"] == 2
+            assert snapshot["completed"] == 2
+            assert snapshot["header"]["service"] is True
+            assert snapshot["header"]["served_stored"] == 2
+
+    def test_shutdown_finalizes_ledger_with_request_entries(self, tmp_path):
+        from repro.obs import events as obs_events
+        from repro.obs import ledger as obs_ledger
+
+        store_root = tmp_path / "store"
+        spec = small_spec()
+        with start_service(store_root, workers=1):
+            with ServiceClient(
+                socket_path=default_socket_path(store_root)
+            ) as client:
+                client.submit(spec.to_mapping())
+                client.submit(spec.to_mapping())
+        obs_directory = obs_events.obs_dir(store_root)
+        entries = obs_ledger.read_entries(obs_directory)
+        # Two per-request entries plus the final service-session entry.
+        assert len(entries) == 3
+        first, second, session = entries
+        assert first["run"]["executed"] == 2
+        assert first["service"]["new"] == 2
+        assert second["run"]["executed"] == 0
+        assert second["run"]["cache_hits"] == 2
+        assert first["spec_hash"] == second["spec_hash"]
+        assert session["service"]["requests"] == 2
+        # run.json is gone after finalize; the merged trace exists.
+        assert not (obs_directory / "run.json").exists()
+        assert (obs_directory / "trace.jsonl").exists()
+
+    def test_sigterm_drains_subprocess_cleanly(self, tmp_path):
+        store_root = tmp_path / "store"
+        store_root.mkdir()
+        socket_path = store_root / "service.sock"
+        spec_file = tmp_path / "spec.json"
+        spec = small_spec(clusters=(2, 4))
+        spec_file.write_text(json.dumps(spec.to_mapping()), encoding="utf-8")
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src] + env.get("PYTHONPATH", "").split(os.pathsep)
+        ).strip(os.pathsep)
+        env[TEST_SLOWDOWN_ENV] = "schedule:0.3"
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.sweep",
+                "serve",
+                str(store_root),
+                "--workers",
+                "1",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline and not socket_path.exists():
+                time.sleep(0.1)
+            assert socket_path.exists(), "service never started listening"
+            # Detached submit, then SIGTERM mid-grid: the drain must
+            # finish the accepted work before exiting 0.
+            with ServiceClient(socket_path=socket_path) as client:
+                accepted = client.submit(spec.to_mapping(), wait=False)
+                assert accepted["event"] == "accepted"
+            process.send_signal(signal.SIGTERM)
+            output = process.communicate(timeout=120)[0]
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, output
+        assert "stopped:" in output
+        assert not socket_path.exists()
+        store = ResultStore(store_root)
+        records = [store.load_record(job.key) for job in spec.expand()]
+        assert all(is_simulated_record(record) for record in records)
+
+
+# ----------------------------------------------------------------------
+# Concurrent-writer store safety
+# ----------------------------------------------------------------------
+def _hammer_store(root: str, worker: int, keys: list[str]) -> None:
+    store = ResultStore(Path(root))
+    for index, key in enumerate(keys):
+        store.save(
+            key,
+            {"key": key, "metrics": {"total_cycles": index}, "source": "simulator"},
+            payload={"worker": worker, "index": index},
+        )
+
+
+class TestConcurrentWriters:
+    def test_many_processes_share_one_store(self, tmp_path):
+        import multiprocessing
+
+        root = tmp_path / "store"
+        # Seed a flat (pre-shard) layout so every process races the same
+        # migration while others are already saving.
+        flat = ResultStore(root)
+        legacy_keys = [f"{index:02x}" + "0" * 62 for index in range(8)]
+        for key in legacy_keys:
+            flat.save(key, {"key": key, "source": "simulator"})
+        for key in legacy_keys:
+            sharded = flat.record_path(key)
+            flat_path = sharded.parent.parent / sharded.name
+            os.replace(sharded, flat_path)
+
+        keys = [f"{index:02x}" + "f" * 62 for index in range(16)]
+        context = multiprocessing.get_context("fork")
+        processes = [
+            context.Process(target=_hammer_store, args=(str(root), n, keys))
+            for n in range(4)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(60)
+            assert process.exitcode == 0
+
+        store = ResultStore(root)
+        assert set(store.keys()) >= set(keys) | set(legacy_keys)
+        for key in keys + legacy_keys:
+            assert store.load_record(key)["key"] == key
+        assert store.vacuum(grace_seconds=0.0) == []
+
+
+# ----------------------------------------------------------------------
+# Protocol validation
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_loop_granularity_is_rejected(self, tmp_path):
+        store_root = tmp_path / "store"
+        with start_service(store_root, workers=1):
+            with ServiceClient(
+                socket_path=default_socket_path(store_root)
+            ) as client:
+                client.send(
+                    {
+                        "op": "submit",
+                        "spec": small_spec().to_mapping(),
+                        "granularity": "loop",
+                    }
+                )
+                reply = client.receive()
+        assert reply["event"] == "rejected"
+        assert "granularity" in reply["error"]
+
+    def test_invalid_spec_and_unknown_op_answer_errors(self, tmp_path):
+        store_root = tmp_path / "store"
+        with start_service(store_root, workers=1):
+            with ServiceClient(
+                socket_path=default_socket_path(store_root)
+            ) as client:
+                client.send({"op": "submit", "spec": {"benchmarks": ["nope"]}})
+                assert client.receive()["event"] == "rejected"
+                client.send({"op": "frobnicate"})
+                assert "unknown op" in client.receive()["error"]
+                client.send({"op": "cancel", "request": "req-999"})
+                assert "no live request" in client.receive()["error"]
+                assert client.ping()["event"] == "pong"
