@@ -1,0 +1,281 @@
+"""Deterministic fault injection for the sweep execution stack.
+
+Real-world failure -- a worker OOM-killed mid-job, a hung simulation, a
+torn record from a crash between write and rename, a corrupt artifact
+after a disk hiccup -- is rare, racy and unreproducible.  This module is
+the *only* mechanism tests and CI use to simulate those failures: every
+failure mode the fault-tolerance layer claims to survive is injected
+here, deterministically, from one environment variable, so a chaos run
+is exactly reproducible.
+
+::
+
+    REPRO_FAULT=<site>:<kind>[:<nth>][,<site>:<kind>[:<nth>]...]
+
+``site`` is a named injection point threaded through the executor,
+scheduler, service, :class:`~repro.sweep.artifacts.ArtifactStore` and
+:class:`~repro.sweep.store.ResultStore` (see ``docs/robustness.md`` for
+the full table).  ``kind`` is one of:
+
+``crash``
+    ``os._exit`` the process immediately (exit code
+    :data:`CRASH_EXIT_CODE`) -- a SIGKILL-equivalent worker death: no
+    exception handlers, no atexit, no flushing.
+``hang``
+    Sleep for ``REPRO_FAULT_HANG`` seconds (default 3600) -- a stuck
+    job, for exercising ``--job-timeout``.
+``raise``
+    Raise :class:`InjectedFault` -- a poison job that fails cleanly.
+``torn-write``
+    Truncate the bytes of the guarded write to half -- the on-disk
+    result of dying mid-write.  Only meaningful at ``mangle`` sites.
+``corrupt``
+    Flip bits in the middle of the guarded write -- silent corruption.
+    Only meaningful at ``mangle`` sites.
+
+``nth`` selects which invocation of the site fires (1-based).  Omitted,
+the fault fires on *every* invocation.  Invocation counters are
+per-process by default; when ``REPRO_FAULT_STATE`` names a directory,
+counting is global across every process sharing it (claim files created
+with ``O_EXCL``), so "crash exactly one worker, then succeed" is
+expressible even though the crashed worker's replacement starts fresh.
+
+Zero overhead when unset: :func:`fire` and :func:`mangle` return after a
+single ``is None`` check on a module global parsed once at import.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional
+
+#: The environment variable holding the fault plan.
+ENV_VAR = "REPRO_FAULT"
+
+#: Optional directory for cross-process invocation counting.
+STATE_ENV_VAR = "REPRO_FAULT_STATE"
+
+#: Seconds a ``hang`` fault sleeps (override via ``REPRO_FAULT_HANG``).
+HANG_ENV_VAR = "REPRO_FAULT_HANG"
+DEFAULT_HANG_SECONDS = 3600.0
+
+#: Exit code of a ``crash`` fault -- distinctive, so a supervisor test
+#: can tell an injected crash from a real one.
+CRASH_EXIT_CODE = 86
+
+#: Kinds that abort control flow at a :func:`fire` site.
+FIRE_KINDS = ("crash", "hang", "raise")
+
+#: Kinds that damage bytes at a :func:`mangle` site.
+MANGLE_KINDS = ("torn-write", "corrupt")
+
+KINDS = FIRE_KINDS + MANGLE_KINDS
+
+
+class InjectedFault(RuntimeError):
+    """The exception a ``raise`` fault throws at its site."""
+
+
+class FaultRule:
+    """One ``site:kind[:nth]`` entry of the fault plan."""
+
+    __slots__ = ("site", "kind", "nth")
+
+    def __init__(self, site: str, kind: str, nth: Optional[int]) -> None:
+        self.site = site
+        self.kind = kind
+        self.nth = nth
+
+    def matches(self, count: int) -> bool:
+        """Whether this rule fires on the ``count``-th site invocation."""
+        return self.nth is None or self.nth == count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        nth = "" if self.nth is None else f":{self.nth}"
+        return f"FaultRule({self.site}:{self.kind}{nth})"
+
+
+def parse_plan(text: str) -> dict[str, list[FaultRule]]:
+    """Parse a ``REPRO_FAULT`` value into rules per site.
+
+    Invalid entries raise ValueError naming the offending entry and the
+    valid kinds -- a mistyped chaos plan must fail the run loudly, not
+    silently inject nothing.
+    """
+    plan: dict[str, list[FaultRule]] = {}
+    for entry in text.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        parts = entry.split(":")
+        # Sites may themselves contain dots but never colons; a trailing
+        # integer part is the nth selector.
+        if len(parts) == 2:
+            site, kind = parts
+            nth: Optional[int] = None
+        elif len(parts) == 3:
+            site, kind = parts[0], parts[1]
+            try:
+                nth = int(parts[2])
+            except ValueError:
+                raise ValueError(
+                    f"invalid fault entry {entry!r}: nth must be an integer"
+                ) from None
+            if nth < 1:
+                raise ValueError(
+                    f"invalid fault entry {entry!r}: nth must be >= 1"
+                )
+        else:
+            raise ValueError(
+                f"invalid fault entry {entry!r}: expected <site>:<kind>[:<nth>]"
+            )
+        site = site.strip()
+        kind = kind.strip()
+        if not site:
+            raise ValueError(f"invalid fault entry {entry!r}: empty site")
+        if kind not in KINDS:
+            raise ValueError(
+                f"invalid fault entry {entry!r}: unknown kind {kind!r} "
+                f"(valid: {', '.join(KINDS)})"
+            )
+        plan.setdefault(site, []).append(FaultRule(site, kind, nth))
+    return plan
+
+
+#: The active plan (None = injection off, the production state).
+_PLAN: Optional[dict[str, list[FaultRule]]] = None
+
+#: Per-process invocation counts per site.
+_COUNTS: dict[str, int] = {}
+
+#: Next global index to probe per site (cross-process counting only).
+_NEXT_GLOBAL: dict[str, int] = {}
+
+_STATE_DIR: Optional[str] = None
+
+
+def refresh_from_env() -> bool:
+    """(Re)read ``REPRO_FAULT``; returns whether injection is now active.
+
+    Called at import; tests that monkeypatch the environment call it
+    again.  Forked workers inherit the parsed plan; spawned workers
+    re-import this module and re-parse the inherited environment.
+    """
+    global _PLAN, _STATE_DIR
+    _COUNTS.clear()
+    _NEXT_GLOBAL.clear()
+    text = os.environ.get(ENV_VAR, "")
+    _STATE_DIR = os.environ.get(STATE_ENV_VAR) or None
+    _PLAN = parse_plan(text) if text.strip() else None
+    if _PLAN is not None and not _PLAN:
+        _PLAN = None
+    return _PLAN is not None
+
+
+def active() -> bool:
+    """Whether any fault plan is loaded."""
+    return _PLAN is not None
+
+
+def _claim_global(site: str) -> int:
+    """Allocate this invocation's global 1-based index for ``site``.
+
+    Each invocation claims the lowest unclaimed ``<site>.<n>`` file in
+    the state directory with ``O_CREAT | O_EXCL`` -- atomic on every
+    POSIX filesystem -- so concurrent workers get distinct indices and a
+    respawned worker continues the sequence instead of restarting it.
+    """
+    safe = site.replace(os.sep, "_")
+    index = _NEXT_GLOBAL.get(site, 1)
+    while True:
+        path = os.path.join(_STATE_DIR, f"{safe}.{index}")
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            index += 1
+            continue
+        except OSError:
+            # Unwritable state dir: degrade to per-process counting
+            # rather than poisoning the injected run itself.
+            break
+        os.close(fd)
+        _NEXT_GLOBAL[site] = index + 1
+        return index
+    count = _COUNTS.get(site, 0) + 1
+    _COUNTS[site] = count
+    return count
+
+
+def _count(site: str) -> int:
+    if _STATE_DIR is not None:
+        return _claim_global(site)
+    count = _COUNTS.get(site, 0) + 1
+    _COUNTS[site] = count
+    return count
+
+
+def fire(site: str) -> None:
+    """Trigger any control-flow fault planned for ``site``.
+
+    No-op (one global check) when injection is off.  ``crash`` exits the
+    process, ``hang`` sleeps, ``raise`` throws :class:`InjectedFault`;
+    ``torn-write``/``corrupt`` rules at a fire site are ignored (they
+    guard byte streams, not control flow).
+    """
+    if _PLAN is None:
+        return
+    rules = _PLAN.get(site)
+    if not rules:
+        return
+    count = _count(site)
+    for rule in rules:
+        if rule.kind not in FIRE_KINDS or not rule.matches(count):
+            continue
+        if rule.kind == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        if rule.kind == "hang":
+            time.sleep(_hang_seconds())
+            return
+        raise InjectedFault(
+            f"injected fault at {site} (invocation {count})"
+        )
+
+
+def mangle(site: str, data: bytes) -> bytes:
+    """Damage ``data`` according to any byte-fault planned for ``site``.
+
+    Returns ``data`` unchanged (one global check) when injection is off
+    or no mangle rule matches this invocation.  ``torn-write`` truncates
+    to half; ``corrupt`` XOR-flips a run of bytes in the middle, keeping
+    the length (a checksum must catch it, not a size check).
+    """
+    if _PLAN is None:
+        return data
+    rules = _PLAN.get(site)
+    if not rules:
+        return data
+    count = _count(site)
+    for rule in rules:
+        if rule.kind not in MANGLE_KINDS or not rule.matches(count):
+            continue
+        if rule.kind == "torn-write":
+            return data[: len(data) // 2]
+        middle = len(data) // 2
+        run = max(1, min(8, len(data) - middle))
+        damaged = bytearray(data)
+        for offset in range(run):
+            damaged[middle + offset] ^= 0xFF
+        return bytes(damaged)
+    return data
+
+
+def _hang_seconds() -> float:
+    try:
+        value = float(os.environ.get(HANG_ENV_VAR, ""))
+    except ValueError:
+        return DEFAULT_HANG_SECONDS
+    return value if value > 0 else DEFAULT_HANG_SECONDS
+
+
+refresh_from_env()

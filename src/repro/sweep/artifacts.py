@@ -17,9 +17,16 @@ Layout under the store root (``<results-dir>/artifacts`` by default)::
 ``latency``, ``schedule``) and ``<shard>`` the first two hex characters of
 the stage key, mirroring the :class:`~repro.sweep.store.ResultStore`
 sharding so a large store never scans one flat directory.  Each file
-pickles a small envelope ``{"schema", "stage", "payload"}``; entries whose
-schema does not match :data:`ARTIFACT_SCHEMA` (or that do not unpickle)
-are treated as misses and collected by :meth:`ArtifactStore.vacuum`.
+pickles a small envelope ``{"schema", "stage", "checksum", "payload"}``
+where ``payload`` is the pickled payload bytes and ``checksum`` their
+CRC-32: a flipped bit anywhere in the payload reads as a checksum
+mismatch, not as a silently wrong compiled loop.  Entries whose schema
+does not match :data:`ARTIFACT_SCHEMA` are stale-format misses (left for
+:meth:`ArtifactStore.vacuum`); entries that are torn, fail their
+checksum, or do not unpickle are *quarantined* -- moved to
+``quarantine/`` under the store root, counted in the
+``artifacts.quarantined`` metric -- and read as misses, so the stage is
+recomputed instead of the sweep crashing.
 
 Writes are atomic (temp file + ``os.replace``), so concurrent workers
 racing on one stage key cannot tear an artifact; both compute the same
@@ -37,22 +44,27 @@ import os
 import pickle
 import tempfile
 import time
+import zlib
 from collections import OrderedDict
 from pathlib import Path
 from typing import Optional
 
+from repro import faults
 from repro.obs import metrics as obs_metrics
 
 #: Version of the artifact envelope.  Bump when payload formats change so
 #: stale artifacts read as misses (and become vacuumable) instead of
-#: rehydrating into garbage.
-ARTIFACT_SCHEMA = 1
+#: rehydrating into garbage.  2 added the payload checksum.
+ARTIFACT_SCHEMA = 2
 
 #: Number of leading key characters that name an artifact's shard directory.
 SHARD_CHARS = 2
 
 #: Subdirectory of a sweep result store that holds its artifact store.
 ARTIFACTS_DIRNAME = "artifacts"
+
+#: Subdirectory of the artifact store root holding quarantined files.
+QUARANTINE_DIRNAME = "quarantine"
 
 #: Upper bound on in-memory artifact payloads per process.  Each schedule
 #: artifact holds one compiled loop, so an unbounded front would grow
@@ -86,30 +98,53 @@ class ArtifactStore:
         """Artifact count per stage, sorted by stage name."""
         counts: dict[str, int] = {}
         for stage_dir in sorted(self.root.iterdir()):
-            if stage_dir.is_dir():
+            if stage_dir.is_dir() and stage_dir.name != QUARANTINE_DIRNAME:
                 counts[stage_dir.name] = sum(
                     1 for _ in stage_dir.glob("*/*.pkl")
                 )
         return counts
 
     def get(self, stage: str, key: str) -> Optional[object]:
-        """Load one artifact payload, or None if absent/stale/unreadable."""
+        """Load one artifact payload, or None if absent/stale/damaged.
+
+        A stale-schema envelope is a plain miss (an upgrade left it
+        behind; :meth:`vacuum` collects it).  Torn bytes, a checksum
+        mismatch, a stage mismatch or an unpicklable payload mean the
+        file is *damaged*: it is quarantined -- so the next lookup is a
+        clean miss -- and the stage is recomputed, never a crash.
+        """
         path = self.path(stage, key)
         try:
             with path.open("rb") as handle:
                 envelope = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return None
         except Exception:
-            # Anything unreadable is a miss, never a crash: unpickling
+            # Anything unreadable is damage, never a crash: unpickling
             # arbitrary stale bytes can raise far more than PickleError
             # (ImportError after a payload class moved, ValueError,
-            # IndexError...), and vacuum() relies on get() degrading
-            # gracefully to identify exactly these files as collectable.
+            # IndexError...).
+            self._quarantine(path)
             return None
         if not isinstance(envelope, dict):
+            self._quarantine(path)
             return None
         if envelope.get("schema") != ARTIFACT_SCHEMA:
             return None
-        if envelope.get("stage") != stage:
+        payload_bytes = envelope.get("payload")
+        if (
+            envelope.get("stage") != stage
+            or not isinstance(payload_bytes, bytes)
+            or zlib.crc32(payload_bytes) != envelope.get("checksum")
+        ):
+            self._quarantine(path)
+            return None
+        try:
+            payload = pickle.loads(payload_bytes)
+        except Exception:
+            self._quarantine(path)
             return None
         try:
             # Touch on hit: mtime becomes a last-use clock, so size-based
@@ -117,12 +152,43 @@ class ArtifactStore:
             os.utime(path)
         except OSError:
             pass
-        return envelope.get("payload")
+        return payload
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a damaged artifact into ``quarantine/``, preserving it.
+
+        Same-filesystem rename: concurrent readers see either the damaged
+        file or a miss, never a partial.  Vanished-first (another reader
+        won the race) is fine.
+        """
+        target_dir = self.root / QUARANTINE_DIRNAME
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        except OSError:
+            return
+        obs_metrics.registry().counter("artifacts.quarantined").inc()
+
+    def quarantined_count(self) -> int:
+        """Files sitting in this store's quarantine directory."""
+        directory = self.root / QUARANTINE_DIRNAME
+        if not directory.is_dir():
+            return 0
+        return sum(1 for path in directory.iterdir() if path.is_file())
 
     def put(self, stage: str, key: str, payload: object) -> None:
-        """Atomically persist one artifact payload."""
-        envelope = {"schema": ARTIFACT_SCHEMA, "stage": stage, "payload": payload}
-        data = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+        """Atomically persist one artifact payload (checksummed)."""
+        payload_bytes = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        envelope = {
+            "schema": ARTIFACT_SCHEMA,
+            "stage": stage,
+            "checksum": zlib.crc32(payload_bytes),
+            "payload": payload_bytes,
+        }
+        data = faults.mangle(
+            "artifact.write",
+            pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL),
+        )
         metrics = obs_metrics.registry()
         metrics.counter("artifacts.puts").inc()
         metrics.counter("artifacts.put_bytes").inc(len(data))
@@ -178,7 +244,9 @@ class ArtifactStore:
                     path.unlink()
                     removed += 1
                 except FileNotFoundError:
-                    pass
+                    # The probing get() just quarantined it: gone from the
+                    # store either way, so it counts as removed.
+                    removed += 1
         obs_metrics.registry().counter("artifacts.vacuum_removed").inc(removed)
         return removed
 

@@ -5,10 +5,13 @@
     python -m repro.sweep run     [--spec FILE] [--workers N] [--results-dir DIR]
                                   [--granularity benchmark|loop]
                                   [--prune-model] [--prune-keep F] [--calibration FILE]
+                                  [--max-retries N] [--job-timeout S]
+                                  [--max-failures N | --fail-fast] [--keep-failed]
     python -m repro.sweep status  [--spec FILE] [--results-dir DIR]
     python -m repro.sweep report  [--results-dir DIR] [--sort METRIC] [--benchmark NAME]
                                   [--granularity benchmark|loop|all]
-                                  [--format table|json] [--source simulator|model]
+                                  [--format table|json]
+                                  [--source simulator|model|failed]
                                   [--timings]
     python -m repro.sweep trace   RESULTS_DIR [--output FILE] [--folded]
     python -m repro.sweep runs    RESULTS_DIR [--limit N] [--spec-hash HASH]
@@ -19,6 +22,7 @@
     python -m repro.sweep vacuum  [--results-dir DIR] [--max-bytes N]
     python -m repro.sweep serve   RESULTS_DIR [--workers N]
                                   [--socket PATH | --port P] [--queue-cap N]
+                                  [--max-retries N] [--job-timeout S]
     python -m repro.sweep submit  RESULTS_DIR SPEC [--wait]
                                   [--socket PATH | --port P]
     python -m repro.sweep stats   RESULTS_DIR [--socket PATH | --port P]
@@ -35,6 +39,13 @@ same benchmark-level records.  With ``--prune-model`` the analytical model
 records.  ``vacuum`` drops payloads orphaned by crashes mid-save; with
 ``--max-bytes`` it also evicts the coldest artifact files (LRU by mtime)
 until the artifact store fits the budget.
+
+Execution is fault-tolerant by default (see docs/robustness.md): dead or
+hung workers are respawned, their jobs retried with backoff, and a job
+that exhausts ``--max-retries`` is *quarantined* as a ``source="failed"``
+record so the sweep completes with partial results -- rerunning retries
+quarantined keys unless ``--keep-failed``.  ``--fail-fast`` /
+``--max-failures`` opt back into aborting.
 
 ``serve`` keeps one long-lived service on a store: persistent workers, a
 work-stealing scheduler, and cross-client dedup of content-addressed jobs
@@ -75,6 +86,7 @@ from repro.sweep.executor import (
     default_workers,
     run_sweep,
 )
+from repro.sweep.scheduler import WorkerFailure
 from repro.sweep.report import (
     DEFAULT_METRICS,
     render_regress,
@@ -159,6 +171,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
 
     def progress(done: int, total: int, outcome: JobOutcome) -> None:
+        if outcome.failed:
+            error = outcome.record.get("error", "?")
+            print(
+                f"  [{done:>3}/{total}] fail  {outcome.job.benchmark:<12} "
+                f"{outcome.job.architecture:<24} {error}"
+            )
+            return
         # Pruned outcomes stay labelled "model" even when their record was
         # reused from the store -- the point was never simulated.
         state = "model" if outcome.pruned else ("hit  " if outcome.cached else "ran  ")
@@ -169,26 +188,48 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{outcome.job.architecture:<24} total_cycles={cycles}"
         )
 
-    summary = run_sweep(
-        spec,
-        store=store,
-        workers=workers,
-        force=args.force,
-        progress=progress if not args.quiet else None,
-        prune=prune,
-        granularity=args.granularity,
-    )
+    try:
+        summary = run_sweep(
+            spec,
+            store=store,
+            workers=workers,
+            force=args.force,
+            progress=progress if not args.quiet else None,
+            prune=prune,
+            granularity=args.granularity,
+            max_retries=args.max_retries,
+            job_timeout=args.job_timeout,
+            max_failures=args.max_failures,
+            fail_fast=args.fail_fast,
+            keep_failed=args.keep_failed,
+        )
+    except WorkerFailure as error:
+        # --fail-fast / --max-failures tripped; the failed records are
+        # already quarantined in the store.
+        print(f"aborted: {error}", file=sys.stderr)
+        return 1
     info = summary.describe()
     done_line = (
         f"done: {info['executed']} executed, {info['cache_hits']} cache hits, "
         f"{info['pruned']} model-pruned in {info['elapsed_seconds']}s"
     )
+    if summary.failed:
+        done_line += f" ({summary.failed} failed/quarantined)"
     if summary.granularity == "loop":
         done_line += (
             f" ({info['loop_jobs']} loop jobs, {info['loop_cache_hits']} loop "
             f"cache hits, {info['peak_parallelism']} concurrent)"
         )
     print(done_line)
+    if summary.retried or summary.respawned or summary.timeouts:
+        print(
+            f"supervision: {summary.retried} retried, "
+            f"{summary.respawned} worker(s) respawned, "
+            f"{summary.timeouts} timeout(s)"
+        )
+    if summary.failed_keys:
+        for key in summary.failed_keys:
+            print(f"  quarantined: {key}", file=sys.stderr)
     if summary.stage_hits or summary.stage_misses:
         print(summary.stage_cache_line())
     if summary.telemetry_dir is not None:
@@ -202,7 +243,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         records = [r for r in store.records() if r.get("key") in keys]
         print()
         print(render_report(records, title=f"Sweep results - {spec.name}"))
-    return 0
+    return 1 if summary.failed else 0
 
 
 def _missing_telemetry_message(root: Path) -> str:
@@ -433,6 +474,16 @@ def _cmd_vacuum(args: argparse.Namespace) -> int:
             )
     elif args.max_bytes is not None:
         print(f"no artifact store under {store.root}; nothing to evict")
+    quarantined = store.quarantined_counts()
+    quarantined_artifacts = (
+        artifacts.quarantined_count() if artifacts is not None else 0
+    )
+    if any(quarantined.values()) or quarantined_artifacts:
+        print(
+            f"quarantine: {quarantined['records']} record(s), "
+            f"{quarantined['payloads']} payload(s), "
+            f"{quarantined_artifacts} artifact(s) held for inspection"
+        )
     return 0
 
 
@@ -458,6 +509,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         Path(args.results_dir),
         workers=args.workers,
         queue_cap=args.queue_cap,
+        max_retries=args.max_retries,
+        job_timeout=args.job_timeout,
     )
     if args.port is not None:
         endpoint = f"{args.host}:{args.port}"
@@ -513,8 +566,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 f"total_cycles={cycles}"
             )
         elif kind == "job_failed":
+            attempts = event.get("attempts")
+            suffix = f" after {attempts} attempt(s)" if attempts else ""
             print(
-                f"  job {event.get('key', '?')[:12]} failed: "
+                f"  job {event.get('key', '?')[:12]} failed{suffix}: "
                 f"{event.get('error')}",
                 file=sys.stderr,
             )
@@ -587,8 +642,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     )
     print(
         f"jobs: executed {jobs['executed']}, failed {jobs['failed']}, "
+        f"quarantined {jobs.get('quarantined', 0)}, "
         f"cancelled {jobs['cancelled']}"
     )
+    supervision = stats.get("supervision") or {}
+    if any(supervision.values()):
+        print(
+            f"supervision: {supervision.get('retried', 0)} retried, "
+            f"{supervision.get('respawned', 0)} worker(s) respawned, "
+            f"{supervision.get('timeouts', 0)} timeout(s)"
+        )
     return 0
 
 
@@ -647,6 +710,41 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="with --prune-model: apply a fitted model calibration (JSON) "
         "before ranking",
     )
+    run_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="attempts beyond the first before a job is quarantined "
+        "(default 2)",
+    )
+    run_parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock limit per job; a worker exceeding it is killed "
+        "and the job retried (default: no limit)",
+    )
+    run_parser.add_argument(
+        "--max-failures",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort the sweep once more than N jobs are quarantined "
+        "(default: never abort; failed jobs are recorded and skipped)",
+    )
+    run_parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort on the first quarantined job (same as --max-failures 0)",
+    )
+    run_parser.add_argument(
+        "--keep-failed",
+        action="store_true",
+        help="do not retry previously quarantined keys; keep their "
+        "failed records as-is",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     status_parser = sub.add_parser("status", help="summarize the result store")
@@ -676,9 +774,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     report_parser.add_argument(
         "--source",
-        choices=("simulator", "model"),
+        choices=("simulator", "model", "failed"),
         default=None,
-        help="only show records from one source",
+        help="only show records from one source ('failed' lists "
+        "quarantined jobs)",
     )
     report_parser.add_argument(
         "--granularity",
@@ -884,6 +983,22 @@ def main(argv: Optional[list[str]] = None) -> int:
         metavar="N",
         help="reject submits that would push the job backlog past N "
         "(default 1024); rejected clients get a retry_after hint",
+    )
+    serve_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="attempts beyond the first before a job is quarantined "
+        "(default 2)",
+    )
+    serve_parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock limit per job; a worker exceeding it is killed "
+        "and the job retried (default: no limit)",
     )
     serve_parser.set_defaults(func=_cmd_serve)
 

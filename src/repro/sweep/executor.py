@@ -48,11 +48,14 @@ from __future__ import annotations
 import hashlib
 import math
 import os
+import socket
+import time
+import traceback as traceback_module
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Optional, Sequence, Union
 
-from repro import kernels
+from repro import faults, kernels
 from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import profilehook as obs_profilehook
@@ -61,7 +64,12 @@ from repro.scheduler.pipeline import compile_loop
 from repro.sim.engine import simulate_compiled_loops
 from repro.sim.stats import BenchmarkSimulationResult, merge_benchmark_results
 from repro.sweep.artifacts import ARTIFACTS_DIRNAME, ArtifactCache, ArtifactStore
-from repro.sweep.scheduler import WorkStealingScheduler
+from repro.sweep.scheduler import (
+    JobCompletion,
+    WorkerFailure,
+    WorkStealingScheduler,
+    retry_delay,
+)
 from repro.sweep.spec import SweepJob, SweepSpec, expand_loop_jobs
 from repro.sweep.store import ResultStore
 from repro.sweep.workloads import resolve_loop, resolve_workload
@@ -154,13 +162,60 @@ def make_model_record(
     }
 
 
-def is_simulated_record(record: Optional[dict]) -> bool:
-    """True for records the simulator produced (model records don't count).
+#: Schema of the quarantined-job record :func:`make_failed_record` writes.
+FAILED_RECORD_SCHEMA = 1
 
+#: How many trailing traceback lines a failed record keeps.
+TRACEBACK_TAIL_LINES = 20
+
+
+def make_failed_record(
+    job: SweepJob,
+    error: str,
+    attempts: int,
+    traceback_text: Optional[str] = None,
+) -> dict:
+    """Assemble the quarantine record of a job that exhausted its retries.
+
+    Written through the normal store path (``source="failed"``) so sweeps
+    and service sessions complete with partial results and the failure is
+    queryable like any record.  A failed record never satisfies the
+    cache-hit check -- a rerun retries the job -- unless the rerun opts
+    into ``keep_failed``.
+    """
+    tail = None
+    if traceback_text:
+        lines = traceback_text.strip().splitlines()
+        tail = "\n".join(lines[-TRACEBACK_TAIL_LINES:])
+    return {
+        "key": job.key,
+        "architecture": job.architecture,
+        "job": job.describe(),
+        "source": "failed",
+        "failed_schema": FAILED_RECORD_SCHEMA,
+        "error": error,
+        "traceback": tail,
+        "attempts": attempts,
+        "host": socket.gethostname(),
+        "source_timing": "failed",
+        "worker_pid": os.getpid(),
+    }
+
+
+def is_simulated_record(record: Optional[dict]) -> bool:
+    """True for records the simulator produced.
+
+    Model-only and failed records don't count: either way the job is
+    recomputed (and its record overwritten) on the next unpruned run.
     Records written before the ``source`` field existed are simulator
     records.
     """
-    return record is not None and record.get("source", "simulator") != "model"
+    return record is not None and record.get("source", "simulator") == "simulator"
+
+
+def is_failed_record(record: Optional[dict]) -> bool:
+    """True for quarantine records left by a job that exhausted retries."""
+    return record is not None and record.get("source") == "failed"
 
 
 def execute_job(job: SweepJob) -> tuple[dict, BenchmarkSimulationResult]:
@@ -183,6 +238,7 @@ def execute_job(job: SweepJob) -> tuple[dict, BenchmarkSimulationResult]:
         architecture=job.architecture,
         key=job.key[:12],
     ) as job_span:
+        faults.fire("executor.job")
         benchmark = resolve_workload(job.benchmark)
         if job.loop is None:
             loops = benchmark.loops
@@ -238,6 +294,7 @@ class JobOutcome:
     cached: bool
     result: Optional[BenchmarkSimulationResult] = None
     pruned: bool = False
+    failed: bool = False
 
     @property
     def key(self) -> str:
@@ -299,6 +356,15 @@ class SweepRunSummary:
     peak_parallelism: int = 0
     stage_hits: dict[str, int] = field(default_factory=dict)
     stage_misses: dict[str, int] = field(default_factory=dict)
+    #: Jobs that exhausted their retry budget and were quarantined as
+    #: ``source="failed"`` records (never counted in ``executed``).
+    failed: int = 0
+    failed_keys: list[str] = field(default_factory=list)
+    #: Supervision counters from the scheduler: attempts requeued after a
+    #: failure, worker processes replaced, jobs killed by ``job_timeout``.
+    retried: int = 0
+    respawned: int = 0
+    timeouts: int = 0
     #: Where this run's merged telemetry was written (``<store>/obs``), or
     #: None for storeless or ``REPRO_OBS=off`` runs.
     telemetry_dir: Optional[Path] = None
@@ -315,6 +381,12 @@ class SweepRunSummary:
             "peak_parallelism": self.peak_parallelism,
             "elapsed_seconds": round(self.elapsed_seconds, 3),
         }
+        if self.failed:
+            info["failed"] = self.failed
+        if self.retried or self.respawned or self.timeouts:
+            info["retried"] = self.retried
+            info["respawned"] = self.respawned
+            info["timeouts"] = self.timeouts
         if self.granularity == "loop":
             info["loop_jobs"] = self.loop_jobs
             info["loop_cache_hits"] = self.loop_cache_hits
@@ -459,6 +531,11 @@ def run_jobs(
     prune: Optional[PruneOptions] = None,
     granularity: str = "benchmark",
     artifacts: Union[ArtifactStore, Path, str, None] = None,
+    max_retries: int = 2,
+    job_timeout: Optional[float] = None,
+    max_failures: Optional[int] = None,
+    fail_fast: bool = False,
+    keep_failed: bool = False,
 ) -> SweepRunSummary:
     """Execute jobs, skipping stored results, optionally in parallel.
 
@@ -467,7 +544,19 @@ def run_jobs(
     pickle payloads; without one, everything is computed in memory.  Only
     *simulator* records count as cache hits -- a model-only record left by
     a pruned run is recomputed (and overwritten) once the job is actually
-    simulated.
+    simulated, and a ``source="failed"`` quarantine record is retried
+    (unless ``keep_failed`` leaves quarantined keys alone).
+
+    A job whose attempts all fail -- worker death, timeout, worker-side
+    exception -- is retried ``max_retries`` times (with backoff) and then
+    *quarantined*: a failed record is saved through the normal store path
+    and the sweep continues, so a run completes with partial results by
+    default.  ``fail_fast`` aborts on the first quarantined job,
+    ``max_failures`` after more than N of them; either way the abort
+    raises :class:`~repro.sweep.scheduler.WorkerFailure` *after* the
+    failed records are saved.  ``job_timeout`` bounds one attempt's
+    wall-clock seconds (multi-worker runs only: the in-process path has
+    no supervisor to kill a hung attempt).
 
     With ``granularity="loop"`` every pending benchmark-level job is split
     into per-loop jobs that are scheduled across the pool individually and
@@ -515,12 +604,20 @@ def run_jobs(
 
         outcomes: list[JobOutcome] = []
         pending: list[SweepJob] = []
+        kept_failed = 0
         for job in unique:
             record = (
                 None if (force or store is None) else store.load_record(job.key)
             )
             if is_simulated_record(record):
                 outcomes.append(JobOutcome(job=job, record=record, cached=True))
+            elif keep_failed and is_failed_record(record):
+                # The caller asked not to retry quarantined keys; their
+                # failed records ride along as cached outcomes.
+                outcomes.append(
+                    JobOutcome(job=job, record=record, cached=True, failed=True)
+                )
+                kept_failed += 1
             else:
                 pending.append(job)
 
@@ -606,17 +703,43 @@ def run_jobs(
         summary = SweepRunSummary(
             total=total,
             executed=len(pending),
-            cache_hits=total - len(pending) - len(pruned_jobs),
+            cache_hits=total - len(pending) - len(pruned_jobs) - kept_failed,
             workers=1,
             elapsed_seconds=0.0,
             outcomes=outcomes,
             pruned=len(pruned_jobs),
             granularity=granularity,
+            failed=kept_failed,
+            failed_keys=[
+                outcome.key for outcome in outcomes if outcome.failed
+            ],
         )
+
+        # fail_fast is "abort after 0 tolerated failures"; max_failures
+        # tolerates N quarantined jobs before aborting; None never aborts.
+        failure_budget = 0 if fail_fast else max_failures
+        failure_count = 0
+
+        def finish_failed(job: SweepJob, completion: JobCompletion) -> bool:
+            nonlocal failure_count
+            record = make_failed_record(
+                job, completion.error, completion.attempts, completion.traceback
+            )
+            if store is not None:
+                store.save(job.key, record)
+                # A retried key may hold a payload from an earlier
+                # successful run; it must not outlive its record.
+                store.discard_payload(job.key)
+            summary.failed += 1
+            summary.failed_keys.append(job.key)
+            summary.executed -= 1
+            finish(JobOutcome(job=job, record=record, cached=False, failed=True))
+            failure_count += 1
+            return failure_budget is None or failure_count <= failure_budget
 
         loop_stats = {"jobs": 0, "cache_hits": 0}
         if granularity == "loop":
-            run_units = _execute_loop_granularity(
+            run_units, supervision = _execute_loop_granularity(
                 pending,
                 store,
                 workers,
@@ -627,6 +750,9 @@ def run_jobs(
                 artifacts_root,
                 summary.record_stage_stats,
                 shard_dir,
+                max_retries=max_retries,
+                job_timeout=job_timeout,
+                on_parent_failure=finish_failed,
             )
         else:
             run_units = pending
@@ -642,14 +768,20 @@ def run_jobs(
                         "granularity": granularity,
                     },
                 )
-            _dispatch(
+            supervision = _dispatch(
                 pending,
                 workers,
                 finish_executed,
                 artifacts_root,
                 summary.record_stage_stats,
                 shard_dir,
+                max_retries=max_retries,
+                job_timeout=job_timeout,
+                on_failure=finish_failed,
             )
+        summary.retried = supervision["retried"]
+        summary.respawned = supervision["respawned"]
+        summary.timeouts = supervision["timeouts"]
 
         summary.workers = max(1, min(workers, len(run_units)))
         summary.loop_jobs = loop_stats["jobs"]
@@ -688,7 +820,10 @@ def _dispatch(
     artifacts_root: Optional[Path] = None,
     on_stats: Optional[Callable[[dict], None]] = None,
     shard_dir: Optional[Path] = None,
-) -> None:
+    max_retries: int = 2,
+    job_timeout: Optional[float] = None,
+    on_failure: Optional[Callable[[SweepJob, JobCompletion], bool]] = None,
+) -> dict[str, int]:
     """Execute jobs in-process or across workers, streaming completions.
 
     ``handle`` is called in the parent process as each job finishes
@@ -696,9 +831,19 @@ def _dispatch(
     in-process).  The multi-worker path runs on a
     :class:`~repro.sweep.scheduler.WorkStealingScheduler` -- one
     benchmark's jobs stay affine to one worker's warm caches, idle
-    workers steal -- torn down when the call returns; the long-lived
-    service keeps its own scheduler alive across submissions instead of
-    calling this.  With ``artifacts_root`` every executing process --
+    workers steal, the pump supervises (respawn, ``job_timeout``,
+    retries) -- torn down when the call returns; the long-lived service
+    keeps its own scheduler alive across submissions instead of calling
+    this.  The in-process path retries a failed attempt with the same
+    backoff, but catches only ``Exception``: it cannot survive a crash
+    or kill a hang of its own process, and ``job_timeout`` is therefore
+    ignored there.
+
+    A job that exhausts ``max_retries`` goes to ``on_failure(job,
+    completion)``; returning True continues, False (or no handler)
+    raises :class:`~repro.sweep.scheduler.WorkerFailure`.
+
+    With ``artifacts_root`` every executing process --
     scheduler workers via their initializer, the in-process path for the
     duration of the call -- binds its stage cache to that store;
     ``on_stats`` receives each finished job's per-stage hit/miss
@@ -706,15 +851,26 @@ def _dispatch(
     telemetry to a per-pid JSONL shard there after each job, which is
     what gives ``repro-sweep watch`` live progress whatever the worker
     count.
+
+    Returns the supervision counters of the run
+    (``retried``/``respawned``/``timeouts``).
     """
+    counters = {"retried": 0, "respawned": 0, "timeouts": 0}
     pool_size = min(workers, len(jobs))
     if pool_size > 1:
         scheduler = WorkStealingScheduler(
-            pool_size, artifacts_root=artifacts_root, shard_dir=shard_dir
+            pool_size,
+            artifacts_root=artifacts_root,
+            shard_dir=shard_dir,
+            max_retries=max_retries,
+            job_timeout=job_timeout,
         )
         try:
-            scheduler.run_all(jobs, handle, on_stats)
+            scheduler.run_all(jobs, handle, on_stats, on_failure=on_failure)
         finally:
+            lifetime = scheduler.counters()
+            for name in counters:
+                counters[name] = lifetime[name]
             scheduler.close()
     else:
         global _ARTIFACTS
@@ -730,17 +886,43 @@ def _dispatch(
             obs_events.configure_shard(shard_dir)
         try:
             for job in jobs:
-                record, result = execute_job(job)
-                if on_stats is not None:
-                    on_stats(artifact_cache().take_stats())
-                handle(job, record, result)
-                if shard_dir is not None:
-                    obs_events.flush_shard()
+                attempts = 0
+                while True:
+                    attempts += 1
+                    try:
+                        record, result = execute_job(job)
+                    except Exception as error:  # noqa: BLE001 - retried/quarantined
+                        if attempts <= max_retries:
+                            counters["retried"] += 1
+                            time.sleep(retry_delay(job.key, attempts))
+                            continue
+                        completion = JobCompletion(
+                            job.key,
+                            None,
+                            None,
+                            None,
+                            f"{type(error).__name__}: {error}",
+                            attempts,
+                            traceback_module.format_exc(),
+                        )
+                        if on_failure is not None and on_failure(job, completion):
+                            break
+                        raise WorkerFailure(
+                            f"job {job.key[:12]} failed after {attempts} "
+                            f"attempt(s): {completion.error}"
+                        ) from error
+                    if on_stats is not None:
+                        on_stats(artifact_cache().take_stats())
+                    handle(job, record, result)
+                    if shard_dir is not None:
+                        obs_events.flush_shard()
+                    break
         finally:
             if artifacts_root is not None:
                 _ARTIFACTS = previous
             if shard_dir is not None:
                 obs_events.configure_shard(None)
+    return counters
 
 
 def _execute_loop_granularity(
@@ -754,7 +936,10 @@ def _execute_loop_granularity(
     artifacts_root: Optional[Path] = None,
     on_stats: Optional[Callable[[dict], None]] = None,
     shard_dir: Optional[Path] = None,
-) -> list[SweepJob]:
+    max_retries: int = 2,
+    job_timeout: Optional[float] = None,
+    on_parent_failure: Optional[Callable[[SweepJob, JobCompletion], bool]] = None,
+) -> tuple[list[SweepJob], dict[str, int]]:
     """Fan the pending benchmark jobs out as per-loop jobs and reassemble.
 
     Each benchmark job expands into one job per loop (benchmark order);
@@ -765,7 +950,13 @@ def _execute_loop_granularity(
     persists.  Loop-level records and payloads are stored as well, so an
     interrupted run resumes loop by loop.
 
-    Returns the loop jobs actually executed (the run's schedulable units).
+    A loop job that exhausts its retries is quarantined at loop level
+    (its own failed record) and dooms its parent benchmark jobs: once
+    all of a doomed parent's loops finish, the parent goes to
+    ``on_parent_failure`` instead of aggregating.
+
+    Returns the loop jobs actually executed (the run's schedulable
+    units) and the dispatch's supervision counters.
     """
     expansions: dict[str, list[SweepJob]] = {
         job.key: expand_loop_jobs(job) for job in pending
@@ -804,6 +995,9 @@ def _execute_loop_granularity(
         for part in parts:
             parents_of.setdefault(part.key, []).append(parent_key)
 
+    # parent key -> completions of its failed loop jobs.
+    failed_loops: dict[str, list[JobCompletion]] = {}
+
     def aggregate(parent_key: str) -> None:
         parent = parents[parent_key]
         parts = [loop_results[part.key] for part in expansions[parent_key]]
@@ -829,6 +1023,31 @@ def _execute_loop_granularity(
             merged,
         )
 
+    def finalize(parent_key: str) -> bool:
+        """Aggregate a finished parent, or hand a doomed one to the
+        failure callback; returns whether the sweep continues."""
+        completions = failed_loops.pop(parent_key, None)
+        if completions is None:
+            aggregate(parent_key)
+            return True
+        last = completions[-1]
+        rollup = JobCompletion(
+            key=parent_key,
+            record=None,
+            result=None,
+            stats=None,
+            error=(
+                f"{len(completions)} loop job(s) failed; last: {last.error}"
+            ),
+            attempts=max(c.attempts for c in completions),
+            traceback=last.traceback,
+        )
+        if on_parent_failure is None:
+            raise WorkerFailure(
+                f"job {parent_key[:12]} failed: {rollup.error}"
+            )
+        return on_parent_failure(parents[parent_key], rollup)
+
     def finish_loop(loop_job: SweepJob, record: dict, result) -> None:
         if store is not None:
             store.save(
@@ -838,12 +1057,32 @@ def _execute_loop_granularity(
         for parent_key in parents_of.get(loop_job.key, ()):
             remaining[parent_key] -= 1
             if remaining[parent_key] == 0:
-                aggregate(parent_key)
+                finalize(parent_key)
+
+    def fail_loop(loop_job: SweepJob, completion: JobCompletion) -> bool:
+        if store is not None:
+            store.save(
+                loop_job.key,
+                make_failed_record(
+                    loop_job,
+                    completion.error,
+                    completion.attempts,
+                    completion.traceback,
+                ),
+            )
+            store.discard_payload(loop_job.key)
+        keep_going = True
+        for parent_key in parents_of.get(loop_job.key, ()):
+            failed_loops.setdefault(parent_key, []).append(completion)
+            remaining[parent_key] -= 1
+            if remaining[parent_key] == 0 and not finalize(parent_key):
+                keep_going = False
+        return keep_going
 
     # Benchmarks fully served from stored loop results aggregate up front.
     for parent_key, count in list(remaining.items()):
         if count == 0:
-            aggregate(parent_key)
+            finalize(parent_key)
 
     if shard_dir is not None and store is not None and to_run:
         obs_events.write_run_header(
@@ -857,8 +1096,18 @@ def _execute_loop_granularity(
                 "granularity": "loop",
             },
         )
-    _dispatch(to_run, workers, finish_loop, artifacts_root, on_stats, shard_dir)
-    return to_run
+    supervision = _dispatch(
+        to_run,
+        workers,
+        finish_loop,
+        artifacts_root,
+        on_stats,
+        shard_dir,
+        max_retries=max_retries,
+        job_timeout=job_timeout,
+        on_failure=fail_loop,
+    )
+    return to_run, supervision
 
 
 def run_sweep(
@@ -871,6 +1120,11 @@ def run_sweep(
     prune: Optional[PruneOptions] = None,
     granularity: str = "benchmark",
     artifacts: Union[ArtifactStore, Path, str, None] = None,
+    max_retries: int = 2,
+    job_timeout: Optional[float] = None,
+    max_failures: Optional[int] = None,
+    fail_fast: bool = False,
+    keep_failed: bool = False,
 ) -> SweepRunSummary:
     """Expand a spec and execute the resulting grid."""
     return run_jobs(
@@ -883,4 +1137,9 @@ def run_sweep(
         prune=prune,
         granularity=granularity,
         artifacts=artifacts,
+        max_retries=max_retries,
+        job_timeout=job_timeout,
+        max_failures=max_failures,
+        fail_fast=fail_fast,
+        keep_failed=keep_failed,
     )

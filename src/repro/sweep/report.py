@@ -415,9 +415,11 @@ def render_watch(snapshot: Mapping) -> str:
     header = snapshot["header"]
     share = f" ({done / total:.0%})" if total else ""
     kind = "service" if header.get("service") else "run"
+    failed = int(header.get("failed") or 0)
+    failed_text = f", {failed} failed" if failed else ""
     lines = [
         f"{kind} {header.get('run_id', '?')}: "
-        f"{done}/{total or '?'} jobs{share}, "
+        f"{done}/{total or '?'} jobs{share}{failed_text}, "
         f"{snapshot['elapsed_seconds']:.1f}s elapsed"
     ]
     if header.get("service"):
@@ -494,19 +496,29 @@ def render_status(
     keys = store.keys()
     lines = [f"result store: {store.root}"]
     per_benchmark: dict[str, int] = {}
+    failed_per_benchmark: dict[str, int] = {}
     model_only = 0
+    failed = 0
     loop_level = 0
     benchmark_level = 0
     simulated_keys: set[str] = set()
+    failed_keys: set[str] = set()
     for record in store.records():
+        source = record.get("source", "simulator")
         if record_granularity(record) == "loop":
             loop_level += 1
+            if source == "failed":
+                failed += 1
             continue
         benchmark_level += 1
         name = record.get("job", {}).get("benchmark", "?")
         per_benchmark[name] = per_benchmark.get(name, 0) + 1
-        if record.get("source", "simulator") == "model":
+        if source == "model":
             model_only += 1
+        elif source == "failed":
+            failed += 1
+            failed_per_benchmark[name] = failed_per_benchmark.get(name, 0) + 1
+            failed_keys.add(str(record.get("key", "")))
         else:
             simulated_keys.add(str(record.get("key", "")))
     summary = f"stored records: {benchmark_level}"
@@ -516,7 +528,22 @@ def render_status(
         summary += f" + {loop_level} loop-level"
     lines.append(summary)
     for name in sorted(per_benchmark):
-        lines.append(f"  {name}: {per_benchmark[name]}")
+        suffix = ""
+        if failed_per_benchmark.get(name):
+            suffix = f" ({failed_per_benchmark[name]} failed)"
+        lines.append(f"  {name}: {per_benchmark[name]}{suffix}")
+    if failed:
+        lines.append(
+            f"failed/quarantined records: {failed} "
+            "(rerun retries them; --keep-failed preserves them)"
+        )
+    quarantined = store.quarantined_counts()
+    if any(quarantined.values()):
+        lines.append(
+            f"quarantined files: {quarantined['records']} record(s), "
+            f"{quarantined['payloads']} payload(s) under "
+            f"{store.root / 'quarantine'}"
+        )
     if artifacts is not None:
         counts = artifacts.stats()
         total = sum(counts.values())
@@ -526,18 +553,25 @@ def render_status(
         lines.append(
             f"stage artifacts: {total}" + (f" ({breakdown})" if breakdown else "")
         )
+        held = artifacts.quarantined_count()
+        if held:
+            lines.append(f"quarantined artifacts: {held}")
     if spec is not None:
         jobs = spec.expand()
         stored = set(keys)
         done = sum(1 for job in jobs if job.key in simulated_keys)
+        failed_points = sum(1 for job in jobs if job.key in failed_keys)
         pruned = sum(
             1
             for job in jobs
-            if job.key in stored and job.key not in simulated_keys
+            if job.key in stored
+            and job.key not in simulated_keys
+            and job.key not in failed_keys
         )
         lines.append(
             f"spec {spec.name!r}: {done}/{len(jobs)} points simulated"
             + (f", {pruned} model-only" if pruned else "")
+            + (f", {failed_points} failed" if failed_points else "")
             + ("" if done < len(jobs) else " (complete)")
         )
     return "\n".join(lines)

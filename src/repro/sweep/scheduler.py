@@ -1,4 +1,4 @@
-"""Work-stealing job scheduler over persistent worker processes.
+"""Work-stealing job scheduler over persistent, supervised workers.
 
 The pool-based fan-out the executor shipped with (``pool.imap_unordered``)
 had two structural limits the long-lived sweep service runs into head-on:
@@ -30,6 +30,25 @@ processes and parent-side per-worker deques:
   what :meth:`run_all` folds back into the executor's blocking
   "handle each completion in the caller's thread" contract.
 
+The pump thread doubles as the **supervisor**.  Every poll interval it:
+
+* reaps workers that died (``proc.is_alive()`` false while marked live),
+  requeues their in-flight job and **respawns** a replacement in the same
+  slot, up to ``max_respawns`` lifetime replacements;
+* kills workers whose current job exceeded ``job_timeout`` seconds (the
+  hung worker is indistinguishable from a dead one once killed, so the
+  same requeue/respawn path recovers it);
+* releases jobs whose retry backoff has expired back onto their home
+  deque.
+
+A job whose attempt fails -- worker death, timeout, or a worker-side
+exception -- is **retried** up to ``max_retries`` times with exponential
+backoff and deterministic per-key jitter before its callbacks finally see
+a failed :class:`JobCompletion` (carrying the attempt count and the last
+traceback).  Callers that want the old fail-fast contract pass
+``on_failure=None`` to :meth:`run_all` and still get
+:class:`WorkerFailure` on the first terminal failure.
+
 Workers initialize exactly like pool workers did
 (:func:`repro.sweep.executor._init_worker`: artifact cache binding, obs
 reset/shard/profile hooks) and run :func:`repro.sweep.executor.execute_job`
@@ -43,17 +62,30 @@ import multiprocessing
 import os
 import queue
 import threading
+import time
+import traceback as traceback_module
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
+from repro import faults
 from repro.obs import profilehook as obs_profilehook
 from repro.obs import trace as obs
 
-#: How long the pump thread waits on the result queue before checking for
-#: dead workers and shutdown; pure liveness, not a rate limit.
+#: How long the pump thread waits on the result queue before running the
+#: supervisor pass (reap/respawn/timeout/backoff); pure liveness, not a
+#: rate limit.
 _PUMP_POLL_SECONDS = 0.2
+
+#: Base of the exponential retry backoff: attempt ``n`` waits
+#: ``base * 2**(n-1)`` seconds plus per-key jitter.  Overridable for
+#: tests, which want retries measured in milliseconds.
+_RETRY_BASE_ENV = "REPRO_SWEEP_RETRY_BASE"
+_DEFAULT_RETRY_BASE_SECONDS = 0.25
+
+#: Default lifetime respawn budget per scheduler: ``workers * 2``.
+_RESPAWNS_PER_WORKER = 2
 
 
 class WorkerFailure(RuntimeError):
@@ -69,13 +101,36 @@ def _mp_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
+def _retry_base_seconds() -> float:
+    try:
+        value = float(os.environ.get(_RETRY_BASE_ENV, ""))
+    except ValueError:
+        return _DEFAULT_RETRY_BASE_SECONDS
+    return value if value > 0 else _DEFAULT_RETRY_BASE_SECONDS
+
+
+def retry_delay(key: str, attempt: int, base: Optional[float] = None) -> float:
+    """Backoff before retry ``attempt`` (1-based) of job ``key``.
+
+    Exponential in the attempt number with deterministic per-key jitter
+    (a crc32-derived fraction of the base), so colliding retries of a
+    failed batch spread out without making chaos runs irreproducible.
+    """
+    if base is None:
+        base = _retry_base_seconds()
+    jitter = (zlib.crc32(key.encode("utf-8")) % 1000) / 1000.0
+    return base * (2 ** (attempt - 1)) + base * jitter
+
+
 @dataclass
 class JobCompletion:
     """One finished job, as delivered to submit callbacks.
 
     ``error`` is None on success; on failure it carries the worker-side
-    exception rendering (or a worker-death notice) and every other payload
-    field is None.
+    exception rendering (or a worker-death/timeout notice), ``traceback``
+    the worker-side traceback when one exists, and every other payload
+    field is None.  ``attempts`` counts executions including retries --
+    1 for a job that succeeded first time.
     """
 
     key: str
@@ -83,6 +138,8 @@ class JobCompletion:
     result: Optional[object]
     stats: Optional[dict]
     error: Optional[str]
+    attempts: int = 1
+    traceback: Optional[str] = None
 
 
 def _worker_main(
@@ -102,6 +159,7 @@ def _worker_main(
     from repro.obs import events as obs_events
     from repro.sweep import executor
 
+    faults.fire("scheduler.worker")
     executor._init_worker(artifacts_root, shard_dir, obs_enabled, profile_spec)
     while True:
         job = inbox.get()
@@ -121,16 +179,17 @@ def _worker_main(
                         None,
                         None,
                         f"{type(error).__name__}: {error}",
+                        traceback_module.format_exc(),
                     )
                 )
             except Exception:
                 return
         else:
-            results.put((worker_id, job.key, record, result, stats, None))
+            results.put((worker_id, job.key, record, result, stats, None, None))
 
 
 class WorkStealingScheduler:
-    """Benchmark-affine job execution over persistent worker processes.
+    """Benchmark-affine job execution over supervised worker processes.
 
     Thread-safe: :meth:`submit` may be called from any thread (the
     service's event loop, the executor's caller) while the pump thread
@@ -144,41 +203,55 @@ class WorkStealingScheduler:
         workers: int,
         artifacts_root: Union[Path, str, None] = None,
         shard_dir: Union[Path, str, None] = None,
+        max_retries: int = 2,
+        job_timeout: Optional[float] = None,
+        max_respawns: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("a scheduler needs at least one worker")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError("job_timeout must be positive (or None)")
         self._workers = workers
+        self._max_retries = max(0, max_retries)
+        self._job_timeout = job_timeout
+        self._respawn_budget = (
+            workers * _RESPAWNS_PER_WORKER if max_respawns is None else max_respawns
+        )
         self._lock = threading.Lock()
         self._deques: list[collections.deque] = [
             collections.deque() for _ in range(workers)
         ]
         self._outstanding: list[Optional[str]] = [None] * workers
+        self._outstanding_job: list[Optional[object]] = [None] * workers
+        self._outstanding_since: list[float] = [0.0] * workers
+        self._timed_out: list[bool] = [False] * workers
         self._callbacks: dict[str, list[Callable[[JobCompletion], None]]] = {}
+        self._attempts: dict[str, int] = {}
+        self._last_traceback: dict[str, str] = {}
+        # Jobs waiting out their retry backoff: (release_monotonic, job).
+        self._delayed: list[tuple[float, object]] = []
         self._queued = 0
         self._executed = 0
         self._failed = 0
         self._stolen = 0
+        self._retried = 0
+        self._respawned = 0
+        self._timeouts = 0
         self._closed = False
-        context = _mp_context()
-        self._results = context.Queue()
+        self._context = _mp_context()
+        self._results = self._context.Queue()
         # SimpleQueue inboxes: no feeder thread per queue, and the parent's
         # put() is synchronous, so a fed job is on the wire before the lock
         # is released.
-        self._inboxes = [context.SimpleQueue() for _ in range(workers)]
-        initargs = (
+        self._inboxes = [self._context.SimpleQueue() for _ in range(workers)]
+        self._initargs = (
             str(artifacts_root) if artifacts_root is not None else None,
             str(shard_dir) if shard_dir is not None else None,
             obs.enabled(),
             obs_profilehook.spec(),
         )
         self._procs = [
-            context.Process(
-                target=_worker_main,
-                args=(index, self._inboxes[index], self._results, *initargs),
-                daemon=True,
-                name=f"sweep-worker-{index}",
-            )
-            for index in range(workers)
+            self._spawn_process(index) for index in range(workers)
         ]
         self._alive = [True] * workers
         for proc in self._procs:
@@ -188,12 +261,20 @@ class WorkStealingScheduler:
         )
         self._pump.start()
 
+    def _spawn_process(self, index: int):
+        return self._context.Process(
+            target=_worker_main,
+            args=(index, self._inboxes[index], self._results, *self._initargs),
+            daemon=True,
+            name=f"sweep-worker-{index}",
+        )
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def workers(self) -> int:
-        """Number of worker processes (dead ones included)."""
+        """Number of worker slots (dead ones included)."""
         return self._workers
 
     def home_worker(self, benchmark: str) -> int:
@@ -201,22 +282,25 @@ class WorkStealingScheduler:
         return zlib.crc32(benchmark.encode("utf-8")) % self._workers
 
     def pending(self) -> dict[str, int]:
-        """Queue depth right now: jobs queued and jobs running."""
+        """Queue depth right now: jobs queued (incl. backoff) and running."""
         with self._lock:
             return {
-                "queued": self._queued,
+                "queued": self._queued + len(self._delayed),
                 "running": sum(
                     1 for key in self._outstanding if key is not None
                 ),
             }
 
     def counters(self) -> dict[str, int]:
-        """Lifetime counters (executed/failed jobs, steals)."""
+        """Lifetime counters: jobs executed/failed, steals, supervision."""
         with self._lock:
             return {
                 "executed": self._executed,
                 "failed": self._failed,
                 "stolen": self._stolen,
+                "retried": self._retried,
+                "respawned": self._respawned,
+                "timeouts": self._timeouts,
             }
 
     # ------------------------------------------------------------------
@@ -249,7 +333,8 @@ class WorkStealingScheduler:
         """Remove a not-yet-started job; True when it was dequeued.
 
         A running job cannot be cancelled (False); its callbacks fire
-        normally when it completes.
+        normally when it completes.  A job waiting out a retry backoff
+        *can* be cancelled.
         """
         with self._lock:
             if key not in self._callbacks or key in self._outstanding:
@@ -259,9 +344,19 @@ class WorkStealingScheduler:
                     if job.key == key:
                         deque_.remove(job)
                         self._queued -= 1
-                        del self._callbacks[key]
+                        self._forget_job_locked(key)
                         return True
+            for entry in self._delayed:
+                if entry[1].key == key:
+                    self._delayed.remove(entry)
+                    self._forget_job_locked(key)
+                    return True
         return False
+
+    def _forget_job_locked(self, key: str) -> None:
+        self._callbacks.pop(key, None)
+        self._attempts.pop(key, None)
+        self._last_traceback.pop(key, None)
 
     # ------------------------------------------------------------------
     # Blocking execution (the executor's contract)
@@ -271,14 +366,19 @@ class WorkStealingScheduler:
         jobs: Sequence,
         handle: Callable,
         on_stats: Optional[Callable[[dict], None]] = None,
+        on_failure: Optional[Callable[[object, "JobCompletion"], bool]] = None,
     ) -> None:
         """Execute jobs, calling ``handle(job, record, result)`` here.
 
         The blocking twin of :meth:`submit`: completions are consumed on
         the calling thread in completion order, exactly like the old
         ``pool.imap_unordered`` loop, so store writes and progress
-        callbacks keep running in the parent.  Raises
-        :class:`WorkerFailure` on the first failed job.
+        callbacks keep running in the parent.
+
+        A failed completion (already past the scheduler's retry budget)
+        is routed to ``on_failure(job, completion)``; returning True
+        continues the sweep, False (or no ``on_failure``) raises
+        :class:`WorkerFailure`.
         """
         completions: queue.Queue = queue.Queue()
         by_key = {}
@@ -288,8 +388,13 @@ class WorkStealingScheduler:
         for _ in range(len(jobs)):
             completion = completions.get()
             if completion.error is not None:
+                if on_failure is not None and on_failure(
+                    by_key[completion.key], completion
+                ):
+                    continue
                 raise WorkerFailure(
-                    f"job {completion.key[:12]} failed: {completion.error}"
+                    f"job {completion.key[:12]} failed after "
+                    f"{completion.attempts} attempt(s): {completion.error}"
                 )
             if on_stats is not None:
                 on_stats(completion.stats)
@@ -301,26 +406,37 @@ class WorkStealingScheduler:
     def close(self, timeout: float = 10.0) -> None:
         """Drain running jobs, stop the workers, reap the pump thread.
 
-        Queued-but-unstarted jobs are *dropped*: their callbacks receive a
-        ``"scheduler closed"`` failure completion.  Jobs already on a
-        worker finish first (the exit sentinel queues behind them), and
-        their callbacks fire normally -- a graceful drain is therefore
-        "wait for your callbacks, then close".  Idempotent.
+        Queued-but-unstarted jobs (including those in retry backoff) are
+        *dropped*: their callbacks receive a ``"scheduler closed"``
+        failure completion.  Jobs already on a worker finish first (the
+        exit sentinel queues behind them), and their callbacks fire
+        normally -- a graceful drain is therefore "wait for your
+        callbacks, then close".  Idempotent.
         """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-            dropped: list[tuple[str, Callable]] = []
+            dropped: list[tuple[str, int, Callable]] = []
             for deque_ in self._deques:
                 for job in deque_:
+                    attempts = self._attempts.get(job.key, 0) + 1
                     for callback in self._callbacks.pop(job.key, []):
-                        dropped.append((job.key, callback))
+                        dropped.append((job.key, attempts, callback))
                 deque_.clear()
+            for _, job in self._delayed:
+                attempts = self._attempts.get(job.key, 0) + 1
+                for callback in self._callbacks.pop(job.key, []):
+                    dropped.append((job.key, attempts, callback))
+            self._delayed.clear()
             self._queued = 0
-        for key, callback in dropped:
-            callback(JobCompletion(key, None, None, None, "scheduler closed"))
-        for index, inbox in enumerate(self._inboxes):
+        for key, attempts, callback in dropped:
+            callback(
+                JobCompletion(
+                    key, None, None, None, "scheduler closed", attempts
+                )
+            )
+        for inbox in self._inboxes:
             try:
                 inbox.put(None)
             except (OSError, ValueError):
@@ -347,6 +463,8 @@ class WorkStealingScheduler:
             if job is None:
                 continue
             self._outstanding[index] = job.key
+            self._outstanding_job[index] = job
+            self._outstanding_since[index] = time.monotonic()
             self._inboxes[index].put(job)
 
     def _next_job_locked(self, index: int) -> Optional[object]:
@@ -367,62 +485,182 @@ class WorkStealingScheduler:
             try:
                 item = self._results.get(timeout=_PUMP_POLL_SECONDS)
             except queue.Empty:
-                failures = self._reap_dead_workers()
-                for completion, callbacks in failures:
-                    for callback in callbacks:
-                        callback(completion)
+                item = None
+            terminal = self._supervise()
+            for completion, callbacks in terminal:
+                for callback in callbacks:
+                    callback(completion)
+            if item is None:
                 with self._lock:
                     if self._closed and not self._callbacks:
                         return
                 continue
-            worker_id, key, record, result, stats, error = item
+            worker_id, key, record, result, stats, error, trace = item
             with self._lock:
+                job = None
                 if self._outstanding[worker_id] == key:
-                    self._outstanding[worker_id] = None
-                if error is None:
-                    self._executed += 1
+                    job = self._outstanding_job[worker_id]
+                    self._clear_slot_locked(worker_id)
+                if error is not None:
+                    completion, callbacks = self._attempt_failed_locked(
+                        key, error, trace, job=job
+                    )
                 else:
-                    self._failed += 1
-                callbacks = self._callbacks.pop(key, [])
+                    self._executed += 1
+                    attempts = self._attempts.pop(key, 0) + 1
+                    self._last_traceback.pop(key, None)
+                    callbacks = self._callbacks.pop(key, [])
+                    completion = JobCompletion(
+                        key, record, result, stats, None, attempts
+                    )
                 self._feed_locked()
-            completion = JobCompletion(key, record, result, stats, error)
-            for callback in callbacks:
-                callback(completion)
+            if completion is not None:
+                for callback in callbacks:
+                    callback(completion)
 
-    def _reap_dead_workers(self):
-        """Fail the outstanding job of every worker that died mid-job.
+    def _clear_slot_locked(self, index: int) -> None:
+        self._outstanding[index] = None
+        self._outstanding_job[index] = None
+        self._outstanding_since[index] = 0.0
+        self._timed_out[index] = False
 
-        The dead worker's deque stays: live workers steal from it.  The
-        slot itself is retired (no respawn) -- a worker death is an
-        abnormal event the caller surfaces, not one to paper over.
+    def _attempt_failed_locked(
+        self, key: str, error: str, trace: Optional[str], job=None
+    ):
+        """Route one failed attempt: schedule a retry or fail terminally.
+
+        Returns ``(completion, callbacks)`` -- ``(None, [])`` when the
+        failure was absorbed into a retry.  ``job`` (the object, not the
+        key) is required for requeueing; a failure with no job object
+        fails terminally regardless of the retry budget.
         """
-        failures = []
+        if trace is not None:
+            self._last_traceback[key] = trace
+        attempts = self._attempts.get(key, 0) + 1
+        if job is not None and attempts <= self._max_retries and not self._closed:
+            self._attempts[key] = attempts
+            self._retried += 1
+            release = time.monotonic() + retry_delay(key, attempts)
+            self._delayed.append((release, job))
+            return None, []
+        self._failed += 1
+        self._attempts.pop(key, None)
+        trace = self._last_traceback.pop(key, None)
+        callbacks = self._callbacks.pop(key, [])
+        return (
+            JobCompletion(key, None, None, None, error, attempts, trace),
+            callbacks,
+        )
+
+    def _supervise(self):
+        """One supervision pass: timeouts, dead workers, retry releases.
+
+        Returns the terminal failure completions to deliver (pump thread,
+        outside the lock).
+        """
+        terminal = []
+        now = time.monotonic()
         with self._lock:
+            if self._job_timeout is not None and not self._closed:
+                for index in range(self._workers):
+                    if not self._alive[index] or self._outstanding[index] is None:
+                        continue
+                    if self._timed_out[index]:
+                        continue
+                    if now - self._outstanding_since[index] > self._job_timeout:
+                        self._timed_out[index] = True
+                        self._timeouts += 1
+                        proc = self._procs[index]
+                        if proc.is_alive():
+                            proc.kill()
             for index in range(self._workers):
                 if not self._alive[index]:
-                    continue
-                if self._outstanding[index] is None:
                     continue
                 proc = self._procs[index]
                 if proc.is_alive():
                     continue
-                self._alive[index] = False
                 key = self._outstanding[index]
-                self._outstanding[index] = None
-                self._failed += 1
-                callbacks = self._callbacks.pop(key, [])
-                failures.append(
-                    (
-                        JobCompletion(
-                            key,
-                            None,
-                            None,
-                            None,
-                            f"worker died (exit code {proc.exitcode})",
-                        ),
-                        callbacks,
+                job = self._outstanding_job[index]
+                if key is not None:
+                    if self._timed_out[index]:
+                        error = (
+                            f"job timed out after {self._job_timeout:g}s "
+                            "(worker killed)"
+                        )
+                    else:
+                        error = f"worker died (exit code {proc.exitcode})"
+                    self._clear_slot_locked(index)
+                    completion, callbacks = self._attempt_failed_locked(
+                        key, error, None, job=job
                     )
-                )
-            if failures:
-                self._feed_locked()
-        return failures
+                    if completion is not None:
+                        terminal.append((completion, callbacks))
+                if self._closed:
+                    self._alive[index] = False
+                elif self._respawned < self._respawn_budget:
+                    # The dead worker's inbox may still hold an undelivered
+                    # job; a fresh queue guarantees the replacement starts
+                    # clean (the in-flight job was requeued above).
+                    self._respawned += 1
+                    self._inboxes[index] = self._context.SimpleQueue()
+                    self._procs[index] = self._spawn_process(index)
+                    self._procs[index].start()
+                else:
+                    self._alive[index] = False
+            if self._delayed:
+                due = [job for release, job in self._delayed if release <= now]
+                if due:
+                    self._delayed = [
+                        entry for entry in self._delayed if entry[0] > now
+                    ]
+                    for job in due:
+                        self._deques[self.home_worker(job.benchmark)].append(job)
+                        self._queued += 1
+            if not any(self._alive) and not self._closed:
+                # Every slot is dead and the respawn budget is spent:
+                # nothing will ever run the queued work, so fail it now
+                # rather than hang the caller forever.
+                for deque_ in self._deques:
+                    for job in deque_:
+                        attempts = self._attempts.pop(job.key, 0) + 1
+                        trace = self._last_traceback.pop(job.key, None)
+                        callbacks = self._callbacks.pop(job.key, [])
+                        self._failed += 1
+                        terminal.append(
+                            (
+                                JobCompletion(
+                                    job.key,
+                                    None,
+                                    None,
+                                    None,
+                                    "no live workers (respawn budget spent)",
+                                    attempts,
+                                    trace,
+                                ),
+                                callbacks,
+                            )
+                        )
+                    deque_.clear()
+                for _, job in self._delayed:
+                    attempts = self._attempts.pop(job.key, 0) + 1
+                    trace = self._last_traceback.pop(job.key, None)
+                    callbacks = self._callbacks.pop(job.key, [])
+                    self._failed += 1
+                    terminal.append(
+                        (
+                            JobCompletion(
+                                job.key,
+                                None,
+                                None,
+                                None,
+                                "no live workers (respawn budget spent)",
+                                attempts,
+                                trace,
+                            ),
+                            callbacks,
+                        )
+                    )
+                self._delayed.clear()
+                self._queued = 0
+            self._feed_locked()
+        return terminal

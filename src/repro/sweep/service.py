@@ -56,13 +56,17 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
 
-from repro import kernels
+from repro import faults, kernels
 from repro.obs import events as obs_events
 from repro.obs import ledger as obs_ledger
 from repro.obs import trace as obs
 from repro.sweep import protocol
 from repro.sweep.artifacts import ARTIFACTS_DIRNAME
-from repro.sweep.executor import default_workers, is_simulated_record
+from repro.sweep.executor import (
+    default_workers,
+    is_simulated_record,
+    make_failed_record,
+)
 from repro.sweep.scheduler import JobCompletion, WorkStealingScheduler
 from repro.sweep.spec import SweepJob, SweepSpec
 from repro.sweep.store import ResultStore
@@ -159,6 +163,8 @@ class SweepService:
         workers: Optional[int] = None,
         queue_cap: Optional[int] = None,
         save_payloads: bool = True,
+        max_retries: int = 2,
+        job_timeout: Optional[float] = None,
     ) -> None:
         self.store = ResultStore(Path(store_root))
         # Re-resolved here, at service start -- never baked in at CLI
@@ -167,6 +173,8 @@ class SweepService:
         self.workers = workers if workers and workers > 0 else default_workers()
         self.queue_cap = queue_cap if queue_cap else DEFAULT_QUEUE_CAP
         self.save_payloads = save_payloads
+        self.max_retries = max_retries
+        self.job_timeout = job_timeout
         self.telemetry = obs.enabled()
         self._requests: dict[str, _Request] = {}
         self._inflight: dict[str, _Inflight] = {}
@@ -189,6 +197,7 @@ class SweepService:
             "dedup_inflight": 0,
             "executed": 0,
             "failed": 0,
+            "quarantined": 0,
             "cancelled_jobs": 0,
         }
         self.scheduler: Optional[WorkStealingScheduler] = None
@@ -228,6 +237,8 @@ class SweepService:
             self.workers,
             artifacts_root=self.store.root / ARTIFACTS_DIRNAME,
             shard_dir=shard_dir,
+            max_retries=self.max_retries,
+            job_timeout=self.job_timeout,
         )
         self._run_id = root_span.id or obs_ledger.new_run_id()
         self._write_header(force=True)
@@ -342,7 +353,12 @@ class SweepService:
     def _dispatch(self, conn: _Connection, message: dict) -> None:
         op = message.get("op")
         if op == "submit":
-            self._op_submit(conn, message)
+            try:
+                self._op_submit(conn, message)
+            except faults.InjectedFault as error:
+                # The submit-time fault site: the one request fails with a
+                # structured error, the session survives.
+                conn.send({"event": "error", "error": str(error)})
         elif op == "cancel":
             self._op_cancel(conn, message)
         elif op == "stats":
@@ -359,6 +375,7 @@ class SweepService:
     # Submit: classify, dedup, enqueue
     # ------------------------------------------------------------------
     def _op_submit(self, conn: _Connection, message: dict) -> None:
+        faults.fire("service.submit")
         if self._draining:
             conn.send(
                 {"event": "rejected", "error": "service is shutting down"}
@@ -479,8 +496,24 @@ class SweepService:
         entry = self._inflight.pop(completion.key, None)
         self._units_done += 1
         if completion.error is not None:
+            # A job the scheduler gave up on (past its retry budget) fails
+            # only the request(s) subscribed to this key -- the session,
+            # its workers and every other request keep serving.  The
+            # quarantine record goes through the normal store path, so a
+            # later submit (or `run`) retries the key.
+            record = None
             if completion.error != "scheduler closed":
                 self.counters["failed"] += 1
+                if entry is not None:
+                    record = make_failed_record(
+                        entry.job,
+                        completion.error,
+                        completion.attempts,
+                        completion.traceback,
+                    )
+                    self.store.save(completion.key, record)
+                    self.store.discard_payload(completion.key)
+                    self.counters["quarantined"] += 1
             subscribers = entry.subscribers if entry is not None else []
             for request in subscribers:
                 if completion.key not in request.pending:
@@ -495,6 +528,8 @@ class SweepService:
                             "request": request.id,
                             "key": completion.key,
                             "error": completion.error,
+                            "attempts": completion.attempts,
+                            "traceback": (record or {}).get("traceback"),
                         }
                     )
                 if request.done >= request.total:
@@ -675,8 +710,20 @@ class SweepService:
             "jobs": {
                 "executed": self.counters["executed"],
                 "failed": self.counters["failed"],
+                "quarantined": self.counters["quarantined"],
                 "cancelled": self.counters["cancelled_jobs"],
             },
+            "supervision": self._supervision_counters(),
+        }
+
+    def _supervision_counters(self) -> dict:
+        if self.scheduler is None:
+            return {"retried": 0, "respawned": 0, "timeouts": 0}
+        lifetime = self.scheduler.counters()
+        return {
+            "retried": lifetime["retried"],
+            "respawned": lifetime["respawned"],
+            "timeouts": lifetime["timeouts"],
         }
 
     def _retry_after(self, backlog: int) -> float:
@@ -728,6 +775,7 @@ class SweepService:
                 "requests_active": len(self._requests),
                 "served_stored": self.counters["dedup_stored"],
                 "served_inflight": self.counters["dedup_inflight"],
+                "failed": self.counters["failed"],
                 "queued": backlog.get("queued", 0),
             },
             started=self._started_wall,
@@ -792,6 +840,9 @@ class SweepService:
                 "dedup_new": counters["dedup_new"],
                 "dedup_stored": counters["dedup_stored"],
                 "dedup_inflight": counters["dedup_inflight"],
+                "failed": counters["failed"],
+                "quarantined": counters["quarantined"],
+                **self._supervision_counters(),
             },
             "run": {
                 "total_jobs": counters["requests"],

@@ -25,6 +25,14 @@ cannot leave a torn record behind.  :meth:`ResultStore.save` writes the
 payload first and the record last: a record never describes a payload
 that is not yet durable, and a crash between the two writes leaves at
 worst an orphaned payload, which :meth:`ResultStore.vacuum` collects.
+
+Reads are *self-healing*: a record that does not parse or a payload that
+does not unpickle -- torn by a crash that bypassed the atomic-write path
+(power loss mid-``fsync``, a truncating filesystem error) or corrupted at
+rest -- is moved into ``quarantine/`` under the store root, counted in
+the ``store.records_quarantined``/``store.payloads_quarantined`` metrics,
+and reported as absent, so the caller recomputes it instead of crashing
+(the same torn-line policy the obs ledger reader applies to its JSONL).
 """
 
 from __future__ import annotations
@@ -37,11 +45,17 @@ import time
 from pathlib import Path
 from typing import Iterator, Optional
 
+from repro import faults
+from repro.obs import metrics as obs_metrics
+
 #: Version of the record format, stored in every record.
 RECORD_SCHEMA = 1
 
 #: Number of leading key characters that name a record's shard directory.
 SHARD_CHARS = 2
+
+#: Subdirectory of the store root where corrupt files are preserved.
+QUARANTINE_DIRNAME = "quarantine"
 
 
 def shard_of(key: str) -> str:
@@ -114,28 +128,55 @@ class ResultStore:
         return sorted(path.stem for path in self._records_dir.glob("*/*.json"))
 
     def load_record(self, key: str) -> Optional[dict]:
-        """Load one JSON record, or None if absent or unreadable."""
+        """Load one JSON record, or None if absent or unreadable.
+
+        A record that exists but does not parse is torn or corrupt; it is
+        quarantined (so the next lookup is a clean miss and the bytes stay
+        inspectable) and reported as absent -- the caller recomputes.
+        """
         path = self.record_path(key)
         try:
             with path.open("r", encoding="utf-8") as handle:
                 return json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._quarantine(path, "records")
+            return None
+        except OSError:
             return None
 
     def records(self) -> Iterator[dict]:
-        """Iterate every stored record, sorted by key."""
+        """Iterate every stored record, sorted by key.
+
+        Torn records are quarantined and skipped (see :meth:`load_record`),
+        so iteration over a damaged store yields every healthy record
+        instead of raising.
+        """
         for key in self.keys():
             record = self.load_record(key)
             if record is not None:
                 yield record
 
     def load_payload(self, key: str) -> Optional[object]:
-        """Unpickle the full simulation result, or None if absent/broken."""
+        """Unpickle the full simulation result, or None if absent/broken.
+
+        A payload that exists but does not unpickle is quarantined like a
+        torn record.  Unpickling arbitrary damaged bytes can raise far
+        more than ``PickleError`` (ImportError after a class moved,
+        ValueError, IndexError...), so anything non-I/O counts as
+        corruption.
+        """
         path = self.payload_path(key)
         try:
             with path.open("rb") as handle:
                 return pickle.load(handle)
-        except (OSError, pickle.PickleError, EOFError, AttributeError):
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return None
+        except Exception:
+            self._quarantine(path, "payloads")
             return None
 
     # ------------------------------------------------------------------
@@ -153,13 +194,17 @@ class ResultStore:
         """
         if payload is not None:
             self._atomic_write(
-                self.payload_path(key), pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+                self.payload_path(key),
+                faults.mangle(
+                    "store.payload",
+                    pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+                ),
             )
         body = dict(record)
         body.setdefault("schema", RECORD_SCHEMA)
         body.setdefault("key", key)
         encoded = json.dumps(body, indent=2, sort_keys=True).encode("utf-8")
-        self._atomic_write(self.record_path(key), encoded)
+        self._atomic_write(self.record_path(key), faults.mangle("store.record", encoded))
 
     def discard(self, key: str) -> None:
         """Remove a record and its payload if present."""
@@ -180,6 +225,35 @@ class ResultStore:
             self.payload_path(key).unlink()
         except FileNotFoundError:
             pass
+
+    def _quarantine(self, path: Path, category: str) -> None:
+        """Move a corrupt file into ``quarantine/<category>/``.
+
+        The damaged bytes are preserved for inspection rather than
+        deleted; the move is a same-filesystem rename, so a concurrent
+        reader sees either the corrupt file or a miss, never a partial.
+        A file that vanished first (another reader quarantined it, or a
+        writer replaced it) is left alone.
+        """
+        target_dir = self.root / QUARANTINE_DIRNAME / category
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        except OSError:
+            return
+        obs_metrics.registry().counter(f"store.{category}_quarantined").inc()
+
+    def quarantined_counts(self) -> dict[str, int]:
+        """Files sitting in quarantine, per category (records/payloads)."""
+        counts = {}
+        for category in ("records", "payloads"):
+            directory = self.root / QUARANTINE_DIRNAME / category
+            counts[category] = (
+                sum(1 for p in directory.iterdir() if p.is_file())
+                if directory.is_dir()
+                else 0
+            )
+        return counts
 
     def vacuum(self, grace_seconds: float = 60.0) -> list[str]:
         """Drop payloads no record describes; returns their keys, sorted.

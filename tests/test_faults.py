@@ -1,0 +1,194 @@
+"""Unit tests of the deterministic fault-injection registry."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_plan(monkeypatch):
+    """Every test starts and ends with injection off."""
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    monkeypatch.delenv(faults.STATE_ENV_VAR, raising=False)
+    monkeypatch.delenv(faults.HANG_ENV_VAR, raising=False)
+    faults.refresh_from_env()
+    yield
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    monkeypatch.delenv(faults.STATE_ENV_VAR, raising=False)
+    faults.refresh_from_env()
+
+
+def activate(monkeypatch, plan, state_dir=None):
+    monkeypatch.setenv(faults.ENV_VAR, plan)
+    if state_dir is not None:
+        monkeypatch.setenv(faults.STATE_ENV_VAR, str(state_dir))
+    assert faults.refresh_from_env()
+
+
+class TestParsePlan:
+    def test_single_entry(self):
+        plan = faults.parse_plan("executor.job:raise")
+        (rule,) = plan["executor.job"]
+        assert rule.kind == "raise"
+        assert rule.nth is None
+
+    def test_nth_selector(self):
+        plan = faults.parse_plan("store.record:torn-write:3")
+        (rule,) = plan["store.record"]
+        assert rule.nth == 3
+        assert not rule.matches(2)
+        assert rule.matches(3)
+
+    def test_multiple_entries_and_whitespace(self):
+        plan = faults.parse_plan(
+            " executor.job:crash:1 , artifact.write:corrupt , "
+        )
+        assert set(plan) == {"executor.job", "artifact.write"}
+
+    def test_same_site_twice(self):
+        plan = faults.parse_plan("s:raise:1,s:raise:3")
+        assert [rule.nth for rule in plan["s"]] == [1, 3]
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "executor.job",  # no kind
+            "executor.job:explode",  # unknown kind
+            "executor.job:raise:zero",  # non-integer nth
+            "executor.job:raise:0",  # nth < 1
+            ":raise",  # empty site
+            "a:b:c:d",  # too many parts
+        ],
+    )
+    def test_invalid_entries_raise(self, text):
+        with pytest.raises(ValueError):
+            faults.parse_plan(text)
+
+
+class TestInactive:
+    def test_fire_is_noop(self):
+        assert not faults.active()
+        faults.fire("executor.job")  # must not raise
+
+    def test_mangle_passthrough(self):
+        data = b"payload-bytes"
+        assert faults.mangle("store.record", data) is data
+
+
+class TestFire:
+    def test_raise_without_nth_fires_every_time(self, monkeypatch):
+        activate(monkeypatch, "site.a:raise")
+        for _ in range(3):
+            with pytest.raises(faults.InjectedFault):
+                faults.fire("site.a")
+
+    def test_nth_selects_one_invocation(self, monkeypatch):
+        activate(monkeypatch, "site.a:raise:2")
+        faults.fire("site.a")  # 1st: no fault
+        with pytest.raises(faults.InjectedFault):
+            faults.fire("site.a")  # 2nd: fires
+        faults.fire("site.a")  # 3rd: done
+
+    def test_other_sites_unaffected(self, monkeypatch):
+        activate(monkeypatch, "site.a:raise")
+        faults.fire("site.b")
+
+    def test_mangle_kinds_ignored_at_fire_sites(self, monkeypatch):
+        activate(monkeypatch, "site.a:torn-write")
+        faults.fire("site.a")
+
+    def test_crash_exits_with_distinctive_code(self, monkeypatch, tmp_path):
+        code = (
+            "from repro import faults\n"
+            "faults.fire('boom')\n"
+            "print('survived')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            env={
+                "PYTHONPATH": "src",
+                faults.ENV_VAR: "boom:crash",
+                "PATH": "/usr/bin:/bin",
+            },
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == faults.CRASH_EXIT_CODE
+        assert "survived" not in result.stdout
+
+    def test_hang_sleeps_configured_seconds(self, monkeypatch):
+        import time
+
+        activate(monkeypatch, "site.a:hang")
+        monkeypatch.setenv(faults.HANG_ENV_VAR, "0.05")
+        start = time.monotonic()
+        faults.fire("site.a")
+        assert time.monotonic() - start >= 0.05
+
+
+class TestMangle:
+    def test_torn_write_truncates_to_half(self, monkeypatch):
+        activate(monkeypatch, "store.record:torn-write")
+        data = bytes(range(100))
+        assert faults.mangle("store.record", data) == data[:50]
+
+    def test_corrupt_keeps_length_changes_bytes(self, monkeypatch):
+        activate(monkeypatch, "store.record:corrupt")
+        data = bytes(range(100))
+        damaged = faults.mangle("store.record", data)
+        assert len(damaged) == len(data)
+        assert damaged != data
+
+    def test_nth_mangles_only_selected_write(self, monkeypatch):
+        activate(monkeypatch, "s:corrupt:2")
+        data = b"x" * 64
+        assert faults.mangle("s", data) == data
+        assert faults.mangle("s", data) != data
+        assert faults.mangle("s", data) == data
+
+    def test_fire_kinds_ignored_at_mangle_sites(self, monkeypatch):
+        activate(monkeypatch, "s:raise")
+        data = b"x" * 64
+        assert faults.mangle("s", data) == data
+
+
+class TestGlobalCounting:
+    def test_count_continues_across_refresh(self, monkeypatch, tmp_path):
+        # Two refreshes simulate a crashed worker and its replacement:
+        # the replacement's first invocation claims global index 2, so a
+        # ":2" fault fires in the *second* process, not per-process.
+        activate(monkeypatch, "site.a:raise:2", state_dir=tmp_path)
+        faults.fire("site.a")  # claims global index 1
+        activate(monkeypatch, "site.a:raise:2", state_dir=tmp_path)
+        with pytest.raises(faults.InjectedFault):
+            faults.fire("site.a")  # claims global index 2
+
+    def test_claim_files_are_per_site(self, monkeypatch, tmp_path):
+        activate(monkeypatch, "a:raise:2,b:raise:2", state_dir=tmp_path)
+        faults.fire("a")
+        faults.fire("b")
+        names = sorted(path.name for path in tmp_path.iterdir())
+        assert names == ["a.1", "b.1"]
+
+    def test_unwritable_state_dir_degrades_to_per_process(
+        self, monkeypatch, tmp_path
+    ):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("file, not dir")
+        activate(monkeypatch, "site.a:raise:2", state_dir=blocker)
+        faults.fire("site.a")
+        with pytest.raises(faults.InjectedFault):
+            faults.fire("site.a")
+
+
+def test_refresh_clears_counters(monkeypatch):
+    monkeypatch.setenv(faults.ENV_VAR, "s:raise:1")
+    faults.refresh_from_env()
+    with pytest.raises(faults.InjectedFault):
+        faults.fire("s")
+    faults.refresh_from_env()
+    with pytest.raises(faults.InjectedFault):
+        faults.fire("s")

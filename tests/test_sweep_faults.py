@@ -1,0 +1,512 @@
+"""Fault-tolerance tests of the sweep execution stack.
+
+Every failure mode the robustness layer claims to survive is exercised
+here: worker death (a genuine SIGKILL against the work-stealing
+scheduler, and the SIGKILL-equivalent ``crash`` injection through the
+pool ``run`` path), hung jobs killed by ``--job-timeout``, poison jobs
+that exhaust their retries and are quarantined as ``source="failed"``
+records, torn/corrupt store and artifact files healed on read, and the
+acceptance-level chaos-equivalence run (crash + corrupt artifact + torn
+record injected into a two-kernel grid, then shown byte-identical to a
+fault-free run modulo volatile fields).
+
+All injection goes through :mod:`repro.faults` (``REPRO_FAULT``), so
+each scenario is deterministic; nothing here depends on timing luck
+except the SIGKILL tests, which hold jobs open with the pipeline's
+``REPRO_SWEEP_TEST_SLOWDOWN`` hook before aiming the signal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import signal
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.obs import metrics as obs_metrics
+from repro.scheduler.pipeline import TEST_SLOWDOWN_ENV
+from repro.sweep.artifacts import ArtifactStore
+from repro.sweep.executor import (
+    is_failed_record,
+    is_simulated_record,
+    run_jobs,
+)
+from repro.sweep.protocol import ServiceClient, default_socket_path
+from repro.sweep.scheduler import (
+    WorkerFailure,
+    WorkStealingScheduler,
+    retry_delay,
+)
+from repro.sweep.spec import SweepSpec
+from repro.sweep.store import ResultStore
+
+from tests.test_sweep_service import (
+    FAST,
+    normalized_record,
+    small_spec,
+    start_service,
+)
+
+#: Fields two executions of the same job may legitimately disagree on.
+EQUIVALENCE_VOLATILE = ("elapsed_seconds", "worker_pid", "attempts")
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    """Injection off (and fast retry backoff) unless a test arms it."""
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    monkeypatch.delenv(faults.STATE_ENV_VAR, raising=False)
+    monkeypatch.setenv("REPRO_SWEEP_RETRY_BASE", "0.01")
+    faults.refresh_from_env()
+    yield
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    monkeypatch.delenv(faults.STATE_ENV_VAR, raising=False)
+    faults.refresh_from_env()
+
+
+def arm(monkeypatch, plan, state_dir=None):
+    """Activate a fault plan in this process (forked workers inherit it)."""
+    monkeypatch.setenv(faults.ENV_VAR, plan)
+    if state_dir is not None:
+        state_dir.mkdir(exist_ok=True)
+        monkeypatch.setenv(faults.STATE_ENV_VAR, str(state_dir))
+    assert faults.refresh_from_env()
+
+
+def disarm(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    monkeypatch.delenv(faults.STATE_ENV_VAR, raising=False)
+    faults.refresh_from_env()
+
+
+def chaos_equivalent(actual: dict, expected: dict) -> bool:
+    """Records equal modulo the fields a retry may legitimately change."""
+    strip = lambda record: {
+        name: value
+        for name, value in record.items()
+        if name not in EQUIVALENCE_VOLATILE
+    }
+    return strip(actual) == strip(expected)
+
+
+# ----------------------------------------------------------------------
+# Self-healing result store
+# ----------------------------------------------------------------------
+class TestStoreSelfHealing:
+    def test_torn_record_is_a_miss_and_quarantined(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path / "store")
+        arm(monkeypatch, "store.record:torn-write")
+        store.save("ab" + "0" * 62, {"source": "simulator", "metrics": {}})
+        disarm(monkeypatch)
+        assert store.load_record("ab" + "0" * 62) is None
+        assert store.quarantined_counts() == {"records": 1, "payloads": 0}
+        # The healed slot accepts a clean rewrite.
+        store.save("ab" + "0" * 62, {"source": "simulator", "metrics": {}})
+        assert store.load_record("ab" + "0" * 62)["source"] == "simulator"
+
+    def test_corrupt_payload_is_a_miss_and_quarantined(
+        self, tmp_path, monkeypatch
+    ):
+        store = ResultStore(tmp_path / "store")
+        arm(monkeypatch, "store.payload:corrupt")
+        store.save(
+            "cd" + "0" * 62,
+            {"source": "simulator"},
+            payload={"big": list(range(256))},
+        )
+        disarm(monkeypatch)
+        # The record survived; only the payload was damaged.
+        assert store.load_record("cd" + "0" * 62) is not None
+        assert store.load_payload("cd" + "0" * 62) is None
+        assert store.quarantined_counts()["payloads"] == 1
+
+    def test_iteration_skips_torn_records(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path / "store")
+        store.save("aa" + "0" * 62, {"source": "simulator", "n": 1})
+        arm(monkeypatch, "store.record:torn-write")
+        store.save("bb" + "0" * 62, {"source": "simulator", "n": 2})
+        disarm(monkeypatch)
+        healthy = list(store.records())
+        assert [record["n"] for record in healthy] == [1]
+        assert store.quarantined_counts()["records"] == 1
+
+
+# ----------------------------------------------------------------------
+# Self-healing artifact store
+# ----------------------------------------------------------------------
+class TestArtifactSelfHealing:
+    def test_corrupt_artifact_is_a_miss_counted_and_quarantined(
+        self, tmp_path, monkeypatch
+    ):
+        store = ArtifactStore(tmp_path / "artifacts")
+        counter = obs_metrics.registry().counter("artifacts.quarantined")
+        before = counter.value
+        arm(monkeypatch, "artifact.write:corrupt")
+        store.put("unroll", "k" * 64, {"payload": list(range(64))})
+        disarm(monkeypatch)
+        assert store.get("unroll", "k" * 64) is None
+        assert store.quarantined_count() == 1
+        assert counter.value == before + 1
+        # A clean rewrite round-trips.
+        store.put("unroll", "k" * 64, {"payload": [1, 2, 3]})
+        assert store.get("unroll", "k" * 64) == {"payload": [1, 2, 3]}
+
+    def test_torn_artifact_is_a_miss(self, tmp_path, monkeypatch):
+        store = ArtifactStore(tmp_path / "artifacts")
+        arm(monkeypatch, "artifact.write:torn-write")
+        store.put("profile", "k" * 64, {"payload": list(range(64))})
+        disarm(monkeypatch)
+        assert store.get("profile", "k" * 64) is None
+        assert store.quarantined_count() == 1
+
+    def test_stale_schema_is_a_plain_miss_not_quarantine(self, tmp_path):
+        store = ArtifactStore(tmp_path / "artifacts")
+        store.put("latency", "k" * 64, {"payload": 1})
+        path = next((tmp_path / "artifacts").glob("latency/*/*.pkl"))
+        path.write_bytes(
+            pickle.dumps({"schema": 1, "stage": "latency", "payload": 1})
+        )
+        assert store.get("latency", "k" * 64) is None
+        assert store.quarantined_count() == 0
+
+
+# ----------------------------------------------------------------------
+# Worker supervision
+# ----------------------------------------------------------------------
+class TestSupervision:
+    def test_sigkilled_scheduler_worker_is_respawned(
+        self, tmp_path, monkeypatch
+    ):
+        # A genuine SIGKILL against a busy worker of the work-stealing
+        # scheduler: the pump reaps it, requeues its in-flight job on a
+        # fresh process, and run_all still completes every job.
+        monkeypatch.setenv(TEST_SLOWDOWN_ENV, "schedule:0.5")
+        jobs = small_spec(
+            axes={"clusters": (2, 4), "attraction_entries": (0, 16)}
+        ).expand()
+        scheduler = WorkStealingScheduler(2)
+        handled = []
+        killed = threading.Event()
+
+        def killer():
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                with scheduler._lock:
+                    busy = [
+                        index
+                        for index, key in enumerate(scheduler._outstanding)
+                        if key is not None
+                    ]
+                    pid = (
+                        scheduler._procs[busy[0]].pid if busy else None
+                    )
+                if pid is not None:
+                    os.kill(pid, signal.SIGKILL)
+                    killed.set()
+                    return
+                time.sleep(0.02)
+
+        thread = threading.Thread(target=killer)
+        thread.start()
+        try:
+            scheduler.run_all(
+                jobs, lambda job, record, result: handled.append(job.key)
+            )
+        finally:
+            thread.join(30)
+            counters = scheduler.counters()
+            scheduler.close()
+        assert killed.is_set(), "no worker was ever busy to kill"
+        assert counters["respawned"] >= 1
+        assert sorted(handled) == sorted(job.key for job in jobs)
+
+    def test_crashed_worker_in_run_path_is_respawned(
+        self, tmp_path, monkeypatch
+    ):
+        # The pool `run` path under an injected crash (os._exit: the
+        # SIGKILL-equivalent death -- no handlers, no flushing).  The
+        # shared state dir makes the crash fire exactly once globally,
+        # so the respawned worker's retry succeeds.
+        arm(
+            monkeypatch,
+            "executor.job:crash:1",
+            state_dir=tmp_path / "fault-state",
+        )
+        store = ResultStore(tmp_path / "store")
+        jobs = small_spec(
+            axes={"clusters": (2, 4), "attraction_entries": (0, 16)}
+        ).expand()
+        summary = run_jobs(jobs, store=store, workers=2)
+        assert summary.executed == len(jobs)
+        assert summary.failed == 0
+        assert summary.respawned >= 1
+        assert summary.retried >= 1
+        for job in jobs:
+            assert is_simulated_record(store.load_record(job.key))
+
+    def test_hung_job_is_killed_by_timeout_and_retried(
+        self, tmp_path, monkeypatch
+    ):
+        arm(
+            monkeypatch,
+            "executor.job:hang:1",
+            state_dir=tmp_path / "fault-state",
+        )
+        store = ResultStore(tmp_path / "store")
+        jobs = small_spec().expand()
+        summary = run_jobs(jobs, store=store, workers=2, job_timeout=1.0)
+        assert summary.executed == len(jobs)
+        assert summary.failed == 0
+        assert summary.timeouts >= 1
+        assert summary.respawned >= 1
+
+    def test_sigkilled_service_worker_keeps_request_alive(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(TEST_SLOWDOWN_ENV, "schedule:0.5")
+        store_root = tmp_path / "store"
+        spec = small_spec(
+            axes={"clusters": (2, 4), "attraction_entries": (0, 16)}
+        )
+        with start_service(store_root, workers=2) as served:
+            scheduler_ref = {}
+
+            def killer():
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    scheduler = served.service.scheduler
+                    if scheduler is not None:
+                        with scheduler._lock:
+                            busy = [
+                                index
+                                for index, key in enumerate(
+                                    scheduler._outstanding
+                                )
+                                if key is not None
+                            ]
+                            pid = (
+                                scheduler._procs[busy[0]].pid
+                                if busy
+                                else None
+                            )
+                        if pid is not None:
+                            os.kill(pid, signal.SIGKILL)
+                            scheduler_ref["killed"] = pid
+                            return
+                    time.sleep(0.02)
+
+            thread = threading.Thread(target=killer)
+            thread.start()
+            with ServiceClient(
+                socket_path=default_socket_path(store_root)
+            ) as client:
+                done = client.submit(spec.to_mapping())
+                stats = client.stats()
+            thread.join(30)
+            assert scheduler_ref.get("killed"), "never saw a busy worker"
+            assert done["executed"] == len(spec.expand())
+            assert done["failed"] == 0
+            assert stats["supervision"]["respawned"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Retry and quarantine
+# ----------------------------------------------------------------------
+class TestRetryQuarantine:
+    def test_backoff_is_deterministic_and_exponential(self):
+        first = retry_delay("a" * 64, 1, base=0.5)
+        assert retry_delay("a" * 64, 1, base=0.5) == first
+        assert retry_delay("a" * 64, 2, base=0.5) >= 2 * 0.5
+        assert retry_delay("b" * 64, 1, base=0.5) != first
+
+    def test_transient_failure_is_retried_in_process(
+        self, tmp_path, monkeypatch
+    ):
+        # nth=1 with per-process counting: the first attempt raises, the
+        # retry succeeds -- the summary shows one retry and no failures.
+        arm(monkeypatch, "executor.job:raise:1")
+        store = ResultStore(tmp_path / "store")
+        jobs = small_spec().expand()
+        summary = run_jobs(jobs, store=store, workers=1)
+        assert summary.executed == len(jobs)
+        assert summary.failed == 0
+        assert summary.retried == 1
+
+    def test_poison_job_is_quarantined_and_sweep_completes(
+        self, tmp_path, monkeypatch
+    ):
+        arm(monkeypatch, "executor.job:raise")
+        store = ResultStore(tmp_path / "store")
+        jobs = small_spec().expand()
+        summary = run_jobs(jobs, store=store, workers=1, max_retries=1)
+        assert summary.failed == len(jobs)
+        assert summary.executed == 0
+        assert sorted(summary.failed_keys) == sorted(j.key for j in jobs)
+        for job in jobs:
+            record = store.load_record(job.key)
+            assert is_failed_record(record)
+            assert not is_simulated_record(record)
+            assert record["attempts"] == 2  # 1 + max_retries
+            assert "InjectedFault" in record["error"]
+            assert "InjectedFault" in record["traceback"]
+            assert record["job"]["benchmark"] == job.benchmark
+            # Quarantine goes through the normal store path: no payload,
+            # no torn files.
+            assert store.load_payload(job.key) is None
+
+    def test_rerun_retries_quarantined_keys(self, tmp_path, monkeypatch):
+        arm(monkeypatch, "executor.job:raise")
+        store = ResultStore(tmp_path / "store")
+        jobs = small_spec().expand()
+        run_jobs(jobs, store=store, workers=1, max_retries=0)
+        disarm(monkeypatch)
+
+        kept = run_jobs(jobs, store=store, workers=1, keep_failed=True)
+        assert kept.executed == 0
+        assert kept.failed == len(jobs)
+        assert all(
+            is_failed_record(store.load_record(job.key)) for job in jobs
+        )
+
+        healed = run_jobs(jobs, store=store, workers=1)
+        assert healed.executed == len(jobs)
+        assert healed.failed == 0
+        assert all(
+            is_simulated_record(store.load_record(job.key)) for job in jobs
+        )
+
+    def test_fail_fast_aborts_after_saving_the_record(
+        self, tmp_path, monkeypatch
+    ):
+        arm(monkeypatch, "executor.job:raise")
+        store = ResultStore(tmp_path / "store")
+        jobs = small_spec().expand()
+        with pytest.raises(WorkerFailure):
+            run_jobs(
+                jobs, store=store, workers=1, max_retries=0, fail_fast=True
+            )
+        failed = [
+            key for key in store.keys()
+            if is_failed_record(store.load_record(key))
+        ]
+        assert len(failed) >= 1
+
+    def test_max_failures_bounds_the_quarantine_budget(
+        self, tmp_path, monkeypatch
+    ):
+        arm(monkeypatch, "executor.job:raise")
+        store = ResultStore(tmp_path / "store")
+        jobs = small_spec(
+            axes={"clusters": (2, 4), "attraction_entries": (0, 16)}
+        ).expand()
+        with pytest.raises(WorkerFailure):
+            run_jobs(
+                jobs, store=store, workers=1, max_retries=0, max_failures=1
+            )
+        failed = [
+            key for key in store.keys()
+            if is_failed_record(store.load_record(key))
+        ]
+        assert len(failed) == 2  # the budgeted one plus the one that broke it
+
+
+# ----------------------------------------------------------------------
+# Service under failure
+# ----------------------------------------------------------------------
+class TestServiceFaults:
+    def test_failed_job_fails_the_request_not_the_session(
+        self, tmp_path, monkeypatch
+    ):
+        arm(monkeypatch, "executor.job:raise")
+        store_root = tmp_path / "store"
+        spec = small_spec()
+        events = []
+        with start_service(store_root, workers=2, max_retries=1) as served:
+            with ServiceClient(
+                socket_path=default_socket_path(store_root)
+            ) as client:
+                done = client.submit(spec.to_mapping(), on_event=events.append)
+                assert done["event"] == "done"
+                assert done["failed"] == len(spec.expand())
+                assert done["executed"] == 0
+                # The session survives: a second submit on the same
+                # connection-pool completes too (and retries the
+                # quarantined keys, which fail again under the plan).
+                second = client.submit(spec.to_mapping())
+                assert second["event"] == "done"
+                assert second["failed"] == len(spec.expand())
+                stats = client.stats()
+            assert stats["jobs"]["failed"] == 2 * len(spec.expand())
+            assert stats["jobs"]["quarantined"] == 2 * len(spec.expand())
+            assert served.service.counters["quarantined"] == 2 * len(
+                spec.expand()
+            )
+        failures = [e for e in events if e.get("event") == "job_failed"]
+        assert len(failures) == len(spec.expand())
+        for event in failures:
+            assert event["attempts"] == 2  # 1 + max_retries
+            assert "InjectedFault" in event["error"]
+            assert "InjectedFault" in (event.get("traceback") or "")
+            assert event["key"]
+        store = ResultStore(store_root)
+        assert all(
+            is_failed_record(store.load_record(job.key))
+            for job in spec.expand()
+        )
+
+
+# ----------------------------------------------------------------------
+# Chaos equivalence (the acceptance criterion)
+# ----------------------------------------------------------------------
+class TestChaosEquivalence:
+    def test_faulted_run_heals_to_the_fault_free_result(
+        self, tmp_path, monkeypatch
+    ):
+        spec = SweepSpec(
+            name="chaos",
+            benchmarks=("kernel:streaming", "kernel:reduction"),
+            axes={"clusters": (2, 4)},
+            base=dict(FAST),
+        )
+        jobs = spec.expand()
+
+        reference = ResultStore(tmp_path / "reference")
+        run_jobs(jobs, store=reference, workers=2)
+
+        # One worker crash, one corrupt artifact, one torn record, all
+        # in a single 2-worker run over the same grid.
+        arm(
+            monkeypatch,
+            "executor.job:crash:1,artifact.write:corrupt:1,"
+            "store.record:torn-write:1",
+            state_dir=tmp_path / "fault-state",
+        )
+        chaotic = ResultStore(tmp_path / "chaotic")
+        summary = run_jobs(jobs, store=chaotic, workers=2)
+        disarm(monkeypatch)
+        # The faulted sweep completed (no quarantined jobs: the crash was
+        # retried on a respawned worker) and left exactly one torn record
+        # on disk.
+        assert summary.failed == 0
+        assert summary.respawned >= 1
+
+        # Recovery pass with injection off: the torn record reads as a
+        # miss (quarantined), is recomputed, and the store converges.
+        healed = run_jobs(jobs, store=chaotic, workers=2)
+        assert healed.failed == 0
+        assert chaotic.quarantined_counts()["records"] == 1
+
+        for job in jobs:
+            actual = json.loads(
+                chaotic.record_path(job.key).read_text(encoding="utf-8")
+            )
+            expected = json.loads(
+                reference.record_path(job.key).read_text(encoding="utf-8")
+            )
+            assert is_simulated_record(actual)
+            assert chaos_equivalent(actual, expected), job.key
